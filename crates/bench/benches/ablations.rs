@@ -1,0 +1,95 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! distributed queues, work stealing, controlling-value lookahead, and
+//! event garbage collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_bench::{bench_array, quick};
+use parsim_circuits::gate_multiplier;
+use parsim_core::{ChaoticAsync, SimConfig};
+use parsim_logic::Time;
+use parsim_machine::{model_async, model_sync, MachineConfig};
+
+fn queue_distribution(c: &mut Criterion) {
+    let q = quick();
+    let arr = bench_array();
+    let mut g = c.benchmark_group("ablation_queues");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("distributed", |b| {
+        b.iter(|| model_sync(&arr.netlist, Time(150), &MachineConfig::multimax(8)))
+    });
+    g.bench_function("central", |b| {
+        let mut cfg = MachineConfig::multimax(8);
+        cfg.distributed_queues = false;
+        b.iter(|| model_sync(&arr.netlist, Time(150), &cfg))
+    });
+    g.finish();
+}
+
+fn work_stealing(c: &mut Criterion) {
+    let q = quick();
+    let arr = bench_array();
+    let mut g = c.benchmark_group("ablation_stealing");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("stealing", |b| {
+        b.iter(|| model_sync(&arr.netlist, Time(150), &MachineConfig::multimax(8)))
+    });
+    g.bench_function("static", |b| {
+        let mut cfg = MachineConfig::multimax(8);
+        cfg.work_stealing = false;
+        b.iter(|| model_sync(&arr.netlist, Time(150), &cfg))
+    });
+    g.finish();
+}
+
+fn lookahead(c: &mut Criterion) {
+    let q = quick();
+    let m = gate_multiplier(8, &[(200, 100)], 160).expect("valid circuit");
+    let end = m.schedule_end();
+    let mut g = c.benchmark_group("ablation_lookahead");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("model_with", |b| {
+        b.iter(|| model_async(&m.netlist, end, &MachineConfig::multimax(8)))
+    });
+    g.bench_function("model_without", |b| {
+        let mut cfg = MachineConfig::multimax(8);
+        cfg.lookahead = false;
+        b.iter(|| model_async(&m.netlist, end, &cfg))
+    });
+    // The real engine, where lookahead trims validity-ratchet activations.
+    let cfg = SimConfig::new(end);
+    g.bench_function("engine_with", |b| {
+        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg))
+    });
+    g.bench_function("engine_without", |b| {
+        let cfg = cfg.clone().without_lookahead();
+        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg))
+    });
+    g.finish();
+}
+
+fn garbage_collection(c: &mut Criterion) {
+    let q = quick();
+    let arr = bench_array();
+    let cfg = SimConfig::new(Time(2000));
+    let mut g = c.benchmark_group("ablation_gc");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("gc_on", |b| {
+        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg))
+    });
+    g.bench_function("gc_off", |b| {
+        let cfg = cfg.clone().without_gc();
+        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue_distribution, work_stealing, lookahead, garbage_collection);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! One benchmark group per paper figure: the cost of regenerating each
+//! figure's data points on the virtual Multimax.
+//!
+//! The figure *values* are produced by `parsim-harness`'s `figures`
+//! binary; these benchmarks keep the models' own runtime honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsim_bench::{bench_array, quick};
+use parsim_circuits::{functional_multiplier, gate_multiplier};
+use parsim_logic::Time;
+use parsim_machine::{
+    model_async, model_compiled, model_seq, model_sync, MachineConfig, PartitionStrategy,
+};
+
+fn fig1_event_driven(c: &mut Criterion) {
+    let q = quick();
+    let gate = gate_multiplier(8, &[(200, 100), (255, 255)], 160).expect("valid circuit");
+    let end = gate.schedule_end();
+    let mut g = c.benchmark_group("fig1_event_driven");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    for procs in [1usize, 8, 15] {
+        g.bench_with_input(BenchmarkId::new("gate_mult", procs), &procs, |b, &p| {
+            b.iter(|| model_sync(&gate.netlist, end, &MachineConfig::multimax(p)))
+        });
+    }
+    g.finish();
+}
+
+fn fig2_event_density(c: &mut Criterion) {
+    let q = quick();
+    let mut g = c.benchmark_group("fig2_event_density");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    for toggle in [1u64, 8] {
+        let arr = parsim_circuits::inverter_array(16, 8, toggle).expect("valid circuit");
+        g.bench_with_input(
+            BenchmarkId::new("sync16", format!("toggle{toggle}")),
+            &arr,
+            |b, arr| b.iter(|| model_sync(&arr.netlist, Time(150), &MachineConfig::multimax(16))),
+        );
+    }
+    g.finish();
+}
+
+fn fig3_compiled(c: &mut Criterion) {
+    let q = quick();
+    let func = functional_multiplier(&[(7, 9)], 64).expect("valid circuit");
+    let mut g = c.benchmark_group("fig3_compiled");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    for procs in [1usize, 15] {
+        g.bench_with_input(BenchmarkId::new("func_mult", procs), &procs, |b, &p| {
+            b.iter(|| {
+                model_compiled(
+                    &func.netlist,
+                    Time(64),
+                    &MachineConfig::multimax(p),
+                    PartitionStrategy::RoundRobin,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig4_async(c: &mut Criterion) {
+    let q = quick();
+    let arr = bench_array();
+    let mut g = c.benchmark_group("fig4_async");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    for procs in [1usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("inv_array", procs), &procs, |b, &p| {
+            b.iter(|| model_async(&arr.netlist, Time(150), &MachineConfig::multimax(p)))
+        });
+    }
+    g.finish();
+}
+
+fn fig5_comparison(c: &mut Criterion) {
+    let q = quick();
+    let arr = bench_array();
+    let mut g = c.benchmark_group("fig5_comparison");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("model_seq_baseline", |b| {
+        b.iter(|| model_seq(&arr.netlist, Time(150), &MachineConfig::multimax(1).cost))
+    });
+    g.bench_function("model_sync16", |b| {
+        b.iter(|| model_sync(&arr.netlist, Time(150), &MachineConfig::multimax(16)))
+    });
+    g.bench_function("model_async16", |b| {
+        b.iter(|| model_async(&arr.netlist, Time(150), &MachineConfig::multimax(16)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_event_driven,
+    fig2_event_density,
+    fig3_compiled,
+    fig4_async,
+    fig5_comparison
+);
+criterion_main!(benches);

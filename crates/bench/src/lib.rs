@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! The actual benchmarks live in `benches/`: one Criterion group per paper
+//! figure (`figures`), real-engine wall-time benchmarks (`engines`),
+//! microbenchmarks of the lock-free substrate (`micro`), and design-choice
+//! ablations (`ablations`). The *numbers* that reproduce the paper's
+//! tables come from `parsim-harness`'s `figures` binary; these benchmarks
+//! track the wall-clock cost of the implementations themselves.
+
+use parsim_circuits::{inverter_array, InverterArray};
+
+/// A small inverter array sized so each benchmark iteration stays in the
+/// low-millisecond range on one core.
+///
+/// # Panics
+///
+/// Panics only on internal generator inconsistency.
+pub fn bench_array() -> InverterArray {
+    inverter_array(16, 8, 2).expect("generator is self-consistent")
+}
+
+/// Short Criterion settings suitable for a single-core machine.
+pub fn quick() -> criterion_config::Settings {
+    criterion_config::Settings {
+        sample_size: 10,
+        measurement_secs: 1.0,
+        warmup_millis: 300,
+    }
+}
+
+/// Tiny indirection so the benches don't repeat magic numbers.
+pub mod criterion_config {
+    /// Criterion tuning knobs used by every bench in this crate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Settings {
+        /// Criterion sample count.
+        pub sample_size: usize,
+        /// Measurement window in seconds.
+        pub measurement_secs: f64,
+        /// Warm-up in milliseconds.
+        pub warmup_millis: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_array_is_small() {
+        let a = bench_array();
+        assert!(a.netlist.num_elements() < 200);
+        assert_eq!(quick().sample_size, 10);
+    }
+}

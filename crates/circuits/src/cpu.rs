@@ -1,0 +1,359 @@
+//! The gate-level pipelined microprocessor (~3000 non-memory gates).
+//!
+//! The paper's second benchmark is "a pipelined micro-processor with about
+//! 3000 non-memory gates" (§2.1); the original netlist is lost, so this
+//! generator builds a comparable machine: a 3-stage (fetch / decode-read /
+//! execute-writeback) pipeline with a program counter, a combinational
+//! pseudo-ROM hashed from the PC, an 8-entry register file with two read
+//! ports, and a ripple ALU (add / and / or / xor) — entirely from
+//! primitive gates and 1-bit flip-flops. The instruction stream is
+//! deterministic, so all simulation engines must agree bit-for-bit.
+
+use parsim_logic::{Delay, ElementKind};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+
+use crate::gates::{
+    bus, const_bit, decoder, full_adder, half_adder, mux2, mux2_bus, register_r, xor2,
+    GATE_DELAY,
+};
+
+/// A pipelined CPU circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct PipelinedCpu {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// The clock node.
+    pub clk: NodeId,
+    /// Program counter bits, LSB first.
+    pub pc: Vec<NodeId>,
+    /// The writeback-stage result bits, LSB first.
+    pub wb_result: Vec<NodeId>,
+    /// The clock half-period in ticks.
+    pub half_period: u64,
+}
+
+/// Builds the pipelined CPU.
+///
+/// `width` is the datapath width (8..=32); the register file always has
+/// 8 entries. `half_period` is the clock half-period in ticks and must
+/// exceed the logic settling depth (roughly `5 * width` gate delays).
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency.
+///
+/// # Panics
+///
+/// Panics if `width` is outside `8..=32` or `half_period < 5 * width`.
+///
+/// # Examples
+///
+/// ```
+/// let cpu = parsim_circuits::pipelined_cpu(16, 128)?;
+/// assert!(cpu.netlist.num_elements() > 2000);
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn pipelined_cpu(width: usize, half_period: u64) -> Result<PipelinedCpu, BuildError> {
+    assert!((8..=32).contains(&width), "width must be 8..=32");
+    assert!(
+        half_period >= 5 * width as u64,
+        "half_period too short for settling"
+    );
+    const REG_BITS: usize = 3; // 8 registers
+    let instr_width = 2 + 3 * REG_BITS + 5; // opcode + rs + rt + rd + imm5
+
+    let mut b = Builder::new();
+    let clk = b.node("clk", 1);
+    b.element(
+        "clkgen",
+        ElementKind::Clock {
+            half_period,
+            offset: half_period,
+        },
+        Delay(1),
+        &[],
+        &[clk],
+    )?;
+    let zero = const_bit(&mut b, "gnd", false)?;
+    let one = const_bit(&mut b, "vdd", true)?;
+    // Power-on reset: held high until just before the first clock edge,
+    // which breaks the X-lock in every state loop (PC, register file,
+    // pipeline valid bit).
+    let rst = b.node("rst", 1);
+    b.element(
+        "porst",
+        ElementKind::Pulse {
+            at: 0,
+            width: half_period / 2,
+        },
+        Delay(1),
+        &[],
+        &[rst],
+    )?;
+
+    // ---- Fetch: PC register + incrementer -------------------------------
+    let pc_next = bus(&mut b, "pc_next", width);
+    let pc = register_r(&mut b, "pc", clk, rst, &pc_next)?;
+    {
+        // pc_next = pc + 1 via half-adder ripple.
+        let mut carry = one;
+        for i in 0..width {
+            let (s, c) = half_adder(&mut b, &format!("pcinc{i}"), pc[i], carry)?;
+            b.element(
+                &format!("pcnext{i}"),
+                ElementKind::Buf,
+                GATE_DELAY,
+                &[s],
+                &[pc_next[i]],
+            )?;
+            carry = c;
+        }
+    }
+
+    // ---- Pseudo instruction ROM: combinational hash of the PC -----------
+    let mut instr = Vec::with_capacity(instr_width);
+    for k in 0..instr_width {
+        let x = xor2(
+            &mut b,
+            &format!("rom{k}a"),
+            pc[k % width],
+            pc[(k * 5 + 3) % width],
+        )?;
+        let y = xor2(&mut b, &format!("rom{k}b"), x, pc[(k * 7 + 1) % width])?;
+        let z = b.fresh(1);
+        b.element(
+            &format!("rom{k}c"),
+            ElementKind::Nand,
+            GATE_DELAY,
+            &[y, pc[(k * 3 + 2) % width]],
+            &[z],
+        )?;
+        let bit = xor2(&mut b, &format!("rom{k}d"), z, x)?;
+        instr.push(bit);
+    }
+
+    // ---- Fetch/Decode pipeline register ----------------------------------
+    let if_id = register_r(&mut b, "if_id", clk, rst, &instr)?;
+    let opcode = &if_id[0..2];
+    let rs = &if_id[2..2 + REG_BITS];
+    let rt = &if_id[2 + REG_BITS..2 + 2 * REG_BITS];
+    let rd = &if_id[2 + 2 * REG_BITS..2 + 3 * REG_BITS];
+    let imm = &if_id[2 + 3 * REG_BITS..instr_width];
+
+    // ---- Register file: 8 x width DFFs with write port from WB ----------
+    // Writeback signals are defined later; allocate their nodes now.
+    let wb_value = bus(&mut b, "wb_value", width);
+    let wb_dest = bus(&mut b, "wb_dest", REG_BITS);
+    let wb_we = b.node("wb_we", 1);
+
+    let we_onehot = decoder(&mut b, "wdec", &wb_dest)?;
+    let mut regs: Vec<Vec<NodeId>> = Vec::with_capacity(8);
+    for (r, &we_bit) in we_onehot.iter().enumerate() {
+        let we_r = b.fresh(1);
+        b.element(
+            &format!("we{r}"),
+            ElementKind::And,
+            GATE_DELAY,
+            &[we_bit, wb_we],
+            &[we_r],
+        )?;
+        // next = we ? wb_value : current. The register q nodes are created
+        // by `register`, so build the mux on freshly named d nodes.
+        let d = bus(&mut b, &format!("r{r}d"), width);
+        let q = register_r(&mut b, &format!("r{r}"), clk, rst, &d)?;
+        for i in 0..width {
+            let m = mux2(&mut b, &format!("r{r}m{i}"), we_r, q[i], wb_value[i])?;
+            b.element(
+                &format!("r{r}link{i}"),
+                ElementKind::Buf,
+                GATE_DELAY,
+                &[m],
+                &[d[i]],
+            )?;
+        }
+        regs.push(q);
+    }
+
+    // ---- Read ports: 8:1 mux trees per bit ------------------------------
+    let rs_val = read_port(&mut b, "rs", rs, &regs, width)?;
+    let rt_val = read_port(&mut b, "rt", rt, &regs, width)?;
+
+    // Immediate zero-extended to the datapath width.
+    let imm_ext: Vec<NodeId> = (0..width)
+        .map(|i| if i < imm.len() { imm[i] } else { zero })
+        .collect();
+    // Operand B: rt for opcode[1] = 0, immediate otherwise.
+    let b_op = mux2_bus(&mut b, "bsel", opcode[1], &rt_val, &imm_ext)?;
+
+    // ---- Decode/Execute pipeline register -------------------------------
+    let mut dx_in: Vec<NodeId> = Vec::new();
+    dx_in.extend_from_slice(&rs_val);
+    dx_in.extend_from_slice(&b_op);
+    dx_in.extend_from_slice(opcode);
+    dx_in.extend_from_slice(rd);
+    let id_ex = register_r(&mut b, "id_ex", clk, rst, &dx_in)?;
+    let ex_a = &id_ex[0..width];
+    let ex_b = &id_ex[width..2 * width];
+    let ex_op = &id_ex[2 * width..2 * width + 2];
+    let ex_rd = &id_ex[2 * width + 2..2 * width + 2 + REG_BITS];
+
+    // ---- ALU: add / and / or / xor selected by ex_op ---------------------
+    let mut add_bits = Vec::with_capacity(width);
+    {
+        let mut carry = zero;
+        for i in 0..width {
+            let (s, c) = full_adder(&mut b, &format!("alu_add{i}"), ex_a[i], ex_b[i], carry)?;
+            add_bits.push(s);
+            carry = c;
+        }
+    }
+    let mut and_bits = Vec::with_capacity(width);
+    let mut or_bits = Vec::with_capacity(width);
+    let mut xor_bits = Vec::with_capacity(width);
+    for i in 0..width {
+        let y = b.fresh(1);
+        b.element(
+            &format!("alu_and{i}"),
+            ElementKind::And,
+            GATE_DELAY,
+            &[ex_a[i], ex_b[i]],
+            &[y],
+        )?;
+        and_bits.push(y);
+        let y = b.fresh(1);
+        b.element(
+            &format!("alu_or{i}"),
+            ElementKind::Or,
+            GATE_DELAY,
+            &[ex_a[i], ex_b[i]],
+            &[y],
+        )?;
+        or_bits.push(y);
+        xor_bits.push(xor2(&mut b, &format!("alu_xor{i}"), ex_a[i], ex_b[i])?);
+    }
+    // Result select: op 00 add, 01 and, 10 or, 11 xor.
+    let lo = mux2_bus(&mut b, "alusel_lo", ex_op[0], &add_bits, &and_bits)?;
+    let hi = mux2_bus(&mut b, "alusel_hi", ex_op[0], &or_bits, &xor_bits)?;
+    let alu_out = mux2_bus(&mut b, "alusel", ex_op[1], &lo, &hi)?;
+
+    // ---- Writeback: link ALU result into the pre-allocated WB nodes -----
+    let mut wb_in: Vec<NodeId> = Vec::new();
+    wb_in.extend_from_slice(&alu_out);
+    wb_in.extend_from_slice(ex_rd);
+    wb_in.push(one);
+    let ex_wb = register_r(&mut b, "ex_wb", clk, rst, &wb_in)?;
+    for i in 0..width {
+        b.element(
+            &format!("wbv{i}"),
+            ElementKind::Buf,
+            GATE_DELAY,
+            &[ex_wb[i]],
+            &[wb_value[i]],
+        )?;
+    }
+    for i in 0..REG_BITS {
+        b.element(
+            &format!("wbd{i}"),
+            ElementKind::Buf,
+            GATE_DELAY,
+            &[ex_wb[width + i]],
+            &[wb_dest[i]],
+        )?;
+    }
+    b.element(
+        "wbwe",
+        ElementKind::Buf,
+        GATE_DELAY,
+        &[ex_wb[width + REG_BITS]],
+        &[wb_we],
+    )?;
+
+    let wb_result = ex_wb[0..width].to_vec();
+    Ok(PipelinedCpu {
+        netlist: b.finish()?,
+        clk,
+        pc,
+        wb_result,
+        half_period,
+    })
+}
+
+/// An 8:1 read port: per-bit three-level mux tree over the register file.
+fn read_port(
+    b: &mut Builder,
+    name: &str,
+    sel: &[NodeId],
+    regs: &[Vec<NodeId>],
+    width: usize,
+) -> Result<Vec<NodeId>, BuildError> {
+    let mut out = Vec::with_capacity(width);
+    #[allow(clippy::needless_range_loop)] // `i` indexes every register's bit i
+    for i in 0..width {
+        // Level 0: 8 -> 4 on sel[0].
+        let mut layer: Vec<NodeId> = Vec::with_capacity(4);
+        for k in 0..4 {
+            layer.push(mux2(
+                b,
+                &format!("{name}p{i}l0m{k}"),
+                sel[0],
+                regs[2 * k][i],
+                regs[2 * k + 1][i],
+            )?);
+        }
+        // Level 1: 4 -> 2 on sel[1].
+        let m0 = mux2(b, &format!("{name}p{i}l1m0"), sel[1], layer[0], layer[1])?;
+        let m1 = mux2(b, &format!("{name}p{i}l1m1"), sel[1], layer[2], layer[3])?;
+        // Level 2: 2 -> 1 on sel[2].
+        out.push(mux2(b, &format!("{name}p{i}l2"), sel[2], m0, m1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::analyze::{feedback_elements, levelize};
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn matches_paper_scale() {
+        let cpu = pipelined_cpu(16, 128).unwrap();
+        let stats = NetlistStats::compute(&cpu.netlist);
+        // "about 3000 non-memory gates": count non-DFF, non-generator gates.
+        let dffs = stats.kind_counts.get("dffr").copied().unwrap_or(0);
+        let gens = stats.num_generators;
+        let gates = stats.num_elements - dffs - gens;
+        assert!(
+            (1800..=5000).contains(&gates),
+            "expected ~3000 gates, got {gates}"
+        );
+        assert!(dffs > 150, "pipeline + register file flops, got {dffs}");
+    }
+
+    #[test]
+    fn is_sequential_with_feedback() {
+        let cpu = pipelined_cpu(8, 64).unwrap();
+        // The PC loop and register-file write-back are feedback paths.
+        assert!(!feedback_elements(&cpu.netlist).is_empty());
+        // But no *combinational* cycles.
+        assert!(levelize(&cpu.netlist).cyclic.is_empty());
+    }
+
+    #[test]
+    fn combinational_depth_fits_half_period() {
+        let cpu = pipelined_cpu(16, 128).unwrap();
+        let lv = levelize(&cpu.netlist);
+        assert!(
+            (lv.max_level as u64) < cpu.half_period,
+            "depth {} exceeds half period {}",
+            lv.max_level,
+            cpu.half_period
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "half_period too short")]
+    fn rejects_fast_clock() {
+        let _ = pipelined_cpu(16, 10);
+    }
+}

@@ -1,0 +1,120 @@
+//! Long feedback chains — the asynchronous algorithm's worst case.
+//!
+//! §4: "Feed-back paths prevent complete processing of each node for all
+//! time ... the feed-back chain caused the simulation to proceed one
+//! event at a time." And §5: "for circuits with long feed-back chains,
+//! it looks like the event-driven algorithm will be faster especially
+//! with a large number of processors." This generator builds `rings`
+//! independent oscillating loops, each `length` elements long, so
+//! experiments can sweep the fraction of a circuit locked inside
+//! feedback.
+
+use parsim_logic::{Delay, ElementKind};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+
+/// A feedback-ring circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct FeedbackChain {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// One probe node per ring (the NAND output).
+    pub taps: Vec<NodeId>,
+    /// Elements per ring (including the NAND).
+    pub length: usize,
+}
+
+/// Builds `rings` independent oscillator loops, each with `length`
+/// unit-delay elements (one enabling NAND plus `length - 1` buffers), so
+/// each ring oscillates with period `2 * length` once its enable rises.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency.
+///
+/// # Panics
+///
+/// Panics if `rings` is 0 or `length < 3` (shorter loops X-lock or race).
+///
+/// # Examples
+///
+/// ```
+/// let fb = parsim_circuits::feedback_chain(4, 16)?;
+/// assert_eq!(fb.taps.len(), 4);
+/// assert_eq!(
+///     parsim_netlist::analyze::feedback_elements(&fb.netlist).len(),
+///     4 * 16
+/// );
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn feedback_chain(rings: usize, length: usize) -> Result<FeedbackChain, BuildError> {
+    assert!(rings >= 1, "at least one ring");
+    assert!(length >= 3, "rings shorter than 3 elements are degenerate");
+    let mut b = Builder::new();
+    let mut taps = Vec::with_capacity(rings);
+    for r in 0..rings {
+        // The enable is 0 until t = 4 + r (forcing the ring out of the
+        // X-lock through the NAND's controlling input), then stays high.
+        let en = b.node(&format!("en{r}"), 1);
+        b.element(
+            &format!("kick{r}"),
+            ElementKind::Pulse {
+                at: 4 + r as u64,
+                width: u64::MAX / 2,
+            },
+            Delay(1),
+            &[],
+            &[en],
+        )?;
+        let head = b.node(&format!("ring{r}_head"), 1);
+        let mut prev = head;
+        for k in 0..length - 1 {
+            let next = b.node(&format!("ring{r}_n{k}"), 1);
+            b.element(
+                &format!("ring{r}_buf{k}"),
+                ElementKind::Buf,
+                Delay(1),
+                &[prev],
+                &[next],
+            )?;
+            prev = next;
+        }
+        b.element(
+            &format!("ring{r}_nand"),
+            ElementKind::Nand,
+            Delay(1),
+            &[en, prev],
+            &[head],
+        )?;
+        taps.push(head);
+    }
+    Ok(FeedbackChain {
+        netlist: b.finish()?,
+        taps,
+        length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::analyze::feedback_elements;
+
+    #[test]
+    fn every_ring_element_is_on_a_feedback_path() {
+        let fb = feedback_chain(3, 8).unwrap();
+        assert_eq!(feedback_elements(&fb.netlist).len(), 3 * 8);
+    }
+
+    #[test]
+    fn ring_sizes() {
+        let fb = feedback_chain(2, 5).unwrap();
+        // 2 kicks + 2 * (4 bufs + 1 nand).
+        assert_eq!(fb.netlist.num_elements(), 2 + 2 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_tiny_rings() {
+        let _ = feedback_chain(1, 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! The functional-level 16-bit multiplier (~100 heterogeneous RTL
+//! elements).
+//!
+//! The paper's functional multiplier has "only about 100 elements, and the
+//! elements have very different evaluation times (there are inverters,
+//! 8-bit adders, and 3-bit multipliers)" (§3.1). This generator rebuilds
+//! the same workload class: the 16-bit operands are sliced into 3-bit
+//! chunks, multiplied pairwise by 36 [`Multiplier`] blocks of width 3,
+//! shifted into place by wiring elements, and accumulated by an adder
+//! tree. Element evaluation costs range from 1 (wiring) to ~18 (wide
+//! adders) inverter-events, reproducing the heterogeneity that makes
+//! static load balancing hard.
+//!
+//! [`Multiplier`]: parsim_logic::ElementKind::Multiplier
+
+use parsim_logic::{Delay, ElementKind, Time, Value};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+
+/// A functional-level multiplier circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct FunctionalMultiplier {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// The 16-bit operand A input node.
+    pub a_input: NodeId,
+    /// The 16-bit operand B input node.
+    pub b_input: NodeId,
+    /// The 32-bit product node.
+    pub product: NodeId,
+    /// The operand schedule driving the inputs.
+    pub operands: Vec<(u64, u64)>,
+    /// Ticks between successive operand pairs.
+    pub period: u64,
+}
+
+impl FunctionalMultiplier {
+    /// The expected 32-bit product for each scheduled operand pair.
+    pub fn expected_products(&self) -> Vec<u64> {
+        self.operands
+            .iter()
+            .map(|&(a, b)| a.wrapping_mul(b) & 0xffff_ffff)
+            .collect()
+    }
+
+    /// The time at which the `k`-th product is guaranteed settled.
+    pub fn sample_time(&self, k: usize) -> Time {
+        Time((k as u64 + 1) * self.period - 1)
+    }
+
+    /// An end time covering the whole schedule once.
+    pub fn schedule_end(&self) -> Time {
+        Time(self.operands.len() as u64 * self.period)
+    }
+}
+
+/// Builds the functional-level 16-bit multiplier fed by the given operand
+/// schedule, one pair every `period` ticks.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency.
+///
+/// # Panics
+///
+/// Panics if the schedule is empty, if any operand exceeds 16 bits, or if
+/// `period < 32` (the settling budget of the adder tree).
+///
+/// # Examples
+///
+/// ```
+/// let m = parsim_circuits::functional_multiplier(&[(40_000, 50_000)], 64)?;
+/// assert_eq!(m.expected_products(), vec![2_000_000_000]);
+/// assert!(m.netlist.num_elements() < 200); // ~100 functional elements
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn functional_multiplier(
+    operands: &[(u64, u64)],
+    period: u64,
+) -> Result<FunctionalMultiplier, BuildError> {
+    assert!(!operands.is_empty(), "operand schedule must be nonempty");
+    assert!(
+        operands.iter().all(|&(a, b)| a <= 0xffff && b <= 0xffff),
+        "operands must fit in 16 bits"
+    );
+    assert!(period >= 32, "period too short for settling");
+
+    let mut b = Builder::new();
+    let a_input = pattern_input(&mut b, "a", operands.iter().map(|&(a, _)| a), period)?;
+    let b_input = pattern_input(&mut b, "b", operands.iter().map(|&(_, v)| v), period)?;
+
+    // Slice both operands into six 3-bit chunks (the top chunk is the
+    // single bit 15, zero-extended).
+    let a_chunks = chunk3(&mut b, "a", a_input)?;
+    let b_chunks = chunk3(&mut b, "b", b_input)?;
+
+    // 36 3-bit multipliers; each 6-bit product is shifted to its weight.
+    let mut terms: Vec<NodeId> = Vec::with_capacity(36);
+    for (i, &ai) in a_chunks.iter().enumerate() {
+        for (j, &bj) in b_chunks.iter().enumerate() {
+            let p = b.fresh(6);
+            b.element(
+                &format!("mul{i}_{j}"),
+                ElementKind::Multiplier { width: 3 },
+                Delay(2),
+                &[ai, bj],
+                &[p],
+            )?;
+            let shifted = b.fresh(32);
+            b.element(
+                &format!("pos{i}_{j}"),
+                ElementKind::Shl {
+                    in_width: 6,
+                    out_width: 32,
+                    amount: (3 * (i + j)) as u8,
+                },
+                Delay(1),
+                &[p],
+                &[shifted],
+            )?;
+            terms.push(shifted);
+        }
+    }
+
+    // Binary adder tree over the 36 positioned terms.
+    let cin = b.node("gnd", 1);
+    b.element(
+        "gnd_drv",
+        ElementKind::Const {
+            value: Value::bit(false),
+        },
+        Delay(1),
+        &[],
+        &[cin],
+    )?;
+    let mut level = 0usize;
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        for (k, pair) in terms.chunks(2).enumerate() {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let sum = b.fresh(32);
+            let cout = b.fresh(1);
+            b.element(
+                &format!("add{level}_{k}"),
+                ElementKind::Adder { width: 32 },
+                Delay(2),
+                &[pair[0], pair[1], cin],
+                &[sum, cout],
+            )?;
+            next.push(sum);
+        }
+        terms = next;
+        level += 1;
+    }
+    let product = terms[0];
+
+    Ok(FunctionalMultiplier {
+        netlist: b.finish()?,
+        a_input,
+        b_input,
+        product,
+        operands: operands.to_vec(),
+        period,
+    })
+}
+
+fn pattern_input(
+    b: &mut Builder,
+    name: &str,
+    schedule: impl Iterator<Item = u64>,
+    period: u64,
+) -> Result<NodeId, BuildError> {
+    let node = b.node(name, 16);
+    let values: Vec<Value> = schedule.map(|v| Value::from_u64(v, 16)).collect();
+    b.element(
+        &format!("{name}gen"),
+        ElementKind::Pattern {
+            period,
+            values: values.into(),
+        },
+        Delay(1),
+        &[],
+        &[node],
+    )?;
+    Ok(node)
+}
+
+/// Slices a 16-bit node into six 3-bit chunks, LSB chunk first.
+fn chunk3(b: &mut Builder, prefix: &str, input: NodeId) -> Result<Vec<NodeId>, BuildError> {
+    let mut chunks = Vec::with_capacity(6);
+    for i in 0..6usize {
+        let lo = (3 * i) as u8;
+        let w = if lo + 3 <= 16 { 3u8 } else { 16 - lo };
+        let raw = b.fresh(w);
+        b.element(
+            &format!("{prefix}_sl{i}"),
+            ElementKind::Slice {
+                in_width: 16,
+                lo,
+                width: w,
+            },
+            Delay(1),
+            &[input],
+            &[raw],
+        )?;
+        let chunk = if w == 3 {
+            raw
+        } else {
+            let ext = b.fresh(3);
+            b.element(
+                &format!("{prefix}_zx{i}"),
+                ElementKind::ZeroExt {
+                    in_width: w,
+                    out_width: 3,
+                },
+                Delay(1),
+                &[raw],
+                &[ext],
+            )?;
+            ext
+        };
+        chunks.push(chunk);
+    }
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn element_mix_matches_paper_scale() {
+        let m = functional_multiplier(&[(1, 2)], 64).unwrap();
+        let stats = NetlistStats::compute(&m.netlist);
+        assert_eq!(stats.kind_counts["mul"], 36, "36 3-bit multipliers");
+        assert_eq!(stats.kind_counts["add"], 35, "adder tree");
+        assert!(
+            stats.num_elements >= 100 && stats.num_elements <= 200,
+            "~100-200 functional elements, got {}",
+            stats.num_elements
+        );
+    }
+
+    #[test]
+    fn costs_are_heterogeneous() {
+        let m = functional_multiplier(&[(1, 2)], 64).unwrap();
+        let costs: Vec<u64> = m
+            .netlist
+            .elements()
+            .iter()
+            .map(|e| e.kind().eval_cost())
+            .collect();
+        let min = *costs.iter().min().unwrap();
+        let max = *costs.iter().max().unwrap();
+        assert!(max >= 10 * min, "cost spread {min}..{max} too flat");
+    }
+
+    #[test]
+    fn no_feedback_and_settles() {
+        let m = functional_multiplier(&[(9, 9)], 64).unwrap();
+        assert!(parsim_netlist::analyze::feedback_elements(&m.netlist).is_empty());
+        let lv = parsim_netlist::analyze::levelize(&m.netlist);
+        // Slice + mul + shl + 6-deep adder tree.
+        assert!(lv.max_level >= 8 && lv.max_level <= 16, "{}", lv.max_level);
+    }
+
+    #[test]
+    fn expected_products_mask_to_32_bits() {
+        let m = functional_multiplier(&[(0xffff, 0xffff)], 64).unwrap();
+        assert_eq!(m.expected_products(), vec![0xfffe_0001]);
+    }
+}

@@ -1,0 +1,283 @@
+//! A functional-level (RTL) microprocessor built from coarse elements.
+//!
+//! The paper's functional level models "entire complex microprocessors"
+//! as single elements with data-dependent execution times (§4). This
+//! generator builds a small accumulator machine out of ~20 functional
+//! elements — registers, an adder, comparators, muxes, and a true
+//! [`Memory`](parsim_logic::ElementKind::Memory) for load/store — the
+//! coarse-grained counterpart of the gate-level
+//! [`pipelined_cpu`](crate::pipelined_cpu).
+//!
+//! Instruction stream (an LFSR-fed pseudo-ROM, as in the gate-level CPU):
+//! the low two bits select the operation applied to the accumulator:
+//!
+//! | op | effect |
+//! |----|--------|
+//! | 00 | `acc += imm` |
+//! | 01 | `acc ^= mem[addr]` |
+//! | 10 | `mem[addr] = acc` |
+//! | 11 | `acc = imm` |
+
+use parsim_logic::{Delay, ElementKind, Value};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+
+/// A functional-level CPU circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct FunctionalCpu {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// The 16-bit accumulator node.
+    pub acc: NodeId,
+    /// The memory read port.
+    pub mem_out: NodeId,
+    /// Clock half-period in ticks.
+    pub half_period: u64,
+}
+
+/// Builds the functional-level CPU.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency.
+///
+/// # Panics
+///
+/// Panics if `half_period < 16` (the functional elements need a few ticks
+/// to settle between edges).
+///
+/// # Examples
+///
+/// ```
+/// let cpu = parsim_circuits::functional_cpu(32)?;
+/// assert!(cpu.netlist.num_elements() < 40); // coarse functional elements
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn functional_cpu(half_period: u64) -> Result<FunctionalCpu, BuildError> {
+    assert!(half_period >= 16, "half_period too short for settling");
+    const W: u8 = 16;
+    let mut b = Builder::new();
+
+    let clk = b.node("clk", 1);
+    b.element(
+        "clkgen",
+        ElementKind::Clock {
+            half_period,
+            offset: half_period,
+        },
+        Delay(1),
+        &[],
+        &[clk],
+    )?;
+    let rst = b.node("rst", 1);
+    b.element(
+        "porst",
+        ElementKind::Pulse {
+            at: 0,
+            width: half_period / 2,
+        },
+        Delay(1),
+        &[],
+        &[rst],
+    )?;
+
+    // Pseudo instruction stream, one word per clock cycle.
+    let instr = b.node("instr", W);
+    b.element(
+        "rom",
+        ElementKind::Lfsr {
+            width: W,
+            period: 2 * half_period,
+            seed: 0xbeef,
+        },
+        Delay(1),
+        &[],
+        &[instr],
+    )?;
+    // Decode via wiring elements.
+    let op = slice(&mut b, "op", instr, 0, 2)?;
+    let addr = slice(&mut b, "addr", instr, 2, 4)?;
+    let imm_raw = slice(&mut b, "imm", instr, 6, 8)?;
+    let imm = b.node("imm_ext", W);
+    b.element(
+        "imm_zx",
+        ElementKind::ZeroExt {
+            in_width: 8,
+            out_width: W,
+        },
+        Delay(1),
+        &[imm_raw],
+        &[imm],
+    )?;
+
+    // Operation strobes via comparators against constants.
+    let consts: Vec<NodeId> = (0..4u64)
+        .map(|k| {
+            let n = b.node(&format!("k{k}"), 2);
+            b.element(
+                &format!("kgen{k}"),
+                ElementKind::Const {
+                    value: Value::from_u64(k, 2),
+                },
+                Delay(1),
+                &[],
+                &[n],
+            )
+            .map(|_| n)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut is_op = Vec::with_capacity(4);
+    for (k, &c) in consts.iter().enumerate() {
+        let eq = b.node(&format!("is_op{k}"), 1);
+        let lt = b.fresh(1);
+        b.element(
+            &format!("cmp{k}"),
+            ElementKind::Comparator { width: 2 },
+            Delay(1),
+            &[op, c],
+            &[eq, lt],
+        )?;
+        is_op.push(eq);
+    }
+
+    // Accumulator register and datapath. The acc node is allocated first
+    // so the feedback loop can be wired.
+    let acc = b.node("acc", W);
+    let mem_out = b.node("mem_out", W);
+
+    // acc + imm.
+    let zero1 = b.node("gnd", 1);
+    b.element(
+        "gnd_drv",
+        ElementKind::Const {
+            value: Value::bit(false),
+        },
+        Delay(1),
+        &[],
+        &[zero1],
+    )?;
+    let sum = b.node("sum", W);
+    let cout = b.fresh(1);
+    b.element(
+        "alu_add",
+        ElementKind::Adder { width: W },
+        Delay(2),
+        &[acc, imm, zero1],
+        &[sum, cout],
+    )?;
+    // acc ^ mem[addr].
+    let xored = b.node("xored", W);
+    b.element("alu_xor", ElementKind::Xor, Delay(1), &[acc, mem_out], &[xored])?;
+
+    // Next-accumulator mux tree selected by op bits.
+    let op0 = slice(&mut b, "op0", instr, 0, 1)?;
+    let op1 = slice(&mut b, "op1", instr, 1, 1)?;
+    // op: 00 -> sum, 01 -> xored, 10 -> acc (hold during store), 11 -> imm.
+    let lo_pair = b.node("lo_pair", W);
+    b.element(
+        "mux_lo",
+        ElementKind::Mux { width: W },
+        Delay(1),
+        &[op0, sum, xored],
+        &[lo_pair],
+    )?;
+    let hi_pair = b.node("hi_pair", W);
+    b.element(
+        "mux_hi",
+        ElementKind::Mux { width: W },
+        Delay(1),
+        &[op0, acc, imm],
+        &[hi_pair],
+    )?;
+    let acc_next = b.node("acc_next", W);
+    b.element(
+        "mux_top",
+        ElementKind::Mux { width: W },
+        Delay(1),
+        &[op1, lo_pair, hi_pair],
+        &[acc_next],
+    )?;
+    b.element(
+        "acc_reg",
+        ElementKind::DffR { width: W },
+        Delay(1),
+        &[clk, acc_next, rst],
+        &[acc],
+    )?;
+
+    // Data memory: written on op 10, read combinationally every cycle.
+    b.element(
+        "dmem",
+        ElementKind::Memory {
+            addr_bits: 4,
+            width: W,
+        },
+        Delay(2),
+        &[clk, is_op[2], addr, acc],
+        &[mem_out],
+    )?;
+
+    Ok(FunctionalCpu {
+        netlist: b.finish()?,
+        acc,
+        mem_out,
+        half_period,
+    })
+}
+
+fn slice(
+    b: &mut Builder,
+    name: &str,
+    input: NodeId,
+    lo: u8,
+    width: u8,
+) -> Result<NodeId, BuildError> {
+    let out = b.node(name, width);
+    b.element(
+        &format!("{name}_sl"),
+        ElementKind::Slice {
+            in_width: 16,
+            lo,
+            width,
+        },
+        Delay(1),
+        &[input],
+        &[out],
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::analyze::feedback_elements;
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn is_coarse_grained() {
+        let cpu = functional_cpu(32).unwrap();
+        let stats = NetlistStats::compute(&cpu.netlist);
+        assert!(stats.num_elements < 40, "{} elements", stats.num_elements);
+        assert_eq!(stats.kind_counts["mem"], 1);
+        assert!(stats.num_sequential >= 2, "acc register + memory");
+        // Heterogeneous costs: memory is the most expensive element.
+        let max = cpu
+            .netlist
+            .elements()
+            .iter()
+            .map(|e| e.kind().eval_cost())
+            .max()
+            .unwrap();
+        let mem = cpu.netlist.element_by_name("dmem").unwrap();
+        assert_eq!(cpu.netlist.element(mem).kind().eval_cost(), max);
+    }
+
+    #[test]
+    fn accumulator_sits_on_feedback() {
+        let cpu = functional_cpu(32).unwrap();
+        let fb = feedback_elements(&cpu.netlist);
+        let acc_reg = cpu.netlist.element_by_name("acc_reg").unwrap();
+        assert!(fb.contains(&acc_reg));
+        let dmem = cpu.netlist.element_by_name("dmem").unwrap();
+        assert!(fb.contains(&dmem), "memory participates in the loop");
+    }
+}

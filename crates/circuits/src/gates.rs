@@ -1,0 +1,330 @@
+//! Composite gate-level building blocks.
+//!
+//! All helpers instantiate only primitive gates (NAND-heavy, the way
+//! 1980s standard-cell netlists looked) with unit delay, on 1-bit nodes.
+//! Names are derived from a caller-supplied prefix, so callers must keep
+//! prefixes unique per instantiation.
+
+use parsim_logic::{Delay, ElementKind, Value};
+use parsim_netlist::{BuildError, Builder, NodeId};
+
+/// The unit gate delay used throughout the gate-level circuits.
+pub const GATE_DELAY: Delay = Delay(1);
+
+/// Creates `width` fresh 1-bit nodes named `prefix0..prefix{width-1}`
+/// (LSB first).
+pub fn bus(b: &mut Builder, prefix: &str, width: usize) -> Vec<NodeId> {
+    (0..width)
+        .map(|i| b.node(&format!("{prefix}{i}"), 1))
+        .collect()
+}
+
+/// Instantiates a 2-input NAND, returning its output node.
+pub fn nand2(
+    b: &mut Builder,
+    name: &str,
+    a: NodeId,
+    c: NodeId,
+) -> Result<NodeId, BuildError> {
+    let y = b.fresh(1);
+    b.element(name, ElementKind::Nand, GATE_DELAY, &[a, c], &[y])?;
+    Ok(y)
+}
+
+/// XOR built from four NANDs (the classic 4-gate realization).
+pub fn xor2(
+    b: &mut Builder,
+    prefix: &str,
+    a: NodeId,
+    c: NodeId,
+) -> Result<NodeId, BuildError> {
+    let n1 = nand2(b, &format!("{prefix}_n1"), a, c)?;
+    let n2 = nand2(b, &format!("{prefix}_n2"), a, n1)?;
+    let n3 = nand2(b, &format!("{prefix}_n3"), c, n1)?;
+    nand2(b, &format!("{prefix}_n4"), n2, n3)
+}
+
+/// Half adder: returns `(sum, carry)`. 4 NANDs for the XOR plus an AND.
+pub fn half_adder(
+    b: &mut Builder,
+    prefix: &str,
+    a: NodeId,
+    c: NodeId,
+) -> Result<(NodeId, NodeId), BuildError> {
+    let sum = xor2(b, &format!("{prefix}_x"), a, c)?;
+    let carry = b.fresh(1);
+    b.element(
+        &format!("{prefix}_and"),
+        ElementKind::And,
+        GATE_DELAY,
+        &[a, c],
+        &[carry],
+    )?;
+    Ok((sum, carry))
+}
+
+/// The classic 9-NAND full adder: returns `(sum, cout)`.
+pub fn full_adder(
+    b: &mut Builder,
+    prefix: &str,
+    a: NodeId,
+    c: NodeId,
+    cin: NodeId,
+) -> Result<(NodeId, NodeId), BuildError> {
+    let n1 = nand2(b, &format!("{prefix}_n1"), a, c)?;
+    let n2 = nand2(b, &format!("{prefix}_n2"), a, n1)?;
+    let n3 = nand2(b, &format!("{prefix}_n3"), c, n1)?;
+    let s1 = nand2(b, &format!("{prefix}_n4"), n2, n3)?; // a ^ c
+    let n4 = nand2(b, &format!("{prefix}_n5"), s1, cin)?;
+    let n5 = nand2(b, &format!("{prefix}_n6"), s1, n4)?;
+    let n6 = nand2(b, &format!("{prefix}_n7"), cin, n4)?;
+    let sum = nand2(b, &format!("{prefix}_n8"), n5, n6)?;
+    let cout = nand2(b, &format!("{prefix}_n9"), n4, n1)?;
+    Ok((sum, cout))
+}
+
+/// Ripple-carry adder over bit vectors (LSB first): returns `(sum bits,
+/// carry out)`.
+///
+/// # Panics
+///
+/// Panics if the operand vectors differ in length or are empty.
+pub fn ripple_adder(
+    b: &mut Builder,
+    prefix: &str,
+    a: &[NodeId],
+    c: &[NodeId],
+    cin: NodeId,
+) -> Result<(Vec<NodeId>, NodeId), BuildError> {
+    assert_eq!(a.len(), c.len(), "operand widths differ");
+    assert!(!a.is_empty(), "empty operands");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (i, (&ai, &ci)) in a.iter().zip(c).enumerate() {
+        let (s, co) = full_adder(b, &format!("{prefix}_fa{i}"), ai, ci, carry)?;
+        sum.push(s);
+        carry = co;
+    }
+    Ok((sum, carry))
+}
+
+/// 2:1 mux from primitive gates: `y = sel ? b : a`. 4 gates.
+pub fn mux2(
+    b: &mut Builder,
+    prefix: &str,
+    sel: NodeId,
+    a: NodeId,
+    c: NodeId,
+) -> Result<NodeId, BuildError> {
+    let nsel = b.fresh(1);
+    b.element(
+        &format!("{prefix}_inv"),
+        ElementKind::Not,
+        GATE_DELAY,
+        &[sel],
+        &[nsel],
+    )?;
+    let t1 = b.fresh(1);
+    b.element(
+        &format!("{prefix}_a0"),
+        ElementKind::And,
+        GATE_DELAY,
+        &[a, nsel],
+        &[t1],
+    )?;
+    let t2 = b.fresh(1);
+    b.element(
+        &format!("{prefix}_a1"),
+        ElementKind::And,
+        GATE_DELAY,
+        &[c, sel],
+        &[t2],
+    )?;
+    let y = b.fresh(1);
+    b.element(
+        &format!("{prefix}_or"),
+        ElementKind::Or,
+        GATE_DELAY,
+        &[t1, t2],
+        &[y],
+    )?;
+    Ok(y)
+}
+
+/// Per-bit 2:1 mux over buses.
+///
+/// # Panics
+///
+/// Panics if the bus widths differ.
+pub fn mux2_bus(
+    b: &mut Builder,
+    prefix: &str,
+    sel: NodeId,
+    a: &[NodeId],
+    c: &[NodeId],
+) -> Result<Vec<NodeId>, BuildError> {
+    assert_eq!(a.len(), c.len(), "bus widths differ");
+    a.iter()
+        .zip(c)
+        .enumerate()
+        .map(|(i, (&ai, &ci))| mux2(b, &format!("{prefix}_b{i}"), sel, ai, ci))
+        .collect()
+}
+
+/// A register: one rising-edge DFF per bit, all sharing `clk`.
+pub fn register(
+    b: &mut Builder,
+    prefix: &str,
+    clk: NodeId,
+    d: &[NodeId],
+) -> Result<Vec<NodeId>, BuildError> {
+    d.iter()
+        .enumerate()
+        .map(|(i, &di)| {
+            let q = b.node(&format!("{prefix}_q{i}"), 1);
+            b.element(
+                &format!("{prefix}_ff{i}"),
+                ElementKind::Dff { width: 1 },
+                GATE_DELAY,
+                &[clk, di],
+                &[q],
+            )?;
+            Ok(q)
+        })
+        .collect()
+}
+
+/// A resettable register: one rising-edge DFF with asynchronous reset per
+/// bit, all sharing `clk` and `rst`. Resets to all-zeros, which is what
+/// breaks the power-on X-lock in sequential circuits.
+pub fn register_r(
+    b: &mut Builder,
+    prefix: &str,
+    clk: NodeId,
+    rst: NodeId,
+    d: &[NodeId],
+) -> Result<Vec<NodeId>, BuildError> {
+    d.iter()
+        .enumerate()
+        .map(|(i, &di)| {
+            let q = b.node(&format!("{prefix}_q{i}"), 1);
+            b.element(
+                &format!("{prefix}_ff{i}"),
+                ElementKind::DffR { width: 1 },
+                GATE_DELAY,
+                &[clk, di, rst],
+                &[q],
+            )?;
+            Ok(q)
+        })
+        .collect()
+}
+
+/// A one-hot decoder over `sel` (LSB first): returns `2^sel.len()` outputs.
+pub fn decoder(
+    b: &mut Builder,
+    prefix: &str,
+    sel: &[NodeId],
+) -> Result<Vec<NodeId>, BuildError> {
+    let n = sel.len();
+    // Inverted selects.
+    let mut nsel = Vec::with_capacity(n);
+    for (i, &s) in sel.iter().enumerate() {
+        let ns = b.fresh(1);
+        b.element(
+            &format!("{prefix}_inv{i}"),
+            ElementKind::Not,
+            GATE_DELAY,
+            &[s],
+            &[ns],
+        )?;
+        nsel.push(ns);
+    }
+    let mut outs = Vec::with_capacity(1 << n);
+    for code in 0..(1usize << n) {
+        let terms: Vec<NodeId> = (0..n)
+            .map(|bit| {
+                if code & (1 << bit) != 0 {
+                    sel[bit]
+                } else {
+                    nsel[bit]
+                }
+            })
+            .collect();
+        let y = b.fresh(1);
+        b.element(
+            &format!("{prefix}_and{code}"),
+            ElementKind::And,
+            GATE_DELAY,
+            &terms,
+            &[y],
+        )?;
+        outs.push(y);
+    }
+    Ok(outs)
+}
+
+/// A constant-driver node holding the given bit.
+pub fn const_bit(b: &mut Builder, name: &str, value: bool) -> Result<NodeId, BuildError> {
+    let n = b.node(name, 1);
+    b.element(
+        &format!("{name}_drv"),
+        ElementKind::Const {
+            value: Value::bit(value),
+        },
+        Delay(1),
+        &[],
+        &[n],
+    )?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn full_adder_is_nine_gates() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let c = b.node("c", 1);
+        let cin = b.node("cin", 1);
+        full_adder(&mut b, "fa", a, c, cin).unwrap();
+        let n = b.finish().unwrap();
+        let stats = NetlistStats::compute(&n);
+        assert_eq!(stats.kind_counts["nand"], 9);
+        assert_eq!(stats.num_elements, 9);
+    }
+
+    #[test]
+    fn ripple_adder_size_scales() {
+        let mut b = Builder::new();
+        let a = bus(&mut b, "a", 8);
+        let c = bus(&mut b, "c", 8);
+        let cin = const_bit(&mut b, "cin", false).unwrap();
+        let (sum, _) = ripple_adder(&mut b, "add", &a, &c, cin).unwrap();
+        assert_eq!(sum.len(), 8);
+        let n = b.finish().unwrap();
+        assert_eq!(NetlistStats::compute(&n).kind_counts["nand"], 72);
+    }
+
+    #[test]
+    fn decoder_output_count() {
+        let mut b = Builder::new();
+        let sel = bus(&mut b, "s", 3);
+        let outs = decoder(&mut b, "dec", &sel).unwrap();
+        assert_eq!(outs.len(), 8);
+    }
+
+    #[test]
+    fn register_builds_one_dff_per_bit() {
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        let d = bus(&mut b, "d", 5);
+        let q = register(&mut b, "r", clk, &d).unwrap();
+        assert_eq!(q.len(), 5);
+        let n = b.finish().unwrap();
+        assert_eq!(NetlistStats::compute(&n).kind_counts["dff"], 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's control circuit: a rectangular array of inverter chains.
+//!
+//! §2.1: "a 32x16 array of inverters as a control circuit ... The number
+//! of events can be easily controlled by how often the inputs to the array
+//! are toggled." Each of `cols` columns is a chain of `depth` unit-delay
+//! inverters whose head is driven by a clock toggling every
+//! `toggle_period` ticks. Once the pipeline of chains fills, every tick
+//! carries `cols * depth / toggle_period` events — the knob behind the
+//! paper's Fig. 2 sweep (512/256/128/64 events per tick come from toggle
+//! periods 1/2/4/8 on the 32×16 array).
+
+use parsim_logic::{Delay, ElementKind};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+
+use crate::gates::GATE_DELAY;
+
+/// An inverter-array circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct InverterArray {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// The column input nodes (driven by clocks).
+    pub inputs: Vec<NodeId>,
+    /// The final inverter output of each column.
+    pub taps: Vec<NodeId>,
+    /// The toggle period the inputs were built with.
+    pub toggle_period: u64,
+    /// Chain depth per column.
+    pub depth: usize,
+}
+
+impl InverterArray {
+    /// Expected steady-state events per tick:
+    /// `cols * depth / toggle_period` — the paper's Fig. 2 event-density
+    /// knob.
+    pub fn events_per_tick(&self) -> f64 {
+        (self.inputs.len() * self.depth) as f64 / self.toggle_period as f64
+    }
+}
+
+/// Builds a `cols` × `depth` inverter array with inputs toggling every
+/// `toggle_period` ticks.
+///
+/// Column inputs are staggered by one tick each so events spread across
+/// time steps the way independent stimulus would.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency (the generator
+/// always produces valid circuits for valid parameters).
+///
+/// # Panics
+///
+/// Panics if `cols`, `depth`, or `toggle_period` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let arr = parsim_circuits::inverter_array(32, 16, 1)?;
+/// assert_eq!(arr.netlist.num_elements(), 32 * 16 + 32); // inverters + clocks
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn inverter_array(
+    cols: usize,
+    depth: usize,
+    toggle_period: u64,
+) -> Result<InverterArray, BuildError> {
+    assert!(cols > 0 && depth > 0, "array dimensions must be nonzero");
+    assert!(toggle_period > 0, "toggle period must be nonzero");
+    let mut b = Builder::new();
+    let mut inputs = Vec::with_capacity(cols);
+    let mut taps = Vec::with_capacity(cols);
+    for col in 0..cols {
+        let head = b.node(&format!("in{col}"), 1);
+        b.element(
+            &format!("clk{col}"),
+            ElementKind::Clock {
+                half_period: toggle_period,
+                // Stagger column phases so activity is spread over ticks.
+                offset: 1 + (col as u64 % toggle_period),
+            },
+            Delay(1),
+            &[],
+            &[head],
+        )?;
+        inputs.push(head);
+        let mut prev = head;
+        for row in 0..depth {
+            let out = b.node(&format!("c{col}r{row}"), 1);
+            b.element(
+                &format!("inv{col}_{row}"),
+                ElementKind::Not,
+                GATE_DELAY,
+                &[prev],
+                &[out],
+            )?;
+            prev = out;
+        }
+        taps.push(prev);
+    }
+    Ok(InverterArray {
+        netlist: b.finish()?,
+        inputs,
+        taps,
+        toggle_period,
+        depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::analyze::{feedback_elements, levelize};
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn paper_dimensions() {
+        let arr = inverter_array(32, 16, 1).unwrap();
+        let stats = NetlistStats::compute(&arr.netlist);
+        assert_eq!(stats.kind_counts["not"], 512);
+        assert_eq!(stats.kind_counts["clock"], 32);
+        assert_eq!(arr.inputs.len(), 32);
+        assert_eq!(arr.taps.len(), 32);
+    }
+
+    #[test]
+    fn chains_have_expected_depth() {
+        let arr = inverter_array(4, 16, 2).unwrap();
+        let lv = levelize(&arr.netlist);
+        assert_eq!(lv.max_level, 16);
+        assert!(lv.cyclic.is_empty());
+        assert!(feedback_elements(&arr.netlist).is_empty());
+    }
+
+    #[test]
+    fn inputs_are_clock_driven() {
+        let arr = inverter_array(3, 2, 4).unwrap();
+        for &input in &arr.inputs {
+            let (drv, _) = arr.netlist.node(input).driver().unwrap();
+            assert!(arr.netlist.element(drv).kind().is_generator());
+        }
+    }
+}

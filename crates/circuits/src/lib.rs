@@ -1,0 +1,38 @@
+//! The paper's benchmark circuits, generated structurally.
+//!
+//! Soule & Blank evaluate their three parallel algorithms on four circuits
+//! (§2.1, §3.1, §4.1):
+//!
+//! | Paper circuit | Generator here |
+//! |---|---|
+//! | 32×16 array of inverters (control circuit) | [`inverter_array()`] |
+//! | 16-bit multiplier, ~5000 gate-level elements | [`gate_multiplier`] |
+//! | 16-bit multiplier, ~100 functional elements (3-bit multipliers, adders, wiring) | [`functional_multiplier`] |
+//! | Pipelined microprocessor, ~3000 non-memory gates | [`pipelined_cpu`] |
+//!
+//! Each generator returns the netlist together with the probe nodes an
+//! experiment needs (product bits, pipeline registers, array taps). Two
+//! further generators cover the paper's §6 future-work circuits: long
+//! [`feedback`] chains (the asynchronous algorithm's worst case) and
+//! [`bus`]-structured circuits with tristate drivers. The [`random`]
+//! module generates random well-formed circuits for cross-engine
+//! property testing.
+
+pub mod bus;
+pub mod cpu;
+pub mod feedback;
+pub mod functional;
+pub mod functional_cpu;
+pub mod gates;
+pub mod inverter_array;
+pub mod multiplier;
+pub mod random;
+
+pub use bus::{shared_bus, SharedBus};
+pub use cpu::{pipelined_cpu, PipelinedCpu};
+pub use feedback::{feedback_chain, FeedbackChain};
+pub use functional::{functional_multiplier, FunctionalMultiplier};
+pub use functional_cpu::{functional_cpu, FunctionalCpu};
+pub use inverter_array::{inverter_array, InverterArray};
+pub use multiplier::{gate_multiplier, GateMultiplier};
+pub use random::{random_circuit, RandomCircuitParams};

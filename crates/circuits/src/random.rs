@@ -1,0 +1,243 @@
+//! Random well-formed circuits for cross-engine property testing.
+//!
+//! The generated circuits are always valid netlists: combinational
+//! elements only consume nodes created before them (no combinational
+//! cycles), while flip-flop data inputs may reach forward, creating
+//! sequential feedback loops — the circuit family the paper's §4 calls out
+//! as the asynchronous algorithm's worst case. A third of the
+//! combinational elements get asymmetric rise/fall delays, stressing the
+//! monotone-transport rule in every engine.
+
+use parsim_logic::{Delay, ElementKind};
+use parsim_netlist::{BuildError, Builder, Netlist, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_circuit`].
+#[derive(Debug, Clone)]
+pub struct RandomCircuitParams {
+    /// Number of logic/sequential elements (excluding input generators).
+    pub elements: usize,
+    /// Number of generator-driven primary inputs.
+    pub inputs: usize,
+    /// Fraction of elements that are flip-flops, in `0.0..=1.0`.
+    pub seq_fraction: f64,
+    /// Maximum delay assigned to any element (delays are uniform in
+    /// `1..=max_delay`).
+    pub max_delay: u64,
+    /// RNG seed; equal seeds produce identical circuits.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitParams {
+    fn default() -> Self {
+        RandomCircuitParams {
+            elements: 100,
+            inputs: 8,
+            seq_fraction: 0.15,
+            max_delay: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated random circuit plus its probe points.
+#[derive(Debug, Clone)]
+pub struct RandomCircuit {
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Nodes worth watching (all element outputs).
+    pub watch: Vec<NodeId>,
+}
+
+/// Generates a random, always-valid circuit.
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] only on internal inconsistency.
+///
+/// # Panics
+///
+/// Panics if `elements` or `inputs` is zero, or `max_delay` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_circuits::{random_circuit, RandomCircuitParams};
+///
+/// let params = RandomCircuitParams { elements: 50, seed: 7, ..Default::default() };
+/// let a = random_circuit(&params)?;
+/// let b = random_circuit(&params)?;
+/// assert_eq!(a.netlist.to_text(), b.netlist.to_text()); // deterministic
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn random_circuit(params: &RandomCircuitParams) -> Result<RandomCircuit, BuildError> {
+    assert!(params.elements > 0, "need at least one element");
+    assert!(params.inputs > 0, "need at least one input");
+    assert!(params.max_delay > 0, "max delay must be nonzero");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut b = Builder::new();
+
+    // A clock for the flip-flops plus generator-driven inputs.
+    let clk = b.node("clk", 1);
+    b.element(
+        "clkgen",
+        ElementKind::Clock {
+            half_period: 4,
+            offset: 4,
+        },
+        Delay(1),
+        &[],
+        &[clk],
+    )?;
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..params.inputs {
+        let n = b.node(&format!("in{i}"), 1);
+        let kind = match rng.gen_range(0..3u8) {
+            0 => ElementKind::Clock {
+                half_period: rng.gen_range(1..=6),
+                offset: rng.gen_range(0..6),
+            },
+            1 => ElementKind::Lfsr {
+                width: 1,
+                period: rng.gen_range(1..=5),
+                seed: rng.gen(),
+            },
+            _ => ElementKind::Pulse {
+                at: rng.gen_range(0..40),
+                width: rng.gen_range(1..20),
+            },
+        };
+        b.element(&format!("gen{i}"), kind, Delay(1), &[], &[n])?;
+        pool.push(n);
+    }
+
+    // Pre-create all element output nodes so flip-flops can reach forward.
+    let outs: Vec<NodeId> = (0..params.elements)
+        .map(|i| b.node(&format!("n{i}"), 1))
+        .collect();
+
+    for (i, &out) in outs.iter().enumerate() {
+        let delay = Delay(rng.gen_range(1..=params.max_delay));
+        let is_ff = rng.gen_bool(params.seq_fraction);
+        if is_ff {
+            // d may come from anywhere, including later outputs (feedback).
+            let all: usize = pool.len() + outs.len();
+            let pick = rng.gen_range(0..all);
+            let d = if pick < pool.len() {
+                pool[pick]
+            } else {
+                outs[pick - pool.len()]
+            };
+            b.element(
+                &format!("e{i}"),
+                ElementKind::Dff { width: 1 },
+                delay,
+                &[clk, d],
+                &[out],
+            )?;
+        } else {
+            // Combinational: inputs strictly from earlier nodes.
+            let avail = pool.len() + i;
+            let pick = |rng: &mut SmallRng| {
+                let k = rng.gen_range(0..avail);
+                if k < pool.len() {
+                    pool[k]
+                } else {
+                    outs[k - pool.len()]
+                }
+            };
+            let kind = match rng.gen_range(0..8u8) {
+                0 => ElementKind::And,
+                1 => ElementKind::Or,
+                2 => ElementKind::Nand,
+                3 => ElementKind::Nor,
+                4 => ElementKind::Xor,
+                5 => ElementKind::Xnor,
+                6 => ElementKind::Not,
+                _ => ElementKind::Buf,
+            };
+            let arity = match kind {
+                ElementKind::Not | ElementKind::Buf => 1,
+                _ => rng.gen_range(2..=3usize),
+            };
+            let inputs: Vec<NodeId> = (0..arity).map(|_| pick(&mut rng)).collect();
+            if rng.gen_bool(0.3) {
+                // Asymmetric rise/fall pair, exercising the monotone
+                // transport rule across every engine.
+                let fall = Delay(rng.gen_range(1..=params.max_delay));
+                b.element_with_delays(&format!("e{i}"), kind, delay, fall, &inputs, &[out])?;
+            } else {
+                b.element(&format!("e{i}"), kind, delay, &inputs, &[out])?;
+            }
+        }
+    }
+
+    Ok(RandomCircuit {
+        netlist: b.finish()?,
+        watch: outs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::analyze::levelize;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let p = RandomCircuitParams {
+            elements: 80,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = random_circuit(&p).unwrap();
+        let b = random_circuit(&p).unwrap();
+        assert_eq!(a.netlist.to_text(), b.netlist.to_text());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(&RandomCircuitParams {
+            seed: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = random_circuit(&RandomCircuitParams {
+            seed: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_ne!(a.netlist.to_text(), b.netlist.to_text());
+    }
+
+    #[test]
+    fn never_creates_combinational_cycles() {
+        for seed in 0..20 {
+            let c = random_circuit(&RandomCircuitParams {
+                elements: 120,
+                seq_fraction: 0.3,
+                seed,
+                ..Default::default()
+            })
+            .unwrap();
+            assert!(
+                levelize(&c.netlist).cyclic.is_empty(),
+                "combinational cycle at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_combinational_variant() {
+        let c = random_circuit(&RandomCircuitParams {
+            elements: 60,
+            seq_fraction: 0.0,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let stats = parsim_netlist::NetlistStats::compute(&c.netlist);
+        assert_eq!(stats.num_sequential, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property: gate-level random circuits survive the ISCAS `.bench`
+//! writer/reader round trip structurally.
+
+use parsim_circuits::{random_circuit, RandomCircuitParams};
+use parsim_netlist::bench_fmt::{from_bench, to_bench, BenchOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bench_round_trip_preserves_structure(
+        elements in 1usize..80,
+        seq_quarters in 0u64..3,
+        seed in any::<u64>(),
+    ) {
+        let c = random_circuit(&RandomCircuitParams {
+            elements,
+            inputs: 4,
+            seq_fraction: seq_quarters as f64 * 0.25,
+            max_delay: 1,
+            seed,
+        })
+        .unwrap();
+        let text = to_bench(&c.netlist)
+            .map_err(|e| TestCaseError::fail(format!("to_bench: {e}")))?;
+        let opts = BenchOptions {
+            input_period: None,
+            ..Default::default()
+        };
+        let parsed = from_bench(&text, &opts)
+            .map_err(|e| TestCaseError::fail(format!("from_bench: {e}")))?;
+
+        // Gate population is preserved exactly (generators become inputs;
+        // a clock node may be added for DFFs).
+        let count = |n: &parsim_netlist::Netlist, mn: &str| {
+            n.elements().iter().filter(|e| e.kind().mnemonic() == mn).count()
+        };
+        for mnemonic in ["and", "nand", "or", "nor", "xor", "xnor", "not", "buf", "dff"] {
+            prop_assert_eq!(
+                count(&c.netlist, mnemonic),
+                count(&parsed.netlist, mnemonic),
+                "{} count differs (seed {})",
+                mnemonic,
+                seed
+            );
+        }
+        // Every original element output node exists with the same fan-in
+        // name multiset.
+        for (_, e) in c.netlist.iter_elements() {
+            if e.kind().is_generator() {
+                continue;
+            }
+            let out_name = c.netlist.node(e.outputs()[0]).name();
+            let parsed_id = parsed
+                .netlist
+                .node_by_name(out_name)
+                .ok_or_else(|| TestCaseError::fail(format!("node {out_name} lost")))?;
+            let (drv, _) = parsed.netlist.node(parsed_id).driver().expect("driven");
+            let parsed_elem = parsed.netlist.element(drv);
+            let orig_inputs: Vec<&str> = e
+                .inputs()
+                .iter()
+                .map(|&n| c.netlist.node(n).name())
+                .filter(|n| *n != "clk")
+                .collect();
+            let parsed_inputs: Vec<&str> = parsed_elem
+                .inputs()
+                .iter()
+                .map(|&n| parsed.netlist.node(n).name())
+                .filter(|n| !n.starts_with("__bench_clk"))
+                .collect();
+            prop_assert_eq!(orig_inputs, parsed_inputs, "fan-in of {} (seed {})", out_name, seed);
+        }
+    }
+}

@@ -1,0 +1,913 @@
+//! The asynchronous ("semi-chaotic") lock-free engine — the paper's
+//! headline contribution (§4).
+//!
+//! "Here 'asynchronous' means that the processors never have to wait for
+//! any of the other processors — there are no synchronization locks or
+//! barriers." The algorithm processes the circuit *by elements* rather
+//! than by time steps:
+//!
+//! 1. **Initialization**: generator and constant nodes are evaluated for
+//!    all time (their full event schedules are appended and their valid
+//!    times set to the end of simulation).
+//! 2. Each processor independently: atomically removes an element from
+//!    the distributed activation grid, replays as much of its input
+//!    behavior as the inputs' *valid times* allow (batching many events
+//!    per activation), appends the resulting output events, extends the
+//!    outputs' valid times, and stimulates fan-out elements at most once
+//!    (the [`ActivationState`] machine).
+//!
+//! Valid times are updated *incrementally*, so the Chandy–Misra deadlock
+//! never arises; storage for consumed events is reclaimed concurrently
+//! ("this garbage collection may also be done asynchronously"); and the
+//! controlling-value lookahead extends an AND/OR gate's output validity
+//! past unknown inputs, exactly as the paper's example ("if e2 is an AND
+//! gate and node 2 is 0 from time 0 until time 25 ... any events on node 4
+//! between times 0 and 25 can be ignored").
+//!
+//! # Lock-freedom inventory
+//!
+//! - element scheduling: n×n single-reader/single-writer FIFO grid
+//!   ([`parsim_queue::grid()`]);
+//! - per-node behavior: an append-only chunked event list with a single
+//!   writer (the node's driver, exclusive via the activation machine) and
+//!   release/acquire publication;
+//! - valid times: monotone `AtomicU64`s;
+//! - at-most-once stimulation: [`ActivationState`] CAS machine;
+//! - termination: a global pending-work counter;
+//! - garbage collection: per-fanout consumption cursors, chunks freed by
+//!   the (exclusive) writer once every consumer has moved past them.
+//!
+//! No mutex, no barrier, no rollback, anywhere on the hot path.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, ElemState, ElementKind, Time, Value};
+use parsim_netlist::{Netlist, NodeId};
+use parsim_queue::{grid, ActivationState, GridSender};
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, ThreadMetrics};
+use crate::shared::SharedSlice;
+use crate::waveform::SimResult;
+
+/// Per-worker results: recorded waveform changes plus timing counters.
+type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+
+/// Events per behavior-list chunk.
+const CHUNK: usize = 64;
+
+/// One chunk of a node's append-only behavior list.
+struct Chunk {
+    slots: [UnsafeCell<MaybeUninit<(u64, Value)>>; CHUNK],
+    /// Global index of `slots[0]`.
+    base: u64,
+    next: AtomicPtr<Chunk>,
+}
+
+impl Chunk {
+    fn alloc(base: u64) -> *mut Chunk {
+        Box::into_raw(Box::new(Chunk {
+            // SAFETY: an array of MaybeUninit needs no initialization.
+            slots: unsafe { MaybeUninit::uninit().assume_init() },
+            base,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// A node's behavior: its event history plus how far it is known.
+struct NodeState {
+    /// Head chunk (moves forward as GC frees consumed chunks).
+    head: AtomicPtr<Chunk>,
+    /// Writer-owned tail chunk pointer.
+    tail: UnsafeCell<*mut Chunk>,
+    /// Published event count (release store by the writer).
+    len: AtomicU64,
+    /// Behavior is known for every t <= valid_until.
+    valid_until: AtomicU64,
+    /// Per-fanout-entry consumption cursor (global event index).
+    consumed: Box<[AtomicU64]>,
+}
+
+// SAFETY: `tail` is only touched by the node's unique driver, which is
+// exclusive via the activation state machine; everything else is atomic.
+unsafe impl Send for NodeState {}
+unsafe impl Sync for NodeState {}
+
+impl NodeState {
+    fn new(fanouts: usize) -> NodeState {
+        let chunk = Chunk::alloc(0);
+        NodeState {
+            head: AtomicPtr::new(chunk),
+            tail: UnsafeCell::new(chunk),
+            len: AtomicU64::new(0),
+            valid_until: AtomicU64::new(0),
+            consumed: (0..fanouts).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Appends one event. Caller must be the node's (exclusive) writer.
+    ///
+    /// # Safety
+    ///
+    /// Only one thread may call this at a time (activation exclusivity).
+    unsafe fn push(&self, t: u64, v: Value) {
+        let len = self.len.load(Ordering::Relaxed);
+        let mut tail = *self.tail.get();
+        if len - (*tail).base == CHUNK as u64 {
+            let new = Chunk::alloc(len);
+            (*tail).next.store(new, Ordering::Release);
+            *self.tail.get() = new;
+            tail = new;
+        }
+        let idx = (len - (*tail).base) as usize;
+        (*(*tail).slots[idx].get()).write((t, v));
+        self.len.store(len + 1, Ordering::Release);
+    }
+
+    /// Frees chunks every fan-out consumer has fully moved past. Caller
+    /// must be the node's (exclusive) writer.
+    ///
+    /// A chunk `c` is freed only when every consumer's cursor exceeds
+    /// `c.base + CHUNK`, which implies each consumer's chunk pointer has
+    /// advanced beyond `c` (to consume an event of index `>= c.base +
+    /// CHUNK` it must have followed `c.next`). The tail chunk is never
+    /// freed.
+    ///
+    /// # Safety
+    ///
+    /// Only one thread may call this at a time (activation exclusivity).
+    unsafe fn gc(&self) -> u64 {
+        let min_consumed = self
+            .consumed
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or_else(|| self.len.load(Ordering::Relaxed));
+        let mut freed = 0;
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            let next = (*head).next.load(Ordering::Relaxed);
+            if next.is_null() || min_consumed <= (*head).base + CHUNK as u64 {
+                break;
+            }
+            self.head.store(next, Ordering::Relaxed);
+            drop(Box::from_raw(head));
+            freed += 1;
+        }
+        freed
+    }
+}
+
+impl Drop for NodeState {
+    fn drop(&mut self) {
+        // Exclusive access at drop time; free the remaining chain.
+        let mut chunk = *self.head.get_mut();
+        while !chunk.is_null() {
+            // SAFETY: chunks were Box-allocated and unlinked exactly once.
+            let next = unsafe { (*chunk).next.load(Ordering::Relaxed) };
+            // (u64, Value) is Copy: no per-slot drop needed.
+            drop(unsafe { Box::from_raw(chunk) });
+            chunk = next;
+        }
+    }
+}
+
+/// A consumer's position in one node's behavior list.
+struct Cursor {
+    chunk: *mut Chunk,
+    global: u64,
+    /// Value after the last consumed event (all-X before any).
+    value: Value,
+    /// Copy of the next unconsumed event, if already fetched. Never goes
+    /// stale: event lists are append-only and the cursor only advances on
+    /// `consume`. A `None` cache means "list was drained at last check"
+    /// and must be re-fetched (the producer may have appended since). The
+    /// cached event's chunk cannot be reclaimed, because reclamation
+    /// requires every consumer to have *consumed* past the chunk.
+    cached: Option<(u64, Value)>,
+}
+
+// SAFETY: the raw pointer is only dereferenced under the publication
+// protocol (len acquire) by the owning element's exclusive run.
+unsafe impl Send for Cursor {}
+
+impl Cursor {
+    /// Peeks the next unconsumed event, if published. Hits the local
+    /// cache on all but the first call per event.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the element exclusively (activation machine).
+    unsafe fn peek(&mut self, node: &NodeState) -> Option<(u64, Value)> {
+        if self.cached.is_some() {
+            return self.cached;
+        }
+        if self.global >= node.len.load(Ordering::Acquire) {
+            return None;
+        }
+        while self.global >= (*self.chunk).base + CHUNK as u64 {
+            let next = (*self.chunk).next.load(Ordering::Acquire);
+            debug_assert!(!next.is_null(), "published event beyond linked chunks");
+            self.chunk = next;
+        }
+        let idx = (self.global - (*self.chunk).base) as usize;
+        self.cached = Some((*(*self.chunk).slots[idx].get()).assume_init());
+        self.cached
+    }
+
+    /// Consumes the event returned by the last `peek`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the element exclusively and have peeked.
+    unsafe fn consume(&mut self, node: &NodeState) {
+        let (_, v) = match self.cached.take() {
+            Some(ev) => ev,
+            None => self.peek(node).expect("consume without peek"),
+        };
+        self.cached = None;
+        self.value = v;
+        self.global += 1;
+    }
+}
+
+/// Static per-element wiring resolved once at startup.
+struct ElemMeta {
+    kind: ElementKind,
+    rise: Delay,
+    fall: Delay,
+    /// min(rise, fall): the conservative validity increment.
+    delay: u64,
+    /// Per input port: (node index, position in that node's fanout list).
+    inputs: Vec<(u32, u32)>,
+    /// Output node indices.
+    outputs: Vec<u32>,
+    /// Controlling-value lookahead applies (scalar gate with a
+    /// controlling value).
+    lookahead_ok: bool,
+}
+
+/// Mutable per-element run state, exclusive via the activation machine.
+struct ElemRun {
+    cursors: Vec<Cursor>,
+    cur_vals: Vec<Value>,
+    state: ElemState,
+    last_out: Vec<Value>,
+    /// Last appended event time per output port (monotone transport).
+    last_te: Vec<u64>,
+}
+
+/// Everything a worker needs, shared immutably.
+struct Ctx<'a> {
+    netlist: &'a Netlist,
+    nodes: Vec<NodeState>,
+    meta: Vec<ElemMeta>,
+    runs: SharedSlice<ElemRun>,
+    acts: Vec<ActivationState>,
+    pending: AtomicI64,
+    activations: AtomicU64,
+    chunks_freed: AtomicU64,
+    watched: Vec<bool>,
+    end: u64,
+    lookahead: bool,
+    gc: bool,
+}
+
+/// The asynchronous lock-free simulator.
+///
+/// Produces waveforms identical to [`EventDriven`](crate::EventDriven) on
+/// every circuit, at any thread count.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaoticAsync;
+
+impl ChaoticAsync {
+    /// Runs the simulation on `config.threads` worker threads.
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+        let start = Instant::now();
+        let end = config.end_time.ticks();
+        let n_threads = config.threads;
+
+        let mut watched = vec![false; netlist.num_nodes()];
+        for &w in &config.watch {
+            watched[w.index()] = true;
+        }
+
+        // ---- static wiring ------------------------------------------------
+        let mut fanout_pos: Vec<Vec<u32>> = vec![Vec::new(); netlist.num_elements()];
+        for node in netlist.nodes() {
+            for (k, &(elem, port)) in node.fanout().iter().enumerate() {
+                let list = &mut fanout_pos[elem.index()];
+                if list.len() <= port as usize {
+                    list.resize(port as usize + 1, 0);
+                }
+                list[port as usize] = k as u32;
+            }
+        }
+        let meta: Vec<ElemMeta> = netlist
+            .iter_elements()
+            .map(|(id, e)| {
+                let inputs = e
+                    .inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(port, &node)| (node.index() as u32, fanout_pos[id.index()][port]))
+                    .collect();
+                let scalar = e.inputs().iter().all(|&i| netlist.node(i).width() == 1)
+                    && e.outputs().iter().all(|&o| netlist.node(o).width() == 1);
+                ElemMeta {
+                    kind: e.kind().clone(),
+                    rise: e.rise_delay(),
+                    fall: e.fall_delay(),
+                    delay: e.min_delay().ticks(),
+                    inputs,
+                    outputs: e.outputs().iter().map(|&o| o.index() as u32).collect(),
+                    lookahead_ok: scalar && e.kind().controlling().is_some(),
+                }
+            })
+            .collect();
+
+        let nodes: Vec<NodeState> = netlist
+            .nodes()
+            .iter()
+            .map(|nd| NodeState::new(nd.fanout().len()))
+            .collect();
+
+        // ---- initialization (§4 step 1) -----------------------------------
+        // Per-thread change buffers; index 0 doubles as the init buffer.
+        let mut init_changes: Vec<(Time, NodeId, Value)> = Vec::new();
+        let mut events_seed = 0u64;
+        for (i, nd) in netlist.nodes().iter().enumerate() {
+            match nd.driver() {
+                Some((drv, _)) if netlist.element(drv).kind().is_generator() => {
+                    for (t, v) in expand_generator(netlist.element(drv).kind(), Time(end)) {
+                        // SAFETY: pre-spawn exclusive access.
+                        unsafe { nodes[i].push(t.ticks(), v) };
+                        let is_initial_x = t == Time::ZERO && v == Value::x(nd.width());
+                        if !is_initial_x {
+                            events_seed += 1;
+                            if watched[i] {
+                                init_changes.push((t, NodeId::from_index(i), v));
+                            }
+                        }
+                    }
+                    nodes[i].valid_until.store(end, Ordering::Relaxed);
+                }
+                Some(_) => {
+                    // Driven by logic: implicit X at time zero.
+                    unsafe { nodes[i].push(0, Value::x(nd.width())) };
+                }
+                None => {
+                    // Floating: X forever, known for all time.
+                    unsafe { nodes[i].push(0, Value::x(nd.width())) };
+                    nodes[i].valid_until.store(end, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let runs: SharedSlice<ElemRun> = SharedSlice::new(
+            meta.iter()
+                .map(|m| ElemRun {
+                    cursors: m
+                        .inputs
+                        .iter()
+                        .map(|&(node, _)| Cursor {
+                            chunk: nodes[node as usize].head.load(Ordering::Relaxed),
+                            global: 0,
+                            value: Value::x(netlist.nodes()[node as usize].width()),
+                            cached: None,
+                        })
+                        .collect(),
+                    cur_vals: m
+                        .inputs
+                        .iter()
+                        .map(|&(node, _)| Value::x(netlist.nodes()[node as usize].width()))
+                        .collect(),
+                    state: ElemState::init(&m.kind),
+                    last_out: m
+                        .outputs
+                        .iter()
+                        .map(|&o| Value::x(netlist.nodes()[o as usize].width()))
+                        .collect(),
+                    last_te: vec![0; m.outputs.len()],
+                })
+                .collect(),
+        );
+
+        let acts: Vec<ActivationState> = (0..netlist.num_elements())
+            .map(|_| ActivationState::new())
+            .collect();
+
+        let ctx = Ctx {
+            netlist,
+            nodes,
+            meta,
+            runs,
+            acts,
+            pending: AtomicI64::new(0),
+            activations: AtomicU64::new(0),
+            chunks_freed: AtomicU64::new(0),
+            watched,
+            end,
+            lookahead: config.lookahead,
+            gc: config.gc,
+        };
+
+        // Initial activation: every non-generator element (matches the
+        // other engines' time-zero initialization pass).
+        let (mut senders, receivers) = grid::<u32>(n_threads);
+        {
+            // Hash-scatter the initial activations: plain round-robin can
+            // align pathologically with generated-circuit structure (e.g.
+            // every column-head of an inverter array landing on one
+            // processor when the chain depth divides the thread count).
+            for (id, e) in netlist.iter_elements() {
+                if e.kind().is_generator() {
+                    continue;
+                }
+                assert!(ctx.acts[id.index()].try_activate());
+                ctx.pending.fetch_add(1, Ordering::AcqRel);
+                let target =
+                    (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+                senders[(target % n_threads as u64) as usize].send(id.index() as u32);
+            }
+        }
+
+        // ---- workers -------------------------------------------------------
+        let ctx = &ctx;
+        let mut outputs: Vec<WorkerOutput> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = senders
+                .into_iter()
+                .zip(receivers)
+                .map(|(mut tx, mut rx)| {
+                    scope.spawn(move || {
+                        let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                        let mut tm = ThreadMetrics::default();
+                        let mut idle_since: Option<Instant> = None;
+                        loop {
+                            match rx.recv() {
+                                Some(e) => {
+                                    if let Some(t0) = idle_since.take() {
+                                        tm.idle += t0.elapsed();
+                                    }
+                                    let busy = Instant::now();
+                                    let e = e as usize;
+                                    ctx.acts[e].begin_run();
+                                    ctx.activations.fetch_add(1, Ordering::Relaxed);
+                                    // SAFETY: activation machine grants
+                                    // exclusive element access.
+                                    unsafe {
+                                        run_element(ctx, e, &mut tx, &mut changes, &mut tm)
+                                    };
+                                    if ctx.acts[e].finish_run() {
+                                        tx.send(e as u32);
+                                    } else {
+                                        ctx.pending.fetch_sub(1, Ordering::AcqRel);
+                                    }
+                                    tm.busy += busy.elapsed();
+                                }
+                                None => {
+                                    if ctx.pending.load(Ordering::Acquire) == 0 {
+                                        break;
+                                    }
+                                    if idle_since.is_none() {
+                                        idle_since = Some(Instant::now());
+                                    }
+                                    std::hint::spin_loop();
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        (changes, tm)
+                    })
+                })
+                .collect();
+            for h in handles {
+                outputs.push(h.join().expect("async worker panicked"));
+            }
+        });
+
+        let mut changes = init_changes;
+        let mut per_thread = Vec::with_capacity(n_threads);
+        let mut evaluations = 0;
+        let mut events_processed = events_seed;
+        for (c, tm) in outputs {
+            evaluations += tm.evaluations;
+            events_processed += tm.events;
+            changes.extend(c);
+            per_thread.push(tm);
+        }
+        let metrics = Metrics {
+            events_processed,
+            evaluations,
+            activations: ctx.activations.load(Ordering::Relaxed),
+            time_steps: 0,
+            events_per_step: Default::default(),
+            per_thread,
+            gc_chunks_freed: ctx.chunks_freed.load(Ordering::Relaxed),
+            wall: start.elapsed(),
+        };
+        SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics)
+    }
+}
+
+/// Executes one element activation: §4's "get as much of the new output
+/// behavior from the inputs as possible".
+///
+/// # Safety
+///
+/// The caller must hold the element exclusively (activation machine), which
+/// makes `runs[e]`, the output nodes' writer sides, and `last_scheduled`
+/// state single-writer.
+unsafe fn run_element(
+    ctx: &Ctx<'_>,
+    e: usize,
+    tx: &mut GridSender<u32>,
+    changes: &mut Vec<(Time, NodeId, Value)>,
+    tm: &mut ThreadMetrics,
+) {
+    let meta = &ctx.meta[e];
+    let run = ctx.runs.get_mut(e);
+    let mut outputs_touched = false;
+    let mut validity_extended = false;
+    // First-touch pipelining: wake each output's fan-out once, as soon as
+    // the first event of this run lands, so consumers overlap with the
+    // rest of the batch; the end-of-run activation catches anything
+    // appended after a consumer drained and went idle again.
+    let mut woken = [false; 2];
+
+    // The minimum time through which *all* inputs are known.
+    let min_valid = meta
+        .inputs
+        .iter()
+        .map(|&(node, _)| ctx.nodes[node as usize].valid_until.load(Ordering::Acquire))
+        .min()
+        .unwrap_or(ctx.end);
+
+    // ---- replay every input event at or before min_valid ------------------
+    loop {
+        let mut t_next = u64::MAX;
+        for (i, &(node, _)) in meta.inputs.iter().enumerate() {
+            if let Some((t, _)) = run.cursors[i].peek(&ctx.nodes[node as usize]) {
+                if t <= min_valid && t < t_next {
+                    t_next = t;
+                }
+            }
+        }
+        if t_next == u64::MAX {
+            break;
+        }
+        // Advance every input through time t_next.
+        for (i, &(node, _)) in meta.inputs.iter().enumerate() {
+            let node = &ctx.nodes[node as usize];
+            while let Some((t, _)) = run.cursors[i].peek(node) {
+                if t > t_next {
+                    break;
+                }
+                run.cursors[i].consume(node);
+            }
+            run.cur_vals[i] = run.cursors[i].value;
+        }
+        let out = evaluate(&meta.kind, &run.cur_vals, &mut run.state);
+        tm.evaluations += 1;
+        // Inputs are known through t_next, so every output is now known
+        // through t_next + delay — publish that *immediately* so fan-out
+        // elements running concurrently can consume this run's events
+        // while it is still producing. This is the paper's pipelining:
+        // "one processor may be evaluating an element producing events and
+        // another processor can be evaluating one of the elements on the
+        // fan-out of that element."
+        let known_through = (t_next + meta.delay).min(ctx.end);
+        for (port, v) in out.iter() {
+            let out_node = meta.outputs[port] as usize;
+            let changed = run.last_out[port] != v;
+            if changed {
+                let td = transition_delay(&run.last_out[port], &v, meta.rise, meta.fall);
+                // Monotone transport (see Builder::element_with_delays).
+                let te = (t_next + td.ticks()).max(run.last_te[port] + 1);
+                if te <= ctx.end {
+                    // Only a kept event updates the last-value tracking
+                    // (a drop beyond the horizon must not, or a flip-back
+                    // would duplicate the kept value on the node).
+                    run.last_out[port] = v;
+                    run.last_te[port] = te;
+                    ctx.nodes[out_node].push(te, v);
+                    tm.events += 1;
+                    if ctx.watched[out_node] {
+                        changes.push((Time(te), NodeId::from_index(out_node), v));
+                    }
+                    outputs_touched = true;
+                }
+            }
+            let vu = &ctx.nodes[out_node].valid_until;
+            if vu.load(Ordering::Relaxed) < known_through {
+                vu.store(known_through, Ordering::Release);
+                validity_extended = true;
+            }
+            if changed && !woken[port] {
+                woken[port] = true;
+                for &(consumer, _) in ctx.netlist.nodes()[out_node].fanout() {
+                    let c = consumer.index();
+                    if ctx.acts[c].try_activate() {
+                        ctx.pending.fetch_add(1, Ordering::AcqRel);
+                        tx.send(c as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- controlling-value lookahead (§4's AND-gate shortcut) -------------
+    let mut effective_valid = min_valid;
+    if ctx.lookahead && meta.lookahead_ok {
+        let ctrl = meta.kind.controlling().expect("lookahead_ok checked");
+        loop {
+            // How long does some input pin the output?
+            let mut pin_end = 0u64;
+            let mut pinned = false;
+            for (i, &(node, _)) in meta.inputs.iter().enumerate() {
+                if bit_of(&run.cur_vals[i]) != Some(ctrl.input) {
+                    continue;
+                }
+                let node = &ctx.nodes[node as usize];
+                let hold_end = match run.cursors[i].peek(node) {
+                    Some((t, _)) => t.saturating_sub(1),
+                    None => node.valid_until.load(Ordering::Acquire),
+                };
+                pin_end = pin_end.max(hold_end);
+                pinned = true;
+            }
+            if !pinned || pin_end <= effective_valid {
+                break;
+            }
+            effective_valid = pin_end;
+            // Skip events the pinned output makes irrelevant; the values
+            // still update so later evaluations start from the right state.
+            let mut consumed_any = false;
+            for (i, &(node, _)) in meta.inputs.iter().enumerate() {
+                let node = &ctx.nodes[node as usize];
+                while let Some((t, _)) = run.cursors[i].peek(node) {
+                    if t > pin_end {
+                        break;
+                    }
+                    run.cursors[i].consume(node);
+                    consumed_any = true;
+                }
+                run.cur_vals[i] = run.cursors[i].value;
+            }
+            if !consumed_any {
+                break;
+            }
+        }
+    }
+
+    // ---- publish consumption cursors (enables GC) --------------------------
+    for (i, &(node, fanout_pos)) in meta.inputs.iter().enumerate() {
+        ctx.nodes[node as usize].consumed[fanout_pos as usize]
+            .store(run.cursors[i].global, Ordering::Release);
+    }
+
+    // ---- extend output valid times (incremental clock values) --------------
+    let out_valid = effective_valid.saturating_add(meta.delay).min(ctx.end);
+    for &out in &meta.outputs {
+        let vu = &ctx.nodes[out as usize].valid_until;
+        if vu.load(Ordering::Relaxed) < out_valid {
+            vu.store(out_valid, Ordering::Release);
+            validity_extended = true;
+        }
+    }
+
+    // ---- stimulate fan-out at most once ------------------------------------
+    if outputs_touched || validity_extended {
+        for &out in &meta.outputs {
+            for &(consumer, _) in ctx.netlist.nodes()[out as usize].fanout() {
+                let c = consumer.index();
+                if ctx.acts[c].try_activate() {
+                    ctx.pending.fetch_add(1, Ordering::AcqRel);
+                    tx.send(c as u32);
+                }
+            }
+        }
+    }
+
+    // ---- asynchronous garbage collection ------------------------------------
+    if ctx.gc {
+        for &out in &meta.outputs {
+            let freed = ctx.nodes[out as usize].gc();
+            if freed > 0 {
+                ctx.chunks_freed.fetch_add(freed, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Extracts a single known bit, if the value is 1-bit and known.
+fn bit_of(v: &Value) -> Option<Bit> {
+    if v.width() != 1 {
+        return None;
+    }
+    match v.bit_at(0) {
+        Bit::Zero => Some(Bit::Zero),
+        Bit::One => Some(Bit::One),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::assert_equivalent;
+    use crate::seq::EventDriven;
+    use parsim_logic::Delay;
+    use parsim_netlist::Builder;
+
+    fn pipeline_circuit() -> (Netlist, Vec<NodeId>) {
+        // gen -> e1 -> e2 <- e3 feedback: the paper's Fig. 4 example shape.
+        let mut b = Builder::new();
+        let n1 = b.node("n1", 1);
+        let n2 = b.node("n2", 1);
+        let n3 = b.node("n3", 1);
+        let n4 = b.node("n4", 1);
+        b.element(
+            "gen",
+            ElementKind::Clock {
+                half_period: 3,
+                offset: 3,
+            },
+            Delay(1),
+            &[],
+            &[n1],
+        )
+        .unwrap();
+        b.element("e1", ElementKind::Not, Delay(1), &[n1], &[n2])
+            .unwrap();
+        b.element("e2", ElementKind::Nand, Delay(2), &[n2, n4], &[n3])
+            .unwrap();
+        b.element("e3", ElementKind::Not, Delay(1), &[n3], &[n4])
+            .unwrap();
+        (b.finish().unwrap(), vec![n1, n2, n3, n4])
+    }
+
+    #[test]
+    fn matches_sequential_on_feedback_circuit() {
+        let (n, watch) = pipeline_circuit();
+        let cfg = SimConfig::new(Time(100)).watch_all(watch);
+        let seq = EventDriven::run(&n, &cfg);
+        for threads in [1, 2, 4] {
+            let a = ChaoticAsync::run(&n, &cfg.clone().threads(threads));
+            assert_equivalent(&seq, &a, &format!("chaotic x{threads}"));
+        }
+    }
+
+    #[test]
+    fn event_counts_match_sequential() {
+        let (n, watch) = pipeline_circuit();
+        let cfg = SimConfig::new(Time(200)).watch_all(watch);
+        let seq = EventDriven::run(&n, &cfg);
+        let a = ChaoticAsync::run(&n, &cfg);
+        assert_eq!(seq.metrics.events_processed, a.metrics.events_processed);
+    }
+
+    #[test]
+    fn lookahead_does_not_change_waveforms() {
+        let (n, watch) = pipeline_circuit();
+        let cfg = SimConfig::new(Time(150)).watch_all(watch).threads(2);
+        let with = ChaoticAsync::run(&n, &cfg);
+        let without = ChaoticAsync::run(&n, &cfg.clone().without_lookahead());
+        assert_equivalent(&with, &without, "lookahead");
+    }
+
+    #[test]
+    fn gc_does_not_change_waveforms_and_frees_chunks() {
+        // A long simulation of a deep chain accumulates many events.
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        b.element(
+            "osc",
+            ElementKind::Clock {
+                half_period: 1,
+                offset: 1,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        let mut prev = clk;
+        let mut watch = vec![clk];
+        for i in 0..8 {
+            let n = b.node(&format!("n{i}"), 1);
+            b.element(&format!("inv{i}"), ElementKind::Not, Delay(1), &[prev], &[n])
+                .unwrap();
+            watch.push(n);
+            prev = n;
+        }
+        let n = b.finish().unwrap();
+        let cfg = SimConfig::new(Time(2000)).watch_all(watch);
+        let seq = EventDriven::run(&n, &cfg);
+        let gc_run = ChaoticAsync::run(&n, &cfg);
+        let no_gc = ChaoticAsync::run(&n, &cfg.clone().without_gc());
+        assert_equivalent(&seq, &gc_run, "gc on");
+        assert_equivalent(&seq, &no_gc, "gc off");
+    }
+
+    #[test]
+    fn deep_batching_on_generator_fed_chain() {
+        // With all inputs valid for all time, each element should process
+        // its whole history in very few activations (§4: "determine the
+        // behavior ... for the entire simulation").
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        b.element(
+            "osc",
+            ElementKind::Clock {
+                half_period: 2,
+                offset: 2,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        let out = b.node("out", 1);
+        b.element("inv", ElementKind::Not, Delay(1), &[clk], &[out])
+            .unwrap();
+        let n = b.finish().unwrap();
+        let cfg = SimConfig::new(Time(10_000)).watch(out);
+        let r = ChaoticAsync::run(&n, &cfg);
+        // ~5000 clock edges, processed in O(1) activations.
+        assert!(r.metrics.evaluations > 4000);
+        assert!(
+            r.metrics.activations < 10,
+            "expected deep batching, got {} activations",
+            r.metrics.activations
+        );
+    }
+
+    #[test]
+    fn wide_functional_elements_match() {
+        let mut b = Builder::new();
+        let a = b.node("a", 8);
+        let c = b.node("c", 8);
+        let cin = b.node("cin", 1);
+        let sum = b.node("sum", 8);
+        let cout = b.node("cout", 1);
+        b.element(
+            "agen",
+            ElementKind::Lfsr {
+                width: 8,
+                period: 7,
+                seed: 3,
+            },
+            Delay(1),
+            &[],
+            &[a],
+        )
+        .unwrap();
+        b.element(
+            "bgen",
+            ElementKind::Lfsr {
+                width: 8,
+                period: 5,
+                seed: 9,
+            },
+            Delay(1),
+            &[],
+            &[c],
+        )
+        .unwrap();
+        b.element(
+            "cgen",
+            ElementKind::Clock {
+                half_period: 11,
+                offset: 11,
+            },
+            Delay(1),
+            &[],
+            &[cin],
+        )
+        .unwrap();
+        b.element(
+            "add",
+            ElementKind::Adder { width: 8 },
+            Delay(2),
+            &[a, c, cin],
+            &[sum, cout],
+        )
+        .unwrap();
+        let n = b.finish().unwrap();
+        let cfg = SimConfig::new(Time(500)).watch(sum).watch(cout);
+        let seq = EventDriven::run(&n, &cfg);
+        let asy = ChaoticAsync::run(&n, &cfg.clone().threads(3));
+        assert_equivalent(&seq, &asy, "adder");
+    }
+}

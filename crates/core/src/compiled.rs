@@ -1,0 +1,372 @@
+//! The parallel unit-delay compiled-mode engine (§3 of the paper).
+//!
+//! "In compiled mode, every element is executed every time step. To
+//! parallelize this, the elements are statically partitioned among the
+//! processors and each processor evaluates its assigned elements every
+//! timestep. The processors synchronize at the end of every time-step."
+//!
+//! Compiled mode *imposes* unit delay: an element's outputs computed from
+//! inputs at step `t` appear at step `t + 1`, regardless of the element's
+//! declared delay. On circuits whose delays are all 1 this produces
+//! waveforms identical to the event-driven engines; on other circuits it
+//! is a different (coarser) timing model — exactly the trade-off the
+//! paper discusses.
+//!
+//! Shared-state discipline: node values are written only by the unique
+//! driving thread (plus thread 0 for generator nodes) during the *apply*
+//! phase and read by everyone during the *evaluate* phase; a
+//! [`SpinBarrier`] separates the phases.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use parsim_logic::{evaluate, expand_generator, ElemState, Time, Value};
+use parsim_netlist::partition::{element_costs, lpt, Partition};
+use parsim_netlist::{Netlist, NodeId};
+use parsim_queue::SpinBarrier;
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, ThreadMetrics};
+use crate::shared::SharedSlice;
+use crate::waveform::SimResult;
+
+/// Per-worker results: recorded waveform changes plus timing counters.
+type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+
+/// The parallel compiled-mode simulator.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::{CompiledMode, SimConfig};
+/// use parsim_logic::{Delay, ElementKind, Time};
+/// use parsim_netlist::Builder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Builder::new();
+/// let clk = b.node("clk", 1);
+/// let out = b.node("out", 1);
+/// b.element("osc", ElementKind::Clock { half_period: 4, offset: 4 }, Delay(1), &[], &[clk])?;
+/// b.element("inv", ElementKind::Not, Delay(1), &[clk], &[out])?;
+/// let netlist = b.finish()?;
+/// let r = CompiledMode::run(&netlist, &SimConfig::new(Time(20)).watch(out).threads(2));
+/// assert!(r.waveform(out).unwrap().num_changes() > 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompiledMode;
+
+impl CompiledMode {
+    /// Runs with an LPT (cost-balanced) static partition over
+    /// `config.threads` processors.
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+        let partition = lpt(&element_costs(netlist), config.threads);
+        Self::run_with_partition(netlist, config, &partition)
+    }
+
+    /// Runs with a caller-chosen static partition (the paper's §3
+    /// load-balance experiments vary this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.parts() != config.threads` or the partition's
+    /// element count differs from the netlist's.
+    pub fn run_with_partition(
+        netlist: &Netlist,
+        config: &SimConfig,
+        partition: &Partition,
+    ) -> SimResult {
+        assert_eq!(
+            partition.parts(),
+            config.threads,
+            "partition parts must equal thread count"
+        );
+        assert_eq!(
+            partition.assignment().len(),
+            netlist.num_elements(),
+            "partition does not match netlist"
+        );
+        let start = Instant::now();
+        let end = config.end_time.ticks();
+        let threads = config.threads;
+
+        let mut watched = vec![false; netlist.num_nodes()];
+        for &n in &config.watch {
+            watched[n.index()] = true;
+        }
+        let watched = &watched;
+
+        // Generator schedule, applied by thread 0 (generators are excluded
+        // from the evaluation sweep).
+        let mut gen_events: BTreeMap<u64, Vec<(usize, Value)>> = BTreeMap::new();
+        for gen in netlist.generators() {
+            let e = netlist.element(gen);
+            let out = e.outputs()[0].index();
+            for (t, v) in expand_generator(e.kind(), Time(end)) {
+                gen_events.entry(t.ticks()).or_default().push((out, v));
+            }
+        }
+        let gen_events = &gen_events;
+
+        // Shared node values: written single-writer during apply phases.
+        let values: SharedSlice<Value> = SharedSlice::new(
+            netlist
+                .nodes()
+                .iter()
+                .map(|n| Value::x(n.width()))
+                .collect(),
+        );
+        let values = &values;
+        // Per-element state: touched only by the owning thread.
+        let states: SharedSlice<ElemState> = SharedSlice::new(
+            netlist
+                .elements()
+                .iter()
+                .map(|e| ElemState::init(e.kind()))
+                .collect(),
+        );
+        let states = &states;
+
+        let barrier = SpinBarrier::new(threads);
+        let barrier = &barrier;
+
+        let my_elems: Vec<Vec<usize>> = (0..threads)
+            .map(|p| {
+                partition
+                    .members(p)
+                    .into_iter()
+                    .filter(|&e| !netlist.elements()[e].kind().is_generator())
+                    .collect()
+            })
+            .collect();
+        let my_elems = &my_elems;
+
+        let mut outputs: Vec<WorkerOutput> =
+            Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|p| {
+                    scope.spawn(move || {
+                        let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                        let mut tm = ThreadMetrics::default();
+                        let mut pending: Vec<(usize, Value)> = Vec::new();
+                        let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
+                        for t in 0..=end {
+                            let busy_start = Instant::now();
+                            // ---- apply phase ----------------------------
+                            for &(node, v) in &pending {
+                                // SAFETY: single writer per node (driver
+                                // thread), phases separated by barriers.
+                                unsafe { *values.get_mut(node) = v };
+                                tm.events += 1;
+                                if watched[node] {
+                                    changes.push((Time(t), NodeId::from_index(node), v));
+                                }
+                            }
+                            pending.clear();
+                            if p == 0 {
+                                if let Some(evs) = gen_events.get(&t) {
+                                    for &(node, v) in evs {
+                                        // SAFETY: generator nodes are only
+                                        // written here, by thread 0.
+                                        let slot = unsafe { values.get_mut(node) };
+                                        if *slot != v {
+                                            *slot = v;
+                                            tm.events += 1;
+                                            if watched[node] {
+                                                changes.push((
+                                                    Time(t),
+                                                    NodeId::from_index(node),
+                                                    v,
+                                                ));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+
+                            // ---- evaluate phase -------------------------
+                            let busy_start = Instant::now();
+                            if t < end {
+                                for &e in &my_elems[p] {
+                                    let elem = &netlist.elements()[e];
+                                    inputs_buf.clear();
+                                    for &inp in elem.inputs() {
+                                        // SAFETY: read-only phase.
+                                        inputs_buf.push(unsafe { *values.get(inp.index()) });
+                                    }
+                                    // SAFETY: element owned by this thread.
+                                    let state = unsafe { states.get_mut(e) };
+                                    let out = evaluate(elem.kind(), &inputs_buf, state);
+                                    tm.evaluations += 1;
+                                    for (port, v) in out.iter() {
+                                        let out_node = elem.outputs()[port].index();
+                                        // SAFETY: reading a node this thread
+                                        // exclusively writes.
+                                        if unsafe { *values.get(out_node) } != v {
+                                            pending.push((out_node, v));
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+                        }
+                        (changes, tm)
+                    })
+                })
+                .collect();
+            for h in handles {
+                outputs.push(h.join().expect("compiled-mode worker panicked"));
+            }
+        });
+
+        let mut changes = Vec::new();
+        let mut per_thread = Vec::with_capacity(threads);
+        let mut events_processed = 0;
+        let mut evaluations = 0;
+        for (c, tm) in outputs {
+            events_processed += tm.events;
+            evaluations += tm.evaluations;
+            changes.extend(c);
+            per_thread.push(tm);
+        }
+        let metrics = Metrics {
+            events_processed,
+            evaluations,
+            activations: evaluations, // every element "activated" each step
+            time_steps: end + 1,
+            events_per_step: Default::default(),
+            per_thread,
+            gc_chunks_freed: 0,
+            wall: start.elapsed(),
+        };
+        SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::assert_equivalent;
+    use crate::seq::EventDriven;
+    use parsim_logic::{Delay, ElementKind};
+    use parsim_netlist::partition::round_robin;
+    use parsim_netlist::Builder;
+
+    fn clocked_chain(len: usize) -> (Netlist, Vec<NodeId>) {
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        b.element(
+            "osc",
+            ElementKind::Clock {
+                half_period: 5,
+                offset: 5,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        let mut watch = vec![clk];
+        let mut prev = clk;
+        for i in 0..len {
+            let n = b.node(&format!("n{i}"), 1);
+            b.element(&format!("inv{i}"), ElementKind::Not, Delay(1), &[prev], &[n])
+                .unwrap();
+            watch.push(n);
+            prev = n;
+        }
+        (b.finish().unwrap(), watch)
+    }
+
+    #[test]
+    fn matches_event_driven_on_unit_delay_circuit() {
+        let (n, watch) = clocked_chain(6);
+        let cfg = SimConfig::new(Time(50)).watch_all(watch.clone());
+        let seq = EventDriven::run(&n, &cfg);
+        for threads in [1, 2, 4] {
+            let par = CompiledMode::run(&n, &cfg.clone().threads(threads));
+            assert_equivalent(&seq, &par, &format!("compiled x{threads}"));
+        }
+    }
+
+    #[test]
+    fn dff_divider_matches() {
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        let rst = b.node("rst", 1);
+        let q = b.node("q", 1);
+        let d = b.node("d", 1);
+        b.element(
+            "osc",
+            ElementKind::Clock {
+                half_period: 4,
+                offset: 4,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        b.element(
+            "porst",
+            ElementKind::Pulse { at: 0, width: 2 },
+            Delay(1),
+            &[],
+            &[rst],
+        )
+        .unwrap();
+        b.element(
+            "ff",
+            ElementKind::DffR { width: 1 },
+            Delay(1),
+            &[clk, d, rst],
+            &[q],
+        )
+        .unwrap();
+        b.element("inv", ElementKind::Not, Delay(1), &[q], &[d])
+            .unwrap();
+        let n = b.finish().unwrap();
+        let cfg = SimConfig::new(Time(60)).watch(q).watch(d);
+        let seq = EventDriven::run(&n, &cfg);
+        let par = CompiledMode::run(&n, &cfg.clone().threads(3));
+        assert_equivalent(&seq, &par, "dff divider");
+    }
+
+    #[test]
+    fn custom_partition_gives_same_waveforms() {
+        let (n, watch) = clocked_chain(5);
+        let cfg = SimConfig::new(Time(40)).watch_all(watch).threads(2);
+        let a = CompiledMode::run(&n, &cfg);
+        let part = round_robin(n.num_elements(), 2);
+        let c = CompiledMode::run_with_partition(&n, &cfg, &part);
+        assert_equivalent(&a, &c, "partition choice");
+    }
+
+    #[test]
+    fn evaluations_count_every_element_every_step() {
+        let (n, watch) = clocked_chain(4);
+        let cfg = SimConfig::new(Time(10)).watch_all(watch);
+        let r = CompiledMode::run(&n, &cfg);
+        // 4 inverters (clock generator excluded) * 10 eval steps.
+        assert_eq!(r.metrics.evaluations, 4 * 10);
+        assert_eq!(r.metrics.time_steps, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition parts must equal thread count")]
+    fn partition_thread_mismatch_panics() {
+        let (n, _) = clocked_chain(2);
+        let cfg = SimConfig::new(Time(5)).threads(2);
+        let part = round_robin(n.num_elements(), 3);
+        let _ = CompiledMode::run_with_partition(&n, &cfg, &part);
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation run configuration.
+
+use parsim_logic::Time;
+use parsim_netlist::{Netlist, NodeId};
+
+/// Configuration shared by all four engines.
+///
+/// Built fluently:
+///
+/// ```
+/// use parsim_core::SimConfig;
+/// use parsim_logic::Time;
+/// use parsim_netlist::NodeId;
+///
+/// let cfg = SimConfig::new(Time(1000))
+///     .watch(NodeId::from_index(0))
+///     .threads(4);
+/// assert_eq!(cfg.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulate through this time (inclusive).
+    pub end_time: Time,
+    /// Nodes whose waveforms are recorded.
+    pub watch: Vec<NodeId>,
+    /// Worker threads for the parallel engines (ignored by
+    /// [`EventDriven`](crate::EventDriven)).
+    pub threads: usize,
+    /// Enable the asynchronous engine's controlling-value lookahead
+    /// (§4's AND-gate optimization). On by default; never changes
+    /// waveforms, only validity propagation.
+    pub lookahead: bool,
+    /// Enable the asynchronous engine's concurrent garbage collection of
+    /// consumed events. On by default; disable only to measure the paper's
+    /// "massive state storage" problem.
+    pub gc: bool,
+    /// Use the timing-wheel calendar in the sequential engine (the 1980s
+    /// data structure) instead of the default `BTreeMap`. Waveforms are
+    /// identical either way.
+    pub timing_wheel: bool,
+}
+
+impl SimConfig {
+    /// Creates a configuration running through `end_time` with one thread
+    /// and no watched nodes.
+    pub fn new(end_time: Time) -> SimConfig {
+        SimConfig {
+            end_time,
+            watch: Vec::new(),
+            threads: 1,
+            lookahead: true,
+            gc: true,
+            timing_wheel: false,
+        }
+    }
+
+    /// Adds one node to the watch list.
+    #[must_use]
+    pub fn watch(mut self, node: NodeId) -> SimConfig {
+        self.watch.push(node);
+        self
+    }
+
+    /// Adds many nodes to the watch list.
+    #[must_use]
+    pub fn watch_all(mut self, nodes: impl IntoIterator<Item = NodeId>) -> SimConfig {
+        self.watch.extend(nodes);
+        self
+    }
+
+    /// Adds nodes to the watch list by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown in `netlist` — watching a
+    /// nonexistent node is always a programming error.
+    #[must_use]
+    pub fn watch_named<'a>(
+        mut self,
+        netlist: &Netlist,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> SimConfig {
+        for name in names {
+            let id = netlist
+                .node_by_name(name)
+                .unwrap_or_else(|| panic!("unknown node `{name}`"));
+            self.watch.push(id);
+        }
+        self
+    }
+
+    /// Sets the worker thread count for parallel engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> SimConfig {
+        assert!(threads > 0, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+
+    /// Disables the asynchronous engine's controlling-value lookahead.
+    #[must_use]
+    pub fn without_lookahead(mut self) -> SimConfig {
+        self.lookahead = false;
+        self
+    }
+
+    /// Disables the asynchronous engine's event garbage collection.
+    #[must_use]
+    pub fn without_gc(mut self) -> SimConfig {
+        self.gc = false;
+        self
+    }
+
+    /// Selects the timing-wheel calendar for the sequential engine.
+    #[must_use]
+    pub fn with_timing_wheel(mut self) -> SimConfig {
+        self.timing_wheel = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let cfg = SimConfig::new(Time(5))
+            .watch(n0)
+            .watch_all([n1])
+            .threads(3)
+            .without_lookahead()
+            .without_gc()
+            .with_timing_wheel();
+        assert_eq!(cfg.end_time, Time(5));
+        assert_eq!(cfg.watch, vec![n0, n1]);
+        assert_eq!(cfg.threads, 3);
+        assert!(!cfg.lookahead);
+        assert!(!cfg.gc);
+        assert!(cfg.timing_wheel);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = SimConfig::new(Time(1)).threads(0);
+    }
+
+    #[test]
+    fn watch_named_resolves() {
+        let mut b = parsim_netlist::Builder::new();
+        let a = b.node("alpha", 1);
+        let _ = b.node("beta", 1);
+        let n = b.finish().unwrap();
+        let cfg = SimConfig::new(Time(1)).watch_named(&n, ["alpha"]);
+        assert_eq!(cfg.watch, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn watch_named_rejects_unknown() {
+        let n = parsim_netlist::Builder::new().finish().unwrap();
+        let _ = SimConfig::new(Time(1)).watch_named(&n, ["ghost"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! The four simulation engines of *Soule & Blank, DAC 1988*.
+//!
+//! | Engine | Paper section | Synchronization |
+//! |---|---|---|
+//! | [`EventDriven`] | §2 (uniprocessor baseline) | none (sequential) |
+//! | [`SyncEventDriven`] | §2 | barrier per phase, distributed queues, work stealing |
+//! | [`CompiledMode`] | §3 | barrier per unit-delay time step, static partition |
+//! | [`ChaoticAsync`] | §4 | **none** — lock-free SPSC grid, per-node valid times |
+//!
+//! All engines consume the same immutable [`Netlist`](parsim_netlist::Netlist)
+//! and a [`SimConfig`], and produce a [`SimResult`] holding waveforms for
+//! the watched nodes plus execution [`Metrics`]. On identical circuits the
+//! event-driven, synchronous, and asynchronous engines produce *identical*
+//! waveforms; the compiled-mode engine matches them whenever every element
+//! has unit delay (compiled mode, by definition, imposes unit delay).
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_core::{ChaoticAsync, EventDriven, SimConfig};
+//! use parsim_logic::{Delay, ElementKind, Time};
+//! use parsim_netlist::Builder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Builder::new();
+//! let clk = b.node("clk", 1);
+//! let q = b.node("q", 1);
+//! b.element("osc", ElementKind::Clock { half_period: 3, offset: 3 }, Delay(1), &[], &[clk])?;
+//! b.element("inv", ElementKind::Not, Delay(1), &[clk], &[q])?;
+//! let netlist = b.finish()?;
+//!
+//! let config = SimConfig::new(Time(30)).watch(q);
+//! let seq = EventDriven::run(&netlist, &config);
+//! let par = ChaoticAsync::run(&netlist, &config.clone().threads(2));
+//! assert_eq!(
+//!     seq.waveform(q).unwrap().changes(),
+//!     par.waveform(q).unwrap().changes(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod chaotic;
+pub mod check;
+pub mod compiled;
+mod config;
+mod metrics;
+pub mod seq;
+mod shared;
+pub mod sync;
+pub mod testbench;
+mod waveform;
+mod wheel;
+
+pub use analysis::{ActivityReport, WaveformStats};
+pub use chaotic::ChaoticAsync;
+pub use check::{assert_equivalent, equivalence_report, EquivalenceReport};
+pub use compiled::CompiledMode;
+pub use config::SimConfig;
+pub use metrics::{EventsPerStepHistogram, Metrics, ThreadMetrics};
+pub use seq::EventDriven;
+pub use sync::SyncEventDriven;
+pub use testbench::{TestBench, TestBenchError, TestRun};
+pub use waveform::{SimResult, Waveform};
+pub use wheel::TimingWheel;

@@ -1,0 +1,302 @@
+//! Execution metrics: event counts, per-thread utilization, and the
+//! events-per-time-step distribution the paper's parallelism arguments
+//! rest on.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Histogram of node-change events per active time step.
+///
+/// The paper (§4, citing the authors' DAC 1987 statistics paper) observes
+/// that "even for circuits with 5000 gates, there can be less than 5
+/// events available for evaluation about 50% of the time" — this histogram
+/// lets the experiments verify the claim on our circuits.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::EventsPerStepHistogram;
+///
+/// let mut h = EventsPerStepHistogram::new();
+/// h.record(3);
+/// h.record(700);
+/// assert_eq!(h.steps(), 2);
+/// assert!((h.fraction_at_most(5) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventsPerStepHistogram {
+    /// Bucket upper bounds (inclusive); the last bucket is unbounded.
+    counts: Vec<u64>,
+    total_steps: u64,
+    total_events: u64,
+    max: u64,
+}
+
+/// Inclusive upper bounds of the histogram buckets; the final implicit
+/// bucket collects everything larger.
+const BOUNDS: &[u64] = &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+
+impl EventsPerStepHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> EventsPerStepHistogram {
+        EventsPerStepHistogram {
+            counts: vec![0; BOUNDS.len() + 1],
+            total_steps: 0,
+            total_events: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one active time step carrying `events` node changes.
+    pub fn record(&mut self, events: u64) {
+        let idx = BOUNDS
+            .iter()
+            .position(|&b| events <= b)
+            .unwrap_or(BOUNDS.len());
+        self.counts[idx] += 1;
+        self.total_steps += 1;
+        self.total_events += events;
+        self.max = self.max.max(events);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &EventsPerStepHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total_steps += other.total_steps;
+        self.total_events += other.total_events;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of active time steps recorded.
+    pub fn steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Total events across all steps.
+    pub fn events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Mean events per active step.
+    pub fn mean(&self) -> f64 {
+        if self.total_steps == 0 {
+            0.0
+        } else {
+            self.total_events as f64 / self.total_steps as f64
+        }
+    }
+
+    /// Largest single-step event count.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of steps with at most `k` events (k must be one of the
+    /// bucket bounds for an exact answer; otherwise the nearest bound not
+    /// exceeding `k` is used).
+    pub fn fraction_at_most(&self, k: u64) -> f64 {
+        if self.total_steps == 0 {
+            return 0.0;
+        }
+        let upto = BOUNDS.iter().take_while(|&&b| b <= k).count();
+        let sum: u64 = self.counts[..upto].iter().sum();
+        sum as f64 / self.total_steps as f64
+    }
+}
+
+impl fmt::Display for EventsPerStepHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} steps, {} events (mean {:.1}/step, max {})",
+            self.total_steps,
+            self.total_events,
+            self.mean(),
+            self.max
+        )?;
+        let mut lo = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let label = if i < BOUNDS.len() {
+                format!("{}..={}", lo + u64::from(i > 0), BOUNDS[i])
+            } else {
+                format!(">{}", BOUNDS[BOUNDS.len() - 1])
+            };
+            if count > 0 {
+                writeln!(f, "  {label:>9}: {count}")?;
+            }
+            if i < BOUNDS.len() {
+                lo = BOUNDS[i];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker-thread timing and work counters.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadMetrics {
+    /// Time spent doing useful work (evaluations, updates, scheduling).
+    pub busy: Duration,
+    /// Time spent waiting: barriers, empty queues.
+    pub idle: Duration,
+    /// Element evaluations performed by this thread.
+    pub evaluations: u64,
+    /// Input events consumed by this thread's evaluations.
+    pub events: u64,
+}
+
+impl ThreadMetrics {
+    /// busy / (busy + idle), or 1.0 when nothing was measured.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.idle;
+        if total.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
+/// Aggregate metrics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Node-change events applied.
+    pub events_processed: u64,
+    /// Element evaluations performed.
+    pub evaluations: u64,
+    /// Element activations (schedulings).
+    pub activations: u64,
+    /// Active time steps (event-driven engines) or total steps (compiled).
+    pub time_steps: u64,
+    /// Distribution of events per active step (filled by the sequential
+    /// engine; parallel engines leave it empty).
+    pub events_per_step: EventsPerStepHistogram,
+    /// Per-thread timing.
+    pub per_thread: Vec<ThreadMetrics>,
+    /// Event-list chunks reclaimed by the asynchronous engine's concurrent
+    /// garbage collector (zero for other engines).
+    pub gc_chunks_freed: u64,
+    /// Wall-clock duration of the run (excluding netlist construction).
+    pub wall: Duration,
+}
+
+impl Metrics {
+    /// Mean utilization across worker threads (1.0 for the sequential
+    /// engine).
+    pub fn utilization(&self) -> f64 {
+        if self.per_thread.is_empty() {
+            return 1.0;
+        }
+        self.per_thread.iter().map(ThreadMetrics::utilization).sum::<f64>()
+            / self.per_thread.len() as f64
+    }
+
+    /// Mean element activity per active time step: the fraction of the
+    /// circuit's elements that see an event each step. The paper quotes
+    /// 0.1–0.5% per step for typical gate-level circuits (§3).
+    pub fn activity(&self, num_elements: usize) -> f64 {
+        if self.time_steps == 0 || num_elements == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.time_steps as f64 / num_elements as f64
+        }
+    }
+
+    /// Mean input events consumed per element evaluation — the batching
+    /// factor that makes the asynchronous algorithm faster per event than
+    /// the event-driven one (§5).
+    pub fn events_per_evaluation(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.evaluations as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} evaluations, {} activations, {} steps, util {:.0}%, wall {:?}",
+            self.events_processed,
+            self.evaluations,
+            self.activations,
+            self.time_steps,
+            self.utilization() * 100.0,
+            self.wall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_fractions() {
+        let mut h = EventsPerStepHistogram::new();
+        for e in [1, 1, 2, 5, 6, 100, 2000] {
+            h.record(e);
+        }
+        assert_eq!(h.steps(), 7);
+        assert_eq!(h.events(), 2115);
+        assert_eq!(h.max(), 2000);
+        assert!((h.fraction_at_most(1) - 2.0 / 7.0).abs() < 1e-9);
+        assert!((h.fraction_at_most(5) - 4.0 / 7.0).abs() < 1e-9);
+        assert!((h.fraction_at_most(1000) - 6.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = EventsPerStepHistogram::new();
+        a.record(3);
+        let mut b = EventsPerStepHistogram::new();
+        b.record(700);
+        a.merge(&b);
+        assert_eq!(a.steps(), 2);
+        assert_eq!(a.max(), 700);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let t = ThreadMetrics {
+            busy: Duration::from_millis(75),
+            idle: Duration::from_millis(25),
+            evaluations: 10,
+            events: 20,
+        };
+        assert!((t.utilization() - 0.75).abs() < 1e-9);
+        let m = Metrics {
+            per_thread: vec![t.clone(), t],
+            events_processed: 20,
+            evaluations: 10,
+            ..Default::default()
+        };
+        assert!((m.utilization() - 0.75).abs() < 1e-9);
+        assert!((m.events_per_evaluation() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_math() {
+        let m = Metrics {
+            events_processed: 50,
+            time_steps: 10,
+            ..Default::default()
+        };
+        assert!((m.activity(1000) - 0.005).abs() < 1e-9);
+        assert_eq!(m.activity(0), 0.0);
+        assert_eq!(Metrics::default().activity(10), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut h = EventsPerStepHistogram::new();
+        h.record(4);
+        assert!(h.to_string().contains("1 steps"));
+        let m = Metrics::default();
+        assert!(m.to_string().contains("0 events"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Directed test benches: drive a circuit's inputs with explicit timed
+//! vectors and assert its outputs at chosen times.
+//!
+//! The workflow every simulator user expects: instantiate a design under
+//! test, attach stimulus to its floating inputs, run any engine, and
+//! check expectations.
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_core::TestBench;
+//! use parsim_logic::{Delay, ElementKind, Time, Value};
+//! use parsim_netlist::Builder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The design under test: a bare 2-input AND with floating inputs.
+//! let mut b = Builder::new();
+//! let a = b.node("a", 1);
+//! let c = b.node("b", 1);
+//! let y = b.node("y", 1);
+//! b.element("g", ElementKind::And, Delay(1), &[a, c], &[y])?;
+//! let dut = b.finish()?;
+//!
+//! let mut tb = TestBench::new(&dut)?;
+//! tb.drive("a", &[(0, Value::bit(false)), (10, Value::bit(true))])?;
+//! tb.drive("b", &[(0, Value::bit(true))])?;
+//! let run = tb.run_event_driven(Time(30));
+//! run.expect("y", Time(5), Value::bit(false))?;
+//! run.expect("y", Time(15), Value::bit(true))?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use parsim_logic::{Delay, ElementKind, Time, Value};
+use parsim_netlist::{Builder, Netlist, NodeId};
+
+use crate::chaotic::ChaoticAsync;
+use crate::config::SimConfig;
+use crate::seq::EventDriven;
+use crate::waveform::SimResult;
+
+/// Errors raised while assembling or checking a test bench.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestBenchError {
+    /// The named node does not exist in the design under test.
+    UnknownPort(String),
+    /// The named node already has a driver.
+    AlreadyDriven(String),
+    /// The stimulus is empty or not strictly increasing in time.
+    BadStimulus(String),
+    /// A stimulus value's width does not match the port.
+    Width {
+        port: String,
+        expected: u8,
+        got: u8,
+    },
+    /// An expectation failed.
+    Expectation {
+        port: String,
+        at: Time,
+        expected: Value,
+        got: Value,
+    },
+    /// An internal netlist error (should not occur for valid DUTs).
+    Build(String),
+}
+
+impl fmt::Display for TestBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestBenchError::UnknownPort(p) => write!(f, "unknown port `{p}`"),
+            TestBenchError::AlreadyDriven(p) => {
+                write!(f, "port `{p}` already has a driver")
+            }
+            TestBenchError::BadStimulus(p) => write!(
+                f,
+                "stimulus for `{p}` must be nonempty and strictly increasing in time"
+            ),
+            TestBenchError::Width {
+                port,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stimulus width {got} does not match port `{port}` width {expected}"
+            ),
+            TestBenchError::Expectation {
+                port,
+                at,
+                expected,
+                got,
+            } => write!(
+                f,
+                "expectation failed: `{port}` at {at} is {got}, expected {expected}"
+            ),
+            TestBenchError::Build(msg) => write!(f, "test bench construction: {msg}"),
+        }
+    }
+}
+
+impl Error for TestBenchError {}
+
+/// A design under test plus attached stimulus.
+pub struct TestBench {
+    builder: Option<Builder>,
+    /// Maps DUT node names to ids in the bench netlist.
+    map: HashMap<String, NodeId>,
+}
+
+impl TestBench {
+    /// Wraps a design under test. Node names are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestBenchError::Build`] if the DUT cannot be
+    /// re-instantiated (never happens for netlists built by
+    /// [`Builder`]).
+    pub fn new(dut: &Netlist) -> Result<TestBench, TestBenchError> {
+        let mut builder = Builder::new();
+        // Pre-create nodes with the DUT's own names so `drive`/`expect`
+        // can refer to them directly, then instantiate the DUT fully
+        // bound.
+        let mut bindings: Vec<(String, NodeId)> = Vec::new();
+        for (_, node) in dut.iter_nodes() {
+            let id = builder.node(node.name(), node.width());
+            bindings.push((node.name().to_string(), id));
+        }
+        let borrowed: Vec<(&str, NodeId)> =
+            bindings.iter().map(|(n, id)| (n.as_str(), *id)).collect();
+        let map = builder
+            .instantiate(dut, "dut", &borrowed)
+            .map_err(|e| TestBenchError::Build(e.to_string()))?;
+        Ok(TestBench {
+            builder: Some(builder),
+            map,
+        })
+    }
+
+    /// Attaches a timed stimulus vector to a floating input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the port is unknown or already driven, the stimulus is
+    /// empty or unordered, or widths mismatch.
+    pub fn drive(
+        &mut self,
+        port: &str,
+        changes: &[(u64, Value)],
+    ) -> Result<(), TestBenchError> {
+        let &node = self
+            .map
+            .get(port)
+            .ok_or_else(|| TestBenchError::UnknownPort(port.to_string()))?;
+        let builder = self.builder.as_mut().expect("bench not yet finished");
+        if changes.is_empty() || changes.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(TestBenchError::BadStimulus(port.to_string()));
+        }
+        let kind = ElementKind::Vector {
+            changes: changes.to_vec().into(),
+        };
+        builder
+            .element(&format!("__drive_{port}"), kind, Delay(1), &[], &[node])
+            .map_err(|e| match e {
+                parsim_netlist::BuildError::MultipleDrivers { .. }
+                | parsim_netlist::BuildError::DuplicateName { .. } => {
+                    TestBenchError::AlreadyDriven(port.to_string())
+                }
+                parsim_netlist::BuildError::Width { expected, got, .. } => {
+                    TestBenchError::Width {
+                        port: port.to_string(),
+                        expected,
+                        got,
+                    }
+                }
+                other => TestBenchError::Build(other.to_string()),
+            })?;
+        Ok(())
+    }
+
+    /// Runs the bench on the sequential reference engine, watching every
+    /// DUT node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice (the bench is consumed by its first run).
+    pub fn run_event_driven(&mut self, end: Time) -> TestRun {
+        let (netlist, cfg) = self.finish(end);
+        let result = EventDriven::run(&netlist, &cfg);
+        TestRun {
+            result,
+            map: self.map.clone(),
+        }
+    }
+
+    /// Runs the bench on the lock-free asynchronous engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice (the bench is consumed by its first run).
+    pub fn run_async(&mut self, end: Time, threads: usize) -> TestRun {
+        let (netlist, cfg) = self.finish(end);
+        let result = ChaoticAsync::run(&netlist, &cfg.threads(threads));
+        TestRun {
+            result,
+            map: self.map.clone(),
+        }
+    }
+
+    fn finish(&mut self, end: Time) -> (Netlist, SimConfig) {
+        let builder = self.builder.take().expect("bench already ran");
+        let netlist = builder.finish().expect("bench netlist is valid");
+        let cfg = SimConfig::new(end).watch_all(self.map.values().copied());
+        (netlist, cfg)
+    }
+}
+
+/// A completed test-bench run, ready for expectations.
+pub struct TestRun {
+    /// The underlying simulation result (waveforms for every DUT node).
+    pub result: SimResult,
+    map: HashMap<String, NodeId>,
+}
+
+impl TestRun {
+    /// Asserts the value of `port` at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestBenchError::Expectation`] with both values on
+    /// mismatch, or [`TestBenchError::UnknownPort`].
+    pub fn expect(&self, port: &str, at: Time, expected: Value) -> Result<(), TestBenchError> {
+        let &node = self
+            .map
+            .get(port)
+            .ok_or_else(|| TestBenchError::UnknownPort(port.to_string()))?;
+        let got = self
+            .result
+            .waveform(node)
+            .expect("every DUT node is watched")
+            .value_at(at);
+        if got == expected {
+            Ok(())
+        } else {
+            Err(TestBenchError::Expectation {
+                port: port.to_string(),
+                at,
+                expected,
+                got,
+            })
+        }
+    }
+
+    /// Reads the value of `port` at `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestBenchError::UnknownPort`] for unknown names.
+    pub fn value(&self, port: &str, at: Time) -> Result<Value, TestBenchError> {
+        let &node = self
+            .map
+            .get(port)
+            .ok_or_else(|| TestBenchError::UnknownPort(port.to_string()))?;
+        Ok(self
+            .result
+            .waveform(node)
+            .expect("every DUT node is watched")
+            .value_at(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::Delay;
+
+    fn adder_dut() -> Netlist {
+        let mut b = Builder::new();
+        let a = b.node("a", 8);
+        let c = b.node("b", 8);
+        let cin = b.node("cin", 1);
+        let sum = b.node("sum", 8);
+        let cout = b.node("cout", 1);
+        b.element(
+            "add",
+            ElementKind::Adder { width: 8 },
+            Delay(2),
+            &[a, c, cin],
+            &[sum, cout],
+        )
+        .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn drive_and_expect() {
+        let dut = adder_dut();
+        let mut tb = TestBench::new(&dut).unwrap();
+        tb.drive("a", &[(0, Value::from_u64(100, 8)), (20, Value::from_u64(200, 8))])
+            .unwrap();
+        tb.drive("b", &[(0, Value::from_u64(55, 8))]).unwrap();
+        tb.drive("cin", &[(0, Value::bit(false))]).unwrap();
+        let run = tb.run_event_driven(Time(40));
+        run.expect("sum", Time(10), Value::from_u64(155, 8)).unwrap();
+        run.expect("sum", Time(30), Value::from_u64(255, 8)).unwrap();
+        run.expect("cout", Time(30), Value::bit(false)).unwrap();
+        // And a wrong expectation reports both values.
+        let err = run
+            .expect("sum", Time(30), Value::from_u64(1, 8))
+            .unwrap_err();
+        assert!(matches!(err, TestBenchError::Expectation { .. }));
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn async_engine_runs_benches_too() {
+        let dut = adder_dut();
+        let mut tb = TestBench::new(&dut).unwrap();
+        tb.drive("a", &[(0, Value::from_u64(3, 8))]).unwrap();
+        tb.drive("b", &[(0, Value::from_u64(4, 8))]).unwrap();
+        tb.drive("cin", &[(5, Value::bit(true))]).unwrap();
+        let run = tb.run_async(Time(30), 2);
+        run.expect("sum", Time(20), Value::from_u64(8, 8)).unwrap();
+    }
+
+    #[test]
+    fn error_paths() {
+        let dut = adder_dut();
+        let mut tb = TestBench::new(&dut).unwrap();
+        assert!(matches!(
+            tb.drive("zz", &[(0, Value::bit(true))]),
+            Err(TestBenchError::UnknownPort(_))
+        ));
+        assert!(matches!(
+            tb.drive("a", &[]),
+            Err(TestBenchError::BadStimulus(_))
+        ));
+        assert!(matches!(
+            tb.drive("a", &[(5, Value::from_u64(1, 8)), (5, Value::from_u64(2, 8))]),
+            Err(TestBenchError::BadStimulus(_))
+        ));
+        assert!(matches!(
+            tb.drive("a", &[(0, Value::bit(true))]),
+            Err(TestBenchError::Width { .. })
+        ));
+        tb.drive("a", &[(0, Value::from_u64(1, 8))]).unwrap();
+        assert!(matches!(
+            tb.drive("a", &[(0, Value::from_u64(2, 8))]),
+            Err(TestBenchError::AlreadyDriven(_))
+        ));
+        // Driving a node the DUT itself drives is rejected.
+        assert!(matches!(
+            tb.drive("sum", &[(0, Value::from_u64(0, 8))]),
+            Err(TestBenchError::AlreadyDriven(_))
+        ));
+    }
+}

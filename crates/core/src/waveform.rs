@@ -1,0 +1,339 @@
+//! Waveforms and simulation results.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use parsim_logic::{Time, Value};
+use parsim_netlist::{Netlist, NodeId};
+
+use crate::metrics::Metrics;
+
+/// The recorded value changes of one watched node.
+///
+/// Every node implicitly starts at all-`X` at time zero; `changes` holds
+/// the subsequent transitions in strictly increasing time order (a change
+/// *at* time zero replaces the implicit `X`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    node: NodeId,
+    name: String,
+    width: u8,
+    changes: Vec<(Time, Value)>,
+}
+
+impl Waveform {
+    pub(crate) fn new(node: NodeId, name: String, width: u8) -> Waveform {
+        Waveform {
+            node,
+            name,
+            width,
+            changes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: Time, v: Value) {
+        debug_assert!(
+            self.changes.last().is_none_or(|&(lt, _)| lt < t),
+            "waveform times must strictly increase"
+        );
+        self.changes.push((t, v));
+    }
+
+    /// The node this waveform belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// All value changes in time order.
+    pub fn changes(&self) -> &[(Time, Value)] {
+        &self.changes
+    }
+
+    /// The value at time `t` (the last change at or before `t`, or all-`X`
+    /// before the first change).
+    pub fn value_at(&self, t: Time) -> Value {
+        match self.changes.partition_point(|&(ct, _)| ct <= t) {
+            0 => Value::x(self.width),
+            i => self.changes[i - 1].1,
+        }
+    }
+
+    /// The final value of the waveform (all-`X` if it never changed).
+    pub fn final_value(&self) -> Value {
+        self.changes
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| Value::x(self.width))
+    }
+
+    /// The number of transitions.
+    pub fn num_changes(&self) -> usize {
+        self.changes.len()
+    }
+}
+
+/// The outcome of a simulation run: watched waveforms plus metrics.
+///
+/// # Examples
+///
+/// See [`crate`]-level documentation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The configured end time.
+    pub end_time: Time,
+    pub(crate) waveforms: HashMap<NodeId, Waveform>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+impl SimResult {
+    /// Assembles a result from per-thread change buffers.
+    ///
+    /// Changes may arrive unsorted across buffers; they are sorted by
+    /// `(time, node)` here. Each `(node, time)` pair must be unique — the
+    /// engines guarantee it.
+    pub(crate) fn from_changes(
+        netlist: &Netlist,
+        end_time: Time,
+        watch: &[NodeId],
+        mut changes: Vec<(Time, NodeId, Value)>,
+        metrics: Metrics,
+    ) -> SimResult {
+        changes.sort_by_key(|&(t, n, _)| (t, n));
+        let mut waveforms: HashMap<NodeId, Waveform> = watch
+            .iter()
+            .map(|&n| {
+                let node = netlist.node(n);
+                (n, Waveform::new(n, node.name().to_string(), node.width()))
+            })
+            .collect();
+        for (t, n, v) in changes {
+            if t > end_time {
+                continue;
+            }
+            if let Some(w) = waveforms.get_mut(&n) {
+                w.push(t, v);
+            }
+        }
+        SimResult {
+            end_time,
+            waveforms,
+            metrics,
+        }
+    }
+
+    /// The waveform of a watched node, if it was watched.
+    pub fn waveform(&self, node: NodeId) -> Option<&Waveform> {
+        self.waveforms.get(&node)
+    }
+
+    /// The final value of a watched node.
+    pub fn final_value(&self, node: NodeId) -> Option<Value> {
+        self.waveforms.get(&node).map(Waveform::final_value)
+    }
+
+    /// Reads a multi-bit quantity at time `t` from a set of 1-bit watched
+    /// nodes (LSB first) — convenient for gate-level buses.
+    ///
+    /// Returns `None` if any bit is unwatched or not a known 0/1 at `t`.
+    pub fn bus_value_at(&self, bits: &[NodeId], t: Time) -> Option<u64> {
+        let mut out = 0u64;
+        for (i, &bit) in bits.iter().enumerate() {
+            let w = self.waveforms.get(&bit)?;
+            let v = w.value_at(t).to_u64()?;
+            out |= v << i;
+        }
+        Some(out)
+    }
+
+    /// All watched waveforms, sorted by node id.
+    pub fn waveforms(&self) -> Vec<&Waveform> {
+        let mut ws: Vec<&Waveform> = self.waveforms.values().collect();
+        ws.sort_by_key(|w| w.node());
+        ws
+    }
+
+    /// Writes the watched waveforms to a VCD file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_vcd(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_vcd())
+    }
+
+    /// Exports the watched waveforms as a VCD (Value Change Dump) document.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module parsim $end");
+        let ws = self.waveforms();
+        let ident = |i: usize| -> String {
+            // VCD identifier alphabet: printable ASCII 33..=126.
+            let mut s = String::new();
+            let mut v = i;
+            loop {
+                s.push((33 + (v % 94)) as u8 as char);
+                v /= 94;
+                if v == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        for (i, w) in ws.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                w.width(),
+                ident(i),
+                w.name()
+            );
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        // Group changes by time.
+        let mut all: Vec<(Time, usize, Value)> = Vec::new();
+        for (i, w) in ws.iter().enumerate() {
+            all.push((Time::ZERO, i, w.value_at(Time::ZERO)));
+            for &(t, v) in w.changes() {
+                if t > Time::ZERO {
+                    all.push((t, i, v));
+                }
+            }
+        }
+        all.sort_by_key(|&(t, i, _)| (t, i));
+        let mut last_time = None;
+        for (t, i, v) in all {
+            if last_time != Some(t) {
+                let _ = writeln!(out, "#{}", t.ticks());
+                last_time = Some(t);
+            }
+            if v.width() == 1 {
+                let _ = writeln!(out, "{}{}", v.to_binary_string(), ident(i));
+            } else {
+                let _ = writeln!(out, "b{} {}", v.to_binary_string(), ident(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::{Delay, ElementKind};
+    use parsim_netlist::Builder;
+
+    fn tiny_netlist() -> (Netlist, NodeId, NodeId) {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let c = b.node("c", 4);
+        b.element(
+            "g",
+            ElementKind::Const {
+                value: Value::bit(true),
+            },
+            Delay(1),
+            &[],
+            &[a],
+        )
+        .unwrap();
+        (b.finish().unwrap(), a, c)
+    }
+
+    #[test]
+    fn value_at_semantics() {
+        let (n, a, _) = tiny_netlist();
+        let changes = vec![
+            (Time(5), a, Value::bit(true)),
+            (Time(10), a, Value::bit(false)),
+        ];
+        let r = SimResult::from_changes(&n, Time(20), &[a], changes, Metrics::default());
+        let w = r.waveform(a).unwrap();
+        assert_eq!(w.value_at(Time(0)), Value::x(1));
+        assert_eq!(w.value_at(Time(5)), Value::bit(true));
+        assert_eq!(w.value_at(Time(7)), Value::bit(true));
+        assert_eq!(w.value_at(Time(10)), Value::bit(false));
+        assert_eq!(w.final_value(), Value::bit(false));
+        assert_eq!(w.num_changes(), 2);
+    }
+
+    #[test]
+    fn changes_beyond_end_are_trimmed() {
+        let (n, a, _) = tiny_netlist();
+        let changes = vec![
+            (Time(5), a, Value::bit(true)),
+            (Time(30), a, Value::bit(false)),
+        ];
+        let r = SimResult::from_changes(&n, Time(20), &[a], changes, Metrics::default());
+        assert_eq!(r.waveform(a).unwrap().num_changes(), 1);
+    }
+
+    #[test]
+    fn unsorted_buffers_are_sorted() {
+        let (n, a, _) = tiny_netlist();
+        let changes = vec![
+            (Time(10), a, Value::bit(false)),
+            (Time(5), a, Value::bit(true)),
+        ];
+        let r = SimResult::from_changes(&n, Time(20), &[a], changes, Metrics::default());
+        let w = r.waveform(a).unwrap();
+        assert_eq!(w.changes()[0].0, Time(5));
+    }
+
+    #[test]
+    fn bus_value_assembly() {
+        let mut b = Builder::new();
+        let bits: Vec<NodeId> = (0..4).map(|i| b.node(&format!("p{i}"), 1)).collect();
+        let n = b.finish().unwrap();
+        let changes = vec![
+            (Time(1), bits[0], Value::bit(true)),
+            (Time(1), bits[1], Value::bit(false)),
+            (Time(1), bits[2], Value::bit(true)),
+            (Time(1), bits[3], Value::bit(false)),
+        ];
+        let r = SimResult::from_changes(&n, Time(5), &bits, changes, Metrics::default());
+        assert_eq!(r.bus_value_at(&bits, Time(2)), Some(0b0101));
+        // X before the changes: unreadable.
+        assert_eq!(r.bus_value_at(&bits, Time(0)), None);
+    }
+
+    #[test]
+    fn write_vcd_creates_file() {
+        let (n, a, _) = tiny_netlist();
+        let changes = vec![(Time(5), a, Value::bit(true))];
+        let r = SimResult::from_changes(&n, Time(20), &[a], changes, Metrics::default());
+        let path = std::env::temp_dir().join("parsim_write_vcd_test.vcd");
+        r.write_vcd(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("$timescale"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vcd_export_structure() {
+        let (n, a, c) = tiny_netlist();
+        let changes = vec![
+            (Time(5), a, Value::bit(true)),
+            (Time(5), c, Value::from_u64(9, 4)),
+        ];
+        let r = SimResult::from_changes(&n, Time(20), &[a, c], changes, Metrics::default());
+        let vcd = r.to_vcd();
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$var wire 4"));
+        assert!(vcd.contains("#5"));
+        assert!(vcd.contains("b1001"));
+        assert!(vcd.contains("$enddefinitions"));
+    }
+}

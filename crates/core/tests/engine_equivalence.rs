@@ -1,0 +1,131 @@
+//! Cross-engine equivalence on the paper's benchmark circuits.
+//!
+//! The sequential, synchronous-parallel, and asynchronous engines must
+//! produce identical waveforms on every circuit at every thread count; the
+//! compiled-mode engine must match on unit-delay circuits. These tests run
+//! all four engines on scaled-down versions of the paper's workloads
+//! (inverter array, gate-level multiplier, functional multiplier,
+//! pipelined CPU).
+
+use parsim_circuits::{
+    functional_multiplier, gate_multiplier, inverter_array, pipelined_cpu,
+};
+use parsim_core::{
+    assert_equivalent, ChaoticAsync, CompiledMode, EventDriven, SimConfig, SyncEventDriven,
+};
+use parsim_logic::Time;
+use parsim_netlist::{Netlist, NodeId};
+
+fn check_all_engines(netlist: &Netlist, watch: Vec<NodeId>, end: Time, unit_delay: bool) {
+    let cfg = SimConfig::new(end).watch_all(watch);
+    let seq = EventDriven::run(netlist, &cfg);
+    for threads in [1, 2, 4] {
+        let cfg_t = cfg.clone().threads(threads);
+        let sync = SyncEventDriven::run(netlist, &cfg_t);
+        assert_equivalent(&seq, &sync, &format!("sync x{threads}"));
+        let asy = ChaoticAsync::run(netlist, &cfg_t);
+        assert_equivalent(&seq, &asy, &format!("async x{threads}"));
+        if unit_delay {
+            let comp = CompiledMode::run(netlist, &cfg_t);
+            assert_equivalent(&seq, &comp, &format!("compiled x{threads}"));
+        }
+    }
+}
+
+#[test]
+fn inverter_array_all_engines() {
+    let arr = inverter_array(8, 8, 2).unwrap();
+    let mut watch = arr.taps.clone();
+    watch.extend(arr.inputs.iter().copied());
+    check_all_engines(&arr.netlist, watch, Time(120), true);
+}
+
+#[test]
+fn inverter_array_sparse_events() {
+    // Slow toggling: few events per step, lots of idle time steps.
+    let arr = inverter_array(4, 16, 16).unwrap();
+    check_all_engines(&arr.netlist, arr.taps.clone(), Time(300), true);
+}
+
+#[test]
+fn gate_multiplier_all_engines_and_correct_products() {
+    let operands = vec![(0u64, 0u64), (3, 5), (255, 255), (170, 85), (200, 13)];
+    let m = gate_multiplier(8, &operands, 160).unwrap();
+    let watch = m.product.clone();
+    check_all_engines(&m.netlist, watch, m.schedule_end(), true);
+
+    // Functional correctness: sampled products equal native arithmetic.
+    let cfg = SimConfig::new(m.schedule_end()).watch_all(m.product.clone());
+    let r = EventDriven::run(&m.netlist, &cfg);
+    for (k, expected) in m.expected_products().into_iter().enumerate() {
+        let got = r
+            .bus_value_at(&m.product, m.sample_time(k))
+            .unwrap_or_else(|| panic!("product {k} unreadable at {:?}", m.sample_time(k)));
+        assert_eq!(got, expected, "product {k}");
+    }
+}
+
+#[test]
+fn gate_multiplier_async_products_match_native() {
+    let operands = vec![(12u64, 11u64), (250, 250), (1, 255)];
+    let m = gate_multiplier(8, &operands, 160).unwrap();
+    let cfg = SimConfig::new(m.schedule_end())
+        .watch_all(m.product.clone())
+        .threads(4);
+    let r = ChaoticAsync::run(&m.netlist, &cfg);
+    for (k, expected) in m.expected_products().into_iter().enumerate() {
+        assert_eq!(
+            r.bus_value_at(&m.product, m.sample_time(k)),
+            Some(expected),
+            "product {k}"
+        );
+    }
+}
+
+#[test]
+fn functional_multiplier_all_engines_and_correct_products() {
+    let operands = vec![(0u64, 0u64), (7, 9), (65_535, 65_535), (40_000, 3)];
+    let m = functional_multiplier(&operands, 64).unwrap();
+    // Delays are 1 and 2: compiled mode does not apply.
+    check_all_engines(&m.netlist, vec![m.product], m.schedule_end(), false);
+
+    let cfg = SimConfig::new(m.schedule_end()).watch(m.product).threads(2);
+    let r = ChaoticAsync::run(&m.netlist, &cfg);
+    for (k, expected) in m.expected_products().into_iter().enumerate() {
+        let got = r
+            .waveform(m.product)
+            .unwrap()
+            .value_at(m.sample_time(k))
+            .to_u64();
+        assert_eq!(got, Some(expected), "product {k}");
+    }
+}
+
+#[test]
+fn pipelined_cpu_all_engines() {
+    let cpu = pipelined_cpu(8, 48).unwrap();
+    let mut watch = cpu.pc.clone();
+    watch.extend(cpu.wb_result.iter().copied());
+    check_all_engines(&cpu.netlist, watch, Time(600), true);
+}
+
+#[test]
+fn pipelined_cpu_pc_advances() {
+    let cpu = pipelined_cpu(8, 48).unwrap();
+    let cfg = SimConfig::new(Time(1500)).watch_all(cpu.pc.clone());
+    let r = EventDriven::run(&cpu.netlist, &cfg);
+    // After a few clock cycles the PC should count upwards. Sample after
+    // each rising edge (clock: offset 48, half-period 48 -> rising at 48,
+    // 144, 240...). The PC register captures pc+1 each edge.
+    let mut values = Vec::new();
+    for k in 0..8u64 {
+        let t = Time(48 + 96 * k + 40); // well after the edge settles
+        if let Some(v) = r.bus_value_at(&cpu.pc, t) {
+            values.push(v);
+        }
+    }
+    assert!(values.len() >= 6, "pc unreadable: {values:?}");
+    for w in values.windows(2) {
+        assert_eq!(w[1], (w[0] + 1) & 0xff, "pc sequence {values:?}");
+    }
+}

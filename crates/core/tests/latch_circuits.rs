@@ -1,0 +1,165 @@
+//! Transparent-latch circuits across all engines — level-sensitive state
+//! is the classic cross-engine hazard (a latch is transparent for whole
+//! intervals, not just at edges).
+
+use parsim_core::{assert_equivalent, ChaoticAsync, EventDriven, SimConfig, SyncEventDriven};
+use parsim_logic::{Delay, ElementKind, Time, Value};
+use parsim_netlist::{Builder, Netlist, NodeId};
+
+/// A latch following a fast data signal while enabled by a slow gate.
+fn latch_follower() -> (Netlist, Vec<NodeId>) {
+    let mut b = Builder::new();
+    let en = b.node("en", 1);
+    let d = b.node("d", 1);
+    let q = b.node("q", 1);
+    b.element(
+        "engen",
+        ElementKind::Clock {
+            half_period: 20,
+            offset: 20,
+        },
+        Delay(1),
+        &[],
+        &[en],
+    )
+    .unwrap();
+    b.element(
+        "dgen",
+        ElementKind::Clock {
+            half_period: 3,
+            offset: 3,
+        },
+        Delay(1),
+        &[],
+        &[d],
+    )
+    .unwrap();
+    b.element("l", ElementKind::Latch { width: 1 }, Delay(1), &[en, d], &[q])
+        .unwrap();
+    (b.finish().unwrap(), vec![en, d, q])
+}
+
+#[test]
+fn latch_follower_all_engines_agree() {
+    let (n, watch) = latch_follower();
+    let cfg = SimConfig::new(Time(300)).watch_all(watch);
+    let seq = EventDriven::run(&n, &cfg);
+    for threads in [1, 2, 4] {
+        let cfg_t = cfg.clone().threads(threads);
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+    }
+}
+
+#[test]
+fn latch_transparency_semantics() {
+    let (n, watch) = latch_follower();
+    let q = watch[2];
+    let cfg = SimConfig::new(Time(300)).watch_all(watch);
+    let r = EventDriven::run(&n, &cfg);
+    let wq = r.waveform(q).unwrap();
+    // While en=1 (e.g. ticks 21..40 after the latch delay), q follows d
+    // (period-3 toggles); while en=0 (41..60), q freezes.
+    let transparent_changes = wq
+        .changes()
+        .iter()
+        .filter(|(t, _)| (22..40).contains(&t.ticks()))
+        .count();
+    let opaque_changes = wq
+        .changes()
+        .iter()
+        .filter(|(t, _)| (42..60).contains(&t.ticks()))
+        .count();
+    assert!(
+        transparent_changes >= 4,
+        "q should follow d while transparent: {transparent_changes}"
+    );
+    assert_eq!(opaque_changes, 0, "q must freeze while opaque");
+}
+
+/// A latch-based divider loop: q feeds back through an inverter into its
+/// own data, gated by a narrow enable — a pathological level-sensitive
+/// feedback structure.
+#[test]
+fn gated_latch_feedback_loop_agrees() {
+    let mut b = Builder::new();
+    let en = b.node("en", 1);
+    let d = b.node("d", 1);
+    let q = b.node("q", 1);
+    // Narrow enable pulses: transparent for 2 ticks every 16.
+    let values: Vec<Value> = (0..8)
+        .map(|k| Value::bit(k == 0))
+        .collect();
+    b.element(
+        "engen",
+        ElementKind::Pattern {
+            period: 2,
+            values: values.into(),
+        },
+        Delay(1),
+        &[],
+        &[en],
+    )
+    .unwrap();
+    b.element("l", ElementKind::Latch { width: 1 }, Delay(3), &[en, d], &[q])
+        .unwrap();
+    b.element("inv", ElementKind::Not, Delay(2), &[q], &[d])
+        .unwrap();
+    let n = b.finish().unwrap();
+    let cfg = SimConfig::new(Time(400)).watch(q).watch(d).watch(en);
+    let seq = EventDriven::run(&n, &cfg);
+    for threads in [1, 3] {
+        let cfg_t = cfg.clone().threads(threads);
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+    }
+    // The loop resolves from X (enable gating lets the inverted X...
+    // actually X holds until a known value enters; verify q eventually
+    // leaves X or stays X consistently — the equivalence above is the
+    // real assertion; here we just confirm activity exists on d.
+    assert!(seq.waveform(en).unwrap().num_changes() > 10);
+}
+
+/// Wide (bus) latches across engines.
+#[test]
+fn wide_latch_agrees() {
+    let mut b = Builder::new();
+    let en = b.node("en", 1);
+    let d = b.node("d", 8);
+    let q = b.node("q", 8);
+    b.element(
+        "engen",
+        ElementKind::Clock {
+            half_period: 12,
+            offset: 12,
+        },
+        Delay(1),
+        &[],
+        &[en],
+    )
+    .unwrap();
+    b.element(
+        "dgen",
+        ElementKind::Lfsr {
+            width: 8,
+            period: 5,
+            seed: 77,
+        },
+        Delay(1),
+        &[],
+        &[d],
+    )
+    .unwrap();
+    b.element("l", ElementKind::Latch { width: 8 }, Delay(2), &[en, d], &[q])
+        .unwrap();
+    let n = b.finish().unwrap();
+    let cfg = SimConfig::new(Time(300)).watch(q);
+    let seq = EventDriven::run(&n, &cfg);
+    let asy = ChaoticAsync::run(&n, &cfg.clone().threads(2));
+    assert_equivalent(&seq, &asy, "wide latch");
+    assert!(
+        seq.waveform(q).unwrap().num_changes() > 3,
+        "q changed {} times",
+        seq.waveform(q).unwrap().num_changes()
+    );
+}

@@ -1,0 +1,110 @@
+//! Property-based cross-engine equivalence on random circuits.
+//!
+//! Random well-formed circuits (combinational DAGs plus sequential
+//! feedback) are the sharpest test of the asynchronous engine's
+//! valid-time protocol: every waveform must match the sequential
+//! reference exactly, at every thread count, with and without lookahead
+//! and garbage collection.
+
+use parsim_circuits::{random_circuit, RandomCircuitParams};
+use parsim_core::{
+    equivalence_report, ChaoticAsync, CompiledMode, EventDriven, SimConfig, SyncEventDriven,
+};
+use parsim_logic::Time;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = RandomCircuitParams> {
+    (
+        5usize..80,   // elements
+        1usize..6,    // inputs
+        0u64..4,      // seq fraction in quarters
+        1u64..4,      // max delay
+        any::<u64>(), // seed
+    )
+        .prop_map(|(elements, inputs, seqq, max_delay, seed)| RandomCircuitParams {
+            elements,
+            inputs,
+            seq_fraction: seqq as f64 * 0.25,
+            max_delay,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn async_engine_matches_reference(params in params_strategy(), threads in 1usize..4) {
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
+        let seq = EventDriven::run(&c.netlist, &cfg);
+        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads));
+        let rep = equivalence_report(&seq, &asy);
+        prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
+    }
+
+    #[test]
+    fn sync_engine_matches_reference(params in params_strategy(), threads in 1usize..4) {
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
+        let seq = EventDriven::run(&c.netlist, &cfg);
+        let sync = SyncEventDriven::run(&c.netlist, &cfg.clone().threads(threads));
+        let rep = equivalence_report(&seq, &sync);
+        prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
+    }
+
+    #[test]
+    fn compiled_matches_on_unit_delay(mut params in params_strategy(), threads in 1usize..4) {
+        params.max_delay = 1;
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(100)).watch_all(c.watch.clone());
+        let seq = EventDriven::run(&c.netlist, &cfg);
+        let comp = CompiledMode::run(&c.netlist, &cfg.clone().threads(threads));
+        let rep = equivalence_report(&seq, &comp);
+        prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
+    }
+
+    #[test]
+    fn lookahead_and_gc_flags_are_transparent(params in params_strategy()) {
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(120)).watch_all(c.watch.clone()).threads(2);
+        let base = ChaoticAsync::run(&c.netlist, &cfg);
+        let plain = ChaoticAsync::run(
+            &c.netlist,
+            &cfg.clone().without_lookahead().without_gc(),
+        );
+        let rep = equivalence_report(&base, &plain);
+        prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
+    }
+
+    #[test]
+    fn engines_are_deterministic_across_runs(params in params_strategy()) {
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(100)).watch_all(c.watch.clone()).threads(3);
+        let a = ChaoticAsync::run(&c.netlist, &cfg);
+        let b = ChaoticAsync::run(&c.netlist, &cfg);
+        let rep = equivalence_report(&a, &b);
+        prop_assert!(rep.is_equivalent(), "nondeterminism at seed {}: {rep}", params.seed);
+    }
+}
+
+/// A long-running oversubscribed stress case outside proptest (more
+/// threads than cores exercises preemption-driven interleavings).
+#[test]
+fn oversubscribed_stress() {
+    let params = RandomCircuitParams {
+        elements: 150,
+        inputs: 6,
+        seq_fraction: 0.25,
+        max_delay: 3,
+        seed: 20260705,
+    };
+    let c = random_circuit(&params).unwrap();
+    let cfg = SimConfig::new(Time(400)).watch_all(c.watch.clone());
+    let seq = EventDriven::run(&c.netlist, &cfg);
+    for threads in [6, 8] {
+        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads));
+        let rep = equivalence_report(&seq, &asy);
+        assert!(rep.is_equivalent(), "x{threads}: {rep}");
+    }
+}

@@ -1,0 +1,55 @@
+//! The timing-wheel calendar produces waveforms identical to the
+//! `BTreeMap` calendar on every circuit class.
+
+use parsim_circuits::{
+    feedback_chain, functional_multiplier, inverter_array, random_circuit, RandomCircuitParams,
+};
+use parsim_core::{assert_equivalent, equivalence_report, EventDriven, SimConfig};
+use parsim_logic::Time;
+use proptest::prelude::*;
+
+#[test]
+fn wheel_matches_map_on_paper_circuits() {
+    let arr = inverter_array(8, 8, 3).unwrap();
+    let func = functional_multiplier(&[(9, 9), (40_000, 2)], 64).unwrap();
+    let fb = feedback_chain(2, 8).unwrap();
+    for (name, netlist, end) in [
+        ("array", &arr.netlist, Time(200)),
+        ("functional", &func.netlist, Time(128)),
+        ("feedback", &fb.netlist, Time(150)),
+    ] {
+        let watch: Vec<_> = netlist.iter_nodes().map(|(id, _)| id).collect();
+        let cfg = SimConfig::new(end).watch_all(watch);
+        let map = EventDriven::run(netlist, &cfg);
+        let wheel = EventDriven::run(netlist, &cfg.clone().with_timing_wheel());
+        assert_equivalent(&map, &wheel, name);
+        assert_eq!(
+            map.metrics.events_processed, wheel.metrics.events_processed,
+            "{name}: event counts"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wheel_matches_map_on_random_circuits(
+        elements in 5usize..80,
+        max_delay in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let c = random_circuit(&RandomCircuitParams {
+            elements,
+            max_delay,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
+        let map = EventDriven::run(&c.netlist, &cfg);
+        let wheel = EventDriven::run(&c.netlist, &cfg.clone().with_timing_wheel());
+        let rep = equivalence_report(&map, &wheel);
+        prop_assert!(rep.is_equivalent(), "seed {seed}: {rep}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Canonical experiment circuits at the paper's scales.
+
+use parsim_circuits::{
+    functional_multiplier, gate_multiplier, inverter_array, pipelined_cpu, FunctionalMultiplier,
+    GateMultiplier, InverterArray, PipelinedCpu,
+};
+
+/// The processor counts the figures sweep (the paper plots 1–16).
+pub const PROC_SWEEP: &[usize] = &[1, 2, 4, 6, 8, 9, 10, 12, 14, 15, 16];
+
+/// The paper's 32×16 inverter array with inputs toggling every
+/// `toggle_period` ticks (Fig. 2's event-density knob: toggle 1 ⇒ 512
+/// events/tick down to toggle 8 ⇒ 64 events/tick).
+///
+/// # Panics
+///
+/// Panics only on internal generator inconsistency.
+pub fn paper_inverter_array(toggle_period: u64) -> InverterArray {
+    inverter_array(32, 16, toggle_period).expect("generator is self-consistent")
+}
+
+/// A deterministic pseudo-random operand schedule.
+fn operand_schedule(n: usize, bits: u32) -> Vec<(u64, u64)> {
+    let mask = (1u64 << bits) - 1;
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n).map(|_| (next() & mask, next() & mask)).collect()
+}
+
+/// The paper's 16-bit gate-level multiplier (thousands of primitive
+/// gates) exercised by `vectors` pseudo-random operand pairs.
+///
+/// # Panics
+///
+/// Panics only on internal generator inconsistency.
+pub fn paper_gate_multiplier(vectors: usize) -> GateMultiplier {
+    gate_multiplier(16, &operand_schedule(vectors, 16), 256)
+        .expect("generator is self-consistent")
+}
+
+/// The paper's ~100-element functional-level 16-bit multiplier exercised
+/// by `vectors` pseudo-random operand pairs.
+///
+/// # Panics
+///
+/// Panics only on internal generator inconsistency.
+pub fn paper_functional_multiplier(vectors: usize) -> FunctionalMultiplier {
+    functional_multiplier(&operand_schedule(vectors, 16), 64)
+        .expect("generator is self-consistent")
+}
+
+/// The paper's pipelined microprocessor (~3000 non-memory gates;
+/// 16-bit datapath, clock half-period 128 ticks).
+///
+/// # Panics
+///
+/// Panics only on internal generator inconsistency.
+pub fn paper_cpu() -> PipelinedCpu {
+    pipelined_cpu(16, 128).expect("generator is self-consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_netlist::NetlistStats;
+
+    #[test]
+    fn circuit_scales_match_paper() {
+        let arr = paper_inverter_array(1);
+        assert_eq!(
+            NetlistStats::compute(&arr.netlist).kind_counts["not"],
+            512,
+            "32x16 array"
+        );
+        let gm = paper_gate_multiplier(2);
+        assert!(gm.netlist.num_elements() > 2000, "thousands of gates");
+        let fm = paper_functional_multiplier(2);
+        assert!(fm.netlist.num_elements() < 200, "~100 functional elements");
+        let cpu = paper_cpu();
+        assert!(cpu.netlist.num_elements() > 2000, "~3000 gates");
+    }
+
+    #[test]
+    fn operand_schedules_are_deterministic() {
+        assert_eq!(operand_schedule(5, 16), operand_schedule(5, 16));
+        assert!(operand_schedule(50, 16).iter().all(|&(a, b)| a <= 0xffff && b <= 0xffff));
+    }
+}

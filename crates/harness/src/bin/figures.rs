@@ -1,0 +1,69 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures            # run everything
+//! figures fig1 fig5  # run selected experiments
+//! figures --list     # list experiment names
+//! ```
+
+use parsim_harness::{
+    ablation_lookahead, ablation_os_interrupts, ablation_queues, ablation_stealing,
+    bus_experiment, chandy_misra_ablation, event_stats, feedback_experiment,
+    fig1_event_driven,
+    fig2_event_density, fig3_compiled, fig4_async, fig5_comparison, gc_effectiveness,
+    hypercube_experiment, levels_experiment, uniproc_ratio, wallclock_matrix, Table,
+};
+
+type Experiment = (&'static str, fn() -> Table);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("fig1", fig1_event_driven),
+    ("fig2", fig2_event_density),
+    ("fig3", fig3_compiled),
+    ("fig4", fig4_async),
+    ("fig5", fig5_comparison),
+    ("uniproc", uniproc_ratio),
+    ("stats", event_stats),
+    ("queues", ablation_queues),
+    ("stealing", ablation_stealing),
+    ("os", ablation_os_interrupts),
+    ("lookahead", ablation_lookahead),
+    ("gc", gc_effectiveness),
+    ("feedback", feedback_experiment),
+    ("bus", bus_experiment),
+    ("levels", levels_experiment),
+    ("hypercube", hypercube_experiment),
+    ("wallclock", wallclock_matrix),
+    ("chandy-misra", chandy_misra_ablation),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+    let selected: Vec<&Experiment> = if args.is_empty() {
+        EXPERIMENTS.iter().collect()
+    } else {
+        EXPERIMENTS
+            .iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(1);
+    }
+    println!("# parsim — regenerated evaluation of Soule & Blank, DAC 1988\n");
+    for (name, run) in selected {
+        let started = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("_({name} regenerated in {:.1?})_\n", started.elapsed());
+    }
+}

@@ -1,0 +1,157 @@
+//! `psim` — simulate a text-format netlist from the command line.
+//!
+//! ```text
+//! psim CIRCUIT.net --end 1000 --engine async --threads 4 \
+//!      --watch out0 --watch out1 --vcd dump.vcd
+//! ```
+//!
+//! Engines: `seq` (default), `sync`, `compiled`, `async`. Files ending
+//! in `.bench` are parsed as ISCAS benchmarks (LFSR stimulus attached);
+//! anything else uses the native text format. With no `--watch` flags,
+//! every named node that is not auto-generated (`_t...`) is watched.
+//! `--stats` prints netlist statistics and exits.
+
+use std::process::ExitCode;
+
+use parsim_core::{ChaoticAsync, CompiledMode, EventDriven, SimConfig, SyncEventDriven};
+use parsim_harness::Table;
+use parsim_logic::Time;
+use parsim_netlist::bench_fmt::{from_bench, BenchOptions};
+use parsim_netlist::{Netlist, NetlistStats};
+
+struct Options {
+    input: String,
+    engine: String,
+    end: u64,
+    threads: usize,
+    watch: Vec<String>,
+    vcd: Option<String>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        engine: "seq".to_string(),
+        end: 1000,
+        threads: 1,
+        watch: Vec::new(),
+        vcd: None,
+        stats: false,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--engine" => opts.engine = value("--engine")?,
+            "--end" => {
+                opts.end = value("--end")?
+                    .parse()
+                    .map_err(|_| "--end must be an integer".to_string())?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?
+            }
+            "--watch" => opts.watch.push(value("--watch")?),
+            "--vcd" => opts.vcd = Some(value("--vcd")?),
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => {
+                return Err("usage: psim CIRCUIT.net [--engine seq|sync|compiled|async] \
+                     [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') && opts.input.is_empty() => {
+                opts.input = other.to_string()
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("missing input netlist (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("psim: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+    // `.bench` files use the ISCAS format (with default LFSR stimulus);
+    // everything else is the native text format.
+    let netlist = if opts.input.ends_with(".bench") {
+        from_bench(&text, &BenchOptions::default())
+            .map_err(|e| e.to_string())?
+            .netlist
+    } else {
+        Netlist::from_text(&text).map_err(|e| e.to_string())?
+    };
+
+    if opts.stats {
+        print!("{}", NetlistStats::compute(&netlist));
+        return Ok(());
+    }
+
+    let watch: Vec<_> = if opts.watch.is_empty() {
+        netlist
+            .iter_nodes()
+            .filter(|(_, n)| !n.name().starts_with("_t"))
+            .map(|(id, _)| id)
+            .collect()
+    } else {
+        opts.watch
+            .iter()
+            .map(|name| {
+                netlist
+                    .node_by_name(name)
+                    .ok_or_else(|| format!("unknown node `{name}`"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let config = SimConfig::new(Time(opts.end))
+        .watch_all(watch.iter().copied())
+        .threads(opts.threads);
+    let result = match opts.engine.as_str() {
+        "seq" => EventDriven::run(&netlist, &config),
+        "sync" => SyncEventDriven::run(&netlist, &config),
+        "compiled" => CompiledMode::run(&netlist, &config),
+        "async" => ChaoticAsync::run(&netlist, &config),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+
+    let mut t = Table::new(
+        &format!("{} — {} engine, end={}", opts.input, opts.engine, opts.end),
+        &["node", "changes", "final value"],
+    );
+    for w in result.waveforms() {
+        t.row(vec![
+            w.name().to_string(),
+            w.num_changes().to_string(),
+            w.final_value().to_string(),
+        ]);
+    }
+    t.note(&format!("{}", result.metrics));
+    print!("{t}");
+
+    if let Some(path) = opts.vcd {
+        std::fs::write(&path, result.to_vcd())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}

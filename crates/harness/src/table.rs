@@ -1,0 +1,148 @@
+//! Markdown result tables.
+
+use std::fmt;
+
+/// A result table with a title, a note block (paper-reported values), and
+/// markdown rendering.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_harness::Table;
+///
+/// let mut t = Table::new("Demo", &["procs", "speedup"]);
+/// t.row(vec!["4".into(), "3.2".into()]);
+/// t.note("paper reports ~3");
+/// let md = t.to_string();
+/// assert!(md.contains("| procs | speedup |"));
+/// assert!(md.contains("paper reports"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line (rendered beneath the table).
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Looks up a cell by row index and column header.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as `f64`.
+    pub fn cell_f64(&self, row: usize, header: &str) -> Option<f64> {
+        self.cell(row, header)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}\n", self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {c:>w$} |")?;
+            }
+            writeln!(f)
+        };
+        render(&self.headers, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            render(r, f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["10".into(), "20".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.starts_with("### T"));
+        assert!(s.contains("|  a | bb |"));
+        assert!(s.contains("| 10 | 20 |"));
+        assert!(s.contains("> hello"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("T", &["p", "s"]);
+        t.row(vec!["8".into(), "5.50".into()]);
+        assert_eq!(t.cell(0, "p"), Some("8"));
+        assert_eq!(t.cell_f64(0, "s"), Some(5.5));
+        assert_eq!(t.cell(0, "zz"), None);
+        assert_eq!(t.cell(5, "p"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

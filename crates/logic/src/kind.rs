@@ -1,0 +1,471 @@
+//! The catalog of element models known to the simulators.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::{Bit, Value};
+
+/// Every element model the simulators understand.
+///
+/// The catalog spans the paper's three abstraction levels: scalar gates
+/// (gate level), sequential primitives, and functional/RTL blocks such as
+/// the 8-bit adders and 3-bit multipliers that make up the paper's
+/// functional-level multiplier. Generators ("gen" in the paper's Fig. 4
+/// example) have no inputs and are pre-expanded for all simulation time at
+/// initialization, exactly as §4 step 1 prescribes.
+///
+/// Gates are width-generic: all inputs and the output share one width, so an
+/// `And` over 16-bit buses is a bitwise AND.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::ElementKind;
+///
+/// let adder = ElementKind::Adder { width: 8 };
+/// assert_eq!(adder.num_outputs(), 2); // sum and carry-out
+/// assert!(adder.eval_cost() > ElementKind::Not.eval_cost());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementKind {
+    /// N-ary AND; inputs and output share `width` bits.
+    And,
+    /// N-ary OR.
+    Or,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR (left fold).
+    Xor,
+    /// N-ary XNOR.
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+    /// 2:1 multiplexer; inputs `sel(1), a(width), b(width)`; output `width`.
+    /// `sel = 0` selects `a`.
+    Mux { width: u8 },
+    /// Rising-edge D flip-flop; inputs `clk(1), d(width)`; output `q(width)`.
+    Dff { width: u8 },
+    /// D flip-flop with asynchronous active-high reset; inputs
+    /// `clk(1), d(width), rst(1)`; output `q(width)`.
+    DffR { width: u8 },
+    /// Transparent latch; inputs `en(1), d(width)`; output `q(width)`.
+    Latch { width: u8 },
+    /// Ripple-model adder; inputs `a(width), b(width), cin(1)`; outputs
+    /// `sum(width), cout(1)`.
+    Adder { width: u8 },
+    /// Subtractor; inputs `a(width), b(width)`; output `diff(width)`.
+    Subtractor { width: u8 },
+    /// Multiplier; inputs `a(width), b(width)`; output `p(2*width)`.
+    Multiplier { width: u8 },
+    /// Unsigned comparator; inputs `a(width), b(width)`; outputs
+    /// `eq(1), lt(1)`.
+    Comparator { width: u8 },
+    /// Synchronous memory with registered read-first output: inputs
+    /// `clk(1), we(1), addr(addr_bits), wdata(width)`; output
+    /// `rdata(width)`. On each rising clock edge the addressed cell is
+    /// read into `rdata`, then written from `wdata` when `we = 1`.
+    /// Unknown addresses or write enables conservatively poison the
+    /// affected cells to `X`.
+    Memory { addr_bits: u8, width: u8 },
+    /// Tristate buffer: inputs `en(1), d(width)`; output follows `d`
+    /// while `en = 1`, floats at `Z` while `en = 0`, and is `X` for an
+    /// unknown enable.
+    TriBuf { width: u8 },
+    /// Wired-bus resolver: n driver inputs of `width` bits each; output
+    /// is their per-bit resolution ([`Value::resolve`]).
+    Resolver { width: u8 },
+    /// Bus slice (pure wiring): input `in(in_width)`; output the bits
+    /// `[lo, lo + width)`.
+    Slice { in_width: u8, lo: u8, width: u8 },
+    /// Zero extension (pure wiring): input `in(in_width)`; output
+    /// `out(out_width)` with high bits zero.
+    ZeroExt { in_width: u8, out_width: u8 },
+    /// Constant left shift (pure wiring): input `in(in_width)`; output
+    /// `out(out_width) = in << amount`, truncated to `out_width`.
+    Shl {
+        in_width: u8,
+        out_width: u8,
+        amount: u8,
+    },
+    /// Clock generator: output is 0 until `offset`, then toggles every
+    /// `half_period` ticks (first toggle at `offset`).
+    Clock { half_period: u64, offset: u64 },
+    /// One-shot pulse: 0, then 1 during `[at, at + width)`.
+    Pulse { at: u64, width: u64 },
+    /// Cyclic pattern generator: emits `values[k % len]` at `t = k * period`.
+    Pattern { period: u64, values: Arc<[Value]> },
+    /// Explicit timed stimulus: emits each `(time, value)` change once, in
+    /// order — the test-vector generator behind
+    /// [`TestBench`](https://docs.rs/parsim-core)-style directed tests.
+    Vector { changes: Arc<[(u64, Value)]> },
+    /// Pseudo-random generator: a 64-bit Fibonacci LFSR stepped every
+    /// `period` ticks, emitting its low `width` bits.
+    Lfsr { width: u8, period: u64, seed: u64 },
+    /// Constant driver.
+    Const { value: Value },
+}
+
+/// How many inputs an element accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` inputs.
+    Exact(usize),
+    /// At least `n` inputs (n-ary gates).
+    AtLeast(usize),
+}
+
+/// A controlling-value rule used by the asynchronous engine's lookahead
+/// optimization (§4: "if e2 is an AND gate and node 2 is 0 ... node 3 will
+/// be 0 ... and any events on node 4 ... can be ignored").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Controlling {
+    /// The input bit value that pins the output.
+    pub input: Bit,
+    /// The output bit produced while any input holds the controlling value.
+    pub output: Bit,
+}
+
+impl ElementKind {
+    /// True for generator elements (no inputs; pre-expanded at init).
+    pub fn is_generator(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::Clock { .. }
+                | ElementKind::Pulse { .. }
+                | ElementKind::Pattern { .. }
+                | ElementKind::Vector { .. }
+                | ElementKind::Lfsr { .. }
+                | ElementKind::Const { .. }
+        )
+    }
+
+    /// True for elements with internal state (flip-flops, latches,
+    /// memories).
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::Dff { .. }
+                | ElementKind::DffR { .. }
+                | ElementKind::Latch { .. }
+                | ElementKind::Memory { .. }
+        )
+    }
+
+    /// The number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            ElementKind::Adder { .. } | ElementKind::Comparator { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// The width of output port `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_outputs()`.
+    pub fn output_width(&self, idx: usize) -> u8 {
+        assert!(idx < self.num_outputs(), "output index out of range");
+        match self {
+            ElementKind::Mux { width }
+            | ElementKind::Dff { width }
+            | ElementKind::DffR { width }
+            | ElementKind::Latch { width }
+            | ElementKind::TriBuf { width }
+            | ElementKind::Resolver { width }
+            | ElementKind::Memory { width, .. }
+            | ElementKind::Subtractor { width } => *width,
+            ElementKind::Adder { width }
+                if idx == 0 => {
+                    *width
+                }
+            ElementKind::Multiplier { width } => width.saturating_mul(2).min(64),
+            ElementKind::Comparator { .. } => 1,
+            ElementKind::Slice { width, .. } => *width,
+            ElementKind::ZeroExt { out_width, .. } | ElementKind::Shl { out_width, .. } => {
+                *out_width
+            }
+            ElementKind::Pattern { values, .. } => values[0].width(),
+            ElementKind::Vector { changes } => changes[0].1.width(),
+            ElementKind::Lfsr { width, .. } => *width,
+            ElementKind::Const { value } => value.width(),
+            ElementKind::Clock { .. } | ElementKind::Pulse { .. } => 1,
+            // Width-generic gates: resolved by the netlist from the nodes.
+            _ => 1,
+        }
+    }
+
+    /// True for gates whose output width follows their node widths rather
+    /// than being fixed by the kind itself.
+    pub fn is_width_generic(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::And
+                | ElementKind::Or
+                | ElementKind::Nand
+                | ElementKind::Nor
+                | ElementKind::Xor
+                | ElementKind::Xnor
+                | ElementKind::Not
+                | ElementKind::Buf
+        )
+    }
+
+    /// The accepted input arity.
+    pub fn input_arity(&self) -> Arity {
+        match self {
+            ElementKind::And
+            | ElementKind::Or
+            | ElementKind::Nand
+            | ElementKind::Nor
+            | ElementKind::Xor
+            | ElementKind::Xnor => Arity::AtLeast(2),
+            ElementKind::Not
+            | ElementKind::Buf
+            | ElementKind::Slice { .. }
+            | ElementKind::ZeroExt { .. }
+            | ElementKind::Shl { .. } => Arity::Exact(1),
+            ElementKind::Mux { .. } | ElementKind::DffR { .. } | ElementKind::Adder { .. } => {
+                Arity::Exact(3)
+            }
+            ElementKind::Memory { .. } => Arity::Exact(4),
+            ElementKind::Dff { .. }
+            | ElementKind::Latch { .. }
+            | ElementKind::TriBuf { .. }
+            | ElementKind::Subtractor { .. }
+            | ElementKind::Multiplier { .. }
+            | ElementKind::Comparator { .. } => Arity::Exact(2),
+            ElementKind::Resolver { .. } => Arity::AtLeast(2),
+            _ => Arity::Exact(0), // generators
+        }
+    }
+
+    /// Checks an input count against [`Self::input_arity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortCountError`] when the count is not accepted.
+    pub fn check_arity(&self, n_inputs: usize) -> Result<(), PortCountError> {
+        let ok = match self.input_arity() {
+            Arity::Exact(n) => n_inputs == n,
+            Arity::AtLeast(n) => n_inputs >= n,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(PortCountError {
+                kind: format!("{self:?}"),
+                expected: self.input_arity(),
+                got: n_inputs,
+            })
+        }
+    }
+
+    /// The controlling-value rule for this element, if it has one.
+    ///
+    /// Used by the asynchronous engine to extend output valid times past
+    /// unknown inputs while another input pins the output.
+    pub fn controlling(&self) -> Option<Controlling> {
+        match self {
+            ElementKind::And => Some(Controlling {
+                input: Bit::Zero,
+                output: Bit::Zero,
+            }),
+            ElementKind::Nand => Some(Controlling {
+                input: Bit::Zero,
+                output: Bit::One,
+            }),
+            ElementKind::Or => Some(Controlling {
+                input: Bit::One,
+                output: Bit::One,
+            }),
+            ElementKind::Nor => Some(Controlling {
+                input: Bit::One,
+                output: Bit::Zero,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Relative evaluation cost in "inverter events", the paper's unit
+    /// ("elements at the higher levels of abstraction will have execution
+    /// times ranging from 1 to 100 inverter-events").
+    ///
+    /// Used by the LPT partitioner and by the virtual-machine cost model.
+    pub fn eval_cost(&self) -> u64 {
+        match self {
+            ElementKind::Not | ElementKind::Buf => 1,
+            ElementKind::And | ElementKind::Or | ElementKind::Nand | ElementKind::Nor => 1,
+            ElementKind::Xor | ElementKind::Xnor => 2,
+            ElementKind::Mux { .. } => 2,
+            ElementKind::Dff { .. } | ElementKind::Latch { .. } => 2,
+            ElementKind::DffR { .. } => 3,
+            ElementKind::Adder { width } | ElementKind::Subtractor { width } => {
+                2 + (*width as u64) / 2
+            }
+            ElementKind::Multiplier { width } => 4 + 2 * (*width as u64),
+            ElementKind::Comparator { width } => 2 + (*width as u64) / 4,
+            ElementKind::Slice { .. } | ElementKind::ZeroExt { .. } | ElementKind::Shl { .. } => 1,
+            ElementKind::TriBuf { .. } => 1,
+            ElementKind::Resolver { width } => 1 + (*width as u64) / 8,
+            ElementKind::Memory { addr_bits, width } => {
+                5 + (*width as u64) / 4 + *addr_bits as u64
+            }
+            ElementKind::Clock { .. }
+            | ElementKind::Pulse { .. }
+            | ElementKind::Pattern { .. }
+            | ElementKind::Vector { .. }
+            | ElementKind::Lfsr { .. }
+            | ElementKind::Const { .. } => 1,
+        }
+    }
+
+    /// A short lowercase mnemonic used by the netlist text format.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ElementKind::And => "and",
+            ElementKind::Or => "or",
+            ElementKind::Nand => "nand",
+            ElementKind::Nor => "nor",
+            ElementKind::Xor => "xor",
+            ElementKind::Xnor => "xnor",
+            ElementKind::Not => "not",
+            ElementKind::Buf => "buf",
+            ElementKind::Mux { .. } => "mux",
+            ElementKind::Dff { .. } => "dff",
+            ElementKind::DffR { .. } => "dffr",
+            ElementKind::Latch { .. } => "latch",
+            ElementKind::Adder { .. } => "add",
+            ElementKind::Subtractor { .. } => "sub",
+            ElementKind::Multiplier { .. } => "mul",
+            ElementKind::Comparator { .. } => "cmp",
+            ElementKind::Memory { .. } => "mem",
+            ElementKind::TriBuf { .. } => "tribuf",
+            ElementKind::Resolver { .. } => "res",
+            ElementKind::Slice { .. } => "slice",
+            ElementKind::ZeroExt { .. } => "zext",
+            ElementKind::Shl { .. } => "shl",
+            ElementKind::Clock { .. } => "clock",
+            ElementKind::Pulse { .. } => "pulse",
+            ElementKind::Pattern { .. } => "pattern",
+            ElementKind::Vector { .. } => "vector",
+            ElementKind::Lfsr { .. } => "lfsr",
+            ElementKind::Const { .. } => "const",
+        }
+    }
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when an element is connected to the wrong number of
+/// inputs.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::ElementKind;
+///
+/// assert!(ElementKind::Not.check_arity(2).is_err());
+/// assert!(ElementKind::And.check_arity(4).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortCountError {
+    kind: String,
+    expected: Arity,
+    got: usize,
+}
+
+impl fmt::Display for PortCountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let expected = match self.expected {
+            Arity::Exact(n) => format!("exactly {n}"),
+            Arity::AtLeast(n) => format!("at least {n}"),
+        };
+        write!(
+            f,
+            "element {} expects {expected} inputs, got {}",
+            self.kind, self.got
+        )
+    }
+}
+
+impl Error for PortCountError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_checks() {
+        assert!(ElementKind::And.check_arity(2).is_ok());
+        assert!(ElementKind::And.check_arity(5).is_ok());
+        assert!(ElementKind::And.check_arity(1).is_err());
+        assert!(ElementKind::Not.check_arity(1).is_ok());
+        assert!(ElementKind::Adder { width: 8 }.check_arity(3).is_ok());
+        assert!(ElementKind::Adder { width: 8 }.check_arity(2).is_err());
+        assert!(ElementKind::Clock {
+            half_period: 5,
+            offset: 0
+        }
+        .check_arity(0)
+        .is_ok());
+    }
+
+    #[test]
+    fn output_shapes() {
+        let adder = ElementKind::Adder { width: 8 };
+        assert_eq!(adder.num_outputs(), 2);
+        assert_eq!(adder.output_width(0), 8);
+        assert_eq!(adder.output_width(1), 1);
+        let mul = ElementKind::Multiplier { width: 3 };
+        assert_eq!(mul.output_width(0), 6);
+    }
+
+    #[test]
+    fn generator_classification() {
+        assert!(ElementKind::Const {
+            value: Value::bit(true)
+        }
+        .is_generator());
+        assert!(!ElementKind::And.is_generator());
+        assert!(ElementKind::Dff { width: 1 }.is_sequential());
+        assert!(!ElementKind::And.is_sequential());
+    }
+
+    #[test]
+    fn controlling_values() {
+        let c = ElementKind::And.controlling().unwrap();
+        assert_eq!(c.input, Bit::Zero);
+        assert_eq!(c.output, Bit::Zero);
+        let c = ElementKind::Nor.controlling().unwrap();
+        assert_eq!(c.input, Bit::One);
+        assert_eq!(c.output, Bit::Zero);
+        assert!(ElementKind::Xor.controlling().is_none());
+    }
+
+    #[test]
+    fn costs_scale_with_abstraction_level() {
+        // The paper: functional elements cost 1..100 inverter events.
+        let inv = ElementKind::Not.eval_cost();
+        let add8 = ElementKind::Adder { width: 8 }.eval_cost();
+        let mul3 = ElementKind::Multiplier { width: 3 }.eval_cost();
+        assert_eq!(inv, 1);
+        assert!(add8 > inv && mul3 > inv);
+        assert!(mul3 <= 100 && add8 <= 100);
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(ElementKind::Nand.mnemonic(), "nand");
+        assert_eq!(ElementKind::Dff { width: 4 }.to_string(), "dff");
+    }
+}

@@ -1,0 +1,261 @@
+//! Simulation time and element delays.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in discrete simulation time, measured in ticks.
+///
+/// `Time` is a transparent wrapper over `u64`. The value [`Time::MAX`] is
+/// reserved as the "end of time" sentinel: a node whose behavior is valid
+/// until `Time::MAX` is fully determined for the whole simulation, which is
+/// how the asynchronous engine expresses the paper's "evaluated for all
+/// time" condition.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, Time};
+///
+/// let t = Time(10) + Delay(5);
+/// assert_eq!(t, Time(15));
+/// assert!(t < Time::MAX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of simulation time.
+    pub const ZERO: Time = Time(0);
+    /// The "end of time" sentinel; behavior valid until `MAX` is valid forever.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a delay, clamping at [`Time::MAX`].
+    #[inline]
+    pub fn saturating_add(self, d: Delay) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Time::MAX {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl Add<Delay> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Delay) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Delay> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Delay) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Delay;
+    /// Difference between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Delay {
+        debug_assert!(rhs <= self, "time subtraction underflow");
+        Delay(self.0 - rhs.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(t: u64) -> Time {
+        Time(t)
+    }
+}
+
+/// A propagation delay in ticks.
+///
+/// Every element carries a delay applied between an input change and the
+/// resulting output change. The asynchronous engine requires all delays to
+/// be at least one tick so that valid times strictly advance around feedback
+/// loops (the paper's incremental clock-value update that avoids deadlock).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::Delay;
+///
+/// assert_eq!(Delay::UNIT, Delay(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Delay(pub u64);
+
+impl Delay {
+    /// The unit delay used by the compiled-mode algorithm and as the default.
+    pub const UNIT: Delay = Delay(1);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Delay {
+    fn from(d: u64) -> Delay {
+        Delay(d)
+    }
+}
+
+/// Picks the propagation delay for an output transition from `old` to
+/// `new` under an asymmetric rise/fall delay pair.
+///
+/// Bits going `0 → 1` use `rise`, bits going `1 → 0` use `fall`; mixed
+/// vectors and transitions involving `X`/`Z` conservatively use the larger
+/// of the two. Symmetric pairs short-circuit.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{transition_delay, Delay, Value};
+///
+/// let rise = Delay(3);
+/// let fall = Delay(1);
+/// assert_eq!(
+///     transition_delay(&Value::bit(false), &Value::bit(true), rise, fall),
+///     rise
+/// );
+/// assert_eq!(
+///     transition_delay(&Value::bit(true), &Value::bit(false), rise, fall),
+///     fall
+/// );
+/// // Unknowns and mixed-direction vectors take the conservative maximum.
+/// assert_eq!(
+///     transition_delay(&Value::x(1), &Value::bit(true), rise, fall),
+///     rise.max(fall)
+/// );
+/// ```
+pub fn transition_delay(
+    old: &crate::Value,
+    new: &crate::Value,
+    rise: Delay,
+    fall: Delay,
+) -> Delay {
+    if rise == fall {
+        return rise;
+    }
+    let max = rise.max(fall);
+    let mut any_rise = false;
+    let mut any_fall = false;
+    for i in 0..new.width().min(old.width()) {
+        use crate::Bit;
+        match (old.bit_at(i), new.bit_at(i)) {
+            (Bit::Zero, Bit::One) => any_rise = true,
+            (Bit::One, Bit::Zero) => any_fall = true,
+            (a, b) if a == b => {}
+            // Any transition through X or Z is direction-less.
+            _ => return max,
+        }
+    }
+    match (any_rise, any_fall) {
+        (true, false) => rise,
+        (false, true) => fall,
+        _ => max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_saturates_at_max() {
+        assert_eq!(Time::MAX + Delay(1), Time::MAX);
+        assert_eq!(Time(5) + Delay(3), Time(8));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Time(3).min(Time(7)), Time(3));
+        assert_eq!(Time(3).max(Time(7)), Time(7));
+    }
+
+    #[test]
+    fn subtraction_gives_delay() {
+        assert_eq!(Time(9) - Time(4), Delay(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time(12).to_string(), "12");
+        assert_eq!(Time::MAX.to_string(), "∞");
+        assert_eq!(Delay(3).to_string(), "3");
+    }
+
+    #[test]
+    fn transition_delay_directions() {
+        use crate::Value;
+        let r = Delay(4);
+        let f = Delay(2);
+        // Vector all-rising / all-falling / mixed.
+        let zeros = Value::from_u64(0b0000, 4);
+        let ones = Value::from_u64(0b1111, 4);
+        let mixed_a = Value::from_u64(0b0101, 4);
+        let mixed_b = Value::from_u64(0b1010, 4);
+        assert_eq!(transition_delay(&zeros, &ones, r, f), r);
+        assert_eq!(transition_delay(&ones, &zeros, r, f), f);
+        assert_eq!(transition_delay(&mixed_a, &mixed_b, r, f), r.max(f));
+        // No change: either is fine; we pick max's complement path (rise).
+        assert_eq!(transition_delay(&ones, &ones, r, f), r.max(f));
+        // Symmetric short-circuit.
+        assert_eq!(transition_delay(&zeros, &ones, f, f), f);
+        // Z involvement is direction-less.
+        assert_eq!(transition_delay(&Value::z(4), &ones, r, f), r.max(f));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time(1) < Time(2));
+        assert!(Time(2) < Time::MAX);
+    }
+}

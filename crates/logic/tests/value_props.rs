@@ -1,0 +1,170 @@
+//! Property-based tests for the four-state value algebra.
+
+use parsim_logic::{evaluate, ElemState, ElementKind, Value};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary four-state value of the given width.
+fn value(width: u8) -> impl Strategy<Value = Value> {
+    (any::<u64>(), any::<u64>()).prop_map(move |(a, b)| {
+        let mut bits = Vec::with_capacity(width as usize);
+        for i in 0..width {
+            bits.push(match ((a >> i) & 1, (b >> i) & 1) {
+                (0, 0) => parsim_logic::Bit::Zero,
+                (1, 0) => parsim_logic::Bit::One,
+                (0, 1) => parsim_logic::Bit::Z,
+                _ => parsim_logic::Bit::X,
+            });
+        }
+        Value::from_bits(&bits)
+    })
+}
+
+/// Strategy producing a fully known value of the given width.
+fn known(width: u8) -> impl Strategy<Value = Value> {
+    any::<u64>().prop_map(move |v| {
+        Value::from_u64(
+            v & if width >= 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            },
+            width,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn and_or_commute(a in value(16), b in value(16)) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+        prop_assert_eq!(a.or(&b), b.or(&a));
+        prop_assert_eq!(a.xor(&b), b.xor(&a));
+    }
+
+    #[test]
+    fn and_or_associate(a in value(8), b in value(8), c in value(8)) {
+        prop_assert_eq!(a.and(&b).and(&c), a.and(&b.and(&c)));
+        prop_assert_eq!(a.or(&b).or(&c), a.or(&b.or(&c)));
+    }
+
+    #[test]
+    fn de_morgan(a in value(32), b in value(32)) {
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn double_negation_on_known(a in known(24)) {
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn identity_elements(a in value(12)) {
+        prop_assert_eq!(a.to_logic().and(&Value::ones(12)), a.to_logic());
+        prop_assert_eq!(a.to_logic().or(&Value::zero(12)), a.to_logic());
+        // Zero annihilates AND, ones annihilate OR, even over X/Z bits.
+        prop_assert_eq!(a.and(&Value::zero(12)), Value::zero(12));
+        prop_assert_eq!(a.or(&Value::ones(12)), Value::ones(12));
+    }
+
+    #[test]
+    fn known_ops_match_native(a in known(16), b in known(16)) {
+        let (x, y) = (a.to_u64().unwrap(), b.to_u64().unwrap());
+        prop_assert_eq!(a.and(&b).to_u64(), Some(x & y));
+        prop_assert_eq!(a.or(&b).to_u64(), Some(x | y));
+        prop_assert_eq!(a.xor(&b).to_u64(), Some(x ^ y));
+        prop_assert_eq!(a.not().to_u64(), Some(!x & 0xffff));
+        prop_assert_eq!(a.add(&b).to_u64(), Some((x + y) & 0xffff));
+        prop_assert_eq!(a.sub(&b).to_u64(), Some(x.wrapping_sub(y) & 0xffff));
+        prop_assert_eq!(a.mul(&b, 32).to_u64(), Some(x * y));
+        prop_assert_eq!(a.logic_eq(&b).to_u64(), Some((x == y) as u64));
+        prop_assert_eq!(a.logic_lt(&b).to_u64(), Some((x < y) as u64));
+    }
+
+    #[test]
+    fn add_carry_matches_wide_arithmetic(a in known(8), b in known(8), c in any::<bool>()) {
+        let (sum, cout) = a.add_carry(&b, &Value::bit(c));
+        let wide = a.to_u64().unwrap() + b.to_u64().unwrap() + c as u64;
+        prop_assert_eq!(sum.to_u64(), Some(wide & 0xff));
+        prop_assert_eq!(cout.to_u64(), Some(wide >> 8));
+    }
+
+    #[test]
+    fn unknowns_are_monotone(a in value(8), b in known(8)) {
+        // Refining an X input can never flip a known output bit
+        // (x-monotonicity): compare a&b against refined variants of a.
+        let out = a.and(&b);
+        // Refine every X/Z bit of `a` to 0 and to 1.
+        let zeros = refine(&a, false);
+        let ones = refine(&a, true);
+        for refined in [zeros.and(&b), ones.and(&b)] {
+            for i in 0..8 {
+                let coarse = out.bit_at(i);
+                if coarse == parsim_logic::Bit::Zero || coarse == parsim_logic::Bit::One {
+                    prop_assert_eq!(refined.bit_at(i), coarse);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in value(13)) {
+        let s = a.to_string();
+        let back: Value = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn concat_slice_inverse(a in value(10), b in value(6)) {
+        let c = a.concat(&b);
+        prop_assert_eq!(c.slice(0, 10), a);
+        prop_assert_eq!(c.slice(10, 6), b);
+    }
+
+    #[test]
+    fn adder_element_matches_value_op(a in known(8), b in known(8), c in any::<bool>()) {
+        let mut st = ElemState::None;
+        let out = evaluate(
+            &ElementKind::Adder { width: 8 },
+            &[a, b, Value::bit(c)],
+            &mut st,
+        );
+        let (sum, cout) = a.add_carry(&b, &Value::bit(c));
+        prop_assert_eq!(out.get(0), sum);
+        prop_assert_eq!(out.get(1), cout);
+    }
+
+    #[test]
+    fn multiplier_element_matches_native(a in known(8), b in known(8)) {
+        let mut st = ElemState::None;
+        let out = evaluate(&ElementKind::Multiplier { width: 8 }, &[a, b], &mut st);
+        prop_assert_eq!(
+            out.get(0).to_u64(),
+            Some(a.to_u64().unwrap() * b.to_u64().unwrap())
+        );
+    }
+
+    #[test]
+    fn generator_events_well_formed(hp in 1u64..20, off in 0u64..40, end in 0u64..500) {
+        let ev = parsim_logic::expand_generator(
+            &ElementKind::Clock { half_period: hp, offset: off },
+            parsim_logic::Time(end),
+        );
+        prop_assert_eq!(ev[0].0, parsim_logic::Time::ZERO);
+        prop_assert!(ev.windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert!(ev.windows(2).all(|w| w[0].1 != w[1].1));
+        prop_assert!(ev.iter().all(|(t, _)| t.ticks() <= end));
+    }
+}
+
+/// Replaces every X/Z bit with a concrete bit value.
+fn refine(v: &Value, to_one: bool) -> Value {
+    let mut bits = Vec::new();
+    for i in 0..v.width() {
+        bits.push(match v.bit_at(i) {
+            parsim_logic::Bit::X | parsim_logic::Bit::Z => parsim_logic::Bit::from(to_one),
+            b => b,
+        });
+    }
+    Value::from_bits(&bits)
+}

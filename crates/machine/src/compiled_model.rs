@@ -1,0 +1,179 @@
+//! Modeled execution of the unit-delay compiled-mode algorithm (§3).
+//!
+//! Every element is evaluated every time step; elements are statically
+//! partitioned; a barrier ends each step. The per-evaluation cost carries
+//! data-dependent noise ("the execution times, even for multiple
+//! evaluations of the same model, are unpredictable"), which is what makes
+//! the functional multiplier's heterogeneous ~100 elements balance poorly
+//! (Fig. 3) while 5000 homogeneous gates balance almost perfectly.
+
+use parsim_logic::Time;
+use parsim_netlist::partition::{block, lpt, round_robin, Partition};
+use parsim_netlist::Netlist;
+
+use crate::cost::{memory_pressure, MachineConfig};
+use crate::report::ModelReport;
+use crate::sync_model::{apply_os_interrupts, element_costs, scaled};
+
+/// Static partitioning strategy for the compiled-mode model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Element `e` to processor `e % P`.
+    RoundRobin,
+    /// Contiguous blocks.
+    Block,
+    /// Cost-balanced greedy (longest processing time first).
+    Lpt,
+}
+
+/// Models the compiled-mode simulator for `end.ticks()` unit-delay steps.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_circuits::inverter_array;
+/// use parsim_logic::Time;
+/// use parsim_machine::{model_compiled, MachineConfig, PartitionStrategy};
+///
+/// let arr = inverter_array(32, 16, 1)?;
+/// let r = model_compiled(
+///     &arr.netlist,
+///     Time(50),
+///     &MachineConfig::multimax(4),
+///     PartitionStrategy::Lpt,
+/// );
+/// assert!(r.utilization() > 0.8); // homogeneous gates balance well
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn model_compiled(
+    netlist: &Netlist,
+    end: Time,
+    machine: &MachineConfig,
+    strategy: PartitionStrategy,
+) -> ModelReport {
+    let p = machine.procs;
+    let cost = &machine.cost;
+    let costs = element_costs(netlist, cost);
+    let evaluated: Vec<usize> = netlist
+        .iter_elements()
+        .filter(|(_, e)| !e.kind().is_generator())
+        .map(|(id, _)| id.index())
+        .collect();
+    let eval_costs: Vec<u64> = evaluated.iter().map(|&e| costs[e]).collect();
+    let partition: Partition = match strategy {
+        PartitionStrategy::RoundRobin => round_robin(evaluated.len(), p),
+        PartitionStrategy::Block => block(evaluated.len(), p),
+        PartitionStrategy::Lpt => lpt(&eval_costs, p),
+    };
+    let penalties = machine.penalties(memory_pressure(netlist.num_elements()));
+    let barrier = cost.barrier_base + cost.barrier_per_proc * p as u64;
+
+    let steps = end.ticks();
+    let mut busy = vec![0u64; p];
+    let mut t = 0u64;
+    let mut evaluations = 0u64;
+    for step in 0..steps {
+        let mut phase = vec![0u64; p];
+        for (slot, &e) in evaluated.iter().enumerate() {
+            let proc = partition.assignment()[slot] as usize;
+            let c = scaled(costs[e], cost.eval_noise, e as u64, step);
+            phase[proc] += ((c as f64) * penalties[proc]).ceil() as u64;
+        }
+        evaluations += evaluated.len() as u64;
+        let span = phase.iter().copied().max().unwrap_or(0);
+        t += span + barrier;
+        for (b, w) in busy.iter_mut().zip(&phase) {
+            *b += w;
+        }
+    }
+    if p > 1 {
+        t = apply_os_interrupts(t, machine);
+    }
+    ModelReport {
+        procs: p,
+        virtual_time: t,
+        busy,
+        events: 0,
+        evaluations,
+        activations: evaluations,
+        deadlock_recoveries: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_circuits::{functional_multiplier, inverter_array};
+
+    #[test]
+    fn homogeneous_gates_scale_nearly_linearly() {
+        let arr = inverter_array(32, 16, 1).unwrap();
+        let uni = model_compiled(
+            &arr.netlist,
+            Time(50),
+            &MachineConfig::multimax(1),
+            PartitionStrategy::RoundRobin,
+        );
+        let s8 = model_compiled(
+            &arr.netlist,
+            Time(50),
+            &MachineConfig::multimax(8),
+            PartitionStrategy::RoundRobin,
+        )
+        .speedup(&uni);
+        assert!(s8 > 5.0, "gate-level compiled speed-up at 8 procs: {s8:.2}");
+    }
+
+    #[test]
+    fn functional_multiplier_balances_poorly() {
+        // Fig. 3: compiled mode shines on large homogeneous gate circuits
+        // (here the ~2.5k-gate multiplier) but trails on the ~140-element
+        // heterogeneous functional multiplier.
+        let func_c = functional_multiplier(&[(5, 9)], 64).unwrap();
+        let gate_c = parsim_circuits::gate_multiplier(16, &[(1234, 567)], 256).unwrap();
+        let procs = 15;
+        let speedup = |netlist: &parsim_netlist::Netlist| {
+            let uni = model_compiled(
+                netlist,
+                Time(64),
+                &MachineConfig::multimax(1),
+                PartitionStrategy::RoundRobin,
+            );
+            model_compiled(
+                netlist,
+                Time(64),
+                &MachineConfig::multimax(procs),
+                PartitionStrategy::RoundRobin,
+            )
+            .speedup(&uni)
+        };
+        let s_func = speedup(&func_c.netlist);
+        let s_gate = speedup(&gate_c.netlist);
+        assert!(
+            s_func < 0.85 * s_gate,
+            "functional {s_func:.2} should trail gate-level {s_gate:.2}"
+        );
+        assert!(s_gate > 8.5, "gate-level compiled at 15 procs: {s_gate:.2}");
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_heterogeneous_elements() {
+        let m = functional_multiplier(&[(5, 9)], 64).unwrap();
+        let cfg = MachineConfig::multimax(8);
+        let rr = model_compiled(&m.netlist, Time(64), &cfg, PartitionStrategy::RoundRobin);
+        let lp = model_compiled(&m.netlist, Time(64), &cfg, PartitionStrategy::Lpt);
+        assert!(lp.virtual_time <= rr.virtual_time);
+    }
+
+    #[test]
+    fn compiled_work_is_steps_times_elements() {
+        let arr = inverter_array(4, 4, 1).unwrap();
+        let r = model_compiled(
+            &arr.netlist,
+            Time(10),
+            &MachineConfig::multimax(2),
+            PartitionStrategy::Block,
+        );
+        assert_eq!(r.evaluations, 16 * 10);
+    }
+}

@@ -1,0 +1,217 @@
+//! Instrumented sequential execution: the event trace the machine models
+//! replay.
+//!
+//! Runs the exact two-phase event-driven algorithm (same semantics as
+//! `parsim_core::EventDriven`) and records, per active time step, how many
+//! node updates occurred and which elements were evaluated. The modeled
+//! machines schedule this trace under their cost models, so the available
+//! parallelism per step — the quantity the paper's Figs. 1–2 hinge on —
+//! is the *real* one for the circuit, not an assumption.
+
+use std::collections::BTreeMap;
+
+use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
+use parsim_netlist::Netlist;
+
+/// One active time step of the trace.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Simulation time of the step.
+    pub time: u64,
+    /// Nodes changed in the update phase.
+    pub updates: Vec<u32>,
+    /// Elements evaluated in the evaluate phase.
+    pub evals: Vec<u32>,
+}
+
+/// The full per-step execution trace of a circuit.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    /// Active steps in time order.
+    pub steps: Vec<StepRecord>,
+    /// Total node-change events.
+    pub total_events: u64,
+    /// Total element evaluations.
+    pub total_evals: u64,
+}
+
+impl ExecutionTrace {
+    /// Mean events per active step.
+    pub fn mean_events_per_step(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.total_events as f64 / self.steps.len() as f64
+        }
+    }
+}
+
+/// Traces a circuit's event-driven execution through `end` (inclusive).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_circuits::inverter_array;
+/// use parsim_logic::Time;
+///
+/// let arr = inverter_array(4, 4, 1)?;
+/// let trace = parsim_machine::trace_execution(&arr.netlist, Time(50));
+/// assert!(trace.total_events > 100);
+/// # Ok::<(), parsim_netlist::BuildError>(())
+/// ```
+pub fn trace_execution(netlist: &Netlist, end: Time) -> ExecutionTrace {
+    let end = end.ticks();
+    let mut values: Vec<Value> = netlist
+        .nodes()
+        .iter()
+        .map(|n| Value::x(n.width()))
+        .collect();
+    let mut last_scheduled = values.clone();
+    let mut last_sched_time = vec![0u64; netlist.num_nodes()];
+    let mut states: Vec<ElemState> = netlist
+        .elements()
+        .iter()
+        .map(|e| ElemState::init(e.kind()))
+        .collect();
+    let mut schedule: BTreeMap<u64, Vec<(usize, Value)>> = BTreeMap::new();
+    for gen in netlist.generators() {
+        let e = netlist.element(gen);
+        let out = e.outputs()[0].index();
+        for (t, v) in expand_generator(e.kind(), Time(end)) {
+            schedule.entry(t.ticks()).or_default().push((out, v));
+        }
+    }
+    schedule.entry(0).or_default();
+
+    let mut stamp = vec![u64::MAX; netlist.num_elements()];
+    let init_activated: Vec<usize> = netlist
+        .iter_elements()
+        .filter(|(_, e)| !e.kind().is_generator())
+        .map(|(id, _)| id.index())
+        .collect();
+    for &e in &init_activated {
+        stamp[e] = 0;
+    }
+
+    let mut steps = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_evals = 0u64;
+    let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
+    while let Some((&t, _)) = schedule.first_key_value() {
+        if t > end {
+            break;
+        }
+        let updates = schedule.remove(&t).expect("key observed");
+        let mut activated = if t == 0 {
+            init_activated.clone()
+        } else {
+            Vec::new()
+        };
+        let mut changed_nodes: Vec<u32> = Vec::new();
+        for (node, v) in updates {
+            if values[node] == v {
+                continue;
+            }
+            values[node] = v;
+            changed_nodes.push(node as u32);
+            for &(elem, _) in netlist.nodes()[node].fanout() {
+                let e = elem.index();
+                if stamp[e] != t {
+                    stamp[e] = t;
+                    activated.push(e);
+                }
+            }
+        }
+        let mut evals = Vec::with_capacity(activated.len());
+        for e in activated {
+            let elem = &netlist.elements()[e];
+            inputs_buf.clear();
+            inputs_buf.extend(elem.inputs().iter().map(|&n| values[n.index()]));
+            let out = evaluate(elem.kind(), &inputs_buf, &mut states[e]);
+            evals.push(e as u32);
+            for (port, v) in out.iter() {
+                let out_node = elem.outputs()[port].index();
+                if last_scheduled[out_node] == v {
+                    continue;
+                }
+                let td = transition_delay(
+                    &last_scheduled[out_node],
+                    &v,
+                    elem.rise_delay(),
+                    elem.fall_delay(),
+                );
+                let te = (t + td.ticks()).max(last_sched_time[out_node] + 1);
+                if te <= end {
+                    // Kept events only (mirrors the seq engine).
+                    last_scheduled[out_node] = v;
+                    last_sched_time[out_node] = te;
+                    schedule.entry(te).or_default().push((out_node, v));
+                }
+            }
+        }
+        if !changed_nodes.is_empty() || !evals.is_empty() {
+            total_events += changed_nodes.len() as u64;
+            total_evals += evals.len() as u64;
+            steps.push(StepRecord {
+                time: t,
+                updates: changed_nodes,
+                evals,
+            });
+        }
+    }
+    ExecutionTrace {
+        steps,
+        total_events,
+        total_evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_circuits::inverter_array;
+
+    #[test]
+    fn inverter_array_trace_reaches_steady_state() {
+        // 8 columns x 4 deep, toggling every tick: steady state carries
+        // 40 node changes per tick (8 inputs + 32 inverter outputs) and 32
+        // evaluations (every inverter).
+        let arr = inverter_array(8, 4, 1).unwrap();
+        let trace = trace_execution(&arr.netlist, Time(100));
+        // Skip the fill-in prefix; check steady-state density.
+        let tail: Vec<&StepRecord> = trace
+            .steps
+            .iter()
+            .filter(|s| s.time >= 20 && s.time <= 90)
+            .collect();
+        assert!(!tail.is_empty());
+        for s in &tail {
+            assert_eq!(s.updates.len(), 40, "steady state at t={}", s.time);
+            assert_eq!(s.evals.len(), 32);
+        }
+    }
+
+    #[test]
+    fn toggle_period_halves_density() {
+        let fast = inverter_array(8, 4, 1).unwrap();
+        let slow = inverter_array(8, 4, 2).unwrap();
+        let tf = trace_execution(&fast.netlist, Time(200));
+        let ts = trace_execution(&slow.netlist, Time(200));
+        let df = tf.mean_events_per_step();
+        let ds = ts.mean_events_per_step();
+        assert!(
+            df > 1.7 * ds,
+            "density should roughly halve: fast {df:.1} slow {ds:.1}"
+        );
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let arr = inverter_array(4, 4, 1).unwrap();
+        let trace = trace_execution(&arr.netlist, Time(60));
+        let sum_events: u64 = trace.steps.iter().map(|s| s.updates.len() as u64).sum();
+        let sum_evals: u64 = trace.steps.iter().map(|s| s.evals.len() as u64).sum();
+        assert_eq!(sum_events, trace.total_events);
+        assert_eq!(sum_evals, trace.total_evals);
+    }
+}

@@ -1,0 +1,101 @@
+//! Model/engine cross-validation: the virtual Multimax's models replay
+//! the *same algorithms* as the real engines, so their work counters must
+//! agree exactly.
+
+use parsim_circuits::{
+    feedback_chain, functional_multiplier, inverter_array, pipelined_cpu, shared_bus,
+};
+use parsim_core::{ChaoticAsync, EventDriven, SimConfig};
+use parsim_logic::Time;
+use parsim_machine::{model_async, trace_execution, MachineConfig};
+use parsim_netlist::Netlist;
+
+fn cases() -> Vec<(&'static str, Netlist, Time)> {
+    vec![
+        (
+            "inv-array",
+            inverter_array(8, 8, 2).unwrap().netlist,
+            Time(150),
+        ),
+        (
+            "functional",
+            functional_multiplier(&[(9, 9), (500, 700)], 64).unwrap().netlist,
+            Time(128),
+        ),
+        ("cpu", pipelined_cpu(8, 48).unwrap().netlist, Time(400)),
+        (
+            "feedback",
+            feedback_chain(3, 8).unwrap().netlist,
+            Time(200),
+        ),
+        ("bus", shared_bus(4, 8, 16).unwrap().netlist, Time(200)),
+    ]
+}
+
+/// The trace twin counts exactly what the sequential engine counts.
+#[test]
+fn trace_counts_match_sequential_engine_everywhere() {
+    for (name, netlist, end) in cases() {
+        let real = EventDriven::run(&netlist, &SimConfig::new(end));
+        let trace = trace_execution(&netlist, end);
+        assert_eq!(real.metrics.events_processed, trace.total_events, "{name}");
+        assert_eq!(real.metrics.evaluations, trace.total_evals, "{name}");
+    }
+}
+
+/// Without lookahead, every engine and model performs exactly one
+/// evaluation per (element, input-event-time) pair — so the sequential
+/// engine, the real asynchronous engine, and the asynchronous model must
+/// report identical evaluation counts.
+#[test]
+fn three_way_evaluation_count_invariant() {
+    for (name, netlist, end) in cases() {
+        let seq = EventDriven::run(&netlist, &SimConfig::new(end));
+        let asy = ChaoticAsync::run(
+            &netlist,
+            &SimConfig::new(end).without_lookahead(),
+        );
+        let mut cfg = MachineConfig::multimax(1);
+        cfg.lookahead = false;
+        let model = model_async(&netlist, end, &cfg);
+        assert_eq!(
+            seq.metrics.evaluations, asy.metrics.evaluations,
+            "{name}: seq vs async engine"
+        );
+        assert_eq!(
+            asy.metrics.evaluations, model.evaluations,
+            "{name}: async engine vs model"
+        );
+        assert_eq!(
+            seq.metrics.events_processed, model.events,
+            "{name}: event counts"
+        );
+    }
+}
+
+/// The invariant also holds under threads and processor counts — the
+/// amount of work is schedule-independent.
+#[test]
+fn evaluation_counts_are_schedule_independent() {
+    let arr = inverter_array(8, 8, 2).unwrap();
+    let end = Time(150);
+    let base = ChaoticAsync::run(
+        &arr.netlist,
+        &SimConfig::new(end).without_lookahead(),
+    )
+    .metrics
+    .evaluations;
+    for threads in [2, 4] {
+        let r = ChaoticAsync::run(
+            &arr.netlist,
+            &SimConfig::new(end).without_lookahead().threads(threads),
+        );
+        assert_eq!(r.metrics.evaluations, base, "engine x{threads}");
+    }
+    for procs in [4, 16] {
+        let mut cfg = MachineConfig::multimax(procs);
+        cfg.lookahead = false;
+        let m = model_async(&arr.netlist, end, &cfg);
+        assert_eq!(m.evaluations, base, "model x{procs}");
+    }
+}

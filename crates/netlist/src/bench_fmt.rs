@@ -1,0 +1,390 @@
+//! The ISCAS `.bench` netlist format.
+//!
+//! The de-facto benchmark format of 1980s gate-level simulation (ISCAS-85
+//! combinational and ISCAS-89 sequential suites):
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Supported gates: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`,
+//! `BUF`/`BUFF`, and `DFF` (single-input, clocked by a global clock the
+//! options supply). Primary inputs can be left floating or driven by
+//! per-input LFSR stimulus.
+
+use std::fmt::Write as _;
+
+use parsim_logic::{Delay, ElementKind};
+
+use crate::build::Builder;
+use crate::graph::Netlist;
+use crate::ids::NodeId;
+use crate::parse::ParseNetlistError;
+
+/// How to treat a `.bench` circuit's primary inputs and flip-flops.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Drive each primary input with an LFSR of this period (`None`
+    /// leaves the inputs floating at `X` for the caller to bind).
+    pub input_period: Option<u64>,
+    /// Base seed for the input LFSRs (each input adds its index).
+    pub seed: u64,
+    /// Half-period of the global clock generated for `DFF`s.
+    pub clock_half_period: u64,
+    /// Gate delay applied to every gate.
+    pub delay: Delay,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            input_period: Some(16),
+            seed: 1,
+            clock_half_period: 16,
+            delay: Delay(1),
+        }
+    }
+}
+
+/// A parsed `.bench` circuit plus its port lists.
+#[derive(Debug, Clone)]
+pub struct BenchCircuit {
+    /// The constructed netlist.
+    pub netlist: Netlist,
+    /// Primary inputs, in declaration order.
+    pub inputs: Vec<NodeId>,
+    /// Primary outputs, in declaration order.
+    pub outputs: Vec<NodeId>,
+}
+
+/// Parses the ISCAS `.bench` format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending 1-based line for
+/// syntax errors, unknown gate types, undefined signals, or builder
+/// violations.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::bench_fmt::{from_bench, BenchOptions};
+///
+/// let c17 = "\
+/// INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n\
+/// OUTPUT(22)\nOUTPUT(23)\n\
+/// 10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
+/// 19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+/// let c = from_bench(c17, &BenchOptions::default())?;
+/// assert_eq!(c.inputs.len(), 5);
+/// assert_eq!(c.outputs.len(), 2);
+/// assert_eq!(c.netlist.num_elements(), 6 + 5); // gates + input LFSRs
+/// # Ok::<(), parsim_netlist::ParseNetlistError>(())
+/// ```
+pub fn from_bench(text: &str, options: &BenchOptions) -> Result<BenchCircuit, ParseNetlistError> {
+    let mut b = Builder::new();
+    let mut inputs: Vec<(String, NodeId)> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
+    let mut gates: Vec<(usize, String, String, Vec<String>)> = Vec::new();
+    let mut needs_clock = false;
+
+    let err = |line: usize, msg: String| ParseNetlistError::new_public(line, msg);
+
+    // Pass 1: collect declarations; create every defined node.
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_call(line, "INPUT") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty INPUT name".to_string()));
+            }
+            let id = b.node(name, 1);
+            inputs.push((name.to_string(), id));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            output_names.push((lineno, rest.trim().to_string()));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let target = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(lineno, format!("expected GATE(...) in `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err(lineno, format!("missing `)` in `{rhs}`")));
+            }
+            let gate = rhs[..open].trim().to_ascii_uppercase();
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if gate == "DFF" {
+                needs_clock = true;
+            }
+            b.node(&target, 1);
+            gates.push((lineno, target, gate, args));
+        } else {
+            return Err(err(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Optional global clock for DFFs.
+    let clock = if needs_clock {
+        let clk = b.node("__bench_clk", 1);
+        b.element(
+            "__bench_clkgen",
+            ElementKind::Clock {
+                half_period: options.clock_half_period,
+                offset: options.clock_half_period,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .map_err(|e| err(0, e.to_string()))?;
+        Some(clk)
+    } else {
+        None
+    };
+
+    // Optional input stimulus.
+    if let Some(period) = options.input_period {
+        for (i, (name, id)) in inputs.iter().enumerate() {
+            b.element(
+                &format!("__stim_{name}"),
+                ElementKind::Lfsr {
+                    width: 1,
+                    period,
+                    seed: options.seed.wrapping_add(i as u64 * 0x9e37),
+                },
+                Delay(1),
+                &[],
+                &[*id],
+            )
+            .map_err(|e| err(0, e.to_string()))?;
+        }
+    }
+
+    // Pass 2: instantiate gates.
+    for (lineno, target, gate, args) in gates {
+        let out = b
+            .node_id(&target)
+            .expect("created in pass 1");
+        let resolve = |b: &Builder, name: &str| {
+            b.node_id(name)
+                .ok_or_else(|| err(lineno, format!("undefined signal `{name}`")))
+        };
+        let kind = match gate.as_str() {
+            "AND" => ElementKind::And,
+            "NAND" => ElementKind::Nand,
+            "OR" => ElementKind::Or,
+            "NOR" => ElementKind::Nor,
+            "XOR" => ElementKind::Xor,
+            "XNOR" => ElementKind::Xnor,
+            "NOT" => ElementKind::Not,
+            "BUF" | "BUFF" => ElementKind::Buf,
+            "DFF" => {
+                if args.len() != 1 {
+                    return Err(err(lineno, "DFF takes exactly one input".to_string()));
+                }
+                let d = resolve(&b, &args[0])?;
+                let clk = clock.expect("clock created for DFFs");
+                b.element(
+                    &format!("g_{target}"),
+                    ElementKind::Dff { width: 1 },
+                    options.delay,
+                    &[clk, d],
+                    &[out],
+                )
+                .map_err(|e| err(lineno, e.to_string()))?;
+                continue;
+            }
+            other => return Err(err(lineno, format!("unknown gate `{other}`"))),
+        };
+        let ins: Vec<NodeId> = args
+            .iter()
+            .map(|a| resolve(&b, a))
+            .collect::<Result<_, _>>()?;
+        b.element(&format!("g_{target}"), kind, options.delay, &ins, &[out])
+            .map_err(|e| err(lineno, e.to_string()))?;
+    }
+
+    let outputs: Vec<NodeId> = output_names
+        .into_iter()
+        .map(|(lineno, name)| {
+            b.node_id(&name)
+                .ok_or_else(|| err(lineno, format!("OUTPUT names undefined signal `{name}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let netlist = b.finish().map_err(|e| err(0, e.to_string()))?;
+    Ok(BenchCircuit {
+        netlist,
+        inputs: inputs.into_iter().map(|(_, id)| id).collect(),
+        outputs,
+    })
+}
+
+/// Writes a gate-level netlist in `.bench` form.
+///
+/// # Errors
+///
+/// Returns the offending element's name if the netlist contains anything
+/// the format cannot express (multi-bit nodes, functional blocks, or
+/// non-generator elements other than plain gates and `DFF`s). Generators
+/// and the `DFF` clock input are dropped — `.bench` has no stimulus.
+pub fn to_bench(netlist: &Netlist) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "# exported by parsim");
+    // Inputs: generator-driven or undriven 1-bit nodes feeding logic.
+    for node in netlist.nodes() {
+        if node.width() != 1 {
+            return Err(format!("node `{}` is not single-bit", node.name()));
+        }
+        let generatorish = match node.driver() {
+            None => true,
+            Some((drv, _)) => netlist.element(drv).kind().is_generator(),
+        };
+        if generatorish && !node.fanout().is_empty() && !node.name().starts_with("__bench_clk")
+        {
+            let _ = writeln!(out, "INPUT({})", node.name());
+        }
+    }
+    for node in netlist.nodes() {
+        if node.fanout().is_empty() && node.driver().is_some() {
+            let drv = node.driver().expect("checked").0;
+            if !netlist.element(drv).kind().is_generator() {
+                let _ = writeln!(out, "OUTPUT({})", node.name());
+            }
+        }
+    }
+    for e in netlist.elements() {
+        let gate = match e.kind() {
+            ElementKind::And => "AND",
+            ElementKind::Nand => "NAND",
+            ElementKind::Or => "OR",
+            ElementKind::Nor => "NOR",
+            ElementKind::Xor => "XOR",
+            ElementKind::Xnor => "XNOR",
+            ElementKind::Not => "NOT",
+            ElementKind::Buf => "BUFF",
+            ElementKind::Dff { width: 1 } => "DFF",
+            k if k.is_generator() => continue,
+            other => return Err(format!("element `{}` ({other}) not expressible", e.name())),
+        };
+        let target = netlist.node(e.outputs()[0]).name();
+        // DFF: drop the clock input (bench DFFs are implicitly clocked).
+        let args: Vec<&str> = if gate == "DFF" {
+            vec![netlist.node(e.inputs()[1]).name()]
+        } else {
+            e.inputs().iter().map(|&n| netlist.node(n).name()).collect()
+        };
+        let _ = writeln!(out, "{target} = {gate}({})", args.join(", "));
+    }
+    Ok(out)
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    rest.strip_prefix('(')?.strip_suffix(')')
+}
+
+/// The ISCAS-85 `c17` benchmark, the suite's canonical smoke test.
+pub const C17: &str = "\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_c17() {
+        let c = from_bench(C17, &BenchOptions::default()).unwrap();
+        assert_eq!(c.inputs.len(), 5);
+        assert_eq!(c.outputs.len(), 2);
+        let stats = crate::NetlistStats::compute(&c.netlist);
+        assert_eq!(stats.kind_counts["nand"], 6);
+        assert_eq!(stats.kind_counts["lfsr"], 5);
+    }
+
+    #[test]
+    fn floating_inputs_mode() {
+        let opts = BenchOptions {
+            input_period: None,
+            ..Default::default()
+        };
+        let c = from_bench(C17, &opts).unwrap();
+        for &i in &c.inputs {
+            assert!(c.netlist.node(i).driver().is_none());
+        }
+    }
+
+    #[test]
+    fn sequential_bench_gets_a_clock() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let c = from_bench(text, &BenchOptions::default()).unwrap();
+        assert!(c.netlist.node_by_name("__bench_clk").is_some());
+        let q = c.outputs[0];
+        let (drv, _) = c.netlist.node(q).driver().unwrap();
+        assert!(matches!(
+            c.netlist.element(drv).kind(),
+            ElementKind::Dff { width: 1 }
+        ));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(from_bench("banana\n", &BenchOptions::default()).is_err());
+        assert!(from_bench("x = FROB(a)\n", &BenchOptions::default()).is_err());
+        let undefined = from_bench("x = NAND(a, b)\n", &BenchOptions::default());
+        assert!(undefined.is_err());
+        let out_undef = from_bench("OUTPUT(zz)\n", &BenchOptions::default());
+        assert!(out_undef.is_err());
+    }
+
+    #[test]
+    fn round_trips_through_bench_writer() {
+        let opts = BenchOptions {
+            input_period: None,
+            ..Default::default()
+        };
+        let c = from_bench(C17, &opts).unwrap();
+        let text = to_bench(&c.netlist).unwrap();
+        let again = from_bench(&text, &opts).unwrap();
+        assert_eq!(again.netlist.num_elements(), c.netlist.num_elements());
+        assert_eq!(again.inputs.len(), c.inputs.len());
+        assert_eq!(again.outputs.len(), c.outputs.len());
+    }
+
+    #[test]
+    fn rejects_inexpressible_netlists() {
+        let mut b = Builder::new();
+        let a = b.node("a", 8);
+        let y = b.node("y", 8);
+        b.element("g", ElementKind::Buf, Delay(1), &[a], &[y])
+            .unwrap();
+        let n = b.finish().unwrap();
+        assert!(to_bench(&n).is_err());
+    }
+}

@@ -1,0 +1,728 @@
+//! Validating netlist construction.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use parsim_logic::{Delay, ElementKind};
+
+use crate::graph::{Element, Netlist, Node};
+use crate::ids::{ElemId, NodeId};
+
+/// Errors detected while building a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, ElementKind};
+/// use parsim_netlist::{BuildError, Builder};
+///
+/// let mut b = Builder::new();
+/// let a = b.node("a", 1);
+/// let err = b
+///     .element("bad", ElementKind::Not, Delay(1), &[a, a], &[a])
+///     .unwrap_err();
+/// assert!(matches!(err, BuildError::Arity { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// An element was connected to the wrong number of inputs.
+    Arity { element: String, detail: String },
+    /// An element was connected to the wrong number of outputs.
+    OutputCount {
+        element: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A port was connected to a node of the wrong width.
+    Width {
+        element: String,
+        port: String,
+        expected: u8,
+        got: u8,
+    },
+    /// Two elements drive the same node.
+    MultipleDrivers { node: String },
+    /// Two nodes or two elements share a name.
+    DuplicateName { name: String },
+    /// An element delay of zero, which the asynchronous engine cannot
+    /// accept (valid times must strictly advance around feedback loops).
+    ZeroDelay { element: String },
+    /// A node id from a different builder.
+    UnknownNode { element: String },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Arity { element, detail } => {
+                write!(f, "element `{element}`: {detail}")
+            }
+            BuildError::OutputCount {
+                element,
+                expected,
+                got,
+            } => write!(
+                f,
+                "element `{element}` expects {expected} outputs, got {got}"
+            ),
+            BuildError::Width {
+                element,
+                port,
+                expected,
+                got,
+            } => write!(
+                f,
+                "element `{element}` port {port} expects width {expected}, got {got}"
+            ),
+            BuildError::MultipleDrivers { node } => {
+                write!(f, "node `{node}` has multiple drivers")
+            }
+            BuildError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            BuildError::ZeroDelay { element } => write!(
+                f,
+                "element `{element}` has zero delay; all delays must be >= 1 tick"
+            ),
+            BuildError::UnknownNode { element } => {
+                write!(f, "element `{element}` references an unknown node")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Incrementally constructs a validated [`Netlist`].
+///
+/// Nodes are created first with [`Builder::node`]; elements connect them
+/// with [`Builder::element`]. Every connection is checked eagerly — arity,
+/// port widths, single-driver rule, nonzero delay — so a successful
+/// [`Builder::finish`] yields a netlist every engine can run without
+/// further checks.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, ElementKind, Value};
+/// use parsim_netlist::Builder;
+///
+/// # fn main() -> Result<(), parsim_netlist::BuildError> {
+/// let mut b = Builder::new();
+/// let a = b.node("a", 1);
+/// let y = b.node("y", 1);
+/// b.element(
+///     "c",
+///     ElementKind::Const { value: Value::bit(true) },
+///     Delay(1),
+///     &[],
+///     &[a],
+/// )?;
+/// b.element("g", ElementKind::Buf, Delay(1), &[a], &[y])?;
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.num_nodes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Builder {
+    nodes: Vec<Node>,
+    elements: Vec<Element>,
+    node_names: HashMap<String, NodeId>,
+    elem_names: HashMap<String, ElemId>,
+    auto_node: u64,
+}
+
+impl Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Declares a node.
+    ///
+    /// If `name` is already taken, a unique suffix is appended (duplicate
+    /// declarations are common in generated circuits; the final netlist
+    /// still has unique names). Returns the node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn node(&mut self, name: &str, width: u8) -> NodeId {
+        assert!((1..=64).contains(&width), "node width must be 1..=64");
+        let id = NodeId::from_index(self.nodes.len());
+        let mut unique = name.to_string();
+        while self.node_names.contains_key(&unique) {
+            self.auto_node += 1;
+            unique = format!("{name}__{}", self.auto_node);
+        }
+        self.node_names.insert(unique.clone(), id);
+        self.nodes.push(Node {
+            name: unique,
+            width,
+            driver: None,
+            fanout: Vec::new(),
+        });
+        id
+    }
+
+    /// Looks up a previously declared node by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.get(name).copied()
+    }
+
+    /// Declares a fresh anonymous node.
+    pub fn fresh(&mut self, width: u8) -> NodeId {
+        self.auto_node += 1;
+        let name = format!("_t{}", self.auto_node);
+        self.node(&name, width)
+    }
+
+    /// Instantiates an element connecting `inputs` to `outputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the arity, output count, any port width,
+    /// the single-driver rule, or the nonzero-delay rule is violated.
+    pub fn element(
+        &mut self,
+        name: &str,
+        kind: ElementKind,
+        delay: Delay,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> Result<ElemId, BuildError> {
+        self.element_with_delays(name, kind, delay, delay, inputs, outputs)
+    }
+
+    /// Instantiates an element with an asymmetric rise/fall delay pair:
+    /// output transitions toward 1 take `rise` ticks, toward 0 take
+    /// `fall` ticks; vector or unknown transitions take the larger. A
+    /// pulse shorter than the delay difference is stretched rather than
+    /// cancelled (the engines keep each node's event times monotone), a
+    /// transport-delay approximation all four engines apply identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Builder::element`], with the zero-delay rule applied to
+    /// both delays.
+    pub fn element_with_delays(
+        &mut self,
+        name: &str,
+        kind: ElementKind,
+        rise: Delay,
+        fall: Delay,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> Result<ElemId, BuildError> {
+        let delay = rise;
+        let ename = name.to_string();
+        if self.elem_names.contains_key(&ename) {
+            return Err(BuildError::DuplicateName { name: ename });
+        }
+        if (delay.ticks() == 0 || fall.ticks() == 0) && !kind.is_generator() {
+            return Err(BuildError::ZeroDelay { element: ename });
+        }
+        kind.check_arity(inputs.len())
+            .map_err(|e| BuildError::Arity {
+                element: ename.clone(),
+                detail: e.to_string(),
+            })?;
+        if outputs.len() != kind.num_outputs() {
+            return Err(BuildError::OutputCount {
+                element: ename,
+                expected: kind.num_outputs(),
+                got: outputs.len(),
+            });
+        }
+        for &n in inputs.iter().chain(outputs) {
+            if n.index() >= self.nodes.len() {
+                return Err(BuildError::UnknownNode { element: ename });
+            }
+        }
+        self.check_widths(&ename, &kind, inputs, outputs)?;
+        // Single-driver rule.
+        for &out in outputs {
+            if self.nodes[out.index()].driver.is_some() {
+                return Err(BuildError::MultipleDrivers {
+                    node: self.nodes[out.index()].name.clone(),
+                });
+            }
+        }
+        let id = ElemId::from_index(self.elements.len());
+        for (port, &inp) in inputs.iter().enumerate() {
+            self.nodes[inp.index()].fanout.push((id, port as u16));
+        }
+        for (port, &out) in outputs.iter().enumerate() {
+            self.nodes[out.index()].driver = Some((id, port as u8));
+        }
+        self.elem_names.insert(ename.clone(), id);
+        self.elements.push(Element {
+            name: ename,
+            kind,
+            delay,
+            fall,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
+        Ok(id)
+    }
+
+    fn check_widths(
+        &self,
+        ename: &str,
+        kind: &ElementKind,
+        inputs: &[NodeId],
+        outputs: &[NodeId],
+    ) -> Result<(), BuildError> {
+        let w = |n: NodeId| self.nodes[n.index()].width;
+        let expect = |port: &str, expected: u8, got: u8| -> Result<(), BuildError> {
+            if expected == got {
+                Ok(())
+            } else {
+                Err(BuildError::Width {
+                    element: ename.to_string(),
+                    port: port.to_string(),
+                    expected,
+                    got,
+                })
+            }
+        };
+        if kind.is_width_generic() {
+            // All inputs and the output share the first input's width.
+            let base = w(inputs[0]);
+            for (i, &inp) in inputs.iter().enumerate() {
+                expect(&format!("in{i}"), base, w(inp))?;
+            }
+            expect("out0", base, w(outputs[0]))?;
+            return Ok(());
+        }
+        match kind {
+            ElementKind::Mux { width } => {
+                expect("sel", 1, w(inputs[0]))?;
+                expect("a", *width, w(inputs[1]))?;
+                expect("b", *width, w(inputs[2]))?;
+                expect("out", *width, w(outputs[0]))?;
+            }
+            ElementKind::Dff { width }
+            | ElementKind::Latch { width }
+            | ElementKind::TriBuf { width } => {
+                expect("clk/en", 1, w(inputs[0]))?;
+                expect("d", *width, w(inputs[1]))?;
+                expect("q", *width, w(outputs[0]))?;
+            }
+            ElementKind::Memory { addr_bits, width } => {
+                if *addr_bits == 0 || *addr_bits > 12 {
+                    return Err(BuildError::Arity {
+                        element: ename.to_string(),
+                        detail: "memory addr_bits must be 1..=12".to_string(),
+                    });
+                }
+                expect("clk", 1, w(inputs[0]))?;
+                expect("we", 1, w(inputs[1]))?;
+                expect("addr", *addr_bits, w(inputs[2]))?;
+                expect("wdata", *width, w(inputs[3]))?;
+                expect("rdata", *width, w(outputs[0]))?;
+            }
+            ElementKind::Resolver { width } => {
+                for (i, &inp) in inputs.iter().enumerate() {
+                    expect(&format!("in{i}"), *width, w(inp))?;
+                }
+                expect("out", *width, w(outputs[0]))?;
+            }
+            ElementKind::DffR { width } => {
+                expect("clk", 1, w(inputs[0]))?;
+                expect("d", *width, w(inputs[1]))?;
+                expect("rst", 1, w(inputs[2]))?;
+                expect("q", *width, w(outputs[0]))?;
+            }
+            ElementKind::Adder { width } => {
+                expect("a", *width, w(inputs[0]))?;
+                expect("b", *width, w(inputs[1]))?;
+                expect("cin", 1, w(inputs[2]))?;
+                expect("sum", *width, w(outputs[0]))?;
+                expect("cout", 1, w(outputs[1]))?;
+            }
+            ElementKind::Subtractor { width } => {
+                expect("a", *width, w(inputs[0]))?;
+                expect("b", *width, w(inputs[1]))?;
+                expect("diff", *width, w(outputs[0]))?;
+            }
+            ElementKind::Multiplier { width } => {
+                expect("a", *width, w(inputs[0]))?;
+                expect("b", *width, w(inputs[1]))?;
+                expect("p", kind.output_width(0), w(outputs[0]))?;
+            }
+            ElementKind::Comparator { width } => {
+                expect("a", *width, w(inputs[0]))?;
+                expect("b", *width, w(inputs[1]))?;
+                expect("eq", 1, w(outputs[0]))?;
+                expect("lt", 1, w(outputs[1]))?;
+            }
+            ElementKind::Slice {
+                in_width,
+                lo,
+                width,
+            } => {
+                if *lo as u16 + *width as u16 > *in_width as u16 {
+                    return Err(BuildError::Arity {
+                        element: ename.to_string(),
+                        detail: "slice range exceeds input width".to_string(),
+                    });
+                }
+                expect("in", *in_width, w(inputs[0]))?;
+                expect("out", *width, w(outputs[0]))?;
+            }
+            ElementKind::ZeroExt {
+                in_width,
+                out_width,
+            } => {
+                if out_width < in_width {
+                    return Err(BuildError::Arity {
+                        element: ename.to_string(),
+                        detail: "zero-extension must not narrow".to_string(),
+                    });
+                }
+                expect("in", *in_width, w(inputs[0]))?;
+                expect("out", *out_width, w(outputs[0]))?;
+            }
+            ElementKind::Shl {
+                in_width,
+                out_width,
+                amount,
+            } => {
+                if *amount as u16 + *in_width as u16 > 64 {
+                    return Err(BuildError::Arity {
+                        element: ename.to_string(),
+                        detail: "shift amount plus input width exceeds 64".to_string(),
+                    });
+                }
+                expect("in", *in_width, w(inputs[0]))?;
+                expect("out", *out_width, w(outputs[0]))?;
+            }
+            // Generators: output width fixed by the kind.
+            k if k.is_generator() => {
+                expect("out", k.output_width(0), w(outputs[0]))?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Instantiates `sub` as a subcircuit.
+    ///
+    /// Every node and element of `sub` is copied with its name prefixed
+    /// `"{prefix}."`, except nodes listed in `bindings`, which are
+    /// redirected to existing nodes of this builder (the instance's
+    /// ports). Returns the mapping from `sub`'s node names to the node
+    /// ids used in this builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a binding names an unknown node of
+    /// `sub`, a bound node's width differs, or copying an element violates
+    /// the usual rules (e.g. binding an internally driven node to a node
+    /// that already has a driver).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parsim_logic::{Delay, ElementKind};
+    /// use parsim_netlist::Builder;
+    ///
+    /// # fn main() -> Result<(), parsim_netlist::BuildError> {
+    /// // A reusable inverter cell.
+    /// let mut cell = Builder::new();
+    /// let a = cell.node("a", 1);
+    /// let y = cell.node("y", 1);
+    /// cell.element("inv", ElementKind::Not, Delay(1), &[a], &[y])?;
+    /// let cell = cell.finish()?;
+    ///
+    /// // Two chained instances.
+    /// let mut top = Builder::new();
+    /// let input = top.node("in", 1);
+    /// let mid = top.node("mid", 1);
+    /// let out = top.node("out", 1);
+    /// top.instantiate(&cell, "u0", &[("a", input), ("y", mid)])?;
+    /// top.instantiate(&cell, "u1", &[("a", mid), ("y", out)])?;
+    /// let n = top.finish()?;
+    /// assert_eq!(n.num_elements(), 2);
+    /// assert!(n.element_by_name("u0.inv").is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn instantiate(
+        &mut self,
+        sub: &Netlist,
+        prefix: &str,
+        bindings: &[(&str, NodeId)],
+    ) -> Result<HashMap<String, NodeId>, BuildError> {
+        // Resolve bindings against the subcircuit.
+        let mut map: HashMap<String, NodeId> = HashMap::new();
+        for &(name, target) in bindings {
+            let sub_node = sub.node_by_name(name).ok_or_else(|| BuildError::Arity {
+                element: format!("{prefix}.{name}"),
+                detail: "binding names a node the subcircuit does not have".to_string(),
+            })?;
+            let expected = sub.node(sub_node).width();
+            let got = self.nodes[target.index()].width;
+            if expected != got {
+                return Err(BuildError::Width {
+                    element: format!("{prefix} (instance)"),
+                    port: name.to_string(),
+                    expected,
+                    got,
+                });
+            }
+            map.insert(name.to_string(), target);
+        }
+        // Copy unbound nodes with prefixed names.
+        for (_, node) in sub.iter_nodes() {
+            if !map.contains_key(node.name()) {
+                let id = self.node(&format!("{prefix}.{}", node.name()), node.width());
+                map.insert(node.name().to_string(), id);
+            }
+        }
+        // Copy elements, rewiring through the map.
+        for (_, e) in sub.iter_elements() {
+            let inputs: Vec<NodeId> = e
+                .inputs()
+                .iter()
+                .map(|&n| map[sub.node(n).name()])
+                .collect();
+            let outputs: Vec<NodeId> = e
+                .outputs()
+                .iter()
+                .map(|&n| map[sub.node(n).name()])
+                .collect();
+            self.element_with_delays(
+                &format!("{prefix}.{}", e.name()),
+                e.kind().clone(),
+                e.rise_delay(),
+                e.fall_delay(),
+                &inputs,
+                &outputs,
+            )?;
+        }
+        Ok(map)
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Currently always succeeds (all checks are eager), but reserves the
+    /// right to reject globally invalid circuits.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        Ok(Netlist {
+            nodes: self.nodes,
+            elements: self.elements,
+            node_names: self.node_names,
+            elem_names: self.elem_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::Value;
+
+    #[test]
+    fn rejects_zero_delay_on_logic() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        let err = b
+            .element("g", ElementKind::Not, Delay(0), &[a], &[y])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::ZeroDelay { .. }));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        b.element("g1", ElementKind::Not, Delay(1), &[a], &[y])
+            .unwrap();
+        let err = b
+            .element("g2", ElementKind::Buf, Delay(1), &[a], &[y])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let mut b = Builder::new();
+        let a = b.node("a", 4);
+        let bb = b.node("b", 8);
+        let y = b.node("y", 4);
+        let err = b
+            .element("g", ElementKind::And, Delay(1), &[a, bb], &[y])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Width { .. }));
+    }
+
+    #[test]
+    fn rejects_adder_port_widths() {
+        let mut b = Builder::new();
+        let a = b.node("a", 8);
+        let c = b.node("b", 8);
+        let cin = b.node("cin", 1);
+        let sum = b.node("sum", 8);
+        let cout = b.node("cout", 8); // wrong: must be 1
+        let err = b
+            .element(
+                "add",
+                ElementKind::Adder { width: 8 },
+                Delay(1),
+                &[a, c, cin],
+                &[sum, cout],
+            )
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Width { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_element_names() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        let z = b.node("z", 1);
+        b.element("g", ElementKind::Not, Delay(1), &[a], &[y])
+            .unwrap();
+        let err = b
+            .element("g", ElementKind::Not, Delay(1), &[a], &[z])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn duplicate_node_names_are_uniquified() {
+        let mut b = Builder::new();
+        let a1 = b.node("a", 1);
+        let a2 = b.node("a", 1);
+        assert_ne!(a1, a2);
+        let n = b.finish().unwrap();
+        assert_ne!(n.node(a1).name(), n.node(a2).name());
+    }
+
+    #[test]
+    fn generator_width_checked() {
+        let mut b = Builder::new();
+        let out = b.node("out", 4);
+        let err = b
+            .element(
+                "c",
+                ElementKind::Const {
+                    value: Value::bit(true),
+                },
+                Delay(1),
+                &[],
+                &[out],
+            )
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Width { .. }));
+    }
+
+    #[test]
+    fn fanout_and_driver_recorded() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        let z = b.node("z", 1);
+        b.element("g1", ElementKind::Not, Delay(1), &[a], &[y])
+            .unwrap();
+        b.element("g2", ElementKind::Not, Delay(1), &[a], &[z])
+            .unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.node(a).fanout().len(), 2);
+        assert!(n.node(a).driver().is_none());
+        assert!(n.node(y).driver().is_some());
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut b = Builder::new();
+        let t1 = b.fresh(1);
+        let t2 = b.fresh(1);
+        assert_ne!(t1, t2);
+    }
+
+    fn inverter_cell() -> crate::Netlist {
+        let mut cell = Builder::new();
+        let a = cell.node("a", 1);
+        let y = cell.node("y", 1);
+        cell.element("inv", ElementKind::Not, Delay(1), &[a], &[y])
+            .unwrap();
+        cell.finish().unwrap()
+    }
+
+    #[test]
+    fn instantiate_copies_and_binds() {
+        let cell = inverter_cell();
+        let mut top = Builder::new();
+        let input = top.node("in", 1);
+        let out = top.node("out", 1);
+        let map = top
+            .instantiate(&cell, "u0", &[("a", input), ("y", out)])
+            .unwrap();
+        assert_eq!(map["a"], input);
+        assert_eq!(map["y"], out);
+        let n = top.finish().unwrap();
+        assert_eq!(n.num_nodes(), 2, "fully bound: no copies");
+        assert!(n.element_by_name("u0.inv").is_some());
+        assert!(n.node(out).driver().is_some());
+    }
+
+    #[test]
+    fn instantiate_copies_internal_nodes() {
+        // Double-inverter cell with an internal node.
+        let mut cell = Builder::new();
+        let a = cell.node("a", 1);
+        let mid = cell.node("mid", 1);
+        let y = cell.node("y", 1);
+        cell.element("i1", ElementKind::Not, Delay(1), &[a], &[mid])
+            .unwrap();
+        cell.element("i2", ElementKind::Not, Delay(1), &[mid], &[y])
+            .unwrap();
+        let cell = cell.finish().unwrap();
+
+        let mut top = Builder::new();
+        let input = top.node("in", 1);
+        let out = top.node("out", 1);
+        top.instantiate(&cell, "buf0", &[("a", input), ("y", out)])
+            .unwrap();
+        let n = top.finish().unwrap();
+        assert!(n.node_by_name("buf0.mid").is_some());
+        assert_eq!(n.num_elements(), 2);
+    }
+
+    #[test]
+    fn instantiate_rejects_width_mismatch_and_unknown_port() {
+        let cell = inverter_cell();
+        let mut top = Builder::new();
+        let wide = top.node("w", 4);
+        let err = top.instantiate(&cell, "u0", &[("a", wide)]).unwrap_err();
+        assert!(matches!(err, BuildError::Width { .. }));
+        let ok = top.node("ok", 1);
+        let err = top.instantiate(&cell, "u1", &[("zz", ok)]).unwrap_err();
+        assert!(matches!(err, BuildError::Arity { .. }));
+    }
+
+    #[test]
+    fn instantiate_enforces_single_driver_across_boundary() {
+        let cell = inverter_cell();
+        let mut top = Builder::new();
+        let input = top.node("in", 1);
+        let out = top.node("out", 1);
+        top.element("drv", ElementKind::Buf, Delay(1), &[input], &[out])
+            .unwrap();
+        // Binding the cell's driven output to an already-driven node must
+        // fail.
+        let err = top
+            .instantiate(&cell, "u0", &[("a", input), ("y", out)])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::MultipleDrivers { .. }));
+    }
+}

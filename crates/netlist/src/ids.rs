@@ -1,0 +1,87 @@
+//! Typed indices into a [`Netlist`](crate::Netlist).
+
+use std::fmt;
+
+/// Identifier of a node (a net) within one netlist.
+///
+/// `NodeId`s are dense indices assigned in creation order; they are only
+/// meaningful for the netlist that produced them.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::NodeId;
+///
+/// let id = NodeId::from_index(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Wraps a raw dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    /// The dense index, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an element (gate, block, or generator) within one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::ElemId;
+///
+/// assert_eq!(ElemId::from_index(7).to_string(), "e7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemId(u32);
+
+impl ElemId {
+    /// Wraps a raw dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> ElemId {
+        ElemId(i as u32)
+    }
+
+    /// The dense index, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        assert_eq!(NodeId::from_index(42).index(), 42);
+        assert_eq!(ElemId::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,60 @@
+//! Netlist graph, validating builder, text format, and structural analyses.
+//!
+//! A [`Netlist`] is the circuit representation shared by all four `parsim`
+//! simulation engines: a bipartite graph of *nodes* (nets carrying
+//! four-state values) and *elements* (gates, functional blocks, and
+//! generators from [`parsim_logic::ElementKind`]). Construction goes through
+//! the validating [`Builder`]; circuits can also be round-tripped through a
+//! small text format ([`Netlist::to_text`] / [`Netlist::from_text`]).
+//!
+//! Circuits can also be read from the ISCAS `.bench` benchmark format via
+//! [`bench_fmt::from_bench`].
+//!
+//! Structural analyses used by the engines and by the paper's experiments
+//! live here too: combinational [`levelize`](analyze::levelize), feedback
+//! detection via [`feedback_elements`](analyze::feedback_elements)
+//! (§4 discusses how feedback chains serialize the asynchronous algorithm),
+//! and the static [`partition`] strategies the compiled-mode algorithm
+//! needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use parsim_logic::{Delay, ElementKind};
+//! use parsim_netlist::Builder;
+//!
+//! # fn main() -> Result<(), parsim_netlist::BuildError> {
+//! let mut b = Builder::new();
+//! let clk = b.node("clk", 1);
+//! let q = b.node("q", 1);
+//! let qn = b.node("qn", 1);
+//! b.element(
+//!     "osc",
+//!     ElementKind::Clock { half_period: 5, offset: 5 },
+//!     Delay(1),
+//!     &[],
+//!     &[clk],
+//! )?;
+//! b.element("ff", ElementKind::Dff { width: 1 }, Delay(1), &[clk, qn], &[q])?;
+//! b.element("inv", ElementKind::Not, Delay(1), &[q], &[qn])?;
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.num_elements(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyze;
+pub mod bench_fmt;
+mod build;
+pub mod optimize;
+mod graph;
+mod ids;
+mod parse;
+pub mod partition;
+mod stats;
+
+pub use build::{BuildError, Builder};
+pub use graph::{Element, Netlist, Node};
+pub use ids::{ElemId, NodeId};
+pub use parse::ParseNetlistError;
+pub use stats::NetlistStats;

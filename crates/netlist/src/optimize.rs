@@ -1,0 +1,217 @@
+//! Netlist transforms: dead-logic sweeping.
+//!
+//! Generated and parsed circuits often carry cones of logic that no
+//! observed output depends on (dangling carry-outs, unused decoder
+//! terms). [`sweep`] removes every element with no path to a kept node —
+//! less work for all four engines.
+
+use std::collections::VecDeque;
+
+use crate::build::Builder;
+use crate::graph::Netlist;
+use crate::ids::NodeId;
+
+/// The outcome of a [`sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The swept netlist.
+    pub netlist: Netlist,
+    /// Kept-node ids translated into the new netlist, in input order.
+    pub kept: Vec<NodeId>,
+    /// Elements removed.
+    pub removed_elements: usize,
+    /// Nodes removed.
+    pub removed_nodes: usize,
+}
+
+/// Removes every element (and node) with no path to any of the `keep`
+/// nodes. Generators survive only if something kept consumes them.
+///
+/// # Panics
+///
+/// Panics if any `keep` id is out of range for `netlist`.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, ElementKind, Value};
+/// use parsim_netlist::{optimize::sweep, Builder};
+///
+/// # fn main() -> Result<(), parsim_netlist::BuildError> {
+/// let mut b = Builder::new();
+/// let a = b.node("a", 1);
+/// let used = b.node("used", 1);
+/// let dead = b.node("dead", 1);
+/// b.element("c", ElementKind::Const { value: Value::bit(true) }, Delay(1), &[], &[a])?;
+/// b.element("keepme", ElementKind::Not, Delay(1), &[a], &[used])?;
+/// b.element("deadwood", ElementKind::Not, Delay(1), &[a], &[dead])?;
+/// let n = b.finish()?;
+/// let swept = sweep(&n, &[used]);
+/// assert_eq!(swept.removed_elements, 1);
+/// assert_eq!(swept.netlist.num_elements(), 2); // const + keepme
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep(netlist: &Netlist, keep: &[NodeId]) -> SweepResult {
+    // Reverse reachability over elements: an element is live if any of
+    // its outputs is a kept node or feeds a live element.
+    let mut live_elem = vec![false; netlist.num_elements()];
+    let mut live_node = vec![false; netlist.num_nodes()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &k in keep {
+        assert!(k.index() < netlist.num_nodes(), "keep id out of range");
+        if !live_node[k.index()] {
+            live_node[k.index()] = true;
+            queue.push_back(k);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        if let Some((drv, _)) = netlist.node(n).driver() {
+            if !live_elem[drv.index()] {
+                live_elem[drv.index()] = true;
+                let e = netlist.element(drv);
+                // All outputs of a live element stay (a node cannot lose
+                // its driver), and all inputs become live.
+                for &out in e.outputs() {
+                    live_node[out.index()] = true;
+                }
+                for &inp in e.inputs() {
+                    if !live_node[inp.index()] {
+                        live_node[inp.index()] = true;
+                        queue.push_back(inp);
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild.
+    let mut b = Builder::new();
+    let mut map = vec![None::<NodeId>; netlist.num_nodes()];
+    for (id, node) in netlist.iter_nodes() {
+        if live_node[id.index()] {
+            map[id.index()] = Some(b.node(node.name(), node.width()));
+        }
+    }
+    for (id, e) in netlist.iter_elements() {
+        if !live_elem[id.index()] {
+            continue;
+        }
+        let inputs: Vec<NodeId> = e
+            .inputs()
+            .iter()
+            .map(|&n| map[n.index()].expect("live element input is live"))
+            .collect();
+        let outputs: Vec<NodeId> = e
+            .outputs()
+            .iter()
+            .map(|&n| map[n.index()].expect("live element output is live"))
+            .collect();
+        b.element_with_delays(
+            e.name(),
+            e.kind().clone(),
+            e.rise_delay(),
+            e.fall_delay(),
+            &inputs,
+            &outputs,
+        )
+        .expect("swept netlist preserves validity");
+    }
+    let swept = b.finish().expect("swept netlist is valid");
+    let kept = keep
+        .iter()
+        .map(|&k| map[k.index()].expect("kept nodes are live"))
+        .collect();
+    SweepResult {
+        removed_elements: netlist.num_elements()
+            - live_elem.iter().filter(|&&l| l).count(),
+        removed_nodes: netlist.num_nodes() - live_node.iter().filter(|&&l| l).count(),
+        netlist: swept,
+        kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::{Delay, ElementKind, Value};
+
+    #[test]
+    fn keeps_transitive_cone() {
+        // chain: const -> g1 -> g2 -> out, plus a dead side branch.
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let m = b.node("m", 1);
+        let out = b.node("out", 1);
+        let side = b.node("side", 1);
+        b.element(
+            "c",
+            ElementKind::Const {
+                value: Value::bit(false),
+            },
+            Delay(1),
+            &[],
+            &[a],
+        )
+        .unwrap();
+        b.element("g1", ElementKind::Not, Delay(1), &[a], &[m]).unwrap();
+        b.element("g2", ElementKind::Not, Delay(1), &[m], &[out]).unwrap();
+        b.element("g3", ElementKind::Not, Delay(1), &[m], &[side]).unwrap();
+        let n = b.finish().unwrap();
+        let swept = sweep(&n, &[out]);
+        assert_eq!(swept.removed_elements, 1);
+        assert_eq!(swept.removed_nodes, 1);
+        assert_eq!(swept.netlist.num_elements(), 3);
+        assert!(swept.netlist.element_by_name("g3").is_none());
+        // The kept handle points at the same logical node.
+        assert_eq!(swept.netlist.node(swept.kept[0]).name(), "out");
+    }
+
+    #[test]
+    fn feedback_loops_survive_whole() {
+        let mut b = Builder::new();
+        let q = b.node("q", 1);
+        let qn = b.node("qn", 1);
+        b.element("i1", ElementKind::Not, Delay(1), &[q], &[qn]).unwrap();
+        b.element("i2", ElementKind::Not, Delay(1), &[qn], &[q]).unwrap();
+        let n = b.finish().unwrap();
+        let swept = sweep(&n, &[q]);
+        assert_eq!(swept.removed_elements, 0);
+    }
+
+    #[test]
+    fn keeping_nothing_removes_everything() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        b.element(
+            "c",
+            ElementKind::Const {
+                value: Value::bit(false),
+            },
+            Delay(1),
+            &[],
+            &[a],
+        )
+        .unwrap();
+        b.element("g", ElementKind::Not, Delay(1), &[a], &[y]).unwrap();
+        let n = b.finish().unwrap();
+        let swept = sweep(&n, &[]);
+        assert_eq!(swept.netlist.num_elements(), 0);
+        assert_eq!(swept.netlist.num_nodes(), 0);
+    }
+
+    #[test]
+    fn delays_survive_sweep() {
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        b.element_with_delays("g", ElementKind::Not, Delay(3), Delay(7), &[a], &[y])
+            .unwrap();
+        let n = b.finish().unwrap();
+        let swept = sweep(&n, &[y]);
+        let g = swept.netlist.element_by_name("g").unwrap();
+        assert_eq!(swept.netlist.element(g).rise_delay(), Delay(3));
+        assert_eq!(swept.netlist.element(g).fall_delay(), Delay(7));
+    }
+}

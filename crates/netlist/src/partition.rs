@@ -1,0 +1,208 @@
+//! Static element partitioning for the compiled-mode algorithm.
+//!
+//! The paper's compiled-mode simulator statically assigns every element to
+//! a processor (§3). Gate-level circuits with many similar elements balance
+//! easily; the functional multiplier's ~100 heterogeneous elements do not —
+//! which is exactly what these strategies let the experiments demonstrate.
+
+use crate::graph::Netlist;
+
+/// A static assignment of elements to `parts` processors.
+///
+/// `assignment[e]` is the processor owning element `e`.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_netlist::partition::{round_robin, Partition};
+///
+/// let p = round_robin(10, 4);
+/// assert_eq!(p.parts(), 4);
+/// assert_eq!(p.assignment()[0], 0);
+/// assert_eq!(p.assignment()[5], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    parts: usize,
+    assignment: Vec<u32>,
+}
+
+impl Partition {
+    /// The number of parts (processors).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The per-element processor assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The elements assigned to `part`.
+    pub fn members(&self, part: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p as usize == part)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The summed cost per part under the given per-element costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len()` differs from the number of elements.
+    pub fn loads(&self, costs: &[u64]) -> Vec<u64> {
+        assert_eq!(costs.len(), self.assignment.len());
+        let mut loads = vec![0u64; self.parts];
+        for (e, &p) in self.assignment.iter().enumerate() {
+            loads[p as usize] += costs[e];
+        }
+        loads
+    }
+
+    /// Load imbalance: `max_load / mean_load` (1.0 is perfect).
+    ///
+    /// Returns 1.0 for empty partitions.
+    pub fn imbalance(&self, costs: &[u64]) -> f64 {
+        let loads = self.loads(costs);
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.parts as f64;
+        let max = *loads.iter().max().expect("at least one part") as f64;
+        max / mean
+    }
+}
+
+/// Cyclic assignment: element `e` goes to processor `e % parts`.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn round_robin(num_elements: usize, parts: usize) -> Partition {
+    assert!(parts > 0, "parts must be nonzero");
+    Partition {
+        parts,
+        assignment: (0..num_elements).map(|e| (e % parts) as u32).collect(),
+    }
+}
+
+/// Contiguous block assignment: the first `n/parts` elements to processor
+/// 0, and so on. Preserves locality of generated circuits (rows of the
+/// inverter array stay together).
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn block(num_elements: usize, parts: usize) -> Partition {
+    assert!(parts > 0, "parts must be nonzero");
+    let per = num_elements.div_ceil(parts).max(1);
+    Partition {
+        parts,
+        assignment: (0..num_elements)
+            .map(|e| ((e / per).min(parts - 1)) as u32)
+            .collect(),
+    }
+}
+
+/// Longest-processing-time greedy balance over per-element evaluation
+/// costs. This is the "load-balancing is easy [for homogeneous gates]"
+/// versus "dissimilar evaluation times make load-balancing hard" knob from
+/// §3 of the paper.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn lpt(costs: &[u64], parts: usize) -> Partition {
+    assert!(parts > 0, "parts must be nonzero");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&e| std::cmp::Reverse(costs[e]));
+    let mut loads = vec![0u64; parts];
+    let mut assignment = vec![0u32; costs.len()];
+    for e in order {
+        let (best, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("parts > 0");
+        assignment[e] = best as u32;
+        loads[best] += costs[e];
+    }
+    Partition { parts, assignment }
+}
+
+/// Per-element evaluation costs in inverter-event units (see
+/// [`parsim_logic::ElementKind::eval_cost`]).
+pub fn element_costs(netlist: &Netlist) -> Vec<u64> {
+    netlist
+        .elements()
+        .iter()
+        .map(|e| e.kind().eval_cost())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = round_robin(7, 3);
+        assert_eq!(p.assignment(), &[0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(p.members(0), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let p = block(10, 3);
+        assert_eq!(p.assignment(), &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn block_handles_more_parts_than_elements() {
+        let p = block(2, 8);
+        assert_eq!(p.assignment().len(), 2);
+        assert!(p.assignment().iter().all(|&x| (x as usize) < 8));
+    }
+
+    #[test]
+    fn lpt_balances_heterogeneous_costs() {
+        // One expensive element and many cheap ones.
+        let mut costs = vec![1u64; 20];
+        costs[0] = 20;
+        let p = lpt(&costs, 2);
+        let loads = p.loads(&costs);
+        // LPT puts the big one alone-ish: imbalance stays near 1.
+        assert!(p.imbalance(&costs) <= 1.05, "loads: {loads:?}");
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_skewed_costs() {
+        let mut costs = vec![1u64; 16];
+        for c in costs.iter_mut().step_by(2) {
+            *c = 50;
+        }
+        costs[0] = 400;
+        let rr = round_robin(costs.len(), 4).imbalance(&costs);
+        let lp = lpt(&costs, 4).imbalance(&costs);
+        assert!(lp <= rr, "lpt {lp} vs rr {rr}");
+    }
+
+    #[test]
+    fn loads_sum_to_total() {
+        let costs = vec![3u64, 5, 7, 11];
+        for p in [round_robin(4, 2), block(4, 2), lpt(&costs, 2)] {
+            assert_eq!(p.loads(&costs).iter().sum::<u64>(), 26);
+        }
+    }
+
+    #[test]
+    fn imbalance_of_perfect_split_is_one() {
+        let costs = vec![2u64, 2, 2, 2];
+        let p = round_robin(4, 2);
+        assert!((p.imbalance(&costs) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural netlist statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::analyze::feedback_elements;
+use crate::graph::Netlist;
+
+/// Structural statistics of a netlist, in the spirit of the authors'
+/// companion paper *"Statistics for Parallelism and Abstraction Level in
+/// Digital Simulation"* (DAC 1987), which this paper leans on for element
+/// activity and event-availability arguments.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, ElementKind, Value};
+/// use parsim_netlist::{Builder, NetlistStats};
+///
+/// # fn main() -> Result<(), parsim_netlist::BuildError> {
+/// let mut b = Builder::new();
+/// let a = b.node("a", 1);
+/// let y = b.node("y", 1);
+/// b.element("c", ElementKind::Const { value: Value::bit(true) }, Delay(1), &[], &[a])?;
+/// b.element("g", ElementKind::Not, Delay(1), &[a], &[y])?;
+/// let stats = NetlistStats::compute(&b.finish()?);
+/// assert_eq!(stats.num_elements, 2);
+/// assert_eq!(stats.num_generators, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistStats {
+    /// Total node count.
+    pub num_nodes: usize,
+    /// Total element count.
+    pub num_elements: usize,
+    /// Generator elements.
+    pub num_generators: usize,
+    /// Sequential elements (flip-flops, latches).
+    pub num_sequential: usize,
+    /// Elements on feedback paths (SCCs of size > 1 or self-loops).
+    pub num_feedback: usize,
+    /// Instance count per element mnemonic.
+    pub kind_counts: BTreeMap<String, usize>,
+    /// Mean fan-out over driven nodes.
+    pub avg_fanout: f64,
+    /// Largest fan-out.
+    pub max_fanout: usize,
+    /// Total evaluation cost in inverter-event units.
+    pub total_cost: u64,
+    /// Nodes with no driver (float at X).
+    pub undriven_nodes: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn compute(netlist: &Netlist) -> NetlistStats {
+        let mut kind_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut num_generators = 0;
+        let mut num_sequential = 0;
+        let mut total_cost = 0;
+        for e in netlist.elements() {
+            *kind_counts.entry(e.kind().mnemonic().to_string()).or_insert(0) += 1;
+            if e.kind().is_generator() {
+                num_generators += 1;
+            }
+            if e.kind().is_sequential() {
+                num_sequential += 1;
+            }
+            total_cost += e.kind().eval_cost();
+        }
+        let mut fanout_sum = 0usize;
+        let mut max_fanout = 0usize;
+        let mut undriven_nodes = 0usize;
+        for n in netlist.nodes() {
+            fanout_sum += n.fanout().len();
+            max_fanout = max_fanout.max(n.fanout().len());
+            if n.driver().is_none() {
+                undriven_nodes += 1;
+            }
+        }
+        NetlistStats {
+            num_nodes: netlist.num_nodes(),
+            num_elements: netlist.num_elements(),
+            num_generators,
+            num_sequential,
+            num_feedback: feedback_elements(netlist).len(),
+            kind_counts,
+            avg_fanout: if netlist.num_nodes() == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / netlist.num_nodes() as f64
+            },
+            max_fanout,
+            total_cost,
+            undriven_nodes,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} elements, {} nodes ({} undriven)",
+            self.num_elements, self.num_nodes, self.undriven_nodes
+        )?;
+        writeln!(
+            f,
+            "  generators: {}, sequential: {}, on feedback: {}",
+            self.num_generators, self.num_sequential, self.num_feedback
+        )?;
+        writeln!(
+            f,
+            "  fanout avg {:.2} max {}, total cost {} inverter-events",
+            self.avg_fanout, self.max_fanout, self.total_cost
+        )?;
+        for (kind, count) in &self.kind_counts {
+            writeln!(f, "  {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+    use parsim_logic::{Delay, ElementKind};
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        let d = b.node("d", 1);
+        let q = b.node("q", 1);
+        let floating = b.node("float", 1);
+        let _ = floating;
+        b.element(
+            "c",
+            ElementKind::Clock {
+                half_period: 2,
+                offset: 2,
+            },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        b.element("ff", ElementKind::Dff { width: 1 }, Delay(1), &[clk, d], &[q])
+            .unwrap();
+        b.element("inv", ElementKind::Not, Delay(1), &[q], &[d])
+            .unwrap();
+        let stats = NetlistStats::compute(&b.finish().unwrap());
+        assert_eq!(stats.num_elements, 3);
+        assert_eq!(stats.num_generators, 1);
+        assert_eq!(stats.num_sequential, 1);
+        assert_eq!(stats.num_feedback, 2);
+        assert_eq!(stats.undriven_nodes, 1);
+        assert_eq!(stats.kind_counts["not"], 1);
+        assert!(stats.total_cost >= 4);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("3 elements"));
+    }
+}

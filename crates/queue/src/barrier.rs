@@ -1,0 +1,153 @@
+//! A sense-reversing spin barrier.
+//!
+//! The synchronous event-driven and compiled-mode algorithms "make sure
+//! that *all* processors are done before continuing on to the next
+//! time-step" (§2). A sense-reversing barrier is reusable across an
+//! unbounded number of phases without reinitialization.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable spin barrier for a fixed set of participants.
+///
+/// Spins briefly, then yields to the OS scheduler — important when threads
+/// outnumber cores (this reproduction often runs oversubscribed).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_queue::SpinBarrier;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(SpinBarrier::new(2));
+/// let b2 = Arc::clone(&barrier);
+/// let t = std::thread::spawn(move || {
+///     b2.wait();
+/// });
+/// let leader = barrier.wait();
+/// t.join().unwrap();
+/// # let _ = leader;
+/// ```
+pub struct SpinBarrier {
+    parties: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> SpinBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            remaining: AtomicUsize::new(parties),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// The number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks until all parties have called `wait`. Returns `true` for
+    /// exactly one caller per phase (the "leader"), which is useful for
+    /// per-phase bookkeeping.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset and release the phase.
+            self.remaining.store(self.parties, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed hosts: let the missing party run.
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        const THREADS: usize = 4;
+        const PHASES: u64 = 200;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for phase in 0..PHASES {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // After the barrier, all increments of this phase
+                        // must be visible.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(
+                            seen >= (phase + 1) * THREADS as u64,
+                            "phase {phase}: saw {seen}"
+                        );
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), PHASES * THREADS as u64);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        const THREADS: usize = 3;
+        const PHASES: usize = 100;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    for _ in 0..PHASES {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), PHASES as u64);
+    }
+}

@@ -1,0 +1,91 @@
+//! A deliberately centralized, lock-based work queue.
+//!
+//! The paper's first attempt at the synchronous algorithm used "only one
+//! centralized hash table for the node changes and one centralized queue
+//! for the activated elements", which capped speed-up at about 2 with 8
+//! processors (§2). This queue exists to reproduce that negative result in
+//! the ablation benchmarks — it is *not* used by any production engine.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A mutex-guarded MPMC FIFO: the contended baseline the paper replaced
+/// with distributed per-processor queues.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_queue::CentralQueue;
+///
+/// let q = CentralQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct CentralQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> CentralQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> CentralQueue<T> {
+        CentralQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an item (takes the global lock).
+    pub fn push(&self, item: T) {
+        self.inner.lock().expect("central queue poisoned").push_back(item);
+    }
+
+    /// Removes the oldest item (takes the global lock).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("central queue poisoned").pop_front()
+    }
+
+    /// The current length (takes the global lock).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("central queue poisoned").len()
+    }
+
+    /// True if currently empty (takes the global lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mpmc_delivery_is_complete() {
+        let q = Arc::new(CentralQueue::new());
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        got.sort();
+        assert_eq!(got, (0..3000u64).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! The n×n SPSC mailbox grid of the asynchronous algorithm.
+//!
+//! §4 of the paper: "each processor owns n FIFO queues (including one for
+//! itself), where n is the number of processors, with each queue
+//! corresponding to one of the other processors. The processors only
+//! remove elements from queues they own, and add elements to queues that
+//! correspond to them." A [`GridSender`] scatters work round-robin across
+//! its row of queues (the §2 trick of "splitting up the problem into n
+//! parts when adding to the list rather than when removing from the
+//! list"); a [`GridReceiver`] drains its column.
+
+use crate::spsc::{channel, Receiver, Sender};
+
+/// The sending side owned by one processor: one SPSC sender per peer.
+///
+/// # Examples
+///
+/// ```
+/// let (mut senders, mut receivers) = parsim_queue::grid::<u32>(2);
+/// senders[0].send(10); // lands on some processor, round-robin
+/// senders[0].send(11);
+/// let got: Vec<u32> = (0..2).filter_map(|p| receivers[p].recv()).collect();
+/// assert_eq!(got.len(), 2);
+/// ```
+pub struct GridSender<T> {
+    to: Vec<Sender<T>>,
+    cursor: usize,
+}
+
+impl<T> GridSender<T> {
+    /// Scatters one item round-robin over the peers.
+    ///
+    /// Returns the index of the receiving processor.
+    pub fn send(&mut self, item: T) -> usize {
+        let target = self.cursor;
+        self.cursor = (self.cursor + 1) % self.to.len();
+        self.to[target].send(item);
+        target
+    }
+
+    /// Sends directly to a specific processor (used by engines that route
+    /// by ownership rather than round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn send_to(&mut self, target: usize, item: T) {
+        self.to[target].send(item);
+    }
+
+    /// The number of peers (including self).
+    pub fn peers(&self) -> usize {
+        self.to.len()
+    }
+}
+
+/// The receiving side owned by one processor: one SPSC receiver per peer.
+pub struct GridReceiver<T> {
+    from: Vec<Receiver<T>>,
+    cursor: usize,
+}
+
+impl<T> GridReceiver<T> {
+    /// Dequeues the next available item, polling peers round-robin from
+    /// where the last successful receive left off (fairness across
+    /// senders).
+    pub fn recv(&mut self) -> Option<T> {
+        let n = self.from.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            if let Some(item) = self.from[idx].recv() {
+                self.cursor = idx;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// True if every incoming queue is currently empty (advisory).
+    pub fn is_empty(&self) -> bool {
+        self.from.iter().all(Receiver::is_empty)
+    }
+
+    /// The number of peers (including self).
+    pub fn peers(&self) -> usize {
+        self.from.len()
+    }
+}
+
+/// Builds an n×n grid of SPSC queues, returning one sender bundle and one
+/// receiver bundle per processor.
+///
+/// `senders[i]` writes only to queues whose single reader is the indexed
+/// receiver; no queue ever has two writers or two readers.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn grid<T>(n: usize) -> (Vec<GridSender<T>>, Vec<GridReceiver<T>>) {
+    assert!(n > 0, "grid needs at least one processor");
+    let mut senders: Vec<GridSender<T>> = (0..n)
+        .map(|i| GridSender {
+            to: Vec::with_capacity(n),
+            // Stagger initial cursors so processor i starts scattering at
+            // i+1, spreading initial load (round-robin per the paper).
+            cursor: (i + 1) % n,
+        })
+        .collect();
+    let mut receivers: Vec<GridReceiver<T>> = (0..n)
+        .map(|_| GridReceiver {
+            from: Vec::with_capacity(n),
+            cursor: 0,
+        })
+        .collect();
+    for sender in senders.iter_mut() {
+        for receiver in receivers.iter_mut() {
+            let (tx, rx) = channel();
+            sender.to.push(tx);
+            receiver.from.push(rx);
+        }
+    }
+    (senders, receivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn every_item_arrives_exactly_once() {
+        const N: usize = 4;
+        const PER: u64 = 10_000;
+        let (senders, receivers) = grid::<u64>(N);
+        let producer_handles: Vec<_> = senders
+            .into_iter()
+            .enumerate()
+            .map(|(p, mut tx)| {
+                thread::spawn(move || {
+                    for i in 0..PER {
+                        tx.send(p as u64 * PER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumer_handles: Vec<_> = receivers
+            .into_iter()
+            .map(|mut rx| {
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut idle = 0;
+                    while idle < 10_000 {
+                        match rx.recv() {
+                            Some(v) => {
+                                got.push(v);
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in producer_handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumer_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        let expected: Vec<u64> = (0..N as u64 * PER).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let (mut senders, receivers) = grid::<u32>(4);
+        for i in 0..400 {
+            senders[0].send(i);
+        }
+        let counts: Vec<usize> = receivers
+            .into_iter()
+            .map(|mut rx| {
+                let mut c = 0;
+                while rx.recv().is_some() {
+                    c += 1;
+                }
+                c
+            })
+            .collect();
+        assert_eq!(counts, vec![100; 4]);
+    }
+
+    #[test]
+    fn send_to_routes_directly() {
+        let (mut senders, mut receivers) = grid::<&str>(3);
+        senders[1].send_to(2, "hello");
+        assert_eq!(receivers[2].recv(), Some("hello"));
+        assert_eq!(receivers[0].recv(), None);
+        assert!(receivers[1].is_empty());
+    }
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        // Items from one sender to one receiver stay ordered even when
+        // interleaved with another sender's traffic.
+        let (mut senders, mut receivers) = grid::<(usize, u64)>(2);
+        for i in 0..100 {
+            senders[0].send_to(0, (0, i));
+            senders[1].send_to(0, (1, i));
+        }
+        let mut last = [None::<u64>; 2];
+        while let Some((src, seq)) = receivers[0].recv() {
+            if let Some(prev) = last[src] {
+                assert!(seq > prev, "fifo per sender violated");
+            }
+            last[src] = Some(seq);
+        }
+        assert_eq!(last, [Some(99), Some(99)]);
+    }
+
+    #[test]
+    fn single_processor_grid_self_delivers() {
+        let (mut senders, mut receivers) = grid::<u8>(1);
+        senders[0].send(42);
+        assert_eq!(receivers[0].recv(), Some(42));
+    }
+}

@@ -1,0 +1,35 @@
+//! Lock-free scheduling primitives for the parallel simulation engines.
+//!
+//! The paper's asynchronous algorithm (§4) schedules elements through an
+//! n×n grid of single-reader/single-writer FIFO queues: "each queue has
+//! only one processor that adds elements to it and only one processor that
+//! removes elements from it... Since no locks are used, the two processors
+//! corresponding to each queue must never modify the same location." This
+//! crate provides exactly those building blocks:
+//!
+//! - [`spsc`]: an unbounded lock-free single-producer/single-consumer
+//!   queue (segmented, with the Lamport publish/consume protocol),
+//! - [`ring()`]: the bounded Lamport ring, the paper's literal structure
+//!   ("the head and tail never point to the same location"),
+//! - [`grid()`]: the n×n mailbox grid with round-robin scatter senders,
+//! - [`barrier::SpinBarrier`]: the sense-reversing barrier the synchronous
+//!   algorithms need at phase boundaries,
+//! - [`activation::ActivationState`]: the per-element at-most-once
+//!   scheduling state machine ("activate the elements only once"), and
+//! - [`central::CentralQueue`]: a deliberately contended lock-based queue
+//!   used to reproduce the paper's negative result (§2: one centralized
+//!   queue capped speed-up at ~2 with 8 processors).
+
+pub mod activation;
+pub mod barrier;
+pub mod central;
+pub mod grid;
+pub mod ring;
+pub mod spsc;
+
+pub use activation::ActivationState;
+pub use barrier::SpinBarrier;
+pub use central::CentralQueue;
+pub use grid::{grid, GridReceiver, GridSender};
+pub use ring::{ring, RingReceiver, RingSender};
+pub use spsc::{channel, Receiver, Sender};

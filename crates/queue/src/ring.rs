@@ -1,0 +1,229 @@
+//! The bounded Lamport SPSC ring — the paper's literal queue.
+//!
+//! "Since elements are removed from the head and added to the tail, we
+//! just make sure that the head and tail never point to the same location
+//! to satisfy this constraint" (§4). One slot is sacrificed to
+//! distinguish full from empty, exactly as in 1988; the unbounded
+//! [`channel`](crate::channel) used by the engines trades that fixed
+//! footprint for never-failing sends.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+struct RingInner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read (consumer-owned, atomically published).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to write (producer-owned, atomically published).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slot (i) is written only by the producer before publishing via
+// `tail` and read only by the consumer before publishing via `head`; the
+// two indices never alias a live slot (one slot is kept empty).
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+impl<T> Drop for RingInner<T> {
+    fn drop(&mut self) {
+        // Exclusive at drop: drain live items.
+        let mut head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        while head != tail {
+            // SAFETY: slots in [head, tail) hold initialized values.
+            unsafe { (*self.slots[head].get()).assume_init_drop() };
+            head = (head + 1) % self.slots.len();
+        }
+    }
+}
+
+/// The producing half of a bounded SPSC ring.
+pub struct RingSender<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// The consuming half of a bounded SPSC ring.
+pub struct RingReceiver<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Creates a bounded SPSC ring holding up to `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = parsim_queue::ring::<u32>(2);
+/// assert!(tx.try_send(1).is_ok());
+/// assert!(tx.try_send(2).is_ok());
+/// assert_eq!(tx.try_send(3), Err(3)); // full
+/// assert_eq!(rx.try_recv(), Some(1));
+/// assert!(tx.try_send(3).is_ok());
+/// ```
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    assert!(capacity > 0, "capacity must be nonzero");
+    // One slot stays empty so head == tail unambiguously means "empty".
+    let slots = (0..capacity + 1)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(RingInner {
+        slots,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        RingSender {
+            inner: Arc::clone(&inner),
+        },
+        RingReceiver { inner },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Attempts to enqueue a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` (handing the value back) when the ring is
+    /// full.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let next = (tail + 1) % inner.slots.len();
+        if next == inner.head.load(Ordering::Acquire) {
+            return Err(value); // full: head and tail must never meet
+        }
+        // SAFETY: the slot at `tail` is dead (not between head and tail).
+        unsafe { (*inner.slots[tail].get()).write(value) };
+        inner.tail.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when a `try_send` right now would fail (advisory).
+    pub fn is_full(&self) -> bool {
+        let inner = &self.inner;
+        let next = (inner.tail.load(Ordering::Relaxed) + 1) % inner.slots.len();
+        next == inner.head.load(Ordering::Acquire)
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Attempts to dequeue the oldest value.
+    pub fn try_recv(&self) -> Option<T> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        if head == inner.tail.load(Ordering::Acquire) {
+            return None; // empty
+        }
+        // SAFETY: the slot at `head` holds an initialized value published
+        // by the matching tail store.
+        let value = unsafe { (*inner.slots[head].get()).assume_init_read() };
+        inner
+            .head
+            .store((head + 1) % inner.slots.len(), Ordering::Release);
+        Some(value)
+    }
+
+    /// True when a `try_recv` right now would fail (advisory).
+    pub fn is_empty(&self) -> bool {
+        let inner = &self.inner;
+        inner.head.load(Ordering::Relaxed) == inner.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::thread;
+
+    #[test]
+    fn fills_to_capacity_exactly() {
+        let (tx, rx) = ring::<u32>(3);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(tx.try_send(3).is_ok());
+        assert!(tx.is_full());
+        assert_eq!(tx.try_send(4), Err(4));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert!(!tx.is_full());
+        assert!(tx.try_send(4).is_ok());
+        for expected in [2, 3, 4] {
+            assert_eq!(rx.try_recv(), Some(expected));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn wraps_many_times_against_model() {
+        let (tx, rx) = ring::<u64>(5);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut state = 12345u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state.is_multiple_of(2) {
+                match tx.try_send(next) {
+                    Ok(()) => {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                    Err(_) => assert_eq!(model.len(), 5, "full only at capacity"),
+                }
+            } else {
+                assert_eq!(rx.try_recv(), model.pop_front());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_thread_fifo() {
+        const N: u64 = 100_000;
+        let (tx, rx) = ring::<u64>(64);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = tx.try_send(v) {
+                    v = back;
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.try_recv() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed_items() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (tx, rx) = ring::<D>(8);
+            for _ in 0..6 {
+                assert!(tx.try_send(D).is_ok());
+            }
+            drop(rx.try_recv()); // consume one
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 6);
+    }
+}

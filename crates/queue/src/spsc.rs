@@ -1,0 +1,287 @@
+//! Unbounded lock-free single-producer/single-consumer FIFO.
+//!
+//! The queue is a linked list of fixed-size segments. The producer writes
+//! into the tail segment and *publishes* each slot with a release store of
+//! the segment's published count; the consumer acquires that count before
+//! reading. Head and tail state live on opposite sides and are never
+//! modified by the other party — the paper's "the two processors
+//! corresponding to each queue must never modify the same location".
+//!
+//! Segments fully consumed by the consumer are freed by the consumer once
+//! the producer has linked a successor (the producer never revisits a
+//! segment after linking its successor, so this is safe without epochs).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+/// Slots per segment. Large enough to amortize allocation, small enough
+/// that bursty producers don't hoard memory.
+const SEG: usize = 256;
+
+struct Segment<T> {
+    data: [UnsafeCell<MaybeUninit<T>>; SEG],
+    /// Number of slots written and visible to the consumer.
+    published: AtomicUsize,
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn new_raw() -> *mut Segment<T> {
+        Box::into_raw(Box::new(Segment {
+            // SAFETY: an array of MaybeUninit does not require initialization.
+            data: unsafe { MaybeUninit::uninit().assume_init() },
+            published: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+struct Channel<T> {
+    /// Producer-side cursor: current tail segment and write index.
+    tail: CachePadded<UnsafeCell<(*mut Segment<T>, usize)>>,
+    /// Consumer-side cursor: current head segment and read index.
+    head: CachePadded<UnsafeCell<(*mut Segment<T>, usize)>>,
+}
+
+// SAFETY: the producer only touches `tail` and the consumer only `head`;
+// cross-thread publication goes through `published`/`next` atomics.
+unsafe impl<T: Send> Send for Channel<T> {}
+unsafe impl<T: Send> Sync for Channel<T> {}
+
+impl<T> Drop for Channel<T> {
+    fn drop(&mut self) {
+        // Exclusive access: both endpoints are gone. Drain remaining items
+        // and free all segments.
+        unsafe {
+            let (mut seg, mut idx) = *self.head.get();
+            while !seg.is_null() {
+                let published = (*seg).published.load(Ordering::Relaxed);
+                for i in idx..published {
+                    ptr::drop_in_place((*(*seg).data[i].get()).as_mut_ptr());
+                }
+                let next = (*seg).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(seg));
+                seg = next;
+                idx = 0;
+            }
+        }
+    }
+}
+
+/// The sending half of an unbounded SPSC queue.
+///
+/// Not [`Clone`]: exactly one producer exists per queue.
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, mut rx) = parsim_queue::channel::<u32>();
+/// tx.send(7);
+/// assert_eq!(rx.recv(), Some(7));
+/// assert_eq!(rx.recv(), None);
+/// ```
+pub struct Sender<T> {
+    ch: Arc<Channel<T>>,
+}
+
+// SAFETY: moving the unique producer endpoint to another thread is fine for
+// T: Send; the endpoint is !Sync by construction (UnsafeCell access).
+unsafe impl<T: Send> Send for Sender<T> {}
+
+/// The receiving half of an unbounded SPSC queue.
+///
+/// Not [`Clone`]: exactly one consumer exists per queue.
+pub struct Receiver<T> {
+    ch: Arc<Channel<T>>,
+}
+
+unsafe impl<T: Send> Send for Receiver<T> {}
+
+/// Creates an unbounded SPSC queue.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let seg = Segment::new_raw();
+    let ch = Arc::new(Channel {
+        tail: CachePadded::new(UnsafeCell::new((seg, 0))),
+        head: CachePadded::new(UnsafeCell::new((seg, 0))),
+    });
+    (
+        Sender {
+            ch: Arc::clone(&ch),
+        },
+        Receiver { ch },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value. Never blocks and never fails; memory is the only
+    /// limit (the paper's asynchronous queues "fill up quickly", which is
+    /// the desirable state — ample available work).
+    pub fn send(&mut self, value: T) {
+        unsafe {
+            let cursor = self.ch.tail.get();
+            let (mut seg, mut idx) = *cursor;
+            if idx == SEG {
+                let new = Segment::new_raw();
+                (*seg).next.store(new, Ordering::Release);
+                seg = new;
+                idx = 0;
+            }
+            (*(*seg).data[idx].get()).write(value);
+            (*seg).published.store(idx + 1, Ordering::Release);
+            *cursor = (seg, idx + 1);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest value, or `None` if the queue is currently
+    /// empty.
+    pub fn recv(&mut self) -> Option<T> {
+        unsafe {
+            loop {
+                let cursor = self.ch.head.get();
+                let (seg, idx) = *cursor;
+                if idx == SEG {
+                    let next = (*seg).next.load(Ordering::Acquire);
+                    if next.is_null() {
+                        return None;
+                    }
+                    // The producer has moved on; this segment is fully
+                    // consumed and will never be touched again.
+                    drop(Box::from_raw(seg));
+                    *cursor = (next, 0);
+                    continue;
+                }
+                let published = (*seg).published.load(Ordering::Acquire);
+                if idx < published {
+                    let value = (*(*seg).data[idx].get()).assume_init_read();
+                    *cursor = (seg, idx + 1);
+                    return Some(value);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// True if a `recv` right now would return `None`. Advisory only: the
+    /// producer may enqueue immediately afterwards.
+    pub fn is_empty(&self) -> bool {
+        unsafe {
+            let (seg, idx) = *self.ch.head.get();
+            if idx == SEG {
+                return (*seg).next.load(Ordering::Acquire).is_null();
+            }
+            idx >= (*seg).published.load(Ordering::Acquire)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = channel();
+        for i in 0..1000 {
+            tx.send(i);
+        }
+        for i in 0..1000 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn interleaved_send_recv_crosses_segments() {
+        let (mut tx, mut rx) = channel();
+        let mut expected = 0u64;
+        for round in 0..50u64 {
+            for i in 0..((round % 7) * 37 + 13) {
+                tx.send(round * 10_000 + i);
+            }
+            while let Some(v) = rx.recv() {
+                let round_got = v / 10_000;
+                let idx = v % 10_000;
+                assert_eq!(v, round_got * 10_000 + idx);
+                expected += 1;
+            }
+        }
+        assert!(expected > SEG as u64 * 2, "test must cross segments");
+    }
+
+    #[test]
+    fn cross_thread_sequence_preserved() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel();
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i);
+            }
+        });
+        let mut next = 0u64;
+        while next < N {
+            if let Some(v) = rx.recv() {
+                assert_eq!(v, next, "fifo order violated");
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), None);
+    }
+
+    struct DropCounter<'a>(&'a AtomicUsize, #[allow(dead_code)] u64);
+    impl Drop for DropCounter<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        DROPS.store(0, Ordering::Relaxed);
+        {
+            let (mut tx, mut rx) = channel();
+            for i in 0..(SEG as u64 * 3 + 17) {
+                tx.send(DropCounter(&DROPS, i));
+            }
+            // Consume a prefix spanning one segment boundary.
+            for _ in 0..(SEG + 5) {
+                let item = rx.recv().unwrap();
+                drop(item);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), SEG * 3 + 17);
+    }
+
+    #[test]
+    fn sender_dropping_first_still_delivers() {
+        let (mut tx, mut rx) = channel();
+        for i in 0..10 {
+            tx.send(i);
+        }
+        drop(tx);
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn zero_item_channel_drops_cleanly() {
+        let (tx, rx) = channel::<String>();
+        drop(tx);
+        drop(rx);
+    }
+}

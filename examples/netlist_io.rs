@@ -1,0 +1,42 @@
+//! Round-trip a generated circuit through the text netlist format and run
+//! structural analyses on it.
+//!
+//! ```text
+//! cargo run --example netlist_io
+//! ```
+
+use parsim::circuits::functional_multiplier;
+use parsim::netlist::analyze::{feedback_elements, levelize};
+use parsim::netlist::{Netlist, NetlistStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = functional_multiplier(&[(1234, 4321), (7, 9)], 64)?;
+
+    // Serialize to the text format and parse it back.
+    let text = m.netlist.to_text();
+    println!("--- netlist text format (first 12 lines of {}) ---", text.lines().count());
+    for line in text.lines().take(12) {
+        println!("{line}");
+    }
+    let parsed = Netlist::from_text(&text)?;
+    assert_eq!(parsed.to_text(), text, "round-trip must be lossless");
+    println!("--- round-trip lossless ✓ ---\n");
+
+    println!("{}", NetlistStats::compute(&parsed));
+
+    let lv = levelize(&parsed);
+    println!("combinational depth: {} levels", lv.max_level);
+    println!("elements on feedback paths: {}", feedback_elements(&parsed).len());
+
+    // The costs that make static load balancing hard (§3 of the paper).
+    let mut costs: Vec<(u64, &str)> = parsed
+        .elements()
+        .iter()
+        .map(|e| (e.kind().eval_cost(), e.kind().mnemonic()))
+        .collect();
+    costs.sort();
+    let (min_c, min_k) = costs.first().expect("nonempty");
+    let (max_c, max_k) = costs.last().expect("nonempty");
+    println!("evaluation cost spread: {min_c} ({min_k}) .. {max_c} ({max_k}) inverter-events");
+    Ok(())
+}

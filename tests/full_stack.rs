@@ -1,0 +1,145 @@
+//! Integration tests across the whole workspace, through the `parsim`
+//! facade: circuits → engines → machine models must stay mutually
+//! consistent.
+
+use parsim::circuits::{
+    functional_multiplier, gate_multiplier, inverter_array, pipelined_cpu, random_circuit,
+    RandomCircuitParams,
+};
+use parsim::engine::{
+    assert_equivalent, ChaoticAsync, CompiledMode, EventDriven, SimConfig, SyncEventDriven,
+};
+use parsim::logic::Time;
+use parsim::machine::{model_async, model_seq, model_sync, trace_execution, MachineConfig};
+use parsim::netlist::Netlist;
+
+/// The machine model's trace replays the same algorithm as the real
+/// sequential engine: their event and evaluation counts must agree
+/// exactly on every circuit.
+#[test]
+fn model_trace_matches_real_engine_counts() {
+    let arr = inverter_array(8, 8, 2).unwrap();
+    let func = functional_multiplier(&[(3, 9), (500, 700)], 64).unwrap();
+    let cpu = pipelined_cpu(8, 48).unwrap();
+    let cases: Vec<(&str, &Netlist, Time)> = vec![
+        ("array", &arr.netlist, Time(150)),
+        ("functional", &func.netlist, Time(128)),
+        ("cpu", &cpu.netlist, Time(400)),
+    ];
+    for (name, netlist, end) in cases {
+        let real = EventDriven::run(netlist, &SimConfig::new(end));
+        let trace = trace_execution(netlist, end);
+        assert_eq!(
+            real.metrics.events_processed, trace.total_events,
+            "{name}: event counts diverge"
+        );
+        assert_eq!(
+            real.metrics.evaluations, trace.total_evals,
+            "{name}: evaluation counts diverge"
+        );
+    }
+}
+
+/// Async engine and async model process the same number of node events.
+#[test]
+fn async_model_event_count_matches_engine() {
+    let arr = inverter_array(8, 8, 1).unwrap();
+    let end = Time(120);
+    let engine = ChaoticAsync::run(&arr.netlist, &SimConfig::new(end));
+    let model = model_async(&arr.netlist, end, &MachineConfig::multimax(1));
+    assert_eq!(engine.metrics.events_processed, model.events);
+}
+
+/// Every circuit generator's output survives a text-format round trip and
+/// simulates identically afterwards.
+#[test]
+fn text_round_trip_preserves_behavior() {
+    let arr = inverter_array(4, 6, 2).unwrap();
+    let func = functional_multiplier(&[(42, 69)], 64).unwrap();
+    let rnd = random_circuit(&RandomCircuitParams {
+        elements: 60,
+        seed: 99,
+        ..Default::default()
+    })
+    .unwrap();
+    for (name, netlist, end) in [
+        ("array", &arr.netlist, Time(100)),
+        ("functional", &func.netlist, Time(64)),
+        ("random", &rnd.netlist, Time(100)),
+    ] {
+        let reparsed = Netlist::from_text(&netlist.to_text())
+            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        // Watch every node (ids are preserved by the round trip).
+        let watch: Vec<_> = netlist.iter_nodes().map(|(id, _)| id).collect();
+        let cfg = SimConfig::new(end).watch_all(watch);
+        let a = EventDriven::run(netlist, &cfg);
+        let b = EventDriven::run(&reparsed, &cfg);
+        assert_equivalent(&a, &b, name);
+    }
+}
+
+/// The paper's headline end-to-end story, in one test: all four engines
+/// agree on the multiplier; the virtual Multimax prefers the asynchronous
+/// algorithm at high processor counts.
+#[test]
+fn headline_story() {
+    let m = gate_multiplier(8, &[(123, 231), (255, 1)], 160).unwrap();
+    let end = m.schedule_end();
+    let cfg = SimConfig::new(end).watch_all(m.product.iter().copied());
+    let seq = EventDriven::run(&m.netlist, &cfg);
+    let cfg4 = cfg.clone().threads(4);
+    assert_equivalent(&seq, &SyncEventDriven::run(&m.netlist, &cfg4), "sync");
+    assert_equivalent(&seq, &ChaoticAsync::run(&m.netlist, &cfg4), "async");
+    assert_equivalent(&seq, &CompiledMode::run(&m.netlist, &cfg4), "compiled");
+
+    // Products are numerically correct.
+    assert_eq!(
+        seq.bus_value_at(&m.product, m.sample_time(0)),
+        Some(123 * 231)
+    );
+
+    // Modeled at 16 virtual processors, the asynchronous algorithm beats
+    // the synchronous one in absolute time.
+    let m16 = MachineConfig::multimax(16);
+    let sync16 = model_sync(&m.netlist, end, &m16);
+    let async16 = model_async(&m.netlist, end, &m16);
+    assert!(
+        async16.virtual_time < sync16.virtual_time,
+        "async {} should finish before sync {}",
+        async16.virtual_time,
+        sync16.virtual_time
+    );
+}
+
+/// §5's uniprocessor claim holds in the cost model for every paper
+/// circuit: the asynchronous algorithm is 1–3.5× the event-driven one.
+#[test]
+fn modeled_uniproc_ratio_in_paper_band() {
+    let arr = inverter_array(16, 8, 2).unwrap();
+    let func = functional_multiplier(&[(3, 9), (500, 700), (1, 1)], 64).unwrap();
+    for (name, netlist, end) in [
+        ("array", &arr.netlist, Time(400)),
+        ("functional", &func.netlist, Time(192)),
+    ] {
+        let seq = model_seq(netlist, end, &MachineConfig::multimax(1).cost);
+        let asy = model_async(netlist, end, &MachineConfig::multimax(1));
+        let ratio = seq.virtual_time as f64 / asy.virtual_time as f64;
+        assert!(
+            (1.0..=3.5).contains(&ratio),
+            "{name}: uniprocessor ratio {ratio:.2} outside the paper's band"
+        );
+    }
+}
+
+/// VCD export is structurally valid for a multi-engine run.
+#[test]
+fn vcd_export_is_well_formed() {
+    let arr = inverter_array(2, 2, 1).unwrap();
+    let cfg = SimConfig::new(Time(20)).watch_all(arr.taps.iter().copied());
+    let r = ChaoticAsync::run(&arr.netlist, &cfg.threads(2));
+    let vcd = r.to_vcd();
+    assert!(vcd.contains("$timescale"));
+    assert!(vcd.contains("$enddefinitions"));
+    assert_eq!(vcd.matches("$var").count(), 2);
+    assert!(vcd.lines().filter(|l| l.starts_with('#')).count() > 2);
+}
