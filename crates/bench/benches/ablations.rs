@@ -64,11 +64,11 @@ fn lookahead(c: &mut Criterion) {
     // The real engine, where lookahead trims validity-ratchet activations.
     let cfg = SimConfig::new(end);
     g.bench_function("engine_with", |b| {
-        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg).unwrap())
     });
     g.bench_function("engine_without", |b| {
         let cfg = cfg.clone().without_lookahead();
-        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg).unwrap())
     });
     g.finish();
 }
@@ -82,11 +82,11 @@ fn garbage_collection(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
         .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
     g.bench_function("gc_on", |b| {
-        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg).unwrap())
     });
     g.bench_function("gc_off", |b| {
         let cfg = cfg.clone().without_gc();
-        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg).unwrap())
     });
     g.finish();
 }

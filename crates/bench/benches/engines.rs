@@ -20,20 +20,20 @@ fn engines_on_inverter_array(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
         .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
     g.bench_function("event_driven", |b| {
-        b.iter(|| EventDriven::run(&arr.netlist, &cfg))
+        b.iter(|| EventDriven::run(&arr.netlist, &cfg).unwrap())
     });
     g.bench_function("event_driven_wheel", |b| {
         let cfg = cfg.clone().with_timing_wheel();
-        b.iter(|| EventDriven::run(&arr.netlist, &cfg))
+        b.iter(|| EventDriven::run(&arr.netlist, &cfg).unwrap())
     });
     g.bench_function("sync_x1", |b| {
-        b.iter(|| SyncEventDriven::run(&arr.netlist, &cfg))
+        b.iter(|| SyncEventDriven::run(&arr.netlist, &cfg).unwrap())
     });
     g.bench_function("compiled_x1", |b| {
-        b.iter(|| CompiledMode::run(&arr.netlist, &cfg))
+        b.iter(|| CompiledMode::run(&arr.netlist, &cfg).unwrap())
     });
     g.bench_function("async_x1", |b| {
-        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg).unwrap())
     });
     g.finish();
 }
@@ -48,7 +48,7 @@ fn async_thread_overhead(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
     for threads in [1usize, 2] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg.clone().threads(t)))
+            b.iter(|| ChaoticAsync::run(&arr.netlist, &cfg.clone().threads(t)).unwrap())
         });
     }
     g.finish();
@@ -63,10 +63,10 @@ fn gate_multiplier_throughput(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
         .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
     g.bench_function("event_driven", |b| {
-        b.iter(|| EventDriven::run(&m.netlist, &cfg))
+        b.iter(|| EventDriven::run(&m.netlist, &cfg).unwrap())
     });
     g.bench_function("async_x1", |b| {
-        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg))
+        b.iter(|| ChaoticAsync::run(&m.netlist, &cfg).unwrap())
     });
     g.finish();
 }

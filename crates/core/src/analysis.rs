@@ -23,7 +23,7 @@ use crate::waveform::{SimResult, Waveform};
 /// b.element("osc", ElementKind::Clock { half_period: 5, offset: 5 },
 ///           Delay(1), &[], &[clk])?;
 /// let n = b.finish()?;
-/// let r = EventDriven::run(&n, &SimConfig::new(Time(100)).watch(clk));
+/// let r = EventDriven::run(&n, &SimConfig::new(Time(100)).watch(clk))?;
 /// let stats = WaveformStats::of(r.waveform(clk).unwrap(), Time(100));
 /// // The initial 0 at t=0 plus a toggle every 5 ticks.
 /// assert_eq!(stats.transitions, 21);
@@ -116,7 +116,7 @@ impl ActivityReport {
     /// let r = EventDriven::run(
     ///     &n,
     ///     &SimConfig::new(Time(40)).watch(clk).watch(dead),
-    /// );
+    /// )?;
     /// let report = ActivityReport::from_result(&r);
     /// assert_eq!(report.quiet_nodes, 1);
     /// assert_eq!(report.per_node[0].0, "clk");
@@ -165,7 +165,7 @@ mod tests {
         b.element("pg", ElementKind::Pulse { at: 10, width: 1 }, Delay(1), &[], &[p])
             .unwrap();
         let n = b.finish().unwrap();
-        let r = EventDriven::run(&n, &SimConfig::new(Time(50)).watch(p));
+        let r = EventDriven::run(&n, &SimConfig::new(Time(50)).watch(p)).unwrap();
         let s = WaveformStats::of(r.waveform(n.node_by_name("p").unwrap()).unwrap(), Time(50));
         assert_eq!(s.transitions, 3); // 0 at t=0, 1 at 10, 0 at 11
         assert_eq!(s.min_pulse, Some(1));
@@ -178,7 +178,7 @@ mod tests {
         let mut b = Builder::new();
         let q = b.node("q", 1);
         let n = b.finish().unwrap();
-        let r = EventDriven::run(&n, &SimConfig::new(Time(10)).watch(q));
+        let r = EventDriven::run(&n, &SimConfig::new(Time(10)).watch(q)).unwrap();
         let s = WaveformStats::of(r.waveform(q).unwrap(), Time(10));
         assert_eq!(s.transitions, 0);
         assert_eq!(s.min_pulse, None);
@@ -214,7 +214,7 @@ mod tests {
         )
         .unwrap();
         let n = b.finish().unwrap();
-        let r = EventDriven::run(&n, &SimConfig::new(Time(100)).watch(fast).watch(slow));
+        let r = EventDriven::run(&n, &SimConfig::new(Time(100)).watch(fast).watch(slow)).unwrap();
         let report = ActivityReport::from_result(&r);
         assert_eq!(report.per_node[0].0, "fast");
         assert_eq!(report.quiet_nodes, 0);

@@ -50,9 +50,15 @@ use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::{grid, ActivationState, GridSender};
 
 use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
+use crate::fault::FaultAction;
 use crate::metrics::{Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
+use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "chaotic-async";
 
 /// Per-worker results: recorded waveform changes plus timing counters.
 type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
@@ -71,8 +77,7 @@ struct Chunk {
 impl Chunk {
     fn alloc(base: u64) -> *mut Chunk {
         Box::into_raw(Box::new(Chunk {
-            // SAFETY: an array of MaybeUninit needs no initialization.
-            slots: unsafe { MaybeUninit::uninit().assume_init() },
+            slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
             base,
             next: AtomicPtr::new(ptr::null_mut()),
         }))
@@ -291,7 +296,16 @@ pub struct ChaoticAsync;
 
 impl ChaoticAsync {
     /// Runs the simulation on `config.threads` worker threads.
-    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WorkerPanicked`] if any worker panicked (all
+    /// peers are cancelled and joined first), and
+    /// [`SimError::Stalled`] / [`SimError::DeadlineExceeded`] if the
+    /// watchdog configured via
+    /// [`SimConfig::stall_timeout`](crate::SimConfig) /
+    /// [`SimConfig::deadline`](crate::SimConfig) cancelled the run.
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
         let start = Instant::now();
         let end = config.end_time.ticks();
         let n_threads = config.threads;
@@ -442,61 +456,137 @@ impl ChaoticAsync {
         }
 
         // ---- workers -------------------------------------------------------
+        // No barrier to poison here: peers that lose their feeder spin in
+        // the empty-queue branch, where they poll the cancel flag.
+        let containment = Containment::new(n_threads);
+        let watchdog = Watchdog::spawn(
+            &containment,
+            config.deadline,
+            config.stall_timeout,
+            || {},
+        );
         let ctx = &ctx;
-        let mut outputs: Vec<WorkerOutput> = Vec::new();
+        let mut outputs: Vec<Option<WorkerOutput>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = senders
                 .into_iter()
                 .zip(receivers)
-                .map(|(mut tx, mut rx)| {
+                .enumerate()
+                .map(|(w, (mut tx, mut rx))| {
+                    let cont = &containment;
+                    let fault = config.fault.clone();
                     scope.spawn(move || {
-                        let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
-                        let mut tm = ThreadMetrics::default();
-                        let mut idle_since: Option<Instant> = None;
-                        loop {
-                            match rx.recv() {
-                                Some(e) => {
-                                    if let Some(t0) = idle_since.take() {
-                                        tm.idle += t0.elapsed();
-                                    }
-                                    let busy = Instant::now();
-                                    let e = e as usize;
-                                    ctx.acts[e].begin_run();
-                                    ctx.activations.fetch_add(1, Ordering::Relaxed);
-                                    // SAFETY: activation machine grants
-                                    // exclusive element access.
-                                    unsafe {
-                                        run_element(ctx, e, &mut tx, &mut changes, &mut tm)
-                                    };
-                                    if ctx.acts[e].finish_run() {
-                                        tx.send(e as u32);
-                                    } else {
-                                        ctx.pending.fetch_sub(1, Ordering::AcqRel);
-                                    }
-                                    tm.busy += busy.elapsed();
-                                }
-                                None => {
-                                    if ctx.pending.load(Ordering::Acquire) == 0 {
+                        let body = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| {
+                                let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                                let mut tm = ThreadMetrics::default();
+                                let mut idle_since: Option<Instant> = None;
+                                let mut processed = 0u64;
+                                loop {
+                                    if cont.cancelled() {
                                         break;
                                     }
-                                    if idle_since.is_none() {
-                                        idle_since = Some(Instant::now());
+                                    match rx.recv() {
+                                        Some(e) => {
+                                            if let Some(t0) = idle_since.take() {
+                                                tm.idle += t0.elapsed();
+                                            }
+                                            if let FaultAction::Exit = fault.check(
+                                                w,
+                                                processed,
+                                                cont.cancel_flag(),
+                                            ) {
+                                                break;
+                                            }
+                                            processed += 1;
+                                            cont.beat(w);
+                                            let busy = Instant::now();
+                                            let e = e as usize;
+                                            ctx.acts[e].begin_run();
+                                            ctx.activations.fetch_add(1, Ordering::Relaxed);
+                                            // SAFETY: activation machine grants
+                                            // exclusive element access.
+                                            unsafe {
+                                                run_element(ctx, e, &mut tx, &mut changes, &mut tm)
+                                            };
+                                            if ctx.acts[e].finish_run() {
+                                                tx.send(e as u32);
+                                            } else {
+                                                ctx.pending.fetch_sub(1, Ordering::AcqRel);
+                                            }
+                                            tm.busy += busy.elapsed();
+                                        }
+                                        None => {
+                                            if ctx.pending.load(Ordering::Acquire) == 0 {
+                                                break;
+                                            }
+                                            if idle_since.is_none() {
+                                                idle_since = Some(Instant::now());
+                                            }
+                                            std::hint::spin_loop();
+                                            std::thread::yield_now();
+                                        }
                                     }
-                                    std::hint::spin_loop();
-                                    std::thread::yield_now();
                                 }
+                                (changes, tm)
+                            }),
+                        );
+                        match body {
+                            Ok(out) => Some(out),
+                            Err(payload) => {
+                                cont.record_panic(w, payload);
+                                None
                             }
                         }
-                        (changes, tm)
                     })
                 })
                 .collect();
             for h in handles {
-                outputs.push(h.join().expect("async worker panicked"));
+                outputs.push(h.join().unwrap_or_default());
             }
         });
+        if let Some(w) = watchdog {
+            w.finish();
+        }
+
+        if let Some((worker, payload)) = containment.take_panic() {
+            return Err(SimError::WorkerPanicked {
+                engine: ENGINE,
+                worker,
+                payload,
+            });
+        }
+        if let Some(verdict) = containment.take_verdict() {
+            let idle = ctx.acts.iter().filter(|a| a.is_idle()).count();
+            let diagnostic = Box::new(StallDiagnostic {
+                heartbeats: containment.heartbeat_snapshot(),
+                pending_activations: Some(ctx.pending.load(Ordering::Acquire)),
+                activations_idle: Some(idle),
+                activations_pending: Some(ctx.acts.len() - idle),
+                min_valid_until: ctx
+                    .nodes
+                    .iter()
+                    .map(|n| n.valid_until.load(Ordering::Acquire))
+                    .min()
+                    .map(Time),
+                sim_time: None,
+            });
+            return Err(match verdict {
+                WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
+                    engine: ENGINE,
+                    stalled_for,
+                    diagnostic,
+                },
+                WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
+                    engine: ENGINE,
+                    deadline,
+                    diagnostic,
+                },
+            });
+        }
 
         let mut changes = init_changes;
+        let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
         let mut per_thread = Vec::with_capacity(n_threads);
         let mut evaluations = 0;
         let mut events_processed = events_seed;
@@ -516,7 +606,13 @@ impl ChaoticAsync {
             gc_chunks_freed: ctx.chunks_freed.load(Ordering::Relaxed),
             wall: start.elapsed(),
         };
-        SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics)
+        Ok(SimResult::from_changes(
+            netlist,
+            config.end_time,
+            &config.watch,
+            changes,
+            metrics,
+        ))
     }
 }
 
@@ -761,9 +857,9 @@ mod tests {
     fn matches_sequential_on_feedback_circuit() {
         let (n, watch) = pipeline_circuit();
         let cfg = SimConfig::new(Time(100)).watch_all(watch);
-        let seq = EventDriven::run(&n, &cfg);
+        let seq = EventDriven::run(&n, &cfg).unwrap();
         for threads in [1, 2, 4] {
-            let a = ChaoticAsync::run(&n, &cfg.clone().threads(threads));
+            let a = ChaoticAsync::run(&n, &cfg.clone().threads(threads)).unwrap();
             assert_equivalent(&seq, &a, &format!("chaotic x{threads}"));
         }
     }
@@ -772,8 +868,8 @@ mod tests {
     fn event_counts_match_sequential() {
         let (n, watch) = pipeline_circuit();
         let cfg = SimConfig::new(Time(200)).watch_all(watch);
-        let seq = EventDriven::run(&n, &cfg);
-        let a = ChaoticAsync::run(&n, &cfg);
+        let seq = EventDriven::run(&n, &cfg).unwrap();
+        let a = ChaoticAsync::run(&n, &cfg).unwrap();
         assert_eq!(seq.metrics.events_processed, a.metrics.events_processed);
     }
 
@@ -781,8 +877,8 @@ mod tests {
     fn lookahead_does_not_change_waveforms() {
         let (n, watch) = pipeline_circuit();
         let cfg = SimConfig::new(Time(150)).watch_all(watch).threads(2);
-        let with = ChaoticAsync::run(&n, &cfg);
-        let without = ChaoticAsync::run(&n, &cfg.clone().without_lookahead());
+        let with = ChaoticAsync::run(&n, &cfg).unwrap();
+        let without = ChaoticAsync::run(&n, &cfg.clone().without_lookahead()).unwrap();
         assert_equivalent(&with, &without, "lookahead");
     }
 
@@ -813,9 +909,9 @@ mod tests {
         }
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(2000)).watch_all(watch);
-        let seq = EventDriven::run(&n, &cfg);
-        let gc_run = ChaoticAsync::run(&n, &cfg);
-        let no_gc = ChaoticAsync::run(&n, &cfg.clone().without_gc());
+        let seq = EventDriven::run(&n, &cfg).unwrap();
+        let gc_run = ChaoticAsync::run(&n, &cfg).unwrap();
+        let no_gc = ChaoticAsync::run(&n, &cfg.clone().without_gc()).unwrap();
         assert_equivalent(&seq, &gc_run, "gc on");
         assert_equivalent(&seq, &no_gc, "gc off");
     }
@@ -843,7 +939,7 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(10_000)).watch(out);
-        let r = ChaoticAsync::run(&n, &cfg);
+        let r = ChaoticAsync::run(&n, &cfg).unwrap();
         // ~5000 clock edges, processed in O(1) activations.
         assert!(r.metrics.evaluations > 4000);
         assert!(
@@ -906,8 +1002,8 @@ mod tests {
         .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(500)).watch(sum).watch(cout);
-        let seq = EventDriven::run(&n, &cfg);
-        let asy = ChaoticAsync::run(&n, &cfg.clone().threads(3));
+        let seq = EventDriven::run(&n, &cfg).unwrap();
+        let asy = ChaoticAsync::run(&n, &cfg.clone().threads(3)).unwrap();
         assert_equivalent(&seq, &asy, "adder");
     }
 }

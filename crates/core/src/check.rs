@@ -61,8 +61,8 @@ impl fmt::Display for EquivalenceReport {
 /// # b.element("c", ElementKind::Const { value: Value::bit(true) }, Delay(1), &[], &[a]).unwrap();
 /// # let netlist = b.finish().unwrap();
 /// let cfg = SimConfig::new(Time(10)).watch(a);
-/// let r1 = EventDriven::run(&netlist, &cfg);
-/// let r2 = EventDriven::run(&netlist, &cfg);
+/// let r1 = EventDriven::run(&netlist, &cfg).unwrap();
+/// let r2 = EventDriven::run(&netlist, &cfg).unwrap();
 /// assert!(equivalence_report(&r1, &r2).is_equivalent());
 /// ```
 pub fn equivalence_report(a: &SimResult, b: &SimResult) -> EquivalenceReport {
@@ -135,8 +135,8 @@ mod tests {
         .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(20)).watch(clk);
-        let a = EventDriven::run(&n, &cfg);
-        let c = EventDriven::run(&n, &cfg);
+        let a = EventDriven::run(&n, &cfg).unwrap();
+        let c = EventDriven::run(&n, &cfg).unwrap();
         let rep = equivalence_report(&a, &c);
         assert!(rep.is_equivalent());
         assert_eq!(rep.compared, 1);

@@ -18,6 +18,8 @@
 //! [`SpinBarrier`] separates the phases.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parsim_logic::{evaluate, expand_generator, ElemState, Time, Value};
@@ -26,9 +28,15 @@ use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
 
 use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
+use crate::fault::FaultAction;
 use crate::metrics::{Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
+use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "compiled-mode";
 
 /// Per-worker results: recorded waveform changes plus timing counters.
 type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
@@ -49,7 +57,7 @@ type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
 /// b.element("osc", ElementKind::Clock { half_period: 4, offset: 4 }, Delay(1), &[], &[clk])?;
 /// b.element("inv", ElementKind::Not, Delay(1), &[clk], &[out])?;
 /// let netlist = b.finish()?;
-/// let r = CompiledMode::run(&netlist, &SimConfig::new(Time(20)).watch(out).threads(2));
+/// let r = CompiledMode::run(&netlist, &SimConfig::new(Time(20)).watch(out).threads(2))?;
 /// assert!(r.waveform(out).unwrap().num_changes() > 2);
 /// # Ok(())
 /// # }
@@ -60,7 +68,11 @@ pub struct CompiledMode;
 impl CompiledMode {
     /// Runs with an LPT (cost-balanced) static partition over
     /// `config.threads` processors.
-    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledMode::run_with_partition`].
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
         let partition = lpt(&element_costs(netlist), config.threads);
         Self::run_with_partition(netlist, config, &partition)
     }
@@ -68,25 +80,38 @@ impl CompiledMode {
     /// Runs with a caller-chosen static partition (the paper's §3
     /// load-balance experiments vary this).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `partition.parts() != config.threads` or the partition's
-    /// element count differs from the netlist's.
+    /// Returns [`SimError::InvalidConfig`] if `partition.parts() !=
+    /// config.threads` or the partition's element count differs from the
+    /// netlist's; [`SimError::WorkerPanicked`] if any worker panicked
+    /// (the step barrier is poisoned so peers unblock, and every thread
+    /// is joined first); and [`SimError::Stalled`] /
+    /// [`SimError::DeadlineExceeded`] if the configured watchdog
+    /// cancelled the run.
     pub fn run_with_partition(
         netlist: &Netlist,
         config: &SimConfig,
         partition: &Partition,
-    ) -> SimResult {
-        assert_eq!(
-            partition.parts(),
-            config.threads,
-            "partition parts must equal thread count"
-        );
-        assert_eq!(
-            partition.assignment().len(),
-            netlist.num_elements(),
-            "partition does not match netlist"
-        );
+    ) -> Result<SimResult, SimError> {
+        if partition.parts() != config.threads {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "partition parts must equal thread count ({} != {})",
+                    partition.parts(),
+                    config.threads
+                ),
+            });
+        }
+        if partition.assignment().len() != netlist.num_elements() {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "partition does not match netlist ({} elements != {})",
+                    partition.assignment().len(),
+                    netlist.num_elements()
+                ),
+            });
+        }
         let start = Instant::now();
         let end = config.end_time.ticks();
         let threads = config.threads;
@@ -128,8 +153,26 @@ impl CompiledMode {
         );
         let states = &states;
 
-        let barrier = SpinBarrier::new(threads);
+        let barrier = Arc::new(SpinBarrier::new(threads));
+        let containment = Containment::new(threads);
+        let watchdog = {
+            let b = Arc::clone(&barrier);
+            Watchdog::spawn(
+                &containment,
+                config.deadline,
+                config.stall_timeout,
+                move || b.poison(),
+            )
+        };
         let barrier = &barrier;
+        // Cooperative cancellation: thread 0 copies the cancel flag into
+        // `stop` during the apply phase, and everyone samples `stop` after
+        // the following barrier — so all threads break at the same step.
+        let stop = AtomicBool::new(false);
+        let stop = &stop;
+        // Last step thread 0 started, for the stall diagnostic.
+        let cur_step = AtomicU64::new(0);
+        let cur_step = &cur_step;
 
         let my_elems: Vec<Vec<usize>> = (0..threads)
             .map(|p| {
@@ -142,17 +185,27 @@ impl CompiledMode {
             .collect();
         let my_elems = &my_elems;
 
-        let mut outputs: Vec<WorkerOutput> =
-            Vec::with_capacity(threads);
+        let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|p| {
+                    let cont = &containment;
+                    let fault = config.fault.clone();
                     scope.spawn(move || {
+                        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
                         let mut tm = ThreadMetrics::default();
                         let mut pending: Vec<(usize, Value)> = Vec::new();
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
-                        for t in 0..=end {
+                        let mut processed = 0u64;
+                        'run: for t in 0..=end {
+                            cont.beat(p);
+                            if p == 0 {
+                                cur_step.store(t, Ordering::Relaxed);
+                                if cont.cancelled() {
+                                    stop.store(true, Ordering::Release);
+                                }
+                            }
                             let busy_start = Instant::now();
                             // ---- apply phase ----------------------------
                             for &(node, v) in &pending {
@@ -189,11 +242,27 @@ impl CompiledMode {
                             let wait_start = Instant::now();
                             barrier.wait();
                             tm.idle += wait_start.elapsed();
+                            // All threads observe the same `stop` value
+                            // here (set before the barrier), so they break
+                            // at the same step.
+                            if barrier.is_poisoned() || stop.load(Ordering::Acquire) {
+                                break 'run;
+                            }
 
                             // ---- evaluate phase -------------------------
                             let busy_start = Instant::now();
                             if t < end {
                                 for &e in &my_elems[p] {
+                                    if let FaultAction::Exit =
+                                        fault.check(p, processed, cont.cancel_flag())
+                                    {
+                                        // Only reached after cancellation,
+                                        // which always poisons the barrier,
+                                        // so peers are not left waiting.
+                                        break 'run;
+                                    }
+                                    processed += 1;
+                                    cont.beat(p);
                                     let elem = &netlist.elements()[e];
                                     inputs_buf.clear();
                                     for &inp in elem.inputs() {
@@ -218,16 +287,59 @@ impl CompiledMode {
                             let wait_start = Instant::now();
                             barrier.wait();
                             tm.idle += wait_start.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
                         }
                         (changes, tm)
+                        }));
+                        match body {
+                            Ok(out) => Some(out),
+                            Err(payload) => {
+                                cont.record_panic(p, payload);
+                                barrier.poison();
+                                None
+                            }
+                        }
                     })
                 })
                 .collect();
             for h in handles {
-                outputs.push(h.join().expect("compiled-mode worker panicked"));
+                outputs.push(h.join().unwrap_or_default());
             }
         });
+        if let Some(w) = watchdog {
+            w.finish();
+        }
 
+        if let Some((worker, payload)) = containment.take_panic() {
+            return Err(SimError::WorkerPanicked {
+                engine: ENGINE,
+                worker,
+                payload,
+            });
+        }
+        if let Some(verdict) = containment.take_verdict() {
+            let diagnostic = Box::new(StallDiagnostic {
+                heartbeats: containment.heartbeat_snapshot(),
+                sim_time: Some(Time(cur_step.load(Ordering::Relaxed))),
+                ..StallDiagnostic::default()
+            });
+            return Err(match verdict {
+                WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
+                    engine: ENGINE,
+                    stalled_for,
+                    diagnostic,
+                },
+                WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
+                    engine: ENGINE,
+                    deadline,
+                    diagnostic,
+                },
+            });
+        }
+
+        let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
         let mut changes = Vec::new();
         let mut per_thread = Vec::with_capacity(threads);
         let mut events_processed = 0;
@@ -248,7 +360,13 @@ impl CompiledMode {
             gc_chunks_freed: 0,
             wall: start.elapsed(),
         };
-        SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics)
+        Ok(SimResult::from_changes(
+            netlist,
+            config.end_time,
+            &config.watch,
+            changes,
+            metrics,
+        ))
     }
 }
 
@@ -291,9 +409,9 @@ mod tests {
     fn matches_event_driven_on_unit_delay_circuit() {
         let (n, watch) = clocked_chain(6);
         let cfg = SimConfig::new(Time(50)).watch_all(watch.clone());
-        let seq = EventDriven::run(&n, &cfg);
+        let seq = EventDriven::run(&n, &cfg).unwrap();
         for threads in [1, 2, 4] {
-            let par = CompiledMode::run(&n, &cfg.clone().threads(threads));
+            let par = CompiledMode::run(&n, &cfg.clone().threads(threads)).unwrap();
             assert_equivalent(&seq, &par, &format!("compiled x{threads}"));
         }
     }
@@ -336,8 +454,8 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(60)).watch(q).watch(d);
-        let seq = EventDriven::run(&n, &cfg);
-        let par = CompiledMode::run(&n, &cfg.clone().threads(3));
+        let seq = EventDriven::run(&n, &cfg).unwrap();
+        let par = CompiledMode::run(&n, &cfg.clone().threads(3)).unwrap();
         assert_equivalent(&seq, &par, "dff divider");
     }
 
@@ -345,9 +463,9 @@ mod tests {
     fn custom_partition_gives_same_waveforms() {
         let (n, watch) = clocked_chain(5);
         let cfg = SimConfig::new(Time(40)).watch_all(watch).threads(2);
-        let a = CompiledMode::run(&n, &cfg);
+        let a = CompiledMode::run(&n, &cfg).unwrap();
         let part = round_robin(n.num_elements(), 2);
-        let c = CompiledMode::run_with_partition(&n, &cfg, &part);
+        let c = CompiledMode::run_with_partition(&n, &cfg, &part).unwrap();
         assert_equivalent(&a, &c, "partition choice");
     }
 
@@ -355,18 +473,23 @@ mod tests {
     fn evaluations_count_every_element_every_step() {
         let (n, watch) = clocked_chain(4);
         let cfg = SimConfig::new(Time(10)).watch_all(watch);
-        let r = CompiledMode::run(&n, &cfg);
+        let r = CompiledMode::run(&n, &cfg).unwrap();
         // 4 inverters (clock generator excluded) * 10 eval steps.
         assert_eq!(r.metrics.evaluations, 4 * 10);
         assert_eq!(r.metrics.time_steps, 11);
     }
 
     #[test]
-    #[should_panic(expected = "partition parts must equal thread count")]
-    fn partition_thread_mismatch_panics() {
+    fn partition_thread_mismatch_is_invalid_config() {
         let (n, _) = clocked_chain(2);
         let cfg = SimConfig::new(Time(5)).threads(2);
         let part = round_robin(n.num_elements(), 3);
-        let _ = CompiledMode::run_with_partition(&n, &cfg, &part);
+        let err = CompiledMode::run_with_partition(&n, &cfg, &part).unwrap_err();
+        match err {
+            SimError::InvalidConfig { reason } => {
+                assert!(reason.contains("partition parts must equal thread count"));
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
     }
 }

@@ -1,7 +1,12 @@
 //! Simulation run configuration.
 
+use std::time::Duration;
+
 use parsim_logic::Time;
 use parsim_netlist::{Netlist, NodeId};
+
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 
 /// Configuration shared by all four engines.
 ///
@@ -38,6 +43,18 @@ pub struct SimConfig {
     /// data structure) instead of the default `BTreeMap`. Waveforms are
     /// identical either way.
     pub timing_wheel: bool,
+    /// Hard wall-time budget for the whole run. When exceeded, the
+    /// watchdog cancels all workers and the engine returns
+    /// [`SimError::DeadlineExceeded`]. `None` (the default) disables it.
+    pub deadline: Option<Duration>,
+    /// Progress watchdog: if no worker processes an activation for this
+    /// long, the run is cancelled and the engine returns
+    /// [`SimError::Stalled`] with a diagnostic snapshot. `None` (the
+    /// default) disables it.
+    pub stall_timeout: Option<Duration>,
+    /// Deterministic fault injection (see [`FaultPlan`]). Empty by
+    /// default.
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -51,6 +68,9 @@ impl SimConfig {
             lookahead: true,
             gc: true,
             timing_wheel: false,
+            deadline: None,
+            stall_timeout: None,
+            fault: FaultPlan::default(),
         }
     }
 
@@ -73,20 +93,40 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if any name is unknown in `netlist` — watching a
-    /// nonexistent node is always a programming error.
+    /// nonexistent node is always a programming error. Use
+    /// [`SimConfig::try_watch_named`] for a typed error instead.
     #[must_use]
     pub fn watch_named<'a>(
-        mut self,
+        self,
         netlist: &Netlist,
         names: impl IntoIterator<Item = &'a str>,
     ) -> SimConfig {
+        match self.try_watch_named(netlist, names) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds nodes to the watch list by name, reporting an unknown name as
+    /// a typed error (the non-panicking form of [`SimConfig::watch_named`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] naming the first unresolved node.
+    pub fn try_watch_named<'a>(
+        mut self,
+        netlist: &Netlist,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<SimConfig, SimError> {
         for name in names {
             let id = netlist
                 .node_by_name(name)
-                .unwrap_or_else(|| panic!("unknown node `{name}`"));
+                .ok_or_else(|| SimError::UnknownNode {
+                    name: name.to_string(),
+                })?;
             self.watch.push(id);
         }
-        self
+        Ok(self)
     }
 
     /// Sets the worker thread count for parallel engines.
@@ -119,6 +159,28 @@ impl SimConfig {
     #[must_use]
     pub fn with_timing_wheel(mut self) -> SimConfig {
         self.timing_wheel = true;
+        self
+    }
+
+    /// Sets a hard wall-time budget for the run.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> SimConfig {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables the progress watchdog: cancel the run if no worker makes
+    /// progress for `timeout`.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> SimConfig {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Injects a deterministic fault (testing aid; see [`FaultPlan`]).
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> SimConfig {
+        self.fault = fault;
         self
     }
 }
@@ -160,6 +222,27 @@ mod tests {
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(1)).watch_named(&n, ["alpha"]);
         assert_eq!(cfg.watch, vec![a]);
+    }
+
+    #[test]
+    fn try_watch_named_reports_unknown_nodes() {
+        let n = parsim_netlist::Builder::new().finish().unwrap();
+        let err = SimConfig::new(Time(1))
+            .try_watch_named(&n, ["ghost"])
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownNode { ref name } if name == "ghost"));
+    }
+
+    #[test]
+    fn containment_knobs_chain() {
+        let cfg = SimConfig::new(Time(5))
+            .with_deadline(Duration::from_secs(2))
+            .with_stall_timeout(Duration::from_millis(100))
+            .with_fault(FaultPlan::panic_at(0, 3));
+        assert_eq!(cfg.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(cfg.stall_timeout, Some(Duration::from_millis(100)));
+        assert!(!cfg.fault.is_empty());
+        assert!(SimConfig::new(Time(5)).fault.is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Deterministic fault injection for the parallel engines.
+//!
+//! A [`FaultPlan`] rides on [`SimConfig`](crate::SimConfig) and names a
+//! worker plus an activation ordinal at which that worker either panics
+//! or stops making progress. The engines consult the plan at their
+//! activation-processing point, so an injected failure lands exactly
+//! where a real bug would: mid-protocol, with peers blocked on the dead
+//! worker's queues or barriers. The containment tests use this to prove
+//! that every failure mode terminates with a structured
+//! [`SimError`](crate::SimError) instead of a hang.
+//!
+//! Always compiled (the per-activation cost is one branch on a cloned
+//! `Option`); the `chaos` cargo feature additionally perturbs the queue
+//! protocol itself (see `parsim_queue::chaos`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What an engine worker should do at the fault point.
+pub(crate) enum FaultAction {
+    /// No fault here; keep processing.
+    Continue,
+    /// The worker stalled and was then cancelled; exit its loop cleanly.
+    Exit,
+}
+
+/// A deterministic fault to inject into one worker.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::FaultPlan;
+///
+/// // Worker 0 panics while processing its 3rd activation.
+/// let plan = FaultPlan::panic_at(0, 2);
+/// // Worker 1 freezes (stops heartbeating) at its first activation.
+/// let stall = FaultPlan::stall_at(1, 0);
+/// # let _ = (plan, stall);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(worker, nth)`: the worker panics at its `nth` activation
+    /// (0-based).
+    panic_at: Option<(usize, u64)>,
+    /// `(worker, nth)`: the worker stops making progress at its `nth`
+    /// activation, holding its in-flight work until cancelled.
+    stall_at: Option<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan where `worker` panics at its `nth` (0-based) activation.
+    pub fn panic_at(worker: usize, nth: u64) -> FaultPlan {
+        FaultPlan {
+            panic_at: Some((worker, nth)),
+            stall_at: None,
+        }
+    }
+
+    /// A plan where `worker` freezes at its `nth` (0-based) activation —
+    /// it keeps its in-flight element claimed and stops heartbeating,
+    /// exactly like a worker wedged in an infinite loop, until the
+    /// watchdog cancels the run.
+    pub fn stall_at(worker: usize, nth: u64) -> FaultPlan {
+        FaultPlan {
+            panic_at: None,
+            stall_at: Some((worker, nth)),
+        }
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at.is_none() && self.stall_at.is_none()
+    }
+
+    /// Consults the plan at one activation. `count` is the worker's local
+    /// 0-based ordinal of the activation it is about to process.
+    ///
+    /// Panics if the panic fault matches. Parks until `cancel` if the
+    /// stall fault matches, then asks the caller to exit. The engines call
+    /// this before touching the claimed element, so a stalled worker
+    /// leaves the protocol exactly as a wedged one would.
+    pub(crate) fn check(
+        &self,
+        worker: usize,
+        count: u64,
+        cancel: &AtomicBool,
+    ) -> FaultAction {
+        if self.panic_at == Some((worker, count)) {
+            panic!("injected fault: worker {worker} panicked at activation {count}");
+        }
+        if let Some((w, nth)) = self.stall_at {
+            if w == worker && count >= nth {
+                while !cancel.load(Ordering::Acquire) {
+                    std::thread::park_timeout(Duration::from_millis(1));
+                }
+                return FaultAction::Exit;
+            }
+        }
+        FaultAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_continues() {
+        let cancel = AtomicBool::new(false);
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for w in 0..4 {
+            for c in 0..10 {
+                assert!(matches!(plan.check(w, c, &cancel), FaultAction::Continue));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: worker 1 panicked at activation 2")]
+    fn panic_fault_fires_at_exact_ordinal() {
+        let cancel = AtomicBool::new(false);
+        let plan = FaultPlan::panic_at(1, 2);
+        // Wrong worker / wrong ordinal: no fault.
+        let _ = plan.check(0, 2, &cancel);
+        let _ = plan.check(1, 1, &cancel);
+        let _ = plan.check(1, 2, &cancel); // boom
+    }
+
+    #[test]
+    fn stall_fault_parks_until_cancel() {
+        let cancel = AtomicBool::new(true); // pre-cancelled: returns at once
+        let plan = FaultPlan::stall_at(0, 3);
+        assert!(matches!(plan.check(0, 2, &cancel), FaultAction::Continue));
+        assert!(matches!(plan.check(0, 3, &cancel), FaultAction::Exit));
+        assert!(matches!(plan.check(0, 9, &cancel), FaultAction::Exit));
+        assert!(matches!(plan.check(1, 3, &cancel), FaultAction::Continue));
+    }
+}

@@ -30,8 +30,8 @@
 //! let netlist = b.finish()?;
 //!
 //! let config = SimConfig::new(Time(30)).watch(q);
-//! let seq = EventDriven::run(&netlist, &config);
-//! let par = ChaoticAsync::run(&netlist, &config.clone().threads(2));
+//! let seq = EventDriven::run(&netlist, &config)?;
+//! let par = ChaoticAsync::run(&netlist, &config.clone().threads(2))?;
 //! assert_eq!(
 //!     seq.waveform(q).unwrap().changes(),
 //!     par.waveform(q).unwrap().changes(),
@@ -39,17 +39,31 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Failure containment
+//!
+//! Every `run` returns `Result<SimResult, SimError>`. The parallel
+//! engines isolate worker panics (`catch_unwind` plus barrier/queue
+//! poisoning, surfaced as [`SimError::WorkerPanicked`]), and an optional
+//! watchdog ([`SimConfig::deadline`] / [`SimConfig::stall_timeout`])
+//! cancels runs that stop making progress, returning
+//! [`SimError::Stalled`] or [`SimError::DeadlineExceeded`] with a
+//! [`StallDiagnostic`] snapshot. Deterministic faults can be injected
+//! through [`FaultPlan`] to exercise these paths.
 
 pub mod analysis;
 pub mod chaotic;
 pub mod check;
 pub mod compiled;
 mod config;
+mod error;
+mod fault;
 mod metrics;
 pub mod seq;
 mod shared;
 pub mod sync;
 pub mod testbench;
+mod watchdog;
 mod waveform;
 mod wheel;
 
@@ -58,6 +72,8 @@ pub use chaotic::ChaoticAsync;
 pub use check::{assert_equivalent, equivalence_report, EquivalenceReport};
 pub use compiled::CompiledMode;
 pub use config::SimConfig;
+pub use error::{SimError, StallDiagnostic};
+pub use fault::FaultPlan;
 pub use metrics::{EventsPerStepHistogram, Metrics, ThreadMetrics};
 pub use seq::EventDriven;
 pub use sync::SyncEventDriven;

@@ -20,9 +20,17 @@ use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time
 use parsim_netlist::{Netlist, NodeId};
 
 use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
 use crate::metrics::{EventsPerStepHistogram, Metrics};
 use crate::waveform::SimResult;
 use crate::wheel::TimingWheel;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "event-driven";
+
+/// How many processed events between deadline checks (the sequential
+/// engine has no watchdog thread; it polls the clock inline).
+const DEADLINE_CHECK_EVERY: u64 = 4096;
 
 /// A sentinel "node" index used to force an otherwise-empty time-zero
 /// step (the initialization pass).
@@ -66,8 +74,16 @@ impl EventDriven {
     /// Runs the simulation through `config.end_time` (inclusive).
     ///
     /// `config.threads` is ignored — this engine is sequential by
-    /// definition.
-    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+    /// definition. [`SimConfig::stall_timeout`](crate::SimConfig) and
+    /// [`SimConfig::fault`](crate::SimConfig) are also ignored: with one
+    /// thread there is nothing to contain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeadlineExceeded`] if
+    /// [`SimConfig::deadline`](crate::SimConfig) is set and elapses; the
+    /// deadline is polled inline every few thousand processed events.
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
         let start = Instant::now();
         let end = config.end_time;
         let num_nodes = netlist.num_nodes();
@@ -101,11 +117,31 @@ impl EventDriven {
         // Force a time-zero step for the initialization pass (a no-op
         // sentinel; real updates may join the same bucket).
         schedule.schedule(0, (NOOP, Value::x(1)));
+        // Generator pre-expansion is O(edges × generators) and runs before
+        // the main loop, so it polls the deadline too — a huge end time
+        // with many clocks must not push the first check past the budget.
+        let mut expanded = 0u64;
         for gen in netlist.generators() {
             let e = netlist.element(gen);
             let out = e.outputs()[0].index();
             for (t, v) in expand_generator(e.kind(), end) {
                 schedule.schedule(t.ticks(), (out, v));
+                expanded += 1;
+                if expanded.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                    if let Some(d) = config.deadline {
+                        if start.elapsed() > d {
+                            return Err(SimError::DeadlineExceeded {
+                                engine: ENGINE,
+                                deadline: d,
+                                diagnostic: Box::new(StallDiagnostic {
+                                    heartbeats: vec![0],
+                                    sim_time: Some(Time(0)),
+                                    ..StallDiagnostic::default()
+                                }),
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -129,8 +165,26 @@ impl EventDriven {
         let mut activations = init_activated.len() as u64;
         let mut time_steps = 0u64;
         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
+        let mut next_deadline_check = DEADLINE_CHECK_EVERY;
 
         while let Some((t, updates)) = schedule.take_next() {
+            if let Some(d) = config.deadline {
+                let work = events_processed + evaluations;
+                if work >= next_deadline_check {
+                    next_deadline_check = work + DEADLINE_CHECK_EVERY;
+                    if start.elapsed() > d {
+                        return Err(SimError::DeadlineExceeded {
+                            engine: ENGINE,
+                            deadline: d,
+                            diagnostic: Box::new(StallDiagnostic {
+                                heartbeats: vec![evaluations],
+                                sim_time: Some(Time(t)),
+                                ..StallDiagnostic::default()
+                            }),
+                        });
+                    }
+                }
+            }
             if t > end.ticks() {
                 break;
             }
@@ -210,7 +264,13 @@ impl EventDriven {
             gc_chunks_freed: 0,
             wall: start.elapsed(),
         };
-        SimResult::from_changes(netlist, end, &config.watch, changes, metrics)
+        Ok(SimResult::from_changes(
+            netlist,
+            end,
+            &config.watch,
+            changes,
+            metrics,
+        ))
     }
 }
 
@@ -245,7 +305,7 @@ mod tests {
     fn inverter_follows_clock_with_delay() {
         let (n, clk, out) = clocked_inverter();
         let cfg = SimConfig::new(Time(20)).watch(clk).watch(out);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         assert_eq!(
             r.waveform(clk).unwrap().changes(),
             &[
@@ -291,7 +351,7 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(40)).watch(q);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         let w = r.waveform(q).unwrap();
         // q is X until the first edge captures a known d... but d = !X = X
         // until q is known — the classic X-lock. q stays X forever here
@@ -337,7 +397,7 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(40)).watch(q);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         let w = r.waveform(q).unwrap();
         // Reset drives q to 0; afterwards it toggles on each rising edge
         // (t = 4, 12, 20, ... plus the flop delay).
@@ -376,7 +436,7 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(60)).watch(n1);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         // With en=1, n1 = !n3 through three stages: period-6 oscillation.
         let w = r.waveform(n1).unwrap();
         assert!(w.num_changes() > 10, "ring should oscillate: {:?}", w.changes());
@@ -386,7 +446,7 @@ mod tests {
     fn metrics_are_populated() {
         let (n, _, out) = clocked_inverter();
         let cfg = SimConfig::new(Time(100)).watch(out);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         assert!(r.metrics.events_processed > 20);
         assert!(r.metrics.evaluations >= 20);
         assert!(r.metrics.time_steps > 20);
@@ -398,7 +458,7 @@ mod tests {
     fn no_events_after_end_time() {
         let (n, clk, out) = clocked_inverter();
         let cfg = SimConfig::new(Time(7)).watch(clk).watch(out);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         for w in r.waveforms() {
             assert!(w.changes().iter().all(|&(t, _)| t <= Time(7)));
         }
@@ -429,7 +489,7 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(10)).watch(y).watch(z);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         assert_eq!(r.final_value(y), Some(Value::bit(false)));
         assert_eq!(r.final_value(z), Some(Value::x(1)));
     }

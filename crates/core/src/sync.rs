@@ -24,6 +24,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
@@ -31,9 +32,15 @@ use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
 
 use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
+use crate::fault::FaultAction;
 use crate::metrics::{Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
+use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "sync-event-driven";
 
 /// Per-worker results: recorded waveform changes plus timing counters.
 type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
@@ -58,7 +65,15 @@ pub struct SyncEventDriven;
 
 impl SyncEventDriven {
     /// Runs the simulation on `config.threads` worker threads.
-    pub fn run(netlist: &Netlist, config: &SimConfig) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WorkerPanicked`] if any worker panicked (the
+    /// phase barrier is poisoned so peers unblock, and every thread is
+    /// joined first), and [`SimError::Stalled`] /
+    /// [`SimError::DeadlineExceeded`] if the configured watchdog cancelled
+    /// the run.
+    pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
         let start = Instant::now();
         let end = config.end_time.ticks();
         let n = config.threads;
@@ -158,20 +173,41 @@ impl SyncEventDriven {
         let steps_total = AtomicU64::new(0);
         let (next_time, done) = (&next_time, &done);
         let (events_total, steps_total) = (&events_total, &steps_total);
-        let barrier = SpinBarrier::new(n);
+        let barrier = Arc::new(SpinBarrier::new(n));
+
+        // A panicking worker poisons the barrier so peers blocked at a
+        // phase boundary unblock; the watchdog does the same on cancel.
+        let containment = Containment::new(n);
+        let watchdog = {
+            let b = Arc::clone(&barrier);
+            Watchdog::spawn(
+                &containment,
+                config.deadline,
+                config.stall_timeout,
+                move || b.poison(),
+            )
+        };
         let barrier = &barrier;
 
-        let mut outputs: Vec<WorkerOutput> = Vec::new();
+        let mut outputs: Vec<Option<WorkerOutput>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|me| {
+                    let cont = &containment;
+                    let fault = config.fault.clone();
                     scope.spawn(move || {
+                        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
                         let mut tm = ThreadMetrics::default();
                         let mut rr_elem = (me + 1) % n;
                         let mut rr_node = (me + 1) % n;
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
-                        loop {
+                        let mut processed = 0u64;
+                        'run: loop {
+                            // Every worker reaches this point once per
+                            // step: the liveness signal the watchdog
+                            // samples.
+                            cont.beat(me);
                             let t = next_time.load(Ordering::Acquire);
 
                             // ---- phase A fill: drain updates for time t --
@@ -196,6 +232,9 @@ impl SyncEventDriven {
                             let wait = Instant::now();
                             barrier.wait();
                             tm.idle += wait.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
 
                             // ---- phase A process: apply updates, activate
                             // fan-out (with stealing) ----------------------
@@ -265,6 +304,9 @@ impl SyncEventDriven {
                             let wait = Instant::now();
                             barrier.wait();
                             tm.idle += wait.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
 
                             // ---- phase B fill: drain activated elements --
                             let busy = Instant::now();
@@ -284,6 +326,9 @@ impl SyncEventDriven {
                             let wait = Instant::now();
                             barrier.wait();
                             tm.idle += wait.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
 
                             // ---- phase B process: evaluate + schedule ----
                             let busy = Instant::now();
@@ -297,6 +342,16 @@ impl SyncEventDriven {
                                         break;
                                     }
                                     let e = work[idx] as usize;
+                                    if let FaultAction::Exit =
+                                        fault.check(me, processed, cont.cancel_flag())
+                                    {
+                                        // Only reached after cancellation,
+                                        // which always poisons the barrier,
+                                        // so peers are not left waiting.
+                                        break 'run;
+                                    }
+                                    processed += 1;
+                                    cont.beat(me);
                                     let elem = &netlist.elements()[e];
                                     inputs_buf.clear();
                                     for &inp in elem.inputs() {
@@ -359,7 +414,11 @@ impl SyncEventDriven {
                                         min_t = min_t.min(k);
                                     }
                                 }
-                                if min_t == u64::MAX || min_t > end {
+                                // Cooperative cancellation folds into the
+                                // existing `done` mechanism: only the
+                                // leader samples the flag, so workers never
+                                // diverge at a barrier.
+                                if min_t == u64::MAX || min_t > end || cont.cancelled() {
                                     done.store(true, Ordering::Release);
                                 } else {
                                     next_time.store(min_t, Ordering::Release);
@@ -367,19 +426,59 @@ impl SyncEventDriven {
                             }
                             barrier.wait();
                             tm.idle += wait.elapsed();
-                            if done.load(Ordering::Acquire) {
-                                break;
+                            if barrier.is_poisoned() || done.load(Ordering::Acquire) {
+                                break 'run;
                             }
                         }
                         (changes, tm)
+                        }));
+                        match body {
+                            Ok(out) => Some(out),
+                            Err(payload) => {
+                                cont.record_panic(me, payload);
+                                barrier.poison();
+                                None
+                            }
+                        }
                     })
                 })
                 .collect();
             for h in handles {
-                outputs.push(h.join().expect("sync worker panicked"));
+                outputs.push(h.join().unwrap_or_default());
             }
         });
+        if let Some(w) = watchdog {
+            w.finish();
+        }
 
+        if let Some((worker, payload)) = containment.take_panic() {
+            return Err(SimError::WorkerPanicked {
+                engine: ENGINE,
+                worker,
+                payload,
+            });
+        }
+        if let Some(verdict) = containment.take_verdict() {
+            let diagnostic = Box::new(StallDiagnostic {
+                heartbeats: containment.heartbeat_snapshot(),
+                sim_time: Some(Time(next_time.load(Ordering::Acquire))),
+                ..StallDiagnostic::default()
+            });
+            return Err(match verdict {
+                WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
+                    engine: ENGINE,
+                    stalled_for,
+                    diagnostic,
+                },
+                WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
+                    engine: ENGINE,
+                    deadline,
+                    diagnostic,
+                },
+            });
+        }
+
+        let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
         let mut changes = Vec::new();
         let mut per_thread = Vec::with_capacity(n);
         let mut evaluations = 0;
@@ -398,7 +497,13 @@ impl SyncEventDriven {
             gc_chunks_freed: 0,
             wall: start.elapsed(),
         };
-        SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics)
+        Ok(SimResult::from_changes(
+            netlist,
+            config.end_time,
+            &config.watch,
+            changes,
+            metrics,
+        ))
     }
 }
 
@@ -440,9 +545,9 @@ mod tests {
     fn matches_sequential_reference() {
         let (n, watch) = mixed_delay_circuit();
         let cfg = SimConfig::new(Time(100)).watch_all(watch);
-        let seq = EventDriven::run(&n, &cfg);
+        let seq = EventDriven::run(&n, &cfg).unwrap();
         for threads in [1, 2, 3, 5] {
-            let par = SyncEventDriven::run(&n, &cfg.clone().threads(threads));
+            let par = SyncEventDriven::run(&n, &cfg.clone().threads(threads)).unwrap();
             assert_equivalent(&seq, &par, &format!("sync x{threads}"));
             assert_eq!(
                 seq.metrics.events_processed,
@@ -499,8 +604,8 @@ mod tests {
             .unwrap();
         let n = b.finish().unwrap();
         let cfg = SimConfig::new(Time(200)).watch(q0).watch(q1);
-        let seq = EventDriven::run(&n, &cfg);
-        let par = SyncEventDriven::run(&n, &cfg.clone().threads(4));
+        let seq = EventDriven::run(&n, &cfg).unwrap();
+        let par = SyncEventDriven::run(&n, &cfg.clone().threads(4)).unwrap();
         assert_equivalent(&seq, &par, "feedback");
         assert!(seq.waveform(q0).unwrap().num_changes() > 5);
     }
@@ -509,7 +614,7 @@ mod tests {
     fn utilization_metrics_present() {
         let (n, watch) = mixed_delay_circuit();
         let cfg = SimConfig::new(Time(50)).watch_all(watch).threads(2);
-        let r = SyncEventDriven::run(&n, &cfg);
+        let r = SyncEventDriven::run(&n, &cfg).unwrap();
         assert_eq!(r.metrics.per_thread.len(), 2);
         assert!(r.metrics.time_steps > 0);
     }

@@ -24,7 +24,7 @@
 //! let mut tb = TestBench::new(&dut)?;
 //! tb.drive("a", &[(0, Value::bit(false)), (10, Value::bit(true))])?;
 //! tb.drive("b", &[(0, Value::bit(true))])?;
-//! let run = tb.run_event_driven(Time(30));
+//! let run = tb.run_event_driven(Time(30))?;
 //! run.expect("y", Time(5), Value::bit(false))?;
 //! run.expect("y", Time(15), Value::bit(true))?;
 //! # Ok(())
@@ -40,6 +40,7 @@ use parsim_netlist::{Builder, Netlist, NodeId};
 
 use crate::chaotic::ChaoticAsync;
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::seq::EventDriven;
 use crate::waveform::SimResult;
 
@@ -67,6 +68,14 @@ pub enum TestBenchError {
     },
     /// An internal netlist error (should not occur for valid DUTs).
     Build(String),
+    /// The simulation engine itself failed (see [`SimError`]).
+    Sim(SimError),
+}
+
+impl From<SimError> for TestBenchError {
+    fn from(e: SimError) -> TestBenchError {
+        TestBenchError::Sim(e)
+    }
 }
 
 impl fmt::Display for TestBenchError {
@@ -98,6 +107,7 @@ impl fmt::Display for TestBenchError {
                 "expectation failed: `{port}` at {at} is {got}, expected {expected}"
             ),
             TestBenchError::Build(msg) => write!(f, "test bench construction: {msg}"),
+            TestBenchError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -184,30 +194,40 @@ impl TestBench {
     /// Runs the bench on the sequential reference engine, watching every
     /// DUT node.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TestBenchError::Sim`] if the engine fails (see
+    /// [`SimError`]).
+    ///
     /// # Panics
     ///
     /// Panics if called twice (the bench is consumed by its first run).
-    pub fn run_event_driven(&mut self, end: Time) -> TestRun {
+    pub fn run_event_driven(&mut self, end: Time) -> Result<TestRun, TestBenchError> {
         let (netlist, cfg) = self.finish(end);
-        let result = EventDriven::run(&netlist, &cfg);
-        TestRun {
+        let result = EventDriven::run(&netlist, &cfg)?;
+        Ok(TestRun {
             result,
             map: self.map.clone(),
-        }
+        })
     }
 
     /// Runs the bench on the lock-free asynchronous engine.
     ///
+    /// # Errors
+    ///
+    /// Returns [`TestBenchError::Sim`] if the engine fails (see
+    /// [`SimError`]).
+    ///
     /// # Panics
     ///
     /// Panics if called twice (the bench is consumed by its first run).
-    pub fn run_async(&mut self, end: Time, threads: usize) -> TestRun {
+    pub fn run_async(&mut self, end: Time, threads: usize) -> Result<TestRun, TestBenchError> {
         let (netlist, cfg) = self.finish(end);
-        let result = ChaoticAsync::run(&netlist, &cfg.threads(threads));
-        TestRun {
+        let result = ChaoticAsync::run(&netlist, &cfg.threads(threads))?;
+        Ok(TestRun {
             result,
             map: self.map.clone(),
-        }
+        })
     }
 
     fn finish(&mut self, end: Time) -> (Netlist, SimConfig) {
@@ -303,7 +323,7 @@ mod tests {
             .unwrap();
         tb.drive("b", &[(0, Value::from_u64(55, 8))]).unwrap();
         tb.drive("cin", &[(0, Value::bit(false))]).unwrap();
-        let run = tb.run_event_driven(Time(40));
+        let run = tb.run_event_driven(Time(40)).unwrap();
         run.expect("sum", Time(10), Value::from_u64(155, 8)).unwrap();
         run.expect("sum", Time(30), Value::from_u64(255, 8)).unwrap();
         run.expect("cout", Time(30), Value::bit(false)).unwrap();
@@ -322,7 +342,7 @@ mod tests {
         tb.drive("a", &[(0, Value::from_u64(3, 8))]).unwrap();
         tb.drive("b", &[(0, Value::from_u64(4, 8))]).unwrap();
         tb.drive("cin", &[(5, Value::bit(true))]).unwrap();
-        let run = tb.run_async(Time(30), 2);
+        let run = tb.run_async(Time(30), 2).unwrap();
         run.expect("sum", Time(20), Value::from_u64(8, 8)).unwrap();
     }
 

@@ -1,0 +1,290 @@
+//! Shared failure-containment state and the progress watchdog.
+//!
+//! Every parallel engine run owns one [`Containment`]: a cancellation
+//! flag every worker polls on its activation-pop path (one relaxed load),
+//! per-worker heartbeat counters, and a slot recording the first worker
+//! panic. A panicking worker (caught by `catch_unwind` in the engine's
+//! worker wrapper) records itself, sets the flag, and poisons whatever
+//! synchronization primitive its peers could be blocked on — so the
+//! driver always joins every thread and returns a structured error.
+//!
+//! The [`Watchdog`] is an optional monitor thread, spawned only when the
+//! config sets a deadline or stall timeout. It samples the heartbeats: if
+//! the wall-time deadline passes, or no counter moves for the stall
+//! timeout, it cancels the run and records which trigger fired. The
+//! driver turns that verdict plus a post-join state snapshot into
+//! [`SimError::Stalled`](crate::SimError::Stalled) or
+//! [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parsim_queue::CachePadded;
+
+/// Renders a panic payload (from `catch_unwind`) to a string.
+pub(crate) fn panic_payload_to_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Which watchdog trigger cancelled the run.
+pub(crate) enum WatchdogVerdict {
+    /// No heartbeat moved for this long.
+    Stalled { stalled_for: Duration },
+    /// The wall-time deadline passed.
+    Deadline { deadline: Duration },
+}
+
+/// Per-run shared containment state.
+pub(crate) struct Containment {
+    /// Cooperative cancellation: workers poll this on their
+    /// activation-pop path and exit their loops when set.
+    cancel: AtomicBool,
+    /// First panic wins: `(worker, payload)`.
+    panic_slot: Mutex<Option<(usize, String)>>,
+    /// Watchdog verdict, if the watchdog cancelled the run.
+    verdict: Mutex<Option<WatchdogVerdict>>,
+    /// Per-worker activation counters, padded to avoid false sharing with
+    /// the hot path that increments them.
+    heartbeats: Vec<CachePadded<AtomicU64>>,
+}
+
+impl Containment {
+    pub fn new(workers: usize) -> Arc<Containment> {
+        Arc::new(Containment {
+            cancel: AtomicBool::new(false),
+            panic_slot: Mutex::new(None),
+            verdict: Mutex::new(None),
+            heartbeats: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        })
+    }
+
+    /// The cancellation flag workers poll (also handed to
+    /// [`FaultPlan::check`](crate::FaultPlan) so stalled workers wake).
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    pub fn cancel_now(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Bumps worker `w`'s heartbeat; call once per processed activation.
+    pub fn beat(&self, w: usize) {
+        self.heartbeats[w].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker panic (first one wins) and cancels the run.
+    pub fn record_panic(&self, worker: usize, payload: Box<dyn Any + Send>) {
+        let msg = panic_payload_to_string(payload);
+        {
+            let mut slot = self.panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some((worker, msg));
+            }
+        }
+        self.cancel_now();
+    }
+
+    /// The first recorded panic, if any.
+    pub fn take_panic(&self) -> Option<(usize, String)> {
+        self.panic_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    fn record_verdict(&self, v: WatchdogVerdict) {
+        let mut slot = self.verdict.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(v);
+        }
+    }
+
+    /// The watchdog's verdict, if it cancelled the run.
+    pub fn take_verdict(&self) -> Option<WatchdogVerdict> {
+        self.verdict
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// Post-join snapshot of the heartbeat counters.
+    pub fn heartbeat_snapshot(&self) -> Vec<u64> {
+        self.heartbeats
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The optional monitor thread.
+pub(crate) struct Watchdog {
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns a monitor if the config asks for one. `on_cancel` runs on
+    /// the monitor thread right after the cancel flag is set — engines use
+    /// it to poison barriers so blocked peers wake.
+    pub fn spawn(
+        containment: &Arc<Containment>,
+        deadline: Option<Duration>,
+        stall_timeout: Option<Duration>,
+        on_cancel: impl Fn() + Send + 'static,
+    ) -> Option<Watchdog> {
+        if deadline.is_none() && stall_timeout.is_none() {
+            return None;
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let cont = Arc::clone(containment);
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            // Sample often enough to honor short test timeouts without
+            // burning a core: a quarter of the tightest bound, clamped.
+            let tightest = stall_timeout
+                .into_iter()
+                .chain(deadline)
+                .min()
+                .unwrap_or(Duration::from_millis(100));
+            let interval = (tightest / 4)
+                .clamp(Duration::from_millis(1), Duration::from_millis(25));
+            let mut last_beats = cont.heartbeat_snapshot();
+            let mut last_change = Instant::now();
+            while !done2.load(Ordering::Acquire) {
+                std::thread::park_timeout(interval);
+                if done2.load(Ordering::Acquire) || cont.cancelled() {
+                    return;
+                }
+                if let Some(d) = deadline {
+                    if start.elapsed() > d {
+                        cont.record_verdict(WatchdogVerdict::Deadline { deadline: d });
+                        cont.cancel_now();
+                        on_cancel();
+                        return;
+                    }
+                }
+                let beats = cont.heartbeat_snapshot();
+                if beats != last_beats {
+                    last_beats = beats;
+                    last_change = Instant::now();
+                } else if let Some(s) = stall_timeout {
+                    let frozen = last_change.elapsed();
+                    if frozen > s {
+                        cont.record_verdict(WatchdogVerdict::Stalled {
+                            stalled_for: frozen,
+                        });
+                        cont.cancel_now();
+                        on_cancel();
+                        return;
+                    }
+                }
+            }
+        });
+        Some(Watchdog {
+            done,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops and joins the monitor (idempotent; called after workers are
+    /// joined).
+    pub fn finish(mut self) {
+        self.done.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_slot_keeps_first() {
+        let c = Containment::new(2);
+        assert!(!c.cancelled());
+        c.record_panic(1, Box::new("first"));
+        c.record_panic(0, Box::new("second".to_string()));
+        assert!(c.cancelled());
+        assert_eq!(c.take_panic(), Some((1, "first".to_string())));
+        assert_eq!(c.take_panic(), None);
+    }
+
+    #[test]
+    fn watchdog_detects_frozen_heartbeats() {
+        let c = Containment::new(2);
+        let w = Watchdog::spawn(
+            &c,
+            None,
+            Some(Duration::from_millis(30)),
+            || {},
+        )
+        .expect("stall timeout set");
+        // Beat for a while, then freeze.
+        for _ in 0..3 {
+            c.beat(0);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !c.cancelled() {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(matches!(
+            c.take_verdict(),
+            Some(WatchdogVerdict::Stalled { .. })
+        ));
+        w.finish();
+    }
+
+    #[test]
+    fn watchdog_enforces_deadline_even_with_progress() {
+        let c = Containment::new(1);
+        let cb_fired = Arc::new(AtomicBool::new(false));
+        let cb = Arc::clone(&cb_fired);
+        let w = Watchdog::spawn(
+            &c,
+            Some(Duration::from_millis(30)),
+            None,
+            move || cb.store(true, Ordering::Release),
+        )
+        .expect("deadline set");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !c.cancelled() {
+            c.beat(0); // constant progress must not defeat the deadline
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(matches!(
+            c.take_verdict(),
+            Some(WatchdogVerdict::Deadline { .. })
+        ));
+        assert!(cb_fired.load(Ordering::Acquire), "on_cancel must run");
+        w.finish();
+    }
+
+    #[test]
+    fn no_config_no_thread() {
+        let c = Containment::new(1);
+        assert!(Watchdog::spawn(&c, None, None, || {}).is_none());
+    }
+}

@@ -9,12 +9,12 @@ use parsim_logic::{Delay, ElementKind, Time, Value};
 use parsim_netlist::{Builder, Netlist};
 
 fn run_all(netlist: &Netlist, cfg: &SimConfig) {
-    let seq = EventDriven::run(netlist, cfg);
+    let seq = EventDriven::run(netlist, cfg).unwrap();
     for threads in [1, 3] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(netlist, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(netlist, &cfg_t), "async");
-        assert_equivalent(&seq, &CompiledMode::run(netlist, &cfg_t), "compiled");
+        assert_equivalent(&seq, &SyncEventDriven::run(netlist, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(netlist, &cfg_t).unwrap(), "async");
+        assert_equivalent(&seq, &CompiledMode::run(netlist, &cfg_t).unwrap(), "compiled");
     }
 }
 
@@ -31,7 +31,7 @@ fn nodes_without_elements() {
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(50)).watch(a);
     run_all(&n, &cfg);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     assert_eq!(r.final_value(a), Some(Value::x(8)));
 }
 
@@ -74,7 +74,7 @@ fn zero_end_time() {
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(0)).watch(c).watch(y);
     run_all(&n, &cfg);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     // The constant lands at t=0; the inverter's response would land at
     // t=1, beyond the horizon.
     assert_eq!(r.final_value(c), Some(Value::bit(true)));
@@ -102,13 +102,13 @@ fn delay_beyond_horizon_never_fires() {
     let cfg = SimConfig::new(Time(100)).watch(y);
     // Compiled mode is excluded: it imposes unit delay by definition, so
     // this deliberately non-unit-delay circuit is outside its model.
-    let seq = EventDriven::run(&n, &cfg);
+    let seq = EventDriven::run(&n, &cfg).unwrap();
     for threads in [1, 3] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t).unwrap(), "async");
     }
-    let r = ChaoticAsync::run(&n, &cfg);
+    let r = ChaoticAsync::run(&n, &cfg).unwrap();
     assert_eq!(r.final_value(y), Some(Value::x(1)));
 }
 
@@ -161,7 +161,7 @@ fn width_64_datapath() {
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(10)).watch(sum).watch(cout);
     run_all(&n, &cfg);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     assert_eq!(r.final_value(sum), Some(Value::from_u64(0, 64)));
     assert_eq!(r.final_value(cout), Some(Value::bit(true)));
 }
@@ -186,10 +186,10 @@ fn more_threads_than_elements() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(40)).watch(y).threads(8);
-    let seq = EventDriven::run(&n, &cfg);
-    assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg), "sync x8");
-    assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg), "async x8");
-    assert_equivalent(&seq, &CompiledMode::run(&n, &cfg), "compiled x8");
+    let seq = EventDriven::run(&n, &cfg).unwrap();
+    assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg).unwrap(), "sync x8");
+    assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg).unwrap(), "async x8");
+    assert_equivalent(&seq, &CompiledMode::run(&n, &cfg).unwrap(), "compiled x8");
 }
 
 #[test]
@@ -231,7 +231,7 @@ fn self_loop_element() {
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(60)).watch(q);
     run_all(&n, &cfg);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     assert_eq!(r.final_value(q), Some(Value::bit(false)));
 }
 

@@ -18,15 +18,15 @@ use parsim_netlist::{Netlist, NodeId};
 
 fn check_all_engines(netlist: &Netlist, watch: Vec<NodeId>, end: Time, unit_delay: bool) {
     let cfg = SimConfig::new(end).watch_all(watch);
-    let seq = EventDriven::run(netlist, &cfg);
+    let seq = EventDriven::run(netlist, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        let sync = SyncEventDriven::run(netlist, &cfg_t);
+        let sync = SyncEventDriven::run(netlist, &cfg_t).unwrap();
         assert_equivalent(&seq, &sync, &format!("sync x{threads}"));
-        let asy = ChaoticAsync::run(netlist, &cfg_t);
+        let asy = ChaoticAsync::run(netlist, &cfg_t).unwrap();
         assert_equivalent(&seq, &asy, &format!("async x{threads}"));
         if unit_delay {
-            let comp = CompiledMode::run(netlist, &cfg_t);
+            let comp = CompiledMode::run(netlist, &cfg_t).unwrap();
             assert_equivalent(&seq, &comp, &format!("compiled x{threads}"));
         }
     }
@@ -56,7 +56,7 @@ fn gate_multiplier_all_engines_and_correct_products() {
 
     // Functional correctness: sampled products equal native arithmetic.
     let cfg = SimConfig::new(m.schedule_end()).watch_all(m.product.clone());
-    let r = EventDriven::run(&m.netlist, &cfg);
+    let r = EventDriven::run(&m.netlist, &cfg).unwrap();
     for (k, expected) in m.expected_products().into_iter().enumerate() {
         let got = r
             .bus_value_at(&m.product, m.sample_time(k))
@@ -72,7 +72,7 @@ fn gate_multiplier_async_products_match_native() {
     let cfg = SimConfig::new(m.schedule_end())
         .watch_all(m.product.clone())
         .threads(4);
-    let r = ChaoticAsync::run(&m.netlist, &cfg);
+    let r = ChaoticAsync::run(&m.netlist, &cfg).unwrap();
     for (k, expected) in m.expected_products().into_iter().enumerate() {
         assert_eq!(
             r.bus_value_at(&m.product, m.sample_time(k)),
@@ -90,7 +90,7 @@ fn functional_multiplier_all_engines_and_correct_products() {
     check_all_engines(&m.netlist, vec![m.product], m.schedule_end(), false);
 
     let cfg = SimConfig::new(m.schedule_end()).watch(m.product).threads(2);
-    let r = ChaoticAsync::run(&m.netlist, &cfg);
+    let r = ChaoticAsync::run(&m.netlist, &cfg).unwrap();
     for (k, expected) in m.expected_products().into_iter().enumerate() {
         let got = r
             .waveform(m.product)
@@ -113,7 +113,7 @@ fn pipelined_cpu_all_engines() {
 fn pipelined_cpu_pc_advances() {
     let cpu = pipelined_cpu(8, 48).unwrap();
     let cfg = SimConfig::new(Time(1500)).watch_all(cpu.pc.clone());
-    let r = EventDriven::run(&cpu.netlist, &cfg);
+    let r = EventDriven::run(&cpu.netlist, &cfg).unwrap();
     // After a few clock cycles the PC should count upwards. Sample after
     // each rising edge (clock: offset 48, half-period 48 -> rising at 48,
     // 144, 240...). The PC register captures pc+1 each edge.

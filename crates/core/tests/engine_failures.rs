@@ -1,0 +1,233 @@
+//! Failure containment: every injected fault must terminate with a
+//! structured [`SimError`] — never a hang, never a detached thread.
+//!
+//! Each scenario runs the engine on a helper thread and waits on a
+//! channel with a 30-second timeout, so a containment regression fails
+//! the test instead of wedging the whole suite.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use parsim_circuits::inverter_array;
+use parsim_core::{
+    equivalence_report, ChaoticAsync, CompiledMode, EventDriven, FaultPlan, SimConfig,
+    SimError, SimResult, SyncEventDriven,
+};
+use parsim_logic::Time;
+use parsim_netlist::Netlist;
+
+/// Outer hang guard: runs `f` on its own thread and panics if it has not
+/// produced a result (ok or error) within 30 seconds.
+fn guarded<F>(context: &str, f: F) -> Result<SimResult, SimError>
+where
+    F: FnOnce() -> Result<SimResult, SimError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap_or_else(|_| panic!("{context}: engine hung past the 30s containment guard"));
+    let _ = handle.join();
+    result
+}
+
+/// A unit-delay circuit with steady activity on every worker: an 8×8
+/// inverter array toggling every tick (valid for all four engines,
+/// including compiled mode).
+fn busy_netlist() -> Netlist {
+    inverter_array(8, 8, 1).expect("valid generator parameters").netlist
+}
+
+type Engine = fn(&Netlist, &SimConfig) -> Result<SimResult, SimError>;
+
+const PARALLEL_ENGINES: [(&str, Engine); 3] = [
+    ("chaotic-async", ChaoticAsync::run as Engine),
+    ("sync-event-driven", SyncEventDriven::run as Engine),
+    ("compiled-mode", CompiledMode::run as Engine),
+];
+
+#[test]
+fn injected_worker_panic_is_contained_in_every_parallel_engine() {
+    for (tag, run) in PARALLEL_ENGINES {
+        for threads in [2usize, 4] {
+            // The last worker panics a few activations in, with peers
+            // mid-protocol on barriers or queues.
+            let victim = threads - 1;
+            let cfg = SimConfig::new(Time(1_000))
+                .threads(threads)
+                .with_fault(FaultPlan::panic_at(victim, 3));
+            let err = guarded(&format!("{tag} x{threads} panic"), move || {
+                run(&busy_netlist(), &cfg)
+            })
+            .expect_err("injected panic must surface as an error");
+            match err {
+                SimError::WorkerPanicked {
+                    engine,
+                    worker,
+                    payload,
+                } => {
+                    assert_eq!(engine, tag);
+                    assert_eq!(worker, victim, "{tag}: wrong worker blamed");
+                    assert!(
+                        payload.contains("injected fault"),
+                        "{tag}: unexpected payload {payload:?}"
+                    );
+                }
+                other => panic!("{tag}: expected WorkerPanicked, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_containment_needs_no_watchdog() {
+    // No deadline, no stall timeout: containment must come from the
+    // poison/cancel protocol alone.
+    for (tag, run) in PARALLEL_ENGINES {
+        let cfg = SimConfig::new(Time(1_000))
+            .threads(3)
+            .with_fault(FaultPlan::panic_at(0, 0));
+        let err = guarded(&format!("{tag} watchdogless panic"), move || {
+            run(&busy_netlist(), &cfg)
+        })
+        .expect_err("injected panic must surface as an error");
+        assert!(
+            matches!(err, SimError::WorkerPanicked { engine, worker: 0, .. } if engine == tag),
+            "{tag}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn stalled_worker_trips_the_watchdog_with_a_diagnostic() {
+    for (tag, run) in PARALLEL_ENGINES {
+        let threads = 3usize;
+        let cfg = SimConfig::new(Time(100_000))
+            .threads(threads)
+            .with_fault(FaultPlan::stall_at(0, 0))
+            .with_stall_timeout(Duration::from_millis(100));
+        let err = guarded(&format!("{tag} stall"), move || run(&busy_netlist(), &cfg))
+            .expect_err("a frozen worker must surface as an error");
+        match err {
+            SimError::Stalled {
+                engine,
+                stalled_for,
+                diagnostic,
+            } => {
+                assert_eq!(engine, tag);
+                assert!(
+                    stalled_for >= Duration::from_millis(100),
+                    "{tag}: fired early at {stalled_for:?}"
+                );
+                // The diagnostic covers every worker. (Absolute counts are
+                // engine-specific: the synchronous engines also beat once
+                // per step for liveness, so a stalled worker may show a
+                // beat or two from before it froze.)
+                assert_eq!(
+                    diagnostic.heartbeats.len(),
+                    threads,
+                    "{tag}: diagnostic must cover every worker"
+                );
+            }
+            other => panic!("{tag}: expected Stalled, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn deadline_cancels_parallel_engines_mid_stall() {
+    // A worker wedged forever, watched only by the wall-time deadline:
+    // the run must end with DeadlineExceeded, not a hang.
+    for (tag, run) in PARALLEL_ENGINES {
+        let cfg = SimConfig::new(Time(100_000))
+            .threads(2)
+            .with_fault(FaultPlan::stall_at(1, 0))
+            .with_deadline(Duration::from_millis(50));
+        let err = guarded(&format!("{tag} deadline"), move || {
+            run(&busy_netlist(), &cfg)
+        })
+        .expect_err("a blown deadline must surface as an error");
+        assert!(
+            matches!(
+                err,
+                SimError::DeadlineExceeded { engine, deadline, .. }
+                    if engine == tag && deadline == Duration::from_millis(50)
+            ),
+            "{tag}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn deadline_cancels_the_sequential_engine() {
+    // Far more work than a 5ms budget allows; the inline deadline poll
+    // must cut the run short with the last completed sim time recorded.
+    let cfg = SimConfig::new(Time(100_000)).with_deadline(Duration::from_millis(5));
+    let err = guarded("event-driven deadline", move || {
+        EventDriven::run(&inverter_array(32, 16, 1).unwrap().netlist, &cfg)
+    })
+    .expect_err("a blown deadline must surface as an error");
+    match err {
+        SimError::DeadlineExceeded {
+            engine, diagnostic, ..
+        } => {
+            assert_eq!(engine, "event-driven");
+            assert!(diagnostic.sim_time.is_some());
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn watchdog_does_not_perturb_a_healthy_run() {
+    // Generous bounds on a fast run: results must match a watchdog-free
+    // run exactly.
+    let arr = inverter_array(4, 4, 1).unwrap();
+    let cfg = SimConfig::new(Time(200)).watch_all(arr.taps.clone());
+    let plain = EventDriven::run(&arr.netlist, &cfg).unwrap();
+    let bounded = cfg
+        .clone()
+        .with_deadline(Duration::from_secs(60))
+        .with_stall_timeout(Duration::from_secs(30));
+    for (tag, run) in PARALLEL_ENGINES {
+        let r = run(&arr.netlist, &bounded.clone().threads(3)).unwrap();
+        let rep = equivalence_report(&plain, &r);
+        assert!(rep.is_equivalent(), "{tag} diverged under watchdog: {rep}");
+    }
+    let seq = EventDriven::run(&arr.netlist, &bounded).unwrap();
+    assert!(equivalence_report(&plain, &seq).is_equivalent());
+}
+
+/// With the `chaos` feature on, the queue layer injects seeded yields and
+/// delayed publication into the SPSC protocol. Waveforms must be bit-for-
+/// bit identical to the sequential oracle anyway.
+#[cfg(feature = "chaos")]
+#[test]
+fn chaos_schedule_perturbation_never_changes_waveforms() {
+    let arr = inverter_array(16, 8, 2).unwrap();
+    let cfg = SimConfig::new(Time(400)).watch_all(arr.taps.clone());
+    let oracle = EventDriven::run(&arr.netlist, &cfg).unwrap();
+    for threads in [2usize, 3, 4] {
+        let cfg_t = cfg.clone().threads(threads);
+        let asy = guarded(&format!("chaos async x{threads}"), {
+            let netlist = arr.netlist.clone();
+            let cfg_t = cfg_t.clone();
+            move || ChaoticAsync::run(&netlist, &cfg_t)
+        })
+        .unwrap();
+        let rep = equivalence_report(&oracle, &asy);
+        assert!(rep.is_equivalent(), "async x{threads} under chaos: {rep}");
+
+        let sync = guarded(&format!("chaos sync x{threads}"), {
+            let netlist = arr.netlist.clone();
+            let cfg_t = cfg_t.clone();
+            move || SyncEventDriven::run(&netlist, &cfg_t)
+        })
+        .unwrap();
+        let rep = equivalence_report(&oracle, &sync);
+        assert!(rep.is_equivalent(), "sync x{threads} under chaos: {rep}");
+    }
+}

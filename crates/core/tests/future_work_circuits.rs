@@ -9,11 +9,11 @@ use parsim_logic::{Bit, Time};
 fn shared_bus_all_engines_agree() {
     let bus = shared_bus(4, 8, 16).unwrap();
     let cfg = SimConfig::new(Time(400)).watch(bus.bus).watch(bus.captured);
-    let seq = EventDriven::run(&bus.netlist, &cfg);
+    let seq = EventDriven::run(&bus.netlist, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&bus.netlist, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&bus.netlist, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&bus.netlist, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&bus.netlist, &cfg_t).unwrap(), "async");
     }
 }
 
@@ -21,7 +21,7 @@ fn shared_bus_all_engines_agree() {
 fn bus_is_never_left_floating_or_fought_over_in_steady_state() {
     let bus = shared_bus(3, 8, 16).unwrap();
     let cfg = SimConfig::new(Time(400)).watch(bus.bus);
-    let r = EventDriven::run(&bus.netlist, &cfg);
+    let r = EventDriven::run(&bus.netlist, &cfg).unwrap();
     let w = r.waveform(bus.bus).unwrap();
     // After the rotation settles, sample mid-slot: the bus must carry a
     // fully known value (one-hot enables guarantee a single driver).
@@ -47,7 +47,7 @@ fn bus_is_never_left_floating_or_fought_over_in_steady_state() {
 fn feedback_rings_oscillate_identically_across_engines() {
     let fb = feedback_chain(3, 8).unwrap();
     let cfg = SimConfig::new(Time(300)).watch_all(fb.taps.iter().copied());
-    let seq = EventDriven::run(&fb.netlist, &cfg);
+    let seq = EventDriven::run(&fb.netlist, &cfg).unwrap();
     // Rings oscillate with period 2 * length once kicked.
     for &tap in &fb.taps {
         let w = seq.waveform(tap).unwrap();
@@ -59,8 +59,8 @@ fn feedback_rings_oscillate_identically_across_engines() {
     }
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&fb.netlist, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&fb.netlist, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&fb.netlist, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&fb.netlist, &cfg_t).unwrap(), "async");
     }
 }
 
@@ -71,8 +71,8 @@ fn feedback_destroys_async_batching() {
     let fb = feedback_chain(1, 16).unwrap();
     let pipe = parsim_circuits::inverter_array(1, 16, 2).unwrap();
     let cfg = SimConfig::new(Time(1000));
-    let ring = ChaoticAsync::run(&fb.netlist, &cfg);
-    let open = ChaoticAsync::run(&pipe.netlist, &cfg);
+    let ring = ChaoticAsync::run(&fb.netlist, &cfg).unwrap();
+    let open = ChaoticAsync::run(&pipe.netlist, &cfg).unwrap();
     let ring_batch = ring.metrics.evaluations as f64 / ring.metrics.activations.max(1) as f64;
     let open_batch = open.metrics.evaluations as f64 / open.metrics.activations.max(1) as f64;
     assert!(
@@ -92,7 +92,7 @@ fn tristate_z_reaches_watched_waveforms() {
     let bus = shared_bus(2, 4, 16).unwrap();
     let tap0 = bus.netlist.node_by_name("tap0").unwrap();
     let cfg = SimConfig::new(Time(200)).watch(tap0);
-    let r = EventDriven::run(&bus.netlist, &cfg);
+    let r = EventDriven::run(&bus.netlist, &cfg).unwrap();
     let w = r.waveform(tap0).unwrap();
     let saw_z = w
         .changes()

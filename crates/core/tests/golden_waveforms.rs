@@ -32,7 +32,7 @@ fn waveform_hash(result: &SimResult) -> u64 {
 
 fn run_all_nodes(netlist: &Netlist, end: Time) -> u64 {
     let watch: Vec<_> = netlist.iter_nodes().map(|(id, _)| id).collect();
-    let r = EventDriven::run(netlist, &SimConfig::new(end).watch_all(watch));
+    let r = EventDriven::run(netlist, &SimConfig::new(end).watch_all(watch)).unwrap();
     waveform_hash(&r)
 }
 

@@ -60,7 +60,7 @@ fn c17_truth_table_exhaustive() {
         let n = b.finish().unwrap();
 
         let cfg = SimConfig::new(Time(20)).watch(out22).watch(out23);
-        let r = EventDriven::run(&n, &cfg);
+        let r = EventDriven::run(&n, &cfg).unwrap();
         let (e22, e23) = c17_reference(bits[0], bits[1], bits[2], bits[3], bits[4]);
         assert_eq!(
             r.final_value(out22),
@@ -81,11 +81,11 @@ fn c17_all_engines_agree_under_lfsr_stimulus() {
     let mut watch = c.outputs.clone();
     watch.extend(c.inputs.iter().copied());
     let cfg = SimConfig::new(Time(400)).watch_all(watch);
-    let seq = EventDriven::run(&c.netlist, &cfg);
+    let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&c.netlist, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&c.netlist, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&c.netlist, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&c.netlist, &cfg_t).unwrap(), "async");
     }
     // The outputs actually toggle under stimulus.
     for &o in &c.outputs {
@@ -109,7 +109,7 @@ fb = XOR(q1, q2, seed)
 ";
     let c = from_bench(text, &BenchOptions::default()).unwrap();
     let cfg = SimConfig::new(Time(800)).watch(c.outputs[0]);
-    let seq = EventDriven::run(&c.netlist, &cfg);
-    let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(2));
+    let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
+    let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(2)).unwrap();
     assert_equivalent(&seq, &asy, "bench lfsr");
 }

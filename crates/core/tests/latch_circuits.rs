@@ -43,11 +43,11 @@ fn latch_follower() -> (Netlist, Vec<NodeId>) {
 fn latch_follower_all_engines_agree() {
     let (n, watch) = latch_follower();
     let cfg = SimConfig::new(Time(300)).watch_all(watch);
-    let seq = EventDriven::run(&n, &cfg);
+    let seq = EventDriven::run(&n, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t).unwrap(), "async");
     }
 }
 
@@ -56,7 +56,7 @@ fn latch_transparency_semantics() {
     let (n, watch) = latch_follower();
     let q = watch[2];
     let cfg = SimConfig::new(Time(300)).watch_all(watch);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     let wq = r.waveform(q).unwrap();
     // While en=1 (e.g. ticks 21..40 after the latch delay), q follows d
     // (period-3 toggles); while en=0 (41..60), q freezes.
@@ -107,11 +107,11 @@ fn gated_latch_feedback_loop_agrees() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(400)).watch(q).watch(d).watch(en);
-    let seq = EventDriven::run(&n, &cfg);
+    let seq = EventDriven::run(&n, &cfg).unwrap();
     for threads in [1, 3] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t).unwrap(), "async");
     }
     // The loop resolves from X (enable gating lets the inverted X...
     // actually X holds until a known value enters; verify q eventually
@@ -154,8 +154,8 @@ fn wide_latch_agrees() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(300)).watch(q);
-    let seq = EventDriven::run(&n, &cfg);
-    let asy = ChaoticAsync::run(&n, &cfg.clone().threads(2));
+    let seq = EventDriven::run(&n, &cfg).unwrap();
+    let asy = ChaoticAsync::run(&n, &cfg.clone().threads(2)).unwrap();
     assert_equivalent(&seq, &asy, "wide latch");
     assert!(
         seq.waveform(q).unwrap().num_changes() > 3,

@@ -10,11 +10,11 @@ use parsim_netlist::Builder;
 fn functional_cpu_all_engines_agree() {
     let cpu = functional_cpu(32).unwrap();
     let cfg = SimConfig::new(Time(2000)).watch(cpu.acc).watch(cpu.mem_out);
-    let seq = EventDriven::run(&cpu.netlist, &cfg);
+    let seq = EventDriven::run(&cpu.netlist, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&cpu.netlist, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&cpu.netlist, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&cpu.netlist, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&cpu.netlist, &cfg_t).unwrap(), "async");
     }
 }
 
@@ -22,7 +22,7 @@ fn functional_cpu_all_engines_agree() {
 fn functional_cpu_accumulator_computes() {
     let cpu = functional_cpu(32).unwrap();
     let cfg = SimConfig::new(Time(4000)).watch(cpu.acc);
-    let r = EventDriven::run(&cpu.netlist, &cfg);
+    let r = EventDriven::run(&cpu.netlist, &cfg).unwrap();
     let w = r.waveform(cpu.acc).unwrap();
     // The accumulator leaves reset and keeps taking new values. Reads of
     // never-written memory cells legitimately poison it to X (read-first
@@ -116,8 +116,8 @@ fn memory_write_read_cycle_via_simulation() {
     .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(200)).watch(rdata);
-    let seq = EventDriven::run(&n, &cfg);
-    let asy = ChaoticAsync::run(&n, &cfg.clone().threads(2));
+    let seq = EventDriven::run(&n, &cfg).unwrap();
+    let asy = ChaoticAsync::run(&n, &cfg.clone().threads(2)).unwrap();
     assert_equivalent(&seq, &asy, "memory rw");
 
     // Writes land on rising edges at t = 8, 24, 40, 56 (addr 0..3).

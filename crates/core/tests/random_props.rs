@@ -37,8 +37,8 @@ proptest! {
     fn async_engine_matches_reference(params in params_strategy(), threads in 1usize..4) {
         let c = random_circuit(&params).unwrap();
         let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
-        let seq = EventDriven::run(&c.netlist, &cfg);
-        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads));
+        let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
+        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads)).unwrap();
         let rep = equivalence_report(&seq, &asy);
         prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
     }
@@ -47,8 +47,8 @@ proptest! {
     fn sync_engine_matches_reference(params in params_strategy(), threads in 1usize..4) {
         let c = random_circuit(&params).unwrap();
         let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
-        let seq = EventDriven::run(&c.netlist, &cfg);
-        let sync = SyncEventDriven::run(&c.netlist, &cfg.clone().threads(threads));
+        let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
+        let sync = SyncEventDriven::run(&c.netlist, &cfg.clone().threads(threads)).unwrap();
         let rep = equivalence_report(&seq, &sync);
         prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
     }
@@ -58,8 +58,8 @@ proptest! {
         params.max_delay = 1;
         let c = random_circuit(&params).unwrap();
         let cfg = SimConfig::new(Time(100)).watch_all(c.watch.clone());
-        let seq = EventDriven::run(&c.netlist, &cfg);
-        let comp = CompiledMode::run(&c.netlist, &cfg.clone().threads(threads));
+        let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
+        let comp = CompiledMode::run(&c.netlist, &cfg.clone().threads(threads)).unwrap();
         let rep = equivalence_report(&seq, &comp);
         prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
     }
@@ -68,11 +68,11 @@ proptest! {
     fn lookahead_and_gc_flags_are_transparent(params in params_strategy()) {
         let c = random_circuit(&params).unwrap();
         let cfg = SimConfig::new(Time(120)).watch_all(c.watch.clone()).threads(2);
-        let base = ChaoticAsync::run(&c.netlist, &cfg);
+        let base = ChaoticAsync::run(&c.netlist, &cfg).unwrap();
         let plain = ChaoticAsync::run(
             &c.netlist,
             &cfg.clone().without_lookahead().without_gc(),
-        );
+        ).unwrap();
         let rep = equivalence_report(&base, &plain);
         prop_assert!(rep.is_equivalent(), "seed {}: {rep}", params.seed);
     }
@@ -81,8 +81,8 @@ proptest! {
     fn engines_are_deterministic_across_runs(params in params_strategy()) {
         let c = random_circuit(&params).unwrap();
         let cfg = SimConfig::new(Time(100)).watch_all(c.watch.clone()).threads(3);
-        let a = ChaoticAsync::run(&c.netlist, &cfg);
-        let b = ChaoticAsync::run(&c.netlist, &cfg);
+        let a = ChaoticAsync::run(&c.netlist, &cfg).unwrap();
+        let b = ChaoticAsync::run(&c.netlist, &cfg).unwrap();
         let rep = equivalence_report(&a, &b);
         prop_assert!(rep.is_equivalent(), "nondeterminism at seed {}: {rep}", params.seed);
     }
@@ -101,9 +101,9 @@ fn oversubscribed_stress() {
     };
     let c = random_circuit(&params).unwrap();
     let cfg = SimConfig::new(Time(400)).watch_all(c.watch.clone());
-    let seq = EventDriven::run(&c.netlist, &cfg);
+    let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
     for threads in [6, 8] {
-        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads));
+        let asy = ChaoticAsync::run(&c.netlist, &cfg.clone().threads(threads)).unwrap();
         let rep = equivalence_report(&seq, &asy);
         assert!(rep.is_equivalent(), "x{threads}: {rep}");
     }

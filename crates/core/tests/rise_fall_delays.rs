@@ -27,7 +27,7 @@ fn asymmetric_buffer_shifts_edges_by_direction() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(100)).watch(out);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     let w = r.waveform(out).unwrap();
     // clk rises at 20 (out -> 1 at 25), falls at 40 (out -> 0 at 41),
     // rises at 60 (out -> 1 at 65), falls at 80 (out -> 0 at 81).
@@ -60,7 +60,7 @@ fn short_pulse_stretches_not_reorders() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(60)).watch(out);
-    let r = EventDriven::run(&n, &cfg);
+    let r = EventDriven::run(&n, &cfg).unwrap();
     let w = r.waveform(out).unwrap();
     assert_eq!(
         w.changes(),
@@ -103,11 +103,11 @@ fn engines_agree_with_asymmetric_delays() {
         .unwrap();
     let n = b.finish().unwrap();
     let cfg = SimConfig::new(Time(200)).watch(a).watch(c).watch(d);
-    let seq = EventDriven::run(&n, &cfg);
+    let seq = EventDriven::run(&n, &cfg).unwrap();
     for threads in [1, 2, 4] {
         let cfg_t = cfg.clone().threads(threads);
-        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t), "sync");
-        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t), "async");
+        assert_equivalent(&seq, &SyncEventDriven::run(&n, &cfg_t).unwrap(), "sync");
+        assert_equivalent(&seq, &ChaoticAsync::run(&n, &cfg_t).unwrap(), "async");
     }
 }
 

@@ -20,8 +20,8 @@ fn wheel_matches_map_on_paper_circuits() {
     ] {
         let watch: Vec<_> = netlist.iter_nodes().map(|(id, _)| id).collect();
         let cfg = SimConfig::new(end).watch_all(watch);
-        let map = EventDriven::run(netlist, &cfg);
-        let wheel = EventDriven::run(netlist, &cfg.clone().with_timing_wheel());
+        let map = EventDriven::run(netlist, &cfg).unwrap();
+        let wheel = EventDriven::run(netlist, &cfg.clone().with_timing_wheel()).unwrap();
         assert_equivalent(&map, &wheel, name);
         assert_eq!(
             map.metrics.events_processed, wheel.metrics.events_processed,
@@ -47,8 +47,8 @@ proptest! {
         })
         .unwrap();
         let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
-        let map = EventDriven::run(&c.netlist, &cfg);
-        let wheel = EventDriven::run(&c.netlist, &cfg.clone().with_timing_wheel());
+        let map = EventDriven::run(&c.netlist, &cfg).unwrap();
+        let wheel = EventDriven::run(&c.netlist, &cfg.clone().with_timing_wheel()).unwrap();
         let rep = equivalence_report(&map, &wheel);
         prop_assert!(rep.is_equivalent(), "seed {seed}: {rep}");
     }

@@ -1,0 +1,217 @@
+//! Minimal, self-contained stand-in for the `criterion` 0.5 API surface
+//! the workspace uses, so builds never depend on registry resolution.
+//!
+//! It measures and prints mean wall time per iteration for every
+//! registered benchmark — no statistics, plots, or baselines. Sample
+//! counts and measurement windows are honored loosely: each benchmark
+//! runs for roughly `measurement_time`, capped at `sample_size`
+//! batches.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark closure with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting happens per benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            budget: self.warm_up_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher); // warm-up pass
+        bencher.budget = self.measurement_time;
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if bencher.elapsed >= self.measurement_time {
+                break;
+            }
+        }
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters.min(u32::MAX as u64) as u32
+        };
+        println!(
+            "{}/{}: {:>12.3?} per iter ({} iters)",
+            self.name, id.id, mean, bencher.iters
+        );
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` within the configured budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let per_call = self.budget.max(Duration::from_micros(1));
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= per_call || self.iters >= 1_000_000 {
+                self.elapsed += elapsed;
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.bench_with_input(BenchmarkId::new("with", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

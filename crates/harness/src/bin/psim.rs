@@ -132,7 +132,8 @@ fn run() -> Result<(), String> {
         "compiled" => CompiledMode::run(&netlist, &config),
         "async" => ChaoticAsync::run(&netlist, &config),
         other => return Err(format!("unknown engine `{other}`")),
-    };
+    }
+    .map_err(|e| e.to_string())?;
 
     let mut t = Table::new(
         &format!("{} — {} engine, end={}", opts.input, opts.engine, opts.end),

@@ -224,8 +224,8 @@ pub fn uniproc_ratio() -> Table {
         let wall = |f: &dyn Fn() -> std::time::Duration| -> f64 {
             (0..3).map(|_| f()).min().expect("3 runs").as_secs_f64()
         };
-        let t_seq = wall(&|| EventDriven::run(netlist, &cfg).metrics.wall);
-        let t_asy = wall(&|| ChaoticAsync::run(netlist, &cfg).metrics.wall);
+        let t_seq = wall(&|| EventDriven::run(netlist, &cfg).unwrap().metrics.wall);
+        let t_asy = wall(&|| ChaoticAsync::run(netlist, &cfg).unwrap().metrics.wall);
         let real = t_seq / t_asy;
         let batching = m_asy.evaluations as f64 / m_asy.activations.max(1) as f64;
         t.row(vec![
@@ -251,7 +251,7 @@ pub fn event_stats() -> Table {
         ("gate-mult", &gate.netlist, gate.schedule_end()),
         ("cpu", &cpu.netlist, Time(4096)),
     ] {
-        let r = EventDriven::run(netlist, &SimConfig::new(end));
+        let r = EventDriven::run(netlist, &SimConfig::new(end)).unwrap();
         let h = &r.metrics.events_per_step;
         t.row(vec![
             name.to_string(),
@@ -374,8 +374,8 @@ pub fn gc_effectiveness() -> Table {
     );
     for threads in [1usize, 2] {
         let cfg = SimConfig::new(end).threads(threads);
-        let on = ChaoticAsync::run(&arr.netlist, &cfg);
-        let off = ChaoticAsync::run(&arr.netlist, &cfg.clone().without_gc());
+        let on = ChaoticAsync::run(&arr.netlist, &cfg).unwrap();
+        let off = ChaoticAsync::run(&arr.netlist, &cfg.clone().without_gc()).unwrap();
         t.row(vec![
             threads.to_string(),
             on.metrics.events_processed.to_string(),
@@ -526,15 +526,15 @@ pub fn wallclock_matrix() -> Table {
         let best = |f: &dyn Fn() -> std::time::Duration| {
             (0..3).map(|_| f()).min().expect("three runs")
         };
-        let seq = best(&|| EventDriven::run(netlist, &cfg).metrics.wall);
+        let seq = best(&|| EventDriven::run(netlist, &cfg).unwrap().metrics.wall);
         let wheel = {
             let cfg = cfg.clone().with_timing_wheel();
-            best(&|| EventDriven::run(netlist, &cfg).metrics.wall)
+            best(&|| EventDriven::run(netlist, &cfg).unwrap().metrics.wall)
         };
-        let sync = best(&|| parsim_core::SyncEventDriven::run(netlist, &cfg).metrics.wall);
+        let sync = best(&|| parsim_core::SyncEventDriven::run(netlist, &cfg).unwrap().metrics.wall);
         let compiled =
-            best(&|| parsim_core::CompiledMode::run(netlist, &cfg).metrics.wall);
-        let asy = best(&|| ChaoticAsync::run(netlist, &cfg).metrics.wall);
+            best(&|| parsim_core::CompiledMode::run(netlist, &cfg).unwrap().metrics.wall);
+        let asy = best(&|| ChaoticAsync::run(netlist, &cfg).unwrap().metrics.wall);
         let ms = |d: std::time::Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
         t.row(vec![
             name.to_string(),

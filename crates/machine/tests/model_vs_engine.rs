@@ -36,7 +36,7 @@ fn cases() -> Vec<(&'static str, Netlist, Time)> {
 #[test]
 fn trace_counts_match_sequential_engine_everywhere() {
     for (name, netlist, end) in cases() {
-        let real = EventDriven::run(&netlist, &SimConfig::new(end));
+        let real = EventDriven::run(&netlist, &SimConfig::new(end)).unwrap();
         let trace = trace_execution(&netlist, end);
         assert_eq!(real.metrics.events_processed, trace.total_events, "{name}");
         assert_eq!(real.metrics.evaluations, trace.total_evals, "{name}");
@@ -50,11 +50,11 @@ fn trace_counts_match_sequential_engine_everywhere() {
 #[test]
 fn three_way_evaluation_count_invariant() {
     for (name, netlist, end) in cases() {
-        let seq = EventDriven::run(&netlist, &SimConfig::new(end));
+        let seq = EventDriven::run(&netlist, &SimConfig::new(end)).unwrap();
         let asy = ChaoticAsync::run(
             &netlist,
             &SimConfig::new(end).without_lookahead(),
-        );
+        ).unwrap();
         let mut cfg = MachineConfig::multimax(1);
         cfg.lookahead = false;
         let model = model_async(&netlist, end, &cfg);
@@ -82,14 +82,14 @@ fn evaluation_counts_are_schedule_independent() {
     let base = ChaoticAsync::run(
         &arr.netlist,
         &SimConfig::new(end).without_lookahead(),
-    )
+    ).unwrap()
     .metrics
     .evaluations;
     for threads in [2, 4] {
         let r = ChaoticAsync::run(
             &arr.netlist,
             &SimConfig::new(end).without_lookahead().threads(threads),
-        );
+        ).unwrap();
         assert_eq!(r.metrics.evaluations, base, "engine x{threads}");
     }
     for procs in [4, 16] {

@@ -50,7 +50,24 @@ pub enum BuildError {
     ZeroDelay { element: String },
     /// A node id from a different builder.
     UnknownNode { element: String },
+    /// A node width outside `1..=64`.
+    InvalidWidth { name: String, width: u8 },
+    /// A fan-out or driver entry that does not cross-reference an actual
+    /// element port — the graph invariant every engine's unchecked indexing
+    /// relies on. Unreachable through [`Builder`]; guards netlists
+    /// assembled or transformed by other code.
+    DanglingFanout { node: String, detail: String },
+    /// A zero-delay element on a feedback path, around which valid times
+    /// could not strictly advance (the asynchronous engine would livelock).
+    ZeroDelayCycle { element: String },
 }
+
+/// The full netlist construction/validation error type.
+///
+/// Alias of [`BuildError`]: eager per-element checks and the global
+/// [`Netlist::validate`](crate::Netlist::validate) pass report through the
+/// same enum.
+pub type NetlistError = BuildError;
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -86,6 +103,17 @@ impl fmt::Display for BuildError {
             BuildError::UnknownNode { element } => {
                 write!(f, "element `{element}` references an unknown node")
             }
+            BuildError::InvalidWidth { name, width } => {
+                write!(f, "node `{name}` has width {width}; widths must be 1..=64")
+            }
+            BuildError::DanglingFanout { node, detail } => {
+                write!(f, "node `{node}` has a dangling connection: {detail}")
+            }
+            BuildError::ZeroDelayCycle { element } => write!(
+                f,
+                "element `{element}` sits on a feedback path with zero delay; \
+                 valid times cannot advance around the loop"
+            ),
         }
     }
 }
@@ -146,9 +174,29 @@ impl Builder {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is 0 or greater than 64.
+    /// Panics if `width` is 0 or greater than 64. Use
+    /// [`Builder::try_node`] to get a typed error instead.
     pub fn node(&mut self, name: &str, width: u8) -> NodeId {
-        assert!((1..=64).contains(&width), "node width must be 1..=64");
+        match self.try_node(name, width) {
+            Ok(id) => id,
+            Err(e) => panic!("node width must be 1..=64: {e}"),
+        }
+    }
+
+    /// Declares a node, reporting an invalid width as a typed error
+    /// instead of panicking (the non-panicking form of [`Builder::node`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidWidth`] if `width` is 0 or greater
+    /// than 64.
+    pub fn try_node(&mut self, name: &str, width: u8) -> Result<NodeId, BuildError> {
+        if !(1..=64).contains(&width) {
+            return Err(BuildError::InvalidWidth {
+                name: name.to_string(),
+                width,
+            });
+        }
         let id = NodeId::from_index(self.nodes.len());
         let mut unique = name.to_string();
         while self.node_names.contains_key(&unique) {
@@ -162,7 +210,7 @@ impl Builder {
             driver: None,
             fanout: Vec::new(),
         });
-        id
+        Ok(id)
     }
 
     /// Looks up a previously declared node by name.
@@ -506,19 +554,103 @@ impl Builder {
         Ok(map)
     }
 
-    /// Finalizes the netlist.
+    /// Finalizes the netlist, running the global [`Netlist::validate`]
+    /// pass over the assembled graph.
     ///
     /// # Errors
     ///
-    /// Currently always succeeds (all checks are eager), but reserves the
-    /// right to reject globally invalid circuits.
+    /// Returns [`BuildError::DanglingFanout`] or
+    /// [`BuildError::ZeroDelayCycle`] if a global invariant is violated.
+    /// Unreachable for graphs built purely through this builder's checked
+    /// methods (the eager checks subsume the global ones), but load-bearing
+    /// for netlists assembled by transformation passes.
     pub fn finish(self) -> Result<Netlist, BuildError> {
-        Ok(Netlist {
+        let netlist = Netlist {
             nodes: self.nodes,
             elements: self.elements,
             node_names: self.node_names,
             elem_names: self.elem_names,
-        })
+        };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+}
+
+impl Netlist {
+    /// Checks the global graph invariants every engine's unchecked indexing
+    /// relies on: fan-out/driver cross-references must name real element
+    /// ports, and no zero-delay element may sit on a feedback path.
+    ///
+    /// [`Builder::finish`] runs this automatically; call it directly after
+    /// hand-assembling or transforming a netlist outside the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DanglingFanout`] for a fan-out entry whose
+    /// element does not read the node at that port (or a driver entry whose
+    /// element does not write it), and [`BuildError::ZeroDelayCycle`] for a
+    /// zero-delay element inside a strongly connected component, around
+    /// which valid times could not strictly advance.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, node) in self.iter_nodes() {
+            for &(elem, port) in node.fanout() {
+                let ok = elem.index() < self.num_elements()
+                    && self.element(elem).inputs().get(port as usize) == Some(&id);
+                if !ok {
+                    return Err(BuildError::DanglingFanout {
+                        node: node.name().to_string(),
+                        detail: format!(
+                            "fan-out entry names element #{} input port {port}, \
+                             which does not read this node",
+                            elem.index()
+                        ),
+                    });
+                }
+            }
+            if let Some((elem, port)) = node.driver() {
+                let ok = elem.index() < self.num_elements()
+                    && self.element(elem).outputs().get(port as usize) == Some(&id);
+                if !ok {
+                    return Err(BuildError::DanglingFanout {
+                        node: node.name().to_string(),
+                        detail: format!(
+                            "driver entry names element #{} output port {port}, \
+                             which does not write this node",
+                            elem.index()
+                        ),
+                    });
+                }
+            }
+        }
+        // Feedback requires strictly advancing valid times: every element
+        // on a cycle (through any mix of combinational and sequential
+        // elements) must have nonzero delay. The per-element eager check
+        // already forbids zero-delay non-generators, so this only fires on
+        // hand-assembled graphs — but those are exactly the ones that would
+        // otherwise livelock the asynchronous engine.
+        let mut on_cycle = vec![false; self.num_elements()];
+        for comp in crate::analyze::strongly_connected_components(self) {
+            if comp.len() > 1 {
+                for e in comp {
+                    on_cycle[e.index()] = true;
+                }
+            } else {
+                let e = comp[0];
+                let elem = self.element(e);
+                let self_loop = elem.outputs().iter().any(|&o| {
+                    self.node(o).fanout().iter().any(|&(c, _)| c == e)
+                });
+                on_cycle[e.index()] = self_loop;
+            }
+        }
+        for (id, e) in self.iter_elements() {
+            if on_cycle[id.index()] && e.rise_delay().max(e.fall_delay()).ticks() == 0 {
+                return Err(BuildError::ZeroDelayCycle {
+                    element: e.name().to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -708,6 +840,73 @@ mod tests {
         let ok = top.node("ok", 1);
         let err = top.instantiate(&cell, "u1", &[("zz", ok)]).unwrap_err();
         assert!(matches!(err, BuildError::Arity { .. }));
+    }
+
+    #[test]
+    fn try_node_rejects_bad_widths_without_panicking() {
+        let mut b = Builder::new();
+        let err = b.try_node("z", 0).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidWidth { width: 0, .. }));
+        let err = b.try_node("w", 65).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidWidth { width: 65, .. }));
+        assert!(b.try_node("ok", 64).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let cell = inverter_cell();
+        cell.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_dangling_fanout() {
+        // Hand-corrupt a netlist the way a buggy transformation pass
+        // might: a fan-out entry pointing at an element that does not read
+        // the node.
+        let mut n = inverter_cell();
+        let a = n.node_by_name("a").unwrap();
+        n.nodes[a.index()].fanout.push((ElemId::from_index(7), 0));
+        let err = n.validate().unwrap_err();
+        assert!(matches!(err, BuildError::DanglingFanout { .. }));
+        assert!(err.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn validate_catches_dangling_driver() {
+        let mut n = inverter_cell();
+        let y = n.node_by_name("y").unwrap();
+        n.nodes[y.index()].driver = Some((ElemId::from_index(0), 3));
+        assert!(matches!(
+            n.validate().unwrap_err(),
+            BuildError::DanglingFanout { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_zero_delay_cycle() {
+        // A two-inverter ring with a zero delay, assembled directly (the
+        // builder's eager check would reject the element).
+        let mut b = Builder::new();
+        let q = b.node("q", 1);
+        let qn = b.node("qn", 1);
+        b.element("i1", ElementKind::Not, Delay(1), &[q], &[qn])
+            .unwrap();
+        b.element("i2", ElementKind::Not, Delay(1), &[qn], &[q])
+            .unwrap();
+        let mut n = b.finish().unwrap();
+        n.elements[0].delay = Delay(0);
+        n.elements[0].fall = Delay(0);
+        let err = n.validate().unwrap_err();
+        assert!(matches!(err, BuildError::ZeroDelayCycle { .. }));
+        // The same zero delay off any cycle is not a cycle error.
+        let mut b = Builder::new();
+        let a = b.node("a", 1);
+        let y = b.node("y", 1);
+        b.element("g", ElementKind::Buf, Delay(1), &[a], &[y]).unwrap();
+        let mut n = b.finish().unwrap();
+        n.elements[0].delay = Delay(0);
+        n.elements[0].fall = Delay(0);
+        n.validate().unwrap();
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod parse;
 pub mod partition;
 mod stats;
 
-pub use build::{BuildError, Builder};
+pub use build::{BuildError, Builder, NetlistError};
 pub use graph::{Element, Netlist, Node};
 pub use ids::{ElemId, NodeId};
 pub use parse::ParseNetlistError;

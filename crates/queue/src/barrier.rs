@@ -31,6 +31,7 @@ pub struct SpinBarrier {
     parties: usize,
     remaining: AtomicUsize,
     sense: AtomicBool,
+    poisoned: AtomicBool,
 }
 
 impl SpinBarrier {
@@ -45,6 +46,7 @@ impl SpinBarrier {
             parties,
             remaining: AtomicUsize::new(parties),
             sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -53,10 +55,33 @@ impl SpinBarrier {
         self.parties
     }
 
+    /// Marks the barrier as unusable and releases every current and
+    /// future waiter immediately.
+    ///
+    /// Called by a participant that is about to die (e.g. from a panic
+    /// handler) so its peers observe shutdown instead of spinning forever
+    /// on a phase that can never complete. Once poisoned, every `wait`
+    /// returns `false` without synchronizing; callers must check
+    /// [`SpinBarrier::is_poisoned`] and abandon the phase protocol.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once any participant has called [`SpinBarrier::poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Blocks until all parties have called `wait`. Returns `true` for
     /// exactly one caller per phase (the "leader"), which is useful for
     /// per-phase bookkeeping.
+    ///
+    /// A poisoned barrier never blocks: `wait` returns `false` at once,
+    /// and any phase in flight when the poison landed is abandoned.
     pub fn wait(&self) -> bool {
+        if self.is_poisoned() {
+            return false;
+        }
         let my_sense = !self.sense.load(Ordering::Relaxed);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arriver: reset and release the phase.
@@ -66,6 +91,9 @@ impl SpinBarrier {
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if self.is_poisoned() {
+                    return false;
+                }
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
@@ -124,6 +152,29 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), PHASES * THREADS as u64);
+    }
+
+    #[test]
+    fn poison_releases_spinning_waiters() {
+        let barrier = Arc::new(SpinBarrier::new(3));
+        assert!(!barrier.is_poisoned());
+        // Two of three parties arrive; the phase cannot complete. A third
+        // party poisons instead of arriving, and both waiters must return.
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || barrier.wait())
+            })
+            .collect();
+        // Give the waiters time to block in the spin loop.
+        thread::sleep(std::time::Duration::from_millis(20));
+        barrier.poison();
+        for w in waiters {
+            assert!(!w.join().unwrap(), "poisoned wait must not elect a leader");
+        }
+        // Subsequent waits return immediately.
+        assert!(!barrier.wait());
+        assert!(barrier.is_poisoned());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Seeded, deterministic schedule perturbation for the queue primitives.
+//!
+//! Compiled only under the `chaos` cargo feature. Each queue endpoint owns
+//! a [`ChaosState`]: a tiny SplitMix64 stream seeded from a process-wide
+//! base seed (`PARSIM_CHAOS_SEED`, default `0xC0FFEE`), a role tag, and a
+//! per-construction sequence number. The *decision* stream — which sends
+//! and receives get perturbed, and how hard — is therefore reproducible
+//! across runs for a fixed seed and construction order, even though the
+//! OS-level interleaving it provokes is not.
+//!
+//! Perturbations are plain `yield_now` bursts placed at the narrowest
+//! windows of the SPSC protocol (between writing a slot and publishing
+//! it, and before a consume), so rare interleavings become common without
+//! changing any observable queue semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Endpoints constructed so far; makes each stream distinct while staying
+/// reproducible for a deterministic construction order.
+static SEQUENCE: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide base seed, read once from `PARSIM_CHAOS_SEED`.
+fn base_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("PARSIM_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC0FFEE)
+    })
+}
+
+/// Deterministic perturbation stream for one queue endpoint.
+#[derive(Debug)]
+pub struct ChaosState {
+    state: u64,
+}
+
+impl ChaosState {
+    /// Creates a stream for the endpoint role named by `tag`.
+    pub fn new(tag: &str) -> ChaosState {
+        // FNV-1a over the role tag, mixed with the base seed and the
+        // construction sequence number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let seq = SEQUENCE.fetch_add(1, Ordering::Relaxed);
+        ChaosState {
+            state: base_seed() ^ h ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// With probability 1/8, yields the thread 1–4 times.
+    pub fn maybe_yield(&mut self) {
+        let r = self.next();
+        if r & 0x7 == 0 {
+            for _ in 0..(1 + ((r >> 3) & 0x3)) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_streams_are_seeded_and_distinct() {
+        let mut a = ChaosState { state: 1 };
+        let mut b = ChaosState { state: 1 };
+        let mut c = ChaosState { state: 2 };
+        let sa: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next()).collect();
+        assert_eq!(sa, sb, "same seed, same decisions");
+        assert_ne!(sa, sc, "different seed, different decisions");
+    }
+
+    #[test]
+    fn maybe_yield_terminates() {
+        let mut s = ChaosState::new("test");
+        for _ in 0..10_000 {
+            s.maybe_yield();
+        }
+    }
+}

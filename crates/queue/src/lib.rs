@@ -23,11 +23,15 @@
 pub mod activation;
 pub mod barrier;
 pub mod central;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod grid;
+pub mod pad;
 pub mod ring;
 pub mod spsc;
 
 pub use activation::ActivationState;
+pub use pad::CachePadded;
 pub use barrier::SpinBarrier;
 pub use central::CentralQueue;
 pub use grid::{grid, GridReceiver, GridSender};

@@ -12,7 +12,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 
 struct RingInner<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,

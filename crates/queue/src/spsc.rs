@@ -17,7 +17,7 @@ use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 
 /// Slots per segment. Large enough to amortize allocation, small enough
 /// that bursty producers don't hoard memory.
@@ -33,8 +33,7 @@ struct Segment<T> {
 impl<T> Segment<T> {
     fn new_raw() -> *mut Segment<T> {
         Box::into_raw(Box::new(Segment {
-            // SAFETY: an array of MaybeUninit does not require initialization.
-            data: unsafe { MaybeUninit::uninit().assume_init() },
+            data: [const { UnsafeCell::new(MaybeUninit::uninit()) }; SEG],
             published: AtomicUsize::new(0),
             next: AtomicPtr::new(ptr::null_mut()),
         }))
@@ -87,6 +86,8 @@ impl<T> Drop for Channel<T> {
 /// ```
 pub struct Sender<T> {
     ch: Arc<Channel<T>>,
+    #[cfg(feature = "chaos")]
+    chaos: crate::chaos::ChaosState,
 }
 
 // SAFETY: moving the unique producer endpoint to another thread is fine for
@@ -98,6 +99,8 @@ unsafe impl<T: Send> Send for Sender<T> {}
 /// Not [`Clone`]: exactly one consumer exists per queue.
 pub struct Receiver<T> {
     ch: Arc<Channel<T>>,
+    #[cfg(feature = "chaos")]
+    chaos: crate::chaos::ChaosState,
 }
 
 unsafe impl<T: Send> Send for Receiver<T> {}
@@ -112,8 +115,14 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     (
         Sender {
             ch: Arc::clone(&ch),
+            #[cfg(feature = "chaos")]
+            chaos: crate::chaos::ChaosState::new("spsc-send"),
         },
-        Receiver { ch },
+        Receiver {
+            ch,
+            #[cfg(feature = "chaos")]
+            chaos: crate::chaos::ChaosState::new("spsc-recv"),
+        },
     )
 }
 
@@ -132,6 +141,12 @@ impl<T> Sender<T> {
                 idx = 0;
             }
             (*(*seg).data[idx].get()).write(value);
+            // Chaos: widen the window between writing a slot and
+            // publishing it, so consumers exercise the not-yet-visible
+            // path that a well-timed preemption would otherwise hit
+            // only rarely.
+            #[cfg(feature = "chaos")]
+            self.chaos.maybe_yield();
             (*seg).published.store(idx + 1, Ordering::Release);
             *cursor = (seg, idx + 1);
         }
@@ -142,6 +157,10 @@ impl<T> Receiver<T> {
     /// Dequeues the oldest value, or `None` if the queue is currently
     /// empty.
     pub fn recv(&mut self) -> Option<T> {
+        // Chaos: occasionally stall the consumer so producer-side
+        // backlogs (and segment-boundary races) are exercised.
+        #[cfg(feature = "chaos")]
+        self.chaos.maybe_yield();
         unsafe {
             loop {
                 let cursor = self.ch.head.get();

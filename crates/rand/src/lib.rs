@@ -1,0 +1,238 @@
+//! Minimal, self-contained stand-in for the `rand` 0.8 API surface the
+//! workspace uses, so builds never depend on registry resolution.
+//!
+//! Only the pieces parsim actually calls are provided: [`rngs::SmallRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] extension
+//! methods `gen`, `gen_range` (over integer `Range`/`RangeInclusive`), and
+//! `gen_bool`. The generator is SplitMix64: deterministic per seed, solid
+//! 64-bit avalanche, and trivially portable — equal seeds produce equal
+//! streams on every platform, which is the only property the circuit
+//! generators and property tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u64` (all supported types fit).
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`; callers guarantee the value fits.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Returns the inclusive `(low, high)` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, T::from_u64(self.end.to_u64() - 1))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo, hi)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an inferable type (integers, `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniformly samples an integer from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = hi.to_u64() - lo.to_u64();
+        if span == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        // Lemire's widening-multiply bounded sample (bias < 2^-64 for the
+        // tiny spans used here; fine for test-data generation).
+        let n = span + 1;
+        let hi128 = ((self.next_u64() as u128) * (n as u128)) >> 64;
+        T::from_u64(lo.to_u64() + hi128 as u64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        // 53 uniform mantissa bits in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::SmallRng;
+    /// use rand::{Rng, SeedableRng};
+    ///
+    /// let mut a = SmallRng::seed_from_u64(7);
+    /// let mut b = SmallRng::seed_from_u64(7);
+    /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    /// let d: u64 = a.gen_range(1..=6);
+    /// assert!((1..=6).contains(&d));
+    /// ```
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..3u8);
+            assert!(v < 3);
+            let w = rng.gen_range(1..=6u64);
+            assert!((1..=6).contains(&w));
+            let u = rng.gen_range(0..17usize);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::new(end)
         .watch_all(cpu.pc.iter().copied())
         .watch_all(cpu.wb_result.iter().copied());
-    let result = EventDriven::run(&cpu.netlist, &config);
+    let result = EventDriven::run(&cpu.netlist, &config).unwrap();
 
     println!("{:>6} {:>8} {:>12}", "cycle", "pc", "writeback");
     for k in 0..cycles {
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Cross-check with the lock-free engine under oversubscription.
-    let par = ChaoticAsync::run(&cpu.netlist, &config.clone().threads(4));
+    let par = ChaoticAsync::run(&cpu.netlist, &config.clone().threads(4)).unwrap();
     parsim::engine::assert_equivalent(&result, &par, "cpu");
     println!("\nsequential and asynchronous engines agree over {} watched nodes ✓", config.watch.len());
     println!("sequential metrics: {}", result.metrics);

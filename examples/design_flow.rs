@@ -66,11 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Prove observability was preserved: identical waveforms on the kept
     // nodes before and after the sweep.
     let end = Time(120);
-    let before = EventDriven::run(&netlist, &SimConfig::new(end).watch_all(keep.clone()));
+    let before = EventDriven::run(&netlist, &SimConfig::new(end).watch_all(keep.clone())).unwrap();
     let after = EventDriven::run(
         &swept.netlist,
         &SimConfig::new(end).watch_all(swept.kept.clone()),
-    );
+    ).unwrap();
     for (orig, new) in keep.iter().zip(&swept.kept) {
         let wb = before.waveform(*orig).expect("watched");
         let wa = after.waveform(*new).expect("watched");

@@ -24,12 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. All four engines agree bit-for-bit (unit-delay circuit).
     let config = SimConfig::new(end).watch_all(arr.taps.iter().copied());
-    let reference = EventDriven::run(&arr.netlist, &config);
+    let reference = EventDriven::run(&arr.netlist, &config).unwrap();
     for threads in [1, 2, 4] {
         let cfg = config.clone().threads(threads);
-        assert_equivalent(&reference, &SyncEventDriven::run(&arr.netlist, &cfg), "sync");
-        assert_equivalent(&reference, &ChaoticAsync::run(&arr.netlist, &cfg), "async");
-        assert_equivalent(&reference, &CompiledMode::run(&arr.netlist, &cfg), "compiled");
+        assert_equivalent(&reference, &SyncEventDriven::run(&arr.netlist, &cfg).unwrap(), "sync");
+        assert_equivalent(&reference, &ChaoticAsync::run(&arr.netlist, &cfg).unwrap(), "async");
+        assert_equivalent(&reference, &CompiledMode::run(&arr.netlist, &cfg).unwrap(), "compiled");
     }
     println!("all four engines agree at 1/2/4 threads ✓\n");
 

@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     watch.extend(circuit.outputs.iter().copied());
     let config = SimConfig::new(Time(200)).watch_all(watch);
 
-    let reference = EventDriven::run(&circuit.netlist, &config);
-    let lock_free = ChaoticAsync::run(&circuit.netlist, &config.clone().threads(2));
+    let reference = EventDriven::run(&circuit.netlist, &config).unwrap();
+    let lock_free = ChaoticAsync::run(&circuit.netlist, &config.clone().threads(2)).unwrap();
     assert_equivalent(&reference, &lock_free, "c17");
 
     println!("{:>6} {:>7} {:>7}", "t", "out 22", "out 23");

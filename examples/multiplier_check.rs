@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::new(m.schedule_end())
         .watch_all(m.product.iter().copied())
         .threads(4);
-    let result = ChaoticAsync::run(&m.netlist, &config);
+    let result = ChaoticAsync::run(&m.netlist, &config).unwrap();
 
     println!("{:>5} x {:>5} = {:>7}  (simulated)", "a", "b", "p");
     let mut failures = 0;

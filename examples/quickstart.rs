@@ -40,9 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::new(Time(100)).watch(q0).watch(q1).watch(clk);
 
     // The sequential reference engine...
-    let reference = EventDriven::run(&netlist, &config);
+    let reference = EventDriven::run(&netlist, &config).unwrap();
     // ...and the paper's lock-free asynchronous engine on two threads.
-    let lock_free = ChaoticAsync::run(&netlist, &config.clone().threads(2));
+    let lock_free = ChaoticAsync::run(&netlist, &config.clone().threads(2)).unwrap();
     assert_equivalent(&reference, &lock_free, "quickstart");
 
     println!("counter value over time (q1 q0):");

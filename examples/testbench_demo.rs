@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tb.drive("cin", &[(0, Value::bit(false)), (10, Value::bit(true))])?;
 
     // Run on the lock-free engine with two threads.
-    let run = tb.run_async(Time(40), 2);
+    let run = tb.run_async(Time(40), 2)?;
 
     // Assert outcomes one settle-time after each vector.
     let checks = [

@@ -46,7 +46,7 @@
 //! let netlist = b.finish()?;
 //!
 //! let config = SimConfig::new(Time(40)).watch(out);
-//! let result = EventDriven::run(&netlist, &config);
+//! let result = EventDriven::run(&netlist, &config)?;
 //! assert!(result.waveform(out).unwrap().changes().len() > 2);
 //! # Ok(())
 //! # }
@@ -63,7 +63,7 @@
 /// b.element("osc", ElementKind::Clock { half_period: 2, offset: 2 },
 ///           Delay(1), &[], &[clk])?;
 /// let n = b.finish()?;
-/// let r = EventDriven::run(&n, &SimConfig::new(Time(10)).watch(clk));
+/// let r = EventDriven::run(&n, &SimConfig::new(Time(10)).watch(clk))?;
 /// assert!(r.waveform(clk).is_some());
 /// # Ok(())
 /// # }
@@ -71,8 +71,8 @@
 pub mod prelude {
     pub use parsim_core::{
         assert_equivalent, ActivityReport, ChaoticAsync, CompiledMode, EventDriven,
-        SimConfig, SimResult, SyncEventDriven, TestBench, TestRun, Waveform,
-        WaveformStats,
+        FaultPlan, SimConfig, SimError, SimResult, SyncEventDriven, TestBench, TestRun,
+        Waveform, WaveformStats,
     };
     pub use parsim_logic::{Bit, Delay, ElementKind, Time, Value};
     pub use parsim_netlist::{Builder, ElemId, Netlist, NetlistStats, NodeId};

@@ -27,7 +27,7 @@ fn model_trace_matches_real_engine_counts() {
         ("cpu", &cpu.netlist, Time(400)),
     ];
     for (name, netlist, end) in cases {
-        let real = EventDriven::run(netlist, &SimConfig::new(end));
+        let real = EventDriven::run(netlist, &SimConfig::new(end)).unwrap();
         let trace = trace_execution(netlist, end);
         assert_eq!(
             real.metrics.events_processed, trace.total_events,
@@ -45,7 +45,7 @@ fn model_trace_matches_real_engine_counts() {
 fn async_model_event_count_matches_engine() {
     let arr = inverter_array(8, 8, 1).unwrap();
     let end = Time(120);
-    let engine = ChaoticAsync::run(&arr.netlist, &SimConfig::new(end));
+    let engine = ChaoticAsync::run(&arr.netlist, &SimConfig::new(end)).unwrap();
     let model = model_async(&arr.netlist, end, &MachineConfig::multimax(1));
     assert_eq!(engine.metrics.events_processed, model.events);
 }
@@ -72,8 +72,8 @@ fn text_round_trip_preserves_behavior() {
         // Watch every node (ids are preserved by the round trip).
         let watch: Vec<_> = netlist.iter_nodes().map(|(id, _)| id).collect();
         let cfg = SimConfig::new(end).watch_all(watch);
-        let a = EventDriven::run(netlist, &cfg);
-        let b = EventDriven::run(&reparsed, &cfg);
+        let a = EventDriven::run(netlist, &cfg).unwrap();
+        let b = EventDriven::run(&reparsed, &cfg).unwrap();
         assert_equivalent(&a, &b, name);
     }
 }
@@ -86,11 +86,11 @@ fn headline_story() {
     let m = gate_multiplier(8, &[(123, 231), (255, 1)], 160).unwrap();
     let end = m.schedule_end();
     let cfg = SimConfig::new(end).watch_all(m.product.iter().copied());
-    let seq = EventDriven::run(&m.netlist, &cfg);
+    let seq = EventDriven::run(&m.netlist, &cfg).unwrap();
     let cfg4 = cfg.clone().threads(4);
-    assert_equivalent(&seq, &SyncEventDriven::run(&m.netlist, &cfg4), "sync");
-    assert_equivalent(&seq, &ChaoticAsync::run(&m.netlist, &cfg4), "async");
-    assert_equivalent(&seq, &CompiledMode::run(&m.netlist, &cfg4), "compiled");
+    assert_equivalent(&seq, &SyncEventDriven::run(&m.netlist, &cfg4).unwrap(), "sync");
+    assert_equivalent(&seq, &ChaoticAsync::run(&m.netlist, &cfg4).unwrap(), "async");
+    assert_equivalent(&seq, &CompiledMode::run(&m.netlist, &cfg4).unwrap(), "compiled");
 
     // Products are numerically correct.
     assert_eq!(
@@ -136,7 +136,7 @@ fn modeled_uniproc_ratio_in_paper_band() {
 fn vcd_export_is_well_formed() {
     let arr = inverter_array(2, 2, 1).unwrap();
     let cfg = SimConfig::new(Time(20)).watch_all(arr.taps.iter().copied());
-    let r = ChaoticAsync::run(&arr.netlist, &cfg.threads(2));
+    let r = ChaoticAsync::run(&arr.netlist, &cfg.threads(2)).unwrap();
     let vcd = r.to_vcd();
     assert!(vcd.contains("$timescale"));
     assert!(vcd.contains("$enddefinitions"));
