@@ -604,6 +604,8 @@ impl ChaoticAsync {
             events_per_step: Default::default(),
             per_thread,
             gc_chunks_freed: ctx.chunks_freed.load(Ordering::Relaxed),
+            blocks_skipped: 0,
+            evals_skipped: 0,
             wall: start.elapsed(),
         };
         Ok(SimResult::from_changes(
@@ -650,6 +652,12 @@ unsafe fn run_element(
         .unwrap_or(ctx.end);
 
     // ---- replay every input event at or before min_valid ------------------
+    // Allocation invariant: this loop is allocation-free in steady state.
+    // Input replay reuses the pre-sized `run.cursors` / `run.cur_vals`,
+    // `evaluate` returns the stack-only `Outputs` (and `Value::resolve` is
+    // pure bit-plane arithmetic with no temporaries), and `Node::push`
+    // appends into chunked arenas whose growth is amortized. Keep it that
+    // way: never construct a `Vec` per activation here.
     loop {
         let mut t_next = u64::MAX;
         for (i, &(node, _)) in meta.inputs.iter().enumerate() {

@@ -12,34 +12,73 @@
 //! is a different (coarser) timing model — exactly the trade-off the
 //! paper discusses.
 //!
-//! Shared-state discipline: node values are written only by the unique
-//! driving thread (plus thread 0 for generator nodes) during the *apply*
-//! phase and read by everyone during the *evaluate* phase; a
-//! [`SpinBarrier`] separates the phases.
+//! Since PR 2 the engine no longer walks `Element` structs: the netlist is
+//! lowered once by [`CompiledProgram`] into a level-major instruction
+//! stream (dense opcodes + slot indices), and two executors run that
+//! stream — a scalar one ([`CompiledMode::run`]) and a word-parallel one
+//! packing up to 64 independent stimulus lanes into bit-plane words
+//! ([`CompiledMode::run_batch`]). Both gate work with per-block dirty
+//! bitmasks unless [`SimConfig::without_activity_gating`] is set; skipped
+//! work is reported in [`Metrics::blocks_skipped`] /
+//! [`Metrics::evals_skipped`](crate::Metrics::evals_skipped).
+//!
+//! [`CompiledProgram`]: parsim_netlist::compile::CompiledProgram
+//! [`Metrics::blocks_skipped`]: crate::Metrics::blocks_skipped
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-use parsim_logic::{evaluate, expand_generator, ElemState, Time, Value};
-use parsim_netlist::partition::{element_costs, lpt, Partition};
+use parsim_logic::{Time, Value};
+use parsim_netlist::compile::CompiledProgram;
+use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
-use parsim_queue::SpinBarrier;
 
 use crate::config::SimConfig;
-use crate::error::{SimError, StallDiagnostic};
-use crate::fault::FaultAction;
-use crate::metrics::{Metrics, ThreadMetrics};
-use crate::shared::SharedSlice;
-use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
+use crate::error::SimError;
+use crate::kernel;
+use crate::metrics::Metrics;
 use crate::waveform::SimResult;
 
-/// Engine tag used in [`SimError`] values.
-const ENGINE: &str = "compiled-mode";
+/// One lane's stimulus for [`CompiledMode::run_batch`]: per-node schedule
+/// overrides applied on top of the netlist's own generators.
+///
+/// Each override replaces the named node's generator schedule (or drives an
+/// undriven node) *for that lane only*; nodes without an override follow
+/// the netlist's base generators in every lane. Schedules are `(time,
+/// value)` pairs, strictly increasing in time, each value the node's width.
+#[derive(Debug, Clone, Default)]
+pub struct LaneStimulus {
+    /// `(node, schedule)` pairs; the schedule fully replaces the node's
+    /// base generator for this lane.
+    pub overrides: Vec<(NodeId, Vec<(Time, Value)>)>,
+}
 
-/// Per-worker results: recorded waveform changes plus timing counters.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+impl LaneStimulus {
+    /// A lane that follows the netlist's base generators unchanged.
+    pub fn base() -> LaneStimulus {
+        LaneStimulus::default()
+    }
+
+    /// Adds one node override (builder style).
+    #[must_use]
+    pub fn drive(mut self, node: NodeId, schedule: Vec<(Time, Value)>) -> LaneStimulus {
+        self.overrides.push((node, schedule));
+        self
+    }
+}
+
+/// Result of a [`CompiledMode::run_batch`] call: one [`SimResult`] per
+/// stimulus lane plus the aggregate metrics of the packed run.
+///
+/// `lanes[i]` holds lane `i`'s waveforms, bit-identical to a scalar run of
+/// that lane's stimulus. Each lane's embedded `metrics` is a copy of the
+/// batch-wide [`BatchResult::metrics`] (word-parallel execution has no
+/// per-lane cost breakdown), where `evaluations` counts *word* instruction
+/// executions — each covering all 64 lanes at once.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-lane simulation results, in stimulus order.
+    pub lanes: Vec<SimResult>,
+    /// Aggregate metrics for the whole packed run.
+    pub metrics: Metrics,
+}
 
 /// The parallel compiled-mode simulator.
 ///
@@ -66,19 +105,33 @@ type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
 pub struct CompiledMode;
 
 impl CompiledMode {
-    /// Runs with an LPT (cost-balanced) static partition over
-    /// `config.threads` processors.
+    /// Runs with the compiled program's own level-aware LPT partition:
+    /// instruction costs are balanced across `config.threads` processors
+    /// *within each level bucket*, so no thread sits idle at the step
+    /// barrier while another finishes a deep level.
     ///
     /// # Errors
     ///
     /// See [`CompiledMode::run_with_partition`].
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
-        let partition = lpt(&element_costs(netlist), config.threads);
-        Self::run_with_partition(netlist, config, &partition)
+        let prog = CompiledProgram::compile(netlist);
+        let partition = prog.level_partition(config.threads);
+        kernel::scalar::run(netlist, config, &prog, &partition)
     }
 
     /// Runs with a caller-chosen static partition (the paper's §3
     /// load-balance experiments vary this).
+    ///
+    /// Any partition of the elements is *correct*, including ones whose
+    /// parts cross level boundaries (e.g. [`round_robin`]): compiled mode
+    /// double-buffers node values (outputs land in a pending set applied
+    /// only after the step barrier), so within a step the order in which
+    /// instructions are evaluated — and therefore which thread owns which
+    /// level — cannot affect waveforms. The instruction stream being
+    /// level-major is purely a locality/gating layout choice. Partition
+    /// choice affects load balance only.
+    ///
+    /// [`round_robin`]: parsim_netlist::partition::round_robin
     ///
     /// # Errors
     ///
@@ -94,279 +147,41 @@ impl CompiledMode {
         config: &SimConfig,
         partition: &Partition,
     ) -> Result<SimResult, SimError> {
-        if partition.parts() != config.threads {
-            return Err(SimError::InvalidConfig {
-                reason: format!(
-                    "partition parts must equal thread count ({} != {})",
-                    partition.parts(),
-                    config.threads
-                ),
-            });
-        }
-        if partition.assignment().len() != netlist.num_elements() {
-            return Err(SimError::InvalidConfig {
-                reason: format!(
-                    "partition does not match netlist ({} elements != {})",
-                    partition.assignment().len(),
-                    netlist.num_elements()
-                ),
-            });
-        }
-        let start = Instant::now();
-        let end = config.end_time.ticks();
-        let threads = config.threads;
+        let prog = CompiledProgram::compile(netlist);
+        kernel::scalar::run(netlist, config, &prog, partition)
+    }
 
-        let mut watched = vec![false; netlist.num_nodes()];
-        for &n in &config.watch {
-            watched[n.index()] = true;
-        }
-        let watched = &watched;
-
-        // Generator schedule, applied by thread 0 (generators are excluded
-        // from the evaluation sweep).
-        let mut gen_events: BTreeMap<u64, Vec<(usize, Value)>> = BTreeMap::new();
-        for gen in netlist.generators() {
-            let e = netlist.element(gen);
-            let out = e.outputs()[0].index();
-            for (t, v) in expand_generator(e.kind(), Time(end)) {
-                gen_events.entry(t.ticks()).or_default().push((out, v));
-            }
-        }
-        let gen_events = &gen_events;
-
-        // Shared node values: written single-writer during apply phases.
-        let values: SharedSlice<Value> = SharedSlice::new(
-            netlist
-                .nodes()
-                .iter()
-                .map(|n| Value::x(n.width()))
-                .collect(),
-        );
-        let values = &values;
-        // Per-element state: touched only by the owning thread.
-        let states: SharedSlice<ElemState> = SharedSlice::new(
-            netlist
-                .elements()
-                .iter()
-                .map(|e| ElemState::init(e.kind()))
-                .collect(),
-        );
-        let states = &states;
-
-        let barrier = Arc::new(SpinBarrier::new(threads));
-        let containment = Containment::new(threads);
-        let watchdog = {
-            let b = Arc::clone(&barrier);
-            Watchdog::spawn(
-                &containment,
-                config.deadline,
-                config.stall_timeout,
-                move || b.poison(),
-            )
-        };
-        let barrier = &barrier;
-        // Cooperative cancellation: thread 0 copies the cancel flag into
-        // `stop` during the apply phase, and everyone samples `stop` after
-        // the following barrier — so all threads break at the same step.
-        let stop = AtomicBool::new(false);
-        let stop = &stop;
-        // Last step thread 0 started, for the stall diagnostic.
-        let cur_step = AtomicU64::new(0);
-        let cur_step = &cur_step;
-
-        let my_elems: Vec<Vec<usize>> = (0..threads)
-            .map(|p| {
-                partition
-                    .members(p)
-                    .into_iter()
-                    .filter(|&e| !netlist.elements()[e].kind().is_generator())
-                    .collect()
-            })
-            .collect();
-        let my_elems = &my_elems;
-
-        let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|p| {
-                    let cont = &containment;
-                    let fault = config.fault.clone();
-                    scope.spawn(move || {
-                        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
-                        let mut tm = ThreadMetrics::default();
-                        let mut pending: Vec<(usize, Value)> = Vec::new();
-                        let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
-                        let mut processed = 0u64;
-                        'run: for t in 0..=end {
-                            cont.beat(p);
-                            if p == 0 {
-                                cur_step.store(t, Ordering::Relaxed);
-                                if cont.cancelled() {
-                                    stop.store(true, Ordering::Release);
-                                }
-                            }
-                            let busy_start = Instant::now();
-                            // ---- apply phase ----------------------------
-                            for &(node, v) in &pending {
-                                // SAFETY: single writer per node (driver
-                                // thread), phases separated by barriers.
-                                unsafe { *values.get_mut(node) = v };
-                                tm.events += 1;
-                                if watched[node] {
-                                    changes.push((Time(t), NodeId::from_index(node), v));
-                                }
-                            }
-                            pending.clear();
-                            if p == 0 {
-                                if let Some(evs) = gen_events.get(&t) {
-                                    for &(node, v) in evs {
-                                        // SAFETY: generator nodes are only
-                                        // written here, by thread 0.
-                                        let slot = unsafe { values.get_mut(node) };
-                                        if *slot != v {
-                                            *slot = v;
-                                            tm.events += 1;
-                                            if watched[node] {
-                                                changes.push((
-                                                    Time(t),
-                                                    NodeId::from_index(node),
-                                                    v,
-                                                ));
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            tm.busy += busy_start.elapsed();
-                            let wait_start = Instant::now();
-                            barrier.wait();
-                            tm.idle += wait_start.elapsed();
-                            // All threads observe the same `stop` value
-                            // here (set before the barrier), so they break
-                            // at the same step.
-                            if barrier.is_poisoned() || stop.load(Ordering::Acquire) {
-                                break 'run;
-                            }
-
-                            // ---- evaluate phase -------------------------
-                            let busy_start = Instant::now();
-                            if t < end {
-                                for &e in &my_elems[p] {
-                                    if let FaultAction::Exit =
-                                        fault.check(p, processed, cont.cancel_flag())
-                                    {
-                                        // Only reached after cancellation,
-                                        // which always poisons the barrier,
-                                        // so peers are not left waiting.
-                                        break 'run;
-                                    }
-                                    processed += 1;
-                                    cont.beat(p);
-                                    let elem = &netlist.elements()[e];
-                                    inputs_buf.clear();
-                                    for &inp in elem.inputs() {
-                                        // SAFETY: read-only phase.
-                                        inputs_buf.push(unsafe { *values.get(inp.index()) });
-                                    }
-                                    // SAFETY: element owned by this thread.
-                                    let state = unsafe { states.get_mut(e) };
-                                    let out = evaluate(elem.kind(), &inputs_buf, state);
-                                    tm.evaluations += 1;
-                                    for (port, v) in out.iter() {
-                                        let out_node = elem.outputs()[port].index();
-                                        // SAFETY: reading a node this thread
-                                        // exclusively writes.
-                                        if unsafe { *values.get(out_node) } != v {
-                                            pending.push((out_node, v));
-                                        }
-                                    }
-                                }
-                            }
-                            tm.busy += busy_start.elapsed();
-                            let wait_start = Instant::now();
-                            barrier.wait();
-                            tm.idle += wait_start.elapsed();
-                            if barrier.is_poisoned() {
-                                break 'run;
-                            }
-                        }
-                        (changes, tm)
-                        }));
-                        match body {
-                            Ok(out) => Some(out),
-                            Err(payload) => {
-                                cont.record_panic(p, payload);
-                                barrier.poison();
-                                None
-                            }
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                outputs.push(h.join().unwrap_or_default());
-            }
-        });
-        if let Some(w) = watchdog {
-            w.finish();
-        }
-
-        if let Some((worker, payload)) = containment.take_panic() {
-            return Err(SimError::WorkerPanicked {
-                engine: ENGINE,
-                worker,
-                payload,
-            });
-        }
-        if let Some(verdict) = containment.take_verdict() {
-            let diagnostic = Box::new(StallDiagnostic {
-                heartbeats: containment.heartbeat_snapshot(),
-                sim_time: Some(Time(cur_step.load(Ordering::Relaxed))),
-                ..StallDiagnostic::default()
-            });
-            return Err(match verdict {
-                WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
-                    engine: ENGINE,
-                    stalled_for,
-                    diagnostic,
-                },
-                WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
-                    engine: ENGINE,
-                    deadline,
-                    diagnostic,
-                },
-            });
-        }
-
-        let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
-        let mut changes = Vec::new();
-        let mut per_thread = Vec::with_capacity(threads);
-        let mut events_processed = 0;
-        let mut evaluations = 0;
-        for (c, tm) in outputs {
-            events_processed += tm.events;
-            evaluations += tm.evaluations;
-            changes.extend(c);
-            per_thread.push(tm);
-        }
-        let metrics = Metrics {
-            events_processed,
-            evaluations,
-            activations: evaluations, // every element "activated" each step
-            time_steps: end + 1,
-            events_per_step: Default::default(),
-            per_thread,
-            gc_chunks_freed: 0,
-            wall: start.elapsed(),
-        };
-        Ok(SimResult::from_changes(
-            netlist,
-            config.end_time,
-            &config.watch,
-            changes,
-            metrics,
-        ))
+    /// Runs up to 64 stimulus sets in one word-parallel pass.
+    ///
+    /// Each lane is an independent simulation of the same netlist:
+    /// `stimuli[i]` describes lane `i` as per-node schedule overrides on
+    /// top of the base generators (see [`LaneStimulus`]). Node values are
+    /// stored as two bit-plane words per node bit — lane `i` lives in bit
+    /// `i` — so one AND instruction evaluates a gate for all lanes at
+    /// once. Lanes' waveforms are extracted separately and are
+    /// bit-identical to running each stimulus through the scalar engine.
+    ///
+    /// Activity gating and the containment machinery (watchdog, fault
+    /// plan, barrier poisoning) behave exactly as in
+    /// [`CompiledMode::run`]. In the returned metrics, `evaluations`
+    /// counts word instruction executions (all lanes at once) and
+    /// `events_processed` counts per-lane value changes.
+    ///
+    /// # Errors
+    ///
+    /// All of [`CompiledMode::run_with_partition`]'s errors, plus
+    /// [`SimError::InvalidConfig`] when `stimuli` is empty or longer than
+    /// 64, an override targets an unknown or non-generator-driven node,
+    /// a schedule is empty, not strictly increasing in time, or
+    /// width-mismatched, or a lane overrides the same node twice.
+    pub fn run_batch(
+        netlist: &Netlist,
+        config: &SimConfig,
+        stimuli: &[LaneStimulus],
+    ) -> Result<BatchResult, SimError> {
+        let prog = CompiledProgram::compile(netlist);
+        let partition = prog.level_partition(config.threads);
+        kernel::packed::run_batch(netlist, config, &prog, &partition, stimuli)
     }
 }
 
@@ -469,14 +284,49 @@ mod tests {
         assert_equivalent(&a, &c, "partition choice");
     }
 
+    /// Regression: a round-robin partition deliberately scatters each
+    /// level's elements across threads, so parts cross level boundaries.
+    /// Double-buffered apply/evaluate phases must keep waveforms identical
+    /// anyway (see the `run_with_partition` docs).
+    #[test]
+    fn level_crossing_partition_stays_correct() {
+        let (n, watch) = clocked_chain(9);
+        let cfg = SimConfig::new(Time(50)).watch_all(watch).threads(3);
+        let part = round_robin(n.num_elements(), 3);
+        let c = CompiledMode::run_with_partition(&n, &cfg, &part).unwrap();
+        // Compare against the event-driven oracle on the watched set.
+        let oracle = EventDriven::run(&n, &cfg).unwrap();
+        assert_equivalent(&oracle, &c, "level-crossing partition");
+    }
+
     #[test]
     fn evaluations_count_every_element_every_step() {
         let (n, watch) = clocked_chain(4);
-        let cfg = SimConfig::new(Time(10)).watch_all(watch);
-        let r = CompiledMode::run(&n, &cfg).unwrap();
-        // 4 inverters (clock generator excluded) * 10 eval steps.
+        // With gating off, the paper's literal behavior: 4 inverters
+        // (clock generator excluded) * 10 eval steps.
+        let ungated = SimConfig::new(Time(10))
+            .watch_all(watch.clone())
+            .without_activity_gating();
+        let r = CompiledMode::run(&n, &ungated).unwrap();
         assert_eq!(r.metrics.evaluations, 4 * 10);
+        assert_eq!(r.metrics.evals_skipped, 0);
         assert_eq!(r.metrics.time_steps, 11);
+        // With gating on, evaluated + skipped still accounts for every
+        // element every step — work is elided, never lost track of.
+        let gated = SimConfig::new(Time(10)).watch_all(watch);
+        let g = CompiledMode::run(&n, &gated).unwrap();
+        assert_eq!(g.metrics.evaluations + g.metrics.evals_skipped, 4 * 10);
+        assert_eq!(g.metrics.time_steps, 11);
+    }
+
+    #[test]
+    fn gated_and_ungated_waveforms_match() {
+        let (n, watch) = clocked_chain(7);
+        let cfg = SimConfig::new(Time(60)).watch_all(watch).threads(2);
+        let gated = CompiledMode::run(&n, &cfg).unwrap();
+        let ungated =
+            CompiledMode::run(&n, &cfg.clone().without_activity_gating()).unwrap();
+        assert_equivalent(&gated, &ungated, "gating on/off");
     }
 
     #[test]
@@ -491,5 +341,50 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other}"),
         }
+    }
+
+    #[test]
+    fn batch_base_lanes_match_scalar_run() {
+        let (n, watch) = clocked_chain(5);
+        let cfg = SimConfig::new(Time(40)).watch_all(watch).threads(2);
+        let scalar = CompiledMode::run(&n, &cfg).unwrap();
+        let batch = CompiledMode::run_batch(
+            &n,
+            &cfg,
+            &[LaneStimulus::base(), LaneStimulus::base(), LaneStimulus::base()],
+        )
+        .unwrap();
+        assert_eq!(batch.lanes.len(), 3);
+        for (i, lane) in batch.lanes.iter().enumerate() {
+            assert_equivalent(&scalar, lane, &format!("batch lane {i}"));
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_stimuli() {
+        let (n, _) = clocked_chain(2);
+        let cfg = SimConfig::new(Time(5));
+        // Empty batch.
+        assert!(matches!(
+            CompiledMode::run_batch(&n, &cfg, &[]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // Override of a gate-driven node.
+        let driven = n.node_by_name("n0").unwrap();
+        let stim = LaneStimulus::base().drive(driven, vec![(Time(0), Value::zero(1))]);
+        assert!(matches!(
+            CompiledMode::run_batch(&n, &cfg, &[stim]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // Non-increasing schedule on the clock node.
+        let clk = n.node_by_name("clk").unwrap();
+        let stim = LaneStimulus::base().drive(
+            clk,
+            vec![(Time(3), Value::zero(1)), (Time(3), Value::ones(1))],
+        );
+        assert!(matches!(
+            CompiledMode::run_batch(&n, &cfg, &[stim]),
+            Err(SimError::InvalidConfig { .. })
+        ));
     }
 }

@@ -55,6 +55,13 @@ pub struct SimConfig {
     /// Deterministic fault injection (see [`FaultPlan`]). Empty by
     /// default.
     pub fault: FaultPlan,
+    /// Compiled-mode activity gating: skip kernel blocks whose inputs did
+    /// not change since their last evaluation. On by default; never
+    /// changes waveforms, only the amount of redundant work (and the
+    /// `evaluations` metric). Disable with
+    /// [`SimConfig::without_activity_gating`] to reproduce the paper's
+    /// literal "every element is executed every time step" behavior.
+    pub activity_gating: bool,
 }
 
 impl SimConfig {
@@ -71,6 +78,7 @@ impl SimConfig {
             deadline: None,
             stall_timeout: None,
             fault: FaultPlan::default(),
+            activity_gating: true,
         }
     }
 
@@ -183,6 +191,14 @@ impl SimConfig {
         self.fault = fault;
         self
     }
+
+    /// Disables compiled-mode activity gating, re-evaluating every element
+    /// every step like the paper's §3 engine.
+    #[must_use]
+    pub fn without_activity_gating(mut self) -> SimConfig {
+        self.activity_gating = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -199,13 +215,16 @@ mod tests {
             .threads(3)
             .without_lookahead()
             .without_gc()
-            .with_timing_wheel();
+            .with_timing_wheel()
+            .without_activity_gating();
         assert_eq!(cfg.end_time, Time(5));
         assert_eq!(cfg.watch, vec![n0, n1]);
         assert_eq!(cfg.threads, 3);
         assert!(!cfg.lookahead);
         assert!(!cfg.gc);
         assert!(cfg.timing_wheel);
+        assert!(!cfg.activity_gating);
+        assert!(SimConfig::new(Time(5)).activity_gating);
     }
 
     #[test]

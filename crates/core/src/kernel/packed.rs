@@ -1,0 +1,629 @@
+//! Word-parallel (64-lane) executor for the compiled instruction stream.
+//!
+//! Node values live as bit-plane words ([`Lanes`]): one word pair per node
+//! bit, one *independent simulation* per lane. Gates, muxes, flip-flops,
+//! latches, and tri-states evaluate natively as word-wide boolean algebra
+//! (see [`parsim_logic::packed`]); the remaining RTL ops (adders, memories,
+//! resolvers, …) fall back to the scalar evaluator lane by lane, so every
+//! element kind is supported and every lane stays bit-identical to a
+//! scalar run of that lane's stimulus.
+//!
+//! Threading, barriers, activity gating, watchdog and fault containment
+//! mirror the scalar executor exactly; see `kernel/scalar.rs`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parsim_logic::packed::{
+    self, changed_mask, dff, dffr, fold_and, fold_or, fold_xor, gather, latch, load_logic, mux,
+    not_inplace, tribuf, Lanes,
+};
+use parsim_logic::{evaluate, expand_generator, ElemState, ElementKind, Time, Value};
+use parsim_netlist::compile::{CompiledProgram, Opcode};
+use parsim_netlist::partition::Partition;
+use parsim_netlist::{Netlist, NodeId};
+use parsim_queue::SpinBarrier;
+
+use crate::compiled::{BatchResult, LaneStimulus};
+use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
+use crate::fault::FaultAction;
+use crate::kernel::{validate_partition, DirtyMask, ExecPlan};
+use crate::metrics::{Metrics, ThreadMetrics};
+use crate::shared::SharedSlice;
+use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
+use crate::waveform::SimResult;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "compiled-mode";
+
+/// Per-worker results: per-lane waveform changes, timing counters, skip
+/// counters.
+type WorkerOutput = (Vec<(u32, Time, NodeId, Value)>, ThreadMetrics, u64, u64);
+
+/// One generator write: `data` is applied to `slot` in the lanes of `mask`.
+struct GenWrite {
+    slot: u32,
+    mask: u64,
+    data: Vec<Lanes>,
+}
+
+fn invalid(reason: String) -> SimError {
+    SimError::InvalidConfig { reason }
+}
+
+/// Runs the packed batch kernel over up to 64 stimulus lanes.
+pub(crate) fn run_batch(
+    netlist: &Netlist,
+    config: &SimConfig,
+    prog: &CompiledProgram,
+    partition: &Partition,
+    stimuli: &[LaneStimulus],
+) -> Result<BatchResult, SimError> {
+    validate_partition(netlist, config, partition)?;
+    let lanes = stimuli.len();
+    if lanes == 0 || lanes > 64 {
+        return Err(invalid(format!(
+            "run_batch requires 1..=64 stimulus lanes (got {lanes})"
+        )));
+    }
+    let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+    let start = Instant::now();
+    let end = config.end_time.ticks();
+    let threads = config.threads;
+    let gating = config.activity_gating;
+
+    // ---- lane stimulus validation + generator schedule ------------------
+    // `overridden[slot]` = lanes whose stimulus replaces that slot's base
+    // generator schedule.
+    let mut overridden: HashMap<u32, u64> = HashMap::new();
+    for (l, stim) in stimuli.iter().enumerate() {
+        for (node, schedule) in &stim.overrides {
+            if node.index() >= netlist.num_nodes() {
+                return Err(invalid(format!(
+                    "lane {l} override targets unknown node index {}",
+                    node.index()
+                )));
+            }
+            let n = netlist.node(*node);
+            if let Some((drv, _)) = n.driver() {
+                if !netlist.element(drv).kind().is_generator() {
+                    return Err(invalid(format!(
+                        "lane {l} override targets node '{}', which is driven by \
+                         non-generator element '{}'",
+                        n.name(),
+                        netlist.element(drv).name()
+                    )));
+                }
+            }
+            if schedule.is_empty() {
+                return Err(invalid(format!(
+                    "lane {l} override for node '{}' has an empty schedule",
+                    n.name()
+                )));
+            }
+            if !schedule.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(invalid(format!(
+                    "lane {l} override for node '{}' is not strictly increasing in time",
+                    n.name()
+                )));
+            }
+            if let Some((_, v)) = schedule.iter().find(|(_, v)| v.width() != n.width()) {
+                return Err(invalid(format!(
+                    "lane {l} override for node '{}' has width {} (node is {})",
+                    n.name(),
+                    v.width(),
+                    n.width()
+                )));
+            }
+            let slot = prog.slot_of(*node);
+            let seen = overridden.entry(slot).or_insert(0);
+            if *seen & (1 << l) != 0 {
+                return Err(invalid(format!(
+                    "lane {l} overrides node '{}' twice",
+                    n.name()
+                )));
+            }
+            *seen |= 1 << l;
+        }
+    }
+
+    // Merge base generator schedules (lanes without an override) and the
+    // per-lane override schedules into masked packed writes per time step.
+    let mut sched: BTreeMap<u64, BTreeMap<u32, (u64, Vec<Lanes>)>> = BTreeMap::new();
+    let mut add = |t: u64, slot: u32, mask: u64, v: &Value| {
+        let w = prog.slot_width(slot) as usize;
+        let entry = sched
+            .entry(t)
+            .or_default()
+            .entry(slot)
+            .or_insert_with(|| (0u64, vec![Lanes::ZERO; w]));
+        entry.0 |= mask;
+        let (a, b) = v.to_planes();
+        for (i, word) in entry.1.iter_mut().enumerate() {
+            let la = if (a >> i) & 1 == 1 { mask } else { 0 };
+            let lb = if (b >> i) & 1 == 1 { mask } else { 0 };
+            word.a = (word.a & !mask) | la;
+            word.b = (word.b & !mask) | lb;
+        }
+    };
+    for gen in netlist.generators() {
+        let e = netlist.element(gen);
+        let slot = prog.slot_of(e.outputs()[0]);
+        // Unused lanes (>= `lanes`) follow the base schedule too, keeping
+        // every lane's values well-defined.
+        let base_mask = !overridden.get(&slot).copied().unwrap_or(0);
+        if base_mask == 0 {
+            continue;
+        }
+        for (t, v) in expand_generator(e.kind(), Time(end)) {
+            add(t.ticks(), slot, base_mask, &v);
+        }
+    }
+    for (l, stim) in stimuli.iter().enumerate() {
+        for (node, schedule) in &stim.overrides {
+            let slot = prog.slot_of(*node);
+            // Route through the Vector generator expansion so a lane's
+            // trajectory is exactly what a netlist with a `Vector` driver
+            // would produce (the per-lane equivalence oracle).
+            let changes: Arc<[(u64, Value)]> = schedule
+                .iter()
+                .map(|&(t, v)| (t.ticks(), v))
+                .collect::<Vec<_>>()
+                .into();
+            let vector = ElementKind::Vector { changes };
+            for (t, v) in expand_generator(&vector, Time(end)) {
+                add(t.ticks(), slot, 1 << l, &v);
+            }
+        }
+    }
+    let gen_writes: BTreeMap<u64, Vec<GenWrite>> = sched
+        .into_iter()
+        .map(|(t, slots)| {
+            (
+                t,
+                slots
+                    .into_iter()
+                    .map(|(slot, (mask, data))| GenWrite { slot, mask, data })
+                    .collect(),
+            )
+        })
+        .collect();
+    let gen_writes = &gen_writes;
+
+    // ---- execution state -------------------------------------------------
+    let plan = ExecPlan::build(prog, partition);
+    let plan = &plan;
+
+    let mut watched = vec![false; prog.num_slots()];
+    for &n in &config.watch {
+        watched[prog.slot_of(n) as usize] = true;
+    }
+    let watched = &watched;
+
+    // Packed slot values: a flat bit-plane arena, `slot_offset(s)..+width`
+    // per slot. Written single-writer during apply phases.
+    let values: SharedSlice<Lanes> =
+        SharedSlice::from_fn(prog.total_bits().max(1), |_| Lanes::X);
+    let values = &values;
+
+    // Native sequential state (q planes, plus last_clk for edge ops) lives
+    // in its own arena, touched only by the owning thread.
+    let mut state_offset: Vec<u32> = Vec::with_capacity(prog.num_insns() + 1);
+    let mut state_len = 0u32;
+    let mut max_out_bits = 1usize;
+    for i in 0..prog.num_insns() {
+        state_offset.push(state_len);
+        let w = u32::from(prog.width(i));
+        match prog.opcode(i) {
+            Opcode::Dff | Opcode::DffR => state_len += w + 1,
+            Opcode::Latch => state_len += w,
+            _ => {}
+        }
+        let out_bits: usize = prog
+            .outputs(i)
+            .iter()
+            .map(|&s| prog.slot_width(s) as usize)
+            .sum();
+        max_out_bits = max_out_bits.max(out_bits);
+    }
+    state_offset.push(state_len);
+    let state_offset = &state_offset;
+    let nat_state: SharedSlice<Lanes> =
+        SharedSlice::from_fn(state_len.max(1) as usize, |_| Lanes::X);
+    let nat_state = &nat_state;
+    // Per-lane scalar states for fallback instructions (empty for native).
+    let fb_state: SharedSlice<Vec<ElemState>> = SharedSlice::from_fn(prog.num_insns(), |i| {
+        if prog.opcode(i).has_packed_kernel() {
+            Vec::new()
+        } else {
+            let kind = netlist.elements()[prog.elem(i)].kind();
+            (0..64).map(|_| ElemState::init(kind)).collect()
+        }
+    });
+    let fb_state = &fb_state;
+
+    let dirty = DirtyMask::all_dirty(plan.blocks.len());
+    let dirty = &dirty;
+
+    let barrier = Arc::new(SpinBarrier::new(threads));
+    let containment = Containment::new(threads);
+    let watchdog = {
+        let b = Arc::clone(&barrier);
+        Watchdog::spawn(
+            &containment,
+            config.deadline,
+            config.stall_timeout,
+            move || b.poison(),
+        )
+    };
+    let barrier = &barrier;
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    let cur_step = AtomicU64::new(0);
+    let cur_step = &cur_step;
+
+    let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|p| {
+                let cont = &containment;
+                let fault = config.fault.clone();
+                scope.spawn(move || {
+                    let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut changes: Vec<(u32, Time, NodeId, Value)> = Vec::new();
+                        let mut tm = ThreadMetrics::default();
+                        let mut blocks_skipped = 0u64;
+                        let mut evals_skipped = 0u64;
+                        // Pending writes: slot list plus a flat plane arena
+                        // (widths are implied by the slots), reused across
+                        // steps so the hot loop never allocates.
+                        let mut pend_slots: Vec<u32> = Vec::new();
+                        let mut pend_data: Vec<Lanes> = Vec::new();
+                        let mut scratch: Vec<Lanes> = vec![Lanes::X; max_out_bits];
+                        let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
+                        let mut processed = 0u64;
+                        'run: for t in 0..=end {
+                            cont.beat(p);
+                            if p == 0 {
+                                cur_step.store(t, Ordering::Relaxed);
+                                if cont.cancelled() {
+                                    stop.store(true, Ordering::Release);
+                                }
+                            }
+                            let busy_start = Instant::now();
+                            // ---- apply phase ----------------------------
+                            let mut cursor = 0usize;
+                            for &slot in &pend_slots {
+                                let w = prog.slot_width(slot) as usize;
+                                let new = &pend_data[cursor..cursor + w];
+                                cursor += w;
+                                let off = prog.slot_offset(slot);
+                                // SAFETY: single writer per slot (driver
+                                // thread), phases separated by barriers.
+                                let cur = unsafe { values.slice_mut(off..off + w) };
+                                let diff = changed_mask(cur, new);
+                                tm.events += u64::from((diff & lane_mask).count_ones());
+                                if watched[slot as usize] {
+                                    let node = prog.node_of(slot);
+                                    let mut m = diff & lane_mask;
+                                    while m != 0 {
+                                        let lane = m.trailing_zeros();
+                                        m &= m - 1;
+                                        changes.push((lane, Time(t), node, gather(new, lane)));
+                                    }
+                                }
+                                cur.copy_from_slice(new);
+                                if gating && diff != 0 {
+                                    for &b in plan.fanout(slot) {
+                                        dirty.mark(b);
+                                    }
+                                }
+                            }
+                            pend_slots.clear();
+                            pend_data.clear();
+                            if p == 0 {
+                                if let Some(writes) = gen_writes.get(&t) {
+                                    for gw in writes {
+                                        let w = gw.data.len();
+                                        let off = prog.slot_offset(gw.slot);
+                                        // SAFETY: generator slots are only
+                                        // written here, by thread 0.
+                                        let cur = unsafe { values.slice_mut(off..off + w) };
+                                        let mut diff = 0u64;
+                                        for (c, d) in cur.iter_mut().zip(&gw.data) {
+                                            let eff = Lanes::select(gw.mask, *d, *c);
+                                            diff |= c.diff(eff);
+                                            *c = eff;
+                                        }
+                                        tm.events +=
+                                            u64::from((diff & lane_mask).count_ones());
+                                        if watched[gw.slot as usize] {
+                                            let node = prog.node_of(gw.slot);
+                                            let mut m = diff & lane_mask;
+                                            while m != 0 {
+                                                let lane = m.trailing_zeros();
+                                                m &= m - 1;
+                                                changes.push((
+                                                    lane,
+                                                    Time(t),
+                                                    node,
+                                                    gather(cur, lane),
+                                                ));
+                                            }
+                                        }
+                                        if gating && diff != 0 {
+                                            for &b in plan.fanout(gw.slot) {
+                                                dirty.mark(b);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+                            if barrier.is_poisoned() || stop.load(Ordering::Acquire) {
+                                break 'run;
+                            }
+
+                            // ---- evaluate phase -------------------------
+                            let busy_start = Instant::now();
+                            if t < end {
+                                for b in plan.thread_blocks[p].clone() {
+                                    let insns = plan.block_insns(b);
+                                    if gating && !dirty.take(b as u32) {
+                                        blocks_skipped += 1;
+                                        evals_skipped += insns.len() as u64;
+                                        continue;
+                                    }
+                                    for &i in insns {
+                                        if let FaultAction::Exit =
+                                            fault.check(p, processed, cont.cancel_flag())
+                                        {
+                                            break 'run;
+                                        }
+                                        processed += 1;
+                                        cont.beat(p);
+                                        let i = i as usize;
+                                        eval_insn(
+                                            netlist,
+                                            prog,
+                                            values,
+                                            nat_state,
+                                            state_offset,
+                                            fb_state,
+                                            i,
+                                            &mut scratch,
+                                            &mut inputs_buf,
+                                        );
+                                        tm.evaluations += 1;
+                                        // Compare against current values and
+                                        // queue changed ports.
+                                        let mut s_off = 0usize;
+                                        for &slot in prog.outputs(i) {
+                                            let w = prog.slot_width(slot) as usize;
+                                            let new = &scratch[s_off..s_off + w];
+                                            s_off += w;
+                                            let off = prog.slot_offset(slot);
+                                            // SAFETY: reading a slot this
+                                            // thread exclusively writes.
+                                            let cur =
+                                                unsafe { values.slice(off..off + w) };
+                                            if changed_mask(cur, new) != 0 {
+                                                pend_slots.push(slot);
+                                                pend_data.extend_from_slice(new);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
+                        }
+                        (changes, tm, blocks_skipped, evals_skipped)
+                    }));
+                    match body {
+                        Ok(out) => Some(out),
+                        Err(payload) => {
+                            cont.record_panic(p, payload);
+                            barrier.poison();
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().unwrap_or_default());
+        }
+    });
+    if let Some(w) = watchdog {
+        w.finish();
+    }
+
+    if let Some((worker, payload)) = containment.take_panic() {
+        return Err(SimError::WorkerPanicked {
+            engine: ENGINE,
+            worker,
+            payload,
+        });
+    }
+    if let Some(verdict) = containment.take_verdict() {
+        let diagnostic = Box::new(StallDiagnostic {
+            heartbeats: containment.heartbeat_snapshot(),
+            sim_time: Some(Time(cur_step.load(Ordering::Relaxed))),
+            ..StallDiagnostic::default()
+        });
+        return Err(match verdict {
+            WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
+                engine: ENGINE,
+                stalled_for,
+                diagnostic,
+            },
+            WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
+                engine: ENGINE,
+                deadline,
+                diagnostic,
+            },
+        });
+    }
+
+    let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
+    let mut per_thread = Vec::with_capacity(threads);
+    let mut events_processed = 0;
+    let mut evaluations = 0;
+    let mut blocks_skipped = 0;
+    let mut evals_skipped = 0;
+    let mut all_changes: Vec<(u32, Time, NodeId, Value)> = Vec::new();
+    for (c, tm, bs, es) in outputs {
+        events_processed += tm.events;
+        evaluations += tm.evaluations;
+        blocks_skipped += bs;
+        evals_skipped += es;
+        all_changes.extend(c);
+        per_thread.push(tm);
+    }
+    let metrics = Metrics {
+        events_processed,
+        evaluations,
+        activations: evaluations,
+        time_steps: end + 1,
+        events_per_step: Default::default(),
+        per_thread,
+        gc_chunks_freed: 0,
+        blocks_skipped,
+        evals_skipped,
+        wall: start.elapsed(),
+    };
+
+    // Per-lane waveform extraction.
+    let mut lane_changes: Vec<Vec<(Time, NodeId, Value)>> = vec![Vec::new(); lanes];
+    for (lane, t, n, v) in all_changes {
+        lane_changes[lane as usize].push((t, n, v));
+    }
+    let lanes_out = lane_changes
+        .into_iter()
+        .map(|c| {
+            SimResult::from_changes(netlist, config.end_time, &config.watch, c, metrics.clone())
+        })
+        .collect();
+    Ok(BatchResult {
+        lanes: lanes_out,
+        metrics,
+    })
+}
+
+/// Evaluates instruction `i` into `scratch` (output ports concatenated).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_insn(
+    netlist: &Netlist,
+    prog: &CompiledProgram,
+    values: &SharedSlice<Lanes>,
+    nat_state: &SharedSlice<Lanes>,
+    state_offset: &[u32],
+    fb_state: &SharedSlice<Vec<ElemState>>,
+    i: usize,
+    scratch: &mut [Lanes],
+    inputs_buf: &mut Vec<Value>,
+) {
+    let ins = prog.inputs(i);
+    // SAFETY (all `values.slice` calls below): evaluate phase is read-only
+    // for slot values; barriers order it after the last apply-phase write.
+    let input = |k: usize| {
+        let off = prog.slot_offset(ins[k]);
+        let w = prog.slot_width(ins[k]) as usize;
+        unsafe { values.slice(off..off + w) }
+    };
+    let w = prog.width(i) as usize;
+    let op = prog.opcode(i);
+    match op {
+        Opcode::And | Opcode::Or | Opcode::Nand | Opcode::Nor | Opcode::Xor | Opcode::Xnor => {
+            let out = &mut scratch[..w];
+            load_logic(out, input(0));
+            for k in 1..ins.len() {
+                match op {
+                    Opcode::And | Opcode::Nand => fold_and(out, input(k)),
+                    Opcode::Or | Opcode::Nor => fold_or(out, input(k)),
+                    _ => fold_xor(out, input(k)),
+                }
+            }
+            if matches!(op, Opcode::Nand | Opcode::Nor | Opcode::Xnor) {
+                not_inplace(out);
+            }
+        }
+        Opcode::Not => {
+            let out = &mut scratch[..w];
+            load_logic(out, input(0));
+            not_inplace(out);
+        }
+        Opcode::Buf => load_logic(&mut scratch[..w], input(0)),
+        Opcode::Mux => {
+            let sel = input(0)[0];
+            // The borrow of `scratch` and the two value slices are disjoint.
+            mux(&mut scratch[..w], sel, input(1), input(2));
+        }
+        Opcode::Dff | Opcode::DffR => {
+            let off = state_offset[i] as usize;
+            // SAFETY: native state is touched only by the owning thread.
+            let st = unsafe { nat_state.slice_mut(off..off + w + 1) };
+            let (q, rest) = st.split_at_mut(w);
+            let last_clk = &mut rest[0];
+            let clk = input(0)[0];
+            if op == Opcode::Dff {
+                dff(q, last_clk, clk, input(1));
+            } else {
+                dffr(q, last_clk, clk, input(1), input(2)[0]);
+            }
+            scratch[..w].copy_from_slice(q);
+        }
+        Opcode::Latch => {
+            let off = state_offset[i] as usize;
+            // SAFETY: native state is touched only by the owning thread.
+            let q = unsafe { nat_state.slice_mut(off..off + w) };
+            latch(q, input(0)[0], input(1));
+            scratch[..w].copy_from_slice(q);
+        }
+        Opcode::TriBuf => tribuf(&mut scratch[..w], input(0)[0], input(1)),
+        _ => {
+            // Scalar fallback: evaluate each lane with the shared kernel.
+            let kind = netlist.elements()[prog.elem(i)].kind();
+            // SAFETY: fallback state is touched only by the owning thread.
+            let states = unsafe { fb_state.get_mut(i) };
+            let out_bits: usize = prog
+                .outputs(i)
+                .iter()
+                .map(|&s| prog.slot_width(s) as usize)
+                .sum();
+            for lane in 0..64u32 {
+                inputs_buf.clear();
+                for k in 0..ins.len() {
+                    inputs_buf.push(gather(input(k), lane));
+                }
+                let out = evaluate(kind, inputs_buf, &mut states[lane as usize]);
+                let mut s_off = 0usize;
+                for (port, v) in out.iter() {
+                    let pw = prog.slot_width(prog.outputs(i)[port]) as usize;
+                    packed::scatter(&mut scratch[s_off..s_off + pw], lane, &v);
+                    s_off += pw;
+                }
+                debug_assert_eq!(
+                    out_bits,
+                    prog.outputs(i)
+                        .iter()
+                        .map(|&s| prog.slot_width(s) as usize)
+                        .sum::<usize>()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Scalar executor for the compiled instruction stream.
+//!
+//! This is the paper's §3 engine rebuilt on the level-major stream from
+//! [`CompiledProgram`]: barrier-separated apply/evaluate phases, static
+//! partition, unit delay — but per-element dynamic dispatch is gone
+//! (instructions carry dense opcodes and slot indices) and, when
+//! [`SimConfig::activity_gating`] is on, blocks whose inputs did not change
+//! are skipped instead of re-evaluated.
+//!
+//! Shared-state discipline: a value slot is written only by the thread
+//! owning its driving instruction (plus thread 0 for generator slots)
+//! during the *apply* phase and read by everyone during the *evaluate*
+//! phase; a [`SpinBarrier`] separates the phases. Dirty bits are set during
+//! apply and taken by owners during evaluate under the same barrier edges.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parsim_logic::{evaluate, expand_generator, ElemState, Time, Value};
+use parsim_netlist::compile::CompiledProgram;
+use parsim_netlist::partition::Partition;
+use parsim_netlist::{Netlist, NodeId};
+use parsim_queue::SpinBarrier;
+
+use crate::config::SimConfig;
+use crate::error::{SimError, StallDiagnostic};
+use crate::fault::FaultAction;
+use crate::kernel::{validate_partition, DirtyMask, ExecPlan};
+use crate::metrics::{Metrics, ThreadMetrics};
+use crate::shared::SharedSlice;
+use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
+use crate::waveform::SimResult;
+
+/// Engine tag used in [`SimError`] values.
+const ENGINE: &str = "compiled-mode";
+
+/// Per-worker results: waveform changes, timing counters, skip counters.
+type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, u64, u64);
+
+/// Runs the scalar compiled-mode kernel.
+pub(crate) fn run(
+    netlist: &Netlist,
+    config: &SimConfig,
+    prog: &CompiledProgram,
+    partition: &Partition,
+) -> Result<SimResult, SimError> {
+    validate_partition(netlist, config, partition)?;
+    let start = Instant::now();
+    let end = config.end_time.ticks();
+    let threads = config.threads;
+    let gating = config.activity_gating;
+
+    let plan = ExecPlan::build(prog, partition);
+    let plan = &plan;
+
+    let mut watched = vec![false; prog.num_slots()];
+    for &n in &config.watch {
+        watched[prog.slot_of(n) as usize] = true;
+    }
+    let watched = &watched;
+
+    // Generator schedule, applied by thread 0 (generators are excluded
+    // from the instruction stream).
+    let mut gen_events: BTreeMap<u64, Vec<(u32, Value)>> = BTreeMap::new();
+    for gen in netlist.generators() {
+        let e = netlist.element(gen);
+        let slot = prog.slot_of(e.outputs()[0]);
+        for (t, v) in expand_generator(e.kind(), Time(end)) {
+            gen_events.entry(t.ticks()).or_default().push((slot, v));
+        }
+    }
+    let gen_events = &gen_events;
+
+    // Shared slot values: written single-writer during apply phases.
+    let values: SharedSlice<Value> = SharedSlice::from_fn(prog.num_slots(), |s| {
+        Value::x(prog.slot_width(s as u32))
+    });
+    let values = &values;
+    // Per-instruction state: touched only by the owning thread.
+    let states: SharedSlice<ElemState> = SharedSlice::from_fn(prog.num_insns(), |i| {
+        ElemState::init(netlist.elements()[prog.elem(i)].kind())
+    });
+    let states = &states;
+    let dirty = DirtyMask::all_dirty(plan.blocks.len());
+    let dirty = &dirty;
+
+    let barrier = Arc::new(SpinBarrier::new(threads));
+    let containment = Containment::new(threads);
+    let watchdog = {
+        let b = Arc::clone(&barrier);
+        Watchdog::spawn(
+            &containment,
+            config.deadline,
+            config.stall_timeout,
+            move || b.poison(),
+        )
+    };
+    let barrier = &barrier;
+    // Cooperative cancellation: thread 0 copies the cancel flag into
+    // `stop` during the apply phase, and everyone samples `stop` after
+    // the following barrier — so all threads break at the same step.
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    // Last step thread 0 started, for the stall diagnostic.
+    let cur_step = AtomicU64::new(0);
+    let cur_step = &cur_step;
+
+    let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|p| {
+                let cont = &containment;
+                let fault = config.fault.clone();
+                scope.spawn(move || {
+                    let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                        let mut tm = ThreadMetrics::default();
+                        let mut blocks_skipped = 0u64;
+                        let mut evals_skipped = 0u64;
+                        let mut pending: Vec<(u32, Value)> = Vec::new();
+                        let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
+                        let mut processed = 0u64;
+                        'run: for t in 0..=end {
+                            cont.beat(p);
+                            if p == 0 {
+                                cur_step.store(t, Ordering::Relaxed);
+                                if cont.cancelled() {
+                                    stop.store(true, Ordering::Release);
+                                }
+                            }
+                            let busy_start = Instant::now();
+                            // ---- apply phase ----------------------------
+                            for &(slot, v) in &pending {
+                                // SAFETY: single writer per slot (driver
+                                // thread), phases separated by barriers.
+                                unsafe { *values.get_mut(slot as usize) = v };
+                                tm.events += 1;
+                                if watched[slot as usize] {
+                                    changes.push((Time(t), prog.node_of(slot), v));
+                                }
+                                if gating {
+                                    for &b in plan.fanout(slot) {
+                                        dirty.mark(b);
+                                    }
+                                }
+                            }
+                            pending.clear();
+                            if p == 0 {
+                                if let Some(evs) = gen_events.get(&t) {
+                                    for &(slot, v) in evs {
+                                        // SAFETY: generator slots are only
+                                        // written here, by thread 0.
+                                        let cur = unsafe { values.get_mut(slot as usize) };
+                                        if *cur != v {
+                                            *cur = v;
+                                            tm.events += 1;
+                                            if watched[slot as usize] {
+                                                changes.push((Time(t), prog.node_of(slot), v));
+                                            }
+                                            if gating {
+                                                for &b in plan.fanout(slot) {
+                                                    dirty.mark(b);
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+                            // All threads observe the same `stop` value
+                            // here (set before the barrier), so they break
+                            // at the same step.
+                            if barrier.is_poisoned() || stop.load(Ordering::Acquire) {
+                                break 'run;
+                            }
+
+                            // ---- evaluate phase -------------------------
+                            let busy_start = Instant::now();
+                            if t < end {
+                                for b in plan.thread_blocks[p].clone() {
+                                    let insns = plan.block_insns(b);
+                                    if gating && !dirty.take(b as u32) {
+                                        blocks_skipped += 1;
+                                        evals_skipped += insns.len() as u64;
+                                        continue;
+                                    }
+                                    for &i in insns {
+                                        if let FaultAction::Exit =
+                                            fault.check(p, processed, cont.cancel_flag())
+                                        {
+                                            // Only reached after cancellation,
+                                            // which always poisons the barrier,
+                                            // so peers are not left waiting.
+                                            break 'run;
+                                        }
+                                        processed += 1;
+                                        cont.beat(p);
+                                        let i = i as usize;
+                                        inputs_buf.clear();
+                                        for &inp in prog.inputs(i) {
+                                            // SAFETY: read-only phase.
+                                            inputs_buf
+                                                .push(unsafe { *values.get(inp as usize) });
+                                        }
+                                        let kind = netlist.elements()[prog.elem(i)].kind();
+                                        // SAFETY: instruction owned by this
+                                        // thread.
+                                        let state = unsafe { states.get_mut(i) };
+                                        let out = evaluate(kind, &inputs_buf, state);
+                                        tm.evaluations += 1;
+                                        for (port, v) in out.iter() {
+                                            let slot = prog.outputs(i)[port];
+                                            // SAFETY: reading a slot this
+                                            // thread exclusively writes.
+                                            if unsafe { *values.get(slot as usize) } != v {
+                                                pending.push((slot, v));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            tm.busy += busy_start.elapsed();
+                            let wait_start = Instant::now();
+                            barrier.wait();
+                            tm.idle += wait_start.elapsed();
+                            if barrier.is_poisoned() {
+                                break 'run;
+                            }
+                        }
+                        (changes, tm, blocks_skipped, evals_skipped)
+                    }));
+                    match body {
+                        Ok(out) => Some(out),
+                        Err(payload) => {
+                            cont.record_panic(p, payload);
+                            barrier.poison();
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().unwrap_or_default());
+        }
+    });
+    if let Some(w) = watchdog {
+        w.finish();
+    }
+
+    if let Some((worker, payload)) = containment.take_panic() {
+        return Err(SimError::WorkerPanicked {
+            engine: ENGINE,
+            worker,
+            payload,
+        });
+    }
+    if let Some(verdict) = containment.take_verdict() {
+        let diagnostic = Box::new(StallDiagnostic {
+            heartbeats: containment.heartbeat_snapshot(),
+            sim_time: Some(Time(cur_step.load(Ordering::Relaxed))),
+            ..StallDiagnostic::default()
+        });
+        return Err(match verdict {
+            WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
+                engine: ENGINE,
+                stalled_for,
+                diagnostic,
+            },
+            WatchdogVerdict::Deadline { deadline } => SimError::DeadlineExceeded {
+                engine: ENGINE,
+                deadline,
+                diagnostic,
+            },
+        });
+    }
+
+    let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
+    let mut changes = Vec::new();
+    let mut per_thread = Vec::with_capacity(threads);
+    let mut events_processed = 0;
+    let mut evaluations = 0;
+    let mut blocks_skipped = 0;
+    let mut evals_skipped = 0;
+    for (c, tm, bs, es) in outputs {
+        events_processed += tm.events;
+        evaluations += tm.evaluations;
+        blocks_skipped += bs;
+        evals_skipped += es;
+        changes.extend(c);
+        per_thread.push(tm);
+    }
+    let metrics = Metrics {
+        events_processed,
+        evaluations,
+        activations: evaluations, // every evaluated instruction "activated"
+        time_steps: end + 1,
+        events_per_step: Default::default(),
+        per_thread,
+        gc_chunks_freed: 0,
+        blocks_skipped,
+        evals_skipped,
+        wall: start.elapsed(),
+    };
+    Ok(SimResult::from_changes(
+        netlist,
+        config.end_time,
+        &config.watch,
+        changes,
+        metrics,
+    ))
+}

@@ -58,6 +58,7 @@ pub mod compiled;
 mod config;
 mod error;
 mod fault;
+mod kernel;
 mod metrics;
 pub mod seq;
 mod shared;
@@ -70,7 +71,7 @@ mod wheel;
 pub use analysis::{ActivityReport, WaveformStats};
 pub use chaotic::ChaoticAsync;
 pub use check::{assert_equivalent, equivalence_report, EquivalenceReport};
-pub use compiled::CompiledMode;
+pub use compiled::{BatchResult, CompiledMode, LaneStimulus};
 pub use config::SimConfig;
 pub use error::{SimError, StallDiagnostic};
 pub use fault::FaultPlan;

@@ -178,6 +178,13 @@ pub struct Metrics {
     /// Event-list chunks reclaimed by the asynchronous engine's concurrent
     /// garbage collector (zero for other engines).
     pub gc_chunks_freed: u64,
+    /// Kernel blocks skipped by compiled-mode activity gating (zero for
+    /// other engines and for gated runs that never go quiescent).
+    pub blocks_skipped: u64,
+    /// Element evaluations eliminated by activity gating: the evaluations
+    /// the paper's "every element is executed every time step" rule would
+    /// have performed on the skipped blocks.
+    pub evals_skipped: u64,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
 }
@@ -201,6 +208,20 @@ impl Metrics {
             0.0
         } else {
             self.events_processed as f64 / self.time_steps as f64 / num_elements as f64
+        }
+    }
+
+    /// Fraction of compiled-mode evaluations eliminated by activity
+    /// gating: `evals_skipped / (evaluations + evals_skipped)`. This is
+    /// the direct counter to the §3 pathology that at 0.1–0.5% activity
+    /// "every element is executed every time step" regardless of need.
+    /// Returns 0.0 when gating is off or nothing was evaluated.
+    pub fn gating_ratio(&self) -> f64 {
+        let would_run = self.evaluations + self.evals_skipped;
+        if would_run == 0 {
+            0.0
+        } else {
+            self.evals_skipped as f64 / would_run as f64
         }
     }
 

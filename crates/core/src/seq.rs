@@ -262,6 +262,8 @@ impl EventDriven {
             events_per_step: histogram,
             per_thread: Vec::new(),
             gc_chunks_freed: 0,
+            blocks_skipped: 0,
+            evals_skipped: 0,
             wall: start.elapsed(),
         };
         Ok(SimResult::from_changes(

@@ -42,6 +42,15 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "sync-event-driven";
 
+/// Debug-only count of update-buffer pool misses: a miss is a fresh
+/// `Vec<Update>` allocation in the scheduling hot path. Steady state
+/// recycles drained buffers through `free_mail`, so misses are bounded by
+/// the peak number of simultaneously live `(mailbox, time)` entries — they
+/// do *not* grow with the event count (asserted by
+/// `tests::update_buffers_are_recycled`).
+#[cfg(debug_assertions)]
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
 /// Per-worker results: recorded waveform changes plus timing counters.
 type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
 
@@ -127,6 +136,15 @@ impl SyncEventDriven {
         // n x n mailboxes: slot i*n+j written by thread i, drained by j.
         let node_mail: SharedSlice<BTreeMap<u64, Vec<Update>>> =
             SharedSlice::from_fn(n * n, |_| BTreeMap::new());
+        // Recycled update buffers, one pool per mailbox slot. The drain
+        // side (phase A fill, reader thread) pushes emptied vectors; the
+        // insert side (phase B, writer thread) pops them for new time
+        // entries. The two sides run in barrier-separated phases, so each
+        // pool has one accessor at a time — the same discipline as the
+        // mailbox it shadows. Net effect: the scheduling hot path performs
+        // zero steady-state allocations (see `POOL_MISSES`).
+        let free_mail: SharedSlice<Vec<Vec<Update>>> =
+            SharedSlice::from_fn(n * n, |_| Vec::new());
         let elem_mail: SharedSlice<Vec<u32>> = SharedSlice::from_fn(n * n, |_| Vec::new());
         // Per-thread phase work lists + steal cursors.
         let phase_nodes: SharedSlice<Vec<Update>> = SharedSlice::from_fn(n, |_| Vec::new());
@@ -134,6 +152,7 @@ impl SyncEventDriven {
         let node_cursor: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         let elem_cursor: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         let (node_mail, elem_mail) = (&node_mail, &elem_mail);
+        let free_mail = &free_mail;
         let (phase_nodes, phase_elems) = (&phase_nodes, &phase_elems);
         let (node_cursor, elem_cursor) = (&node_cursor, &elem_cursor);
 
@@ -223,7 +242,15 @@ impl SyncEventDriven {
                                     // (previous barrier).
                                     let mail = unsafe { node_mail.get_mut(i * n + me) };
                                     if let Some(mut us) = mail.remove(&t) {
+                                        // `append` drains `us` but keeps its
+                                        // capacity: recycle it for the
+                                        // writer of this slot.
                                         work.append(&mut us);
+                                        // SAFETY: pool (i, me) is pushed
+                                        // only here (phase A, by `me`);
+                                        // the popping writer runs in
+                                        // barrier-separated phase B.
+                                        unsafe { free_mail.get_mut(i * n + me) }.push(us);
                                     }
                                 }
                                 node_cursor[me].store(0, Ordering::Release);
@@ -385,10 +412,26 @@ impl SyncEventDriven {
                                             *ls = val;
                                             *lt = te;
                                             // SAFETY: row `me` written only
-                                            // by this thread this phase.
+                                            // by this thread this phase
+                                            // (mailbox and its buffer pool
+                                            // alike).
                                             unsafe { node_mail.get_mut(me * n + rr_node) }
                                                 .entry(te)
-                                                .or_default()
+                                                .or_insert_with(|| {
+                                                    unsafe {
+                                                        free_mail
+                                                            .get_mut(me * n + rr_node)
+                                                    }
+                                                    .pop()
+                                                    .unwrap_or_else(|| {
+                                                        #[cfg(debug_assertions)]
+                                                        POOL_MISSES.fetch_add(
+                                                            1,
+                                                            Ordering::Relaxed,
+                                                        );
+                                                        Vec::new()
+                                                    })
+                                                })
                                                 .push(Update {
                                                     node: out_node as u32,
                                                     value: val,
@@ -495,6 +538,8 @@ impl SyncEventDriven {
             events_per_step: Default::default(),
             per_thread,
             gc_chunks_freed: 0,
+            blocks_skipped: 0,
+            evals_skipped: 0,
             wall: start.elapsed(),
         };
         Ok(SimResult::from_changes(
@@ -608,6 +653,28 @@ mod tests {
         let par = SyncEventDriven::run(&n, &cfg.clone().threads(4)).unwrap();
         assert_equivalent(&seq, &par, "feedback");
         assert!(seq.waveform(q0).unwrap().num_changes() > 5);
+    }
+
+    /// The scheduling hot path must not allocate per activation: drained
+    /// update buffers are recycled, so pool misses (fresh allocations) are
+    /// bounded by peak calendar occupancy, not by event count.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn update_buffers_are_recycled() {
+        let (n, watch) = mixed_delay_circuit();
+        let cfg = SimConfig::new(Time(5000)).watch_all(watch).threads(2);
+        let before = POOL_MISSES.load(Ordering::Relaxed);
+        let r = SyncEventDriven::run(&n, &cfg).unwrap();
+        let misses = POOL_MISSES.load(Ordering::Relaxed) - before;
+        // Thousands of events; misses only during pool warm-up. The bound
+        // is loose because other tests in this binary run concurrently and
+        // share the counter.
+        assert!(r.metrics.events_processed > 1000, "circuit too quiet");
+        assert!(
+            misses < r.metrics.events_processed / 4,
+            "pool misses ({misses}) scale with events ({}) — buffers not recycled",
+            r.metrics.events_processed
+        );
     }
 
     #[test]

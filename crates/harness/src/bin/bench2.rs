@@ -1,0 +1,255 @@
+//! `bench2` — record the PR 2 word-parallel kernel numbers.
+//!
+//! Times 64 sequential scalar `CompiledMode::run` passes against one
+//! 64-lane `CompiledMode::run_batch` pass (both at one worker thread, so
+//! the comparison isolates word-level parallelism from thread-level) on
+//! three circuits: ISCAS c17, the inverter array, and a random gate
+//! netlist. Writes the throughput table as JSON to `BENCH_2.json` in the
+//! current directory (override with `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p parsim-harness --bin bench2 [-- --quick] [--out BENCH_2.json]
+//! ```
+//!
+//! `--quick` (or the `PARSIM_BENCH_QUICK` env var) shortens simulated
+//! time so CI can smoke-test the harness.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parsim_circuits::{inverter_array, random_circuit, RandomCircuitParams};
+use parsim_core::{CompiledMode, LaneStimulus, Metrics, SimConfig};
+use parsim_logic::Time;
+use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
+use parsim_netlist::Netlist;
+
+const LANES: usize = 64;
+
+struct ModeRow {
+    wall_secs: f64,
+    events: u64,
+    evals: u64,
+    evals_skipped: u64,
+}
+
+impl ModeRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    fn evals_per_sec(&self) -> f64 {
+        self.evals as f64 / self.wall_secs
+    }
+}
+
+struct CircuitRow {
+    name: &'static str,
+    elements: usize,
+    end_time: u64,
+    scalar: ModeRow,
+    packed: ModeRow,
+}
+
+impl CircuitRow {
+    /// Wall-clock speedup of one 64-lane batch pass over 64 scalar passes.
+    fn speedup(&self) -> f64 {
+        self.scalar.wall_secs / self.packed.wall_secs
+    }
+}
+
+fn accumulate(row: &mut ModeRow, m: &Metrics) {
+    row.events += m.events_processed;
+    row.evals += m.evaluations;
+    row.evals_skipped += m.evals_skipped;
+}
+
+/// Best-of-`reps` wall time; metrics come from the timed runs of the
+/// fastest repetition (all repetitions are deterministic, so any one is
+/// representative).
+fn measure(netlist: &Netlist, name: &'static str, end: u64, reps: usize) -> CircuitRow {
+    let cfg = SimConfig::new(Time(end));
+    let lanes: Vec<LaneStimulus> = (0..LANES).map(|_| LaneStimulus::base()).collect();
+
+    let mut scalar = ModeRow {
+        wall_secs: f64::INFINITY,
+        events: 0,
+        evals: 0,
+        evals_skipped: 0,
+    };
+    for _ in 0..reps {
+        let mut trial = ModeRow {
+            wall_secs: 0.0,
+            events: 0,
+            evals: 0,
+            evals_skipped: 0,
+        };
+        let t0 = Instant::now();
+        for _ in 0..LANES {
+            let r = CompiledMode::run(netlist, &cfg).expect("scalar run");
+            accumulate(&mut trial, &r.metrics);
+        }
+        trial.wall_secs = t0.elapsed().as_secs_f64();
+        if trial.wall_secs < scalar.wall_secs {
+            scalar = trial;
+        }
+    }
+
+    let mut packed = ModeRow {
+        wall_secs: f64::INFINITY,
+        events: 0,
+        evals: 0,
+        evals_skipped: 0,
+    };
+    for _ in 0..reps {
+        let mut trial = ModeRow {
+            wall_secs: 0.0,
+            events: 0,
+            evals: 0,
+            evals_skipped: 0,
+        };
+        let t0 = Instant::now();
+        let r = CompiledMode::run_batch(netlist, &cfg, &lanes).expect("batch run");
+        trial.wall_secs = t0.elapsed().as_secs_f64();
+        accumulate(&mut trial, &r.metrics);
+        if trial.wall_secs < packed.wall_secs {
+            packed = trial;
+        }
+    }
+
+    CircuitRow {
+        name,
+        elements: netlist.num_elements(),
+        end_time: end,
+        scalar,
+        packed,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn mode_json(out: &mut String, indent: &str, row: &ModeRow, runs: usize) {
+    out.push_str(&format!("{indent}\"runs\": {runs},\n"));
+    out.push_str(&format!("{indent}\"wall_secs\": {},\n", json_f(row.wall_secs)));
+    out.push_str(&format!("{indent}\"events\": {},\n", row.events));
+    out.push_str(&format!("{indent}\"element_evals\": {},\n", row.evals));
+    out.push_str(&format!("{indent}\"evals_skipped\": {},\n", row.evals_skipped));
+    out.push_str(&format!(
+        "{indent}\"events_per_sec\": {},\n",
+        json_f(row.events_per_sec())
+    ));
+    out.push_str(&format!(
+        "{indent}\"element_evals_per_sec\": {}\n",
+        json_f(row.evals_per_sec())
+    ));
+}
+
+fn render(rows: &[CircuitRow], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"compiled-kernel-word-parallel\",\n");
+    out.push_str("  \"generated_by\": \"parsim-harness bench2\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str("  \"circuits\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", row.name));
+        out.push_str(&format!("      \"elements\": {},\n", row.elements));
+        out.push_str(&format!("      \"end_time\": {},\n", row.end_time));
+        out.push_str("      \"scalar_sequential\": {\n");
+        mode_json(&mut out, "        ", &row.scalar, LANES);
+        out.push_str("      },\n");
+        out.push_str("      \"packed_batch\": {\n");
+        mode_json(&mut out, "        ", &row.packed, 1);
+        out.push_str("      },\n");
+        out.push_str(&format!(
+            "      \"speedup_vs_64_scalar\": {}\n",
+            json_f(row.speedup())
+        ));
+        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    let rand = rows
+        .iter()
+        .find(|r| r.name == "random_gates")
+        .expect("random_gates row present");
+    out.push_str("  \"acceptance\": {\n");
+    out.push_str("    \"criterion\": \"random_gates 64-lane batch >= 8x of 64 scalar runs\",\n");
+    out.push_str(&format!(
+        "    \"random_gates_speedup\": {},\n",
+        json_f(rand.speedup())
+    ));
+    out.push_str("    \"required_speedup\": 8.0,\n");
+    out.push_str(&format!("    \"pass\": {}\n", rand.speedup() >= 8.0));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut quick = std::env::var_os("PARSIM_BENCH_QUICK").is_some();
+    let mut out_path = "BENCH_2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench2 [--quick] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (scale, reps) = if quick { (1u64, 1usize) } else { (10, 3) };
+
+    let c17 = from_bench(C17, &BenchOptions::default()).expect("c17 parses");
+    let arr = inverter_array(16, 8, 2).expect("generator is self-consistent");
+    let rand = random_circuit(&RandomCircuitParams {
+        elements: 300,
+        inputs: 12,
+        seq_fraction: 0.1,
+        max_delay: 3,
+        seed: 42,
+    })
+    .expect("generator is self-consistent");
+
+    let rows = vec![
+        measure(&c17.netlist, "iscas_c17", 200 * scale, reps),
+        measure(&arr.netlist, "inverter_array", 40 * scale, reps),
+        measure(&rand.netlist, "random_gates", 50 * scale, reps),
+    ];
+
+    for row in &rows {
+        println!(
+            "{:<16} {:>7} elems  scalar x64 {:>9.4}s  packed x1 {:>9.4}s  speedup {:>6.2}x",
+            row.name,
+            row.elements,
+            row.scalar.wall_secs,
+            row.packed.wall_secs,
+            row.speedup()
+        );
+    }
+
+    let json = render(&rows, quick);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -26,6 +26,7 @@
 
 mod eval;
 mod kind;
+pub mod packed;
 mod time;
 mod value;
 

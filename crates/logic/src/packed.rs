@@ -1,0 +1,598 @@
+//! Word-parallel bit-plane kernels: 64 independent stimulus lanes per word.
+//!
+//! A [`Value`] stores one logic vector as two planes `(a, b)` with one bit
+//! per *vector bit*. This module transposes that layout: a [`Lanes`] word
+//! holds one *vector bit* across 64 independent simulations, so a node of
+//! width `w` is `w` consecutive `Lanes`. Four-state logic then evaluates as
+//! plain word-wide boolean algebra — one AND over two `Lanes` words performs
+//! 64 four-state AND operations at once.
+//!
+//! The per-element kernels here ([`fold_and`], [`mux`], [`dff`], …) are
+//! written to be *bit-identical* to [`evaluate`](crate::evaluate) applied to
+//! each lane separately; the compiled-mode batch engine in `parsim-core`
+//! relies on that equivalence, and the tests in this module check it
+//! exhaustively for one-bit operands and statistically for wide ones.
+//!
+//! Encoding per lane (same two-plane convention as [`Value`]):
+//!
+//! | state | a | b |
+//! |-------|---|---|
+//! | `0`   | 0 | 0 |
+//! | `1`   | 1 | 0 |
+//! | `Z`   | 0 | 1 |
+//! | `X`   | 1 | 1 |
+
+use crate::value::Value;
+
+/// One bit position of a logic vector across 64 simulation lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lanes {
+    /// Plane `a`: set for `1` and `X` lanes.
+    pub a: u64,
+    /// Plane `b`: set for `Z` and `X` lanes.
+    pub b: u64,
+}
+
+impl Lanes {
+    /// All 64 lanes `X` (the reset state of every node).
+    pub const X: Lanes = Lanes { a: !0, b: !0 };
+    /// All 64 lanes `0`.
+    pub const ZERO: Lanes = Lanes { a: 0, b: 0 };
+    /// All 64 lanes `1`.
+    pub const ONE: Lanes = Lanes { a: !0, b: 0 };
+    /// All 64 lanes `Z`.
+    pub const Z: Lanes = Lanes { a: 0, b: !0 };
+
+    /// Z lanes become X; mirrors [`Value::to_logic`] per lane.
+    #[inline]
+    pub fn to_logic(self) -> Lanes {
+        Lanes {
+            a: self.a | self.b,
+            b: self.b,
+        }
+    }
+
+    /// Lanes that are a known `1` (raw view).
+    #[inline]
+    pub fn k1(self) -> u64 {
+        self.a & !self.b
+    }
+
+    /// Lanes that are a known `0` (raw view).
+    #[inline]
+    pub fn k0(self) -> u64 {
+        !self.a & !self.b
+    }
+
+    /// Lanes where `self` differs from `other` in either plane.
+    #[inline]
+    pub fn diff(self, other: Lanes) -> u64 {
+        (self.a ^ other.a) | (self.b ^ other.b)
+    }
+
+    /// Builds lanes from known-zero and known-one masks; uncovered lanes
+    /// are `X`. Mirrors the plane arithmetic of `Value::from_masks`.
+    #[inline]
+    pub fn from_masks(zeros: u64, ones: u64) -> Lanes {
+        let unknown = !(zeros | ones);
+        Lanes {
+            a: ones | unknown,
+            b: unknown,
+        }
+    }
+
+    /// Per-lane select: lanes in `mask` read from `t`, the rest from `e`.
+    #[inline]
+    pub fn select(mask: u64, t: Lanes, e: Lanes) -> Lanes {
+        Lanes {
+            a: (t.a & mask) | (e.a & !mask),
+            b: (t.b & mask) | (e.b & !mask),
+        }
+    }
+}
+
+/// Lanes where `old` and `new` differ in any bit of the vector.
+#[inline]
+pub fn changed_mask(old: &[Lanes], new: &[Lanes]) -> u64 {
+    debug_assert_eq!(old.len(), new.len());
+    let mut m = 0u64;
+    for (o, n) in old.iter().zip(new) {
+        m |= o.diff(*n);
+    }
+    m
+}
+
+/// Copies `src` into `dst` only in the lanes of `mask`.
+#[inline]
+pub fn write_masked(dst: &mut [Lanes], src: &[Lanes], mask: u64) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = Lanes::select(mask, *s, *d);
+    }
+}
+
+/// Writes the bits of `v` into lane `lane` of `dst` (`dst.len()` must be
+/// `v.width()`).
+#[inline]
+pub fn scatter(dst: &mut [Lanes], lane: u32, v: &Value) {
+    debug_assert_eq!(dst.len(), v.width() as usize);
+    let (a, b) = v.to_planes();
+    let bit = 1u64 << lane;
+    for (i, d) in dst.iter_mut().enumerate() {
+        d.a = (d.a & !bit) | (((a >> i) & 1) << lane);
+        d.b = (d.b & !bit) | (((b >> i) & 1) << lane);
+    }
+}
+
+/// Reads lane `lane` of `src` back as a scalar [`Value`] of width
+/// `src.len()`.
+#[inline]
+pub fn gather(src: &[Lanes], lane: u32) -> Value {
+    let mut a = 0u64;
+    let mut b = 0u64;
+    for (i, s) in src.iter().enumerate() {
+        a |= ((s.a >> lane) & 1) << i;
+        b |= ((s.b >> lane) & 1) << i;
+    }
+    Value::from_planes(src.len() as u8, a, b)
+}
+
+/// Replicates `v` into all 64 lanes of `dst`.
+#[inline]
+pub fn broadcast(dst: &mut [Lanes], v: &Value) {
+    debug_assert_eq!(dst.len(), v.width() as usize);
+    let (a, b) = v.to_planes();
+    for (i, d) in dst.iter_mut().enumerate() {
+        d.a = if (a >> i) & 1 == 1 { !0 } else { 0 };
+        d.b = if (b >> i) & 1 == 1 { !0 } else { 0 };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate kernels. All gate inputs pass through the logic view first, exactly
+// like `fold_logic` in the scalar evaluator: Z participates as X.
+// ---------------------------------------------------------------------------
+
+/// `out = src.to_logic()` — the first fold step and the `Buf` kernel.
+#[inline]
+pub fn load_logic(out: &mut [Lanes], src: &[Lanes]) {
+    debug_assert_eq!(out.len(), src.len());
+    for (o, s) in out.iter_mut().zip(src) {
+        *o = s.to_logic();
+    }
+}
+
+/// `acc = acc AND src.to_logic()` (acc already a logic view).
+#[inline]
+pub fn fold_and(acc: &mut [Lanes], src: &[Lanes]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, s) in acc.iter_mut().zip(src) {
+        let s = s.to_logic();
+        *a = Lanes::from_masks(a.k0() | s.k0(), a.k1() & s.k1());
+    }
+}
+
+/// `acc = acc OR src.to_logic()` (acc already a logic view).
+#[inline]
+pub fn fold_or(acc: &mut [Lanes], src: &[Lanes]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, s) in acc.iter_mut().zip(src) {
+        let s = s.to_logic();
+        *a = Lanes::from_masks(a.k0() & s.k0(), a.k1() | s.k1());
+    }
+}
+
+/// `acc = acc XOR src.to_logic()` (acc already a logic view).
+#[inline]
+pub fn fold_xor(acc: &mut [Lanes], src: &[Lanes]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, s) in acc.iter_mut().zip(src) {
+        let s = s.to_logic();
+        let known = !a.b & !s.b;
+        let ones = (a.a ^ s.a) & known;
+        *a = Lanes::from_masks(known & !ones, ones);
+    }
+}
+
+/// Four-state complement in place; mirrors [`Value::not`] per lane.
+#[inline]
+pub fn not_inplace(v: &mut [Lanes]) {
+    for l in v.iter_mut() {
+        *l = Lanes::from_masks(l.k1(), l.k0());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mux / sequential kernels. These mirror the corresponding arms of
+// `evaluate` exactly, including the X-merge rules.
+// ---------------------------------------------------------------------------
+
+/// 2:1 mux: `sel == 0` picks `a` verbatim, `sel == 1` picks `b` verbatim;
+/// unknown select passes the operands through only where they agree on the
+/// whole vector, else `X`.
+#[inline]
+pub fn mux(out: &mut [Lanes], sel: Lanes, a: &[Lanes], b: &[Lanes]) {
+    debug_assert!(out.len() == a.len() && a.len() == b.len());
+    let sl = sel.to_logic();
+    let s1 = sl.k1();
+    let s0 = sl.k0();
+    let sx = sl.b;
+    // Lanes where the whole a and b vectors agree (bitwise, raw encoding).
+    let eqv = !changed_mask(a, b);
+    for ((o, av), bv) in out.iter_mut().zip(a).zip(b) {
+        o.a = (s0 & av.a) | (s1 & bv.a) | (sx & ((eqv & av.a) | !eqv));
+        o.b = (s0 & av.b) | (s1 & bv.b) | (sx & ((eqv & av.b) | !eqv));
+    }
+}
+
+/// Lanes where `(prev, now)` is a rising edge: previous clock a known 0 and
+/// current clock a known 1 — the raw-view rule of [`Value::is_rising_edge`].
+#[inline]
+pub fn rising_mask(prev: Lanes, now: Lanes) -> u64 {
+    prev.k0() & now.k1()
+}
+
+/// D flip-flop step: captures `d` into `q` on rising-edge lanes and records
+/// the clock. The caller copies `q` out afterwards.
+#[inline]
+pub fn dff(q: &mut [Lanes], last_clk: &mut Lanes, clk: Lanes, d: &[Lanes]) {
+    debug_assert_eq!(q.len(), d.len());
+    let edge = rising_mask(*last_clk, clk);
+    for (qv, dv) in q.iter_mut().zip(d) {
+        *qv = Lanes::select(edge, *dv, *qv);
+    }
+    *last_clk = clk;
+}
+
+/// D flip-flop with synchronous reset: a known-1 reset forces `q` to zero,
+/// a rising edge with known-0 reset captures `d`, and an unknown reset
+/// holds (no capture, no clear) — matching the `DffR` arm of `evaluate`.
+#[inline]
+pub fn dffr(q: &mut [Lanes], last_clk: &mut Lanes, clk: Lanes, d: &[Lanes], rst: Lanes) {
+    debug_assert_eq!(q.len(), d.len());
+    let rl = rst.to_logic();
+    let r1 = rl.k1();
+    let edge = rising_mask(*last_clk, clk) & rl.k0();
+    for (qv, dv) in q.iter_mut().zip(d) {
+        *qv = Lanes::select(edge, *dv, *qv);
+        qv.a &= !r1;
+        qv.b &= !r1;
+    }
+    *last_clk = clk;
+}
+
+/// Transparent latch step: known-1 enable is transparent, known-0 holds,
+/// unknown enable holds only if `q` already equals `d` (else `q` poisons to
+/// `X`), matching the `Latch` arm of `evaluate`.
+#[inline]
+pub fn latch(q: &mut [Lanes], en: Lanes, d: &[Lanes]) {
+    debug_assert_eq!(q.len(), d.len());
+    let el = en.to_logic();
+    let e1 = el.k1();
+    let ex = el.b;
+    let e0 = !(e1 | ex);
+    let eqv = !changed_mask(q, d);
+    for (qv, dv) in q.iter_mut().zip(d) {
+        qv.a = (e1 & dv.a) | (e0 & qv.a) | (ex & ((eqv & qv.a) | !eqv));
+        qv.b = (e1 & dv.b) | (e0 & qv.b) | (ex & ((eqv & qv.b) | !eqv));
+    }
+}
+
+/// Tri-state buffer: known-1 enable passes `d` verbatim, known-0 releases
+/// to `Z`, unknown enable outputs `X`.
+#[inline]
+pub fn tribuf(out: &mut [Lanes], en: Lanes, d: &[Lanes]) {
+    debug_assert_eq!(out.len(), d.len());
+    let el = en.to_logic();
+    let e1 = el.k1();
+    let ex = el.b;
+    let e0 = !(e1 | ex);
+    for (o, dv) in out.iter_mut().zip(d) {
+        o.a = (e1 & dv.a) | ex;
+        o.b = (e1 & dv.b) | e0 | ex;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, ElemState};
+    use crate::kind::ElementKind;
+    use crate::value::Bit;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const STATES: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+
+    fn bitv(b: Bit) -> Value {
+        Value::from_bits(&[b])
+    }
+
+    fn rand_value(rng: &mut SmallRng, width: u8) -> Value {
+        let bits: Vec<Bit> = (0..width).map(|_| STATES[rng.gen_range(0..4)]).collect();
+        Value::from_bits(&bits)
+    }
+
+    /// Packs one scalar pair per lane (16 lanes: every 4-state combination)
+    /// and checks the fold kernel against the scalar evaluator lane by lane.
+    fn check_gate_exhaustive_1bit(kind: ElementKind) {
+        let mut xs = [Lanes::ZERO; 1];
+        let mut ys = [Lanes::ZERO; 1];
+        let mut pairs = Vec::new();
+        for (i, &x) in STATES.iter().enumerate() {
+            for (j, &y) in STATES.iter().enumerate() {
+                let lane = (i * 4 + j) as u32;
+                scatter(&mut xs, lane, &bitv(x));
+                scatter(&mut ys, lane, &bitv(y));
+                pairs.push((lane, bitv(x), bitv(y)));
+            }
+        }
+        let mut out = [Lanes::ZERO; 1];
+        load_logic(&mut out, &xs);
+        match kind {
+            ElementKind::And | ElementKind::Nand => fold_and(&mut out, &ys),
+            ElementKind::Or | ElementKind::Nor => fold_or(&mut out, &ys),
+            ElementKind::Xor | ElementKind::Xnor => fold_xor(&mut out, &ys),
+            _ => unreachable!(),
+        }
+        if matches!(
+            kind,
+            ElementKind::Nand | ElementKind::Nor | ElementKind::Xnor
+        ) {
+            not_inplace(&mut out);
+        }
+        for (lane, x, y) in pairs {
+            let expect = evaluate(&kind, &[x, y], &mut ElemState::None).get(0);
+            assert_eq!(
+                gather(&out, lane),
+                expect,
+                "{kind:?} lane {lane} ({x} op {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn gates_match_scalar_for_every_state_pair() {
+        for kind in [
+            ElementKind::And,
+            ElementKind::Nand,
+            ElementKind::Or,
+            ElementKind::Nor,
+            ElementKind::Xor,
+            ElementKind::Xnor,
+        ] {
+            check_gate_exhaustive_1bit(kind);
+        }
+    }
+
+    #[test]
+    fn unary_gates_match_scalar_for_every_state() {
+        let mut src = [Lanes::ZERO; 1];
+        for (i, &x) in STATES.iter().enumerate() {
+            scatter(&mut src, i as u32, &bitv(x));
+        }
+        for kind in [ElementKind::Not, ElementKind::Buf] {
+            let mut out = [Lanes::ZERO; 1];
+            load_logic(&mut out, &src);
+            if kind == ElementKind::Not {
+                not_inplace(&mut out);
+            }
+            for (i, &x) in STATES.iter().enumerate() {
+                let expect = evaluate(&kind, &[bitv(x)], &mut ElemState::None).get(0);
+                assert_eq!(gather(&out, i as u32), expect, "{kind:?} on {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_gates_match_scalar_on_random_lanes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for kind in [ElementKind::And, ElementKind::Xor, ElementKind::Nor] {
+            let w = 7usize;
+            let mut xs = vec![Lanes::ZERO; w];
+            let mut ys = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let x = rand_value(&mut rng, w as u8);
+                let y = rand_value(&mut rng, w as u8);
+                scatter(&mut xs, lane, &x);
+                scatter(&mut ys, lane, &y);
+                scalar.push((x, y));
+            }
+            let mut out = vec![Lanes::ZERO; w];
+            load_logic(&mut out, &xs);
+            match kind {
+                ElementKind::And => fold_and(&mut out, &ys),
+                ElementKind::Xor => fold_xor(&mut out, &ys),
+                ElementKind::Nor => {
+                    fold_or(&mut out, &ys);
+                    not_inplace(&mut out);
+                }
+                _ => unreachable!(),
+            }
+            for (lane, (x, y)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*x, *y], &mut ElemState::None).get(0);
+                assert_eq!(gather(&out, lane as u32), expect, "{kind:?} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_matches_scalar_including_unknown_select() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let w = 4usize;
+        for _ in 0..40 {
+            let mut sels = [Lanes::ZERO; 1];
+            let mut avs = vec![Lanes::ZERO; w];
+            let mut bvs = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let s = bitv(STATES[rng.gen_range(0..4)]);
+                // Bias towards equal a/b so the X-merge agree path is hit.
+                let a = rand_value(&mut rng, w as u8);
+                let b = if rng.gen_bool(0.4) {
+                    a
+                } else {
+                    rand_value(&mut rng, w as u8)
+                };
+                scatter(&mut sels, lane, &s);
+                scatter(&mut avs, lane, &a);
+                scatter(&mut bvs, lane, &b);
+                scalar.push((s, a, b));
+            }
+            let mut out = vec![Lanes::ZERO; w];
+            mux(&mut out, sels[0], &avs, &bvs);
+            let kind = ElementKind::Mux { width: w as u8 };
+            for (lane, (s, a, b)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*s, *a, *b], &mut ElemState::None).get(0);
+                assert_eq!(gather(&out, lane as u32), expect, "mux lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn dff_sequences_match_scalar() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let w = 3usize;
+        let kind = ElementKind::Dff { width: w as u8 };
+        let mut q = vec![Lanes::X; w];
+        let mut last_clk = Lanes::X;
+        let mut states: Vec<ElemState> = (0..64).map(|_| ElemState::init(&kind)).collect();
+        for _step in 0..200 {
+            let mut clks = [Lanes::ZERO; 1];
+            let mut ds = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let c = bitv(STATES[rng.gen_range(0..4)]);
+                let d = rand_value(&mut rng, w as u8);
+                scatter(&mut clks, lane, &c);
+                scatter(&mut ds, lane, &d);
+                scalar.push((c, d));
+            }
+            dff(&mut q, &mut last_clk, clks[0], &ds);
+            for (lane, (c, d)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*c, *d], &mut states[lane]).get(0);
+                assert_eq!(gather(&q, lane as u32), expect, "dff lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn dffr_sequences_match_scalar() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let w = 2usize;
+        let kind = ElementKind::DffR { width: w as u8 };
+        let mut q = vec![Lanes::X; w];
+        let mut last_clk = Lanes::X;
+        let mut states: Vec<ElemState> = (0..64).map(|_| ElemState::init(&kind)).collect();
+        for _step in 0..200 {
+            let mut clks = [Lanes::ZERO; 1];
+            let mut rsts = [Lanes::ZERO; 1];
+            let mut ds = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let c = bitv(STATES[rng.gen_range(0..4)]);
+                let r = bitv(STATES[rng.gen_range(0..4)]);
+                let d = rand_value(&mut rng, w as u8);
+                scatter(&mut clks, lane, &c);
+                scatter(&mut rsts, lane, &r);
+                scatter(&mut ds, lane, &d);
+                scalar.push((c, d, r));
+            }
+            dffr(&mut q, &mut last_clk, clks[0], &ds, rsts[0]);
+            for (lane, (c, d, r)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*c, *d, *r], &mut states[lane]).get(0);
+                assert_eq!(gather(&q, lane as u32), expect, "dffr lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn latch_sequences_match_scalar() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let w = 2usize;
+        let kind = ElementKind::Latch { width: w as u8 };
+        let mut q = vec![Lanes::X; w];
+        let mut states: Vec<ElemState> = (0..64).map(|_| ElemState::init(&kind)).collect();
+        for _step in 0..200 {
+            let mut ens = [Lanes::ZERO; 1];
+            let mut ds = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let e = bitv(STATES[rng.gen_range(0..4)]);
+                let d = rand_value(&mut rng, w as u8);
+                scatter(&mut ens, lane, &e);
+                scatter(&mut ds, lane, &d);
+                scalar.push((e, d));
+            }
+            latch(&mut q, ens[0], &ds);
+            for (lane, (e, d)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*e, *d], &mut states[lane]).get(0);
+                assert_eq!(gather(&q, lane as u32), expect, "latch lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn tribuf_matches_scalar() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let w = 3usize;
+        let kind = ElementKind::TriBuf { width: w as u8 };
+        for _ in 0..40 {
+            let mut ens = [Lanes::ZERO; 1];
+            let mut ds = vec![Lanes::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..64u32 {
+                let e = bitv(STATES[rng.gen_range(0..4)]);
+                let d = rand_value(&mut rng, w as u8);
+                scatter(&mut ens, lane, &e);
+                scatter(&mut ds, lane, &d);
+                scalar.push((e, d));
+            }
+            let mut out = vec![Lanes::ZERO; w];
+            tribuf(&mut out, ens[0], &ds);
+            for (lane, (e, d)) in scalar.iter().enumerate() {
+                let expect = evaluate(&kind, &[*e, *d], &mut ElemState::None).get(0);
+                assert_eq!(gather(&out, lane as u32), expect, "tribuf lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let mut arr = vec![Lanes::X; 5];
+        let mut vals = Vec::new();
+        for lane in 0..64u32 {
+            let v = rand_value(&mut rng, 5);
+            scatter(&mut arr, lane, &v);
+            vals.push(v);
+        }
+        for (lane, v) in vals.iter().enumerate() {
+            assert_eq!(gather(&arr, lane as u32), *v);
+        }
+        let mut all = vec![Lanes::ZERO; 5];
+        let v = rand_value(&mut rng, 5);
+        broadcast(&mut all, &v);
+        for lane in 0..64u32 {
+            assert_eq!(gather(&all, lane), v);
+        }
+    }
+
+    #[test]
+    fn changed_mask_and_write_masked() {
+        let mut a = vec![Lanes::ZERO; 2];
+        let mut b = vec![Lanes::ZERO; 2];
+        scatter(&mut a, 3, &Value::from_bits(&[Bit::One, Bit::Zero]));
+        assert_eq!(changed_mask(&a, &b), 1 << 3);
+        write_masked(&mut b, &a, 1 << 3);
+        assert_eq!(changed_mask(&a, &b), 0);
+        // Writes outside the mask must not leak.
+        let snapshot = b.clone();
+        let mut src = vec![Lanes::ONE; 2];
+        scatter(&mut src, 3, &Value::from_bits(&[Bit::Zero, Bit::Zero]));
+        write_masked(&mut b, &src, 1 << 5);
+        assert_eq!(gather(&b, 3), gather(&snapshot, 3));
+        assert_eq!(gather(&b, 5), gather(&src, 5));
+    }
+}

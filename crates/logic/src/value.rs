@@ -219,6 +219,34 @@ impl Value {
         }
     }
 
+    /// Decomposes the value into its two encoding planes `(a, b)`.
+    ///
+    /// Plane `a` is set for `1` and `X` bits, plane `b` for `Z` and `X`
+    /// bits. Together with [`Value::from_planes`] this is the bridge
+    /// between scalar values and the word-parallel bit-plane kernels in
+    /// [`packed`](crate::packed).
+    #[inline]
+    pub fn to_planes(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Reassembles a value from its two encoding planes (see
+    /// [`Value::to_planes`]). Bits above `width` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[inline]
+    pub fn from_planes(width: u8, a: u64, b: u64) -> Value {
+        assert_width(width);
+        let m = mask(width);
+        Value {
+            width,
+            a: a & m,
+            b: b & m,
+        }
+    }
+
     /// Treats `Z` bits as `X`, producing a pure-logic view.
     ///
     /// Gate inputs cannot distinguish a floating wire from an unknown one.
@@ -463,19 +491,22 @@ impl Value {
     /// ```
     pub fn resolve(&self, rhs: &Value) -> Value {
         self.check_width(rhs);
-        let mut bits = Vec::with_capacity(self.width as usize);
-        for i in 0..self.width {
-            let a = self.bit_at(i);
-            let b = rhs.bit_at(i);
-            bits.push(match (a, b) {
-                (Bit::Z, x) => x,
-                (x, Bit::Z) => x,
-                (Bit::X, _) | (_, Bit::X) => Bit::X,
-                (x, y) if x == y => x,
-                _ => Bit::X, // 0 vs 1 conflict
-            });
+        // Allocation-free plane arithmetic: a released (Z) driver yields to
+        // the other side, agreeing strong drivers pass through, and every
+        // other combination (X on either side, 0-vs-1 conflict) shorts to X.
+        let m = mask(self.width);
+        let (z1, z2) = (!self.a & self.b, !rhs.a & rhs.b);
+        let (k1a, k1b) = (self.a & !self.b, rhs.a & !rhs.b);
+        let (k0a, k0b) = (!self.a & !self.b & m, !rhs.a & !rhs.b & m);
+        let ones = (k1a & (k1b | z2)) | (k1b & z1);
+        let zeros = (k0a & (k0b | z2)) | (k0b & z1);
+        let z_out = z1 & z2;
+        let x_out = m & !(ones | zeros | z_out);
+        Value {
+            width: self.width,
+            a: ones | x_out,
+            b: z_out | x_out,
         }
-        Value::from_bits(&bits)
     }
 
     /// Concatenates `high` above `self` (`self` stays the LSBs).

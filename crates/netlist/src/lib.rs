@@ -46,6 +46,7 @@
 pub mod analyze;
 pub mod bench_fmt;
 mod build;
+pub mod compile;
 pub mod optimize;
 mod graph;
 mod ids;

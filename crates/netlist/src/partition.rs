@@ -28,6 +28,20 @@ pub struct Partition {
 }
 
 impl Partition {
+    /// Builds a partition from an explicit per-element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero or any assignment entry is out of range.
+    pub fn from_assignment(parts: usize, assignment: Vec<u32>) -> Partition {
+        assert!(parts > 0, "parts must be nonzero");
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < parts),
+            "assignment entry out of range"
+        );
+        Partition { parts, assignment }
+    }
+
     /// The number of parts (processors).
     pub fn parts(&self) -> usize {
         self.parts

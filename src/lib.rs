@@ -70,9 +70,9 @@
 /// ```
 pub mod prelude {
     pub use parsim_core::{
-        assert_equivalent, ActivityReport, ChaoticAsync, CompiledMode, EventDriven,
-        FaultPlan, SimConfig, SimError, SimResult, SyncEventDriven, TestBench, TestRun,
-        Waveform, WaveformStats,
+        assert_equivalent, ActivityReport, BatchResult, ChaoticAsync, CompiledMode,
+        EventDriven, FaultPlan, LaneStimulus, SimConfig, SimError, SimResult,
+        SyncEventDriven, TestBench, TestRun, Waveform, WaveformStats,
     };
     pub use parsim_logic::{Bit, Delay, ElementKind, Time, Value};
     pub use parsim_netlist::{Builder, ElemId, Netlist, NetlistStats, NodeId};
