@@ -26,8 +26,9 @@
 //!
 //! # Lock-freedom inventory
 //!
-//! - element scheduling: n×n single-reader/single-writer FIFO grid
-//!   ([`parsim_queue::grid()`]);
+//! - element scheduling: a worker-private local LIFO deque backed by an
+//!   n×n single-reader/single-writer FIFO grid
+//!   ([`parsim_queue::grid()`]) whose slots carry id *batches*;
 //! - per-node behavior: an append-only chunked event list with a single
 //!   writer (the node's driver, exclusive via the activation machine) and
 //!   release/acquire publication;
@@ -38,6 +39,27 @@
 //!   the (exclusive) writer once every consumer has moved past them.
 //!
 //! No mutex, no barrier, no rollback, anywhere on the hot path.
+//!
+//! # Locality-aware scheduling
+//!
+//! A pure hash scatter sends *every* activation — including an element's
+//! own fan-out — through the grid, so the common producer→consumer hop
+//! pays a cross-core message even when both elements could run on the
+//! same processor. Instead, elements are assigned owner processors by
+//! fan-out cone clustering
+//! ([`parsim_netlist::partition::cone_cluster`]); each worker seeds its
+//! run with its owned initial activations and checks a bounded local
+//! LIFO deque before its grid column. An element stimulating an owned
+//! fan-out pushes locally (hot in cache, no atomics beyond the
+//! activation CAS); foreign fan-out accumulates into per-destination
+//! [`IdBatch`] buffers flushed at activation end, so one SPSC slot
+//! carries many element ids. First-touch pipelining wakes flush eagerly
+//! — batching must not delay the paper's producer/consumer overlap. The
+//! idle branch escalates through a truncated exponential backoff
+//! ([`Backoff`]) instead of burning a hardware thread. All of it is
+//! observable via [`Metrics::locality`] and ablatable via
+//! [`SimConfig::without_local_queue`] /
+//! [`SimConfig::with_partition`](crate::SimConfig).
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -46,13 +68,14 @@ use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use std::time::Instant;
 
 use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, ElemState, ElementKind, Time, Value};
+use parsim_netlist::partition::cone_cluster;
 use parsim_netlist::{Netlist, NodeId};
-use parsim_queue::{grid, ActivationState, GridSender};
+use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
 
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
-use crate::metrics::{Metrics, ThreadMetrics};
+use crate::metrics::{LocalityMetrics, Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
 use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
@@ -62,6 +85,107 @@ const ENGINE: &str = "chaotic-async";
 
 /// Per-worker results: recorded waveform changes plus timing counters.
 type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+
+/// Push-side bound of the local LIFO deque: fan-out pushes beyond this
+/// divert to the owner's grid column instead, so one worker cannot hoard
+/// unbounded work its peers could be executing. Incoming grid batches
+/// always append (they must not be dropped), so occupancy is bounded by
+/// `LOCAL_CAP` plus the size of the worker's initial owned set plus one
+/// batch.
+const LOCAL_CAP: usize = 1024;
+
+/// Per-worker scheduling endpoint: the worker-private LIFO deque, the
+/// per-destination batch buffers, and this worker's grid sender.
+struct Sched {
+    /// This worker's index (= its owner id in the partition).
+    w: usize,
+    tx: GridSender<IdBatch>,
+    /// Worker-private LIFO deque, checked before the grid column.
+    local: Vec<u32>,
+    /// One fill-in-progress batch per destination worker, flushed at
+    /// activation end (or immediately when full / for first-touch wakes).
+    outbox: Vec<IdBatch>,
+    /// `false` reproduces the pure-grid scatter (ablation mode): every
+    /// activation travels as a single-id round-robin batch.
+    use_local: bool,
+    #[cfg(feature = "chaos")]
+    chaos: parsim_queue::chaos::ChaosState,
+}
+
+impl Sched {
+    fn new(w: usize, tx: GridSender<IdBatch>, local: Vec<u32>, use_local: bool) -> Sched {
+        let n = tx.peers();
+        Sched {
+            w,
+            tx,
+            local,
+            outbox: (0..n).map(|_| IdBatch::new()).collect(),
+            use_local,
+            #[cfg(feature = "chaos")]
+            chaos: parsim_queue::chaos::ChaosState::new("chaotic-sched"),
+        }
+    }
+
+    /// Routes one freshly won activation. Owned elements under the cap
+    /// push onto the local deque; everything else accumulates in the
+    /// destination's batch (a full batch flushes immediately).
+    fn enqueue(&mut self, ctx: &Ctx<'_>, e: u32, tm: &mut ThreadMetrics) {
+        if !self.use_local {
+            tm.sched.grid_sends += 1;
+            tm.sched.grid_batches += 1;
+            self.tx.send(IdBatch::single(e));
+            return;
+        }
+        #[cfg(feature = "chaos")]
+        self.chaos.maybe_yield();
+        let dest = ctx.owner[e as usize] as usize;
+        if dest == self.w && self.local.len() < LOCAL_CAP {
+            tm.sched.local_hits += 1;
+            self.local.push(e);
+            return;
+        }
+        // Foreign fan-out — or local overflow diverted through the grid
+        // so idle peers cannot starve while this worker hoards work.
+        tm.sched.grid_sends += 1;
+        if !self.outbox[dest].push(e) {
+            self.flush_one(dest, tm);
+            let pushed = self.outbox[dest].push(e);
+            debug_assert!(pushed, "a freshly flushed batch accepts an id");
+        }
+    }
+
+    /// Like [`enqueue`](Sched::enqueue), but the destination's batch
+    /// flushes immediately afterwards: used for first-touch wakes, where
+    /// batching latency would defeat the paper's producer/consumer
+    /// pipelining.
+    fn enqueue_eager(&mut self, ctx: &Ctx<'_>, e: u32, tm: &mut ThreadMetrics) {
+        self.enqueue(ctx, e, tm);
+        if self.use_local {
+            let dest = ctx.owner[e as usize] as usize;
+            self.flush_one(dest, tm);
+        }
+    }
+
+    /// Sends one destination's fill-in-progress batch, if non-empty.
+    fn flush_one(&mut self, dest: usize, tm: &mut ThreadMetrics) {
+        if self.outbox[dest].is_empty() {
+            return;
+        }
+        #[cfg(feature = "chaos")]
+        self.chaos.maybe_yield();
+        let batch = self.outbox[dest].take();
+        tm.sched.grid_batches += 1;
+        self.tx.send_to(dest, batch);
+    }
+
+    /// Flushes every destination batch. Called at activation end, so no
+    /// foreign activation waits longer than one element run.
+    fn flush_all(&mut self, tm: &mut ThreadMetrics) {
+        for dest in 0..self.outbox.len() {
+            self.flush_one(dest, tm);
+        }
+    }
+}
 
 /// Events per behavior-list chunk.
 const CHUNK: usize = 64;
@@ -278,6 +402,11 @@ struct Ctx<'a> {
     activations: AtomicU64,
     chunks_freed: AtomicU64,
     watched: Vec<bool>,
+    /// Owner worker per element (empty when `use_local` is off).
+    owner: Vec<u32>,
+    /// Local-first scheduling enabled
+    /// ([`SimConfig::local_queue`](crate::SimConfig)).
+    use_local: bool,
     end: u64,
     lookahead: bool,
     gc: bool,
@@ -420,6 +549,26 @@ impl ChaoticAsync {
             .map(|_| ActivationState::new())
             .collect();
 
+        // Owner assignment: the explicitly configured partition if any,
+        // else fan-out cone clustering. Unused (and empty) when the local
+        // queue is ablated — the grid scatter needs no owners.
+        let use_local = config.local_queue;
+        let owner: Vec<u32> = if use_local {
+            match &config.partition {
+                Some(p) => {
+                    assert_eq!(
+                        p.parts(),
+                        n_threads,
+                        "SimConfig::with_partition: part count must equal the thread count"
+                    );
+                    p.assignment().to_vec()
+                }
+                None => cone_cluster(netlist, n_threads).assignment().to_vec(),
+            }
+        } else {
+            Vec::new()
+        };
+
         let ctx = Ctx {
             netlist,
             nodes,
@@ -430,6 +579,8 @@ impl ChaoticAsync {
             activations: AtomicU64::new(0),
             chunks_freed: AtomicU64::new(0),
             watched,
+            owner,
+            use_local,
             end,
             lookahead: config.lookahead,
             gc: config.gc,
@@ -437,21 +588,40 @@ impl ChaoticAsync {
 
         // Initial activation: every non-generator element (matches the
         // other engines' time-zero initialization pass).
-        let (mut senders, receivers) = grid::<u32>(n_threads);
+        let (mut senders, receivers) = grid::<IdBatch>(n_threads);
+        let mut init_work: Vec<Vec<u32>> = vec![Vec::new(); n_threads];
         {
-            // Hash-scatter the initial activations: plain round-robin can
-            // align pathologically with generated-circuit structure (e.g.
-            // every column-head of an inverter array landing on one
-            // processor when the chain depth divides the thread count).
             for (id, e) in netlist.iter_elements() {
                 if e.kind().is_generator() {
                     continue;
                 }
                 assert!(ctx.acts[id.index()].try_activate());
                 ctx.pending.fetch_add(1, Ordering::AcqRel);
-                let target =
-                    (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
-                senders[(target % n_threads as u64) as usize].send(id.index() as u32);
+                if use_local {
+                    // Seed each worker's local deque with its owned
+                    // elements: initial and steady-state placement agree,
+                    // so a cone's chain reaction starts — and stays — on
+                    // its owner.
+                    init_work[ctx.owner[id.index()] as usize].push(id.index() as u32);
+                } else {
+                    // Hash-scatter the initial activations: plain
+                    // round-robin can align pathologically with
+                    // generated-circuit structure (e.g. every column-head
+                    // of an inverter array landing on one processor when
+                    // the chain depth divides the thread count).
+                    let target =
+                        (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+                    senders[(target % n_threads as u64) as usize]
+                        .send(IdBatch::single(id.index() as u32));
+                }
+            }
+            // The deque pops LIFO, so reverse each seed: pops then follow
+            // ascending element order (builder order, roughly topological)
+            // and each element finds its inputs already valid. Seeding in
+            // pop-is-reverse-topological order costs an order of magnitude
+            // in wasted early activations on deep circuits.
+            for work in &mut init_work {
+                work.reverse();
             }
         }
 
@@ -471,8 +641,9 @@ impl ChaoticAsync {
             let handles: Vec<_> = senders
                 .into_iter()
                 .zip(receivers)
+                .zip(init_work)
                 .enumerate()
-                .map(|(w, (mut tx, mut rx))| {
+                .map(|(w, ((tx, mut rx), init))| {
                     let cont = &containment;
                     let fault = config.fault.clone();
                     scope.spawn(move || {
@@ -480,17 +651,34 @@ impl ChaoticAsync {
                             std::panic::AssertUnwindSafe(|| {
                                 let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
                                 let mut tm = ThreadMetrics::default();
+                                // Seeded owned activations count as local
+                                // hits: they were placed without touching
+                                // the grid.
+                                tm.sched.local_hits += init.len() as u64;
+                                let mut sched = Sched::new(w, tx, init, ctx.use_local);
+                                let mut backoff = Backoff::new();
                                 let mut idle_since: Option<Instant> = None;
                                 let mut processed = 0u64;
                                 loop {
                                     if cont.cancelled() {
                                         break;
                                     }
-                                    match rx.recv() {
+                                    // Local-first: drain the private deque,
+                                    // then pull one batch off the grid
+                                    // column and run its ids from the deque.
+                                    let next = match sched.local.pop() {
+                                        Some(e) => Some(e),
+                                        None => rx.recv().and_then(|batch| {
+                                            sched.local.extend_from_slice(batch.as_slice());
+                                            sched.local.pop()
+                                        }),
+                                    };
+                                    match next {
                                         Some(e) => {
                                             if let Some(t0) = idle_since.take() {
                                                 tm.idle += t0.elapsed();
                                             }
+                                            backoff.reset();
                                             if let FaultAction::Exit = fault.check(
                                                 w,
                                                 processed,
@@ -502,18 +690,32 @@ impl ChaoticAsync {
                                             cont.beat(w);
                                             let busy = Instant::now();
                                             let e = e as usize;
+                                            if ctx.use_local && ctx.owner[e] as usize != w {
+                                                tm.sched.steals += 1;
+                                            }
                                             ctx.acts[e].begin_run();
                                             ctx.activations.fetch_add(1, Ordering::Relaxed);
                                             // SAFETY: activation machine grants
                                             // exclusive element access.
                                             unsafe {
-                                                run_element(ctx, e, &mut tx, &mut changes, &mut tm)
+                                                run_element(
+                                                    ctx,
+                                                    e,
+                                                    &mut sched,
+                                                    &mut changes,
+                                                    &mut tm,
+                                                )
                                             };
                                             if ctx.acts[e].finish_run() {
-                                                tx.send(e as u32);
+                                                sched.enqueue(ctx, e as u32, &mut tm);
                                             } else {
                                                 ctx.pending.fetch_sub(1, Ordering::AcqRel);
                                             }
+                                            // One activation's foreign
+                                            // fan-out rides together: flush
+                                            // now, so no peer waits longer
+                                            // than one element run.
+                                            sched.flush_all(&mut tm);
                                             tm.busy += busy.elapsed();
                                         }
                                         None => {
@@ -523,10 +725,18 @@ impl ChaoticAsync {
                                             if idle_since.is_none() {
                                                 idle_since = Some(Instant::now());
                                             }
-                                            std::hint::spin_loop();
-                                            std::thread::yield_now();
+                                            if backoff.snooze() {
+                                                tm.sched.backoff_parks += 1;
+                                            }
                                         }
                                     }
+                                }
+                                // Close the trailing idle span on every
+                                // exit path (termination, cancellation,
+                                // fault exit) — it used to leak unless the
+                                // worker happened to pop one more element.
+                                if let Some(t0) = idle_since.take() {
+                                    tm.idle += t0.elapsed();
                                 }
                                 (changes, tm)
                             }),
@@ -590,9 +800,11 @@ impl ChaoticAsync {
         let mut per_thread = Vec::with_capacity(n_threads);
         let mut evaluations = 0;
         let mut events_processed = events_seed;
+        let mut locality = LocalityMetrics::default();
         for (c, tm) in outputs {
             evaluations += tm.evaluations;
             events_processed += tm.events;
+            locality.merge(&tm.sched);
             changes.extend(c);
             per_thread.push(tm);
         }
@@ -606,6 +818,7 @@ impl ChaoticAsync {
             gc_chunks_freed: ctx.chunks_freed.load(Ordering::Relaxed),
             blocks_skipped: 0,
             evals_skipped: 0,
+            locality,
             wall: start.elapsed(),
         };
         Ok(SimResult::from_changes(
@@ -629,7 +842,7 @@ impl ChaoticAsync {
 unsafe fn run_element(
     ctx: &Ctx<'_>,
     e: usize,
-    tx: &mut GridSender<u32>,
+    sched: &mut Sched,
     changes: &mut Vec<(Time, NodeId, Value)>,
     tm: &mut ThreadMetrics,
 ) {
@@ -723,7 +936,7 @@ unsafe fn run_element(
                     let c = consumer.index();
                     if ctx.acts[c].try_activate() {
                         ctx.pending.fetch_add(1, Ordering::AcqRel);
-                        tx.send(c as u32);
+                        sched.enqueue_eager(ctx, c as u32, tm);
                     }
                 }
             }
@@ -797,7 +1010,7 @@ unsafe fn run_element(
                 let c = consumer.index();
                 if ctx.acts[c].try_activate() {
                     ctx.pending.fetch_add(1, Ordering::AcqRel);
-                    tx.send(c as u32);
+                    sched.enqueue(ctx, c as u32, tm);
                 }
             }
         }

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use parsim_logic::Time;
+use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
 
 use crate::error::SimError;
@@ -62,6 +63,19 @@ pub struct SimConfig {
     /// [`SimConfig::without_activity_gating`] to reproduce the paper's
     /// literal "every element is executed every time step" behavior.
     pub activity_gating: bool,
+    /// Asynchronous-engine local-first scheduling: each worker owns a
+    /// bounded LIFO deque checked before its grid column, and foreign
+    /// fan-out is accumulated into batched grid sends. On by default;
+    /// never changes waveforms, only where activations execute. Disable
+    /// with [`SimConfig::without_local_queue`] to reproduce the pure
+    /// hash-scattered grid scheduling.
+    pub local_queue: bool,
+    /// Explicit element→processor ownership for the asynchronous engine's
+    /// locality-aware scheduler. `None` (the default) computes a fan-out
+    /// cone-clustering partition
+    /// ([`parsim_netlist::partition::cone_cluster`]) at run start.
+    /// Ignored when [`SimConfig::local_queue`] is off.
+    pub partition: Option<Partition>,
 }
 
 impl SimConfig {
@@ -79,6 +93,8 @@ impl SimConfig {
             stall_timeout: None,
             fault: FaultPlan::default(),
             activity_gating: true,
+            local_queue: true,
+            partition: None,
         }
     }
 
@@ -199,6 +215,29 @@ impl SimConfig {
         self.activity_gating = false;
         self
     }
+
+    /// Disables the asynchronous engine's local-first scheduling,
+    /// reverting to the pure hash-scattered grid (the ablation baseline:
+    /// every activation — including an element's own fan-out — pays a
+    /// cross-processor message).
+    #[must_use]
+    pub fn without_local_queue(mut self) -> SimConfig {
+        self.local_queue = false;
+        self
+    }
+
+    /// Supplies an explicit element→processor partition for the
+    /// asynchronous engine's locality-aware scheduler (ablation /
+    /// experimentation knob; the default is a fan-out cone clustering
+    /// computed at run start).
+    ///
+    /// The partition's part count must equal the configured thread count
+    /// when the run starts, or the asynchronous engine panics.
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> SimConfig {
+        self.partition = Some(partition);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +255,8 @@ mod tests {
             .without_lookahead()
             .without_gc()
             .with_timing_wheel()
-            .without_activity_gating();
+            .without_activity_gating()
+            .without_local_queue();
         assert_eq!(cfg.end_time, Time(5));
         assert_eq!(cfg.watch, vec![n0, n1]);
         assert_eq!(cfg.threads, 3);
@@ -224,7 +264,17 @@ mod tests {
         assert!(!cfg.gc);
         assert!(cfg.timing_wheel);
         assert!(!cfg.activity_gating);
+        assert!(!cfg.local_queue);
         assert!(SimConfig::new(Time(5)).activity_gating);
+        assert!(SimConfig::new(Time(5)).local_queue);
+        assert!(SimConfig::new(Time(5)).partition.is_none());
+    }
+
+    #[test]
+    fn explicit_partition_chains() {
+        let p = parsim_netlist::partition::round_robin(6, 2);
+        let cfg = SimConfig::new(Time(5)).threads(2).with_partition(p.clone());
+        assert_eq!(cfg.partition, Some(p));
     }
 
     #[test]

@@ -305,6 +305,7 @@ pub(crate) fn run(
         gc_chunks_freed: 0,
         blocks_skipped,
         evals_skipped,
+        locality: Default::default(),
         wall: start.elapsed(),
     };
     Ok(SimResult::from_changes(

@@ -75,7 +75,7 @@ pub use compiled::{BatchResult, CompiledMode, LaneStimulus};
 pub use config::SimConfig;
 pub use error::{SimError, StallDiagnostic};
 pub use fault::FaultPlan;
-pub use metrics::{EventsPerStepHistogram, Metrics, ThreadMetrics};
+pub use metrics::{EventsPerStepHistogram, LocalityMetrics, Metrics, ThreadMetrics};
 pub use seq::EventDriven;
 pub use sync::SyncEventDriven;
 pub use testbench::{TestBench, TestBenchError, TestRun};

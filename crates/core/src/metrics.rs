@@ -134,6 +134,76 @@ impl fmt::Display for EventsPerStepHistogram {
     }
 }
 
+/// Scheduling-locality counters for the asynchronous engine's
+/// locality-aware scheduler (zero for the other engines).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_core::LocalityMetrics;
+///
+/// let m = LocalityMetrics {
+///     local_hits: 30,
+///     grid_sends: 10,
+///     grid_batches: 2,
+///     ..Default::default()
+/// };
+/// assert!((m.locality_ratio() - 0.75).abs() < 1e-9);
+/// assert!((m.batch_occupancy() - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityMetrics {
+    /// Activations scheduled through a worker's own local LIFO deque
+    /// (no grid message; includes the initial owner placement).
+    pub local_hits: u64,
+    /// Element ids sent across the SPSC grid (cross-processor hops, plus
+    /// local-deque overflow routed back through the grid).
+    pub grid_sends: u64,
+    /// Grid slots used to carry those ids; `grid_sends / grid_batches`
+    /// is the mean batch occupancy.
+    pub grid_batches: u64,
+    /// Activations executed by a worker other than the element's owner
+    /// (zero under owner routing; counts scatter traffic in the
+    /// `without_local_queue` ablation).
+    pub steals: u64,
+    /// Idle-branch snoozes that reached the bounded-park stage of the
+    /// truncated exponential backoff.
+    pub backoff_parks: u64,
+}
+
+impl LocalityMetrics {
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &LocalityMetrics) {
+        self.local_hits += other.local_hits;
+        self.grid_sends += other.grid_sends;
+        self.grid_batches += other.grid_batches;
+        self.steals += other.steals;
+        self.backoff_parks += other.backoff_parks;
+    }
+
+    /// Fraction of scheduled activations that stayed processor-local:
+    /// `local_hits / (local_hits + grid_sends)`. Returns 0.0 when nothing
+    /// was scheduled.
+    pub fn locality_ratio(&self) -> f64 {
+        let total = self.local_hits + self.grid_sends;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean element ids per occupied grid slot (1.0 means no batching
+    /// benefit). Returns 0.0 when the grid was never used.
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.grid_batches == 0 {
+            0.0
+        } else {
+            self.grid_sends as f64 / self.grid_batches as f64
+        }
+    }
+}
+
 /// Per-worker-thread timing and work counters.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadMetrics {
@@ -145,6 +215,8 @@ pub struct ThreadMetrics {
     pub evaluations: u64,
     /// Input events consumed by this thread's evaluations.
     pub events: u64,
+    /// Scheduling-locality counters (asynchronous engine only).
+    pub sched: LocalityMetrics,
 }
 
 impl ThreadMetrics {
@@ -185,6 +257,9 @@ pub struct Metrics {
     /// the paper's "every element is executed every time step" rule would
     /// have performed on the skipped blocks.
     pub evals_skipped: u64,
+    /// Aggregated scheduling-locality counters (asynchronous engine only;
+    /// the per-thread split lives in [`Metrics::per_thread`]).
+    pub locality: LocalityMetrics,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
 }
@@ -288,6 +363,7 @@ mod tests {
             idle: Duration::from_millis(25),
             evaluations: 10,
             events: 20,
+            sched: Default::default(),
         };
         assert!((t.utilization() - 0.75).abs() < 1e-9);
         let m = Metrics {
@@ -310,6 +386,33 @@ mod tests {
         assert!((m.activity(1000) - 0.005).abs() < 1e-9);
         assert_eq!(m.activity(0), 0.0);
         assert_eq!(Metrics::default().activity(10), 0.0);
+    }
+
+    #[test]
+    fn locality_ratio_and_occupancy() {
+        assert_eq!(LocalityMetrics::default().locality_ratio(), 0.0);
+        assert_eq!(LocalityMetrics::default().batch_occupancy(), 0.0);
+        let mut a = LocalityMetrics {
+            local_hits: 60,
+            grid_sends: 20,
+            grid_batches: 4,
+            steals: 1,
+            backoff_parks: 2,
+        };
+        assert!((a.locality_ratio() - 0.75).abs() < 1e-9);
+        assert!((a.batch_occupancy() - 5.0).abs() < 1e-9);
+        let b = LocalityMetrics {
+            local_hits: 40,
+            grid_sends: 0,
+            grid_batches: 0,
+            steals: 0,
+            backoff_parks: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.local_hits, 100);
+        assert_eq!(a.grid_sends, 20);
+        assert_eq!(a.backoff_parks, 5);
+        assert!((a.locality_ratio() - 100.0 / 120.0).abs() < 1e-9);
     }
 
     #[test]

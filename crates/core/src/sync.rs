@@ -540,6 +540,7 @@ impl SyncEventDriven {
             gc_chunks_freed: 0,
             blocks_skipped: 0,
             evals_skipped: 0,
+            locality: Default::default(),
             wall: start.elapsed(),
         };
         Ok(SimResult::from_changes(

@@ -1,0 +1,378 @@
+//! `bench3` — thread-scaling of the locality-aware chaotic engine.
+//!
+//! Runs the asynchronous chaotic engine with locality-aware scheduling on
+//! (cone partition + local deques + batched sends, the default) and off
+//! (`without_local_queue`, the pure-grid ablation), plus the synchronous
+//! event-driven engine for reference, at 1/2/4/8 worker threads on two
+//! gate-level circuits: the paper's 32×16 inverter array and the 16-bit
+//! gate-level multiplier. Writes the paper-style speedup table as JSON to
+//! `BENCH_3.json` in the current directory (override with `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p parsim-harness --bin bench3 [-- --quick] [--out BENCH_3.json] [--threads N,N,..]
+//! ```
+//!
+//! `--quick` (or the `PARSIM_BENCH_QUICK` env var) shortens simulated
+//! time so CI can smoke-test the harness; `--threads` overrides the
+//! default 1,2,4,8 sweep.
+//!
+//! Speedups are wall-clock relative to the same engine at one thread, the
+//! paper's Figure 1 convention (it reports 6–9× at 15 processors for the
+//! gate-level multiplier). On machines with fewer hardware CPUs than
+//! worker threads the speedup column measures oversubscription, not
+//! scaling, so the acceptance block records `available_cpus` and gates
+//! the wall-clock criterion on `thread_scaling_measurable`; the locality
+//! criterion (local-deque hits vs grid sends) is scheduling-counter based
+//! and holds at any CPU count.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parsim_core::{ChaoticAsync, SimConfig, SimResult, SyncEventDriven};
+use parsim_harness::{paper_gate_multiplier, paper_inverter_array};
+use parsim_logic::Time;
+use parsim_netlist::Netlist;
+
+/// Default worker-thread sweep (paper Figure 1 plots 1–16 processors).
+const DEFAULT_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// One engine × thread-count measurement.
+struct RunRow {
+    threads: usize,
+    wall_secs: f64,
+    events: u64,
+    evals: u64,
+    activations: u64,
+    local_hits: u64,
+    grid_sends: u64,
+    grid_batches: u64,
+    steals: u64,
+    backoff_parks: u64,
+}
+
+impl RunRow {
+    fn from_result(threads: usize, wall_secs: f64, r: &SimResult) -> RunRow {
+        let l = &r.metrics.locality;
+        RunRow {
+            threads,
+            wall_secs,
+            events: r.metrics.events_processed,
+            evals: r.metrics.evaluations,
+            activations: r.metrics.activations,
+            local_hits: l.local_hits,
+            grid_sends: l.grid_sends,
+            grid_batches: l.grid_batches,
+            steals: l.steals,
+            backoff_parks: l.backoff_parks,
+        }
+    }
+
+    fn locality_ratio(&self) -> f64 {
+        let total = self.local_hits + self.grid_sends;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / total as f64
+        }
+    }
+
+    fn batch_occupancy(&self) -> f64 {
+        if self.grid_batches == 0 {
+            0.0
+        } else {
+            self.grid_sends as f64 / self.grid_batches as f64
+        }
+    }
+}
+
+/// Wall-clock speedup of each row over the 1-thread row of the same mode.
+fn speedup(rows: &[RunRow], i: usize) -> f64 {
+    rows[0].wall_secs / rows[i].wall_secs
+}
+
+struct CircuitReport {
+    name: &'static str,
+    elements: usize,
+    end_time: u64,
+    /// Chaotic engine, locality-aware scheduling (the default).
+    chaotic_local: Vec<RunRow>,
+    /// Chaotic engine, `without_local_queue` pure-grid ablation.
+    chaotic_grid: Vec<RunRow>,
+    /// Synchronous event-driven reference.
+    sync: Vec<RunRow>,
+}
+
+/// Best-of-`reps` wall time per thread count; counters come from the
+/// fastest repetition (scheduling counters vary run to run under true
+/// concurrency, so they are a representative sample, not a constant).
+fn sweep<F>(threads: &[usize], reps: usize, mut run: F) -> Vec<RunRow>
+where
+    F: FnMut(usize) -> SimResult,
+{
+    threads
+        .iter()
+        .map(|&t| {
+            let mut best: Option<RunRow> = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = run(t);
+                let wall = t0.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
+                    best = Some(RunRow::from_result(t, wall, &r));
+                }
+            }
+            best.expect("reps >= 1")
+        })
+        .collect()
+}
+
+fn measure(
+    netlist: &Netlist,
+    name: &'static str,
+    end: u64,
+    threads: &[usize],
+    reps: usize,
+) -> CircuitReport {
+    let cfg = SimConfig::new(Time(end));
+    let chaotic_local = sweep(threads, reps, |t| {
+        ChaoticAsync::run(netlist, &cfg.clone().threads(t)).expect("chaotic local run")
+    });
+    let chaotic_grid = sweep(threads, reps, |t| {
+        ChaoticAsync::run(netlist, &cfg.clone().threads(t).without_local_queue())
+            .expect("chaotic grid run")
+    });
+    let sync = sweep(threads, reps, |t| {
+        SyncEventDriven::run(netlist, &cfg.clone().threads(t)).expect("sync run")
+    });
+    CircuitReport {
+        name,
+        elements: netlist.num_elements(),
+        end_time: end,
+        chaotic_local,
+        chaotic_grid,
+        sync,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn rows_json(out: &mut String, indent: &str, rows: &[RunRow]) {
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!("{indent}{{\n"));
+        out.push_str(&format!("{indent}  \"threads\": {},\n", r.threads));
+        out.push_str(&format!("{indent}  \"wall_secs\": {},\n", json_f(r.wall_secs)));
+        out.push_str(&format!("{indent}  \"speedup_vs_1t\": {},\n", json_f(speedup(rows, i))));
+        out.push_str(&format!("{indent}  \"events\": {},\n", r.events));
+        out.push_str(&format!("{indent}  \"element_evals\": {},\n", r.evals));
+        out.push_str(&format!("{indent}  \"activations\": {},\n", r.activations));
+        out.push_str(&format!("{indent}  \"local_hits\": {},\n", r.local_hits));
+        out.push_str(&format!("{indent}  \"grid_sends\": {},\n", r.grid_sends));
+        out.push_str(&format!("{indent}  \"grid_batches\": {},\n", r.grid_batches));
+        out.push_str(&format!("{indent}  \"steals\": {},\n", r.steals));
+        out.push_str(&format!("{indent}  \"backoff_parks\": {},\n", r.backoff_parks));
+        out.push_str(&format!(
+            "{indent}  \"locality_ratio\": {},\n",
+            json_f(r.locality_ratio())
+        ));
+        out.push_str(&format!(
+            "{indent}  \"batch_occupancy\": {}\n",
+            json_f(r.batch_occupancy())
+        ));
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("{indent}}}{sep}\n"));
+    }
+}
+
+fn render(
+    reports: &[CircuitReport],
+    threads: &[usize],
+    quick: bool,
+    available_cpus: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"chaotic-locality-thread-scaling\",\n");
+    out.push_str("  \"generated_by\": \"parsim-harness bench3\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"available_cpus\": {available_cpus},\n"));
+    out.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"paper_reference\": \"gate-level multiplier: 6-9x speedup at 15 CPUs (Fig. 1)\",\n");
+    out.push_str("  \"circuits\": [\n");
+    for (ci, rep) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", rep.name));
+        out.push_str(&format!("      \"elements\": {},\n", rep.elements));
+        out.push_str(&format!("      \"end_time\": {},\n", rep.end_time));
+        out.push_str("      \"chaotic_locality\": [\n");
+        rows_json(&mut out, "        ", &rep.chaotic_local);
+        out.push_str("      ],\n");
+        out.push_str("      \"chaotic_pure_grid\": [\n");
+        rows_json(&mut out, "        ", &rep.chaotic_grid);
+        out.push_str("      ],\n");
+        out.push_str("      \"sync_event_driven\": [\n");
+        rows_json(&mut out, "        ", &rep.sync);
+        out.push_str("      ]\n");
+        out.push_str(if ci + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+
+    // Acceptance: the wall-clock criterion only means "thread scaling"
+    // when the hardware can actually run the workers in parallel; the
+    // locality criterion is counter-based and CPU-independent.
+    let gate = reports
+        .iter()
+        .find(|r| r.name == "gate_multiplier")
+        .expect("gate_multiplier report present");
+    let four = threads.iter().position(|&t| t == 4);
+    let speedup_4t = four.map(|i| speedup(&gate.chaotic_local, i));
+    // Locality is judged at 4 threads, falling back to the widest sweep
+    // point when a custom --threads list omits 4 (e.g. the CI smoke run).
+    let locality_at = four.unwrap_or(gate.chaotic_local.len() - 1);
+    let locality_judged = gate.chaotic_local[locality_at].locality_ratio();
+    let min_locality = reports
+        .iter()
+        .flat_map(|r| r.chaotic_local.iter())
+        .map(RunRow::locality_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let measurable = available_cpus >= 4;
+    // The wall-clock criterion only applies when the 4-thread row exists
+    // and the hardware can actually run 4 workers in parallel.
+    let speedup_required = measurable && four.is_some();
+    let speedup_ok = speedup_4t.is_some_and(|s| s >= 2.0);
+    let locality_ok = locality_judged >= 0.5;
+    out.push_str("  \"acceptance\": {\n");
+    out.push_str(
+        "    \"criterion\": \"gate_multiplier chaotic @4 threads >= 2x over 1 thread and local-queue hits >= 50% of scheduled activations\",\n",
+    );
+    out.push_str(&format!(
+        "    \"chaotic_speedup_at_4_threads\": {},\n",
+        speedup_4t.map_or("null".into(), json_f)
+    ));
+    out.push_str(&format!(
+        "    \"locality_ratio_judged\": {},\n",
+        json_f(locality_judged)
+    ));
+    out.push_str(&format!(
+        "    \"locality_judged_at_threads\": {},\n",
+        gate.chaotic_local[locality_at].threads
+    ));
+    out.push_str(&format!(
+        "    \"min_locality_ratio_all_runs\": {},\n",
+        json_f(min_locality)
+    ));
+    out.push_str(&format!("    \"available_cpus\": {available_cpus},\n"));
+    out.push_str(&format!(
+        "    \"thread_scaling_measurable\": {measurable},\n"
+    ));
+    out.push_str(&format!("    \"speedup_pass\": {speedup_ok},\n"));
+    out.push_str(&format!("    \"locality_pass\": {locality_ok},\n"));
+    out.push_str(&format!(
+        "    \"pass\": {}\n",
+        locality_ok && (speedup_ok || !speedup_required)
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn print_table(rep: &CircuitReport) {
+    println!(
+        "{} ({} elements, end {}):",
+        rep.name, rep.elements, rep.end_time
+    );
+    println!(
+        "  {:>7}  {:>18}  {:>18}  {:>18}  {:>8}  {:>6}",
+        "threads", "chaotic-local", "chaotic-grid", "sync", "locality", "occ"
+    );
+    for i in 0..rep.chaotic_local.len() {
+        println!(
+            "  {:>7}  {:>10.4}s {:>5.2}x  {:>10.4}s {:>5.2}x  {:>10.4}s {:>5.2}x  {:>7.1}%  {:>6.2}",
+            rep.chaotic_local[i].threads,
+            rep.chaotic_local[i].wall_secs,
+            speedup(&rep.chaotic_local, i),
+            rep.chaotic_grid[i].wall_secs,
+            speedup(&rep.chaotic_grid, i),
+            rep.sync[i].wall_secs,
+            speedup(&rep.sync, i),
+            100.0 * rep.chaotic_local[i].locality_ratio(),
+            rep.chaotic_local[i].batch_occupancy(),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = std::env::var_os("PARSIM_BENCH_QUICK").is_some();
+    let mut out_path = "BENCH_3.json".to_string();
+    let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(list)) if !list.is_empty() && list[0] == 1 => threads = list,
+                _ => {
+                    eprintln!("--threads requires a comma list starting with 1 (e.g. 1,2,4)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench3 [--quick] [--out PATH] [--threads 1,2,4,8]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let available_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (vectors, arr_end, reps) = if quick { (1, 60, 1) } else { (4, 200, 3) };
+
+    let arr = paper_inverter_array(2);
+    let gate = paper_gate_multiplier(vectors);
+    let reports = vec![
+        measure(&arr.netlist, "inverter_array", arr_end, &threads, reps),
+        measure(
+            &gate.netlist,
+            "gate_multiplier",
+            gate.schedule_end().ticks(),
+            &threads,
+            reps,
+        ),
+    ];
+
+    for rep in &reports {
+        print_table(rep);
+    }
+    println!("available CPUs: {available_cpus}");
+
+    let json = render(&reports, &threads, quick, available_cpus);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

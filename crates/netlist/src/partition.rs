@@ -1,9 +1,16 @@
-//! Static element partitioning for the compiled-mode algorithm.
+//! Static element partitioning for the compiled-mode and asynchronous
+//! engines.
 //!
 //! The paper's compiled-mode simulator statically assigns every element to
 //! a processor (§3). Gate-level circuits with many similar elements balance
 //! easily; the functional multiplier's ~100 heterogeneous elements do not —
 //! which is exactly what these strategies let the experiments demonstrate.
+//!
+//! [`cone_cluster`] additionally serves the asynchronous engine's
+//! locality-aware scheduler: it clusters elements along fan-out chains so
+//! a producer and its consumers share an owner processor, turning the
+//! common activation hop into a processor-local push instead of a
+//! cross-core grid message.
 
 use crate::graph::Netlist;
 
@@ -148,6 +155,158 @@ pub fn lpt(costs: &[u64], parts: usize) -> Partition {
     Partition { parts, assignment }
 }
 
+/// Clusters per processor targeted by [`cone_cluster`]: coarse enough
+/// that fan-out chains stay whole, fine enough that LPT over the clusters
+/// bounds the load imbalance at roughly `1 + 1/GRAIN` of the mean.
+const CONE_GRAIN: u64 = 4;
+
+/// Fan-out cone clustering with LPT-balanced cluster weights.
+///
+/// Grows clusters depth-first along fan-out edges — a producer pulls its
+/// consumers into its own cluster — until the cluster reaches a weight cap
+/// of about `total_cost / (parts * CONE_GRAIN)`, then LPT-assigns whole
+/// clusters to processors by summed evaluation cost. Seeds are taken in
+/// topological order (generator-fed elements first) so clusters grow
+/// downstream from the stimulus, following the direction activations flow
+/// at run time.
+///
+/// Compared to a hash or round-robin scatter this keeps the common
+/// producer→consumer activation hop on one processor (the asynchronous
+/// engine turns it into a local-deque push), while the weight cap keeps
+/// the per-processor load within `~(1 + 1/CONE_GRAIN)` of perfect balance.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_logic::{Delay, ElementKind};
+/// use parsim_netlist::partition::cone_cluster;
+/// use parsim_netlist::Builder;
+///
+/// let mut b = Builder::new();
+/// let mut prev = b.node("n0", 1);
+/// for i in 0..8 {
+///     let next = b.node(&format!("n{}", i + 1), 1);
+///     b.element(&format!("inv{i}"), ElementKind::Not, Delay(1), &[prev], &[next]).unwrap();
+///     prev = next;
+/// }
+/// let n = b.finish().unwrap();
+/// let p = cone_cluster(&n, 2);
+/// assert_eq!(p.parts(), 2);
+/// assert_eq!(p.assignment().len(), n.num_elements());
+/// ```
+pub fn cone_cluster(netlist: &Netlist, parts: usize) -> Partition {
+    assert!(parts > 0, "parts must be nonzero");
+    let n = netlist.num_elements();
+    if parts == 1 || n == 0 {
+        return Partition {
+            parts,
+            assignment: vec![0; n],
+        };
+    }
+
+    let costs = element_costs(netlist);
+    let total: u64 = costs.iter().sum::<u64>().max(1);
+    let cap = (total / (parts as u64 * CONE_GRAIN)).max(1);
+
+    // Successor adjacency: e -> every element on the fan-out of e's
+    // output nodes. CSR layout to avoid per-element Vecs.
+    let mut succ_off = vec![0usize; n + 1];
+    for (id, e) in netlist.iter_elements() {
+        let deg: usize = e
+            .outputs()
+            .iter()
+            .map(|&o| netlist.node(o).fanout().len())
+            .sum();
+        succ_off[id.index() + 1] = deg;
+    }
+    for i in 0..n {
+        succ_off[i + 1] += succ_off[i];
+    }
+    let mut succ = vec![0u32; succ_off[n]];
+    {
+        let mut cursor = succ_off.clone();
+        for (id, e) in netlist.iter_elements() {
+            for &o in e.outputs() {
+                for &(consumer, _) in netlist.node(o).fanout() {
+                    succ[cursor[id.index()]] = consumer.index() as u32;
+                    cursor[id.index()] += 1;
+                }
+            }
+        }
+    }
+
+    // Seed order: generators and primary (undriven-input) elements first,
+    // remaining elements by index — clusters grow downstream from the
+    // stimulus, the direction activations travel.
+    let mut is_root = vec![true; n];
+    for (id, e) in netlist.iter_elements() {
+        if !e.kind().is_generator()
+            && e.inputs().iter().any(|&i| {
+                netlist
+                    .node(i)
+                    .driver()
+                    .is_some_and(|(d, _)| !netlist.element(d).kind().is_generator())
+            })
+        {
+            is_root[id.index()] = false;
+        }
+    }
+    let seeds = (0..n).filter(|&e| is_root[e]).chain((0..n).filter(|&e| !is_root[e]));
+
+    let mut cluster = vec![u32::MAX; n];
+    let mut weights: Vec<u64> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for seed in seeds {
+        if cluster[seed] != u32::MAX {
+            continue;
+        }
+        let cid = weights.len() as u32;
+        weights.push(0);
+        stack.clear();
+        stack.push(seed);
+        while let Some(e) = stack.pop() {
+            if cluster[e] != u32::MAX {
+                continue;
+            }
+            cluster[e] = cid;
+            weights[cid as usize] += costs[e];
+            if weights[cid as usize] >= cap {
+                // Cluster is full; unvisited stack residue reseeds later.
+                break;
+            }
+            for &s in &succ[succ_off[e]..succ_off[e + 1]] {
+                if cluster[s as usize] == u32::MAX {
+                    stack.push(s as usize);
+                }
+            }
+        }
+    }
+
+    // LPT over whole clusters.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(weights[c]));
+    let mut loads = vec![0u64; parts];
+    let mut cluster_part = vec![0u32; weights.len()];
+    for c in order {
+        let (best, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("parts > 0");
+        cluster_part[c] = best as u32;
+        loads[best] += weights[c];
+    }
+
+    Partition {
+        parts,
+        assignment: cluster.into_iter().map(|c| cluster_part[c as usize]).collect(),
+    }
+}
+
 /// Per-element evaluation costs in inverter-event units (see
 /// [`parsim_logic::ElementKind::eval_cost`]).
 pub fn element_costs(netlist: &Netlist) -> Vec<u64> {
@@ -218,5 +377,143 @@ mod tests {
         let costs = vec![2u64, 2, 2, 2];
         let p = round_robin(4, 2);
         assert!((p.imbalance(&costs) - 1.0).abs() < 1e-9);
+    }
+
+    use crate::build::Builder;
+    use parsim_logic::{Delay, ElementKind};
+
+    /// `chains` independent clock-fed inverter chains of `depth` stages.
+    fn chain_circuit(chains: usize, depth: usize) -> Netlist {
+        let mut b = Builder::new();
+        for c in 0..chains {
+            let mut prev = b.node(&format!("clk{c}"), 1);
+            b.element(
+                &format!("osc{c}"),
+                ElementKind::Clock {
+                    half_period: 4,
+                    offset: 4,
+                },
+                Delay(1),
+                &[],
+                &[prev],
+            )
+            .unwrap();
+            for d in 0..depth {
+                let next = b.node(&format!("n{c}_{d}"), 1);
+                b.element(
+                    &format!("inv{c}_{d}"),
+                    ElementKind::Not,
+                    Delay(1),
+                    &[prev],
+                    &[next],
+                )
+                .unwrap();
+                prev = next;
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    /// Fraction of producer→consumer fan-out edges whose endpoints share
+    /// an owner under `p`.
+    fn edge_locality(netlist: &Netlist, p: &Partition) -> f64 {
+        let a = p.assignment();
+        let (mut local, mut total) = (0u64, 0u64);
+        for (id, e) in netlist.iter_elements() {
+            for &o in e.outputs() {
+                for &(consumer, _) in netlist.node(o).fanout() {
+                    total += 1;
+                    if a[id.index()] == a[consumer.index()] {
+                        local += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+
+    #[test]
+    fn cone_cluster_keeps_whole_chains_on_one_processor() {
+        // 8 chains of 8 at 2 parts: cluster cap equals one chain's weight,
+        // so every chain becomes one cluster and LPT spreads whole chains.
+        let n = chain_circuit(8, 8);
+        let p = cone_cluster(&n, 2);
+        for c in 0..8 {
+            let osc = n.element_by_name(&format!("osc{c}")).unwrap();
+            let owner = p.assignment()[osc.index()];
+            for d in 0..8 {
+                let inv = n.element_by_name(&format!("inv{c}_{d}")).unwrap();
+                assert_eq!(
+                    p.assignment()[inv.index()],
+                    owner,
+                    "chain {c} split across processors"
+                );
+            }
+        }
+        assert!((edge_locality(&n, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cone_cluster_beats_scatter_on_edge_locality() {
+        let n = chain_circuit(6, 10);
+        for parts in [2, 4] {
+            let cone = cone_cluster(&n, parts);
+            let rr = round_robin(n.num_elements(), parts);
+            let cone_loc = edge_locality(&n, &cone);
+            let rr_loc = edge_locality(&n, &rr);
+            assert!(
+                cone_loc > rr_loc,
+                "{parts} parts: cone {cone_loc:.2} vs rr {rr_loc:.2}"
+            );
+            assert!(cone_loc >= 0.7, "{parts} parts: locality {cone_loc:.2}");
+        }
+    }
+
+    #[test]
+    fn cone_cluster_balances_loads() {
+        let n = chain_circuit(16, 6);
+        let costs = element_costs(&n);
+        for parts in [2, 3, 4, 8] {
+            let p = cone_cluster(&n, parts);
+            assert_eq!(p.parts(), parts);
+            assert_eq!(p.assignment().len(), n.num_elements());
+            let imb = p.imbalance(&costs);
+            assert!(
+                imb <= 1.0 + 1.0 / CONE_GRAIN as f64 + 0.2,
+                "{parts} parts: imbalance {imb:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn cone_cluster_is_deterministic_and_total() {
+        let n = chain_circuit(5, 7);
+        let a = cone_cluster(&n, 3);
+        let b = cone_cluster(&n, 3);
+        assert_eq!(a, b);
+        assert!(a.assignment().iter().all(|&p| (p as usize) < 3));
+    }
+
+    #[test]
+    fn cone_cluster_single_part_and_empty() {
+        let n = chain_circuit(2, 3);
+        let p = cone_cluster(&n, 1);
+        assert!(p.assignment().iter().all(|&x| x == 0));
+        let empty = Builder::new().finish().unwrap();
+        let p = cone_cluster(&empty, 4);
+        assert_eq!(p.parts(), 4);
+        assert!(p.assignment().is_empty());
+    }
+
+    #[test]
+    fn cone_cluster_more_parts_than_elements() {
+        let n = chain_circuit(1, 2);
+        let p = cone_cluster(&n, 16);
+        assert_eq!(p.assignment().len(), 3);
+        assert!(p.assignment().iter().all(|&x| (x as usize) < 16));
     }
 }

@@ -1,0 +1,125 @@
+//! Truncated exponential backoff for idle workers.
+//!
+//! The asynchronous engine's original idle branch was a bare
+//! `spin_loop`/`yield_now` pair, which burns a full hardware thread per
+//! idle worker and — on oversubscribed machines — steals cycles from the
+//! workers that still have work. This helper escalates through three
+//! stages, each doubling in intensity, truncated at a bounded park:
+//!
+//! 1. **spin**: `2^k` busy-wait hints (k ≤ 6) — cheapest, keeps the
+//!    cache-line watch hot for arrivals within tens of nanoseconds;
+//! 2. **yield**: `yield_now`, giving the scheduler a chance to run a
+//!    producer on this core;
+//! 3. **park**: short sleeps doubling from 1 µs and truncated at
+//!    [`MAX_PARK`], so a worker never oversleeps termination or new work
+//!    by more than ~100 µs.
+//!
+//! The caller polls its work sources between snoozes, so correctness
+//! never depends on a wakeup — the backoff only shapes idle cost.
+
+use std::time::Duration;
+
+/// Final spin stage: `2^SPIN_LIMIT` spin hints per snooze.
+const SPIN_LIMIT: u32 = 6;
+/// Yield stage ends (and parking begins) after this many steps.
+const YIELD_LIMIT: u32 = 10;
+/// Truncation bound for the park stage.
+const MAX_PARK: Duration = Duration::from_micros(100);
+
+/// Truncated exponential backoff state for one idle loop.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_queue::Backoff;
+///
+/// let mut b = Backoff::new();
+/// let mut parks = 0;
+/// for _ in 0..16 {
+///     if b.snooze() {
+///         parks += 1; // reached the bounded-sleep stage
+///     }
+/// }
+/// assert!(parks > 0);
+/// b.reset(); // call on every successful dequeue
+/// assert!(!b.snooze()); // back to cheap spinning
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Creates a backoff at the cheapest (spin) stage.
+    pub const fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Re-arms the backoff; call after useful work is found.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits a little, escalating on each consecutive call. Returns `true`
+    /// when the snooze parked the thread (slept), `false` for the cheap
+    /// spin/yield stages — callers count parks for the idle metrics.
+    pub fn snooze(&mut self) -> bool {
+        let parked = if self.step < SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            false
+        } else if self.step < YIELD_LIMIT {
+            std::thread::yield_now();
+            false
+        } else {
+            let exp = (self.step - YIELD_LIMIT).min(7);
+            let park = Duration::from_micros(1u64 << exp).min(MAX_PARK);
+            std::thread::sleep(park);
+            true
+        };
+        self.step = self.step.saturating_add(1);
+        parked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn escalates_spin_yield_park() {
+        let mut b = Backoff::new();
+        for _ in 0..YIELD_LIMIT {
+            assert!(!b.snooze(), "spin/yield stages must not park");
+        }
+        assert!(b.snooze(), "post-yield stage must park");
+    }
+
+    #[test]
+    fn park_is_truncated() {
+        let mut b = Backoff::new();
+        // Drive deep into the park stage; each park must stay bounded.
+        for _ in 0..40 {
+            b.snooze();
+        }
+        let t0 = Instant::now();
+        assert!(b.snooze());
+        // Generous bound: MAX_PARK plus scheduler noise.
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "park exceeded truncation bound"
+        );
+    }
+
+    #[test]
+    fn reset_rearms_the_spin_stage() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.snooze());
+    }
+}

@@ -15,13 +15,19 @@
 //! - [`barrier::SpinBarrier`]: the sense-reversing barrier the synchronous
 //!   algorithms need at phase boundaries,
 //! - [`activation::ActivationState`]: the per-element at-most-once
-//!   scheduling state machine ("activate the elements only once"), and
+//!   scheduling state machine ("activate the elements only once"),
+//! - [`batch::IdBatch`]: a cache-line-sized batch of element ids so one
+//!   grid slot carries many activations (locality-aware scheduling),
+//! - [`backoff::Backoff`]: truncated exponential backoff for idle
+//!   workers (spin → yield → bounded park), and
 //! - [`central::CentralQueue`]: a deliberately contended lock-based queue
 //!   used to reproduce the paper's negative result (§2: one centralized
 //!   queue capped speed-up at ~2 with 8 processors).
 
 pub mod activation;
+pub mod backoff;
 pub mod barrier;
+pub mod batch;
 pub mod central;
 #[cfg(feature = "chaos")]
 pub mod chaos;
@@ -31,6 +37,8 @@ pub mod ring;
 pub mod spsc;
 
 pub use activation::ActivationState;
+pub use backoff::Backoff;
+pub use batch::{IdBatch, BATCH_CAPACITY};
 pub use pad::CachePadded;
 pub use barrier::SpinBarrier;
 pub use central::CentralQueue;
