@@ -1,0 +1,59 @@
+//! Cost of the tracing hooks on the chaotic engine's hot path.
+//!
+//! The `trace` feature is designed to be near-zero cost when disabled:
+//! without the feature every hook is an empty inline function, and with
+//! the feature but no [`SimConfig::with_trace`] each hook is a branch on
+//! a `None` recorder. This bench pins both claims:
+//!
+//! - `chaotic_untraced` runs with no trace config. Compare this number
+//!   across a `--features trace` build and a default build — the delta is
+//!   the disabled-hook overhead, required to stay within noise (≤2%).
+//! - `chaotic_traced` (only under `--features trace`) runs with recording
+//!   on, measuring the full per-event recording cost.
+//!
+//! ```text
+//! cargo bench -p parsim-bench --bench trace_overhead
+//! cargo bench -p parsim-bench --bench trace_overhead --features trace
+//! ```
+//!
+//! Setting `PARSIM_BENCH_QUICK` shrinks sample counts and measurement
+//! windows so CI can smoke-test the benchmark without paying for
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_bench::{bench_array, quick};
+use parsim_core::{ChaoticAsync, SimConfig};
+use parsim_logic::Time;
+
+fn settings() -> parsim_bench::criterion_config::Settings {
+    let mut q = quick();
+    if std::env::var_os("PARSIM_BENCH_QUICK").is_some() {
+        q.sample_size = 10; // criterion's floor
+        q.measurement_secs = 0.05;
+        q.warmup_millis = 10;
+    }
+    q
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let q = settings();
+    let arr = bench_array();
+    let netlist = &arr.netlist;
+    let cfg = SimConfig::new(Time(400)).threads(2);
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("chaotic_untraced", |b| {
+        b.iter(|| ChaoticAsync::run(netlist, &cfg).unwrap())
+    });
+    #[cfg(feature = "trace")]
+    g.bench_function("chaotic_traced", |b| {
+        let traced = cfg.clone().with_trace(parsim_core::TraceConfig::default());
+        b.iter(|| ChaoticAsync::run(netlist, &traced).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

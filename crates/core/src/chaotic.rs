@@ -71,6 +71,7 @@ use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, Ele
 use parsim_netlist::partition::cone_cluster;
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
+use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
@@ -83,8 +84,9 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "chaotic-async";
 
-/// Per-worker results: recorded waveform changes plus timing counters.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+/// Per-worker results: recorded waveform changes, timing counters, and
+/// the worker's drained trace ring.
+type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, WorkerTracer);
 
 /// Push-side bound of the local LIFO deque: fan-out pushes beyond this
 /// divert to the owner's grid column instead, so one worker cannot hoard
@@ -129,11 +131,11 @@ impl Sched {
     /// Routes one freshly won activation. Owned elements under the cap
     /// push onto the local deque; everything else accumulates in the
     /// destination's batch (a full batch flushes immediately).
-    fn enqueue(&mut self, ctx: &Ctx<'_>, e: u32, tm: &mut ThreadMetrics) {
+    fn enqueue(&mut self, ctx: &Ctx<'_>, e: u32, tm: &mut ThreadMetrics, tr: &mut WorkerTracer) {
         if !self.use_local {
             tm.sched.grid_sends += 1;
             tm.sched.grid_batches += 1;
-            self.tx.send(IdBatch::single(e));
+            self.tx.send_traced(IdBatch::single(e), tr);
             return;
         }
         #[cfg(feature = "chaos")]
@@ -141,6 +143,7 @@ impl Sched {
         let dest = ctx.owner[e as usize] as usize;
         if dest == self.w && self.local.len() < LOCAL_CAP {
             tm.sched.local_hits += 1;
+            tr.instant(EventKind::LocalHit, e);
             self.local.push(e);
             return;
         }
@@ -148,7 +151,7 @@ impl Sched {
         // so idle peers cannot starve while this worker hoards work.
         tm.sched.grid_sends += 1;
         if !self.outbox[dest].push(e) {
-            self.flush_one(dest, tm);
+            self.flush_one(dest, tm, tr);
             let pushed = self.outbox[dest].push(e);
             debug_assert!(pushed, "a freshly flushed batch accepts an id");
         }
@@ -158,16 +161,22 @@ impl Sched {
     /// flushes immediately afterwards: used for first-touch wakes, where
     /// batching latency would defeat the paper's producer/consumer
     /// pipelining.
-    fn enqueue_eager(&mut self, ctx: &Ctx<'_>, e: u32, tm: &mut ThreadMetrics) {
-        self.enqueue(ctx, e, tm);
+    fn enqueue_eager(
+        &mut self,
+        ctx: &Ctx<'_>,
+        e: u32,
+        tm: &mut ThreadMetrics,
+        tr: &mut WorkerTracer,
+    ) {
+        self.enqueue(ctx, e, tm, tr);
         if self.use_local {
             let dest = ctx.owner[e as usize] as usize;
-            self.flush_one(dest, tm);
+            self.flush_one(dest, tm, tr);
         }
     }
 
     /// Sends one destination's fill-in-progress batch, if non-empty.
-    fn flush_one(&mut self, dest: usize, tm: &mut ThreadMetrics) {
+    fn flush_one(&mut self, dest: usize, tm: &mut ThreadMetrics, tr: &mut WorkerTracer) {
         if self.outbox[dest].is_empty() {
             return;
         }
@@ -175,14 +184,14 @@ impl Sched {
         self.chaos.maybe_yield();
         let batch = self.outbox[dest].take();
         tm.sched.grid_batches += 1;
-        self.tx.send_to(dest, batch);
+        self.tx.send_to_traced(dest, batch, tr);
     }
 
     /// Flushes every destination batch. Called at activation end, so no
     /// foreign activation waits longer than one element run.
-    fn flush_all(&mut self, tm: &mut ThreadMetrics) {
+    fn flush_all(&mut self, tm: &mut ThreadMetrics, tr: &mut WorkerTracer) {
         for dest in 0..self.outbox.len() {
-            self.flush_one(dest, tm);
+            self.flush_one(dest, tm, tr);
         }
     }
 }
@@ -636,6 +645,8 @@ impl ChaoticAsync {
             || {},
         );
         let ctx = &ctx;
+        let tracer = Tracer::new(config.trace.as_ref());
+        let tracer_ref = &tracer;
         let mut outputs: Vec<Option<WorkerOutput>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = senders
@@ -650,6 +661,7 @@ impl ChaoticAsync {
                         let body = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| {
                                 let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                                let mut tr = tracer_ref.worker(w);
                                 let mut tm = ThreadMetrics::default();
                                 // Seeded owned activations count as local
                                 // hits: they were placed without touching
@@ -668,7 +680,7 @@ impl ChaoticAsync {
                                     // column and run its ids from the deque.
                                     let next = match sched.local.pop() {
                                         Some(e) => Some(e),
-                                        None => rx.recv().and_then(|batch| {
+                                        None => rx.recv_traced(&mut tr).and_then(|batch| {
                                             sched.local.extend_from_slice(batch.as_slice());
                                             sched.local.pop()
                                         }),
@@ -692,7 +704,9 @@ impl ChaoticAsync {
                                             let e = e as usize;
                                             if ctx.use_local && ctx.owner[e] as usize != w {
                                                 tm.sched.steals += 1;
+                                                tr.instant(EventKind::Steal, e as u32);
                                             }
+                                            tr.begin(EventKind::ActivationReplay, e as u32);
                                             ctx.acts[e].begin_run();
                                             ctx.activations.fetch_add(1, Ordering::Relaxed);
                                             // SAFETY: activation machine grants
@@ -704,10 +718,11 @@ impl ChaoticAsync {
                                                     &mut sched,
                                                     &mut changes,
                                                     &mut tm,
+                                                    &mut tr,
                                                 )
                                             };
                                             if ctx.acts[e].finish_run() {
-                                                sched.enqueue(ctx, e as u32, &mut tm);
+                                                sched.enqueue(ctx, e as u32, &mut tm, &mut tr);
                                             } else {
                                                 ctx.pending.fetch_sub(1, Ordering::AcqRel);
                                             }
@@ -715,7 +730,12 @@ impl ChaoticAsync {
                                             // fan-out rides together: flush
                                             // now, so no peer waits longer
                                             // than one element run.
-                                            sched.flush_all(&mut tm);
+                                            sched.flush_all(&mut tm, &mut tr);
+                                            tr.end(EventKind::ActivationReplay);
+                                            tr.counter(
+                                                EventKind::QueueDepth,
+                                                sched.local.len() as u32,
+                                            );
                                             tm.busy += busy.elapsed();
                                         }
                                         None => {
@@ -724,8 +744,9 @@ impl ChaoticAsync {
                                             }
                                             if idle_since.is_none() {
                                                 idle_since = Some(Instant::now());
+                                                tr.instant(EventKind::Heartbeat, 0);
                                             }
-                                            if backoff.snooze() {
+                                            if backoff.snooze_traced(&mut tr) {
                                                 tm.sched.backoff_parks += 1;
                                             }
                                         }
@@ -738,7 +759,7 @@ impl ChaoticAsync {
                                 if let Some(t0) = idle_since.take() {
                                     tm.idle += t0.elapsed();
                                 }
-                                (changes, tm)
+                                (changes, tm, tr)
                             }),
                         );
                         match body {
@@ -801,12 +822,14 @@ impl ChaoticAsync {
         let mut evaluations = 0;
         let mut events_processed = events_seed;
         let mut locality = LocalityMetrics::default();
-        for (c, tm) in outputs {
+        let mut worker_tracers = Vec::with_capacity(n_threads);
+        for (c, tm, wt) in outputs {
             evaluations += tm.evaluations;
             events_processed += tm.events;
             locality.merge(&tm.sched);
             changes.extend(c);
             per_thread.push(tm);
+            worker_tracers.push(wt);
         }
         let metrics = Metrics {
             events_processed,
@@ -818,16 +841,19 @@ impl ChaoticAsync {
             gc_chunks_freed: ctx.chunks_freed.load(Ordering::Relaxed),
             blocks_skipped: 0,
             evals_skipped: 0,
+            pool_misses: 0,
             locality,
             wall: start.elapsed(),
         };
-        Ok(SimResult::from_changes(
+        let mut result = SimResult::from_changes(
             netlist,
             config.end_time,
             &config.watch,
             changes,
             metrics,
-        ))
+        );
+        result.trace = tracer.finish(worker_tracers);
+        Ok(result)
     }
 }
 
@@ -845,6 +871,7 @@ unsafe fn run_element(
     sched: &mut Sched,
     changes: &mut Vec<(Time, NodeId, Value)>,
     tm: &mut ThreadMetrics,
+    tr: &mut WorkerTracer,
 ) {
     let meta = &ctx.meta[e];
     let run = ctx.runs.get_mut(e);
@@ -896,6 +923,7 @@ unsafe fn run_element(
         }
         let out = evaluate(&meta.kind, &run.cur_vals, &mut run.state);
         tm.evaluations += 1;
+        tr.instant(EventKind::Eval, e as u32);
         // Inputs are known through t_next, so every output is now known
         // through t_next + delay — publish that *immediately* so fan-out
         // elements running concurrently can consume this run's events
@@ -919,6 +947,7 @@ unsafe fn run_element(
                     run.last_te[port] = te;
                     ctx.nodes[out_node].push(te, v);
                     tm.events += 1;
+                    tr.instant(EventKind::EventInsert, out_node as u32);
                     if ctx.watched[out_node] {
                         changes.push((Time(te), NodeId::from_index(out_node), v));
                     }
@@ -936,7 +965,7 @@ unsafe fn run_element(
                     let c = consumer.index();
                     if ctx.acts[c].try_activate() {
                         ctx.pending.fetch_add(1, Ordering::AcqRel);
-                        sched.enqueue_eager(ctx, c as u32, tm);
+                        sched.enqueue_eager(ctx, c as u32, tm, tr);
                     }
                 }
             }
@@ -1010,7 +1039,7 @@ unsafe fn run_element(
                 let c = consumer.index();
                 if ctx.acts[c].try_activate() {
                     ctx.pending.fetch_add(1, Ordering::AcqRel);
-                    sched.enqueue(ctx, c as u32, tm);
+                    sched.enqueue(ctx, c as u32, tm, tr);
                 }
             }
         }

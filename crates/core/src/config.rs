@@ -5,6 +5,7 @@ use std::time::Duration;
 use parsim_logic::Time;
 use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
+use parsim_trace::TraceConfig;
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
@@ -76,6 +77,12 @@ pub struct SimConfig {
     /// ([`parsim_netlist::partition::cone_cluster`]) at run start.
     /// Ignored when [`SimConfig::local_queue`] is off.
     pub partition: Option<Partition>,
+    /// Per-worker event tracing (see [`parsim_trace`]). `None` (the
+    /// default) records nothing. Recording additionally requires the
+    /// `trace` cargo feature: without it the hooks are compiled-out no-ops
+    /// and [`SimResult::trace`](crate::SimResult) stays `None` even when
+    /// this is set. Never changes waveforms.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -95,6 +102,7 @@ impl SimConfig {
             activity_gating: true,
             local_queue: true,
             partition: None,
+            trace: None,
         }
     }
 
@@ -238,6 +246,15 @@ impl SimConfig {
         self.partition = Some(partition);
         self
     }
+
+    /// Enables per-worker event tracing for this run; the drained trace is
+    /// returned in [`SimResult::trace`](crate::SimResult). Requires the
+    /// `trace` cargo feature for events to actually be recorded.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> SimConfig {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +285,9 @@ mod tests {
         assert!(SimConfig::new(Time(5)).activity_gating);
         assert!(SimConfig::new(Time(5)).local_queue);
         assert!(SimConfig::new(Time(5)).partition.is_none());
+        assert!(SimConfig::new(Time(5)).trace.is_none());
+        let traced = SimConfig::new(Time(5)).with_trace(TraceConfig::default());
+        assert!(traced.trace.is_some());
     }
 
     #[test]

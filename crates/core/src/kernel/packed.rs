@@ -502,6 +502,7 @@ pub(crate) fn run_batch(
         gc_chunks_freed: 0,
         blocks_skipped,
         evals_skipped,
+        pool_misses: 0,
         locality: Default::default(),
         wall: start.elapsed(),
     };

@@ -23,6 +23,7 @@ use parsim_netlist::compile::CompiledProgram;
 use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
+use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
@@ -36,8 +37,15 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "compiled-mode";
 
-/// Per-worker results: waveform changes, timing counters, skip counters.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, u64, u64);
+/// Per-worker results: waveform changes, timing counters, skip counters,
+/// and the worker's drained trace ring.
+type WorkerOutput = (
+    Vec<(Time, NodeId, Value)>,
+    ThreadMetrics,
+    u64,
+    u64,
+    WorkerTracer,
+);
 
 /// Runs the scalar compiled-mode kernel.
 pub(crate) fn run(
@@ -107,6 +115,9 @@ pub(crate) fn run(
     let cur_step = AtomicU64::new(0);
     let cur_step = &cur_step;
 
+    let tracer = Tracer::new(config.trace.as_ref());
+    let tracer_ref = &tracer;
+
     let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -116,6 +127,7 @@ pub(crate) fn run(
                 scope.spawn(move || {
                     let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                        let mut tr = tracer_ref.worker(p);
                         let mut tm = ThreadMetrics::default();
                         let mut blocks_skipped = 0u64;
                         let mut evals_skipped = 0u64;
@@ -131,6 +143,7 @@ pub(crate) fn run(
                                 }
                             }
                             let busy_start = Instant::now();
+                            tr.begin(EventKind::PhaseApply, t as u32);
                             // ---- apply phase ----------------------------
                             for &(slot, v) in &pending {
                                 // SAFETY: single writer per slot (driver
@@ -168,9 +181,10 @@ pub(crate) fn run(
                                     }
                                 }
                             }
+                            tr.end(EventKind::PhaseApply);
                             tm.busy += busy_start.elapsed();
                             let wait_start = Instant::now();
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 0);
                             tm.idle += wait_start.elapsed();
                             // All threads observe the same `stop` value
                             // here (set before the barrier), so they break
@@ -181,14 +195,17 @@ pub(crate) fn run(
 
                             // ---- evaluate phase -------------------------
                             let busy_start = Instant::now();
+                            tr.begin(EventKind::PhaseEval, t as u32);
                             if t < end {
                                 for b in plan.thread_blocks[p].clone() {
                                     let insns = plan.block_insns(b);
                                     if gating && !dirty.take(b as u32) {
                                         blocks_skipped += 1;
                                         evals_skipped += insns.len() as u64;
+                                        tr.instant(EventKind::BlockSkip, b as u32);
                                         continue;
                                     }
+                                    tr.instant(EventKind::BlockRun, b as u32);
                                     for &i in insns {
                                         if let FaultAction::Exit =
                                             fault.check(p, processed, cont.cancel_flag())
@@ -213,26 +230,30 @@ pub(crate) fn run(
                                         let state = unsafe { states.get_mut(i) };
                                         let out = evaluate(kind, &inputs_buf, state);
                                         tm.evaluations += 1;
+                                        tr.instant(EventKind::Eval, i as u32);
                                         for (port, v) in out.iter() {
                                             let slot = prog.outputs(i)[port];
                                             // SAFETY: reading a slot this
                                             // thread exclusively writes.
                                             if unsafe { *values.get(slot as usize) } != v {
                                                 pending.push((slot, v));
+                                                tr.instant(EventKind::EventInsert, slot);
                                             }
                                         }
                                     }
                                 }
                             }
+                            tr.counter(EventKind::QueueDepth, pending.len() as u32);
+                            tr.end(EventKind::PhaseEval);
                             tm.busy += busy_start.elapsed();
                             let wait_start = Instant::now();
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 1);
                             tm.idle += wait_start.elapsed();
                             if barrier.is_poisoned() {
                                 break 'run;
                             }
                         }
-                        (changes, tm, blocks_skipped, evals_skipped)
+                        (changes, tm, blocks_skipped, evals_skipped, tr)
                     }));
                     match body {
                         Ok(out) => Some(out),
@@ -287,13 +308,15 @@ pub(crate) fn run(
     let mut evaluations = 0;
     let mut blocks_skipped = 0;
     let mut evals_skipped = 0;
-    for (c, tm, bs, es) in outputs {
+    let mut worker_tracers = Vec::with_capacity(threads);
+    for (c, tm, bs, es, wt) in outputs {
         events_processed += tm.events;
         evaluations += tm.evaluations;
         blocks_skipped += bs;
         evals_skipped += es;
         changes.extend(c);
         per_thread.push(tm);
+        worker_tracers.push(wt);
     }
     let metrics = Metrics {
         events_processed,
@@ -305,14 +328,17 @@ pub(crate) fn run(
         gc_chunks_freed: 0,
         blocks_skipped,
         evals_skipped,
+        pool_misses: 0,
         locality: Default::default(),
         wall: start.elapsed(),
     };
-    Ok(SimResult::from_changes(
+    let mut result = SimResult::from_changes(
         netlist,
         config.end_time,
         &config.watch,
         changes,
         metrics,
-    ))
+    );
+    result.trace = tracer.finish(worker_tracers);
+    Ok(result)
 }

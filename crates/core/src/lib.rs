@@ -76,6 +76,7 @@ pub use config::SimConfig;
 pub use error::{SimError, StallDiagnostic};
 pub use fault::FaultPlan;
 pub use metrics::{EventsPerStepHistogram, LocalityMetrics, Metrics, ThreadMetrics};
+pub use parsim_trace::{RunReport, Trace, TraceConfig};
 pub use seq::EventDriven;
 pub use sync::SyncEventDriven;
 pub use testbench::{TestBench, TestBenchError, TestRun};

@@ -23,13 +23,22 @@ use std::time::Duration;
 /// assert_eq!(h.steps(), 2);
 /// assert!((h.fraction_at_most(5) - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventsPerStepHistogram {
     /// Bucket upper bounds (inclusive); the last bucket is unbounded.
     counts: Vec<u64>,
     total_steps: u64,
     total_events: u64,
     max: u64,
+}
+
+impl Default for EventsPerStepHistogram {
+    /// Same as [`EventsPerStepHistogram::new`]: the bucket vector is
+    /// always allocated, so `record` and `merge` work on a
+    /// default-constructed histogram.
+    fn default() -> EventsPerStepHistogram {
+        EventsPerStepHistogram::new()
+    }
 }
 
 /// Inclusive upper bounds of the histogram buckets; the final implicit
@@ -103,6 +112,41 @@ impl EventsPerStepHistogram {
         let upto = BOUNDS.iter().take_while(|&&b| b <= k).count();
         let sum: u64 = self.counts[..upto].iter().sum();
         sum as f64 / self.total_steps as f64
+    }
+
+    /// Events-per-step value at percentile `p` (0.0..=1.0), resolved to
+    /// bucket granularity: the smallest bucket bound whose cumulative step
+    /// share reaches `p`. Steps landing in the unbounded top bucket report
+    /// the observed [`EventsPerStepHistogram::max`]. Returns 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total_steps == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.total_steps as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                return if i < BOUNDS.len() { BOUNDS[i] } else { self.max };
+            }
+        }
+        self.max
+    }
+
+    /// Median events per active step (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile events per active step (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile events per active step (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -260,11 +304,39 @@ pub struct Metrics {
     /// Aggregated scheduling-locality counters (asynchronous engine only;
     /// the per-thread split lives in [`Metrics::per_thread`]).
     pub locality: LocalityMetrics,
+    /// Synchronous-engine mailbox-pool misses: update buffers that had to
+    /// be freshly allocated because the recycling pool was empty (zero for
+    /// the other engines). A warmed-up pool should hold this near the
+    /// number of distinct (worker, target) pairs.
+    pub pool_misses: u64,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
 }
 
 impl Metrics {
+    /// Merges another run's (or worker subset's) metrics into this one.
+    ///
+    /// All counters and histograms are additive and `per_thread` entries
+    /// are concatenated, so merging any partition of a run's per-worker
+    /// metrics — in any grouping or order — reproduces the aggregate the
+    /// engine would have built directly. `wall` is the one non-additive
+    /// field: workers run concurrently, so the merged wall clock is the
+    /// maximum, not the sum.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.events_processed += other.events_processed;
+        self.evaluations += other.evaluations;
+        self.activations += other.activations;
+        self.time_steps += other.time_steps;
+        self.events_per_step.merge(&other.events_per_step);
+        self.per_thread.extend(other.per_thread.iter().cloned());
+        self.gc_chunks_freed += other.gc_chunks_freed;
+        self.blocks_skipped += other.blocks_skipped;
+        self.evals_skipped += other.evals_skipped;
+        self.locality.merge(&other.locality);
+        self.pool_misses += other.pool_misses;
+        self.wall = self.wall.max(other.wall);
+    }
+
     /// Mean utilization across worker threads (1.0 for the sequential
     /// engine).
     pub fn utilization(&self) -> f64 {
@@ -354,6 +426,90 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.steps(), 2);
         assert_eq!(a.max(), 700);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let empty = EventsPerStepHistogram::new();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.p99(), 0);
+
+        let mut h = EventsPerStepHistogram::new();
+        // 60 steps of 1 event, 35 steps of 8 events, 4 steps of 60,
+        // 1 step of 5000 (unbounded bucket).
+        for _ in 0..60 {
+            h.record(1);
+        }
+        for _ in 0..35 {
+            h.record(8);
+        }
+        for _ in 0..4 {
+            h.record(60);
+        }
+        h.record(5000);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 10); // 8 lands in the ..=10 bucket
+        assert_eq!(h.p99(), 100); // 60 lands in the ..=100 bucket
+        // The top step lives in the unbounded bucket: report the true max.
+        assert_eq!(h.percentile(1.0), 5000);
+        assert_eq!(h.percentile(0.0), 1, "p0 reports the lowest bucket");
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut h = EventsPerStepHistogram::new();
+        for e in [1, 3, 7, 15, 40, 80, 150, 400, 900, 3000] {
+            h.record(e);
+        }
+        let mut last = 0;
+        for i in 0..=20 {
+            let v = h.percentile(i as f64 / 20.0);
+            assert!(v >= last, "percentile must be monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn metrics_merge_sums_counters_and_concats_threads() {
+        let mut a = Metrics {
+            events_processed: 10,
+            evaluations: 5,
+            activations: 7,
+            time_steps: 3,
+            gc_chunks_freed: 1,
+            blocks_skipped: 2,
+            evals_skipped: 4,
+            pool_misses: 6,
+            locality: LocalityMetrics { local_hits: 3, ..Default::default() },
+            per_thread: vec![ThreadMetrics::default()],
+            wall: Duration::from_millis(10),
+            ..Default::default()
+        };
+        a.events_per_step.record(2);
+        let mut b = Metrics {
+            events_processed: 1,
+            evaluations: 1,
+            activations: 1,
+            time_steps: 1,
+            pool_misses: 1,
+            locality: LocalityMetrics { grid_sends: 9, ..Default::default() },
+            per_thread: vec![ThreadMetrics::default(), ThreadMetrics::default()],
+            wall: Duration::from_millis(4),
+            ..Default::default()
+        };
+        b.events_per_step.record(700);
+        a.merge(&b);
+        assert_eq!(a.events_processed, 11);
+        assert_eq!(a.evaluations, 6);
+        assert_eq!(a.activations, 8);
+        assert_eq!(a.time_steps, 4);
+        assert_eq!(a.pool_misses, 7);
+        assert_eq!(a.locality.local_hits, 3);
+        assert_eq!(a.locality.grid_sends, 9);
+        assert_eq!(a.per_thread.len(), 3);
+        assert_eq!(a.events_per_step.steps(), 2);
+        assert_eq!(a.events_per_step.max(), 700);
+        assert_eq!(a.wall, Duration::from_millis(10), "wall is max, not sum");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
+use parsim_trace::{EventKind, Tracer};
 
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
@@ -166,6 +167,11 @@ impl EventDriven {
         let mut time_steps = 0u64;
         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
         let mut next_deadline_check = DEADLINE_CHECK_EVERY;
+        // This engine is a single logical worker: worker 0 owns the only
+        // ring. Each simulated step is a TimeStep span; evaluations and
+        // schedule inserts are instants within it.
+        let tracer = Tracer::new(config.trace.as_ref());
+        let mut tr = tracer.worker(0);
 
         while let Some((t, updates)) = schedule.take_next() {
             if let Some(d) = config.deadline {
@@ -188,6 +194,7 @@ impl EventDriven {
             if t > end.ticks() {
                 break;
             }
+            tr.begin(EventKind::TimeStep, t as u32);
             let mut activated = if t == 0 {
                 init_activated.clone()
             } else {
@@ -219,6 +226,7 @@ impl EventDriven {
                 time_steps += 1;
             }
             events_processed += step_events;
+            tr.counter(EventKind::QueueDepth, activated.len() as u32);
 
             // Phase 2: evaluate activated elements, schedule changed
             // outputs.
@@ -228,6 +236,7 @@ impl EventDriven {
                 inputs_buf.extend(elem.inputs().iter().map(|&n| values[n.index()]));
                 let out = evaluate(elem.kind(), &inputs_buf, &mut states[e]);
                 evaluations += 1;
+                tr.instant(EventKind::Eval, e as u32);
                 for (port, v) in out.iter() {
                     let out_node = elem.outputs()[port].index();
                     if last_scheduled[out_node] == v {
@@ -249,9 +258,11 @@ impl EventDriven {
                         last_scheduled[out_node] = v;
                         last_sched_time[out_node] = te;
                         schedule.schedule(te, (out_node, v));
+                        tr.instant(EventKind::EventInsert, out_node as u32);
                     }
                 }
             }
+            tr.end(EventKind::TimeStep);
         }
 
         let metrics = Metrics {
@@ -265,15 +276,12 @@ impl EventDriven {
             blocks_skipped: 0,
             evals_skipped: 0,
             locality: Default::default(),
+            pool_misses: 0,
             wall: start.elapsed(),
         };
-        Ok(SimResult::from_changes(
-            netlist,
-            end,
-            &config.watch,
-            changes,
-            metrics,
-        ))
+        let mut result = SimResult::from_changes(netlist, end, &config.watch, changes, metrics);
+        result.trace = tracer.finish([tr]);
+        Ok(result)
     }
 }
 

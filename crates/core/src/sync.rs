@@ -30,6 +30,7 @@ use std::time::Instant;
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
+use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
@@ -42,17 +43,14 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "sync-event-driven";
 
-/// Debug-only count of update-buffer pool misses: a miss is a fresh
-/// `Vec<Update>` allocation in the scheduling hot path. Steady state
-/// recycles drained buffers through `free_mail`, so misses are bounded by
-/// the peak number of simultaneously live `(mailbox, time)` entries — they
-/// do *not* grow with the event count (asserted by
-/// `tests::update_buffers_are_recycled`).
-#[cfg(debug_assertions)]
-static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Per-worker results: recorded waveform changes plus timing counters.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics);
+/// Per-worker results: recorded waveform changes, timing counters, the
+/// worker's count of update-buffer pool misses (fresh `Vec<Update>`
+/// allocations in the scheduling hot path — steady state recycles drained
+/// buffers through `free_mail`, so misses are bounded by the peak number
+/// of simultaneously live `(mailbox, time)` entries, not by the event
+/// count; asserted by `tests::update_buffers_are_recycled` and surfaced as
+/// [`Metrics::pool_misses`]), and the worker's trace ring.
+type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, u64, WorkerTracer);
 
 #[derive(Debug, Clone, Copy)]
 struct Update {
@@ -207,6 +205,8 @@ impl SyncEventDriven {
             )
         };
         let barrier = &barrier;
+        let tracer = Tracer::new(config.trace.as_ref());
+        let tracer_ref = &tracer;
 
         let mut outputs: Vec<Option<WorkerOutput>> = Vec::new();
         std::thread::scope(|scope| {
@@ -218,6 +218,8 @@ impl SyncEventDriven {
                         let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
                         let mut tm = ThreadMetrics::default();
+                        let mut tr = tracer_ref.worker(me);
+                        let mut pool_misses = 0u64;
                         let mut rr_elem = (me + 1) % n;
                         let mut rr_node = (me + 1) % n;
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
@@ -257,7 +259,7 @@ impl SyncEventDriven {
                             }
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 0);
                             tm.idle += wait.elapsed();
                             if barrier.is_poisoned() {
                                 break 'run;
@@ -266,6 +268,7 @@ impl SyncEventDriven {
                             // ---- phase A process: apply updates, activate
                             // fan-out (with stealing) ----------------------
                             let busy = Instant::now();
+                            tr.begin(EventKind::PhaseNodes, t as u32);
                             let mut my_events = 0u64;
                             for v in 0..n {
                                 let victim = (me + v) % n;
@@ -325,11 +328,12 @@ impl SyncEventDriven {
                                     }
                                 }
                             }
+                            tr.end(EventKind::PhaseNodes);
                             events_total.fetch_add(my_events, Ordering::Relaxed);
                             tm.events += my_events;
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 1);
                             tm.idle += wait.elapsed();
                             if barrier.is_poisoned() {
                                 break 'run;
@@ -348,10 +352,11 @@ impl SyncEventDriven {
                                     work.append(mail);
                                 }
                                 elem_cursor[me].store(0, Ordering::Release);
+                                tr.counter(EventKind::QueueDepth, work.len() as u32);
                             }
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 2);
                             tm.idle += wait.elapsed();
                             if barrier.is_poisoned() {
                                 break 'run;
@@ -359,6 +364,7 @@ impl SyncEventDriven {
 
                             // ---- phase B process: evaluate + schedule ----
                             let busy = Instant::now();
+                            tr.begin(EventKind::PhaseElems, t as u32);
                             for v in 0..n {
                                 let victim = (me + v) % n;
                                 // SAFETY: immutable during processing.
@@ -369,6 +375,11 @@ impl SyncEventDriven {
                                         break;
                                     }
                                     let e = work[idx] as usize;
+                                    if v != 0 {
+                                        // Work taken from another worker's
+                                        // list: end-of-phase stealing.
+                                        tr.instant(EventKind::Steal, e as u32);
+                                    }
                                     if let FaultAction::Exit =
                                         fault.check(me, processed, cont.cancel_flag())
                                     {
@@ -389,6 +400,7 @@ impl SyncEventDriven {
                                     let state = unsafe { states.get_mut(e) };
                                     let out = evaluate(elem.kind(), &inputs_buf, state);
                                     tm.evaluations += 1;
+                                    tr.instant(EventKind::Eval, e as u32);
                                     for (port, val) in out.iter() {
                                         let out_node = elem.outputs()[port].index();
                                         // SAFETY: only the driver's
@@ -424,10 +436,10 @@ impl SyncEventDriven {
                                                     }
                                                     .pop()
                                                     .unwrap_or_else(|| {
-                                                        #[cfg(debug_assertions)]
-                                                        POOL_MISSES.fetch_add(
-                                                            1,
-                                                            Ordering::Relaxed,
+                                                        pool_misses += 1;
+                                                        tr.instant(
+                                                            EventKind::PoolMiss,
+                                                            rr_node as u32,
                                                         );
                                                         Vec::new()
                                                     })
@@ -436,14 +448,19 @@ impl SyncEventDriven {
                                                     node: out_node as u32,
                                                     value: val,
                                                 });
+                                            tr.instant(
+                                                EventKind::EventInsert,
+                                                out_node as u32,
+                                            );
                                             rr_node = (rr_node + 1) % n;
                                         }
                                     }
                                 }
                             }
+                            tr.end(EventKind::PhaseElems);
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
-                            let leader = barrier.wait();
+                            let leader = barrier.wait_traced(&mut tr, 3);
                             // ---- reduce: find the next active time -------
                             if leader {
                                 steps_total.fetch_add(1, Ordering::Relaxed);
@@ -467,13 +484,13 @@ impl SyncEventDriven {
                                     next_time.store(min_t, Ordering::Release);
                                 }
                             }
-                            barrier.wait();
+                            barrier.wait_traced(&mut tr, 4);
                             tm.idle += wait.elapsed();
                             if barrier.is_poisoned() || done.load(Ordering::Acquire) {
                                 break 'run;
                             }
                         }
-                        (changes, tm)
+                        (changes, tm, pool_misses, tr)
                         }));
                         match body {
                             Ok(out) => Some(out),
@@ -525,10 +542,14 @@ impl SyncEventDriven {
         let mut changes = Vec::new();
         let mut per_thread = Vec::with_capacity(n);
         let mut evaluations = 0;
-        for (c, tm) in outputs {
+        let mut pool_misses = 0;
+        let mut worker_tracers = Vec::with_capacity(n);
+        for (c, tm, pm, wt) in outputs {
             evaluations += tm.evaluations;
+            pool_misses += pm;
             changes.extend(c);
             per_thread.push(tm);
+            worker_tracers.push(wt);
         }
         let metrics = Metrics {
             events_processed: events_total.load(Ordering::Relaxed),
@@ -541,15 +562,13 @@ impl SyncEventDriven {
             blocks_skipped: 0,
             evals_skipped: 0,
             locality: Default::default(),
+            pool_misses,
             wall: start.elapsed(),
         };
-        Ok(SimResult::from_changes(
-            netlist,
-            config.end_time,
-            &config.watch,
-            changes,
-            metrics,
-        ))
+        let mut result =
+            SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics);
+        result.trace = tracer.finish(worker_tracers);
+        Ok(result)
     }
 }
 
@@ -658,19 +677,18 @@ mod tests {
 
     /// The scheduling hot path must not allocate per activation: drained
     /// update buffers are recycled, so pool misses (fresh allocations) are
-    /// bounded by peak calendar occupancy, not by event count.
-    #[cfg(debug_assertions)]
+    /// bounded by peak calendar occupancy, not by event count. The counter
+    /// is per-run ([`Metrics::pool_misses`]) and lives in release builds
+    /// too, so pool effectiveness is observable outside debug runs.
     #[test]
     fn update_buffers_are_recycled() {
         let (n, watch) = mixed_delay_circuit();
         let cfg = SimConfig::new(Time(5000)).watch_all(watch).threads(2);
-        let before = POOL_MISSES.load(Ordering::Relaxed);
         let r = SyncEventDriven::run(&n, &cfg).unwrap();
-        let misses = POOL_MISSES.load(Ordering::Relaxed) - before;
-        // Thousands of events; misses only during pool warm-up. The bound
-        // is loose because other tests in this binary run concurrently and
-        // share the counter.
+        let misses = r.metrics.pool_misses;
+        // Thousands of events; misses only during pool warm-up.
         assert!(r.metrics.events_processed > 1000, "circuit too quiet");
+        assert!(misses > 0, "warm-up must allocate at least one buffer");
         assert!(
             misses < r.metrics.events_processed / 4,
             "pool misses ({misses}) scale with events ({}) — buffers not recycled",

@@ -94,6 +94,10 @@ pub struct SimResult {
     pub(crate) waveforms: HashMap<NodeId, Waveform>,
     /// Execution metrics.
     pub metrics: Metrics,
+    /// The drained per-worker event trace. `Some` only when the run was
+    /// configured with [`SimConfig::with_trace`](crate::SimConfig) *and*
+    /// the `trace` cargo feature is compiled in.
+    pub trace: Option<parsim_trace::Trace>,
 }
 
 impl SimResult {
@@ -129,6 +133,7 @@ impl SimResult {
             end_time,
             waveforms,
             metrics,
+            trace: None,
         }
     }
 

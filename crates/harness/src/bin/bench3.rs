@@ -28,8 +28,8 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use parsim_core::{ChaoticAsync, SimConfig, SimResult, SyncEventDriven};
-use parsim_harness::{paper_gate_multiplier, paper_inverter_array};
+use parsim_core::{ChaoticAsync, EventDriven, SimConfig, SimResult, SyncEventDriven};
+use parsim_harness::{json, paper_gate_multiplier, paper_inverter_array};
 use parsim_logic::Time;
 use parsim_netlist::Netlist;
 
@@ -86,8 +86,27 @@ impl RunRow {
 }
 
 /// Wall-clock speedup of each row over the 1-thread row of the same mode.
+///
+/// A sub-timer-resolution wall time would make the ratio NaN (0/0) or
+/// infinite; both are unserializable as JSON and meaningless as a scaling
+/// claim, so they report 0.0 ("unmeasurable"), which conservatively fails
+/// the acceptance criterion instead of poisoning the bench file.
 fn speedup(rows: &[RunRow], i: usize) -> f64 {
-    rows[0].wall_secs / rows[i].wall_secs
+    let s = rows[0].wall_secs / rows[i].wall_secs;
+    if s.is_finite() {
+        s
+    } else {
+        0.0
+    }
+}
+
+/// Events-per-active-step distribution summary (bucket resolution), from
+/// one sequential reference run — the paper's §4 event-density argument.
+struct StepStats {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    mean: f64,
 }
 
 struct CircuitReport {
@@ -100,6 +119,8 @@ struct CircuitReport {
     chaotic_grid: Vec<RunRow>,
     /// Synchronous event-driven reference.
     sync: Vec<RunRow>,
+    /// Events-per-step percentiles from a sequential reference run.
+    step_stats: StepStats,
 }
 
 /// Best-of-`reps` wall time per thread count; counters come from the
@@ -144,6 +165,10 @@ fn measure(
     let sync = sweep(threads, reps, |t| {
         SyncEventDriven::run(netlist, &cfg.clone().threads(t)).expect("sync run")
     });
+    // One sequential run fills the events-per-step histogram (the
+    // parallel engines leave it empty).
+    let seq = EventDriven::run(netlist, &cfg).expect("seq reference run");
+    let h = &seq.metrics.events_per_step;
     CircuitReport {
         name,
         elements: netlist.num_elements(),
@@ -151,15 +176,19 @@ fn measure(
         chaotic_local,
         chaotic_grid,
         sync,
+        step_stats: StepStats {
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            mean: h.mean(),
+        },
     }
 }
 
+/// NaN-safe number rendering (shared with the trace exporters): non-finite
+/// values serialize as `0.000000`, never `NaN` or `null`.
 fn json_f(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
-    }
+    json::num(v)
 }
 
 fn rows_json(out: &mut String, indent: &str, rows: &[RunRow]) {
@@ -216,6 +245,13 @@ fn render(
         out.push_str(&format!("      \"name\": \"{}\",\n", rep.name));
         out.push_str(&format!("      \"elements\": {},\n", rep.elements));
         out.push_str(&format!("      \"end_time\": {},\n", rep.end_time));
+        out.push_str(&format!(
+            "      \"events_per_step\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}}},\n",
+            rep.step_stats.p50,
+            rep.step_stats.p95,
+            rep.step_stats.p99,
+            json_f(rep.step_stats.mean)
+        ));
         out.push_str("      \"chaotic_locality\": [\n");
         rows_json(&mut out, "        ", &rep.chaotic_local);
         out.push_str("      ],\n");
@@ -257,9 +293,11 @@ fn render(
     out.push_str(
         "    \"criterion\": \"gate_multiplier chaotic @4 threads >= 2x over 1 thread and local-queue hits >= 50% of scheduled activations\",\n",
     );
+    // A missing 4-thread row reports 0.0 (conservative fail), never
+    // `null`: every numeric field in the bench file stays a number.
     out.push_str(&format!(
         "    \"chaotic_speedup_at_4_threads\": {},\n",
-        speedup_4t.map_or("null".into(), json_f)
+        json_f(speedup_4t.unwrap_or(0.0))
     ));
     out.push_str(&format!(
         "    \"locality_ratio_judged\": {},\n",
@@ -311,6 +349,10 @@ fn print_table(rep: &CircuitReport) {
             rep.chaotic_local[i].batch_occupancy(),
         );
     }
+    println!(
+        "  events/step: p50 {}, p95 {}, p99 {}, mean {:.1}",
+        rep.step_stats.p50, rep.step_stats.p95, rep.step_stats.p99, rep.step_stats.mean
+    );
 }
 
 fn main() -> ExitCode {
@@ -369,10 +411,79 @@ fn main() -> ExitCode {
     println!("available CPUs: {available_cpus}");
 
     let json = render(&reports, &threads, quick, available_cpus);
+    if let Err(e) = json::lint(&json) {
+        eprintln!("internal error: rendered bench JSON does not parse: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(threads: usize, wall_secs: f64) -> RunRow {
+        RunRow {
+            threads,
+            wall_secs,
+            events: 10,
+            evals: 10,
+            activations: 5,
+            local_hits: 8,
+            grid_sends: 2,
+            grid_batches: 1,
+            steals: 0,
+            backoff_parks: 0,
+        }
+    }
+
+    /// Regression: zero wall times used to turn `speedup` into NaN/Inf,
+    /// which `json_f` then serialized as `null` — poisoning every numeric
+    /// consumer of BENCH_3.json. The rendered document must parse as JSON
+    /// and contain no NaN and no null, even in this worst case.
+    #[test]
+    fn zero_wall_times_never_leak_nan_or_null() {
+        let rows = |walls: &[f64]| -> Vec<RunRow> {
+            walls
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| row(1 << i, w))
+                .collect()
+        };
+        let rep = CircuitReport {
+            name: "gate_multiplier",
+            elements: 100,
+            end_time: 50,
+            chaotic_local: rows(&[0.0, 0.0, 0.5]),
+            chaotic_grid: rows(&[0.0, 1.0]),
+            sync: rows(&[1.0, 0.0]),
+            step_stats: StepStats {
+                p50: 1,
+                p95: 10,
+                p99: 20,
+                mean: f64::NAN,
+            },
+        };
+        let json = render(&[rep], &[1, 2, 4], true, 1);
+        parsim_harness::json::lint(&json).expect("bench JSON must parse");
+        assert!(!json.contains("NaN"), "NaN leaked:\n{json}");
+        assert!(!json.contains("null"), "null leaked:\n{json}");
+    }
+
+    #[test]
+    fn speedup_guards_division() {
+        let rows = vec![row(1, 0.0), row(2, 0.0), row(4, 2.0)];
+        assert_eq!(speedup(&rows, 0), 0.0, "0/0 reports unmeasurable");
+        assert_eq!(speedup(&rows, 1), 0.0);
+        assert_eq!(speedup(&rows, 2), 0.0, "0/2 is a real (zero) ratio");
+        let rows = vec![row(1, 2.0), row(2, 0.0)];
+        assert_eq!(speedup(&rows, 1), 0.0, "x/0 reports unmeasurable, not inf");
+        let rows = vec![row(1, 2.0), row(2, 1.0)];
+        assert_eq!(speedup(&rows, 1), 2.0);
+    }
 }

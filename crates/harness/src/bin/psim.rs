@@ -7,16 +7,25 @@
 //!
 //! Engines: `seq` (default), `sync`, `compiled`, `async`. Files ending
 //! in `.bench` are parsed as ISCAS benchmarks (LFSR stimulus attached);
-//! anything else uses the native text format. With no `--watch` flags,
-//! every named node that is not auto-generated (`_t...`) is watched.
-//! `--stats` prints netlist statistics and exits.
+//! anything else uses the native text format. The special input `@c17`
+//! uses the built-in ISCAS-85 c17 benchmark (no file needed). With no
+//! `--watch` flags, every named node that is not auto-generated (`_t...`)
+//! is watched. `--stats` prints netlist statistics and exits.
+//!
+//! `--trace OUT.json` (requires building with `--features trace`) records
+//! a per-worker event trace and writes it in Chrome `trace_events` format
+//! — load it at <https://ui.perfetto.dev>. Adding `--report` also prints
+//! a run report (per-phase utilization, barrier imbalance, queue
+//! occupancy, hottest elements) and writes it as `OUT.report.json`.
 
 use std::process::ExitCode;
 
-use parsim_core::{ChaoticAsync, CompiledMode, EventDriven, SimConfig, SyncEventDriven};
+use parsim_core::{
+    ChaoticAsync, CompiledMode, EventDriven, RunReport, SimConfig, SyncEventDriven, TraceConfig,
+};
 use parsim_harness::Table;
 use parsim_logic::Time;
-use parsim_netlist::bench_fmt::{from_bench, BenchOptions};
+use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
 use parsim_netlist::{Netlist, NetlistStats};
 
 struct Options {
@@ -27,6 +36,8 @@ struct Options {
     watch: Vec<String>,
     vcd: Option<String>,
     stats: bool,
+    trace: Option<String>,
+    report: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +50,8 @@ fn parse_args() -> Result<Options, String> {
         watch: Vec::new(),
         vcd: None,
         stats: false,
+        trace: None,
+        report: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -60,9 +73,12 @@ fn parse_args() -> Result<Options, String> {
             "--watch" => opts.watch.push(value("--watch")?),
             "--vcd" => opts.vcd = Some(value("--vcd")?),
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--report" => opts.report = true,
             "--help" | "-h" => {
-                return Err("usage: psim CIRCUIT.net [--engine seq|sync|compiled|async] \
-                     [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats]"
+                return Err("usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
+                     [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
+                     [--trace OUT.json [--report]]"
                     .to_string())
             }
             other if !other.starts_with('-') && opts.input.is_empty() => {
@@ -89,16 +105,33 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
-    let text = std::fs::read_to_string(&opts.input)
-        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
-    // `.bench` files use the ISCAS format (with default LFSR stimulus);
-    // everything else is the native text format.
-    let netlist = if opts.input.ends_with(".bench") {
-        from_bench(&text, &BenchOptions::default())
+    if opts.report && opts.trace.is_none() {
+        return Err("--report requires --trace OUT.json".to_string());
+    }
+    if opts.trace.is_some() && !parsim_trace::recording_compiled() {
+        return Err(
+            "--trace requires the `trace` cargo feature; rebuild with \
+             `cargo build --release -p parsim-harness --features trace`"
+                .to_string(),
+        );
+    }
+    // `@c17` uses the built-in ISCAS-85 c17 benchmark; `.bench` files use
+    // the ISCAS format (with default LFSR stimulus); everything else is
+    // the native text format.
+    let netlist = if opts.input == "@c17" {
+        from_bench(C17, &BenchOptions::default())
             .map_err(|e| e.to_string())?
             .netlist
     } else {
-        Netlist::from_text(&text).map_err(|e| e.to_string())?
+        let text = std::fs::read_to_string(&opts.input)
+            .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+        if opts.input.ends_with(".bench") {
+            from_bench(&text, &BenchOptions::default())
+                .map_err(|e| e.to_string())?
+                .netlist
+        } else {
+            Netlist::from_text(&text).map_err(|e| e.to_string())?
+        }
     };
 
     if opts.stats {
@@ -123,9 +156,12 @@ fn run() -> Result<(), String> {
             .collect::<Result<_, _>>()?
     };
 
-    let config = SimConfig::new(Time(opts.end))
+    let mut config = SimConfig::new(Time(opts.end))
         .watch_all(watch.iter().copied())
         .threads(opts.threads);
+    if opts.trace.is_some() {
+        config = config.with_trace(TraceConfig::default());
+    }
     let result = match opts.engine.as_str() {
         "seq" => EventDriven::run(&netlist, &config),
         "sync" => SyncEventDriven::run(&netlist, &config),
@@ -153,6 +189,46 @@ fn run() -> Result<(), String> {
         std::fs::write(&path, result.to_vcd())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("\nwrote {path}");
+    }
+
+    if let Some(trace_path) = &opts.trace {
+        let trace = result
+            .trace
+            .as_ref()
+            .ok_or("engine returned no trace despite --trace (bug)")?;
+        let json = trace.to_chrome_json();
+        // Self-validate before writing: the export must parse as JSON and
+        // carry at least one span from every worker, or the run fails.
+        parsim_trace::json::lint(&json)
+            .map_err(|e| format!("internal error: chrome trace is not valid JSON: {e}"))?;
+        for w in &trace.workers {
+            if w.span_count() == 0 {
+                return Err(format!(
+                    "internal error: worker {} recorded no spans",
+                    w.worker
+                ));
+            }
+        }
+        std::fs::write(trace_path, &json)
+            .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+        println!(
+            "\nwrote {trace_path} ({} workers, {} events, {} dropped) — load at ui.perfetto.dev",
+            trace.num_workers(),
+            trace.num_events(),
+            trace.dropped()
+        );
+
+        if opts.report {
+            let report = RunReport::from_trace(trace);
+            let report_path = format!("{}.report.json", trace_path.trim_end_matches(".json"));
+            let report_json = report.to_json();
+            parsim_trace::json::lint(&report_json)
+                .map_err(|e| format!("internal error: run report is not valid JSON: {e}"))?;
+            std::fs::write(&report_path, &report_json)
+                .map_err(|e| format!("cannot write {report_path}: {e}"))?;
+            println!("\n{report}");
+            println!("wrote {report_path}");
+        }
     }
     Ok(())
 }

@@ -1,0 +1,32 @@
+//! NaN-safe JSON rendering helpers shared by the harness binaries.
+//!
+//! Thin façade over [`parsim_trace::json`] so every hand-rendered bench
+//! document goes through the same escaping, non-finite-float handling,
+//! and well-formedness lint. Serialized bench output must never contain
+//! `NaN` (invalid JSON) or `null` where a number is expected (breaks
+//! numeric consumers like plotting scripts): non-finite floats render as
+//! `0.0`.
+
+pub use parsim_trace::json::{escape, fmt_f64, lint};
+
+/// Formats a float as a JSON number with 6-digit fixed precision, the
+/// bench-file convention. Non-finite values render as `0.000000`.
+pub fn num(v: f64) -> String {
+    parsim_trace::json::fmt_f64_prec(v, 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_is_always_a_json_number() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, 1.25] {
+            let s = num(v);
+            assert!(lint(&s).is_ok(), "{s} must lint as JSON");
+            assert!(!s.contains("NaN") && !s.contains("null") && !s.contains("inf"));
+        }
+        assert_eq!(num(f64::NAN), "0.000000");
+        assert_eq!(num(1.5), "1.500000");
+    }
+}

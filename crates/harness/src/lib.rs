@@ -17,6 +17,7 @@
 
 mod bench_circuits;
 mod figures;
+pub mod json;
 mod table;
 
 pub use bench_circuits::{

@@ -17,6 +17,7 @@
 //! The caller polls its work sources between snoozes, so correctness
 //! never depends on a wakeup — the backoff only shapes idle cost.
 
+use parsim_trace::{EventKind, WorkerTracer};
 use std::time::Duration;
 
 /// Final spin stage: `2^SPIN_LIMIT` spin hints per snooze.
@@ -79,6 +80,17 @@ impl Backoff {
             true
         };
         self.step = self.step.saturating_add(1);
+        parked
+    }
+
+    /// [`Backoff::snooze`] that records a `BackoffPark` instant (tagged
+    /// with the escalation step) whenever the snooze actually slept.
+    #[inline]
+    pub fn snooze_traced(&mut self, tracer: &mut WorkerTracer) -> bool {
+        let parked = self.snooze();
+        if parked {
+            tracer.instant(EventKind::BackoffPark, self.step);
+        }
         parked
     }
 }

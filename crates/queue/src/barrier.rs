@@ -5,6 +5,7 @@
 //! time-step" (§2). A sense-reversing barrier is reusable across an
 //! unbounded number of phases without reinitialization.
 
+use parsim_trace::{EventKind, WorkerTracer};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable spin barrier for a fixed set of participants.
@@ -104,6 +105,19 @@ impl SpinBarrier {
             }
             false
         }
+    }
+
+    /// [`SpinBarrier::wait`] wrapped in a `BarrierWait` trace span.
+    ///
+    /// `phase` tags which barrier within the engine's step loop this is
+    /// (e.g. 0 = after node apply, 1 = after element eval), so the run
+    /// report can attribute imbalance to a specific phase boundary.
+    #[inline]
+    pub fn wait_traced(&self, tracer: &mut WorkerTracer, phase: u32) -> bool {
+        tracer.begin(EventKind::BarrierWait, phase);
+        let leader = self.wait();
+        tracer.end(EventKind::BarrierWait);
+        leader
     }
 }
 

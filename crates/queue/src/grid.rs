@@ -10,6 +10,7 @@
 //! list"); a [`GridReceiver`] drains its column.
 
 use crate::spsc::{channel, Receiver, Sender};
+use parsim_trace::{EventKind, WorkerTracer};
 
 /// The sending side owned by one processor: one SPSC sender per peer.
 ///
@@ -52,6 +53,23 @@ impl<T> GridSender<T> {
     pub fn peers(&self) -> usize {
         self.to.len()
     }
+
+    /// [`GridSender::send`] plus a `GridSend` instant tagged with the
+    /// destination processor.
+    #[inline]
+    pub fn send_traced(&mut self, item: T, tracer: &mut WorkerTracer) -> usize {
+        let target = self.send(item);
+        tracer.instant(EventKind::GridSend, target as u32);
+        target
+    }
+
+    /// [`GridSender::send_to`] plus a `GridSend` instant tagged with the
+    /// destination processor.
+    #[inline]
+    pub fn send_to_traced(&mut self, target: usize, item: T, tracer: &mut WorkerTracer) {
+        self.send_to(target, item);
+        tracer.instant(EventKind::GridSend, target as u32);
+    }
 }
 
 /// The receiving side owned by one processor: one SPSC receiver per peer.
@@ -70,6 +88,22 @@ impl<T> GridReceiver<T> {
             let idx = (self.cursor + i) % n;
             if let Some(item) = self.from[idx].recv() {
                 self.cursor = idx;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// [`GridReceiver::recv`] plus, on success, a `GridRecv` instant
+    /// tagged with the source peer the item came from.
+    #[inline]
+    pub fn recv_traced(&mut self, tracer: &mut WorkerTracer) -> Option<T> {
+        let n = self.from.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            if let Some(item) = self.from[idx].recv() {
+                self.cursor = idx;
+                tracer.instant(EventKind::GridRecv, idx as u32);
                 return Some(item);
             }
         }

@@ -23,6 +23,11 @@
 //! - [`central::CentralQueue`]: a deliberately contended lock-based queue
 //!   used to reproduce the paper's negative result (§2: one centralized
 //!   queue capped speed-up at ~2 with 8 processors).
+//!
+//! The barrier, backoff, and grid primitives additionally expose
+//! `*_traced` variants that record into a `parsim_trace::WorkerTracer`
+//! (span for barrier waits, instants for grid traffic and parks). With the
+//! `trace` feature off these wrappers cost nothing beyond the plain call.
 
 pub mod activation;
 pub mod backoff;

@@ -72,8 +72,9 @@ pub mod prelude {
     pub use parsim_core::{
         assert_equivalent, ActivityReport, BatchResult, ChaoticAsync, CompiledMode,
         EventDriven, FaultPlan, LaneStimulus, SimConfig, SimError, SimResult,
-        SyncEventDriven, TestBench, TestRun, Waveform, WaveformStats,
+        SyncEventDriven, TestBench, TestRun, TraceConfig, Waveform, WaveformStats,
     };
+    pub use parsim_trace::{RunReport, Trace};
     pub use parsim_logic::{Bit, Delay, ElementKind, Time, Value};
     pub use parsim_netlist::{Builder, ElemId, Netlist, NetlistStats, NodeId};
 }
@@ -85,3 +86,4 @@ pub use parsim_logic as logic;
 pub use parsim_machine as machine;
 pub use parsim_netlist as netlist;
 pub use parsim_queue as queue;
+pub use parsim_trace as trace;
