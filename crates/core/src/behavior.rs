@@ -1,0 +1,338 @@
+//! Per-node behavior lists: the chaotic engine's append-only event store.
+//!
+//! §4 of the paper keeps, per node, "the entire history of events" so
+//! that an element can replay as much of its input behavior as the
+//! inputs' valid times allow. This module is that store, extracted from
+//! the engine so it can be model-checked in isolation:
+//!
+//! - [`Chunk`]: a fixed-size block of `(time, value)` events, linked
+//!   forward through an atomic `next` pointer;
+//! - [`NodeState`]: one node's chunked list plus its publication counter
+//!   (`len`), its validity horizon (`valid_until`), and one consumption
+//!   cursor per fan-out entry (the GC protocol);
+//! - [`Cursor`]: a consumer's position in one list.
+//!
+//! # Protocol
+//!
+//! Exactly one thread at a time is the node's *writer* — the element run
+//! that drives the node, made exclusive by the
+//! [`ActivationState`](parsim_queue::ActivationState) machine. The writer
+//! appends with [`NodeState::push`] (slot write, then `len` release
+//! store) and reclaims with [`NodeState::gc`]. Any fan-out consumer reads
+//! through a [`Cursor`]: `len` acquire load, then slot read; it publishes
+//! how far it has consumed via a release store into
+//! [`NodeState::consumed`], and `gc` frees a chunk only when *every*
+//! consumer's cursor is strictly past the chunk's last slot — which
+//! implies each consumer's chunk pointer has already followed `next`
+//! beyond it.
+//!
+//! `valid_until` is monotone and has a split personality on purpose:
+//! concurrent *input-side* readers (lookahead, replay gating) take
+//! `Acquire` loads, but the writer's own read-modify-write is a `Relaxed`
+//! load followed by a `Release` store. That relaxed load is justified by
+//! exclusivity alone: only the node's driver ever stores `valid_until`,
+//! and successive runs of the driver are ordered by the activation
+//! machine's AcqRel RMW chain (`finish_run` → `try_activate` →
+//! `begin_run`), so the writer can never see its predecessor's store
+//! "late". `tests/model_chaotic.rs` checks exactly this handoff.
+//!
+//! # Model checking
+//!
+//! Everything here compiles against the [`parsim_queue::sync`] facade.
+//! Under `RUSTFLAGS="--cfg parsim_model"` the chunk size shrinks to 2 so
+//! chunk linking and retirement are reachable within a bounded
+//! exploration, and `gc` *quarantines* instead of freeing: reclaimed
+//! chunks get every slot overwritten with a tombstone and are kept alive
+//! until `Drop`. A consumer that could still reach a reclaimed chunk then
+//! trips the explorer's data-race detector on the tombstone write (or
+//! asserts on the tombstone value) instead of dereferencing freed memory.
+
+use std::mem::MaybeUninit;
+use std::ptr;
+
+use parsim_logic::Value;
+use parsim_queue::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use parsim_queue::sync::UnsafeCell;
+
+/// Events per behavior-list chunk.
+#[cfg(not(parsim_model))]
+pub const CHUNK: usize = 64;
+/// Model-mode chunk size: small enough that chunk linking, cursor chunk
+/// hops, and GC retirement all happen within an exhaustively explorable
+/// number of events.
+#[cfg(parsim_model)]
+pub const CHUNK: usize = 2;
+
+/// One chunk of a node's append-only behavior list.
+pub struct Chunk {
+    slots: [UnsafeCell<MaybeUninit<(u64, Value)>>; CHUNK],
+    /// Global index of `slots[0]`.
+    base: u64,
+    next: AtomicPtr<Chunk>,
+}
+
+impl Chunk {
+    fn alloc(base: u64) -> *mut Chunk {
+        Box::into_raw(Box::new(Chunk {
+            slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
+            base,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// A node's behavior: its event history plus how far it is known.
+pub struct NodeState {
+    /// Head chunk (moves forward as GC frees consumed chunks).
+    head: AtomicPtr<Chunk>,
+    /// Writer-owned tail chunk pointer.
+    tail: UnsafeCell<*mut Chunk>,
+    /// Published event count (release store by the writer).
+    len: AtomicU64,
+    /// Behavior is known for every t <= valid_until. Monotone; written
+    /// only by the node's exclusive driver (see the module docs for why
+    /// the writer's own loads may be `Relaxed`).
+    pub valid_until: AtomicU64,
+    /// Per-fanout-entry consumption cursor (global event index), release
+    /// stored by the consumer, acquire loaded by [`NodeState::gc`].
+    pub consumed: Box<[AtomicU64]>,
+    /// Reclaimed-but-not-freed chunks (writer-owned). See module docs.
+    #[cfg(parsim_model)]
+    quarantine: UnsafeCell<Vec<*mut Chunk>>,
+}
+
+// SAFETY: `tail` (and the model-only quarantine) is only touched by the
+// node's unique driver, which is exclusive via the activation state
+// machine; everything else is atomic.
+unsafe impl Send for NodeState {}
+unsafe impl Sync for NodeState {}
+
+impl NodeState {
+    /// A fresh single-chunk list with one consumption cursor per fan-out
+    /// entry.
+    pub fn new(fanouts: usize) -> NodeState {
+        let chunk = Chunk::alloc(0);
+        NodeState {
+            head: AtomicPtr::new(chunk),
+            tail: UnsafeCell::new(chunk),
+            len: AtomicU64::new(0),
+            valid_until: AtomicU64::new(0),
+            consumed: (0..fanouts).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(parsim_model)]
+            quarantine: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Appends one event. Caller must be the node's (exclusive) writer.
+    ///
+    /// # Safety
+    ///
+    /// Only one thread may call this at a time (activation exclusivity).
+    pub unsafe fn push(&self, t: u64, v: Value) {
+        let len = self.len.load(Ordering::Relaxed);
+        let mut tail = self.tail.with(|p| *p);
+        if len - (*tail).base == CHUNK as u64 {
+            let new = Chunk::alloc(len);
+            (*tail).next.store(new, Ordering::Release);
+            self.tail.with_mut(|p| *p = new);
+            tail = new;
+        }
+        let idx = (len - (*tail).base) as usize;
+        (*tail).slots[idx].with_mut(|slot| {
+            (*slot).write((t, v));
+        });
+        self.len.store(len + 1, Ordering::Release);
+    }
+
+    /// Frees chunks every fan-out consumer has fully moved past. Caller
+    /// must be the node's (exclusive) writer. Returns the number of
+    /// chunks reclaimed.
+    ///
+    /// A chunk `c` is freed only when every consumer's cursor exceeds
+    /// `c.base + CHUNK`, which implies each consumer's chunk pointer has
+    /// advanced beyond `c` (to consume an event of index `>= c.base +
+    /// CHUNK` it must have followed `c.next`). The tail chunk is never
+    /// freed.
+    ///
+    /// # Safety
+    ///
+    /// Only one thread may call this at a time (activation exclusivity).
+    pub unsafe fn gc(&self) -> u64 {
+        let min_consumed = self
+            .consumed
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or_else(|| self.len.load(Ordering::Relaxed));
+        let mut freed = 0;
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            let next = (*head).next.load(Ordering::Relaxed);
+            if next.is_null() || min_consumed <= (*head).base + CHUNK as u64 {
+                break;
+            }
+            self.head.store(next, Ordering::Relaxed);
+            self.reclaim(head);
+            freed += 1;
+        }
+        freed
+    }
+
+    #[cfg(not(parsim_model))]
+    unsafe fn reclaim(&self, chunk: *mut Chunk) {
+        drop(Box::from_raw(chunk));
+    }
+
+    /// Model-mode reclamation: tombstone every slot (any consumer that
+    /// can still reach the chunk races with these writes and is reported
+    /// by the explorer) and keep the allocation alive until `Drop` so
+    /// even an undetected late read stays memory-safe.
+    #[cfg(parsim_model)]
+    unsafe fn reclaim(&self, chunk: *mut Chunk) {
+        for slot in &(*chunk).slots {
+            slot.with_mut(|p| {
+                (*p).write((u64::MAX, Value::x(1)));
+            });
+        }
+        self.quarantine.with_mut(|q| (*q).push(chunk));
+    }
+}
+
+impl Drop for NodeState {
+    fn drop(&mut self) {
+        // Acquire pairs with the writer's release publishes, so the chain
+        // walk is ordered even when the dropping thread never touched the
+        // list (same discipline as the queue crate's drop-drains).
+        let mut chunk = self.head.load(Ordering::Acquire);
+        while !chunk.is_null() {
+            // SAFETY: chunks were Box-allocated and unlinked exactly once.
+            let next = unsafe { (*chunk).next.load(Ordering::Acquire) };
+            // (u64, Value) is Copy: no per-slot drop needed.
+            drop(unsafe { Box::from_raw(chunk) });
+            chunk = next;
+        }
+        #[cfg(parsim_model)]
+        self.quarantine.with_mut(|q| {
+            for &c in unsafe { &*q }.iter() {
+                // SAFETY: quarantined chunks were unlinked exactly once
+                // and are unreachable from the head chain freed above.
+                drop(unsafe { Box::from_raw(c) });
+            }
+        });
+    }
+}
+
+/// A consumer's position in one node's behavior list.
+pub struct Cursor {
+    chunk: *mut Chunk,
+    /// Global index of the next unconsumed event. Read-only for callers.
+    pub global: u64,
+    /// Value after the last consumed event (all-X before any). Read-only
+    /// for callers.
+    pub value: Value,
+    /// Copy of the next unconsumed event, if already fetched. Never goes
+    /// stale: event lists are append-only and the cursor only advances on
+    /// `consume`. A `None` cache means "list was drained at last check"
+    /// and must be re-fetched (the producer may have appended since). The
+    /// cached event's chunk cannot be reclaimed, because reclamation
+    /// requires every consumer to have *consumed* past the chunk.
+    cached: Option<(u64, Value)>,
+}
+
+// SAFETY: the raw pointer is only dereferenced under the publication
+// protocol (len acquire) by the owning element's exclusive run.
+unsafe impl Send for Cursor {}
+
+impl Cursor {
+    /// A cursor at the start of `node`'s list, reporting `initial`
+    /// (normally all-X at the node's width) until the first consume.
+    pub fn new(node: &NodeState, initial: Value) -> Cursor {
+        Cursor {
+            chunk: node.head.load(Ordering::Relaxed),
+            global: 0,
+            value: initial,
+            cached: None,
+        }
+    }
+
+    /// Peeks the next unconsumed event, if published. Hits the local
+    /// cache on all but the first call per event.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the element exclusively (activation machine).
+    pub unsafe fn peek(&mut self, node: &NodeState) -> Option<(u64, Value)> {
+        if self.cached.is_some() {
+            return self.cached;
+        }
+        if self.global >= node.len.load(Ordering::Acquire) {
+            return None;
+        }
+        while self.global >= (*self.chunk).base + CHUNK as u64 {
+            let next = (*self.chunk).next.load(Ordering::Acquire);
+            debug_assert!(!next.is_null(), "published event beyond linked chunks");
+            self.chunk = next;
+        }
+        let idx = (self.global - (*self.chunk).base) as usize;
+        self.cached = Some((*self.chunk).slots[idx].with(|slot| (*slot).assume_init()));
+        self.cached
+    }
+
+    /// Consumes the event returned by the last `peek`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the element exclusively and have peeked.
+    pub unsafe fn consume(&mut self, node: &NodeState) {
+        let (_, v) = match self.cached.take() {
+            Some(ev) => ev,
+            None => self.peek(node).expect("consume without peek"),
+        };
+        self.cached = None;
+        self.value = v;
+        self.global += 1;
+    }
+}
+
+#[cfg(all(test, not(parsim_model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_peek_consume_single_thread() {
+        let node = NodeState::new(1);
+        // SAFETY: single-threaded test — trivially exclusive.
+        unsafe {
+            for t in 0..(CHUNK as u64 * 2 + 3) {
+                node.push(t, Value::bit(t % 2 == 1));
+            }
+            let mut c = Cursor::new(&node, Value::x(1));
+            for t in 0..(CHUNK as u64 * 2 + 3) {
+                assert_eq!(c.peek(&node), Some((t, Value::bit(t % 2 == 1))));
+                c.consume(&node);
+                assert_eq!(c.value, Value::bit(t % 2 == 1));
+            }
+            assert_eq!(c.peek(&node), None);
+        }
+    }
+
+    #[test]
+    fn gc_frees_only_fully_consumed_chunks() {
+        let node = NodeState::new(1);
+        // SAFETY: single-threaded test — trivially exclusive.
+        unsafe {
+            let total = CHUNK as u64 * 3;
+            for t in 0..total {
+                node.push(t, Value::bit(false));
+            }
+            // Nothing consumed: nothing freed.
+            assert_eq!(node.gc(), 0);
+            // Cursor strictly past the first chunk (>= requires > base+CHUNK).
+            node.consumed[0].store(CHUNK as u64 + 1, Ordering::Release);
+            assert_eq!(node.gc(), 1);
+            // Everything consumed: tail chunk still never freed.
+            node.consumed[0].store(total + 1, Ordering::Release);
+            assert_eq!(node.gc(), 1);
+        }
+    }
+}

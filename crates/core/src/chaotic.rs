@@ -29,9 +29,10 @@
 //! - element scheduling: a worker-private local LIFO deque backed by an
 //!   n×n single-reader/single-writer FIFO grid
 //!   ([`parsim_queue::grid()`]) whose slots carry id *batches*;
-//! - per-node behavior: an append-only chunked event list with a single
-//!   writer (the node's driver, exclusive via the activation machine) and
-//!   release/acquire publication;
+//! - per-node behavior: an append-only chunked event list
+//!   ([`crate::behavior`]) with a single writer (the node's driver,
+//!   exclusive via the activation machine) and release/acquire
+//!   publication;
 //! - valid times: monotone `AtomicU64`s;
 //! - at-most-once stimulation: [`ActivationState`] CAS machine;
 //! - termination: a global pending-work counter;
@@ -39,6 +40,14 @@
 //!   the (exclusive) writer once every consumer has moved past them.
 //!
 //! No mutex, no barrier, no rollback, anywhere on the hot path.
+//!
+//! Each entry in this inventory is verified by a deterministic
+//! interleaving exploration (the `parsim-model-check` crate): the grid's
+//! SPSC slots, the id batches, and the activation machine in
+//! `crates/queue/tests/model.rs`; the behavior list's publication,
+//! GC-cursor, and `valid_until` protocols in
+//! `crates/core/tests/model_chaotic.rs`. DESIGN.md §9 maps every entry to
+//! its model test.
 //!
 //! # Locality-aware scheduling
 //!
@@ -61,10 +70,7 @@
 //! [`SimConfig::without_local_queue`] /
 //! [`SimConfig::with_partition`](crate::SimConfig).
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::ptr;
-use std::sync::atomic::{AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, ElemState, ElementKind, Time, Value};
@@ -73,6 +79,7 @@ use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
+use crate::behavior::{Cursor, NodeState};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -193,184 +200,6 @@ impl Sched {
         for dest in 0..self.outbox.len() {
             self.flush_one(dest, tm, tr);
         }
-    }
-}
-
-/// Events per behavior-list chunk.
-const CHUNK: usize = 64;
-
-/// One chunk of a node's append-only behavior list.
-struct Chunk {
-    slots: [UnsafeCell<MaybeUninit<(u64, Value)>>; CHUNK],
-    /// Global index of `slots[0]`.
-    base: u64,
-    next: AtomicPtr<Chunk>,
-}
-
-impl Chunk {
-    fn alloc(base: u64) -> *mut Chunk {
-        Box::into_raw(Box::new(Chunk {
-            slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
-            base,
-            next: AtomicPtr::new(ptr::null_mut()),
-        }))
-    }
-}
-
-/// A node's behavior: its event history plus how far it is known.
-struct NodeState {
-    /// Head chunk (moves forward as GC frees consumed chunks).
-    head: AtomicPtr<Chunk>,
-    /// Writer-owned tail chunk pointer.
-    tail: UnsafeCell<*mut Chunk>,
-    /// Published event count (release store by the writer).
-    len: AtomicU64,
-    /// Behavior is known for every t <= valid_until.
-    valid_until: AtomicU64,
-    /// Per-fanout-entry consumption cursor (global event index).
-    consumed: Box<[AtomicU64]>,
-}
-
-// SAFETY: `tail` is only touched by the node's unique driver, which is
-// exclusive via the activation state machine; everything else is atomic.
-unsafe impl Send for NodeState {}
-unsafe impl Sync for NodeState {}
-
-impl NodeState {
-    fn new(fanouts: usize) -> NodeState {
-        let chunk = Chunk::alloc(0);
-        NodeState {
-            head: AtomicPtr::new(chunk),
-            tail: UnsafeCell::new(chunk),
-            len: AtomicU64::new(0),
-            valid_until: AtomicU64::new(0),
-            consumed: (0..fanouts).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// Appends one event. Caller must be the node's (exclusive) writer.
-    ///
-    /// # Safety
-    ///
-    /// Only one thread may call this at a time (activation exclusivity).
-    unsafe fn push(&self, t: u64, v: Value) {
-        let len = self.len.load(Ordering::Relaxed);
-        let mut tail = *self.tail.get();
-        if len - (*tail).base == CHUNK as u64 {
-            let new = Chunk::alloc(len);
-            (*tail).next.store(new, Ordering::Release);
-            *self.tail.get() = new;
-            tail = new;
-        }
-        let idx = (len - (*tail).base) as usize;
-        (*(*tail).slots[idx].get()).write((t, v));
-        self.len.store(len + 1, Ordering::Release);
-    }
-
-    /// Frees chunks every fan-out consumer has fully moved past. Caller
-    /// must be the node's (exclusive) writer.
-    ///
-    /// A chunk `c` is freed only when every consumer's cursor exceeds
-    /// `c.base + CHUNK`, which implies each consumer's chunk pointer has
-    /// advanced beyond `c` (to consume an event of index `>= c.base +
-    /// CHUNK` it must have followed `c.next`). The tail chunk is never
-    /// freed.
-    ///
-    /// # Safety
-    ///
-    /// Only one thread may call this at a time (activation exclusivity).
-    unsafe fn gc(&self) -> u64 {
-        let min_consumed = self
-            .consumed
-            .iter()
-            .map(|c| c.load(Ordering::Acquire))
-            .min()
-            .unwrap_or_else(|| self.len.load(Ordering::Relaxed));
-        let mut freed = 0;
-        loop {
-            let head = self.head.load(Ordering::Relaxed);
-            let next = (*head).next.load(Ordering::Relaxed);
-            if next.is_null() || min_consumed <= (*head).base + CHUNK as u64 {
-                break;
-            }
-            self.head.store(next, Ordering::Relaxed);
-            drop(Box::from_raw(head));
-            freed += 1;
-        }
-        freed
-    }
-}
-
-impl Drop for NodeState {
-    fn drop(&mut self) {
-        // Exclusive access at drop time; free the remaining chain.
-        let mut chunk = *self.head.get_mut();
-        while !chunk.is_null() {
-            // SAFETY: chunks were Box-allocated and unlinked exactly once.
-            let next = unsafe { (*chunk).next.load(Ordering::Relaxed) };
-            // (u64, Value) is Copy: no per-slot drop needed.
-            drop(unsafe { Box::from_raw(chunk) });
-            chunk = next;
-        }
-    }
-}
-
-/// A consumer's position in one node's behavior list.
-struct Cursor {
-    chunk: *mut Chunk,
-    global: u64,
-    /// Value after the last consumed event (all-X before any).
-    value: Value,
-    /// Copy of the next unconsumed event, if already fetched. Never goes
-    /// stale: event lists are append-only and the cursor only advances on
-    /// `consume`. A `None` cache means "list was drained at last check"
-    /// and must be re-fetched (the producer may have appended since). The
-    /// cached event's chunk cannot be reclaimed, because reclamation
-    /// requires every consumer to have *consumed* past the chunk.
-    cached: Option<(u64, Value)>,
-}
-
-// SAFETY: the raw pointer is only dereferenced under the publication
-// protocol (len acquire) by the owning element's exclusive run.
-unsafe impl Send for Cursor {}
-
-impl Cursor {
-    /// Peeks the next unconsumed event, if published. Hits the local
-    /// cache on all but the first call per event.
-    ///
-    /// # Safety
-    ///
-    /// Caller must hold the element exclusively (activation machine).
-    unsafe fn peek(&mut self, node: &NodeState) -> Option<(u64, Value)> {
-        if self.cached.is_some() {
-            return self.cached;
-        }
-        if self.global >= node.len.load(Ordering::Acquire) {
-            return None;
-        }
-        while self.global >= (*self.chunk).base + CHUNK as u64 {
-            let next = (*self.chunk).next.load(Ordering::Acquire);
-            debug_assert!(!next.is_null(), "published event beyond linked chunks");
-            self.chunk = next;
-        }
-        let idx = (self.global - (*self.chunk).base) as usize;
-        self.cached = Some((*(*self.chunk).slots[idx].get()).assume_init());
-        self.cached
-    }
-
-    /// Consumes the event returned by the last `peek`.
-    ///
-    /// # Safety
-    ///
-    /// Caller must hold the element exclusively and have peeked.
-    unsafe fn consume(&mut self, node: &NodeState) {
-        let (_, v) = match self.cached.take() {
-            Some(ev) => ev,
-            None => self.peek(node).expect("consume without peek"),
-        };
-        self.cached = None;
-        self.value = v;
-        self.global += 1;
     }
 }
 
@@ -531,11 +360,11 @@ impl ChaoticAsync {
                     cursors: m
                         .inputs
                         .iter()
-                        .map(|&(node, _)| Cursor {
-                            chunk: nodes[node as usize].head.load(Ordering::Relaxed),
-                            global: 0,
-                            value: Value::x(netlist.nodes()[node as usize].width()),
-                            cached: None,
+                        .map(|&(node, _)| {
+                            Cursor::new(
+                                &nodes[node as usize],
+                                Value::x(netlist.nodes()[node as usize].width()),
+                            )
                         })
                         .collect(),
                     cur_vals: m
@@ -955,6 +784,15 @@ unsafe fn run_element(
                 }
             }
             let vu = &ctx.nodes[out_node].valid_until;
+            // Relaxed is sufficient: `valid_until` of an output node is
+            // stored only by this element's run, and successive runs are
+            // ordered by the activation machine's AcqRel RMW chain
+            // (`finish_run` -> `try_activate` -> `begin_run`), so this
+            // load can never see anything older than the previous run's
+            // store. The Release store is for the concurrent input-side
+            // Acquire readers (lookahead/replay gating), not for us.
+            // Model-checked: `valid_until_relaxed_rmw_is_exclusive` in
+            // crates/core/tests/model_chaotic.rs.
             if vu.load(Ordering::Relaxed) < known_through {
                 vu.store(known_through, Ordering::Release);
                 validity_extended = true;
@@ -1026,6 +864,8 @@ unsafe fn run_element(
     let out_valid = effective_valid.saturating_add(meta.delay).min(ctx.end);
     for &out in &meta.outputs {
         let vu = &ctx.nodes[out as usize].valid_until;
+        // Relaxed load justified by writer exclusivity — same argument as
+        // the `known_through` site above (and the same model test).
         if vu.load(Ordering::Relaxed) < out_valid {
             vu.store(out_valid, Ordering::Release);
             validity_extended = true;

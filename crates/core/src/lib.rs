@@ -52,6 +52,7 @@
 //! through [`FaultPlan`] to exercise these paths.
 
 pub mod analysis;
+pub mod behavior;
 pub mod chaotic;
 pub mod check;
 pub mod compiled;

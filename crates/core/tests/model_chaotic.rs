@@ -1,0 +1,170 @@
+//! Model checking of the chaotic engine's per-node behavior-list
+//! protocols (`parsim_core::behavior`) under the vendored interleaving
+//! explorer. Compiled only under `RUSTFLAGS="--cfg parsim_model"`.
+//!
+//! Three protocols from the chaotic engine's lock-freedom inventory are
+//! checked here (the scheduling-side protocols live in
+//! `crates/queue/tests/model.rs`):
+//!
+//! 1. publication: slot write → `len` release store vs. `len` acquire
+//!    load → slot read, across a chunk-link boundary (model `CHUNK` = 2);
+//! 2. garbage collection: a chunk is reclaimed only when every consumer
+//!    has consumed strictly past it — under the model, `gc` tombstones
+//!    reclaimed chunks, so any schedule in which a consumer can still
+//!    reach one is reported as a data race on the tombstone write;
+//! 3. the `valid_until` writer-exclusive read-modify-write (`Relaxed`
+//!    load + `Release` store), whose safety rests entirely on the
+//!    activation machine's AcqRel handoff chain — the justification for
+//!    the two `Relaxed` loads in `chaotic.rs` (`known_through` and
+//!    `out_valid` extension sites).
+#![cfg(parsim_model)]
+
+use parsim_core::behavior::{Cursor, NodeState, CHUNK};
+use parsim_logic::Value;
+use parsim_model_check::{thread, Explorer};
+use parsim_queue::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use parsim_queue::sync::Arc;
+use parsim_queue::ActivationState;
+
+/// The writer appends events across a chunk boundary while the consumer
+/// replays them concurrently: every event must arrive intact, in order,
+/// and the cursor's `value` tracking must follow. An unpublished slot
+/// read would be a data race on the slot cell.
+#[test]
+fn behavior_publish_consume_across_chunks() {
+    assert_eq!(CHUNK, 2, "model builds shrink the chunk size");
+    let outcome = Explorer::new().max_preemptions(2).check(|| {
+        let node = Arc::new(NodeState::new(1));
+        let n2 = Arc::clone(&node);
+        let writer = thread::spawn(move || {
+            for t in 0..3u64 {
+                // SAFETY: this thread is the node's only writer.
+                unsafe { n2.push(t, Value::bit(t % 2 == 1)) };
+            }
+        });
+        let mut cursor = Cursor::new(&node, Value::x(1));
+        let mut next = 0u64;
+        while next < 3 {
+            // SAFETY: this thread is the element's only runner.
+            match unsafe { cursor.peek(&node) } {
+                Some((t, v)) => {
+                    assert_eq!(t, next, "events replay in append order");
+                    assert_eq!(v, Value::bit(t % 2 == 1), "torn event");
+                    unsafe { cursor.consume(&node) };
+                    assert_eq!(cursor.value, v);
+                    next += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        assert!(unsafe { cursor.peek(&node) }.is_none());
+        writer.join();
+    });
+    outcome.assert_pass("behavior-list publication across chunks");
+}
+
+/// The writer garbage-collects after every append while the consumer is
+/// still replaying: no schedule may reclaim a chunk the consumer's
+/// cursor can still reach. The consumer publishes its progress with a
+/// release store into `consumed[0]` after each consume — exactly the
+/// engine's cursor-publication step — and the strict `>` in `gc`'s
+/// reachability check is what keeps the in-progress chunk alive.
+#[test]
+fn behavior_gc_never_reclaims_reachable_chunk() {
+    let outcome = Explorer::new().max_preemptions(2).check(|| {
+        let node = Arc::new(NodeState::new(1));
+        let n2 = Arc::clone(&node);
+        let writer = thread::spawn(move || {
+            let mut freed = 0u64;
+            for t in 0..4u64 {
+                // SAFETY: this thread is the node's only writer (push and
+                // gc are both writer-side operations).
+                unsafe {
+                    n2.push(t, Value::bit(t % 2 == 1));
+                    freed += n2.gc();
+                }
+            }
+            freed
+        });
+        let mut cursor = Cursor::new(&node, Value::x(1));
+        let mut next = 0u64;
+        while next < 4 {
+            // SAFETY: this thread is the element's only runner.
+            match unsafe { cursor.peek(&node) } {
+                Some((t, v)) => {
+                    assert_eq!(t, next);
+                    assert_eq!(v, Value::bit(t % 2 == 1), "read a reclaimed slot");
+                    unsafe { cursor.consume(&node) };
+                    node.consumed[0].store(cursor.global, Ordering::Release);
+                    next += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        let freed_concurrent = writer.join();
+        // After the consumer has consumed everything (4 events = 2 full
+        // chunks) a final writer-side gc must reclaim at least the first
+        // chunk; `consumed` must exceed base + CHUNK strictly, which 4 > 3
+        // satisfies for the chunk based at 0... only once the cursor is
+        // past it. SAFETY: the writer thread has exited; exclusivity
+        // transfers through the join edge.
+        let freed_final = unsafe { node.gc() };
+        assert!(
+            freed_concurrent + freed_final >= 1,
+            "fully consumed chunks must eventually be reclaimed"
+        );
+    });
+    outcome.assert_pass("behavior-list GC reachability");
+}
+
+/// The `valid_until` read-modify-write as the chaotic engine performs it:
+/// a `Relaxed` load followed by a `Release` store, with no RMW atomicity.
+/// This is only correct because the store is writer-exclusive and
+/// successive writers are ordered by the activation machine's AcqRel
+/// chain. Two threads race to activate the same element and whoever runs
+/// performs the split increment; a stale `Relaxed` read in any schedule
+/// would make two runs write the same value and the final count come up
+/// short.
+#[test]
+fn valid_until_relaxed_rmw_is_exclusive() {
+    let outcome = Explorer::new().max_preemptions(3).check(|| {
+        let st = Arc::new(ActivationState::new());
+        let vu = Arc::new(AtomicU64::new(0));
+        let runs = Arc::new(AtomicUsize::new(0));
+
+        let driver = |st: &ActivationState, vu: &AtomicU64, runs: &AtomicUsize| {
+            if st.try_activate() {
+                loop {
+                    st.begin_run();
+                    // The chaotic.rs pattern (known_through / out_valid
+                    // extension): Relaxed load, monotone Release store.
+                    let v = vu.load(Ordering::Relaxed);
+                    vu.store(v + 1, Ordering::Release);
+                    runs.fetch_add(1, Ordering::Relaxed);
+                    if !st.finish_run() {
+                        break;
+                    }
+                }
+            }
+        };
+
+        let (s2, v2, r2) = (Arc::clone(&st), Arc::clone(&vu), Arc::clone(&runs));
+        let t = thread::spawn(move || driver(&s2, &v2, &r2));
+        driver(&st, &vu, &runs);
+        t.join();
+
+        // An activation absorbed into a *running* element forces a rerun
+        // (2 runs); one absorbed into a merely *queued* element coalesces
+        // into the single pending run (1 run). Both are correct — what
+        // must never happen is a run observing a stale `valid_until` and
+        // collapsing an increment, so the count tracks runs exactly.
+        let r = runs.load(Ordering::Relaxed);
+        assert!((1..=2).contains(&r), "every activation leads to a run");
+        assert_eq!(
+            vu.load(Ordering::Relaxed),
+            r as u64,
+            "a run observed a stale valid_until despite the handoff chain"
+        );
+    });
+    outcome.assert_pass("valid_until writer-exclusive relaxed RMW");
+}

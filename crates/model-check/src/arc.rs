@@ -1,0 +1,78 @@
+//! Model `Arc` whose reference count is itself a model atomic.
+//!
+//! `std::sync::Arc::drop` contains an acquire fence that orders the final
+//! owner's destructor after every other owner's last access. Code that
+//! (accidentally) leans on that fence — the original `Channel::drop` drain
+//! did — looks correct under the real `Arc` but is broken as a protocol.
+//! Modeling the count explicitly reproduces exactly the fence `Arc`
+//! guarantees and nothing more, so such hidden dependencies either hold in
+//! the model too (the fence is real) or the protocol must carry its own
+//! ordering.
+
+use std::ops::Deref;
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+
+use crate::atomic::{fence, AtomicUsize};
+
+struct Inner<T> {
+    count: AtomicUsize,
+    value: T,
+}
+
+/// Model counterpart of `std::sync::Arc` (strong counts only; the facaded
+/// protocols use no weak references).
+pub struct Arc<T> {
+    ptr: NonNull<Inner<T>>,
+}
+
+// SAFETY: same bounds as std's Arc; the count is a model atomic and all
+// model code is serialized by the explorer.
+unsafe impl<T: Send + Sync> Send for Arc<T> {}
+unsafe impl<T: Send + Sync> Sync for Arc<T> {}
+
+impl<T> Arc<T> {
+    pub fn new(value: T) -> Arc<T> {
+        let inner = Box::new(Inner {
+            count: AtomicUsize::new(1),
+            value,
+        });
+        Arc {
+            ptr: NonNull::from(Box::leak(inner)),
+        }
+    }
+}
+
+impl<T> Clone for Arc<T> {
+    fn clone(&self) -> Arc<T> {
+        // Relaxed suffices exactly as in std: the clone happens-before any
+        // use of the new handle by ordinary program order / transfer.
+        unsafe { self.ptr.as_ref() }.count.fetch_add(1, Ordering::Relaxed);
+        Arc { ptr: self.ptr }
+    }
+}
+
+impl<T> Deref for Arc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &unsafe { self.ptr.as_ref() }.value
+    }
+}
+
+impl<T> Drop for Arc<T> {
+    fn drop(&mut self) {
+        if unsafe { self.ptr.as_ref() }.count.fetch_sub(1, Ordering::Release) == 1 {
+            // The fence std::Arc provides: the final drop happens-after
+            // every other owner's release-decrement.
+            fence(Ordering::Acquire);
+            drop(unsafe { Box::from_raw(self.ptr.as_ptr()) });
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}

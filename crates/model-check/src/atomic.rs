@@ -1,0 +1,311 @@
+//! Model atomic types mirroring `std::sync::atomic`.
+//!
+//! Every operation is a schedule point, and every load branches over the
+//! set of stores the C11 visibility rules allow the reading thread to
+//! observe (per-location modification order + happens-before coherence).
+//! Read-modify-writes always operate on the newest store and continue the
+//! release sequence of the store they replace.
+//!
+//! Locations register lazily on first access so constructors stay `const`
+//! (matching `std`, which protocol code relies on for `const fn new`).
+//! The lazy id cell is synchronized by the explorer itself: model code
+//! only ever runs on the single active thread.
+//!
+//! `compare_exchange_weak` never fails spuriously in the model — spurious
+//! failure only retries CAS loops, which adds schedules without adding
+//! observable outcomes, so the model elides it.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+
+use crate::exec;
+
+const UNREGISTERED: usize = usize::MAX;
+
+/// Lazily-registered location id; see module docs for why `Cell` is sound.
+struct Loc {
+    id: Cell<usize>,
+}
+
+// SAFETY: the explorer serializes all model code (exactly one model thread
+// runs between schedule points), so the Cell is never accessed
+// concurrently.
+unsafe impl Send for Loc {}
+unsafe impl Sync for Loc {}
+
+impl Loc {
+    const fn new() -> Loc {
+        Loc {
+            id: Cell::new(UNREGISTERED),
+        }
+    }
+
+    fn get(&self, init: u64) -> usize {
+        let id = self.id.get();
+        if id != UNREGISTERED {
+            return id;
+        }
+        let id = exec::register_loc(init);
+        self.id.set(id);
+        id
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model counterpart of the std atomic of the same name.
+        pub struct $name {
+            init: $ty,
+            loc: Loc,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> $name {
+                $name {
+                    init: v,
+                    loc: Loc::new(),
+                }
+            }
+
+            fn loc(&self) -> usize {
+                self.loc.get(self.init as u64)
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                exec::atomic_load(self.loc(), ord) as $ty
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                exec::atomic_store(self.loc(), v as u64, ord)
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |_| v as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |old| {
+                    (old as $ty).wrapping_add(v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |old| {
+                    (old as $ty).wrapping_sub(v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |old| {
+                    ((old as $ty) | v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |old| {
+                    ((old as $ty) & v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                exec::atomic_rmw(self.loc(), ord, |old| {
+                    (old as $ty).max(v) as u64
+                }) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                exec::atomic_cas(self.loc(), current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).finish()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, u8);
+int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+
+/// Model counterpart of `std::sync::atomic::AtomicI64` (stored as bits).
+pub struct AtomicI64 {
+    init: i64,
+    loc: Loc,
+}
+
+impl AtomicI64 {
+    pub const fn new(v: i64) -> AtomicI64 {
+        AtomicI64 {
+            init: v,
+            loc: Loc::new(),
+        }
+    }
+
+    fn loc(&self) -> usize {
+        self.loc.get(self.init as u64)
+    }
+
+    pub fn load(&self, ord: Ordering) -> i64 {
+        exec::atomic_load(self.loc(), ord) as i64
+    }
+
+    pub fn store(&self, v: i64, ord: Ordering) {
+        exec::atomic_store(self.loc(), v as u64, ord)
+    }
+
+    pub fn fetch_add(&self, v: i64, ord: Ordering) -> i64 {
+        exec::atomic_rmw(self.loc(), ord, |old| (old as i64).wrapping_add(v) as u64) as i64
+    }
+
+    pub fn fetch_sub(&self, v: i64, ord: Ordering) -> i64 {
+        exec::atomic_rmw(self.loc(), ord, |old| (old as i64).wrapping_sub(v) as u64) as i64
+    }
+}
+
+/// Model counterpart of `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    init: bool,
+    loc: Loc,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            init: v,
+            loc: Loc::new(),
+        }
+    }
+
+    fn loc(&self) -> usize {
+        self.loc.get(self.init as u64)
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::atomic_load(self.loc(), ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::atomic_store(self.loc(), v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        exec::atomic_rmw(self.loc(), ord, |_| v as u64) != 0
+    }
+
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        exec::atomic_rmw(self.loc(), ord, |old| (old != 0 || v) as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        exec::atomic_cas(self.loc(), current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").finish()
+    }
+}
+
+/// Model counterpart of `std::sync::atomic::AtomicPtr<T>`.
+///
+/// Pointers travel through the store history as addresses; provenance is
+/// preserved by the fact that model threads are ordinary OS threads in one
+/// address space and the model is never run under strict-provenance
+/// checkers (miri runs target the *real* atomics instead).
+pub struct AtomicPtr<T> {
+    init: Cell<*mut T>,
+    loc: Loc,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: same serialization argument as `Loc`; the pointee is never
+// dereferenced by the atomic itself.
+unsafe impl<T> Send for AtomicPtr<T> {}
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            init: Cell::new(p),
+            loc: Loc::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn loc(&self) -> usize {
+        self.loc.get(self.init.get() as usize as u64)
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        exec::atomic_load(self.loc(), ord) as usize as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        exec::atomic_store(self.loc(), p as usize as u64, ord)
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        exec::atomic_rmw(self.loc(), ord, |_| p as usize as u64) as usize as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        exec::atomic_cas(
+            self.loc(),
+            current as usize as u64,
+            new as usize as u64,
+            success,
+            failure,
+        )
+        .map(|v| v as usize as *mut T)
+        .map_err(|v| v as usize as *mut T)
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr").finish()
+    }
+}
+
+/// Model counterpart of `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    exec::atomic_fence(ord);
+}

@@ -1,0 +1,81 @@
+//! Race-detecting `UnsafeCell` for non-atomic data shared between model
+//! threads (queue slots, cached tail pointers).
+//!
+//! Accesses are *not* schedule points — races are detected purely through
+//! vector clocks (a read must happen-after the last write; a write must
+//! happen-after every prior access), so the detection is independent of
+//! the particular interleaving the explorer happens to run. This keeps the
+//! schedule tree small without losing any races.
+
+use std::cell::Cell;
+
+use crate::exec;
+
+const UNREGISTERED: usize = usize::MAX;
+
+/// Model counterpart of `std::cell::UnsafeCell`, loom-style: data access
+/// goes through [`with`](UnsafeCell::with)/[`with_mut`](UnsafeCell::with_mut)
+/// closures so every read and write is clock-checked.
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    id: Cell<usize>,
+}
+
+// SAFETY: the explorer serializes all model code, and the clock checks
+// abort the execution on the first access that is not ordered by
+// happens-before — which is exactly the condition under which the
+// underlying data could be accessed concurrently for real.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(v: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(v),
+            id: Cell::new(UNREGISTERED),
+        }
+    }
+
+    fn id(&self) -> usize {
+        let id = self.id.get();
+        if id != UNREGISTERED {
+            return id;
+        }
+        let id = exec::register_cell();
+        self.id.set(id);
+        id
+    }
+
+    /// Immutable access; records a read and aborts on a racing write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        exec::cell_read(self.id(), std::any::type_name::<T>());
+        f(self.data.get())
+    }
+
+    /// Mutable access; records a write and aborts on any racing access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        exec::cell_write(self.id(), std::any::type_name::<T>());
+        f(self.data.get())
+    }
+
+    /// Exclusive access through `&mut self` needs no clock check.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> UnsafeCell<T> {
+        UnsafeCell::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("UnsafeCell").finish()
+    }
+}

@@ -1,0 +1,81 @@
+//! Vector clocks: the happens-before partial order the explorer tracks.
+//!
+//! Each model thread carries a [`VClock`]; atomic release/acquire edges and
+//! thread spawn/join edges join clocks. A write is *visible* to a reader
+//! when the writer's clock at the write is `<=` the reader's clock — the
+//! standard vector-clock encoding of happens-before.
+
+/// A vector clock over model thread ids.
+///
+/// Indexed by [`ThreadId`](crate::exec::ThreadId); missing entries are 0.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// This clock's component for thread `t`.
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `t`'s own component.
+    pub fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// True when every component of `self` is `<=` the matching component
+    /// of `other` — i.e. the event stamped `self` happens-before (or is)
+    /// the event stamped `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v <= other.get(t))
+    }
+
+    /// True when no component is set (nothing happened-before).
+    #[cfg(test)]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_leq() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert!(!j.leq(&a));
+        assert!(VClock::new().leq(&a));
+        assert!(VClock::new().is_zero());
+        assert!(!j.is_zero());
+    }
+}

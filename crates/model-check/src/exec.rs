@@ -1,0 +1,1105 @@
+//! The deterministic interleaving explorer.
+//!
+//! One *execution* runs the test closure with every model thread
+//! serialized: exactly one thread runs at a time, and at every schedule
+//! point (each atomic operation, yield, spawn, join, finish) the scheduler
+//! decides who runs next. Each decision — and each choice of *which store
+//! a load observes* under the per-location visibility rules — is a branch
+//! in a tree that the driver explores by depth-first search with a
+//! preemption bound (CHESS-style) and a per-execution step bound.
+//!
+//! Model threads are real OS threads taking turns under one global mutex
+//! and condvar; this is slower than continuation-based engines (loom) but
+//! simple enough to vendor, and the protocols under test are tiny.
+//!
+//! Liveness: a model thread that calls `yield_now`/`spin_loop` parks until
+//! *some* store advances the global write generation. If every live thread
+//! is parked (or blocked on a join) with nothing left to wake it, the
+//! explorer reports a deadlock with the offending schedule.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex};
+
+use crate::clock::VClock;
+
+/// Identifier of a model thread within one execution (0 = root).
+pub type ThreadId = usize;
+
+/// Sentinel unwound through model threads when an execution aborts (a
+/// violation was recorded elsewhere); caught silently by the wrapper.
+pub(crate) struct AbortToken;
+
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+static EXEC: Mutex<Option<ExecState>> = Mutex::new(None);
+static CV: Condvar = Condvar::new();
+static HANDLES: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<ThreadId>> = const { std::cell::Cell::new(None) };
+}
+
+pub(crate) fn current() -> ThreadId {
+    CURRENT.with(|c| c.get()).expect(
+        "parsim-model-check: model primitive used outside an active \
+         exploration (wrap the code in Explorer::check or model())",
+    )
+}
+
+fn acquiring(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// One recorded decision: which thread ran, or which store a load read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    /// `true` = thread choice (`tN`), `false` = read choice (`rN`).
+    thread: bool,
+    chosen: usize,
+    /// Unexplored alternatives, popped on backtrack.
+    remaining: Vec<usize>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    /// Waiting for `write_gen` to pass the stored generation.
+    Parked(u64),
+    /// Waiting for the given thread to finish.
+    Joining(ThreadId),
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    clock: VClock,
+    /// Clock snapshot of the latest release fence (publishes through
+    /// subsequent relaxed stores).
+    rel_fence: Option<VClock>,
+    /// Release clocks of relaxed-loaded stores, pending an acquire fence.
+    acq_pending: VClock,
+}
+
+/// One store in a location's modification order.
+struct Store {
+    val: u64,
+    /// Writer's clock at the store (for coherence / race floors).
+    hb: VClock,
+    /// Clock an acquiring reader synchronizes with, if any.
+    rel: Option<VClock>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+    /// Per-thread floor: max modification-order index already observed.
+    last_seen: Vec<usize>,
+    /// Per-thread `(mo index, global write generation)` of the previous
+    /// load — the await-termination assumption: a thread may not re-read
+    /// the same *stale* store unless some store (anywhere) happened in
+    /// between. Re-reading an unchanged store leaves memory identical, so
+    /// the pruned subtrees add no observable outcomes; without this rule
+    /// every spin loop has an infinite all-stale branch.
+    last_read: Vec<(usize, u64)>,
+    /// Modification-order index of the latest SeqCst store.
+    seqcst_front: usize,
+}
+
+struct CellState {
+    write: Option<VClock>,
+    /// Joined read clock per thread.
+    reads: Vec<Option<VClock>>,
+}
+
+/// Why an execution was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CexKind {
+    /// An assertion (or any panic) fired inside the model.
+    Panic,
+    /// A non-atomic access without a happens-before edge to the last write.
+    DataRace,
+    /// Every live thread is blocked on a join that can never complete.
+    Deadlock,
+    /// The per-execution step bound was exceeded — a runaway spin, which
+    /// includes every-thread-spinning livelocks (e.g. a stuck barrier).
+    StepLimit,
+}
+
+/// A failing execution: what went wrong and the schedule that provokes it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    pub kind: CexKind,
+    pub message: String,
+    /// Replayable decision string, e.g. `"t0 t1 r0 t0"`.
+    pub schedule: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: {} [schedule: {}]",
+            self.kind, self.message, self.schedule
+        )
+    }
+}
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Executions actually run.
+    pub executions: u64,
+    /// True when the schedule tree was exhausted within the budget.
+    pub complete: bool,
+    /// The first violating execution found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl Outcome {
+    /// True when the tree was fully explored and no execution failed.
+    pub fn is_pass(&self) -> bool {
+        self.complete && self.counterexample.is_none()
+    }
+
+    /// Panics with the counterexample (or budget diagnosis) unless the
+    /// exploration passed exhaustively.
+    #[track_caller]
+    pub fn assert_pass(&self, what: &str) {
+        if let Some(cex) = &self.counterexample {
+            panic!("model `{what}` failed after {} executions: {cex}", self.executions);
+        }
+        assert!(
+            self.complete,
+            "model `{what}` exhausted its execution budget ({} runs) without \
+             completing; raise max_executions or tighten the model",
+            self.executions
+        );
+    }
+}
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub max_preemptions: usize,
+    pub max_steps: u64,
+    pub max_executions: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_preemptions: 3,
+            max_steps: 20_000,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+struct ExecState {
+    cfg: Config,
+    threads: Vec<ThreadState>,
+    locations: Vec<Location>,
+    cells: Vec<CellState>,
+    schedule: Vec<Choice>,
+    pos: usize,
+    preemptions: usize,
+    write_gen: u64,
+    steps: u64,
+    active: ThreadId,
+    violation: Option<Counterexample>,
+    /// The recorded violation is a replay-divergence placeholder (see
+    /// [`ExecState::choose`]); a real violation may still replace it.
+    violation_is_divergence: bool,
+    abort: bool,
+}
+
+impl ExecState {
+    fn new(cfg: Config, schedule: Vec<Choice>) -> ExecState {
+        let mut st = ExecState {
+            cfg,
+            threads: Vec::new(),
+            locations: Vec::new(),
+            cells: Vec::new(),
+            schedule,
+            pos: 0,
+            preemptions: 0,
+            write_gen: 0,
+            steps: 0,
+            active: 0,
+            violation: None,
+            violation_is_divergence: false,
+            abort: false,
+        };
+        st.register_thread(None); // root
+        st
+    }
+
+    fn register_thread(&mut self, parent: Option<ThreadId>) -> ThreadId {
+        let id = self.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                // The spawn is a parent event: tick so the child is ordered
+                // after it but concurrent with everything the parent does
+                // next.
+                self.threads[p].clock.tick(p);
+                self.threads[p].clock.clone()
+            }
+            None => VClock::new(),
+        };
+        clock.tick(id);
+        self.threads.push(ThreadState {
+            run: Run::Runnable,
+            clock,
+            rel_fence: None,
+            acq_pending: VClock::new(),
+        });
+        id
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.run == Run::Finished)
+    }
+
+    fn fail(&mut self, kind: CexKind, message: String) {
+        if self.violation.is_none() || self.violation_is_divergence {
+            self.violation = Some(Counterexample {
+                kind,
+                message,
+                schedule: render_schedule(&self.schedule[..self.pos]),
+            });
+            self.violation_is_divergence = false;
+        }
+        self.abort = true;
+    }
+
+    /// Records a replay-divergence abort. It is a placeholder: when the
+    /// divergence was caused by a model thread panicking mid-execution,
+    /// the surviving peer may report it *before* the panicking thread's
+    /// `catch_unwind` lands, and the real violation must win.
+    fn fail_divergence(&mut self) {
+        if self.violation.is_none() {
+            self.violation = Some(Counterexample {
+                kind: CexKind::Panic,
+                message: "execution diverged from the replayed schedule \
+                          (pinned schedule from a different model, or a \
+                          model thread panicked mid-execution)"
+                    .into(),
+                schedule: render_schedule(&self.schedule[..self.pos]),
+            });
+            self.violation_is_divergence = true;
+        }
+        self.abort = true;
+    }
+
+    fn unpark_waiters(&mut self) {
+        for i in 0..self.threads.len() {
+            match self.threads[i].run {
+                Run::Parked(gen) if self.write_gen > gen => {
+                    self.threads[i].run = Run::Runnable;
+                }
+                Run::Joining(t) if self.threads[t].run == Run::Finished => {
+                    self.threads[i].run = Run::Runnable;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn runnable(&self) -> Vec<ThreadId> {
+        (0..self.threads.len())
+            .filter(|&i| self.threads[i].run == Run::Runnable)
+            .collect()
+    }
+
+    /// Records or replays one decision with `n` alternatives; the first
+    /// exploration picks `n - 1` (callers order candidates so the last is
+    /// the "expected" one: keep running the current thread, read the
+    /// newest store). Backtracking then walks the stale/preempting
+    /// alternatives.
+    ///
+    /// Returns `None` when the execution no longer matches the schedule
+    /// being replayed. That happens in exactly two situations: a pinned
+    /// schedule that was recorded for a different model, or — during
+    /// exploration — a model thread panicking mid-execution (its unwind
+    /// skips schedule points, so surviving peers start consuming choices
+    /// recorded for the future that just unwound). Either way the
+    /// execution is unsalvageable; it is aborted with the first recorded
+    /// violation intact rather than crashing the harness.
+    fn choose(&mut self, thread: bool, n: usize) -> Option<usize> {
+        debug_assert!(n > 0);
+        if self.pos < self.schedule.len() {
+            let c = &self.schedule[self.pos];
+            if c.thread != thread || c.chosen >= n {
+                self.fail_divergence();
+                return None;
+            }
+            self.pos += 1;
+            return Some(self.schedule[self.pos - 1].chosen);
+        }
+        let chosen = n - 1;
+        self.schedule.push(Choice {
+            thread,
+            chosen,
+            remaining: (0..n - 1).collect(),
+        });
+        self.pos += 1;
+        Some(chosen)
+    }
+
+    /// Picks and activates the next thread. `me_runnable` is false when the
+    /// caller parked, blocked, or finished (a forced, uncharged switch).
+    /// Returns false when the execution is over (all threads finished).
+    fn transfer(&mut self, me: ThreadId, me_runnable: bool) -> bool {
+        self.unpark_waiters();
+        let mut runnable = self.runnable();
+        if runnable.is_empty() {
+            // No store can wake the parked spinners, but spinning is still
+            // *running*: wake them all and keep scheduling. A genuine
+            // all-spinning livelock then burns the step budget and is
+            // reported as `StepLimit`; only join cycles (nothing to wake)
+            // remain hard deadlocks.
+            for i in 0..self.threads.len() {
+                if matches!(self.threads[i].run, Run::Parked(_)) {
+                    self.threads[i].run = Run::Runnable;
+                    runnable.push(i);
+                }
+            }
+        }
+        if runnable.is_empty() {
+            if self.all_finished() {
+                return false;
+            }
+            self.fail(
+                CexKind::Deadlock,
+                "every live thread is blocked on a join that can never \
+                 complete"
+                    .into(),
+            );
+            return false;
+        }
+        // Candidate order: [others... , me] so choose()'s first pick (the
+        // last) continues the current thread; preempting choices are the
+        // backtrack alternatives, admitted only under the budget.
+        let mut cands: Vec<ThreadId>;
+        if me_runnable {
+            if self.preemptions < self.cfg.max_preemptions {
+                cands = runnable.iter().copied().filter(|&t| t != me).collect();
+            } else {
+                cands = Vec::new();
+            }
+            cands.push(me);
+        } else {
+            cands = runnable;
+        }
+        let Some(pick) = self.choose(true, cands.len()) else {
+            return false;
+        };
+        let chosen = cands[pick];
+        debug_assert_eq!(self.threads[chosen].run, Run::Runnable);
+        if me_runnable && chosen != me {
+            self.preemptions += 1;
+        }
+        self.active = chosen;
+        true
+    }
+
+    fn bump_step(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > self.cfg.max_steps {
+            self.fail(
+                CexKind::StepLimit,
+                format!(
+                    "execution exceeded {} schedule points (runaway spin or \
+                     all-threads livelock)",
+                    self.cfg.max_steps
+                ),
+            );
+            return false;
+        }
+        true
+    }
+}
+
+fn render_schedule(choices: &[Choice]) -> String {
+    let mut s = String::new();
+    for c in choices {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push(if c.thread { 't' } else { 'r' });
+        s.push_str(&c.chosen.to_string());
+    }
+    s
+}
+
+fn parse_schedule(s: &str) -> Vec<Choice> {
+    s.split_whitespace()
+        .map(|tok| {
+            let (kind, num) = tok.split_at(1);
+            let thread = match kind {
+                "t" => true,
+                "r" => false,
+                _ => panic!("bad schedule token {tok:?} (expected tN or rN)"),
+            };
+            Choice {
+                thread,
+                chosen: num.parse().unwrap_or_else(|_| panic!("bad schedule token {tok:?}")),
+                remaining: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Locks the execution state; panics if no exploration is active.
+fn with_state<R>(f: impl FnOnce(&mut ExecState) -> R) -> R {
+    let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+    let st = g.as_mut().expect(
+        "parsim-model-check: model primitive used outside an active \
+         exploration",
+    );
+    f(st)
+}
+
+/// Unwinds the current model thread out of the execution.
+fn abort_unwind() -> ! {
+    resume_unwind(Box::new(AbortToken))
+}
+
+/// The central schedule point: every model-visible operation calls this
+/// before running. May suspend the calling thread while others run.
+///
+/// No-op while the calling thread is unwinding (a model assert fired, or
+/// the execution aborted): destructors of model objects still run their
+/// operations for exact refcounts, but must neither yield nor unwind
+/// again (`resume_unwind` during unwind would abort the process).
+pub(crate) fn schedule_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let me = current();
+    let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let st = g.as_mut().expect("schedule_point outside exploration");
+        if st.abort {
+            drop(g);
+            abort_unwind();
+        }
+        if !st.bump_step() {
+            CV.notify_all();
+            drop(g);
+            abort_unwind();
+        }
+        st.transfer(me, true);
+    }
+    CV.notify_all();
+    loop {
+        {
+            let st = g.as_mut().unwrap();
+            if st.abort {
+                drop(g);
+                abort_unwind();
+            }
+            if st.active == me {
+                return;
+            }
+        }
+        g = CV.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Parks the calling thread until any store lands (yield/spin-loop shim).
+pub(crate) fn park_until_write() {
+    if std::thread::panicking() {
+        return;
+    }
+    let me = current();
+    let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let st = g.as_mut().expect("yield outside exploration");
+        if st.abort {
+            drop(g);
+            abort_unwind();
+        }
+        if !st.bump_step() {
+            CV.notify_all();
+            drop(g);
+            abort_unwind();
+        }
+        st.threads[me].run = Run::Parked(st.write_gen);
+        st.transfer(me, false);
+    }
+    CV.notify_all();
+    loop {
+        {
+            let st = g.as_mut().unwrap();
+            if st.abort {
+                drop(g);
+                abort_unwind();
+            }
+            if st.active == me && st.threads[me].run == Run::Runnable {
+                return;
+            }
+        }
+        g = CV.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+// ---- thread support --------------------------------------------------------
+
+/// Body shared by the root and every spawned model thread.
+pub(crate) fn thread_main(id: ThreadId, body: impl FnOnce()) {
+    CURRENT.with(|c| c.set(Some(id)));
+    // Wait for the scheduler to hand us the first turn.
+    {
+        let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let st = g.as_mut().expect("model thread without exploration");
+            if st.abort {
+                break;
+            }
+            if st.active == id {
+                break;
+            }
+            g = CV.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let aborted_early = with_state(|st| st.abort);
+    if !aborted_early {
+        let result = catch_unwind(AssertUnwindSafe(body));
+        if let Err(payload) = result {
+            if !payload.is::<AbortToken>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".into());
+                with_state(|st| st.fail(CexKind::Panic, msg));
+            }
+        }
+    }
+    with_state(|st| {
+        st.threads[id].run = Run::Finished;
+        st.transfer(id, false);
+    });
+    CV.notify_all();
+    CURRENT.with(|c| c.set(None));
+}
+
+/// Registers a spawned model thread (called by the thread shim).
+pub(crate) fn register_spawn() -> ThreadId {
+    schedule_point();
+    with_state(|st| {
+        let me = current();
+        let id = st.register_thread(Some(me));
+        // Spawn is also a write for liveness: a parked thread polling for
+        // new peers must observe them.
+        st.write_gen += 1;
+        id
+    })
+}
+
+pub(crate) fn push_os_handle(h: std::thread::JoinHandle<()>) {
+    HANDLES.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+}
+
+/// Blocks the current model thread until `target` finishes, then joins the
+/// target's final clock into the caller's (the join edge).
+pub(crate) fn block_on_join(target: ThreadId) {
+    if std::thread::panicking() {
+        return;
+    }
+    let me = current();
+    let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let st = g.as_mut().expect("join outside exploration");
+        if st.abort {
+            drop(g);
+            abort_unwind();
+        }
+        if !st.bump_step() {
+            CV.notify_all();
+            drop(g);
+            abort_unwind();
+        }
+        if st.threads[target].run == Run::Finished {
+            let tc = st.threads[target].clock.clone();
+            st.threads[me].clock.join(&tc);
+            st.transfer(me, true);
+        } else {
+            st.threads[me].run = Run::Joining(target);
+            st.transfer(me, false);
+        }
+    }
+    CV.notify_all();
+    loop {
+        {
+            let st = g.as_mut().unwrap();
+            if st.abort {
+                drop(g);
+                abort_unwind();
+            }
+            if st.active == me && st.threads[me].run == Run::Runnable {
+                if st.threads[target].run == Run::Finished {
+                    let tc = st.threads[target].clock.clone();
+                    st.threads[me].clock.join(&tc);
+                }
+                return;
+            }
+        }
+        g = CV.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+// ---- atomics ---------------------------------------------------------------
+
+/// Registers an atomic location with its initial value (visible to all).
+pub(crate) fn register_loc(init: u64) -> usize {
+    with_state(|st| {
+        st.locations.push(Location {
+            stores: vec![Store {
+                val: init,
+                hb: VClock::new(),
+                rel: None,
+            }],
+            last_seen: Vec::new(),
+            last_read: Vec::new(),
+            seqcst_front: 0,
+        });
+        st.locations.len() - 1
+    })
+}
+
+fn last_seen(l: &Location, t: ThreadId) -> usize {
+    l.last_seen.get(t).copied().unwrap_or(0)
+}
+
+fn set_last_seen(l: &mut Location, t: ThreadId, mo: usize) {
+    if l.last_seen.len() <= t {
+        l.last_seen.resize(t + 1, 0);
+    }
+    l.last_seen[t] = l.last_seen[t].max(mo);
+}
+
+pub(crate) fn atomic_load(loc: usize, ord: Ordering) -> u64 {
+    if std::thread::panicking() {
+        // Unwind teardown: read the newest store, no branching (recording
+        // choices mid-unwind would corrupt the DFS schedule).
+        return with_state(|st| st.locations[loc].stores.last().unwrap().val);
+    }
+    schedule_point();
+    let me = current();
+    with_state(|st| {
+        // Visibility floor: the newest store this thread has observed, or
+        // happens-before knows about; SeqCst loads additionally cannot see
+        // past the latest SeqCst store.
+        let floor = {
+            let l = &st.locations[loc];
+            let mut floor = last_seen(l, me);
+            if ord == Ordering::SeqCst {
+                floor = floor.max(l.seqcst_front);
+            }
+            let clock = &st.threads[me].clock;
+            for i in (floor + 1..l.stores.len()).rev() {
+                if l.stores[i].hb.leq(clock) {
+                    floor = i;
+                    break;
+                }
+            }
+            // Await-termination: re-reading the same stale store with no
+            // intervening store anywhere is pruned (see `last_read`).
+            if let Some(&(prev, gen)) = l.last_read.get(me) {
+                if gen == st.write_gen && prev == floor && floor + 1 < l.stores.len() {
+                    floor += 1;
+                }
+            }
+            floor
+        };
+        let n = st.locations[loc].stores.len() - floor;
+        // On replay divergence fall back to the newest store; the abort
+        // flag is already set and this thread unwinds at its next
+        // schedule point.
+        let pick = if n > 1 {
+            st.choose(false, n).unwrap_or(n - 1)
+        } else {
+            0
+        };
+        let mo = floor + pick;
+        let gen = st.write_gen;
+        {
+            let l = &mut st.locations[loc];
+            if l.last_read.len() <= me {
+                l.last_read.resize(me + 1, (0, 0));
+            }
+            l.last_read[me] = (mo, gen);
+        }
+        set_last_seen(&mut st.locations[loc], me, mo);
+        let (val, rel) = {
+            let s = &st.locations[loc].stores[mo];
+            (s.val, s.rel.clone())
+        };
+        if let Some(rel) = rel {
+            if acquiring(ord) {
+                st.threads[me].clock.join(&rel);
+            } else {
+                st.threads[me].acq_pending.join(&rel);
+            }
+        }
+        val
+    })
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, ord: Ordering) {
+    schedule_point();
+    let me = current();
+    with_state(|st| {
+        st.threads[me].clock.tick(me);
+        let rel = if releasing(ord) {
+            Some(st.threads[me].clock.clone())
+        } else {
+            st.threads[me].rel_fence.clone()
+        };
+        let hb = st.threads[me].clock.clone();
+        let l = &mut st.locations[loc];
+        l.stores.push(Store { val, hb, rel });
+        let mo = l.stores.len() - 1;
+        if ord == Ordering::SeqCst {
+            l.seqcst_front = mo;
+        }
+        set_last_seen(l, me, mo);
+        st.write_gen += 1;
+    })
+}
+
+/// Read-modify-write: always operates on the newest store, continues the
+/// release sequence of the store it read.
+pub(crate) fn atomic_rmw(loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    schedule_point();
+    let me = current();
+    with_state(|st| rmw_locked(st, me, loc, ord, f))
+}
+
+fn rmw_locked(
+    st: &mut ExecState,
+    me: ThreadId,
+    loc: usize,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let (old, prev_rel) = {
+        let s = st.locations[loc].stores.last().unwrap();
+        (s.val, s.rel.clone())
+    };
+    if let Some(rel) = &prev_rel {
+        if acquiring(ord) {
+            st.threads[me].clock.join(rel);
+        } else {
+            st.threads[me].acq_pending.join(rel);
+        }
+    }
+    st.threads[me].clock.tick(me);
+    let mut rel = if releasing(ord) {
+        Some(st.threads[me].clock.clone())
+    } else {
+        st.threads[me].rel_fence.clone()
+    };
+    // RMWs continue the release sequence of the store they replace: an
+    // acquiring reader of this store synchronizes with the original
+    // release even if this RMW itself is relaxed.
+    if let Some(prev) = prev_rel {
+        match &mut rel {
+            Some(r) => r.join(&prev),
+            None => rel = Some(prev),
+        }
+    }
+    let hb = st.threads[me].clock.clone();
+    let l = &mut st.locations[loc];
+    l.stores.push(Store {
+        val: f(old),
+        hb,
+        rel,
+    });
+    let mo = l.stores.len() - 1;
+    if ord == Ordering::SeqCst {
+        l.seqcst_front = mo;
+    }
+    set_last_seen(l, me, mo);
+    st.write_gen += 1;
+    old
+}
+
+/// Compare-exchange (strong; the model has no spurious failures, so weak
+/// and strong coincide — documented in the crate root).
+pub(crate) fn atomic_cas(
+    loc: usize,
+    expected: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    schedule_point();
+    let me = current();
+    with_state(|st| {
+        let old = st.locations[loc].stores.last().unwrap().val;
+        if old == expected {
+            Ok(rmw_locked(st, me, loc, success, |_| new))
+        } else {
+            // Failure path is a load of the newest store.
+            let rel = st.locations[loc].stores.last().unwrap().rel.clone();
+            if let Some(rel) = rel {
+                if acquiring(failure) {
+                    st.threads[me].clock.join(&rel);
+                } else {
+                    st.threads[me].acq_pending.join(&rel);
+                }
+            }
+            let mo = st.locations[loc].stores.len() - 1;
+            set_last_seen(&mut st.locations[loc], me, mo);
+            Err(old)
+        }
+    })
+}
+
+pub(crate) fn atomic_fence(ord: Ordering) {
+    schedule_point();
+    let me = current();
+    with_state(|st| {
+        if acquiring(ord) {
+            let pending = std::mem::take(&mut st.threads[me].acq_pending);
+            st.threads[me].clock.join(&pending);
+        }
+        if releasing(ord) {
+            st.threads[me].rel_fence = Some(st.threads[me].clock.clone());
+        }
+    })
+}
+
+// ---- non-atomic cells ------------------------------------------------------
+
+pub(crate) fn register_cell() -> usize {
+    with_state(|st| {
+        st.cells.push(CellState {
+            write: None,
+            reads: Vec::new(),
+        });
+        st.cells.len() - 1
+    })
+}
+
+pub(crate) fn cell_read(id: usize, what: &str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let me = current();
+    let race = with_state(|st| {
+        // The access is an event of its own: tick so later accesses by
+        // other threads are not spuriously ordered after it.
+        st.threads[me].clock.tick(me);
+        let clock = st.threads[me].clock.clone();
+        let c = &mut st.cells[id];
+        if let Some(w) = &c.write {
+            if !w.leq(&clock) {
+                st.fail(
+                    CexKind::DataRace,
+                    format!("non-atomic read of {what} races an unsynchronized write"),
+                );
+                return true;
+            }
+        }
+        if c.reads.len() <= me {
+            c.reads.resize_with(me + 1, || None);
+        }
+        match &mut c.reads[me] {
+            Some(r) => r.join(&clock),
+            slot => *slot = Some(clock),
+        }
+        false
+    });
+    if race {
+        CV.notify_all();
+        abort_unwind();
+    }
+}
+
+pub(crate) fn cell_write(id: usize, what: &str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let me = current();
+    let race = with_state(|st| {
+        st.threads[me].clock.tick(me);
+        let clock = st.threads[me].clock.clone();
+        let c = &mut st.cells[id];
+        let mut racy = false;
+        if let Some(w) = &c.write {
+            racy |= !w.leq(&clock);
+        }
+        racy |= c
+            .reads
+            .iter()
+            .flatten()
+            .any(|r| !r.leq(&clock));
+        if racy {
+            st.fail(
+                CexKind::DataRace,
+                format!("non-atomic write of {what} races an unsynchronized access"),
+            );
+            return true;
+        }
+        c.write = Some(clock);
+        c.reads.clear();
+        false
+    });
+    if race {
+        CV.notify_all();
+        abort_unwind();
+    }
+}
+
+// ---- driver ----------------------------------------------------------------
+
+/// Configurable exploration entry point.
+///
+/// # Examples
+///
+/// ```
+/// use parsim_model_check::{Explorer, sync::atomic::{AtomicU64, Ordering}, sync::Arc, thread};
+///
+/// let outcome = Explorer::new().check(|| {
+///     let a = Arc::new(AtomicU64::new(0));
+///     let a2 = Arc::clone(&a);
+///     let t = thread::spawn(move || a2.fetch_add(1, Ordering::AcqRel));
+///     a.fetch_add(1, Ordering::AcqRel);
+///     t.join();
+///     assert_eq!(a.load(Ordering::Acquire), 2);
+/// });
+/// outcome.assert_pass("counter");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Explorer {
+    cfg: Config,
+}
+
+impl Explorer {
+    /// Default bounds (3 preemptions, 20k steps, 1M executions).
+    pub fn new() -> Explorer {
+        Explorer::default()
+    }
+
+    /// Caps context switches away from a runnable thread (CHESS bound).
+    pub fn max_preemptions(mut self, n: usize) -> Explorer {
+        self.cfg.max_preemptions = n;
+        self
+    }
+
+    /// Caps schedule points per execution (runaway-spin guard).
+    pub fn max_steps(mut self, n: u64) -> Explorer {
+        self.cfg.max_steps = n;
+        self
+    }
+
+    /// Caps total executions; hitting the cap yields `complete = false`.
+    pub fn max_executions(mut self, n: u64) -> Explorer {
+        self.cfg.max_executions = n;
+        self
+    }
+
+    /// Explores every schedule of `f` within the bounds.
+    pub fn check(&self, f: impl Fn() + Sync) -> Outcome {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut schedule: Vec<Choice> = Vec::new();
+        let mut executions = 0u64;
+        loop {
+            executions += 1;
+            let (sched_back, violation) = run_one(&self.cfg, schedule, &f);
+            schedule = sched_back;
+            if let Some(cex) = violation {
+                return Outcome {
+                    executions,
+                    complete: false,
+                    counterexample: Some(cex),
+                };
+            }
+            if !advance(&mut schedule) {
+                return Outcome {
+                    executions,
+                    complete: true,
+                    counterexample: None,
+                };
+            }
+            if executions >= self.cfg.max_executions {
+                return Outcome {
+                    executions,
+                    complete: false,
+                    counterexample: None,
+                };
+            }
+        }
+    }
+
+    /// Runs exactly one execution pinned to `schedule` (as printed in a
+    /// [`Counterexample`]); decisions past the prefix take the default
+    /// branch. Used to replay found bugs as regression tests.
+    pub fn replay(&self, schedule: &str, f: impl Fn() + Sync) -> Outcome {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (_sched, violation) = run_one(&self.cfg, parse_schedule(schedule), &f);
+        Outcome {
+            executions: 1,
+            complete: false,
+            counterexample: violation,
+        }
+    }
+}
+
+/// Explores `f` with default bounds and panics on any counterexample or
+/// budget exhaustion — the one-liner for model tests expected to pass.
+#[track_caller]
+pub fn model(f: impl Fn() + Sync) {
+    Explorer::new().check(f).assert_pass("model");
+}
+
+fn advance(schedule: &mut Vec<Choice>) -> bool {
+    while let Some(last) = schedule.last_mut() {
+        if let Some(next) = last.remaining.pop() {
+            last.chosen = next;
+            return true;
+        }
+        schedule.pop();
+    }
+    false
+}
+
+fn run_one(
+    cfg: &Config,
+    schedule: Vec<Choice>,
+    f: &(dyn Fn() + Sync),
+) -> (Vec<Choice>, Option<Counterexample>) {
+    {
+        let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(g.is_none(), "nested explorations are not supported");
+        *g = Some(ExecState::new(cfg.clone(), schedule));
+    }
+    std::thread::scope(|s| {
+        s.spawn(|| thread_main(0, f));
+        let mut g = EXEC.lock().unwrap_or_else(|e| e.into_inner());
+        while !g.as_ref().unwrap().all_finished() {
+            g = CV.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    });
+    // Model-spawned OS threads have marked themselves finished; reap them.
+    let handles: Vec<_> = {
+        let mut h = HANDLES.lock().unwrap_or_else(|e| e.into_inner());
+        h.drain(..).collect()
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let st = EXEC
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("execution state vanished");
+    (st.schedule, st.violation)
+}

@@ -1,0 +1,57 @@
+//! Model thread spawn/join/yield shims.
+//!
+//! Model threads are real OS threads scheduled cooperatively by the
+//! explorer; spawn and join are schedule points carrying the usual
+//! happens-before edges (parent's clock into the child, child's final
+//! clock into the joiner).
+
+use std::sync::{Arc as StdArc, Mutex};
+
+use crate::exec;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    id: exec::ThreadId,
+    slot: StdArc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling model thread until the target finishes, then
+    /// returns its value. Unlike `std`, panics in the child do not surface
+    /// here — they abort the whole execution as a model violation, which
+    /// is strictly more informative.
+    pub fn join(self) -> T {
+        exec::block_on_join(self.id);
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined model thread produced no value")
+    }
+}
+
+/// Spawns a model thread participating in the exploration.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let id = exec::register_spawn();
+    let slot = StdArc::new(Mutex::new(None));
+    let out = StdArc::clone(&slot);
+    let handle = std::thread::spawn(move || {
+        exec::thread_main(id, move || {
+            let v = f();
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        });
+    });
+    exec::push_os_handle(handle);
+    JoinHandle { id, slot }
+}
+
+/// Model `yield_now`: parks until some store lands, so spin loops are
+/// finite and an unwakeable spin shows up as a violation instead of
+/// hanging the explorer.
+pub fn yield_now() {
+    exec::park_until_write();
+}

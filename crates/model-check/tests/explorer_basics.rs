@@ -1,0 +1,260 @@
+//! Sanity suite for the explorer itself: known-correct protocols must pass
+//! exhaustively, textbook-broken ones must produce the right kind of
+//! counterexample, and counterexample schedules must replay
+//! deterministically.
+
+use parsim_model_check::sync::atomic::{fence, AtomicU64, Ordering};
+use parsim_model_check::sync::Arc;
+use parsim_model_check::{cell::UnsafeCell, model, thread, CexKind, Explorer};
+
+/// Release/acquire message passing is correct: exhaustive pass.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let outcome = Explorer::new().check(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    outcome.assert_pass("message passing (release/acquire)");
+    assert!(outcome.executions > 1, "should have explored several schedules");
+}
+
+/// The same protocol with a relaxed flag store lets the reader see the
+/// flag before the data: the explorer must find the stale read.
+#[test]
+fn message_passing_relaxed_flag_fails() {
+    let outcome = Explorer::new().check(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed); // bug: no release edge
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    let cex = outcome
+        .counterexample
+        .as_ref()
+        .expect("relaxed message passing must fail");
+    assert_eq!(cex.kind, CexKind::Panic, "stale data read: {cex}");
+
+    // The reported schedule must reproduce the violation deterministically.
+    let replayed = Explorer::new().replay(&cex.schedule, || {
+        let flag = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    let rcex = replayed
+        .counterexample
+        .expect("replayed schedule must reproduce the violation");
+    assert_eq!(rcex.kind, CexKind::Panic);
+}
+
+/// Non-atomic data published without any edge is a data race, caught by
+/// the vector clocks regardless of the interleaving actually run.
+#[test]
+fn unsynchronized_cell_is_a_data_race() {
+    let outcome = Explorer::new().check(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 7 });
+        });
+        cell.with(|p| unsafe { *p });
+        t.join();
+    });
+    let cex = outcome.counterexample.expect("unsynchronized cell must race");
+    assert_eq!(cex.kind, CexKind::DataRace, "{cex}");
+}
+
+/// The same cell guarded by a release store / acquire load is race-free.
+#[test]
+fn flag_guarded_cell_passes() {
+    model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 7 });
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            let v = cell.with(|p| unsafe { *p });
+            assert_eq!(v, 7);
+        }
+        t.join();
+    });
+}
+
+/// Store buffering: with SeqCst both threads cannot read the other's
+/// pre-store value; with release/acquire they can. Classic litmus that
+/// separates the orderings.
+#[test]
+fn store_buffering_seqcst_passes_acqrel_fails() {
+    let run = |ord_store: Ordering, ord_load: Ordering| {
+        Explorer::new().check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = thread::spawn(move || {
+                x2.store(1, ord_store);
+                y2.load(ord_load)
+            });
+            y.store(1, ord_store);
+            let r0 = x.load(ord_load);
+            let r1 = t.join();
+            assert!(r0 == 1 || r1 == 1, "both threads read 0: SC violated");
+        })
+    };
+    run(Ordering::SeqCst, Ordering::SeqCst).assert_pass("store buffering under SeqCst");
+    let weak = run(Ordering::Release, Ordering::Acquire);
+    let cex = weak
+        .counterexample
+        .expect("store buffering must be observable under release/acquire");
+    assert_eq!(cex.kind, CexKind::Panic, "{cex}");
+}
+
+/// An acquire *fence* upgrades an earlier relaxed load: the fenced version
+/// passes exhaustively, the unfenced one reads stale data.
+#[test]
+fn acquire_fence_orders_relaxed_load() {
+    let run = |with_fence: bool| {
+        Explorer::new().check(move || {
+            let flag = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(AtomicU64::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Relaxed) == 1 {
+                if with_fence {
+                    fence(Ordering::Acquire);
+                }
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join();
+        })
+    };
+    run(true).assert_pass("relaxed load + acquire fence");
+    let cex = run(false)
+        .counterexample
+        .expect("relaxed load without fence must see stale data");
+    assert_eq!(cex.kind, CexKind::Panic, "{cex}");
+}
+
+/// A relaxed RMW continues the release sequence of the store it replaces:
+/// an acquiring reader of the RMW's result synchronizes with the original
+/// release.
+#[test]
+fn rmw_continues_release_sequence() {
+    model(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+            // Relaxed RMW in the same sequence; readers of `2` must still
+            // synchronize with the release store of `1`.
+            let _ = f2.compare_exchange(1, 2, Ordering::Relaxed, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+}
+
+/// RMWs always act on the newest store: concurrent fetch_adds never lose
+/// an increment even when fully relaxed.
+#[test]
+fn relaxed_fetch_add_never_loses_updates() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// A load/store "increment" (not an RMW) does lose updates — but only in
+/// schedules with a preemption, so the bound controls whether the bug is
+/// reachable. Guards the CHESS budget accounting.
+#[test]
+fn preemption_bound_gates_lost_update() {
+    let run = |bound: usize| {
+        Explorer::new().max_preemptions(bound).check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+    };
+    run(0).assert_pass("no-preemption schedules cannot interleave the halves");
+    let cex = run(2)
+        .counterexample
+        .expect("with preemptions the lost update must surface");
+    assert_eq!(cex.kind, CexKind::Panic, "{cex}");
+}
+
+/// A spin on a flag nobody sets is reported, not hung: the park/step
+/// machinery converts the unwakeable spin into a StepLimit violation.
+#[test]
+fn unwakeable_spin_is_reported() {
+    let outcome = Explorer::new().max_steps(200).check(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        while flag.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+    });
+    let cex = outcome.counterexample.expect("spin must hit the step limit");
+    assert_eq!(cex.kind, CexKind::StepLimit, "{cex}");
+}
+
+/// A realistic two-thread spin handoff terminates and passes: parking is
+/// woken by the peer's store.
+#[test]
+fn spin_handoff_passes() {
+    model(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(1, Ordering::Release);
+        });
+        while flag.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+        t.join();
+    });
+}

@@ -19,7 +19,7 @@
 //! processor re-enqueues the element after finishing, so no event is ever
 //! lost.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU8, Ordering};
 
 const IDLE: u8 = 0;
 const QUEUED: u8 = 1;
@@ -126,7 +126,7 @@ impl ActivationState {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(parsim_model)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize};

@@ -1,12 +1,27 @@
-//! A sense-reversing spin barrier.
+//! A phase-counting spin barrier (sense reversing, generalized).
 //!
 //! The synchronous event-driven and compiled-mode algorithms "make sure
 //! that *all* processors are done before continuing on to the next
 //! time-step" (§2). A sense-reversing barrier is reusable across an
-//! unbounded number of phases without reinitialization.
+//! unbounded number of phases without reinitialization; this one counts
+//! phases in a monotonic epoch instead of flipping a boolean sense.
+//!
+//! The original implementation derived each waiter's sense by *re-reading
+//! the shared flag* (`!self.sense.load(Relaxed)`) on arrival. That read
+//! races the previous leader's flip: it is only correct because every
+//! arriver's load happens to be ordered before the flip through the
+//! `AcqRel` chain on `remaining` — an edge supplied by a *different*
+//! location's protocol, invisible at the read itself, and lost the moment
+//! anyone weakens the arrival RMW (the model checker demonstrates the
+//! resulting deadlock in
+//! `parsim-model-check/tests/prefix_counterexamples.rs`). The epoch form
+//! needs no such cross-location argument: a waiter captures the epoch
+//! before arriving and spins until it *changes*, so a stale capture is
+//! impossible to misinterpret and a missed flip cannot park a waiter in
+//! the wrong phase.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use parsim_trace::{EventKind, WorkerTracer};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable spin barrier for a fixed set of participants.
 ///
@@ -31,7 +46,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 pub struct SpinBarrier {
     parties: usize,
     remaining: AtomicUsize,
-    sense: AtomicBool,
+    /// Completed-phase counter; waiters of phase `p` spin until it leaves
+    /// `p`. Monotonic, so a waiter can never confuse two phases (the
+    /// boolean-sense ABA) and never needs to re-read shared state to
+    /// learn which phase it is in.
+    phase: AtomicUsize,
     poisoned: AtomicBool,
 }
 
@@ -46,7 +65,7 @@ impl SpinBarrier {
         SpinBarrier {
             parties,
             remaining: AtomicUsize::new(parties),
-            sense: AtomicBool::new(false),
+            phase: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
         }
     }
@@ -83,24 +102,31 @@ impl SpinBarrier {
         if self.is_poisoned() {
             return false;
         }
-        let my_sense = !self.sense.load(Ordering::Relaxed);
+        // Capture the phase *before* arriving: once `remaining` is
+        // decremented the leader may flip at any moment, and a capture
+        // taken after that point could name the next phase and wait on a
+        // release that already happened.
+        let my_phase = self.phase.load(Ordering::Acquire);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last arriver: reset and release the phase.
+            // Last arriver: reset the count for the next phase, then
+            // release this one. The reset must be ordered before (or with)
+            // the phase store — waiters re-arrive as soon as they see the
+            // epoch move.
             self.remaining.store(self.parties, Ordering::Relaxed);
-            self.sense.store(my_sense, Ordering::Release);
+            self.phase.fetch_add(1, Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
-            while self.sense.load(Ordering::Acquire) != my_sense {
+            while self.phase.load(Ordering::Acquire) == my_phase {
                 if self.is_poisoned() {
                     return false;
                 }
                 spins += 1;
                 if spins < 64 {
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 } else {
                     // Oversubscribed hosts: let the missing party run.
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 }
             }
             false
@@ -121,7 +147,7 @@ impl SpinBarrier {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(parsim_model)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;

@@ -13,11 +13,13 @@
 //! it, and before a consume), so rare interleavings become common without
 //! changing any observable queue semantics.
 
+#[cfg(not(parsim_model))]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Endpoints constructed so far; makes each stream distinct while staying
 /// reproducible for a deterministic construction order.
+#[cfg(not(parsim_model))]
 static SEQUENCE: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide base seed, read once from `PARSIM_CHAOS_SEED`.
@@ -47,6 +49,14 @@ impl ChaosState {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
+        // Under the model cfg the explorer replays schedules across many
+        // executions of the same closure; a process-global counter would
+        // make each execution draw a different decision stream and break
+        // replay determinism. Endpoints are distinguished by tag alone
+        // there (construction order within one execution is fixed).
+        #[cfg(parsim_model)]
+        let seq = 0u64;
+        #[cfg(not(parsim_model))]
         let seq = SEQUENCE.fetch_add(1, Ordering::Relaxed);
         ChaosState {
             state: base_seed() ^ h ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
@@ -63,11 +73,16 @@ impl ChaosState {
     }
 
     /// With probability 1/8, yields the thread 1–4 times.
+    ///
+    /// The yield goes through the facade so that under `cfg(parsim_model)`
+    /// every chaos-injected yield is a first-class schedule point: the
+    /// explorer and `cargo test --features chaos` perturb the very same
+    /// windows of the protocols.
     pub fn maybe_yield(&mut self) {
         let r = self.next();
         if r & 0x7 == 0 {
             for _ in 0..(1 + ((r >> 3) & 0x3)) {
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
     }

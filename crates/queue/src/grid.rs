@@ -156,7 +156,7 @@ pub fn grid<T>(n: usize) -> (Vec<GridSender<T>>, Vec<GridReceiver<T>>) {
     (senders, receivers)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(parsim_model)))]
 mod tests {
     use super::*;
     use std::thread;

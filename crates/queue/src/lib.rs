@@ -28,6 +28,16 @@
 //! `*_traced` variants that record into a `parsim_trace::WorkerTracer`
 //! (span for barrier waits, instants for grid traffic and parks). With the
 //! `trace` feature off these wrappers cost nothing beyond the plain call.
+//!
+//! # Model checking
+//!
+//! Every lock-free protocol here compiles against the [`sync`] facade
+//! instead of `std` directly. Under `RUSTFLAGS="--cfg parsim_model"` the
+//! facade resolves to the `parsim-model-check` interleaving explorer and
+//! `tests/model.rs` exhaustively checks the real implementations —
+//! torn/dropped SPSC items, drop-while-nonempty drains, barrier
+//! deadlock/double-release, activation-handoff visibility. See DESIGN.md
+//! §9 for the inventory-to-model-test mapping.
 
 pub mod activation;
 pub mod backoff;
@@ -40,6 +50,7 @@ pub mod grid;
 pub mod pad;
 pub mod ring;
 pub mod spsc;
+pub mod sync;
 
 pub use activation::ActivationState;
 pub use backoff::Backoff;

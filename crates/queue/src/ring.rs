@@ -7,12 +7,11 @@
 //! [`channel`](crate::channel) used by the engines trades that fixed
 //! footprint for never-failing sends.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, UnsafeCell};
 
 struct RingInner<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -30,12 +29,15 @@ unsafe impl<T: Send> Sync for RingInner<T> {}
 
 impl<T> Drop for RingInner<T> {
     fn drop(&mut self) {
-        // Exclusive at drop: drain live items.
-        let mut head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Relaxed);
+        // Exclusive at drop: drain live items. `Acquire` orders the drain
+        // after the producer's final `Release` publish on its own — same
+        // fix as `Channel::drop` in `spsc.rs`; the previous `Relaxed`
+        // loads leaned on the acquire fence inside `Arc::drop`.
+        let mut head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
         while head != tail {
             // SAFETY: slots in [head, tail) hold initialized values.
-            unsafe { (*self.slots[head].get()).assume_init_drop() };
+            self.slots[head].with_mut(|slot| unsafe { (*slot).assume_init_drop() });
             head = (head + 1) % self.slots.len();
         }
     }
@@ -101,7 +103,7 @@ impl<T> RingSender<T> {
             return Err(value); // full: head and tail must never meet
         }
         // SAFETY: the slot at `tail` is dead (not between head and tail).
-        unsafe { (*inner.slots[tail].get()).write(value) };
+        inner.slots[tail].with_mut(|slot| unsafe { (*slot).write(value) });
         inner.tail.store(next, Ordering::Release);
         Ok(())
     }
@@ -124,7 +126,7 @@ impl<T> RingReceiver<T> {
         }
         // SAFETY: the slot at `head` holds an initialized value published
         // by the matching tail store.
-        let value = unsafe { (*inner.slots[head].get()).assume_init_read() };
+        let value = inner.slots[head].with(|slot| unsafe { (*slot).assume_init_read() });
         inner
             .head
             .store((head + 1) % inner.slots.len(), Ordering::Release);
@@ -138,7 +140,7 @@ impl<T> RingReceiver<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(parsim_model)))]
 mod tests {
     use super::*;
     use std::collections::VecDeque;

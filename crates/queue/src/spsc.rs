@@ -10,18 +10,28 @@
 //! Segments fully consumed by the consumer are freed by the consumer once
 //! the producer has linked a successor (the producer never revisits a
 //! segment after linking its successor, so this is safe without epochs).
+//!
+//! Model-checked: `tests/model.rs` runs this exact implementation under
+//! the `parsim-model-check` explorer (push/pop/segment-retire, both drop
+//! orders, drop-while-nonempty, chaos yields); the pre-fix drain that
+//! leaned on `Arc`'s drop fence is kept as a counterexample fixture in
+//! `parsim-model-check/tests/prefix_counterexamples.rs`.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::{Arc, UnsafeCell};
 
 /// Slots per segment. Large enough to amortize allocation, small enough
 /// that bursty producers don't hoard memory.
+#[cfg(not(parsim_model))]
 const SEG: usize = 256;
+/// Under the model: small enough that segment linking and retirement are
+/// reachable within a bounded exploration.
+#[cfg(parsim_model)]
+const SEG: usize = 2;
 
 struct Segment<T> {
     data: [UnsafeCell<MaybeUninit<T>>; SEG],
@@ -56,14 +66,23 @@ impl<T> Drop for Channel<T> {
     fn drop(&mut self) {
         // Exclusive access: both endpoints are gone. Drain remaining items
         // and free all segments.
+        //
+        // The `Acquire` loads below carry their own ordering edge from the
+        // producer's final `Release` publishes: this drain may run on the
+        // consumer's thread (consumer endpoint dropped last) and read
+        // slots the consumer never received. The original `Relaxed` drain
+        // was only correct through the acquire fence inside
+        // `Arc::drop` — an invariant of someone else's implementation;
+        // under the model (whose `Arc` reproduces exactly that fence, no
+        // more) the protocol must order the drain itself.
         unsafe {
-            let (mut seg, mut idx) = *self.head.get();
+            let (mut seg, mut idx) = self.head.with(|p| *p);
             while !seg.is_null() {
-                let published = (*seg).published.load(Ordering::Relaxed);
+                let published = (*seg).published.load(Ordering::Acquire);
                 for i in idx..published {
-                    ptr::drop_in_place((*(*seg).data[i].get()).as_mut_ptr());
+                    (*seg).data[i].with_mut(|slot| ptr::drop_in_place((*slot).as_mut_ptr()));
                 }
-                let next = (*seg).next.load(Ordering::Relaxed);
+                let next = (*seg).next.load(Ordering::Acquire);
                 drop(Box::from_raw(seg));
                 seg = next;
                 idx = 0;
@@ -132,15 +151,14 @@ impl<T> Sender<T> {
     /// the desirable state — ample available work).
     pub fn send(&mut self, value: T) {
         unsafe {
-            let cursor = self.ch.tail.get();
-            let (mut seg, mut idx) = *cursor;
+            let (mut seg, mut idx) = self.ch.tail.with(|p| *p);
             if idx == SEG {
                 let new = Segment::new_raw();
                 (*seg).next.store(new, Ordering::Release);
                 seg = new;
                 idx = 0;
             }
-            (*(*seg).data[idx].get()).write(value);
+            (*seg).data[idx].with_mut(|slot| (*slot).write(value));
             // Chaos: widen the window between writing a slot and
             // publishing it, so consumers exercise the not-yet-visible
             // path that a well-timed preemption would otherwise hit
@@ -148,7 +166,7 @@ impl<T> Sender<T> {
             #[cfg(feature = "chaos")]
             self.chaos.maybe_yield();
             (*seg).published.store(idx + 1, Ordering::Release);
-            *cursor = (seg, idx + 1);
+            self.ch.tail.with_mut(|p| *p = (seg, idx + 1));
         }
     }
 }
@@ -163,8 +181,7 @@ impl<T> Receiver<T> {
         self.chaos.maybe_yield();
         unsafe {
             loop {
-                let cursor = self.ch.head.get();
-                let (seg, idx) = *cursor;
+                let (seg, idx) = self.ch.head.with(|p| *p);
                 if idx == SEG {
                     let next = (*seg).next.load(Ordering::Acquire);
                     if next.is_null() {
@@ -173,13 +190,13 @@ impl<T> Receiver<T> {
                     // The producer has moved on; this segment is fully
                     // consumed and will never be touched again.
                     drop(Box::from_raw(seg));
-                    *cursor = (next, 0);
+                    self.ch.head.with_mut(|p| *p = (next, 0));
                     continue;
                 }
                 let published = (*seg).published.load(Ordering::Acquire);
                 if idx < published {
-                    let value = (*(*seg).data[idx].get()).assume_init_read();
-                    *cursor = (seg, idx + 1);
+                    let value = (*seg).data[idx].with(|slot| (*slot).assume_init_read());
+                    self.ch.head.with_mut(|p| *p = (seg, idx + 1));
                     return Some(value);
                 }
                 return None;
@@ -191,7 +208,7 @@ impl<T> Receiver<T> {
     /// producer may enqueue immediately afterwards.
     pub fn is_empty(&self) -> bool {
         unsafe {
-            let (seg, idx) = *self.ch.head.get();
+            let (seg, idx) = self.ch.head.with(|p| *p);
             if idx == SEG {
                 return (*seg).next.load(Ordering::Acquire).is_null();
             }
@@ -200,7 +217,7 @@ impl<T> Receiver<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(parsim_model)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;

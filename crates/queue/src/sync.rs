@@ -1,0 +1,104 @@
+//! The atomic facade: one set of paths for real atomics and the model.
+//!
+//! All lock-free code in this crate imports its concurrency primitives
+//! from here instead of `std`. In a normal build everything below is a
+//! zero-cost alias of the `std` item of the same name. When the custom
+//! cfg `parsim_model` is set (`RUSTFLAGS="--cfg parsim_model"`, as the CI
+//! model-check job does), the same paths resolve to
+//! `parsim_model_check`'s instrumented types, so the *real* protocol
+//! implementations — `spsc`, `ring`, `grid`, `barrier`, `activation`,
+//! and the chaotic node's chunk lists in `parsim-core` — run under the
+//! interleaving explorer unchanged.
+//!
+//! A cfg (rather than a cargo feature) is used for the same reason loom
+//! uses one: feature unification must never silently switch the rest of a
+//! build onto model atomics.
+//!
+//! The one non-aliased item is [`UnsafeCell`]: loom-style checkers need
+//! reads and writes of non-atomic shared data funneled through
+//! closures so they can be clock-checked, so the real type is a
+//! `#[repr(transparent)]` wrapper offering the same `with`/`with_mut`
+//! access the model type has.
+
+#[cfg(not(parsim_model))]
+pub use std::sync::Arc;
+
+#[cfg(parsim_model)]
+pub use parsim_model_check::sync::Arc;
+
+/// `std::sync::atomic` (or the model's mirror of it).
+pub mod atomic {
+    #[cfg(not(parsim_model))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+
+    #[cfg(parsim_model)]
+    pub use parsim_model_check::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// `std::thread` operations that are schedule points under the model.
+pub mod thread {
+    #[cfg(not(parsim_model))]
+    pub use std::thread::yield_now;
+
+    #[cfg(parsim_model)]
+    pub use parsim_model_check::thread::yield_now;
+}
+
+/// `std::hint` operations that are schedule points under the model.
+pub mod hint {
+    #[cfg(not(parsim_model))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(parsim_model)]
+    pub use parsim_model_check::hint::spin_loop;
+}
+
+#[cfg(parsim_model)]
+pub use parsim_model_check::cell::UnsafeCell;
+
+/// Shared-memory cell with closure-based access (real-mode flavor).
+///
+/// Equivalent to `std::cell::UnsafeCell`; the `with`/`with_mut` shape
+/// exists so the identical call sites compile against the model's
+/// race-checked cell under `cfg(parsim_model)`.
+#[cfg(not(parsim_model))]
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(parsim_model))]
+impl<T> UnsafeCell<T> {
+    pub const fn new(v: T) -> UnsafeCell<T> {
+        UnsafeCell(std::cell::UnsafeCell::new(v))
+    }
+
+    /// Immutable access to the cell's contents.
+    ///
+    /// # Safety contract (checked under the model)
+    ///
+    /// The caller must ensure the access does not race a write; under
+    /// `cfg(parsim_model)` this exact call site is clock-checked.
+    #[inline(always)]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Mutable access to the cell's contents; same contract as
+    /// [`with`](UnsafeCell::with) but for writes.
+    #[inline(always)]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}

@@ -1,6 +1,10 @@
 //! Property tests: the SPSC queue behaves exactly like a `VecDeque` under
 //! arbitrary interleavings of sends and receives.
 
+// Single-threaded property runs; under the model cfg the primitives only
+// work inside an exploration, so this suite is real-atomics only.
+#![cfg(not(parsim_model))]
+
 use std::collections::VecDeque;
 
 use parsim_queue::{channel, CentralQueue};
