@@ -1,0 +1,72 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant).
+//!
+//! Every section of a snapshot file carries a CRC over its payload so a
+//! torn or bit-flipped file is detected at load time instead of being
+//! deserialized into garbage engine state. The table is built at compile
+//! time; no external crate is involved.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, init `!0`, final xor `!0`).
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for the IEEE polynomial.
+/// assert_eq!(parsim_checkpoint::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(parsim_checkpoint::crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at {byte}.{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed checkpoint errors.
+//!
+//! Everything that can go wrong while writing, scanning, or loading a
+//! snapshot is a [`CheckpointError`] variant — never a stringly
+//! `io::Error` bubbled through the engine API. The type is `Clone + Eq`
+//! so it can ride inside `SimError` (which tests compare with `==`);
+//! OS error text is captured as a rendered string for the same reason.
+
+use std::fmt;
+
+/// Why a checkpoint operation failed or a snapshot file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An OS-level I/O operation failed. `op` names the protocol phase
+    /// (`"create"`, `"write"`, `"fsync"`, `"rename"`, `"read"`, ...).
+    Io {
+        op: &'static str,
+        path: String,
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic { path: String },
+    /// The format version is newer than this build understands.
+    BadVersion { path: String, found: u32 },
+    /// The snapshot was written for a different netlist.
+    DigestMismatch {
+        path: String,
+        expected: u64,
+        found: u64,
+    },
+    /// Truncation, CRC mismatch, or a malformed section. `detail` says
+    /// which check failed; the file is unusable but recovery may fall
+    /// back to an older snapshot.
+    Corrupt { path: String, detail: String },
+    /// The snapshot's node/element counts do not match the netlist it is
+    /// being restored into (digest collisions aside, this means a bug).
+    ShapeMismatch { detail: String },
+    /// A resume was requested with a different `end_time` than the run
+    /// that produced the snapshot. Bit-identical resume is only defined
+    /// against the same horizon: events beyond the original end were
+    /// dropped at capture time and cannot be reconstructed.
+    EndTimeMismatch { snapshot: u64, config: u64 },
+    /// Resume was requested but the checkpoint directory holds no
+    /// loadable snapshot (all candidates torn/corrupt/mismatched).
+    NoValidSnapshot { dir: String, examined: usize },
+    /// Checkpointing was enabled without a directory, or with a zero
+    /// interval — the policy is unusable as configured.
+    BadPolicy { detail: String },
+    /// A [`StorageFault`](crate::StorageFault) fired mid-protocol: the
+    /// simulated machine died here. Tests treat this as the crash point
+    /// and then exercise recovery.
+    InjectedCrash { phase: &'static str },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { op, path, message } => {
+                write!(f, "checkpoint {op} failed for {path}: {message}")
+            }
+            CheckpointError::BadMagic { path } => {
+                write!(f, "{path} is not a parsim snapshot (bad magic)")
+            }
+            CheckpointError::BadVersion { path, found } => {
+                write!(f, "{path} has unsupported snapshot version {found}")
+            }
+            CheckpointError::DigestMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{path} was written for a different netlist \
+                 (digest {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "{path} is corrupt: {detail}")
+            }
+            CheckpointError::ShapeMismatch { detail } => {
+                write!(f, "snapshot shape does not match netlist: {detail}")
+            }
+            CheckpointError::EndTimeMismatch { snapshot, config } => write!(
+                f,
+                "snapshot was captured for end_time={snapshot} but the resume \
+                 requested end_time={config}; resume with the original horizon"
+            ),
+            CheckpointError::NoValidSnapshot { dir, examined } => write!(
+                f,
+                "no valid snapshot in {dir} ({examined} candidate file(s) examined)"
+            ),
+            CheckpointError::BadPolicy { detail } => {
+                write!(f, "invalid checkpoint policy: {detail}")
+            }
+            CheckpointError::InjectedCrash { phase } => {
+                write!(f, "injected storage crash during {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CheckpointError {
+    /// Wraps an `io::Error` with the protocol phase and path, rendering
+    /// the OS message so the result stays `Clone + Eq`.
+    pub fn io(op: &'static str, path: &std::path::Path, err: &std::io::Error) -> CheckpointError {
+        CheckpointError::Io {
+            op,
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Storage-fault injection for the checkpoint write protocol.
+//!
+//! The write protocol has distinct phases — serialize, write temp,
+//! fsync, rename, fsync dir — and a real machine can die in any of
+//! them. [`StorageFaultPlan`] lets a test pick a write (by ordinal) and
+//! a phase and simulate exactly that crash, so the recovery scan can be
+//! proven against every reachable on-disk state rather than only the
+//! happy path. Mirrors the compute-side `FaultPlan` (panic/stall at the
+//! n-th activation) from the containment layer.
+
+/// What goes wrong, and where in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The machine dies after `rename` but before the data reached the
+    /// platter: the *committed* file is truncated at `at_byte`. This is
+    /// the classic torn write; recovery must fall back.
+    TornWrite { at_byte: usize },
+    /// Silent media corruption: one bit (bit 0 of `at_byte`, modulo the
+    /// file length) flips. The write "succeeds"; only a CRC check at
+    /// load time can catch it.
+    BitFlip { at_byte: usize },
+    /// The machine dies during `fsync` of the temp file: the temp file
+    /// may exist but was never renamed, so the previous snapshot is
+    /// still the newest committed one.
+    FsyncCrash,
+    /// The machine dies during `rename`: same visible outcome as
+    /// `FsyncCrash` (temp present, not committed), exercised separately
+    /// because it is a distinct protocol phase.
+    RenameCrash,
+}
+
+/// Schedule of storage faults, keyed by write ordinal (0 = the first
+/// checkpoint write of the run).
+///
+/// # Examples
+///
+/// ```
+/// use parsim_checkpoint::{StorageFault, StorageFaultPlan};
+///
+/// let plan = StorageFaultPlan::new().fault_at(1, StorageFault::TornWrite { at_byte: 100 });
+/// assert_eq!(plan.fault_for(0), None);
+/// assert_eq!(plan.fault_for(1), Some(StorageFault::TornWrite { at_byte: 100 }));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    faults: Vec<(u64, StorageFault)>,
+}
+
+impl StorageFaultPlan {
+    /// No faults: every write succeeds.
+    pub fn new() -> StorageFaultPlan {
+        StorageFaultPlan::default()
+    }
+
+    /// Injects `fault` into the `nth` checkpoint write (0-based).
+    pub fn fault_at(mut self, nth: u64, fault: StorageFault) -> StorageFaultPlan {
+        self.faults.push((nth, fault));
+        self
+    }
+
+    /// The fault scheduled for write `nth`, if any.
+    pub fn fault_for(&self, nth: u64) -> Option<StorageFault> {
+        self.faults
+            .iter()
+            .find(|(n, _)| *n == nth)
+            .map(|(_, f)| *f)
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}

@@ -1,0 +1,402 @@
+//! The on-disk checkpoint store: atomic writes, recovery scan, pruning.
+//!
+//! # Write-ordering invariants
+//!
+//! A snapshot becomes visible to recovery *only* through `rename(2)`,
+//! which is atomic on POSIX filesystems. The protocol is:
+//!
+//! 1. serialize the snapshot to a buffer;
+//! 2. write the buffer to `.ckpt-NNNNNNNNNN.psnap.tmp`;
+//! 3. `fsync` the temp file (data durable before the name flips);
+//! 4. `rename` to `ckpt-NNNNNNNNNN.psnap`;
+//! 5. `fsync` the directory (the new name itself durable).
+//!
+//! A crash before step 4 leaves at most a stale `.tmp` file, which the
+//! recovery scan ignores; a crash after step 4 leaves a complete,
+//! checksummed snapshot. The only way a *committed* file can be bad is
+//! hardware-level tearing or corruption — which the per-section CRCs
+//! catch, making recovery fall back to the next-newest snapshot.
+//!
+//! Pruning keeps the newest K committed snapshots. K must be at least 2:
+//! if the newest turns out torn, the previous one is the fallback.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::CheckpointError;
+use crate::fault::{StorageFault, StorageFaultPlan};
+use crate::snapshot::EngineSnapshot;
+
+/// Committed snapshot filename for checkpoint ordinal `step`.
+fn file_name(step: u64) -> String {
+    format!("ckpt-{step:010}.psnap")
+}
+
+/// Parses `ckpt-NNNNNNNNNN.psnap` back to its step, rejecting
+/// everything else (temp files, foreign files).
+fn parse_file_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".psnap")?;
+    if rest.len() != 10 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Outcome of a successful [`CheckpointStore::save`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveStats {
+    /// Bytes in the committed snapshot file.
+    pub bytes: u64,
+    /// Final (post-rename) path.
+    pub path: PathBuf,
+}
+
+/// Outcome of a recovery scan.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// The newest loadable snapshot, if any file validated.
+    pub snapshot: Option<EngineSnapshot>,
+    /// Path the loaded snapshot came from.
+    pub loaded_from: Option<PathBuf>,
+    /// Candidates that were rejected, newest first, with the reason.
+    /// Non-empty `skipped` with a loaded snapshot means the newest file
+    /// was torn and recovery fell back — exactly the case the atomic
+    /// write protocol exists to survive.
+    pub skipped: Vec<(PathBuf, CheckpointError)>,
+}
+
+/// A directory of rolling snapshots for one (netlist, run) pair.
+///
+/// The store never trusts file contents: every load re-validates magic,
+/// version, digest, and section CRCs. Step ordinals come from file
+/// names only for ordering the scan; the authoritative step is inside
+/// the (checksummed) META section.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    digest: u64,
+    keep: usize,
+    writes: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory for a netlist
+    /// with structural `digest`. `keep` is clamped to at least 2 so a
+    /// torn newest snapshot always has a fallback.
+    pub fn open(dir: &Path, digest: u64, keep: usize) -> Result<CheckpointStore, CheckpointError> {
+        fs::create_dir_all(dir).map_err(|e| CheckpointError::io("create-dir", dir, &e))?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            digest,
+            keep: keep.max(2),
+            writes: 0,
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `snap` crash-consistently, honoring `faults` for this
+    /// write's ordinal. On success, prunes to the newest `keep`
+    /// snapshots and clears stale temp files.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::InjectedCrash`] when a scheduled
+    /// [`StorageFault`] fires (the caller treats this as the simulated
+    /// machine dying), or [`CheckpointError::Io`] for real I/O failures.
+    pub fn save(
+        &mut self,
+        snap: &EngineSnapshot,
+        faults: &StorageFaultPlan,
+    ) -> Result<SaveStats, CheckpointError> {
+        let ordinal = self.writes;
+        self.writes += 1;
+        let fault = faults.fault_for(ordinal);
+
+        let mut buf = snap.encode(self.digest);
+        match fault {
+            Some(StorageFault::TornWrite { at_byte }) => {
+                // The rename happened but the tail of the data never hit
+                // the disk: commit a truncated file, then "die".
+                buf.truncate(at_byte.min(buf.len()));
+            }
+            Some(StorageFault::BitFlip { at_byte }) => {
+                let i = at_byte % buf.len().max(1);
+                buf[i] ^= 1;
+            }
+            _ => {}
+        }
+
+        let final_path = self.dir.join(file_name(snap.step));
+        let tmp_path = self.dir.join(format!(".{}.tmp", file_name(snap.step)));
+
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| CheckpointError::io("create", &tmp_path, &e))?;
+        f.write_all(&buf)
+            .map_err(|e| CheckpointError::io("write", &tmp_path, &e))?;
+
+        if fault == Some(StorageFault::FsyncCrash) {
+            // Died mid-fsync: temp exists, never renamed.
+            return Err(CheckpointError::InjectedCrash { phase: "fsync" });
+        }
+        f.sync_all()
+            .map_err(|e| CheckpointError::io("fsync", &tmp_path, &e))?;
+        drop(f);
+
+        if fault == Some(StorageFault::RenameCrash) {
+            return Err(CheckpointError::InjectedCrash { phase: "rename" });
+        }
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| CheckpointError::io("rename", &final_path, &e))?;
+        sync_dir(&self.dir)?;
+
+        if let Some(StorageFault::TornWrite { .. }) = fault {
+            // The torn file is now committed; the machine dies here.
+            return Err(CheckpointError::InjectedCrash { phase: "data-flush" });
+        }
+
+        self.prune();
+        Ok(SaveStats {
+            bytes: buf.len() as u64,
+            path: final_path,
+        })
+    }
+
+    /// Scans the directory and loads the newest snapshot that passes
+    /// every validation, recording why newer candidates were skipped.
+    ///
+    /// An empty or absent directory is not an error: `snapshot` is
+    /// simply `None` (the caller starts fresh).
+    ///
+    /// # Errors
+    ///
+    /// Only on directory-scan I/O failures; individual bad files are
+    /// reported in [`Recovery::skipped`], never propagated.
+    pub fn recover(&self) -> Result<Recovery, CheckpointError> {
+        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Recovery::default())
+            }
+            Err(e) => return Err(CheckpointError::io("read-dir", &self.dir, &e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::io("read-dir", &self.dir, &e))?;
+            let name = entry.file_name();
+            if let Some(step) = name.to_str().and_then(parse_file_name) {
+                candidates.push((step, entry.path()));
+            }
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+
+        let mut out = Recovery::default();
+        for (_, path) in candidates {
+            match self.load(&path) {
+                Ok(snap) => {
+                    out.loaded_from = Some(path);
+                    out.snapshot = Some(snap);
+                    break;
+                }
+                Err(err) => out.skipped.push((path, err)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads and fully validates one snapshot file.
+    pub fn load(&self, path: &Path) -> Result<EngineSnapshot, CheckpointError> {
+        let bytes = fs::read(path).map_err(|e| CheckpointError::io("read", path, &e))?;
+        EngineSnapshot::decode(&bytes, self.digest, &path.display().to_string())
+    }
+
+    /// Number of committed snapshot files currently in the directory.
+    pub fn num_snapshots(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.file_name().to_str().and_then(parse_file_name).is_some())
+            .count()
+    }
+
+    /// Deletes all but the newest `keep` committed snapshots and any
+    /// stale temp files. Best-effort: pruning failures never fail a
+    /// checkpoint that already committed.
+    fn prune(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut committed: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(step) = parse_file_name(name) {
+                committed.push((step, entry.path()));
+            } else if name.starts_with('.') && name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        committed.sort_by_key(|c| std::cmp::Reverse(c.0));
+        for (_, path) in committed.into_iter().skip(self.keep) {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Fsync a directory so a just-renamed entry is durable. Directories
+/// cannot be opened for writing; a plain read open suffices for
+/// `fsync` on Linux. Platforms where directory fsync is unsupported
+/// (the error case) degrade gracefully — rename atomicity still holds.
+fn sync_dir(dir: &Path) -> Result<(), CheckpointError> {
+    match File::open(dir) {
+        Ok(d) => {
+            let _ = d.sync_all();
+            Ok(())
+        }
+        Err(e) => Err(CheckpointError::io("open-dir", dir, &e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_logic::Value;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "parsim-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(step: u64, time: u64) -> EngineSnapshot {
+        EngineSnapshot {
+            end_time: 100,
+            time,
+            step,
+            seeds: [0, 0],
+            values: vec![Value::bit(true)],
+            last_scheduled: vec![Value::bit(true)],
+            last_sched_time: vec![time],
+            elem_states: vec![],
+            pending: vec![],
+            changes: vec![],
+        }
+    }
+
+    #[test]
+    fn save_then_recover_newest() {
+        let dir = tmpdir("newest");
+        let mut store = CheckpointStore::open(&dir, 1, 3).unwrap();
+        let plan = StorageFaultPlan::new();
+        store.save(&snap(1, 10), &plan).unwrap();
+        store.save(&snap(2, 20), &plan).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.snapshot.unwrap().time, 20);
+        assert!(rec.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_last_k_prunes() {
+        let dir = tmpdir("prune");
+        let mut store = CheckpointStore::open(&dir, 1, 2).unwrap();
+        let plan = StorageFaultPlan::new();
+        for step in 1..=5 {
+            store.save(&snap(step, step * 10), &plan).unwrap();
+        }
+        assert_eq!(store.num_snapshots(), 2);
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.snapshot.unwrap().step, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_newest_falls_back() {
+        let dir = tmpdir("torn");
+        let mut store = CheckpointStore::open(&dir, 1, 3).unwrap();
+        store.save(&snap(1, 10), &StorageFaultPlan::new()).unwrap();
+        let plan = StorageFaultPlan::new().fault_at(1, StorageFault::TornWrite { at_byte: 40 });
+        let err = store.save(&snap(2, 20), &plan).unwrap_err();
+        assert_eq!(err, CheckpointError::InjectedCrash { phase: "data-flush" });
+        // Both files exist; the newest is torn; recovery lands on step 1.
+        assert_eq!(store.num_snapshots(), 2);
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.snapshot.unwrap().step, 1);
+        assert_eq!(rec.skipped.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_and_rename_crashes_leave_previous_committed() {
+        for (tag, fault, phase) in [
+            ("fsync", StorageFault::FsyncCrash, "fsync"),
+            ("rename", StorageFault::RenameCrash, "rename"),
+        ] {
+            let dir = tmpdir(tag);
+            let mut store = CheckpointStore::open(&dir, 1, 3).unwrap();
+            store.save(&snap(1, 10), &StorageFaultPlan::new()).unwrap();
+            let plan = StorageFaultPlan::new().fault_at(1, fault);
+            let err = store.save(&snap(2, 20), &plan).unwrap_err();
+            assert_eq!(err, CheckpointError::InjectedCrash { phase });
+            // The temp file never became visible.
+            assert_eq!(store.num_snapshots(), 1);
+            let rec = store.recover().unwrap();
+            assert_eq!(rec.snapshot.unwrap().step, 1);
+            assert!(rec.skipped.is_empty());
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_on_recover() {
+        let dir = tmpdir("flip");
+        let mut store = CheckpointStore::open(&dir, 1, 3).unwrap();
+        store.save(&snap(1, 10), &StorageFaultPlan::new()).unwrap();
+        let plan = StorageFaultPlan::new().fault_at(1, StorageFault::BitFlip { at_byte: 60 });
+        // Bit flips are silent: the save itself succeeds.
+        store.save(&snap(2, 20), &plan).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.snapshot.unwrap().step, 1);
+        assert_eq!(rec.skipped.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_digest_is_skipped() {
+        let dir = tmpdir("digest");
+        let mut store = CheckpointStore::open(&dir, 1, 3).unwrap();
+        store.save(&snap(1, 10), &StorageFaultPlan::new()).unwrap();
+        let other = CheckpointStore::open(&dir, 2, 3).unwrap();
+        let rec = other.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.skipped.len(), 1);
+        assert!(matches!(
+            rec.skipped[0].1,
+            CheckpointError::DigestMismatch { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_nothing() {
+        let dir = tmpdir("empty");
+        let store = CheckpointStore::open(&dir, 1, 3).unwrap();
+        let rec = store.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -73,6 +73,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
+use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, ElemState, ElementKind, Time, Value};
 use parsim_netlist::partition::cone_cluster;
 use parsim_netlist::{Netlist, NodeId};
@@ -80,6 +81,7 @@ use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
 use crate::behavior::{Cursor, NodeState};
+use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -91,9 +93,15 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "chaotic-async";
 
-/// Per-worker results: recorded waveform changes, timing counters, and
-/// the worker's drained trace ring.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, WorkerTracer);
+/// Per-worker results: recorded waveform changes, timing counters, the
+/// worker's drained trace ring, and the events the worker computed beyond
+/// the segment cut (checkpoint capture mode).
+type WorkerOutput = (
+    Vec<(Time, NodeId, Value)>,
+    ThreadMetrics,
+    WorkerTracer,
+    Vec<PendingEvent>,
+);
 
 /// Push-side bound of the local LIFO deque: fan-out pushes beyond this
 /// divert to the owner's grid column instead, so one worker cannot hoard
@@ -227,6 +235,10 @@ struct ElemRun {
     last_out: Vec<Value>,
     /// Last appended event time per output port (monotone transport).
     last_te: Vec<u64>,
+    /// Value of each output node at the segment cut: the last event value
+    /// appended *within* the cut (unlike `last_out`, which also tracks
+    /// beyond-cut overflow events). Read post-join for snapshot capture.
+    cut_val: Vec<Value>,
 }
 
 /// Everything a worker needs, shared immutably.
@@ -245,7 +257,14 @@ struct Ctx<'a> {
     /// Local-first scheduling enabled
     /// ([`SimConfig::local_queue`](crate::SimConfig)).
     use_local: bool,
+    /// This segment's cut: events and validity never pass it.
     end: u64,
+    /// The run's horizon (`config.end_time`): events in `(end, horizon]`
+    /// overflow into the checkpoint snapshot when `capture` is on, and
+    /// are dropped (without bookkeeping) otherwise — matching what an
+    /// uninterrupted run would keep or drop.
+    horizon: u64,
+    capture: bool,
     lookahead: bool,
     gc: bool,
 }
@@ -273,8 +292,30 @@ impl ChaoticAsync {
     /// [`SimConfig::stall_timeout`](crate::SimConfig) /
     /// [`SimConfig::deadline`](crate::SimConfig) cancelled the run.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
+        Ok(out.into_result(netlist, config))
+    }
+
+    /// Runs one segment — the whole run when `seg` is
+    /// [`SegmentSpec::whole`]. The chaotic engine's quiescence property
+    /// is what makes its cuts consistent: the run terminates only when
+    /// every node's `valid_until` has reached the cut, so every element
+    /// has replayed every input event within the segment and the
+    /// captured per-element state is exactly what a fresh engine warm-
+    /// started from it needs. Resume seeds the behavior lists with the
+    /// snapshot's in-flight events and the re-expanded generator
+    /// schedules past the previous cut; cursors start at the (empty)
+    /// list heads with the snapshot's node values as their baselines.
+    pub(crate) fn run_segment(
+        netlist: &Netlist,
+        config: &SimConfig,
+        seg: SegmentSpec<'_>,
+    ) -> Result<SegmentOut, SimError> {
         let start = Instant::now();
-        let end = config.end_time.ticks();
+        let horizon = config.end_time.ticks();
+        let end = seg.cut;
+        let t0 = seg.resume.map(|s| s.time);
+        let capture = seg.capture;
         let n_threads = config.threads;
 
         let mut watched = vec![false; netlist.num_nodes()];
@@ -326,13 +367,37 @@ impl ChaoticAsync {
         // Per-thread change buffers; index 0 doubles as the init buffer.
         let mut init_changes: Vec<(Time, NodeId, Value)> = Vec::new();
         let mut events_seed = 0u64;
+        // Per-node value at this segment's cut, maintained for snapshot
+        // capture: the baseline (snapshot values or all-X), overwritten by
+        // the generator expansion below and — post-join — by each logic
+        // driver's `cut_val`.
+        let mut base_vals: Vec<Value> = match seg.resume {
+            Some(snap) => snap.values.clone(),
+            None => netlist
+                .nodes()
+                .iter()
+                .map(|nd| Value::x(nd.width()))
+                .collect(),
+        };
+        // Snapshot events beyond even this segment's cut: carried through
+        // to the next snapshot unexecuted.
+        let mut carry: Vec<PendingEvent> = Vec::new();
         for (i, nd) in netlist.nodes().iter().enumerate() {
             match nd.driver() {
                 Some((drv, _)) if netlist.element(drv).kind().is_generator() => {
+                    // Expansion stops at the cut; a resumed segment
+                    // re-expands and keeps only events past the previous
+                    // cut (the earlier ones are already baked into the
+                    // snapshot's node values).
                     for (t, v) in expand_generator(netlist.element(drv).kind(), Time(end)) {
+                        base_vals[i] = v;
+                        if t0.is_some_and(|t0| t.ticks() <= t0) {
+                            continue;
+                        }
                         // SAFETY: pre-spawn exclusive access.
                         unsafe { nodes[i].push(t.ticks(), v) };
-                        let is_initial_x = t == Time::ZERO && v == Value::x(nd.width());
+                        let is_initial_x =
+                            t0.is_none() && t == Time::ZERO && v == Value::x(nd.width());
                         if !is_initial_x {
                             events_seed += 1;
                             if watched[i] {
@@ -342,46 +407,96 @@ impl ChaoticAsync {
                     }
                     nodes[i].valid_until.store(end, Ordering::Relaxed);
                 }
-                Some(_) => {
+                Some(_) => match t0 {
                     // Driven by logic: implicit X at time zero.
-                    unsafe { nodes[i].push(0, Value::x(nd.width())) };
-                }
+                    None => unsafe { nodes[i].push(0, Value::x(nd.width())) },
+                    // Resumed: the cursor baselines carry the value at the
+                    // previous cut; behavior is known through it.
+                    Some(t0) => nodes[i].valid_until.store(t0, Ordering::Relaxed),
+                },
                 None => {
                     // Floating: X forever, known for all time.
-                    unsafe { nodes[i].push(0, Value::x(nd.width())) };
+                    if t0.is_none() {
+                        unsafe { nodes[i].push(0, Value::x(nd.width())) };
+                    }
                     nodes[i].valid_until.store(end, Ordering::Relaxed);
                 }
             }
         }
+        // Re-inject the snapshot's in-flight events — computed before the
+        // previous cut for delivery after it. The snapshot keeps them
+        // sorted by time, so each node's append-only list stays monotone.
+        // Watched ones are recorded *here*: the capturing segment routed
+        // them into the snapshot instead of its change log.
+        if let Some(snap) = seg.resume {
+            for ev in &snap.pending {
+                if ev.time > end {
+                    carry.push(ev.clone());
+                    continue;
+                }
+                let i = ev.node as usize;
+                // SAFETY: pre-spawn exclusive access.
+                unsafe { nodes[i].push(ev.time, ev.value) };
+                events_seed += 1;
+                if watched[i] {
+                    init_changes.push((Time(ev.time), NodeId::from_index(i), ev.value));
+                }
+            }
+        }
 
+        let baseline = |node: u32| match seg.resume {
+            Some(snap) => snap.values[node as usize],
+            None => Value::x(netlist.nodes()[node as usize].width()),
+        };
         let runs: SharedSlice<ElemRun> = SharedSlice::new(
             meta.iter()
-                .map(|m| ElemRun {
+                .enumerate()
+                .map(|(e, m)| ElemRun {
                     cursors: m
                         .inputs
                         .iter()
-                        .map(|&(node, _)| {
-                            Cursor::new(
-                                &nodes[node as usize],
-                                Value::x(netlist.nodes()[node as usize].width()),
-                            )
-                        })
+                        .map(|&(node, _)| Cursor::new(&nodes[node as usize], baseline(node)))
                         .collect(),
-                    cur_vals: m
-                        .inputs
-                        .iter()
-                        .map(|&(node, _)| Value::x(netlist.nodes()[node as usize].width()))
-                        .collect(),
-                    state: ElemState::init(&m.kind),
+                    cur_vals: m.inputs.iter().map(|&(node, _)| baseline(node)).collect(),
+                    state: match seg.resume {
+                        Some(snap) => snap.elem_states[e].clone(),
+                        None => ElemState::init(&m.kind),
+                    },
                     last_out: m
                         .outputs
                         .iter()
-                        .map(|&o| Value::x(netlist.nodes()[o as usize].width()))
+                        .map(|&o| match seg.resume {
+                            Some(snap) => snap.last_scheduled[o as usize],
+                            None => Value::x(netlist.nodes()[o as usize].width()),
+                        })
                         .collect(),
-                    last_te: vec![0; m.outputs.len()],
+                    last_te: m
+                        .outputs
+                        .iter()
+                        .map(|&o| match seg.resume {
+                            Some(snap) => snap.last_sched_time[o as usize],
+                            None => 0,
+                        })
+                        .collect(),
+                    cut_val: m.outputs.iter().map(|&o| base_vals[o as usize]).collect(),
                 })
                 .collect(),
         );
+        // Injected in-flight events move their nodes' values at the cut:
+        // fold them into the drivers' `cut_val` (last one per node wins —
+        // the pending list is time-sorted).
+        if let Some(snap) = seg.resume {
+            for ev in &snap.pending {
+                if ev.time > end {
+                    continue;
+                }
+                let node = NodeId::from_index(ev.node as usize);
+                if let Some((drv, port)) = netlist.node(node).driver() {
+                    // SAFETY: pre-spawn exclusive access.
+                    unsafe { runs.get_mut(drv.index()) }.cut_val[port as usize] = ev.value;
+                }
+            }
+        }
 
         let acts: Vec<ActivationState> = (0..netlist.num_elements())
             .map(|_| ActivationState::new())
@@ -420,6 +535,8 @@ impl ChaoticAsync {
             owner,
             use_local,
             end,
+            horizon,
+            capture,
             lookahead: config.lookahead,
             gc: config.gc,
         };
@@ -490,6 +607,7 @@ impl ChaoticAsync {
                         let body = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(|| {
                                 let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                                let mut overflow: Vec<PendingEvent> = Vec::new();
                                 let mut tr = tracer_ref.worker(w);
                                 let mut tm = ThreadMetrics::default();
                                 // Seeded owned activations count as local
@@ -546,6 +664,7 @@ impl ChaoticAsync {
                                                     e,
                                                     &mut sched,
                                                     &mut changes,
+                                                    &mut overflow,
                                                     &mut tm,
                                                     &mut tr,
                                                 )
@@ -588,7 +707,7 @@ impl ChaoticAsync {
                                 if let Some(t0) = idle_since.take() {
                                     tm.idle += t0.elapsed();
                                 }
-                                (changes, tm, tr)
+                                (changes, tm, tr, overflow)
                             }),
                         );
                         match body {
@@ -630,6 +749,7 @@ impl ChaoticAsync {
                     .min()
                     .map(Time),
                 sim_time: None,
+                last_checkpoint_step: None,
             });
             return Err(match verdict {
                 WatchdogVerdict::Stalled { stalled_for } => SimError::Stalled {
@@ -652,13 +772,14 @@ impl ChaoticAsync {
         let mut events_processed = events_seed;
         let mut locality = LocalityMetrics::default();
         let mut worker_tracers = Vec::with_capacity(n_threads);
-        for (c, tm, wt) in outputs {
+        for (c, tm, wt, of) in outputs {
             evaluations += tm.evaluations;
             events_processed += tm.events;
             locality.merge(&tm.sched);
             changes.extend(c);
             per_thread.push(tm);
             worker_tracers.push(wt);
+            carry.extend(of);
         }
         let metrics = Metrics {
             events_processed,
@@ -671,18 +792,61 @@ impl ChaoticAsync {
             blocks_skipped: 0,
             evals_skipped: 0,
             pool_misses: 0,
+            checkpoint: Default::default(),
             locality,
             wall: start.elapsed(),
         };
-        let mut result = SimResult::from_changes(
-            netlist,
-            config.end_time,
-            &config.watch,
+        let snapshot = capture.then(|| {
+            // Quiescence means every element has replayed every event in
+            // the segment, so the per-element run state *is* the state at
+            // the cut. SAFETY (all accesses below): workers are joined;
+            // single-threaded access with the joins as the edge.
+            let mut values = base_vals;
+            let mut last_scheduled: Vec<Value> = match seg.resume {
+                Some(snap) => snap.last_scheduled.clone(),
+                None => netlist
+                    .nodes()
+                    .iter()
+                    .map(|nd| Value::x(nd.width()))
+                    .collect(),
+            };
+            let mut last_sched_time: Vec<u64> = match seg.resume {
+                Some(snap) => snap.last_sched_time.clone(),
+                None => vec![0u64; netlist.num_nodes()],
+            };
+            let mut elem_states: Vec<ElemState> = Vec::with_capacity(netlist.num_elements());
+            for e in 0..netlist.num_elements() {
+                let run = unsafe { ctx.runs.get(e) };
+                elem_states.push(run.state.clone());
+                for (port, &out) in ctx.meta[e].outputs.iter().enumerate() {
+                    if ctx.meta[e].kind.is_generator() {
+                        continue;
+                    }
+                    values[out as usize] = run.cut_val[port];
+                    last_scheduled[out as usize] = run.last_out[port];
+                    last_sched_time[out as usize] = run.last_te[port];
+                }
+            }
+            carry.sort_by_key(|ev| (ev.time, ev.node));
+            EngineSnapshot {
+                end_time: horizon,
+                time: end,
+                step: 0,
+                seeds: [0, 0],
+                values,
+                last_scheduled,
+                last_sched_time,
+                elem_states,
+                pending: std::mem::take(&mut carry),
+                changes: Vec::new(),
+            }
+        });
+        Ok(SegmentOut {
             changes,
             metrics,
-        );
-        result.trace = tracer.finish(worker_tracers);
-        Ok(result)
+            trace: tracer.finish(worker_tracers),
+            snapshot,
+        })
     }
 }
 
@@ -699,6 +863,7 @@ unsafe fn run_element(
     e: usize,
     sched: &mut Sched,
     changes: &mut Vec<(Time, NodeId, Value)>,
+    overflow: &mut Vec<PendingEvent>,
     tm: &mut ThreadMetrics,
     tr: &mut WorkerTracer,
 ) {
@@ -774,6 +939,7 @@ unsafe fn run_element(
                     // would duplicate the kept value on the node).
                     run.last_out[port] = v;
                     run.last_te[port] = te;
+                    run.cut_val[port] = v;
                     ctx.nodes[out_node].push(te, v);
                     tm.events += 1;
                     tr.instant(EventKind::EventInsert, out_node as u32);
@@ -781,6 +947,19 @@ unsafe fn run_element(
                         changes.push((Time(te), NodeId::from_index(out_node), v));
                     }
                     outputs_touched = true;
+                } else if ctx.capture && te <= ctx.horizon {
+                    // Beyond the cut but inside the run's horizon: the
+                    // uninterrupted run would keep this event, so it goes
+                    // into the snapshot's pending set — with the same
+                    // bookkeeping a kept event gets (the next segment's
+                    // monotone transport must see it).
+                    run.last_out[port] = v;
+                    run.last_te[port] = te;
+                    overflow.push(PendingEvent {
+                        time: te,
+                        node: out_node as u32,
+                        value: v,
+                    });
                 }
             }
             let vu = &ctx.nodes[out_node].valid_until;

@@ -119,6 +119,20 @@ impl CompiledMode {
         kernel::scalar::run(netlist, config, &prog, &partition)
     }
 
+    /// Runs one checkpoint segment on the scalar executor with the
+    /// level-aware LPT partition (the packed 64-lane batch API is
+    /// stateless per lane and is not checkpointed). See
+    /// [`kernel::scalar::run_segment`] for the unit-delay snapshot shape.
+    pub(crate) fn run_segment(
+        netlist: &Netlist,
+        config: &SimConfig,
+        seg: crate::checkpoint::SegmentSpec<'_>,
+    ) -> Result<crate::checkpoint::SegmentOut, SimError> {
+        let prog = CompiledProgram::compile(netlist);
+        let partition = prog.level_partition(config.threads);
+        kernel::scalar::run_segment(netlist, config, &prog, &partition, seg)
+    }
+
     /// Runs with a caller-chosen static partition (the paper's §3
     /// load-balance experiments vary this).
     ///

@@ -1,5 +1,6 @@
 //! Simulation run configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use parsim_logic::Time;
@@ -9,6 +10,25 @@ use parsim_trace::TraceConfig;
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
+
+/// Periodic crash-consistent checkpointing (see the
+/// [`checkpoint`](crate::checkpoint) module).
+///
+/// Carried on [`SimConfig`] and consumed by
+/// [`checkpoint::run`](crate::checkpoint::run) /
+/// [`checkpoint::resume`](crate::checkpoint::resume); the plain
+/// per-engine `run` entry points ignore it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory of rolling snapshot files (created if absent).
+    pub dir: PathBuf,
+    /// Snapshot every this many simulated ticks. Zero (the default until
+    /// [`SimConfig::with_checkpoint_every`] is called) is invalid.
+    pub every: u64,
+    /// How many committed snapshots to retain; clamped to at least 2 so
+    /// a torn newest file always leaves a fallback.
+    pub keep: usize,
+}
 
 /// Configuration shared by all four engines.
 ///
@@ -83,6 +103,13 @@ pub struct SimConfig {
     /// and [`SimResult::trace`](crate::SimResult) stays `None` even when
     /// this is set. Never changes waveforms.
     pub trace: Option<TraceConfig>,
+    /// Periodic crash-consistent checkpointing. `None` (the default)
+    /// disables it; set with [`SimConfig::with_checkpoint_dir`] and
+    /// [`SimConfig::with_checkpoint_every`], then drive the run through
+    /// [`checkpoint::run`](crate::checkpoint::run). Never changes
+    /// waveforms: a checkpointed (or resumed) run is bit-identical to an
+    /// uninterrupted one.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SimConfig {
@@ -103,6 +130,7 @@ impl SimConfig {
             local_queue: true,
             partition: None,
             trace: None,
+            checkpoint: None,
         }
     }
 
@@ -253,6 +281,40 @@ impl SimConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> SimConfig {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the checkpoint directory (snapshots land here as rolling
+    /// `ckpt-*.psnap` files). Pair with [`SimConfig::with_checkpoint_every`].
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> SimConfig {
+        let policy = self.checkpoint.get_or_insert_with(CheckpointPolicy::default);
+        policy.dir = dir.into();
+        if policy.keep == 0 {
+            policy.keep = 2;
+        }
+        self
+    }
+
+    /// Checkpoints every `ticks` simulated ticks. The interval must be
+    /// nonzero and a directory must also be set (the driver reports
+    /// [`CheckpointError::BadPolicy`](parsim_checkpoint::CheckpointError)
+    /// otherwise).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, ticks: u64) -> SimConfig {
+        let policy = self.checkpoint.get_or_insert_with(CheckpointPolicy::default);
+        policy.every = ticks;
+        if policy.keep == 0 {
+            policy.keep = 2;
+        }
+        self
+    }
+
+    /// Retains the newest `keep` snapshots (clamped to at least 2).
+    #[must_use]
+    pub fn with_checkpoint_keep(mut self, keep: usize) -> SimConfig {
+        let policy = self.checkpoint.get_or_insert_with(CheckpointPolicy::default);
+        policy.keep = keep;
         self
     }
 }

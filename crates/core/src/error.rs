@@ -75,6 +75,10 @@ pub enum SimError {
         /// The unresolved name.
         name: String,
     },
+    /// A checkpoint write, scan, or restore failed (see
+    /// [`parsim_checkpoint::CheckpointError`]). Injected storage faults
+    /// surface here too: the simulated machine "died" mid-protocol.
+    Checkpoint(parsim_checkpoint::CheckpointError),
 }
 
 impl fmt::Display for SimError {
@@ -107,11 +111,18 @@ impl fmt::Display for SimError {
                 write!(f, "invalid simulation config: {reason}")
             }
             SimError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<parsim_checkpoint::CheckpointError> for SimError {
+    fn from(e: parsim_checkpoint::CheckpointError) -> SimError {
+        SimError::Checkpoint(e)
+    }
+}
 
 /// What the engine was doing when the watchdog cancelled it.
 ///
@@ -135,6 +146,11 @@ pub struct StallDiagnostic {
     pub min_valid_until: Option<Time>,
     /// The last globally completed simulated time (synchronous engines).
     pub sim_time: Option<Time>,
+    /// Ordinal of the last checkpoint that committed before the failure
+    /// (set by the [`checkpoint`](crate::checkpoint) driver), so a
+    /// post-mortem says exactly what is recoverable. `None` when
+    /// checkpointing was off or nothing had committed yet.
+    pub last_checkpoint_step: Option<u64>,
 }
 
 impl fmt::Display for StallDiagnostic {
@@ -151,6 +167,9 @@ impl fmt::Display for StallDiagnostic {
         }
         if let Some(t) = self.sim_time {
             write!(f, ", sim time={t}")?;
+        }
+        if let Some(s) = self.last_checkpoint_step {
+            write!(f, ", last checkpoint=#{s}")?;
         }
         Ok(())
     }
@@ -177,6 +196,7 @@ mod tests {
             activations_pending: Some(10),
             min_valid_until: Some(Time(17)),
             sim_time: None,
+            last_checkpoint_step: Some(4),
         };
         let e = SimError::Stalled {
             engine: "sync",

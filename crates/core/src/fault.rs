@@ -16,6 +16,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use parsim_checkpoint::{StorageFault, StorageFaultPlan};
+
 /// What an engine worker should do at the fault point.
 pub(crate) enum FaultAction {
     /// No fault here; keep processing.
@@ -45,6 +47,10 @@ pub struct FaultPlan {
     /// `(worker, nth)`: the worker stops making progress at its `nth`
     /// activation, holding its in-flight work until cancelled.
     stall_at: Option<(usize, u64)>,
+    /// Storage faults injected into the checkpoint write protocol
+    /// (consulted by the [`checkpoint`](crate::checkpoint) driver, not by
+    /// the engine workers). Empty by default.
+    pub storage: StorageFaultPlan,
 }
 
 impl FaultPlan {
@@ -52,7 +58,7 @@ impl FaultPlan {
     pub fn panic_at(worker: usize, nth: u64) -> FaultPlan {
         FaultPlan {
             panic_at: Some((worker, nth)),
-            stall_at: None,
+            ..FaultPlan::default()
         }
     }
 
@@ -62,14 +68,31 @@ impl FaultPlan {
     /// watchdog cancels the run.
     pub fn stall_at(worker: usize, nth: u64) -> FaultPlan {
         FaultPlan {
-            panic_at: None,
             stall_at: Some((worker, nth)),
+            ..FaultPlan::default()
         }
+    }
+
+    /// A plan injecting `fault` into the `nth` (0-based) checkpoint
+    /// write of the run — the storage-side counterpart of
+    /// [`FaultPlan::panic_at`]. Chainable via [`FaultPlan::and_storage_fault`].
+    pub fn storage_fault(nth: u64, fault: StorageFault) -> FaultPlan {
+        FaultPlan {
+            storage: StorageFaultPlan::new().fault_at(nth, fault),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds another storage fault to this plan.
+    #[must_use]
+    pub fn and_storage_fault(mut self, nth: u64, fault: StorageFault) -> FaultPlan {
+        self.storage = self.storage.fault_at(nth, fault);
+        self
     }
 
     /// True if the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.panic_at.is_none() && self.stall_at.is_none()
+        self.panic_at.is_none() && self.stall_at.is_none() && self.storage.is_empty()
     }
 
     /// Consults the plan at one activation. `count` is the worker's local

@@ -503,6 +503,7 @@ pub(crate) fn run_batch(
         blocks_skipped,
         evals_skipped,
         pool_misses: 0,
+        checkpoint: Default::default(),
         locality: Default::default(),
         wall: start.elapsed(),
     };

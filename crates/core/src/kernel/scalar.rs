@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, ElemState, Time, Value};
 use parsim_netlist::compile::CompiledProgram;
 use parsim_netlist::partition::Partition;
@@ -25,6 +26,7 @@ use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
+use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -38,25 +40,52 @@ use crate::waveform::SimResult;
 const ENGINE: &str = "compiled-mode";
 
 /// Per-worker results: waveform changes, timing counters, skip counters,
-/// and the worker's drained trace ring.
+/// the worker's drained trace ring, and the unapplied pending set the
+/// worker held when the segment ended (checkpoint capture mode: these are
+/// the unit-delay events for `cut + 1`).
 type WorkerOutput = (
     Vec<(Time, NodeId, Value)>,
     ThreadMetrics,
     u64,
     u64,
     WorkerTracer,
+    Vec<(u32, Value)>,
 );
 
-/// Runs the scalar compiled-mode kernel.
+/// Runs the scalar compiled-mode kernel (whole run).
 pub(crate) fn run(
     netlist: &Netlist,
     config: &SimConfig,
     prog: &CompiledProgram,
     partition: &Partition,
 ) -> Result<SimResult, SimError> {
+    let out = run_segment(netlist, config, prog, partition, SegmentSpec::whole(config))?;
+    Ok(out.into_result(netlist, config))
+}
+
+/// Runs one segment of the scalar compiled-mode kernel.
+///
+/// Compiled mode is unit-delay, so a snapshot at cut `T` is simply: slot
+/// values after the apply phase of step `T`, instruction states after the
+/// evaluate phase of step `T`, and the pending set that evaluate produced
+/// (events for `T + 1`). Resume re-applies that pending set (thread 0,
+/// like generator events) and restarts the step loop at `T + 1` with an
+/// all-dirty mask — re-evaluating a clean block is idempotent, so the
+/// conservative mask costs work, never correctness.
+pub(crate) fn run_segment(
+    netlist: &Netlist,
+    config: &SimConfig,
+    prog: &CompiledProgram,
+    partition: &Partition,
+    seg: SegmentSpec<'_>,
+) -> Result<SegmentOut, SimError> {
     validate_partition(netlist, config, partition)?;
     let start = Instant::now();
     let end = config.end_time.ticks();
+    let cut = seg.cut;
+    let t0 = seg.resume.map(|s| s.time);
+    let capture = seg.capture;
+    let first_step = t0.map(|t| t + 1).unwrap_or(0);
     let threads = config.threads;
     let gating = config.activity_gating;
 
@@ -70,25 +99,51 @@ pub(crate) fn run(
     let watched = &watched;
 
     // Generator schedule, applied by thread 0 (generators are excluded
-    // from the instruction stream).
+    // from the instruction stream). Expansion stops at the cut; a resumed
+    // segment re-expands and keeps only events past the previous cut.
+    // A resume snapshot's in-flight events ride the same map — they are
+    // node updates like any other, and their times land in `(t0, end]`.
     let mut gen_events: BTreeMap<u64, Vec<(u32, Value)>> = BTreeMap::new();
     for gen in netlist.generators() {
         let e = netlist.element(gen);
         let slot = prog.slot_of(e.outputs()[0]);
-        for (t, v) in expand_generator(e.kind(), Time(end)) {
+        for (t, v) in expand_generator(e.kind(), Time(cut)) {
+            if t0.is_some_and(|t0| t.ticks() <= t0) {
+                continue;
+            }
             gen_events.entry(t.ticks()).or_default().push((slot, v));
+        }
+    }
+    // In-flight events beyond even this segment's cut (possible only in
+    // snapshots captured by a multi-delay-capable engine) skip straight
+    // to the next snapshot.
+    let mut carry: Vec<PendingEvent> = Vec::new();
+    if let Some(snap) = seg.resume {
+        for ev in &snap.pending {
+            if ev.time <= cut {
+                let slot = prog.slot_of(NodeId::from_index(ev.node as usize));
+                gen_events.entry(ev.time).or_default().push((slot, ev.value));
+            } else {
+                carry.push(ev.clone());
+            }
         }
     }
     let gen_events = &gen_events;
 
     // Shared slot values: written single-writer during apply phases.
     let values: SharedSlice<Value> = SharedSlice::from_fn(prog.num_slots(), |s| {
-        Value::x(prog.slot_width(s as u32))
+        match seg.resume {
+            Some(snap) => snap.values[prog.node_of(s as u32).index()],
+            None => Value::x(prog.slot_width(s as u32)),
+        }
     });
     let values = &values;
     // Per-instruction state: touched only by the owning thread.
     let states: SharedSlice<ElemState> = SharedSlice::from_fn(prog.num_insns(), |i| {
-        ElemState::init(netlist.elements()[prog.elem(i)].kind())
+        match seg.resume {
+            Some(snap) => snap.elem_states[prog.elem(i)].clone(),
+            None => ElemState::init(netlist.elements()[prog.elem(i)].kind()),
+        }
     });
     let states = &states;
     let dirty = DirtyMask::all_dirty(plan.blocks.len());
@@ -134,7 +189,7 @@ pub(crate) fn run(
                         let mut pending: Vec<(u32, Value)> = Vec::new();
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
                         let mut processed = 0u64;
-                        'run: for t in 0..=end {
+                        'run: for t in first_step..=cut {
                             cont.beat(p);
                             if p == 0 {
                                 cur_step.store(t, Ordering::Relaxed);
@@ -253,7 +308,7 @@ pub(crate) fn run(
                                 break 'run;
                             }
                         }
-                        (changes, tm, blocks_skipped, evals_skipped, tr)
+                        (changes, tm, blocks_skipped, evals_skipped, tr, pending)
                     }));
                     match body {
                         Ok(out) => Some(out),
@@ -309,7 +364,8 @@ pub(crate) fn run(
     let mut blocks_skipped = 0;
     let mut evals_skipped = 0;
     let mut worker_tracers = Vec::with_capacity(threads);
-    for (c, tm, bs, es, wt) in outputs {
+    let mut leftover: Vec<(u32, Value)> = Vec::new();
+    for (c, tm, bs, es, wt, pend) in outputs {
         events_processed += tm.events;
         evaluations += tm.evaluations;
         blocks_skipped += bs;
@@ -317,28 +373,76 @@ pub(crate) fn run(
         changes.extend(c);
         per_thread.push(tm);
         worker_tracers.push(wt);
+        leftover.extend(pend);
     }
     let metrics = Metrics {
         events_processed,
         evaluations,
         activations: evaluations, // every evaluated instruction "activated"
-        time_steps: end + 1,
+        time_steps: cut + 1 - first_step,
         events_per_step: Default::default(),
         per_thread,
         gc_chunks_freed: 0,
         blocks_skipped,
         evals_skipped,
         pool_misses: 0,
+        checkpoint: Default::default(),
         locality: Default::default(),
         wall: start.elapsed(),
     };
-    let mut result = SimResult::from_changes(
-        netlist,
-        config.end_time,
-        &config.watch,
+    let snapshot = capture.then(|| {
+        let num_nodes = netlist.num_nodes();
+        // SAFETY: all workers are joined; single-threaded access with the
+        // joins as the synchronization edge.
+        let node_values: Vec<Value> = (0..num_nodes)
+            .map(|i| unsafe { *values.get(prog.slot_of(NodeId::from_index(i)) as usize) })
+            .collect();
+        // The event-driven engines' bookkeeping, reconstructed so the
+        // snapshot stays engine-portable: with one driver per node and no
+        // in-flight events other than `leftover`, the last value scheduled
+        // for a node is its pending value if one exists, else its current
+        // value; the monotone-transport floor only matters for nodes with
+        // a pending (future) event.
+        let mut last_scheduled = node_values.clone();
+        let mut last_sched_time = vec![0u64; num_nodes];
+        let mut pending: Vec<PendingEvent> = carry;
+        for (slot, v) in leftover {
+            let node = prog.node_of(slot).index();
+            last_scheduled[node] = v;
+            last_sched_time[node] = cut + 1;
+            pending.push(PendingEvent {
+                time: cut + 1,
+                node: node as u32,
+                value: v,
+            });
+        }
+        pending.sort_by_key(|ev| (ev.time, ev.node));
+        let mut elem_states: Vec<ElemState> = netlist
+            .elements()
+            .iter()
+            .map(|e| ElemState::init(e.kind()))
+            .collect();
+        for i in 0..prog.num_insns() {
+            // SAFETY: workers joined (as above).
+            elem_states[prog.elem(i)] = unsafe { states.get(i) }.clone();
+        }
+        EngineSnapshot {
+            end_time: end,
+            time: cut,
+            step: 0,
+            seeds: [0, 0],
+            values: node_values,
+            last_scheduled,
+            last_sched_time,
+            elem_states,
+            pending,
+            changes: Vec::new(),
+        }
+    });
+    Ok(SegmentOut {
         changes,
         metrics,
-    );
-    result.trace = tracer.finish(worker_tracers);
-    Ok(result)
+        trace: tracer.finish(worker_tracers),
+        snapshot,
+    })
 }

@@ -55,6 +55,7 @@ pub mod analysis;
 pub mod behavior;
 pub mod chaotic;
 pub mod check;
+pub mod checkpoint;
 pub mod compiled;
 mod config;
 mod error;
@@ -72,12 +73,18 @@ mod wheel;
 pub use analysis::{ActivityReport, WaveformStats};
 pub use chaotic::ChaoticAsync;
 pub use check::{assert_equivalent, equivalence_report, EquivalenceReport};
+pub use checkpoint::EngineKind;
 pub use compiled::{BatchResult, CompiledMode, LaneStimulus};
-pub use config::SimConfig;
+pub use config::{CheckpointPolicy, SimConfig};
 pub use error::{SimError, StallDiagnostic};
 pub use fault::FaultPlan;
-pub use metrics::{EventsPerStepHistogram, LocalityMetrics, Metrics, ThreadMetrics};
-pub use parsim_trace::{RunReport, Trace, TraceConfig};
+pub use metrics::{
+    CheckpointCounters, EventsPerStepHistogram, LocalityMetrics, Metrics, ThreadMetrics,
+};
+pub use parsim_checkpoint::{
+    CheckpointError, CheckpointStore, EngineSnapshot, StorageFault, StorageFaultPlan,
+};
+pub use parsim_trace::{CheckpointReport, RunReport, Trace, TraceConfig};
 pub use seq::EventDriven;
 pub use sync::SyncEventDriven;
 pub use testbench::{TestBench, TestBenchError, TestRun};

@@ -309,8 +309,41 @@ pub struct Metrics {
     /// the other engines). A warmed-up pool should hold this near the
     /// number of distinct (worker, target) pairs.
     pub pool_misses: u64,
+    /// Checkpoint write/restore counters (all zero unless the run was
+    /// driven through the [`checkpoint`](crate::checkpoint) module).
+    pub checkpoint: CheckpointCounters,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
+}
+
+/// Checkpoint overhead counters, folded into [`Metrics`] by the
+/// [`checkpoint`](crate::checkpoint) driver so `--report` and the
+/// metrics line make snapshot cost visible next to simulation cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Snapshots committed to disk.
+    pub writes: u64,
+    /// Total bytes across committed snapshot files.
+    pub bytes: u64,
+    /// Wall nanoseconds spent serializing, fsyncing, and renaming.
+    pub write_ns: u64,
+    /// Wall nanoseconds spent scanning/validating/loading at resume.
+    pub restore_ns: u64,
+}
+
+impl CheckpointCounters {
+    /// Merges another run segment's counters (additive).
+    pub fn merge(&mut self, other: &CheckpointCounters) {
+        self.writes += other.writes;
+        self.bytes += other.bytes;
+        self.write_ns += other.write_ns;
+        self.restore_ns += other.restore_ns;
+    }
+
+    /// True when no checkpoint activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == CheckpointCounters::default()
+    }
 }
 
 impl Metrics {
@@ -334,6 +367,7 @@ impl Metrics {
         self.evals_skipped += other.evals_skipped;
         self.locality.merge(&other.locality);
         self.pool_misses += other.pool_misses;
+        self.checkpoint.merge(&other.checkpoint);
         self.wall = self.wall.max(other.wall);
     }
 
@@ -395,7 +429,18 @@ impl fmt::Display for Metrics {
             self.time_steps,
             self.utilization() * 100.0,
             self.wall
-        )
+        )?;
+        if !self.checkpoint.is_empty() {
+            write!(
+                f,
+                ", {} checkpoint(s) ({} B, write {:?}, restore {:?})",
+                self.checkpoint.writes,
+                self.checkpoint.bytes,
+                Duration::from_nanos(self.checkpoint.write_ns),
+                Duration::from_nanos(self.checkpoint.restore_ns),
+            )?;
+        }
+        Ok(())
     }
 }
 

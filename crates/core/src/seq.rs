@@ -16,10 +16,12 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
 use parsim_trace::{EventKind, Tracer};
 
+use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::metrics::{EventsPerStepHistogram, Metrics};
@@ -85,25 +87,59 @@ impl EventDriven {
     /// [`SimConfig::deadline`](crate::SimConfig) is set and elapses; the
     /// deadline is polled inline every few thousand processed events.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
+        Ok(out.into_result(netlist, config))
+    }
+
+    /// Runs one segment of the simulation — the whole run when `seg` is
+    /// [`SegmentSpec::whole`]. With a `resume` snapshot the engine
+    /// warm-starts at the previous cut (no time-zero initialization
+    /// pass; pending events are re-injected and generator schedules
+    /// re-expanded past the cut). With `capture`, events computed beyond
+    /// `seg.cut` but within the horizon are collected into a returned
+    /// [`EngineSnapshot`] instead of living in the calendar — with the
+    /// same last-scheduled bookkeeping an uninterrupted run would have
+    /// performed, which is what makes resumed waveforms bit-identical.
+    pub(crate) fn run_segment(
+        netlist: &Netlist,
+        config: &SimConfig,
+        seg: SegmentSpec<'_>,
+    ) -> Result<SegmentOut, SimError> {
         let start = Instant::now();
+        // `end` is the horizon: events beyond it are dropped (without
+        // bookkeeping) exactly as in a single-segment run. `cut` is how
+        // far this segment simulates; in a whole run they coincide.
         let end = config.end_time;
+        let cut = seg.cut;
+        let t0 = seg.resume.map(|s| s.time);
         let num_nodes = netlist.num_nodes();
         let num_elems = netlist.num_elements();
 
-        let mut values: Vec<Value> = netlist
-            .nodes()
-            .iter()
-            .map(|n| Value::x(n.width()))
-            .collect();
-        let mut last_scheduled = values.clone();
-        // Last time an event was scheduled per node, enforcing the
-        // monotone-transport rule under asymmetric rise/fall delays.
-        let mut last_sched_time = vec![0u64; num_nodes];
-        let mut states: Vec<ElemState> = netlist
-            .elements()
-            .iter()
-            .map(|e| ElemState::init(e.kind()))
-            .collect();
+        let (mut values, mut last_scheduled, mut last_sched_time, mut states): (
+            Vec<Value>,
+            Vec<Value>,
+            Vec<u64>,
+            Vec<ElemState>,
+        ) = match seg.resume {
+            Some(snap) => (
+                snap.values.clone(),
+                snap.last_scheduled.clone(),
+                // Last time an event was scheduled per node, enforcing the
+                // monotone-transport rule under asymmetric rise/fall delays.
+                snap.last_sched_time.clone(),
+                snap.elem_states.clone(),
+            ),
+            None => (
+                netlist.nodes().iter().map(|n| Value::x(n.width())).collect(),
+                netlist.nodes().iter().map(|n| Value::x(n.width())).collect(),
+                vec![0u64; num_nodes],
+                netlist
+                    .elements()
+                    .iter()
+                    .map(|e| ElemState::init(e.kind()))
+                    .collect(),
+            ),
+        };
         let mut watched = vec![false; num_nodes];
         for &n in &config.watch {
             watched[n.index()] = true;
@@ -115,17 +151,40 @@ impl EventDriven {
         } else {
             Calendar::Map(BTreeMap::new())
         };
-        // Force a time-zero step for the initialization pass (a no-op
-        // sentinel; real updates may join the same bucket).
-        schedule.schedule(0, (NOOP, Value::x(1)));
+        // Events computed for beyond the cut (capture mode only).
+        let mut overflow: Vec<PendingEvent> = Vec::new();
+        match seg.resume {
+            None => {
+                // Force a time-zero step for the initialization pass (a
+                // no-op sentinel; real updates may join the same bucket).
+                schedule.schedule(0, (NOOP, Value::x(1)));
+            }
+            Some(snap) => {
+                // Re-inject in-flight events. Ones beyond even this
+                // segment's cut stay pending (their bookkeeping already
+                // happened when they were first computed).
+                for ev in &snap.pending {
+                    if ev.time <= cut {
+                        schedule.schedule(ev.time, (ev.node as usize, ev.value));
+                    } else {
+                        overflow.push(ev.clone());
+                    }
+                }
+            }
+        }
         // Generator pre-expansion is O(edges × generators) and runs before
         // the main loop, so it polls the deadline too — a huge end time
         // with many clocks must not push the first check past the budget.
+        // Expansion stops at the cut: the next segment re-expands its own
+        // span deterministically, so nothing beyond the cut is stored.
         let mut expanded = 0u64;
         for gen in netlist.generators() {
             let e = netlist.element(gen);
             let out = e.outputs()[0].index();
-            for (t, v) in expand_generator(e.kind(), end) {
+            for (t, v) in expand_generator(e.kind(), Time(cut)) {
+                if t0.is_some_and(|t0| t.ticks() <= t0) {
+                    continue;
+                }
                 schedule.schedule(t.ticks(), (out, v));
                 expanded += 1;
                 if expanded.is_multiple_of(DEADLINE_CHECK_EVERY) {
@@ -148,13 +207,18 @@ impl EventDriven {
 
         // Initialization pass: every non-generator element is evaluated at
         // time zero (matches compiled mode's sweep and the asynchronous
-        // engine's initial activation of all elements).
+        // engine's initial activation of all elements). A resumed segment
+        // already initialized in its first segment.
         let mut stamp = vec![u64::MAX; num_elems];
-        let init_activated: Vec<usize> = netlist
-            .iter_elements()
-            .filter(|(_, e)| !e.kind().is_generator())
-            .map(|(id, _)| id.index())
-            .collect();
+        let init_activated: Vec<usize> = if seg.resume.is_some() {
+            Vec::new()
+        } else {
+            netlist
+                .iter_elements()
+                .filter(|(_, e)| !e.kind().is_generator())
+                .map(|(id, _)| id.index())
+                .collect()
+        };
         for &e in &init_activated {
             stamp[e] = 0;
         }
@@ -191,7 +255,7 @@ impl EventDriven {
                     }
                 }
             }
-            if t > end.ticks() {
+            if t > cut {
                 break;
             }
             tr.begin(EventKind::TimeStep, t as u32);
@@ -251,7 +315,7 @@ impl EventDriven {
                     // Monotone transport: a pulse shorter than the delay
                     // differential stretches instead of reordering.
                     let te = (t + td.ticks()).max(last_sched_time[out_node] + 1);
-                    if te <= end.ticks() {
+                    if te <= cut {
                         // Only a *kept* event updates the last-value
                         // tracking; a drop beyond the horizon must not,
                         // or a flip-back would re-emit the kept value.
@@ -259,6 +323,18 @@ impl EventDriven {
                         last_sched_time[out_node] = te;
                         schedule.schedule(te, (out_node, v));
                         tr.instant(EventKind::EventInsert, out_node as u32);
+                    } else if seg.capture && te <= end.ticks() {
+                        // Beyond the cut but within the horizon: the
+                        // uninterrupted run keeps this event, so the
+                        // snapshot must carry it — with the same
+                        // bookkeeping a kept event performs.
+                        last_scheduled[out_node] = v;
+                        last_sched_time[out_node] = te;
+                        overflow.push(PendingEvent {
+                            time: te,
+                            node: out_node as u32,
+                            value: v,
+                        });
                     }
                 }
             }
@@ -277,11 +353,30 @@ impl EventDriven {
             evals_skipped: 0,
             locality: Default::default(),
             pool_misses: 0,
+            checkpoint: Default::default(),
             wall: start.elapsed(),
         };
-        let mut result = SimResult::from_changes(netlist, end, &config.watch, changes, metrics);
-        result.trace = tracer.finish([tr]);
-        Ok(result)
+        let snapshot = seg.capture.then(|| {
+            overflow.sort_by_key(|ev| (ev.time, ev.node));
+            EngineSnapshot {
+                end_time: end.ticks(),
+                time: cut,
+                step: 0,
+                seeds: [0, 0],
+                values,
+                last_scheduled,
+                last_sched_time,
+                elem_states: states,
+                pending: std::mem::take(&mut overflow),
+                changes: Vec::new(),
+            }
+        });
+        Ok(SegmentOut {
+            changes,
+            metrics,
+            trace: tracer.finish([tr]),
+            snapshot,
+        })
     }
 }
 

@@ -27,11 +27,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
+use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -49,8 +51,15 @@ const ENGINE: &str = "sync-event-driven";
 /// buffers through `free_mail`, so misses are bounded by the peak number
 /// of simultaneously live `(mailbox, time)` entries, not by the event
 /// count; asserted by `tests::update_buffers_are_recycled` and surfaced as
-/// [`Metrics::pool_misses`]), and the worker's trace ring.
-type WorkerOutput = (Vec<(Time, NodeId, Value)>, ThreadMetrics, u64, WorkerTracer);
+/// [`Metrics::pool_misses`]), the worker's trace ring, and the events the
+/// worker computed beyond the segment cut (checkpoint capture mode).
+type WorkerOutput = (
+    Vec<(Time, NodeId, Value)>,
+    ThreadMetrics,
+    u64,
+    WorkerTracer,
+    Vec<PendingEvent>,
+);
 
 #[derive(Debug, Clone, Copy)]
 struct Update {
@@ -81,8 +90,28 @@ impl SyncEventDriven {
     /// [`SimError::DeadlineExceeded`] if the configured watchdog cancelled
     /// the run.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
+        Ok(out.into_result(netlist, config))
+    }
+
+    /// Runs one segment — the whole run when `seg` is
+    /// [`SegmentSpec::whole`]. Resume seeds the shared state slices from
+    /// the snapshot and re-injects its pending events into the mailboxes
+    /// before any worker spawns; capture routes events computed beyond
+    /// `seg.cut` (but within the horizon) into per-worker overflow lists
+    /// that become the returned snapshot's pending set. See
+    /// [`EventDriven::run_segment`](crate::seq::EventDriven::run_segment)
+    /// for the bookkeeping rules both engines share.
+    pub(crate) fn run_segment(
+        netlist: &Netlist,
+        config: &SimConfig,
+        seg: SegmentSpec<'_>,
+    ) -> Result<SegmentOut, SimError> {
         let start = Instant::now();
         let end = config.end_time.ticks();
+        let cut = seg.cut;
+        let t0 = seg.resume.map(|s| s.time);
+        let capture = seg.capture;
         let n = config.threads;
 
         let mut watched = vec![false; netlist.num_nodes()];
@@ -92,36 +121,41 @@ impl SyncEventDriven {
         let watched = &watched;
 
         // Shared node values: one writer per (node, time) in phase A.
-        let values: SharedSlice<Value> = SharedSlice::new(
-            netlist
+        let values: SharedSlice<Value> = SharedSlice::new(match seg.resume {
+            Some(snap) => snap.values.clone(),
+            None => netlist
                 .nodes()
                 .iter()
                 .map(|nd| Value::x(nd.width()))
                 .collect(),
-        );
+        });
         let values = &values;
         // Last value scheduled per node: touched only while evaluating the
         // node's (unique) driver, which is exclusive per step.
-        let last_scheduled: SharedSlice<Value> = SharedSlice::new(
-            netlist
+        let last_scheduled: SharedSlice<Value> = SharedSlice::new(match seg.resume {
+            Some(snap) => snap.last_scheduled.clone(),
+            None => netlist
                 .nodes()
                 .iter()
                 .map(|nd| Value::x(nd.width()))
                 .collect(),
-        );
+        });
         let last_scheduled = &last_scheduled;
         // Last scheduled event time per node (same single-writer
         // discipline as `last_scheduled`).
-        let last_sched_time: SharedSlice<u64> =
-            SharedSlice::from_fn(netlist.num_nodes(), |_| 0u64);
+        let last_sched_time: SharedSlice<u64> = SharedSlice::new(match seg.resume {
+            Some(snap) => snap.last_sched_time.clone(),
+            None => vec![0u64; netlist.num_nodes()],
+        });
         let last_sched_time = &last_sched_time;
-        let states: SharedSlice<ElemState> = SharedSlice::new(
-            netlist
+        let states: SharedSlice<ElemState> = SharedSlice::new(match seg.resume {
+            Some(snap) => snap.elem_states.clone(),
+            None => netlist
                 .elements()
                 .iter()
                 .map(|e| ElemState::init(e.kind()))
                 .collect(),
-        );
+        });
         let states = &states;
 
         // Per-element activation stamp: the step at which the element was
@@ -154,14 +188,22 @@ impl SyncEventDriven {
         let (phase_nodes, phase_elems) = (&phase_nodes, &phase_elems);
         let (node_cursor, elem_cursor) = (&node_cursor, &elem_cursor);
 
+        // Events carried across this segment unexecuted: snapshot pending
+        // beyond even this cut (their bookkeeping already happened).
+        let mut carry: Vec<PendingEvent> = Vec::new();
         // Seed generator events round-robin into thread 0's mailbox row
-        // (safe: threads have not started).
+        // (safe: threads have not started). Expansion stops at the cut;
+        // a resumed segment re-expands and keeps only events past the
+        // previous cut.
         {
             let mut rr = 0usize;
             for gen in netlist.generators() {
                 let e = netlist.element(gen);
                 let out = e.outputs()[0].index() as u32;
-                for (t, v) in expand_generator(e.kind(), Time(end)) {
+                for (t, v) in expand_generator(e.kind(), Time(cut)) {
+                    if t0.is_some_and(|t0| t.ticks() <= t0) {
+                        continue;
+                    }
                     // SAFETY: pre-spawn exclusive access.
                     unsafe { node_mail.get_mut(rr) }
                         .entry(t.ticks())
@@ -170,17 +212,37 @@ impl SyncEventDriven {
                     rr = (rr + 1) % n;
                 }
             }
-            // Initialization pass: activate every non-generator element at
-            // step 0.
-            let mut rr = 0usize;
-            for (id, e) in netlist.iter_elements() {
-                if e.kind().is_generator() {
-                    continue;
+            if let Some(snap) = seg.resume {
+                // Re-inject in-flight events from the snapshot.
+                let mut rr = 0usize;
+                for ev in &snap.pending {
+                    if ev.time <= cut {
+                        // SAFETY: pre-spawn exclusive access.
+                        unsafe { node_mail.get_mut(rr) }
+                            .entry(ev.time)
+                            .or_default()
+                            .push(Update {
+                                node: ev.node,
+                                value: ev.value,
+                            });
+                        rr = (rr + 1) % n;
+                    } else {
+                        carry.push(ev.clone());
+                    }
                 }
-                stamps[id.index()].store(0, Ordering::Relaxed);
-                // SAFETY: pre-spawn exclusive access.
-                unsafe { elem_mail.get_mut(rr) }.push(id.index() as u32);
-                rr = (rr + 1) % n;
+            } else {
+                // Initialization pass: activate every non-generator
+                // element at step 0 (first segment only).
+                let mut rr = 0usize;
+                for (id, e) in netlist.iter_elements() {
+                    if e.kind().is_generator() {
+                        continue;
+                    }
+                    stamps[id.index()].store(0, Ordering::Relaxed);
+                    // SAFETY: pre-spawn exclusive access.
+                    unsafe { elem_mail.get_mut(rr) }.push(id.index() as u32);
+                    rr = (rr + 1) % n;
+                }
             }
         }
 
@@ -217,6 +279,7 @@ impl SyncEventDriven {
                     scope.spawn(move || {
                         let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
+                        let mut overflow: Vec<PendingEvent> = Vec::new();
                         let mut tm = ThreadMetrics::default();
                         let mut tr = tracer_ref.worker(me);
                         let mut pool_misses = 0u64;
@@ -419,7 +482,7 @@ impl SyncEventDriven {
                                         let lt =
                                             unsafe { last_sched_time.get_mut(out_node) };
                                         let te = (t + td.ticks()).max(*lt + 1);
-                                        if te <= end {
+                                        if te <= cut {
                                             // Kept events only (see seq).
                                             *ls = val;
                                             *lt = te;
@@ -453,6 +516,18 @@ impl SyncEventDriven {
                                                 out_node as u32,
                                             );
                                             rr_node = (rr_node + 1) % n;
+                                        } else if capture && te <= end {
+                                            // Beyond the cut but within
+                                            // the horizon: goes into the
+                                            // snapshot, with kept-event
+                                            // bookkeeping (see seq).
+                                            *ls = val;
+                                            *lt = te;
+                                            overflow.push(PendingEvent {
+                                                time: te,
+                                                node: out_node as u32,
+                                                value: val,
+                                            });
                                         }
                                     }
                                 }
@@ -478,7 +553,7 @@ impl SyncEventDriven {
                                 // existing `done` mechanism: only the
                                 // leader samples the flag, so workers never
                                 // diverge at a barrier.
-                                if min_t == u64::MAX || min_t > end || cont.cancelled() {
+                                if min_t == u64::MAX || min_t > cut || cont.cancelled() {
                                     done.store(true, Ordering::Release);
                                 } else {
                                     next_time.store(min_t, Ordering::Release);
@@ -490,7 +565,7 @@ impl SyncEventDriven {
                                 break 'run;
                             }
                         }
-                        (changes, tm, pool_misses, tr)
+                        (changes, tm, pool_misses, tr, overflow)
                         }));
                         match body {
                             Ok(out) => Some(out),
@@ -544,12 +619,13 @@ impl SyncEventDriven {
         let mut evaluations = 0;
         let mut pool_misses = 0;
         let mut worker_tracers = Vec::with_capacity(n);
-        for (c, tm, pm, wt) in outputs {
+        for (c, tm, pm, wt, of) in outputs {
             evaluations += tm.evaluations;
             pool_misses += pm;
             changes.extend(c);
             per_thread.push(tm);
             worker_tracers.push(wt);
+            carry.extend(of);
         }
         let metrics = Metrics {
             events_processed: events_total.load(Ordering::Relaxed),
@@ -563,12 +639,35 @@ impl SyncEventDriven {
             evals_skipped: 0,
             locality: Default::default(),
             pool_misses,
+            checkpoint: Default::default(),
             wall: start.elapsed(),
         };
-        let mut result =
-            SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics);
-        result.trace = tracer.finish(worker_tracers);
-        Ok(result)
+        let snapshot = capture.then(|| {
+            let num_nodes = netlist.num_nodes();
+            carry.sort_by_key(|ev| (ev.time, ev.node));
+            // SAFETY: all workers are joined; single-threaded access with
+            // the joins as the synchronization edge.
+            unsafe {
+                EngineSnapshot {
+                    end_time: end,
+                    time: cut,
+                    step: 0,
+                    seeds: [0, 0],
+                    values: values.slice(0..num_nodes).to_vec(),
+                    last_scheduled: last_scheduled.slice(0..num_nodes).to_vec(),
+                    last_sched_time: last_sched_time.slice(0..num_nodes).to_vec(),
+                    elem_states: states.slice(0..netlist.num_elements()).to_vec(),
+                    pending: std::mem::take(&mut carry),
+                    changes: Vec::new(),
+                }
+            }
+        });
+        Ok(SegmentOut {
+            changes,
+            metrics,
+            trace: tracer.finish(worker_tracers),
+            snapshot,
+        })
     }
 }
 

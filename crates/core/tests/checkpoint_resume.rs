@@ -1,0 +1,479 @@
+//! Crash-consistent checkpoint/restore: segmented runs must be
+//! bit-identical to uninterrupted ones on every engine, resume must
+//! continue from the newest valid snapshot after a simulated crash, and
+//! recovery must survive every storage fault the write protocol can
+//! suffer — torn writes at every byte, silent bit flips, fsync and
+//! rename crashes — without panicking, hanging, or changing a waveform.
+
+use std::fs;
+use std::path::PathBuf;
+
+use parsim_circuits::{inverter_array, random_circuit, RandomCircuitParams};
+use parsim_core::{
+    checkpoint, equivalence_report, CheckpointError, CheckpointStore, EngineKind, EventDriven,
+    FaultPlan, SimConfig, SimError, StorageFault,
+};
+use parsim_logic::Time;
+use proptest::prelude::*;
+
+const ALL_ENGINES: [EngineKind; 4] = [
+    EngineKind::Sequential,
+    EngineKind::Synchronous,
+    EngineKind::Compiled,
+    EngineKind::Chaotic,
+];
+
+/// A fresh scratch directory, unique per test *and* process, so
+/// parallel test binaries never collide.
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parsim-ckpt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Unit-delay circuit every engine (including compiled mode) can run.
+fn test_circuit() -> (parsim_netlist::Netlist, Vec<parsim_netlist::NodeId>) {
+    let arr = inverter_array(8, 6, 2).unwrap();
+    let mut watch = arr.taps.clone();
+    watch.extend(arr.inputs.iter().copied());
+    (arr.netlist, watch)
+}
+
+fn expect_injected_crash(err: SimError) {
+    match err {
+        SimError::Checkpoint(CheckpointError::InjectedCrash { .. }) => {}
+        other => panic!("expected injected crash, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented == uninterrupted, all engines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkpointed_run_matches_uninterrupted_all_engines() {
+    let (netlist, watch) = test_circuit();
+    let oracle = EventDriven::run(&netlist, &SimConfig::new(Time(400)).watch_all(watch.clone()))
+        .unwrap();
+    for kind in ALL_ENGINES {
+        let dir = tmpdir(&format!("seg-{}", kind.name()));
+        let cfg = SimConfig::new(Time(400))
+            .watch_all(watch.clone())
+            .threads(2)
+            .with_checkpoint_dir(&dir)
+            .with_checkpoint_every(60);
+        let r = checkpoint::run(kind, &netlist, &cfg).unwrap();
+        let rep = equivalence_report(&oracle, &r);
+        assert!(rep.is_equivalent(), "{}: {rep}", kind.name());
+        // Cuts at 60..360 → six captured snapshots, and the counters
+        // must say so.
+        assert_eq!(r.metrics.checkpoint.writes, 6, "{}", kind.name());
+        assert!(r.metrics.checkpoint.bytes > 0, "{}", kind.name());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn interval_larger_than_run_is_one_plain_segment() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("oneseg");
+    let cfg = SimConfig::new(Time(100))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(1000);
+    let r = checkpoint::run(EngineKind::Sequential, &netlist, &cfg).unwrap();
+    let oracle =
+        EventDriven::run(&netlist, &SimConfig::new(Time(100)).watch_all(watch)).unwrap();
+    assert!(equivalence_report(&oracle, &r).is_equivalent());
+    assert_eq!(r.metrics.checkpoint.writes, 0, "final segment never captures");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash + resume, all engines, every protocol phase
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_then_resume_is_bit_identical_all_engines() {
+    let (netlist, watch) = test_circuit();
+    let oracle = EventDriven::run(&netlist, &SimConfig::new(Time(400)).watch_all(watch.clone()))
+        .unwrap();
+    for kind in ALL_ENGINES {
+        let dir = tmpdir(&format!("crash-{}", kind.name()));
+        let cfg = SimConfig::new(Time(400))
+            .watch_all(watch.clone())
+            .threads(2)
+            .with_checkpoint_dir(&dir)
+            .with_checkpoint_every(60);
+        // The machine dies during the third checkpoint's fsync.
+        let crashing = cfg
+            .clone()
+            .with_fault(FaultPlan::storage_fault(2, StorageFault::FsyncCrash));
+        expect_injected_crash(checkpoint::run(kind, &netlist, &crashing).unwrap_err());
+
+        let r = checkpoint::resume(kind, &netlist, &cfg).unwrap();
+        let rep = equivalence_report(&oracle, &r);
+        assert!(rep.is_equivalent(), "{} resumed: {rep}", kind.name());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn every_fault_kind_at_every_write_recovers() {
+    let (netlist, watch) = test_circuit();
+    let oracle = EventDriven::run(&netlist, &SimConfig::new(Time(300)).watch_all(watch.clone()))
+        .unwrap();
+    let faults = [
+        StorageFault::TornWrite { at_byte: 100 },
+        StorageFault::BitFlip { at_byte: 41 },
+        StorageFault::FsyncCrash,
+        StorageFault::RenameCrash,
+    ];
+    // end 300, every 60 → four capturing cuts (60..240), so writes 0..=3.
+    for fault in faults {
+        for nth in 0..4u64 {
+            let dir = tmpdir(&format!("phase-{fault:?}-{nth}").replace([' ', '{', '}', ':'], ""));
+            let cfg = SimConfig::new(Time(300))
+                .watch_all(watch.clone())
+                .with_checkpoint_dir(&dir)
+                .with_checkpoint_every(60);
+            let crashing = cfg.clone().with_fault(FaultPlan::storage_fault(nth, fault));
+            match checkpoint::run(EngineKind::Sequential, &netlist, &crashing) {
+                // A bit flip is silent at write time: the run completes
+                // and only a later load can notice.
+                Ok(r) => {
+                    assert!(matches!(fault, StorageFault::BitFlip { .. }), "{fault:?}");
+                    assert!(equivalence_report(&oracle, &r).is_equivalent());
+                }
+                Err(e) => expect_injected_crash(e),
+            }
+            // Recovery: fall back past whatever the fault left behind and
+            // still finish with the oracle's exact waveforms.
+            let r = checkpoint::resume(EngineKind::Sequential, &netlist, &cfg).unwrap();
+            let rep = equivalence_report(&oracle, &r);
+            assert!(rep.is_equivalent(), "{fault:?} at write {nth}: {rep}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn torn_newest_falls_back_to_previous_snapshot() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("fallback");
+    let cfg = SimConfig::new(Time(300))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60);
+    // Write 0 commits clean; write 1 commits a torn file then dies.
+    let crashing = cfg.clone().with_fault(FaultPlan::storage_fault(
+        1,
+        StorageFault::TornWrite { at_byte: 64 },
+    ));
+    expect_injected_crash(
+        checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+    );
+
+    // The store itself must report the fallback: newest is skipped as
+    // corrupt, the previous snapshot loads.
+    let digest = checkpoint::netlist_digest(&netlist);
+    let store = CheckpointStore::open(&dir, digest, 4).unwrap();
+    let rec = store.recover().unwrap();
+    assert_eq!(rec.skipped.len(), 1, "torn newest must be skipped");
+    assert!(matches!(
+        rec.skipped[0].1,
+        CheckpointError::Corrupt { .. }
+    ));
+    assert_eq!(rec.snapshot.as_ref().map(|s| s.time), Some(60));
+
+    let oracle =
+        EventDriven::run(&netlist, &SimConfig::new(Time(300)).watch_all(watch)).unwrap();
+    let r = checkpoint::resume(EngineKind::Sequential, &netlist, &cfg).unwrap();
+    assert!(equivalence_report(&oracle, &r).is_equivalent());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_before_any_commit_resumes_fresh() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("fresh");
+    let cfg = SimConfig::new(Time(200))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(50);
+    let crashing = cfg
+        .clone()
+        .with_fault(FaultPlan::storage_fault(0, StorageFault::RenameCrash));
+    expect_injected_crash(
+        checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+    );
+    // Nothing committed — only a stale temp file may exist.
+    let digest = checkpoint::netlist_digest(&netlist);
+    let store = CheckpointStore::open(&dir, digest, 4).unwrap();
+    assert_eq!(store.num_snapshots(), 0);
+
+    let oracle =
+        EventDriven::run(&netlist, &SimConfig::new(Time(200)).watch_all(watch)).unwrap();
+    let r = checkpoint::resume(EngineKind::Sequential, &netlist, &cfg).unwrap();
+    assert!(equivalence_report(&oracle, &r).is_equivalent());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write matrix: every byte truncation point
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_write_matrix_every_truncation_point() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("matrix");
+    let cfg = SimConfig::new(Time(200))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60)
+        .with_checkpoint_keep(8);
+    // Crash right after the second commit so steps 1 and 2 are on disk.
+    let crashing = cfg
+        .clone()
+        .with_fault(FaultPlan::storage_fault(2, StorageFault::FsyncCrash));
+    expect_injected_crash(
+        checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+    );
+
+    let digest = checkpoint::netlist_digest(&netlist);
+    let store = CheckpointStore::open(&dir, digest, 8).unwrap();
+    let newest = dir.join("ckpt-0000000002.psnap");
+    let full = fs::read(&newest).unwrap();
+    assert!(full.len() > 64, "snapshot should be non-trivial");
+
+    for cut in 0..=full.len() {
+        fs::write(&newest, &full[..cut]).unwrap();
+        let rec = store
+            .recover()
+            .unwrap_or_else(|e| panic!("recover must not fail at cut {cut}: {e}"));
+        let snap = rec
+            .snapshot
+            .unwrap_or_else(|| panic!("a fallback must exist at cut {cut}"));
+        if cut == full.len() {
+            assert_eq!(snap.time, 120, "full file loads fully");
+            assert!(rec.skipped.is_empty());
+        } else {
+            assert_eq!(snap.time, 60, "truncated newest must fall back (cut {cut})");
+            assert_eq!(rec.skipped.len(), 1, "cut {cut}");
+        }
+    }
+
+    // And through the whole driver at representative tear points: the
+    // resumed waveforms stay exactly the oracle's.
+    let oracle =
+        EventDriven::run(&netlist, &SimConfig::new(Time(200)).watch_all(watch)).unwrap();
+    for cut in [0, 1, full.len() / 2, full.len() - 1] {
+        fs::write(&newest, &full[..cut]).unwrap();
+        let r = checkpoint::resume(EngineKind::Sequential, &netlist, &cfg).unwrap();
+        let rep = equivalence_report(&oracle, &r);
+        assert!(rep.is_equivalent(), "driver resume at cut {cut}: {rep}");
+        // The resume re-checkpointed; restore the torn state for the
+        // next iteration's scan.
+        let _ = fs::remove_dir_all(&dir);
+        expect_injected_crash(
+            checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Guard rails
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resume_with_different_end_time_is_rejected() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("horizon");
+    let cfg = SimConfig::new(Time(300))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60);
+    let crashing = cfg
+        .clone()
+        .with_fault(FaultPlan::storage_fault(1, StorageFault::FsyncCrash));
+    expect_injected_crash(
+        checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+    );
+    let other = SimConfig::new(Time(500))
+        .watch_all(watch)
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60);
+    match checkpoint::resume(EngineKind::Sequential, &netlist, &other) {
+        Err(SimError::Checkpoint(CheckpointError::EndTimeMismatch { snapshot, config })) => {
+            assert_eq!((snapshot, config), (300, 500));
+        }
+        other => panic!("expected EndTimeMismatch, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_for_different_netlist_is_skipped() {
+    let (netlist, watch) = test_circuit();
+    let dir = tmpdir("digest");
+    let cfg = SimConfig::new(Time(200))
+        .watch_all(watch.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60);
+    let crashing = cfg
+        .clone()
+        .with_fault(FaultPlan::storage_fault(1, StorageFault::FsyncCrash));
+    expect_injected_crash(
+        checkpoint::run(EngineKind::Sequential, &netlist, &crashing).unwrap_err(),
+    );
+
+    // A different circuit must refuse these snapshots and start fresh.
+    let other = inverter_array(4, 4, 2).unwrap();
+    let cfg2 = SimConfig::new(Time(200))
+        .watch_all(other.taps.clone())
+        .with_checkpoint_dir(&dir)
+        .with_checkpoint_every(60);
+    let oracle = EventDriven::run(
+        &other.netlist,
+        &SimConfig::new(Time(200)).watch_all(other.taps.clone()),
+    )
+    .unwrap();
+    let r = checkpoint::resume(EngineKind::Sequential, &other.netlist, &cfg2).unwrap();
+    assert!(equivalence_report(&oracle, &r).is_equivalent());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_policy_is_a_typed_error() {
+    let (netlist, _) = test_circuit();
+    let cfg = SimConfig::new(Time(100));
+    match checkpoint::run(EngineKind::Sequential, &netlist, &cfg) {
+        Err(SimError::Checkpoint(CheckpointError::BadPolicy { .. })) => {}
+        other => panic!("expected BadPolicy, got {other:?}"),
+    }
+    let cfg = SimConfig::new(Time(100)).with_checkpoint_dir(tmpdir("nopol"));
+    match checkpoint::run(EngineKind::Sequential, &netlist, &cfg) {
+        Err(SimError::Checkpoint(CheckpointError::BadPolicy { .. })) => {}
+        other => panic!("expected BadPolicy for zero interval, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine portability
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshots_are_engine_portable() {
+    let (netlist, watch) = test_circuit();
+    let oracle = EventDriven::run(&netlist, &SimConfig::new(Time(300)).watch_all(watch.clone()))
+        .unwrap();
+    for capture_kind in ALL_ENGINES {
+        for resume_kind in ALL_ENGINES {
+            let dir = tmpdir(&format!(
+                "xeng-{}-{}",
+                capture_kind.name(),
+                resume_kind.name()
+            ));
+            let cfg = SimConfig::new(Time(300))
+                .watch_all(watch.clone())
+                .threads(2)
+                .with_checkpoint_dir(&dir)
+                .with_checkpoint_every(70);
+            let crashing = cfg
+                .clone()
+                .with_fault(FaultPlan::storage_fault(1, StorageFault::FsyncCrash));
+            expect_injected_crash(
+                checkpoint::run(capture_kind, &netlist, &crashing).unwrap_err(),
+            );
+            let r = checkpoint::resume(resume_kind, &netlist, &cfg).unwrap();
+            let rep = equivalence_report(&oracle, &r);
+            assert!(
+                rep.is_equivalent(),
+                "{} -> {}: {rep}",
+                capture_kind.name(),
+                resume_kind.name()
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random circuits, random cut points, every engine
+// ---------------------------------------------------------------------------
+
+fn params_strategy() -> impl Strategy<Value = RandomCircuitParams> {
+    (
+        5usize..60,   // elements
+        1usize..5,    // inputs
+        0u64..4,      // seq fraction in quarters
+        1u64..4,      // max delay
+        any::<u64>(), // seed
+    )
+        .prop_map(|(elements, inputs, seqq, max_delay, seed)| RandomCircuitParams {
+            elements,
+            inputs,
+            seq_fraction: seqq as f64 * 0.25,
+            max_delay,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Run k steps, snapshot, crash, restore, run to the end: the result
+    /// must be bit-identical to the uninterrupted oracle — for random
+    /// circuits, random checkpoint intervals, and every engine that can
+    /// run the circuit (compiled mode needs unit delays).
+    #[test]
+    fn roundtrip_resume_matches_oracle(
+        params in params_strategy(),
+        every in 15u64..90,
+        crash_at in 0u64..3,
+        case in 0u64..u64::MAX,
+    ) {
+        let c = random_circuit(&params).unwrap();
+        let base = SimConfig::new(Time(150)).watch_all(c.watch.clone()).threads(2);
+        let oracle = EventDriven::run(&c.netlist, &base).unwrap();
+        for kind in ALL_ENGINES {
+            if kind == EngineKind::Compiled && params.max_delay != 1 {
+                continue;
+            }
+            let dir = tmpdir(&format!("prop-{case}-{}", kind.name()));
+            let cfg = base
+                .clone()
+                .with_checkpoint_dir(&dir)
+                .with_checkpoint_every(every);
+            // Plain segmented run.
+            let r = checkpoint::run(kind, &c.netlist, &cfg).unwrap();
+            let rep = equivalence_report(&oracle, &r);
+            prop_assert!(rep.is_equivalent(), "seed {} {} segmented: {rep}", params.seed, kind.name());
+            let _ = fs::remove_dir_all(&dir);
+
+            // Crash mid-run (if any checkpoint commits before the end),
+            // then resume.
+            let crashing = cfg
+                .clone()
+                .with_fault(FaultPlan::storage_fault(crash_at, StorageFault::FsyncCrash));
+            match checkpoint::run(kind, &c.netlist, &crashing) {
+                Err(SimError::Checkpoint(CheckpointError::InjectedCrash { .. })) => {
+                    let r = checkpoint::resume(kind, &c.netlist, &cfg).unwrap();
+                    let rep = equivalence_report(&oracle, &r);
+                    prop_assert!(
+                        rep.is_equivalent(),
+                        "seed {} {} resumed: {rep}", params.seed, kind.name()
+                    );
+                }
+                // Fewer than crash_at+1 captures: the run finished first.
+                Ok(r) => {
+                    let rep = equivalence_report(&oracle, &r);
+                    prop_assert!(rep.is_equivalent(), "seed {} {}: {rep}", params.seed, kind.name());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("{}: {e:?}", kind.name()))),
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -16,12 +16,21 @@
 //! a per-worker event trace and writes it in Chrome `trace_events` format
 //! — load it at <https://ui.perfetto.dev>. Adding `--report` also prints
 //! a run report (per-phase utilization, barrier imbalance, queue
-//! occupancy, hottest elements) and writes it as `OUT.report.json`.
+//! occupancy, hottest elements, checkpoint latency) and writes it as
+//! `OUT.report.json`.
+//!
+//! `--checkpoint-dir DIR --checkpoint-every N` snapshots the run every N
+//! simulated ticks (crash-consistently: temp file + fsync + atomic
+//! rename, keeping the last few). After a crash, the same command with
+//! `--resume` scans DIR, restores the newest valid snapshot (falling
+//! back past torn files), and continues — producing waveforms
+//! bit-identical to an uninterrupted run.
 
 use std::process::ExitCode;
 
 use parsim_core::{
-    ChaoticAsync, CompiledMode, EventDriven, RunReport, SimConfig, SyncEventDriven, TraceConfig,
+    checkpoint, ChaoticAsync, CheckpointReport, CompiledMode, EngineKind, EventDriven, RunReport,
+    SimConfig, SyncEventDriven, TraceConfig,
 };
 use parsim_harness::Table;
 use parsim_logic::Time;
@@ -38,6 +47,9 @@ struct Options {
     stats: bool,
     trace: Option<String>,
     report: bool,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,6 +64,9 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         trace: None,
         report: false,
+        checkpoint_dir: None,
+        checkpoint_every: 0,
+        resume: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -75,10 +90,18 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--report" => opts.report = true,
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every must be an integer".to_string())?
+            }
+            "--resume" => opts.resume = true,
             "--help" | "-h" => {
                 return Err("usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
                      [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
-                     [--trace OUT.json [--report]]"
+                     [--trace OUT.json [--report]] \
+                     [--checkpoint-dir DIR --checkpoint-every N [--resume]]"
                     .to_string())
             }
             other if !other.starts_with('-') && opts.input.is_empty() => {
@@ -162,12 +185,34 @@ fn run() -> Result<(), String> {
     if opts.trace.is_some() {
         config = config.with_trace(TraceConfig::default());
     }
-    let result = match opts.engine.as_str() {
-        "seq" => EventDriven::run(&netlist, &config),
-        "sync" => SyncEventDriven::run(&netlist, &config),
-        "compiled" => CompiledMode::run(&netlist, &config),
-        "async" => ChaoticAsync::run(&netlist, &config),
+    let kind = match opts.engine.as_str() {
+        "seq" => EngineKind::Sequential,
+        "sync" => EngineKind::Synchronous,
+        "compiled" => EngineKind::Compiled,
+        "async" => EngineKind::Chaotic,
         other => return Err(format!("unknown engine `{other}`")),
+    };
+    let result = if let Some(dir) = &opts.checkpoint_dir {
+        if opts.checkpoint_every == 0 {
+            return Err("--checkpoint-dir requires --checkpoint-every N (ticks)".to_string());
+        }
+        config = config
+            .with_checkpoint_dir(dir)
+            .with_checkpoint_every(opts.checkpoint_every);
+        if opts.resume {
+            checkpoint::resume(kind, &netlist, &config)
+        } else {
+            checkpoint::run(kind, &netlist, &config)
+        }
+    } else if opts.resume {
+        return Err("--resume requires --checkpoint-dir DIR".to_string());
+    } else {
+        match kind {
+            EngineKind::Sequential => EventDriven::run(&netlist, &config),
+            EngineKind::Synchronous => SyncEventDriven::run(&netlist, &config),
+            EngineKind::Compiled => CompiledMode::run(&netlist, &config),
+            EngineKind::Chaotic => ChaoticAsync::run(&netlist, &config),
+        }
     }
     .map_err(|e| e.to_string())?;
 
@@ -184,6 +229,17 @@ fn run() -> Result<(), String> {
     }
     t.note(&format!("{}", result.metrics));
     print!("{t}");
+
+    if opts.checkpoint_dir.is_some() {
+        let c = &result.metrics.checkpoint;
+        println!(
+            "\ncheckpoints: {} written ({} bytes) in {:.3} ms; restore {:.3} ms",
+            c.writes,
+            c.bytes,
+            c.write_ns as f64 / 1e6,
+            c.restore_ns as f64 / 1e6
+        );
+    }
 
     if let Some(path) = opts.vcd {
         std::fs::write(&path, result.to_vcd())
@@ -219,7 +275,16 @@ fn run() -> Result<(), String> {
         );
 
         if opts.report {
-            let report = RunReport::from_trace(trace);
+            let mut report = RunReport::from_trace(trace);
+            if opts.checkpoint_dir.is_some() {
+                let c = &result.metrics.checkpoint;
+                report = report.with_checkpoint(CheckpointReport {
+                    writes: c.writes,
+                    bytes: c.bytes,
+                    write_ns: c.write_ns,
+                    restore_ns: c.restore_ns,
+                });
+            }
             let report_path = format!("{}.report.json", trace_path.trim_end_matches(".json"));
             let report_json = report.to_json();
             parsim_trace::json::lint(&report_json)

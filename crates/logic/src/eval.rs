@@ -20,7 +20,7 @@ use crate::value::Value;
 /// let st = ElemState::init(&ElementKind::Dff { width: 4 });
 /// assert!(matches!(st, ElemState::Edge { .. }));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElemState {
     /// No internal state (combinational elements and generators).
     None,

@@ -146,6 +146,22 @@ pub struct HotElement {
 const QUEUE_BINS: usize = 24;
 const TOP_K: usize = 8;
 
+/// Checkpoint-protocol activity for a run. The trace stream itself does
+/// not carry this (the driver, not the workers, writes snapshots); the
+/// harness fills it in from the engine's metrics via
+/// [`RunReport::with_checkpoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Snapshots committed to disk.
+    pub writes: u64,
+    /// Total bytes across committed snapshot files.
+    pub bytes: u64,
+    /// Wall nanoseconds spent serializing, fsyncing, and renaming.
+    pub write_ns: u64,
+    /// Wall nanoseconds spent scanning/validating/loading at resume.
+    pub restore_ns: u64,
+}
+
 /// The analyzer output. See module docs.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -160,6 +176,8 @@ pub struct RunReport {
     /// Top elements by total activation-replay time (falls back to
     /// evaluation counts for engines that only emit `Eval` instants).
     pub hottest: Vec<HotElement>,
+    /// Checkpoint write/restore latency, when the run checkpointed.
+    pub checkpoint: Option<CheckpointReport>,
 }
 
 impl RunReport {
@@ -251,6 +269,13 @@ impl RunReport {
         hottest.truncate(TOP_K);
         report.hottest = hottest;
         report
+    }
+
+    /// Attaches checkpoint activity (from engine metrics) so `Display`
+    /// and `to_json` include write/restore latency.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointReport) -> RunReport {
+        self.checkpoint = Some(checkpoint);
+        self
     }
 
     /// Mean utilization over all workers.
@@ -373,7 +398,15 @@ impl RunReport {
                 if i + 1 == self.hottest.len() { "" } else { "," }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some(c) = &self.checkpoint {
+            s.push_str(&format!(
+                ",\n  \"checkpoint\": {{\"writes\": {}, \"bytes\": {}, \"write_ns\": {}, \
+                 \"restore_ns\": {}}}",
+                c.writes, c.bytes, c.write_ns, c.restore_ns
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -516,6 +549,18 @@ impl fmt::Display for RunReport {
                     ms(h.total_ns)
                 )?;
             }
+        }
+        if let Some(c) = &self.checkpoint {
+            writeln!(
+                f,
+                "\ncheckpoints: {} written ({} bytes), write {:.3} ms \
+                 ({:.3} ms/snapshot), restore {:.3} ms",
+                c.writes,
+                c.bytes,
+                ms(c.write_ns),
+                if c.writes == 0 { 0.0 } else { ms(c.write_ns) / c.writes as f64 },
+                ms(c.restore_ns)
+            )?;
         }
         Ok(())
     }

@@ -70,9 +70,10 @@
 /// ```
 pub mod prelude {
     pub use parsim_core::{
-        assert_equivalent, ActivityReport, BatchResult, ChaoticAsync, CompiledMode,
-        EventDriven, FaultPlan, LaneStimulus, SimConfig, SimError, SimResult,
-        SyncEventDriven, TestBench, TestRun, TraceConfig, Waveform, WaveformStats,
+        assert_equivalent, checkpoint, ActivityReport, BatchResult, ChaoticAsync,
+        CheckpointError, CompiledMode, EngineKind, EventDriven, FaultPlan, LaneStimulus,
+        SimConfig, SimError, SimResult, StorageFault, SyncEventDriven, TestBench, TestRun,
+        TraceConfig, Waveform, WaveformStats,
     };
     pub use parsim_trace::{RunReport, Trace};
     pub use parsim_logic::{Bit, Delay, ElementKind, Time, Value};
