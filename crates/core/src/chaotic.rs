@@ -793,6 +793,7 @@ impl ChaoticAsync {
             evals_skipped: 0,
             pool_misses: 0,
             checkpoint: Default::default(),
+            lane_width: 0,
             locality,
             wall: start.elapsed(),
         };

@@ -57,8 +57,9 @@ pub enum EngineKind {
     /// [`SyncEventDriven`] — barrier-synchronized parallel event-driven.
     Synchronous,
     /// [`CompiledMode`] — unit-delay levelized sweep (scalar executor;
-    /// the packed 64-lane batch API is stateless per lane and is not
-    /// checkpointed).
+    /// the SIMD batch API has its own segment entry point,
+    /// [`CompiledMode::run_batch_segment`], returning one snapshot per
+    /// lane).
     Compiled,
     /// [`ChaoticAsync`] — the lock-free asynchronous engine.
     Chaotic,

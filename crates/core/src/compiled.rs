@@ -16,8 +16,10 @@
 //! lowered once by [`CompiledProgram`] into a level-major instruction
 //! stream (dense opcodes + slot indices), and two executors run that
 //! stream — a scalar one ([`CompiledMode::run`]) and a word-parallel one
-//! packing up to 64 independent stimulus lanes into bit-plane words
-//! ([`CompiledMode::run_batch`]). Both gate work with per-block dirty
+//! packing any number of independent stimulus lanes into SIMD-wide
+//! bit-plane word groups ([`CompiledMode::run_batch`]; 64–512 lanes per
+//! kernel pass depending on the CPU, chunked beyond that — see
+//! [`parsim_logic::wide`]). Both gate work with per-block dirty
 //! bitmasks unless [`SimConfig::without_activity_gating`] is set; skipped
 //! work is reported in [`Metrics::blocks_skipped`] /
 //! [`Metrics::evals_skipped`](crate::Metrics::evals_skipped).
@@ -25,6 +27,7 @@
 //! [`CompiledProgram`]: parsim_netlist::compile::CompiledProgram
 //! [`Metrics::blocks_skipped`]: crate::Metrics::blocks_skipped
 
+use parsim_checkpoint::EngineSnapshot;
 use parsim_logic::{Time, Value};
 use parsim_netlist::compile::CompiledProgram;
 use parsim_netlist::partition::Partition;
@@ -70,8 +73,9 @@ impl LaneStimulus {
 /// `lanes[i]` holds lane `i`'s waveforms, bit-identical to a scalar run of
 /// that lane's stimulus. Each lane's embedded `metrics` is a copy of the
 /// batch-wide [`BatchResult::metrics`] (word-parallel execution has no
-/// per-lane cost breakdown), where `evaluations` counts *word* instruction
-/// executions — each covering all 64 lanes at once.
+/// per-lane cost breakdown), where `evaluations` counts *word-group*
+/// instruction executions — each covering up to [`Metrics::lane_width`]
+/// lanes at once.
 #[derive(Debug)]
 pub struct BatchResult {
     /// Per-lane simulation results, in stimulus order.
@@ -120,8 +124,8 @@ impl CompiledMode {
     }
 
     /// Runs one checkpoint segment on the scalar executor with the
-    /// level-aware LPT partition (the packed 64-lane batch API is
-    /// stateless per lane and is not checkpointed). See
+    /// level-aware LPT partition (the batch API has its own segment entry
+    /// point, [`CompiledMode::run_batch_segment`]). See
     /// [`kernel::scalar::run_segment`] for the unit-delay snapshot shape.
     pub(crate) fn run_segment(
         netlist: &Netlist,
@@ -165,29 +169,39 @@ impl CompiledMode {
         kernel::scalar::run(netlist, config, &prog, partition)
     }
 
-    /// Runs up to 64 stimulus sets in one word-parallel pass.
+    /// Runs any number of stimulus sets in word-parallel SIMD passes.
     ///
     /// Each lane is an independent simulation of the same netlist:
     /// `stimuli[i]` describes lane `i` as per-node schedule overrides on
     /// top of the base generators (see [`LaneStimulus`]). Node values are
-    /// stored as two bit-plane words per node bit — lane `i` lives in bit
-    /// `i` — so one AND instruction evaluates a gate for all lanes at
-    /// once. Lanes' waveforms are extracted separately and are
+    /// stored as two bit-plane word groups per node bit — lane `i` lives
+    /// in bit `i` of its word group — so one AND instruction evaluates a
+    /// gate for up to 512 lanes at once (64 per 64-bit word; the group
+    /// width is auto-detected from the CPU, or forced via
+    /// [`SimConfig::with_lane_width`] / `PARSIM_FORCE_LANE_WIDTH`).
+    /// Batches wider than one word group are chunked, so thousands of
+    /// lanes are fine. Lanes' waveforms are extracted separately and are
     /// bit-identical to running each stimulus through the scalar engine.
+    ///
+    /// Step synchronization follows [`SimConfig::with_batch_sync`]:
+    /// either a global two-phase barrier or (default) per-edge
+    /// producer/consumer handoffs computed from the partition.
     ///
     /// Activity gating and the containment machinery (watchdog, fault
     /// plan, barrier poisoning) behave exactly as in
     /// [`CompiledMode::run`]. In the returned metrics, `evaluations`
-    /// counts word instruction executions (all lanes at once) and
-    /// `events_processed` counts per-lane value changes.
+    /// counts word-group instruction executions (all lanes of a chunk at
+    /// once), `events_processed` counts per-lane value changes, and
+    /// [`Metrics::lane_width`] reports the widest word group used.
     ///
     /// # Errors
     ///
     /// All of [`CompiledMode::run_with_partition`]'s errors, plus
-    /// [`SimError::InvalidConfig`] when `stimuli` is empty or longer than
-    /// 64, an override targets an unknown or non-generator-driven node,
-    /// a schedule is empty, not strictly increasing in time, or
-    /// width-mismatched, or a lane overrides the same node twice.
+    /// [`SimError::InvalidConfig`] when `stimuli` is empty, an override
+    /// targets an unknown or non-generator-driven node, a schedule is
+    /// empty, not strictly increasing in time, or width-mismatched, a
+    /// lane overrides the same node twice, or a forced lane width is not
+    /// one of 64/128/256/512.
     pub fn run_batch(
         netlist: &Netlist,
         config: &SimConfig,
@@ -196,6 +210,50 @@ impl CompiledMode {
         let prog = CompiledProgram::compile(netlist);
         let partition = prog.level_partition(config.threads);
         kernel::packed::run_batch(netlist, config, &prog, &partition, stimuli)
+    }
+
+    /// Runs one checkpoint segment of the word-parallel batch kernel:
+    /// simulate every lane up to (and including) step `cut`, and return
+    /// one [`EngineSnapshot`] per lane alongside the segment's
+    /// [`BatchResult`].
+    ///
+    /// `resume` takes the snapshots of a previous
+    /// `run_batch_segment` call (one per lane, all at the same cut) and
+    /// continues from the step after; `None` starts from time zero. Each
+    /// returned snapshot is individually interchangeable with a
+    /// scalar-engine snapshot of that lane's stimulus: a batch can be
+    /// cut, one lane extracted and resumed on the scalar checkpointed
+    /// engine, or vice versa, without changing its waveform.
+    ///
+    /// Waveform results in the returned [`BatchResult`] cover only this
+    /// segment (changes after the resume time, up to the cut).
+    ///
+    /// # Errors
+    ///
+    /// All of [`CompiledMode::run_batch`]'s errors, plus
+    /// [`SimError::InvalidConfig`] when the resume snapshots don't match
+    /// the lane count, disagree on their snapshot time, or are not
+    /// strictly before `cut`.
+    pub fn run_batch_segment(
+        netlist: &Netlist,
+        config: &SimConfig,
+        stimuli: &[LaneStimulus],
+        resume: Option<&[EngineSnapshot]>,
+        cut: Time,
+    ) -> Result<(BatchResult, Vec<EngineSnapshot>), SimError> {
+        let prog = CompiledProgram::compile(netlist);
+        let partition = prog.level_partition(config.threads);
+        let (result, snaps) = kernel::packed::run_batch_segment(
+            netlist,
+            config,
+            &prog,
+            &partition,
+            stimuli,
+            resume,
+            cut.ticks(),
+            true,
+        )?;
+        Ok((result, snaps.expect("capture was requested")))
     }
 }
 

@@ -30,6 +30,34 @@ pub struct CheckpointPolicy {
     pub keep: usize,
 }
 
+/// Step-boundary synchronization used by the compiled batch kernel.
+///
+/// Both modes produce bit-identical waveforms; they differ only in who
+/// waits for whom between the apply and evaluate phases of a step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BatchSync {
+    /// Two global [`SpinBarrier`](parsim_queue::SpinBarrier) waits per
+    /// step: every worker waits for every other worker (the ablation
+    /// baseline, and the pre-BSP behavior).
+    Barrier,
+    /// Static BSP handoff ([`parsim_queue::StepHandoff`]): each worker
+    /// waits only on the workers that actually produce the node slots it
+    /// reads (and on the consumers of its own slots before overwriting
+    /// them). The default.
+    #[default]
+    Neighbor,
+}
+
+impl BatchSync {
+    /// Stable lowercase tag used in metrics and benchmark JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchSync::Barrier => "barrier",
+            BatchSync::Neighbor => "neighbor",
+        }
+    }
+}
+
 /// Configuration shared by all four engines.
 ///
 /// Built fluently:
@@ -110,6 +138,18 @@ pub struct SimConfig {
     /// waveforms: a checkpointed (or resumed) run is bit-identical to an
     /// uninterrupted one.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Forced SIMD lane width (in stimulus lanes per word group) for the
+    /// compiled batch kernel: one of 64, 128, 256, 512. `None` (the
+    /// default) uses the widest width the CPU supports at runtime (see
+    /// [`parsim_logic::wide::native_lane_width`]); the
+    /// `PARSIM_FORCE_LANE_WIDTH` environment variable overrides the
+    /// default when this is unset. Never changes waveforms, only how many
+    /// lanes each kernel invocation carries.
+    pub lane_width: Option<usize>,
+    /// Step-boundary synchronization for the compiled batch kernel (see
+    /// [`BatchSync`]). Defaults to [`BatchSync::Neighbor`]. Never changes
+    /// waveforms.
+    pub batch_sync: BatchSync,
 }
 
 impl SimConfig {
@@ -131,6 +171,8 @@ impl SimConfig {
             partition: None,
             trace: None,
             checkpoint: None,
+            lane_width: None,
+            batch_sync: BatchSync::default(),
         }
     }
 
@@ -317,6 +359,31 @@ impl SimConfig {
         policy.keep = keep;
         self
     }
+
+    /// Forces the compiled batch kernel's SIMD lane width (ablation /
+    /// benchmarking knob; the default auto-detects the widest supported
+    /// width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not one of 64, 128, 256, 512.
+    #[must_use]
+    pub fn with_lane_width(mut self, width: usize) -> SimConfig {
+        assert!(
+            parsim_logic::wide::LANE_WIDTHS.contains(&width),
+            "lane width must be one of 64, 128, 256, 512 (got {width})"
+        );
+        self.lane_width = Some(width);
+        self
+    }
+
+    /// Selects the compiled batch kernel's step synchronization mode
+    /// (ablation knob; [`BatchSync::Neighbor`] is the default).
+    #[must_use]
+    pub fn with_batch_sync(mut self, sync: BatchSync) -> SimConfig {
+        self.batch_sync = sync;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +417,21 @@ mod tests {
         assert!(SimConfig::new(Time(5)).trace.is_none());
         let traced = SimConfig::new(Time(5)).with_trace(TraceConfig::default());
         assert!(traced.trace.is_some());
+        assert!(SimConfig::new(Time(5)).lane_width.is_none());
+        assert_eq!(SimConfig::new(Time(5)).batch_sync, BatchSync::Neighbor);
+        let wide = SimConfig::new(Time(5))
+            .with_lane_width(256)
+            .with_batch_sync(BatchSync::Barrier);
+        assert_eq!(wide.lane_width, Some(256));
+        assert_eq!(wide.batch_sync, BatchSync::Barrier);
+        assert_eq!(BatchSync::Barrier.name(), "barrier");
+        assert_eq!(BatchSync::Neighbor.name(), "neighbor");
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width must be one of")]
+    fn bad_lane_width_rejected() {
+        let _ = SimConfig::new(Time(1)).with_lane_width(96);
     }
 
     #[test]

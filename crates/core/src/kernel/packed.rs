@@ -1,36 +1,54 @@
-//! Word-parallel (64-lane) executor for the compiled instruction stream.
+//! Width-generic SIMD executor for the compiled instruction stream.
 //!
-//! Node values live as bit-plane words ([`Lanes`]): one word pair per node
-//! bit, one *independent simulation* per lane. Gates, muxes, flip-flops,
-//! latches, and tri-states evaluate natively as word-wide boolean algebra
-//! (see [`parsim_logic::packed`]); the remaining RTL ops (adders, memories,
-//! resolvers, …) fall back to the scalar evaluator lane by lane, so every
-//! element kind is supported and every lane stays bit-identical to a
-//! scalar run of that lane's stimulus.
+//! Node values live as bit-plane word groups ([`WideLanes<W>`]): `W`
+//! 64-bit plane words per node bit, one *independent simulation* per
+//! lane, `64·W` lanes per kernel invocation. Gates, muxes, flip-flops,
+//! latches, and tri-states evaluate natively as word-group boolean
+//! algebra (see [`parsim_logic::wide`], which dispatches to SSE2 /
+//! AVX2 / AVX-512 `core::arch` paths when `W` matches the detected CPU
+//! tier); the remaining RTL ops (adders, memories, resolvers, …) fall
+//! back to the scalar evaluator lane by lane, so every element kind is
+//! supported and every lane stays bit-identical to a scalar run of that
+//! lane's stimulus.
 //!
-//! Threading, barriers, activity gating, watchdog and fault containment
-//! mirror the scalar executor exactly; see `kernel/scalar.rs`.
+//! An arbitrary number of stimulus lanes is *chunked* over the widest
+//! available word group: a 1000-lane batch on an AVX-512 host runs as
+//! two 512-lane chunks, the ragged tail masked per word
+//! ([`wide::mask_first`]). The width is auto-detected and can be forced
+//! with [`SimConfig::lane_width`] or the `PARSIM_FORCE_LANE_WIDTH`
+//! environment variable (the scalar-fallback ablation leg).
+//!
+//! Step synchronization comes in two flavors ([`BatchSync`]): the
+//! classic two-global-barrier BSP step, and the default *neighbor*
+//! mode, where lowering computes which workers actually produce the
+//! slots each worker reads ([`NeighborPlan`]) and workers hand off
+//! through per-edge published phase counters
+//! ([`parsim_queue::StepHandoff`]) instead of a global barrier. Both
+//! modes produce bit-identical waveforms; the handoff protocol is
+//! exhaustively model-checked in `crates/queue/tests/model.rs`.
+//!
+//! Threading, activity gating, watchdog and fault containment mirror
+//! the scalar executor; checkpoint segments (capture/resume of every
+//! lane at a cut, [`run_batch_segment`]) mirror `kernel/scalar.rs`.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parsim_logic::packed::{
-    self, changed_mask, dff, dffr, fold_and, fold_or, fold_xor, gather, latch, load_logic, mux,
-    not_inplace, tribuf, Lanes,
-};
+use parsim_checkpoint::{EngineSnapshot, PendingEvent};
+use parsim_logic::wide::{self, LaneMask, WideLanes, LANE_WIDTHS};
 use parsim_logic::{evaluate, expand_generator, ElemState, ElementKind, Time, Value};
 use parsim_netlist::compile::{CompiledProgram, Opcode};
 use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
-use parsim_queue::SpinBarrier;
+use parsim_queue::{SpinBarrier, StepHandoff};
 
 use crate::compiled::{BatchResult, LaneStimulus};
-use crate::config::SimConfig;
+use crate::config::{BatchSync, SimConfig};
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
-use crate::kernel::{validate_partition, DirtyMask, ExecPlan};
+use crate::kernel::{validate_partition, DirtyMask, ExecPlan, NeighborPlan};
 use crate::metrics::{Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
 use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
@@ -39,22 +57,73 @@ use crate::waveform::SimResult;
 /// Engine tag used in [`SimError`] values.
 const ENGINE: &str = "compiled-mode";
 
-/// Per-worker results: per-lane waveform changes, timing counters, skip
-/// counters.
-type WorkerOutput = (Vec<(u32, Time, NodeId, Value)>, ThreadMetrics, u64, u64);
-
-/// One generator write: `data` is applied to `slot` in the lanes of `mask`.
-struct GenWrite {
-    slot: u32,
-    mask: u64,
-    data: Vec<Lanes>,
-}
-
 fn invalid(reason: String) -> SimError {
     SimError::InvalidConfig { reason }
 }
 
-/// Runs the packed batch kernel over up to 64 stimulus lanes.
+/// One lane-local event list: `(global lane, slot, (time, value) events)`.
+type LaneEvents = (usize, u32, Vec<(u64, Value)>);
+
+/// One generator write: `data` is applied to `slot` in the lanes of `mask`.
+struct GenWrite<const W: usize> {
+    slot: u32,
+    mask: LaneMask<W>,
+    data: Vec<WideLanes<W>>,
+}
+
+/// Per-worker chunk results: per-lane waveform changes (chunk-local lane
+/// ids), timing counters, skip counters, and the unapplied pending set
+/// (slot list + flat plane arena) held when the segment ended — the
+/// unit-delay events for `cut + 1`, used by checkpoint capture.
+type ChunkWorkerOutput<const W: usize> = (
+    Vec<(u32, Time, NodeId, Value)>,
+    ThreadMetrics,
+    u64,
+    u64,
+    Vec<u32>,
+    Vec<WideLanes<W>>,
+);
+
+/// One chunk's aggregated results, lane ids already globalized.
+struct ChunkOut {
+    changes: Vec<(u32, Time, NodeId, Value)>,
+    per_thread: Vec<ThreadMetrics>,
+    blocks_skipped: u64,
+    evals_skipped: u64,
+    snapshots: Option<Vec<EngineSnapshot>>,
+}
+
+/// Everything shared by every chunk of one batch run.
+struct BatchCtx<'a> {
+    netlist: &'a Netlist,
+    config: &'a SimConfig,
+    prog: &'a CompiledProgram,
+    plan: &'a ExecPlan,
+    neighbors: Option<&'a NeighborPlan>,
+    watched: &'a [bool],
+    state_offset: &'a [u32],
+    max_out_bits: usize,
+    /// Expanded base generator schedules (events at `t <= t0` already
+    /// filtered out on resume).
+    base_events: &'a [(u32, Vec<(u64, Value)>)],
+    /// Expanded per-lane overrides: `(global lane, slot, events)`.
+    override_events: &'a [LaneEvents],
+    /// Resume-injected pending events: `(global lane, time, slot, value)`.
+    injections: &'a [(usize, u64, u32, Value)],
+    /// Per-slot bitset (words of 64 global lanes) of overridden lanes.
+    overridden: &'a HashMap<u32, Vec<u64>>,
+    resume: Option<&'a [EngineSnapshot]>,
+    /// In-flight resume events beyond the cut, per global lane; copied
+    /// into the next snapshot untouched.
+    carry: &'a [Vec<PendingEvent>],
+    first_step: u64,
+    cut: u64,
+    end: u64,
+    capture: bool,
+}
+
+/// Runs the packed batch kernel over any number of stimulus lanes
+/// (whole run, no checkpointing).
 pub(crate) fn run_batch(
     netlist: &Netlist,
     config: &SimConfig,
@@ -62,23 +131,84 @@ pub(crate) fn run_batch(
     partition: &Partition,
     stimuli: &[LaneStimulus],
 ) -> Result<BatchResult, SimError> {
+    let (result, _) = run_batch_segment(
+        netlist,
+        config,
+        prog,
+        partition,
+        stimuli,
+        None,
+        config.end_time.ticks(),
+        false,
+    )?;
+    Ok(result)
+}
+
+/// Selects the batch lane width: explicit config, then the
+/// `PARSIM_FORCE_LANE_WIDTH` environment variable, then CPU detection.
+fn select_lane_width(config: &SimConfig) -> Result<usize, SimError> {
+    if let Some(w) = config.lane_width {
+        if !LANE_WIDTHS.contains(&w) {
+            return Err(invalid(format!(
+                "lane_width must be one of 64, 128, 256, 512 (got {w})"
+            )));
+        }
+        return Ok(w);
+    }
+    if let Ok(s) = std::env::var("PARSIM_FORCE_LANE_WIDTH") {
+        if !s.is_empty() {
+            let w: usize = s.parse().map_err(|_| {
+                invalid(format!(
+                    "PARSIM_FORCE_LANE_WIDTH must be one of 64, 128, 256, 512 (got '{s}')"
+                ))
+            })?;
+            if !LANE_WIDTHS.contains(&w) {
+                return Err(invalid(format!(
+                    "PARSIM_FORCE_LANE_WIDTH must be one of 64, 128, 256, 512 (got {w})"
+                )));
+            }
+            return Ok(w);
+        }
+    }
+    Ok(wide::native_lane_width())
+}
+
+/// Runs one checkpoint segment of the packed batch kernel.
+///
+/// Semantics per lane mirror `kernel/scalar.rs::run_segment` exactly: a
+/// snapshot at cut `T` is slot values after the apply phase of step `T`,
+/// instruction states after its evaluate phase, and the pending set that
+/// evaluate produced (events for `T + 1`). `resume` takes one
+/// [`EngineSnapshot`] per lane (all at the same time), and `capture`
+/// returns one per lane — each individually interchangeable with a
+/// scalar-engine snapshot of that lane's stimulus.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_batch_segment(
+    netlist: &Netlist,
+    config: &SimConfig,
+    prog: &CompiledProgram,
+    partition: &Partition,
+    stimuli: &[LaneStimulus],
+    resume: Option<&[EngineSnapshot]>,
+    cut: u64,
+    capture: bool,
+) -> Result<(BatchResult, Option<Vec<EngineSnapshot>>), SimError> {
     validate_partition(netlist, config, partition)?;
     let lanes = stimuli.len();
-    if lanes == 0 || lanes > 64 {
-        return Err(invalid(format!(
-            "run_batch requires 1..=64 stimulus lanes (got {lanes})"
-        )));
+    if lanes == 0 {
+        return Err(invalid(
+            "run_batch requires at least one stimulus lane (got 0)".to_string(),
+        ));
     }
-    let lane_mask: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
     let start = Instant::now();
     let end = config.end_time.ticks();
-    let threads = config.threads;
-    let gating = config.activity_gating;
+    let max_width = select_lane_width(config)?;
 
-    // ---- lane stimulus validation + generator schedule ------------------
-    // `overridden[slot]` = lanes whose stimulus replaces that slot's base
-    // generator schedule.
-    let mut overridden: HashMap<u32, u64> = HashMap::new();
+    // ---- lane stimulus validation ---------------------------------------
+    // `overridden[slot]` = bitset of lanes whose stimulus replaces that
+    // slot's base generator schedule.
+    let bitset_words = lanes.div_ceil(64);
+    let mut overridden: HashMap<u32, Vec<u64>> = HashMap::new();
     for (l, stim) in stimuli.iter().enumerate() {
         for (node, schedule) in &stim.overrides {
             if node.index() >= netlist.num_nodes() {
@@ -119,98 +249,129 @@ pub(crate) fn run_batch(
                 )));
             }
             let slot = prog.slot_of(*node);
-            let seen = overridden.entry(slot).or_insert(0);
-            if *seen & (1 << l) != 0 {
+            let seen = overridden.entry(slot).or_insert_with(|| vec![0; bitset_words]);
+            if seen[l / 64] & (1 << (l % 64)) != 0 {
                 return Err(invalid(format!(
                     "lane {l} overrides node '{}' twice",
                     n.name()
                 )));
             }
-            *seen |= 1 << l;
+            seen[l / 64] |= 1 << (l % 64);
         }
     }
 
-    // Merge base generator schedules (lanes without an override) and the
-    // per-lane override schedules into masked packed writes per time step.
-    let mut sched: BTreeMap<u64, BTreeMap<u32, (u64, Vec<Lanes>)>> = BTreeMap::new();
-    let mut add = |t: u64, slot: u32, mask: u64, v: &Value| {
-        let w = prog.slot_width(slot) as usize;
-        let entry = sched
-            .entry(t)
-            .or_default()
-            .entry(slot)
-            .or_insert_with(|| (0u64, vec![Lanes::ZERO; w]));
-        entry.0 |= mask;
-        let (a, b) = v.to_planes();
-        for (i, word) in entry.1.iter_mut().enumerate() {
-            let la = if (a >> i) & 1 == 1 { mask } else { 0 };
-            let lb = if (b >> i) & 1 == 1 { mask } else { 0 };
-            word.a = (word.a & !mask) | la;
-            word.b = (word.b & !mask) | lb;
+    // ---- resume validation ----------------------------------------------
+    let t0 = match resume {
+        Some(snaps) => {
+            if snaps.len() != lanes {
+                return Err(invalid(format!(
+                    "batch resume requires one snapshot per lane ({} snapshots, {lanes} lanes)",
+                    snaps.len()
+                )));
+            }
+            let t = snaps[0].time;
+            if snaps.iter().any(|s| s.time != t) {
+                return Err(invalid(
+                    "batch resume snapshots disagree on snapshot time".to_string(),
+                ));
+            }
+            if t >= cut {
+                return Err(invalid(format!(
+                    "batch resume snapshot time {t} is not before the cut {cut}"
+                )));
+            }
+            Some(t)
         }
+        None => None,
     };
+    let first_step = t0.map(|t| t + 1).unwrap_or(0);
+
+    // ---- shared schedules and plans -------------------------------------
+    // Base generator schedules (expansion stops at the cut; a resumed
+    // segment keeps only events past the previous cut).
+    let mut base_events: Vec<(u32, Vec<(u64, Value)>)> = Vec::new();
     for gen in netlist.generators() {
         let e = netlist.element(gen);
         let slot = prog.slot_of(e.outputs()[0]);
-        // Unused lanes (>= `lanes`) follow the base schedule too, keeping
-        // every lane's values well-defined.
-        let base_mask = !overridden.get(&slot).copied().unwrap_or(0);
-        if base_mask == 0 {
-            continue;
-        }
-        for (t, v) in expand_generator(e.kind(), Time(end)) {
-            add(t.ticks(), slot, base_mask, &v);
-        }
+        let events: Vec<(u64, Value)> = expand_generator(e.kind(), Time(cut))
+            .into_iter()
+            .filter(|(t, _)| t0.is_none_or(|t0| t.ticks() > t0))
+            .map(|(t, v)| (t.ticks(), v))
+            .collect();
+        base_events.push((slot, events));
     }
+    // Per-lane overrides, routed through the Vector generator expansion
+    // so a lane's trajectory is exactly what a netlist with a `Vector`
+    // driver would produce (the per-lane equivalence oracle).
+    let mut override_events: Vec<LaneEvents> = Vec::new();
     for (l, stim) in stimuli.iter().enumerate() {
         for (node, schedule) in &stim.overrides {
             let slot = prog.slot_of(*node);
-            // Route through the Vector generator expansion so a lane's
-            // trajectory is exactly what a netlist with a `Vector` driver
-            // would produce (the per-lane equivalence oracle).
             let changes: Arc<[(u64, Value)]> = schedule
                 .iter()
                 .map(|&(t, v)| (t.ticks(), v))
                 .collect::<Vec<_>>()
                 .into();
             let vector = ElementKind::Vector { changes };
-            for (t, v) in expand_generator(&vector, Time(end)) {
-                add(t.ticks(), slot, 1 << l, &v);
+            let events: Vec<(u64, Value)> = expand_generator(&vector, Time(cut))
+                .into_iter()
+                .filter(|(t, _)| t0.is_none_or(|t0| t.ticks() > t0))
+                .map(|(t, v)| (t.ticks(), v))
+                .collect();
+            override_events.push((l, slot, events));
+        }
+    }
+    // Resume snapshots' in-flight events ride the apply phase like
+    // generator events; events beyond even this cut (possible only in
+    // snapshots captured by a multi-delay-capable engine) skip straight
+    // to the next snapshot.
+    let mut injections: Vec<(usize, u64, u32, Value)> = Vec::new();
+    let mut carry: Vec<Vec<PendingEvent>> = vec![Vec::new(); lanes];
+    if let Some(snaps) = resume {
+        for (l, snap) in snaps.iter().enumerate() {
+            for ev in &snap.pending {
+                if ev.time <= cut {
+                    let slot = prog.slot_of(NodeId::from_index(ev.node as usize));
+                    injections.push((l, ev.time, slot, ev.value));
+                } else {
+                    carry[l].push(ev.clone());
+                }
             }
         }
     }
-    let gen_writes: BTreeMap<u64, Vec<GenWrite>> = sched
-        .into_iter()
-        .map(|(t, slots)| {
-            (
-                t,
-                slots
-                    .into_iter()
-                    .map(|(slot, (mask, data))| GenWrite { slot, mask, data })
-                    .collect(),
-            )
-        })
-        .collect();
-    let gen_writes = &gen_writes;
 
-    // ---- execution state -------------------------------------------------
     let plan = ExecPlan::build(prog, partition);
-    let plan = &plan;
 
     let mut watched = vec![false; prog.num_slots()];
     for &n in &config.watch {
         watched[prog.slot_of(n) as usize] = true;
     }
-    let watched = &watched;
 
-    // Packed slot values: a flat bit-plane arena, `slot_offset(s)..+width`
-    // per slot. Written single-writer during apply phases.
-    let values: SharedSlice<Lanes> =
-        SharedSlice::from_fn(prog.total_bits().max(1), |_| Lanes::X);
-    let values = &values;
+    // Every slot thread 0 writes outside the instruction stream, for the
+    // neighbor-sync producer analysis. Validation above guarantees these
+    // are never also instruction outputs (generator-driven or undriven
+    // nodes only), except resume injections — those can target any node,
+    // but only at the first step, where no instruction has queued a
+    // pending write yet, so the single-writer-per-step rule holds.
+    let neighbors = match config.batch_sync {
+        BatchSync::Barrier => None,
+        BatchSync::Neighbor => {
+            let mut gen_slots = vec![false; prog.num_slots()];
+            for (slot, _) in &base_events {
+                gen_slots[*slot as usize] = true;
+            }
+            for (_, slot, _) in &override_events {
+                gen_slots[*slot as usize] = true;
+            }
+            for &(_, _, slot, _) in &injections {
+                gen_slots[slot as usize] = true;
+            }
+            Some(NeighborPlan::build(prog, partition, &gen_slots))
+        }
+    };
 
-    // Native sequential state (q planes, plus last_clk for edge ops) lives
-    // in its own arena, touched only by the owning thread.
+    // Native sequential state layout (q planes, plus last_clk for edge
+    // ops) and the widest output scratch any instruction needs.
     let mut state_offset: Vec<u32> = Vec::with_capacity(prog.num_insns() + 1);
     let mut state_len = 0u32;
     let mut max_out_bits = 1usize;
@@ -230,9 +391,213 @@ pub(crate) fn run_batch(
         max_out_bits = max_out_bits.max(out_bits);
     }
     state_offset.push(state_len);
-    let state_offset = &state_offset;
-    let nat_state: SharedSlice<Lanes> =
-        SharedSlice::from_fn(state_len.max(1) as usize, |_| Lanes::X);
+
+    let ctx = BatchCtx {
+        netlist,
+        config,
+        prog,
+        plan: &plan,
+        neighbors: neighbors.as_ref(),
+        watched: &watched,
+        state_offset: &state_offset,
+        max_out_bits,
+        base_events: &base_events,
+        override_events: &override_events,
+        injections: &injections,
+        overridden: &overridden,
+        resume,
+        carry: &carry,
+        first_step,
+        cut,
+        end,
+        capture,
+    };
+
+    // ---- chunk loop ------------------------------------------------------
+    // Chunks are `max_width` lanes except the last, which drops to the
+    // narrowest word group covering the remainder (a 65-lane tail runs as
+    // one 128-wide chunk, not a 512-wide one).
+    let mut lane_changes: Vec<Vec<(Time, NodeId, Value)>> = vec![Vec::new(); lanes];
+    let mut per_thread: Vec<ThreadMetrics> = Vec::new();
+    let mut blocks_skipped = 0u64;
+    let mut evals_skipped = 0u64;
+    let mut snapshots: Option<Vec<EngineSnapshot>> = capture.then(Vec::new);
+    let mut used_width = 0u64;
+    let mut lane_base = 0usize;
+    while lane_base < lanes {
+        let chunk_lanes = (lanes - lane_base).min(max_width);
+        let words = LANE_WIDTHS
+            .iter()
+            .map(|w| w / 64)
+            .find(|w| w * 64 >= chunk_lanes)
+            .expect("chunk_lanes <= 512")
+            .min(max_width / 64);
+        used_width = used_width.max(64 * words as u64);
+        let out = match words {
+            1 => run_chunk::<1>(&ctx, lane_base, chunk_lanes),
+            2 => run_chunk::<2>(&ctx, lane_base, chunk_lanes),
+            4 => run_chunk::<4>(&ctx, lane_base, chunk_lanes),
+            8 => run_chunk::<8>(&ctx, lane_base, chunk_lanes),
+            _ => unreachable!("lane widths are 64/128/256/512"),
+        }?;
+        for (lane, t, n, v) in out.changes {
+            lane_changes[lane as usize].push((t, n, v));
+        }
+        per_thread.extend(out.per_thread);
+        blocks_skipped += out.blocks_skipped;
+        evals_skipped += out.evals_skipped;
+        if let (Some(all), Some(chunk)) = (snapshots.as_mut(), out.snapshots) {
+            all.extend(chunk);
+        }
+        lane_base += chunk_lanes;
+    }
+
+    let events_processed: u64 = per_thread.iter().map(|tm| tm.events).sum();
+    let evaluations: u64 = per_thread.iter().map(|tm| tm.evaluations).sum();
+    let metrics = Metrics {
+        events_processed,
+        evaluations,
+        activations: evaluations,
+        time_steps: cut + 1 - first_step,
+        events_per_step: Default::default(),
+        per_thread,
+        gc_chunks_freed: 0,
+        blocks_skipped,
+        evals_skipped,
+        pool_misses: 0,
+        checkpoint: Default::default(),
+        lane_width: used_width,
+        locality: Default::default(),
+        wall: start.elapsed(),
+    };
+
+    let lanes_out = lane_changes
+        .into_iter()
+        .map(|c| {
+            SimResult::from_changes(netlist, config.end_time, &config.watch, c, metrics.clone())
+        })
+        .collect();
+    Ok((
+        BatchResult {
+            lanes: lanes_out,
+            metrics,
+        },
+        snapshots,
+    ))
+}
+
+/// Runs lanes `lane_base .. lane_base + chunk_lanes` (local lanes
+/// `0..chunk_lanes` of a `64·W`-wide word group) through the full
+/// segment step loop.
+fn run_chunk<const W: usize>(
+    ctx: &BatchCtx<'_>,
+    lane_base: usize,
+    chunk_lanes: usize,
+) -> Result<ChunkOut, SimError> {
+    let BatchCtx {
+        netlist,
+        config,
+        prog,
+        plan,
+        neighbors,
+        watched,
+        state_offset,
+        max_out_bits,
+        resume,
+        first_step,
+        cut,
+        end,
+        capture,
+        ..
+    } = *ctx;
+    let threads = config.threads;
+    let gating = config.activity_gating;
+    let lane_mask: LaneMask<W> = wide::mask_first::<W>(chunk_lanes);
+    let lane_mask = &lane_mask;
+
+    // ---- this chunk's masked generator writes ---------------------------
+    let mut sched: BTreeMap<u64, BTreeMap<u32, (LaneMask<W>, Vec<WideLanes<W>>)>> =
+        BTreeMap::new();
+    let mut add = |t: u64, slot: u32, mask: &LaneMask<W>, v: &Value| {
+        if !wide::mask_any(mask) {
+            return;
+        }
+        let w = prog.slot_width(slot) as usize;
+        let entry = sched
+            .entry(t)
+            .or_default()
+            .entry(slot)
+            .or_insert_with(|| (wide::mask_none::<W>(), vec![WideLanes::ZERO; w]));
+        wide::mask_or_assign(&mut entry.0, mask);
+        let (a, b) = v.to_planes();
+        for (i, word) in entry.1.iter_mut().enumerate() {
+            let sa = (a >> i) & 1 == 1;
+            let sb = (b >> i) & 1 == 1;
+            for ((wa, wb), &m) in word.a.iter_mut().zip(word.b.iter_mut()).zip(mask.iter()) {
+                *wa = (*wa & !m) | if sa { m } else { 0 };
+                *wb = (*wb & !m) | if sb { m } else { 0 };
+            }
+        }
+    };
+    for (slot, events) in ctx.base_events {
+        // Unused lanes (>= `chunk_lanes`) follow the base schedule too,
+        // keeping every lane's values well-defined.
+        let mut base_mask = wide::mask_all::<W>();
+        if let Some(bits) = ctx.overridden.get(slot) {
+            let w0 = lane_base / 64;
+            for (i, word) in base_mask.iter_mut().enumerate() {
+                *word = !bits.get(w0 + i).copied().unwrap_or(0);
+            }
+        }
+        if !wide::mask_any(&base_mask) {
+            continue;
+        }
+        for (t, v) in events {
+            add(*t, *slot, &base_mask, v);
+        }
+    }
+    for (lane, slot, events) in ctx.override_events {
+        if *lane < lane_base || *lane >= lane_base + chunk_lanes {
+            continue;
+        }
+        let mask = wide::mask_lane::<W>((*lane - lane_base) as u32);
+        for (t, v) in events {
+            add(*t, *slot, &mask, v);
+        }
+    }
+    for &(lane, t, slot, v) in ctx.injections {
+        if lane < lane_base || lane >= lane_base + chunk_lanes {
+            continue;
+        }
+        let mask = wide::mask_lane::<W>((lane - lane_base) as u32);
+        add(t, slot, &mask, &v);
+    }
+    let gen_writes: BTreeMap<u64, Vec<GenWrite<W>>> = sched
+        .into_iter()
+        .map(|(t, slots)| {
+            (
+                t,
+                slots
+                    .into_iter()
+                    .map(|(slot, (mask, data))| GenWrite { slot, mask, data })
+                    .collect(),
+            )
+        })
+        .collect();
+    let gen_writes = &gen_writes;
+
+    // ---- execution state -------------------------------------------------
+    // Packed slot values: a flat bit-plane arena, `slot_offset(s)..+width`
+    // per slot. Written single-writer during apply phases.
+    let values: SharedSlice<WideLanes<W>> =
+        SharedSlice::from_fn(prog.total_bits().max(1), |_| WideLanes::X);
+    let values = &values;
+
+    // Native sequential state (q planes, plus last_clk for edge ops) lives
+    // in its own arena, touched only by the owning thread.
+    let state_len = state_offset[prog.num_insns()] as usize;
+    let nat_state: SharedSlice<WideLanes<W>> =
+        SharedSlice::from_fn(state_len.max(1), |_| WideLanes::X);
     let nat_state = &nat_state;
     // Per-lane scalar states for fallback instructions (empty for native).
     let fb_state: SharedSlice<Vec<ElemState>> = SharedSlice::from_fn(prog.num_insns(), |i| {
@@ -240,32 +605,81 @@ pub(crate) fn run_batch(
             Vec::new()
         } else {
             let kind = netlist.elements()[prog.elem(i)].kind();
-            (0..64).map(|_| ElemState::init(kind)).collect()
+            (0..chunk_lanes)
+                .map(|local| match resume {
+                    Some(snaps) => snaps[lane_base + local].elem_states[prog.elem(i)].clone(),
+                    None => ElemState::init(kind),
+                })
+                .collect()
         }
     });
     let fb_state = &fb_state;
 
+    if let Some(snaps) = resume {
+        // Scatter each lane's snapshot into the wide arenas. SAFETY (all
+        // `slice_mut` calls here): no worker threads exist yet.
+        for s in 0..prog.num_slots() as u32 {
+            let w = prog.slot_width(s) as usize;
+            let off = prog.slot_offset(s);
+            let dst = unsafe { values.slice_mut(off..off + w) };
+            let node = prog.node_of(s).index();
+            for local in 0..chunk_lanes {
+                wide::scatter(dst, local as u32, &snaps[lane_base + local].values[node]);
+            }
+        }
+        for (i, &off) in state_offset.iter().enumerate().take(prog.num_insns()) {
+            let w = prog.width(i) as usize;
+            let off = off as usize;
+            match prog.opcode(i) {
+                Opcode::Dff | Opcode::DffR => {
+                    let st = unsafe { nat_state.slice_mut(off..off + w + 1) };
+                    let (q, rest) = st.split_at_mut(w);
+                    for local in 0..chunk_lanes {
+                        let state = &snaps[lane_base + local].elem_states[prog.elem(i)];
+                        if let ElemState::Edge { q: qv, last_clk } = state {
+                            wide::scatter(q, local as u32, qv);
+                            wide::scatter(&mut rest[..1], local as u32, last_clk);
+                        }
+                    }
+                }
+                Opcode::Latch => {
+                    let q = unsafe { nat_state.slice_mut(off..off + w) };
+                    for local in 0..chunk_lanes {
+                        let state = &snaps[lane_base + local].elem_states[prog.elem(i)];
+                        if let ElemState::Stored(v) = state {
+                            wide::scatter(q, local as u32, v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Resume restarts with an all-dirty mask (same rationale as scalar:
+    // re-evaluating a clean block is idempotent).
     let dirty = DirtyMask::all_dirty(plan.blocks.len());
     let dirty = &dirty;
 
     let barrier = Arc::new(SpinBarrier::new(threads));
+    let handoff = Arc::new(StepHandoff::new(threads));
     let containment = Containment::new(threads);
     let watchdog = {
         let b = Arc::clone(&barrier);
-        Watchdog::spawn(
-            &containment,
-            config.deadline,
-            config.stall_timeout,
-            move || b.poison(),
-        )
+        let h = Arc::clone(&handoff);
+        Watchdog::spawn(&containment, config.deadline, config.stall_timeout, move || {
+            b.poison();
+            h.poison();
+        })
     };
     let barrier = &barrier;
+    let handoff = &handoff;
     let stop = AtomicBool::new(false);
     let stop = &stop;
     let cur_step = AtomicU64::new(0);
     let cur_step = &cur_step;
 
-    let mut outputs: Vec<Option<WorkerOutput>> = Vec::with_capacity(threads);
+    let mut outputs: Vec<Option<ChunkWorkerOutput<W>>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|p| {
@@ -281,16 +695,31 @@ pub(crate) fn run_batch(
                         // (widths are implied by the slots), reused across
                         // steps so the hot loop never allocates.
                         let mut pend_slots: Vec<u32> = Vec::new();
-                        let mut pend_data: Vec<Lanes> = Vec::new();
-                        let mut scratch: Vec<Lanes> = vec![Lanes::X; max_out_bits];
+                        let mut pend_data: Vec<WideLanes<W>> = Vec::new();
+                        let mut scratch: Vec<WideLanes<W>> = vec![WideLanes::X; max_out_bits];
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
                         let mut processed = 0u64;
-                        'run: for t in 0..=end {
+                        'run: for t in first_step..=cut {
                             cont.beat(p);
                             if p == 0 {
                                 cur_step.store(t, Ordering::Relaxed);
                                 if cont.cancelled() {
                                     stop.store(true, Ordering::Release);
+                                }
+                            }
+                            // Neighbor mode: before overwriting our slots,
+                            // wait until every consumer has retired its
+                            // reads of them (its eval of step t-1).
+                            if let Some(nb) = neighbors {
+                                if t > first_step {
+                                    let wait_start = Instant::now();
+                                    for &c in &nb.consumers[p] {
+                                        if !handoff.wait_eval(c as usize, t - 1) {
+                                            tm.idle += wait_start.elapsed();
+                                            break 'run;
+                                        }
+                                    }
+                                    tm.idle += wait_start.elapsed();
                                 }
                             }
                             let busy_start = Instant::now();
@@ -302,21 +731,25 @@ pub(crate) fn run_batch(
                                 cursor += w;
                                 let off = prog.slot_offset(slot);
                                 // SAFETY: single writer per slot (driver
-                                // thread), phases separated by barriers.
+                                // thread); phases separated by the barrier
+                                // or by the producer/consumer handoff.
                                 let cur = unsafe { values.slice_mut(off..off + w) };
-                                let diff = changed_mask(cur, new);
-                                tm.events += u64::from((diff & lane_mask).count_ones());
+                                let diff =
+                                    wide::mask_and(&wide::changed_mask(cur, new), lane_mask);
+                                tm.events += u64::from(wide::mask_count(&diff));
                                 if watched[slot as usize] {
                                     let node = prog.node_of(slot);
-                                    let mut m = diff & lane_mask;
-                                    while m != 0 {
-                                        let lane = m.trailing_zeros();
-                                        m &= m - 1;
-                                        changes.push((lane, Time(t), node, gather(new, lane)));
-                                    }
+                                    wide::for_each_lane(&diff, |lane| {
+                                        changes.push((
+                                            (lane_base as u32) + lane,
+                                            Time(t),
+                                            node,
+                                            wide::gather(new, lane),
+                                        ));
+                                    });
                                 }
                                 cur.copy_from_slice(new);
-                                if gating && diff != 0 {
+                                if gating && wide::mask_any(&diff) {
                                     for &b in plan.fanout(slot) {
                                         dirty.mark(b);
                                     }
@@ -332,29 +765,26 @@ pub(crate) fn run_batch(
                                         // SAFETY: generator slots are only
                                         // written here, by thread 0.
                                         let cur = unsafe { values.slice_mut(off..off + w) };
-                                        let mut diff = 0u64;
+                                        let mut diff = wide::mask_none::<W>();
                                         for (c, d) in cur.iter_mut().zip(&gw.data) {
-                                            let eff = Lanes::select(gw.mask, *d, *c);
-                                            diff |= c.diff(eff);
+                                            let eff = WideLanes::select(&gw.mask, *d, *c);
+                                            wide::mask_or_assign(&mut diff, &c.diff(eff));
                                             *c = eff;
                                         }
-                                        tm.events +=
-                                            u64::from((diff & lane_mask).count_ones());
+                                        let diff = wide::mask_and(&diff, lane_mask);
+                                        tm.events += u64::from(wide::mask_count(&diff));
                                         if watched[gw.slot as usize] {
                                             let node = prog.node_of(gw.slot);
-                                            let mut m = diff & lane_mask;
-                                            while m != 0 {
-                                                let lane = m.trailing_zeros();
-                                                m &= m - 1;
+                                            wide::for_each_lane(&diff, |lane| {
                                                 changes.push((
-                                                    lane,
+                                                    (lane_base as u32) + lane,
                                                     Time(t),
                                                     node,
-                                                    gather(cur, lane),
+                                                    wide::gather(cur, lane),
                                                 ));
-                                            }
+                                            });
                                         }
-                                        if gating && diff != 0 {
+                                        if gating && wide::mask_any(&diff) {
                                             for &b in plan.fanout(gw.slot) {
                                                 dirty.mark(b);
                                             }
@@ -363,11 +793,40 @@ pub(crate) fn run_batch(
                                 }
                             }
                             tm.busy += busy_start.elapsed();
-                            let wait_start = Instant::now();
-                            barrier.wait();
-                            tm.idle += wait_start.elapsed();
-                            if barrier.is_poisoned() || stop.load(Ordering::Acquire) {
-                                break 'run;
+                            match neighbors {
+                                None => {
+                                    let wait_start = Instant::now();
+                                    barrier.wait();
+                                    tm.idle += wait_start.elapsed();
+                                    // All threads observe the same `stop`
+                                    // here (set before the barrier), so
+                                    // they break at the same step.
+                                    if barrier.is_poisoned()
+                                        || stop.load(Ordering::Acquire)
+                                    {
+                                        break 'run;
+                                    }
+                                }
+                                Some(nb) => {
+                                    handoff.publish_apply(p, t);
+                                    let wait_start = Instant::now();
+                                    for &pr in &nb.producers[p] {
+                                        if !handoff.wait_apply(pr as usize, t) {
+                                            tm.idle += wait_start.elapsed();
+                                            break 'run;
+                                        }
+                                    }
+                                    tm.idle += wait_start.elapsed();
+                                    // Cancellation: whoever observes the
+                                    // flag poisons the handoff so workers
+                                    // it has no edge to stop waiting too.
+                                    if stop.load(Ordering::Acquire)
+                                        || handoff.is_poisoned()
+                                    {
+                                        handoff.poison();
+                                        break 'run;
+                                    }
+                                }
                             }
 
                             // ---- evaluate phase -------------------------
@@ -384,6 +843,12 @@ pub(crate) fn run_batch(
                                         if let FaultAction::Exit =
                                             fault.check(p, processed, cont.cancel_flag())
                                         {
+                                            // Only reached after
+                                            // cancellation, which always
+                                            // poisons the barrier; poison
+                                            // the handoff too so neighbor
+                                            // waiters are released.
+                                            handoff.poison();
                                             break 'run;
                                         }
                                         processed += 1;
@@ -397,12 +862,16 @@ pub(crate) fn run_batch(
                                             state_offset,
                                             fb_state,
                                             i,
+                                            chunk_lanes,
                                             &mut scratch,
                                             &mut inputs_buf,
                                         );
                                         tm.evaluations += 1;
                                         // Compare against current values and
-                                        // queue changed ports.
+                                        // queue changed ports. The compare is
+                                        // masked: tail lanes of a fallback
+                                        // instruction hold stale scratch and
+                                        // must not keep blocks dirty.
                                         let mut s_off = 0usize;
                                         for &slot in prog.outputs(i) {
                                             let w = prog.slot_width(slot) as usize;
@@ -413,7 +882,11 @@ pub(crate) fn run_batch(
                                             // thread exclusively writes.
                                             let cur =
                                                 unsafe { values.slice(off..off + w) };
-                                            if changed_mask(cur, new) != 0 {
+                                            let diff = wide::mask_and(
+                                                &wide::changed_mask(cur, new),
+                                                lane_mask,
+                                            );
+                                            if wide::mask_any(&diff) {
                                                 pend_slots.push(slot);
                                                 pend_data.extend_from_slice(new);
                                             }
@@ -422,20 +895,26 @@ pub(crate) fn run_batch(
                                 }
                             }
                             tm.busy += busy_start.elapsed();
-                            let wait_start = Instant::now();
-                            barrier.wait();
-                            tm.idle += wait_start.elapsed();
-                            if barrier.is_poisoned() {
-                                break 'run;
+                            match neighbors {
+                                None => {
+                                    let wait_start = Instant::now();
+                                    barrier.wait();
+                                    tm.idle += wait_start.elapsed();
+                                    if barrier.is_poisoned() {
+                                        break 'run;
+                                    }
+                                }
+                                Some(_) => handoff.publish_eval(p, t),
                             }
                         }
-                        (changes, tm, blocks_skipped, evals_skipped)
+                        (changes, tm, blocks_skipped, evals_skipped, pend_slots, pend_data)
                     }));
                     match body {
                         Ok(out) => Some(out),
                         Err(payload) => {
                             cont.record_panic(p, payload);
                             barrier.poison();
+                            handoff.poison();
                             None
                         }
                     }
@@ -477,71 +956,134 @@ pub(crate) fn run_batch(
         });
     }
 
-    let outputs: Vec<WorkerOutput> = outputs.into_iter().flatten().collect();
+    let outputs: Vec<ChunkWorkerOutput<W>> = outputs.into_iter().flatten().collect();
     let mut per_thread = Vec::with_capacity(threads);
-    let mut events_processed = 0;
-    let mut evaluations = 0;
     let mut blocks_skipped = 0;
     let mut evals_skipped = 0;
-    let mut all_changes: Vec<(u32, Time, NodeId, Value)> = Vec::new();
-    for (c, tm, bs, es) in outputs {
-        events_processed += tm.events;
-        evaluations += tm.evaluations;
+    let mut changes: Vec<(u32, Time, NodeId, Value)> = Vec::new();
+    let mut leftover: Vec<(u32, Vec<WideLanes<W>>)> = Vec::new();
+    for (c, tm, bs, es, pend_slots, pend_data) in outputs {
         blocks_skipped += bs;
         evals_skipped += es;
-        all_changes.extend(c);
+        changes.extend(c);
         per_thread.push(tm);
+        let mut cursor = 0usize;
+        for slot in pend_slots {
+            let w = prog.slot_width(slot) as usize;
+            leftover.push((slot, pend_data[cursor..cursor + w].to_vec()));
+            cursor += w;
+        }
     }
-    let metrics = Metrics {
-        events_processed,
-        evaluations,
-        activations: evaluations,
-        time_steps: end + 1,
-        events_per_step: Default::default(),
+
+    let snapshots = capture.then(|| {
+        let num_nodes = netlist.num_nodes();
+        (0..chunk_lanes)
+            .map(|local| {
+                let lane = local as u32;
+                // SAFETY (all raw reads below): workers are joined;
+                // single-threaded access with the joins as the edge.
+                let node_values: Vec<Value> = (0..num_nodes)
+                    .map(|n| {
+                        let s = prog.slot_of(NodeId::from_index(n));
+                        let w = prog.slot_width(s) as usize;
+                        let off = prog.slot_offset(s);
+                        wide::gather(unsafe { values.slice(off..off + w) }, lane)
+                    })
+                    .collect();
+                // Per-lane pending: a queued wide write becomes this
+                // lane's unit-delay event only where the lane actually
+                // changed — exactly when the scalar engine would have
+                // queued it.
+                let mut last_scheduled = node_values.clone();
+                let mut last_sched_time = vec![0u64; num_nodes];
+                let mut pending: Vec<PendingEvent> =
+                    ctx.carry[lane_base + local].clone();
+                for (slot, data) in &leftover {
+                    let v = wide::gather(data, lane);
+                    let node = prog.node_of(*slot).index();
+                    if v != node_values[node] {
+                        last_scheduled[node] = v;
+                        last_sched_time[node] = cut + 1;
+                        pending.push(PendingEvent {
+                            time: cut + 1,
+                            node: node as u32,
+                            value: v,
+                        });
+                    }
+                }
+                pending.sort_by_key(|ev| (ev.time, ev.node));
+                let mut elem_states: Vec<ElemState> = netlist
+                    .elements()
+                    .iter()
+                    .map(|e| ElemState::init(e.kind()))
+                    .collect();
+                for i in 0..prog.num_insns() {
+                    let w = prog.width(i) as usize;
+                    let off = state_offset[i] as usize;
+                    match prog.opcode(i) {
+                        Opcode::Dff | Opcode::DffR => {
+                            let st = unsafe { nat_state.slice(off..off + w + 1) };
+                            elem_states[prog.elem(i)] = ElemState::Edge {
+                                q: wide::gather(&st[..w], lane),
+                                last_clk: wide::gather(&st[w..], lane),
+                            };
+                        }
+                        Opcode::Latch => {
+                            let st = unsafe { nat_state.slice(off..off + w) };
+                            elem_states[prog.elem(i)] = ElemState::Stored(wide::gather(st, lane));
+                        }
+                        _ => {
+                            let states = unsafe { fb_state.get_mut(i) };
+                            if let Some(s) = states.get(local) {
+                                elem_states[prog.elem(i)] = s.clone();
+                            }
+                        }
+                    }
+                }
+                EngineSnapshot {
+                    end_time: end,
+                    time: cut,
+                    step: 0,
+                    seeds: [0, 0],
+                    values: node_values,
+                    last_scheduled,
+                    last_sched_time,
+                    elem_states,
+                    pending,
+                    changes: Vec::new(),
+                }
+            })
+            .collect()
+    });
+
+    Ok(ChunkOut {
+        changes,
         per_thread,
-        gc_chunks_freed: 0,
         blocks_skipped,
         evals_skipped,
-        pool_misses: 0,
-        checkpoint: Default::default(),
-        locality: Default::default(),
-        wall: start.elapsed(),
-    };
-
-    // Per-lane waveform extraction.
-    let mut lane_changes: Vec<Vec<(Time, NodeId, Value)>> = vec![Vec::new(); lanes];
-    for (lane, t, n, v) in all_changes {
-        lane_changes[lane as usize].push((t, n, v));
-    }
-    let lanes_out = lane_changes
-        .into_iter()
-        .map(|c| {
-            SimResult::from_changes(netlist, config.end_time, &config.watch, c, metrics.clone())
-        })
-        .collect();
-    Ok(BatchResult {
-        lanes: lanes_out,
-        metrics,
+        snapshots,
     })
 }
 
 /// Evaluates instruction `i` into `scratch` (output ports concatenated).
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn eval_insn(
+fn eval_insn<const W: usize>(
     netlist: &Netlist,
     prog: &CompiledProgram,
-    values: &SharedSlice<Lanes>,
-    nat_state: &SharedSlice<Lanes>,
+    values: &SharedSlice<WideLanes<W>>,
+    nat_state: &SharedSlice<WideLanes<W>>,
     state_offset: &[u32],
     fb_state: &SharedSlice<Vec<ElemState>>,
     i: usize,
-    scratch: &mut [Lanes],
+    chunk_lanes: usize,
+    scratch: &mut [WideLanes<W>],
     inputs_buf: &mut Vec<Value>,
 ) {
     let ins = prog.inputs(i);
     // SAFETY (all `values.slice` calls below): evaluate phase is read-only
-    // for slot values; barriers order it after the last apply-phase write.
+    // for slot values; the barrier (or producer handoff) orders it after
+    // the last apply-phase write.
     let input = |k: usize| {
         let off = prog.slot_offset(ins[k]);
         let w = prog.slot_width(ins[k]) as usize;
@@ -552,28 +1094,28 @@ fn eval_insn(
     match op {
         Opcode::And | Opcode::Or | Opcode::Nand | Opcode::Nor | Opcode::Xor | Opcode::Xnor => {
             let out = &mut scratch[..w];
-            load_logic(out, input(0));
+            wide::load_logic(out, input(0));
             for k in 1..ins.len() {
                 match op {
-                    Opcode::And | Opcode::Nand => fold_and(out, input(k)),
-                    Opcode::Or | Opcode::Nor => fold_or(out, input(k)),
-                    _ => fold_xor(out, input(k)),
+                    Opcode::And | Opcode::Nand => wide::fold_and(out, input(k)),
+                    Opcode::Or | Opcode::Nor => wide::fold_or(out, input(k)),
+                    _ => wide::fold_xor(out, input(k)),
                 }
             }
             if matches!(op, Opcode::Nand | Opcode::Nor | Opcode::Xnor) {
-                not_inplace(out);
+                wide::not_inplace(out);
             }
         }
         Opcode::Not => {
             let out = &mut scratch[..w];
-            load_logic(out, input(0));
-            not_inplace(out);
+            wide::load_logic(out, input(0));
+            wide::not_inplace(out);
         }
-        Opcode::Buf => load_logic(&mut scratch[..w], input(0)),
+        Opcode::Buf => wide::load_logic(&mut scratch[..w], input(0)),
         Opcode::Mux => {
             let sel = input(0)[0];
             // The borrow of `scratch` and the two value slices are disjoint.
-            mux(&mut scratch[..w], sel, input(1), input(2));
+            wide::mux(&mut scratch[..w], sel, input(1), input(2));
         }
         Opcode::Dff | Opcode::DffR => {
             let off = state_offset[i] as usize;
@@ -583,9 +1125,9 @@ fn eval_insn(
             let last_clk = &mut rest[0];
             let clk = input(0)[0];
             if op == Opcode::Dff {
-                dff(q, last_clk, clk, input(1));
+                wide::dff(q, last_clk, clk, input(1));
             } else {
-                dffr(q, last_clk, clk, input(1), input(2)[0]);
+                wide::dffr(q, last_clk, clk, input(1), input(2)[0]);
             }
             scratch[..w].copy_from_slice(q);
         }
@@ -593,39 +1135,29 @@ fn eval_insn(
             let off = state_offset[i] as usize;
             // SAFETY: native state is touched only by the owning thread.
             let q = unsafe { nat_state.slice_mut(off..off + w) };
-            latch(q, input(0)[0], input(1));
+            wide::latch(q, input(0)[0], input(1));
             scratch[..w].copy_from_slice(q);
         }
-        Opcode::TriBuf => tribuf(&mut scratch[..w], input(0)[0], input(1)),
+        Opcode::TriBuf => wide::tribuf(&mut scratch[..w], input(0)[0], input(1)),
         _ => {
-            // Scalar fallback: evaluate each lane with the shared kernel.
+            // Scalar fallback: evaluate each live lane with the shared
+            // kernel. Tail lanes (>= chunk_lanes) are left stale in
+            // scratch; the caller masks them out of the change compare.
             let kind = netlist.elements()[prog.elem(i)].kind();
             // SAFETY: fallback state is touched only by the owning thread.
             let states = unsafe { fb_state.get_mut(i) };
-            let out_bits: usize = prog
-                .outputs(i)
-                .iter()
-                .map(|&s| prog.slot_width(s) as usize)
-                .sum();
-            for lane in 0..64u32 {
+            for lane in 0..chunk_lanes as u32 {
                 inputs_buf.clear();
                 for k in 0..ins.len() {
-                    inputs_buf.push(gather(input(k), lane));
+                    inputs_buf.push(wide::gather(input(k), lane));
                 }
                 let out = evaluate(kind, inputs_buf, &mut states[lane as usize]);
                 let mut s_off = 0usize;
                 for (port, v) in out.iter() {
                     let pw = prog.slot_width(prog.outputs(i)[port]) as usize;
-                    packed::scatter(&mut scratch[s_off..s_off + pw], lane, &v);
+                    wide::scatter(&mut scratch[s_off..s_off + pw], lane, &v);
                     s_off += pw;
                 }
-                debug_assert_eq!(
-                    out_bits,
-                    prog.outputs(i)
-                        .iter()
-                        .map(|&s| prog.slot_width(s) as usize)
-                        .sum::<usize>()
-                );
             }
         }
     }

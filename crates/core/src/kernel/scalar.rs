@@ -387,6 +387,7 @@ pub(crate) fn run_segment(
         evals_skipped,
         pool_misses: 0,
         checkpoint: Default::default(),
+        lane_width: 0,
         locality: Default::default(),
         wall: start.elapsed(),
     };

@@ -312,6 +312,11 @@ pub struct Metrics {
     /// Checkpoint write/restore counters (all zero unless the run was
     /// driven through the [`checkpoint`](crate::checkpoint) module).
     pub checkpoint: CheckpointCounters,
+    /// SIMD lane width (stimulus lanes per word group) used by the
+    /// compiled batch kernel: 64, 128, 256, or 512. Zero for every other
+    /// engine, so benchmark JSON built from these metrics is
+    /// self-describing about the vector width that produced it.
+    pub lane_width: u64,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
 }
@@ -352,9 +357,10 @@ impl Metrics {
     /// All counters and histograms are additive and `per_thread` entries
     /// are concatenated, so merging any partition of a run's per-worker
     /// metrics — in any grouping or order — reproduces the aggregate the
-    /// engine would have built directly. `wall` is the one non-additive
-    /// field: workers run concurrently, so the merged wall clock is the
-    /// maximum, not the sum.
+    /// engine would have built directly. `wall` and `lane_width` are the
+    /// non-additive fields: workers run concurrently, so the merged wall
+    /// clock is the maximum, and the lane width of a run is the widest
+    /// width any chunk of it used (also a maximum).
     pub fn merge(&mut self, other: &Metrics) {
         self.events_processed += other.events_processed;
         self.evaluations += other.evaluations;
@@ -368,6 +374,7 @@ impl Metrics {
         self.locality.merge(&other.locality);
         self.pool_misses += other.pool_misses;
         self.checkpoint.merge(&other.checkpoint);
+        self.lane_width = self.lane_width.max(other.lane_width);
         self.wall = self.wall.max(other.wall);
     }
 
@@ -430,6 +437,9 @@ impl fmt::Display for Metrics {
             self.utilization() * 100.0,
             self.wall
         )?;
+        if self.lane_width > 0 {
+            write!(f, ", {}-bit lanes", self.lane_width)?;
+        }
         if !self.checkpoint.is_empty() {
             write!(
                 f,
@@ -527,6 +537,7 @@ mod tests {
             pool_misses: 6,
             locality: LocalityMetrics { local_hits: 3, ..Default::default() },
             per_thread: vec![ThreadMetrics::default()],
+            lane_width: 64,
             wall: Duration::from_millis(10),
             ..Default::default()
         };
@@ -539,6 +550,7 @@ mod tests {
             pool_misses: 1,
             locality: LocalityMetrics { grid_sends: 9, ..Default::default() },
             per_thread: vec![ThreadMetrics::default(), ThreadMetrics::default()],
+            lane_width: 256,
             wall: Duration::from_millis(4),
             ..Default::default()
         };
@@ -555,6 +567,7 @@ mod tests {
         assert_eq!(a.events_per_step.steps(), 2);
         assert_eq!(a.events_per_step.max(), 700);
         assert_eq!(a.wall, Duration::from_millis(10), "wall is max, not sum");
+        assert_eq!(a.lane_width, 256, "lane width is max, not sum");
     }
 
     #[test]

@@ -354,6 +354,7 @@ impl EventDriven {
             locality: Default::default(),
             pool_misses: 0,
             checkpoint: Default::default(),
+            lane_width: 0,
             wall: start.elapsed(),
         };
         let snapshot = seg.capture.then(|| {

@@ -640,6 +640,7 @@ impl SyncEventDriven {
             locality: Default::default(),
             pool_misses,
             checkpoint: Default::default(),
+            lane_width: 0,
             wall: start.elapsed(),
         };
         let snapshot = capture.then(|| {

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use parsim_core::{
-    equivalence_report, CompiledMode, EventDriven, LaneStimulus, SimConfig,
+    equivalence_report, BatchSync, CompiledMode, EventDriven, LaneStimulus, SimConfig,
 };
 use parsim_logic::{Delay, ElementKind, Time, Value};
 use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
@@ -152,8 +152,22 @@ fn check_lanes(
     threads: usize,
     end: Time,
 ) -> Result<(), TestCaseError> {
+    check_lanes_cfg(seed, num_inputs, num_gates, per_lane, threads, end, |c| c)
+}
+
+/// [`check_lanes`] with a config hook (lane width, sync mode, …).
+#[allow(clippy::too_many_arguments)]
+fn check_lanes_cfg(
+    seed: u64,
+    num_inputs: usize,
+    num_gates: usize,
+    per_lane: &[Schedules],
+    threads: usize,
+    end: Time,
+    tweak: impl Fn(SimConfig) -> SimConfig,
+) -> Result<(), TestCaseError> {
     let (netlist, watch, inputs) = gate_circuit(seed, num_inputs, num_gates, None);
-    let cfg = SimConfig::new(end).watch_all(watch.clone()).threads(threads);
+    let cfg = tweak(SimConfig::new(end).watch_all(watch.clone()).threads(threads));
     let stimuli: Vec<LaneStimulus> = per_lane
         .iter()
         .map(|schedules| LaneStimulus {
@@ -209,6 +223,53 @@ fn full_64_lane_batch_matches_oracle() {
     let mut rng = SmallRng::seed_from_u64(seed);
     let per_lane = lane_schedules(&mut rng, 64, 3, 60);
     check_lanes(seed, 3, 40, &per_lane, 2, Time(60)).unwrap();
+}
+
+/// Ragged lane counts around every word and word-group boundary: a tail
+/// chunk narrower than the word group leaves dead lanes whose garbage
+/// must be masked out of events, waveforms, and gating decisions.
+#[test]
+fn ragged_lane_tails_match_oracle() {
+    let seed = 0x7a11_5eed;
+    for &lanes in &[1usize, 63, 65, 127, 513] {
+        let mut rng = SmallRng::seed_from_u64(seed + lanes as u64);
+        let per_lane = lane_schedules(&mut rng, lanes, 2, 40);
+        check_lanes_cfg(seed, 2, 12, &per_lane, 2, Time(40), |c| {
+            // Force 512-bit groups so 1/63/65/127 all exercise partially
+            // dead words (and 513 a one-lane tail chunk). On hosts
+            // without AVX-512 the same shapes run on the portable path.
+            c.with_lane_width(512)
+        })
+        .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The full execution matrix: every lane width (64 = portable scalar
+    /// fallback through 512 = widest SIMD tier) crossed with both step
+    /// synchronization modes, on random circuits and lane counts. Widths
+    /// beyond the CPU's SIMD tier run the portable word-group path, so
+    /// the matrix is meaningful on any host.
+    #[test]
+    fn width_by_sync_matrix_matches_oracle(
+        seed in any::<u64>(),
+        width_idx in 0usize..4,
+        barrier in any::<bool>(),
+        lanes in 1usize..=6,
+        threads in 1usize..4,
+    ) {
+        let width = [64usize, 128, 256, 512][width_idx];
+        let sync = if barrier { BatchSync::Barrier } else { BatchSync::Neighbor };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let num_inputs = rng.gen_range(1..4usize);
+        let end = 50u64;
+        let per_lane = lane_schedules(&mut rng, lanes, num_inputs, end);
+        check_lanes_cfg(seed, num_inputs, 20, &per_lane, threads, Time(end), |c| {
+            c.with_lane_width(width).with_batch_sync(sync)
+        })?;
+    }
 }
 
 /// ISCAS c17 under 64 random stimulus lanes, each checked against its own

@@ -37,6 +37,9 @@ fn worker_metrics(seed: u64, index: usize) -> Metrics {
         blocks_skipped: mix(&mut s) % 100,
         evals_skipped: mix(&mut s) % 100,
         pool_misses: mix(&mut s) % 100,
+        // max-merged, like wall: the run's lane width is the widest any
+        // chunk used.
+        lane_width: 64 << (mix(&mut s) % 4),
         locality: LocalityMetrics {
             local_hits: mix(&mut s) % 1_000,
             grid_sends: mix(&mut s) % 1_000,
@@ -89,6 +92,7 @@ fn assert_metrics_eq(a: &Metrics, b: &Metrics) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.blocks_skipped, b.blocks_skipped);
     prop_assert_eq!(a.evals_skipped, b.evals_skipped);
     prop_assert_eq!(a.pool_misses, b.pool_misses);
+    prop_assert_eq!(a.lane_width, b.lane_width);
     prop_assert_eq!(a.wall, b.wall);
     prop_assert_eq!(&a.events_per_step, &b.events_per_step);
     prop_assert_eq!(a.locality, b.locality);

@@ -1,0 +1,290 @@
+//! `bench4` — record the SIMD-wide lane kernel numbers (BENCH_4).
+//!
+//! Sweeps the batch kernel's word-group width (64/128/256/512 bits, i.e.
+//! the portable scalar path up through the CPU's widest SIMD tier) over a
+//! fixed 512-lane batch, and the step-synchronization mode (global
+//! barrier vs per-edge neighbor handoff) at the native width, on the
+//! BENCH_2 circuits. Lane-throughput is `events_per_sec`: per-lane value
+//! changes per wall second. Writes `BENCH_4.json` in the current
+//! directory (override with `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p parsim-harness --bin bench4 [-- --quick] [--out BENCH_4.json]
+//! ```
+//!
+//! `--quick` (or the `PARSIM_BENCH_QUICK` env var) shortens simulated
+//! time and the lane count so CI can smoke-test the harness.
+//!
+//! The acceptance criterion (256-bit groups ≥ 2x the 64-bit scalar leg
+//! on `random_gates`) is CPU-aware: it is only *required* on hosts whose
+//! detected SIMD tier reaches 256 bits — the 256-bit leg otherwise runs
+//! the portable word-group code, which does the same scalar work in a
+//! different loop shape.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parsim_circuits::{inverter_array, random_circuit, RandomCircuitParams};
+use parsim_core::{BatchSync, CompiledMode, LaneStimulus, SimConfig};
+use parsim_logic::wide;
+use parsim_logic::Time;
+use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
+use parsim_netlist::Netlist;
+
+const WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+struct Leg {
+    wall_secs: f64,
+    events: u64,
+    evals: u64,
+    lane_width: u64,
+}
+
+impl Leg {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// Best-of-`reps` wall time for one batch configuration.
+fn measure(netlist: &Netlist, cfg: &SimConfig, lanes: usize, reps: usize) -> Leg {
+    let stimuli: Vec<LaneStimulus> = (0..lanes).map(|_| LaneStimulus::base()).collect();
+    let mut best = Leg {
+        wall_secs: f64::INFINITY,
+        events: 0,
+        evals: 0,
+        lane_width: 0,
+    };
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = CompiledMode::run_batch(netlist, cfg, &stimuli).expect("batch run");
+        let wall = t0.elapsed().as_secs_f64();
+        if wall < best.wall_secs {
+            best = Leg {
+                wall_secs: wall,
+                events: r.metrics.events_processed,
+                evals: r.metrics.evaluations,
+                lane_width: r.metrics.lane_width,
+            };
+        }
+    }
+    best
+}
+
+struct CircuitSweep {
+    name: &'static str,
+    elements: usize,
+    end_time: u64,
+    /// One leg per entry of [`WIDTHS`], forced width, neighbor sync.
+    widths: Vec<Leg>,
+    /// (sync name, leg) at native width.
+    syncs: Vec<(&'static str, Leg)>,
+}
+
+impl CircuitSweep {
+    fn width_leg(&self, width: usize) -> &Leg {
+        &self.widths[WIDTHS.iter().position(|&w| w == width).unwrap()]
+    }
+
+    /// Lane-throughput of `width`-bit groups over the 64-bit scalar leg.
+    fn speedup_over_scalar(&self, width: usize) -> f64 {
+        self.width_leg(width).events_per_sec() / self.width_leg(64).events_per_sec()
+    }
+}
+
+fn sweep(
+    netlist: &Netlist,
+    name: &'static str,
+    end: u64,
+    lanes: usize,
+    threads: usize,
+    reps: usize,
+) -> CircuitSweep {
+    let widths = WIDTHS
+        .iter()
+        .map(|&w| {
+            let cfg = SimConfig::new(Time(end)).with_lane_width(w);
+            measure(netlist, &cfg, lanes, reps)
+        })
+        .collect();
+    let syncs = [BatchSync::Barrier, BatchSync::Neighbor]
+        .into_iter()
+        .map(|sync| {
+            let cfg = SimConfig::new(Time(end))
+                .threads(threads)
+                .with_batch_sync(sync);
+            (sync.name(), measure(netlist, &cfg, lanes, reps))
+        })
+        .collect();
+    CircuitSweep {
+        name,
+        elements: netlist.num_elements(),
+        end_time: end,
+        widths,
+        syncs,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn leg_json(out: &mut String, indent: &str, leg: &Leg) {
+    out.push_str(&format!("{indent}\"lane_width\": {},\n", leg.lane_width));
+    out.push_str(&format!("{indent}\"wall_secs\": {},\n", json_f(leg.wall_secs)));
+    out.push_str(&format!("{indent}\"events\": {},\n", leg.events));
+    out.push_str(&format!("{indent}\"word_group_evals\": {},\n", leg.evals));
+    out.push_str(&format!(
+        "{indent}\"events_per_sec\": {}\n",
+        json_f(leg.events_per_sec())
+    ));
+}
+
+fn render(rows: &[CircuitSweep], quick: bool, lanes: usize, threads: usize) -> String {
+    let native = wide::native_lane_width();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"simd-wide-lane-kernels\",\n");
+    out.push_str("  \"generated_by\": \"parsim-harness bench4\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"lanes\": {lanes},\n"));
+    out.push_str(&format!("  \"sync_threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"cpu\": {{\"simd_tier\": \"{}\", \"native_lane_width\": {native}, \"cores\": {}}},\n",
+        wide::simd_level().name(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"circuits\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", row.name));
+        out.push_str(&format!("      \"elements\": {},\n", row.elements));
+        out.push_str(&format!("      \"end_time\": {},\n", row.end_time));
+        out.push_str("      \"width_ablation\": [\n");
+        for (j, leg) in row.widths.iter().enumerate() {
+            out.push_str("        {\n");
+            leg_json(&mut out, "          ", leg);
+            out.push_str(if j + 1 == row.widths.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"sync_ablation\": [\n");
+        for (j, (sync, leg)) in row.syncs.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"sync\": \"{sync}\",\n"));
+            leg_json(&mut out, "          ", leg);
+            out.push_str(if j + 1 == row.syncs.len() {
+                "        }\n"
+            } else {
+                "        },\n"
+            });
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"speedup_256_vs_64\": {},\n",
+            json_f(row.speedup_over_scalar(256))
+        ));
+        out.push_str(&format!(
+            "      \"speedup_512_vs_64\": {}\n",
+            json_f(row.speedup_over_scalar(512))
+        ));
+        out.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+    let rand = rows
+        .iter()
+        .find(|r| r.name == "random_gates")
+        .expect("random_gates row present");
+    let speedup = rand.speedup_over_scalar(256);
+    let required = native >= 256;
+    out.push_str("  \"acceptance\": {\n");
+    out.push_str(
+        "    \"criterion\": \"random_gates lane-throughput at 256-bit groups >= 2x the \
+         64-bit scalar leg (required only when the CPU's SIMD tier reaches 256 bits)\",\n",
+    );
+    out.push_str(&format!(
+        "    \"random_gates_speedup_256_vs_64\": {},\n",
+        json_f(speedup)
+    ));
+    out.push_str("    \"required_speedup\": 2.0,\n");
+    out.push_str(&format!("    \"required_on_this_cpu\": {required},\n"));
+    out.push_str(&format!(
+        "    \"pass\": {}\n",
+        !required || speedup >= 2.0
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut quick = std::env::var_os("PARSIM_BENCH_QUICK").is_some();
+    let mut out_path = "BENCH_4.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench4 [--quick] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The lane count stays at 512 even in quick mode: fewer lanes would
+    // let the kernel narrow the forced word group (a 96-lane batch runs
+    // 128-wide no matter what), voiding the width ablation.
+    let (scale, lanes, reps) = if quick { (1u64, 512usize, 1usize) } else { (10, 512, 3) };
+    // The sync ablation wants real cross-thread edges when the host has
+    // them; a single-core host still runs it (threads=2 would only
+    // measure scheduler thrash on 1 cpu, so stay at the core count).
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+
+    let c17 = from_bench(C17, &BenchOptions::default()).expect("c17 parses");
+    let arr = inverter_array(16, 8, 2).expect("generator is self-consistent");
+    let rand = random_circuit(&RandomCircuitParams {
+        elements: 300,
+        inputs: 12,
+        seq_fraction: 0.1,
+        max_delay: 3,
+        seed: 42,
+    })
+    .expect("generator is self-consistent");
+
+    let rows = vec![
+        sweep(&c17.netlist, "iscas_c17", 200 * scale, lanes, threads, reps),
+        sweep(&arr.netlist, "inverter_array", 40 * scale, lanes, threads, reps),
+        sweep(&rand.netlist, "random_gates", 50 * scale, lanes, threads, reps),
+    ];
+
+    for row in &rows {
+        print!("{:<16} {:>7} elems ", row.name, row.elements);
+        for (w, leg) in WIDTHS.iter().zip(&row.widths) {
+            print!(" {w}b {:>9.3e}/s", leg.events_per_sec());
+        }
+        println!("  256b/64b {:>5.2}x", row.speedup_over_scalar(256));
+    }
+
+    let json = render(&rows, quick, lanes, threads);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -25,6 +25,14 @@
 //! `--resume` scans DIR, restores the newest valid snapshot (falling
 //! back past torn files), and continues — producing waveforms
 //! bit-identical to an uninterrupted run.
+//!
+//! `--lanes N` (with `--engine compiled`) runs the SIMD batch kernel
+//! with N copies of the base stimulus — a lane-throughput measurement
+//! mode. `--force-lane-width {64,128,256,512}` pins the word-group
+//! width instead of auto-detecting it from the CPU (64 forces the
+//! portable scalar path); it also applies to plain batch runs driven
+//! through the library. The chosen width is reported in the metrics
+//! line and, with `--trace --report`, in the run report.
 
 use std::process::ExitCode;
 
@@ -50,6 +58,8 @@ struct Options {
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
     resume: bool,
+    lanes: usize,
+    force_lane_width: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -67,6 +77,8 @@ fn parse_args() -> Result<Options, String> {
         checkpoint_dir: None,
         checkpoint_every: 0,
         resume: false,
+        lanes: 0,
+        force_lane_width: None,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -97,11 +109,28 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--checkpoint-every must be an integer".to_string())?
             }
             "--resume" => opts.resume = true,
+            "--lanes" => {
+                opts.lanes = value("--lanes")?
+                    .parse()
+                    .map_err(|_| "--lanes must be an integer".to_string())?
+            }
+            "--force-lane-width" => {
+                let w: usize = value("--force-lane-width")?
+                    .parse()
+                    .map_err(|_| "--force-lane-width must be an integer".to_string())?;
+                if ![64, 128, 256, 512].contains(&w) {
+                    return Err(format!(
+                        "--force-lane-width must be one of 64, 128, 256, 512 (got {w})"
+                    ));
+                }
+                opts.force_lane_width = Some(w);
+            }
             "--help" | "-h" => {
                 return Err("usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
                      [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
                      [--trace OUT.json [--report]] \
-                     [--checkpoint-dir DIR --checkpoint-every N [--resume]]"
+                     [--checkpoint-dir DIR --checkpoint-every N [--resume]] \
+                     [--lanes N [--force-lane-width 64|128|256|512]]"
                     .to_string())
             }
             other if !other.starts_with('-') && opts.input.is_empty() => {
@@ -185,6 +214,9 @@ fn run() -> Result<(), String> {
     if opts.trace.is_some() {
         config = config.with_trace(TraceConfig::default());
     }
+    if let Some(w) = opts.force_lane_width {
+        config = config.with_lane_width(w);
+    }
     let kind = match opts.engine.as_str() {
         "seq" => EngineKind::Sequential,
         "sync" => EngineKind::Synchronous,
@@ -192,6 +224,39 @@ fn run() -> Result<(), String> {
         "async" => EngineKind::Chaotic,
         other => return Err(format!("unknown engine `{other}`")),
     };
+    // `--lanes N` runs the SIMD batch kernel with N copies of the base
+    // stimulus — a throughput-measurement mode (lanes see identical
+    // inputs; per-lane stimulus files are the testbench API's job).
+    if opts.lanes > 0 {
+        if opts.engine != "compiled" {
+            return Err("--lanes requires --engine compiled".to_string());
+        }
+        if opts.checkpoint_dir.is_some() || opts.resume || opts.trace.is_some() {
+            return Err("--lanes is incompatible with --checkpoint-dir/--resume/--trace"
+                .to_string());
+        }
+        let stimuli = vec![parsim_core::LaneStimulus::base(); opts.lanes];
+        let batch =
+            CompiledMode::run_batch(&netlist, &config, &stimuli).map_err(|e| e.to_string())?;
+        let mut t = Table::new(
+            &format!(
+                "{} — compiled batch, {} lanes ({}-bit groups), end={}",
+                opts.input, opts.lanes, batch.metrics.lane_width, opts.end
+            ),
+            &["node", "changes", "final value"],
+        );
+        for w in batch.lanes[0].waveforms() {
+            t.row(vec![
+                w.name().to_string(),
+                w.num_changes().to_string(),
+                w.final_value().to_string(),
+            ]);
+        }
+        t.note(&format!("{}", batch.metrics));
+        print!("{t}");
+        return Ok(());
+    }
+
     let result = if let Some(dir) = &opts.checkpoint_dir {
         if opts.checkpoint_every == 0 {
             return Err("--checkpoint-dir requires --checkpoint-every N (ticks)".to_string());
@@ -275,7 +340,8 @@ fn run() -> Result<(), String> {
         );
 
         if opts.report {
-            let mut report = RunReport::from_trace(trace);
+            let mut report =
+                RunReport::from_trace(trace).with_lane_width(result.metrics.lane_width);
             if opts.checkpoint_dir.is_some() {
                 let c = &result.metrics.checkpoint;
                 report = report.with_checkpoint(CheckpointReport {

@@ -29,6 +29,7 @@ mod kind;
 pub mod packed;
 mod time;
 mod value;
+pub mod wide;
 
 pub use eval::{evaluate, expand_generator, ElemState, Outputs};
 pub use kind::{Controlling, ElementKind, PortCountError};

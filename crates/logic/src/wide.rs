@@ -1,0 +1,1212 @@
+//! Width-generic bit-plane lane kernels: `64·W` stimulus lanes per word.
+//!
+//! [`packed`](crate::packed) fixes the lane word at one `u64` per plane
+//! (64 lanes). This module generalizes the same two-plane encoding to
+//! [`WideLanes<W>`]: `W` consecutive `u64` words per plane, giving
+//! 64/128/256/512 lanes for `W` ∈ {1, 2, 4, 8}. Every kernel here is
+//! *bit-identical* per lane to [`evaluate`](crate::evaluate) — the wide
+//! compiled-mode batch engine in `parsim-core` relies on that equivalence
+//! exactly as it does for the 64-lane kernels.
+//!
+//! Lane masks generalize from `u64` to [`LaneMask<W>`] (`[u64; W]`, word
+//! `l / 64`, bit `l % 64` for lane `l`), so a batch whose lane count is
+//! not a multiple of the word width simply masks the ragged tail.
+//!
+//! # SIMD dispatch
+//!
+//! The hot combinational kernels ([`load_logic`], [`fold_and`],
+//! [`fold_or`], [`fold_xor`], [`not_inplace`]) have explicit
+//! `core::arch::x86_64` implementations — SSE2 for `W = 2`, AVX2 for
+//! `W = 4`, AVX-512F for `W = 8` — selected once per process by
+//! [`simd_level`] (`is_x86_feature_detected!`, cached). The portable
+//! `[u64; W]` loops in [`portable`] are always compiled and always
+//! correct; intrinsics are a pure codegen upgrade, never a semantic
+//! fork, and `PARSIM_FORCE_PORTABLE=1` pins the portable path for A/B
+//! testing. Sequential/mux kernels interleave mask words with plane
+//! words and stay portable (LLVM vectorizes the fixed-`W` loops well).
+//!
+//! Encoding per lane (same convention as [`Value`] and
+//! [`Lanes`](crate::packed::Lanes)):
+//!
+//! | state | a | b |
+//! |-------|---|---|
+//! | `0`   | 0 | 0 |
+//! | `1`   | 1 | 0 |
+//! | `Z`   | 0 | 1 |
+//! | `X`   | 1 | 1 |
+
+use std::sync::OnceLock;
+
+use crate::value::Value;
+
+/// Lane widths (in stimulus lanes) supported by the wide kernels.
+pub const LANE_WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// One bit position of a logic vector across `64·W` simulation lanes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideLanes<const W: usize> {
+    /// Plane `a`: set for `1` and `X` lanes. Lane `l` is word `l / 64`,
+    /// bit `l % 64`.
+    pub a: [u64; W],
+    /// Plane `b`: set for `Z` and `X` lanes.
+    pub b: [u64; W],
+}
+
+/// A per-lane bitmask over `64·W` lanes (same word/bit layout as the
+/// planes of [`WideLanes<W>`]).
+pub type LaneMask<const W: usize> = [u64; W];
+
+impl<const W: usize> Default for WideLanes<W> {
+    fn default() -> WideLanes<W> {
+        WideLanes::ZERO
+    }
+}
+
+impl<const W: usize> WideLanes<W> {
+    /// All lanes `X` (the reset state of every node).
+    pub const X: WideLanes<W> = WideLanes {
+        a: [!0; W],
+        b: [!0; W],
+    };
+    /// All lanes `0`.
+    pub const ZERO: WideLanes<W> = WideLanes {
+        a: [0; W],
+        b: [0; W],
+    };
+    /// All lanes `1`.
+    pub const ONE: WideLanes<W> = WideLanes {
+        a: [!0; W],
+        b: [0; W],
+    };
+    /// All lanes `Z`.
+    pub const Z: WideLanes<W> = WideLanes {
+        a: [0; W],
+        b: [!0; W],
+    };
+
+    /// Z lanes become X; mirrors [`Value::to_logic`] per lane.
+    #[inline]
+    pub fn to_logic(self) -> WideLanes<W> {
+        let mut out = self;
+        for w in 0..W {
+            out.a[w] |= self.b[w];
+        }
+        out
+    }
+
+    /// Lanes that are a known `1` (raw view).
+    #[inline]
+    pub fn k1(self) -> LaneMask<W> {
+        let mut m = [0u64; W];
+        for (w, word) in m.iter_mut().enumerate() {
+            *word = self.a[w] & !self.b[w];
+        }
+        m
+    }
+
+    /// Lanes that are a known `0` (raw view).
+    #[inline]
+    pub fn k0(self) -> LaneMask<W> {
+        let mut m = [0u64; W];
+        for (w, word) in m.iter_mut().enumerate() {
+            *word = !self.a[w] & !self.b[w];
+        }
+        m
+    }
+
+    /// Lanes where `self` differs from `other` in either plane.
+    #[inline]
+    pub fn diff(self, other: WideLanes<W>) -> LaneMask<W> {
+        let mut m = [0u64; W];
+        for (w, word) in m.iter_mut().enumerate() {
+            *word = (self.a[w] ^ other.a[w]) | (self.b[w] ^ other.b[w]);
+        }
+        m
+    }
+
+    /// Builds lanes from known-zero and known-one masks; uncovered lanes
+    /// are `X`.
+    #[inline]
+    pub fn from_masks(zeros: LaneMask<W>, ones: LaneMask<W>) -> WideLanes<W> {
+        let mut out = WideLanes::ZERO;
+        for w in 0..W {
+            let unknown = !(zeros[w] | ones[w]);
+            out.a[w] = ones[w] | unknown;
+            out.b[w] = unknown;
+        }
+        out
+    }
+
+    /// Per-lane select: lanes in `mask` read from `t`, the rest from `e`.
+    #[inline]
+    pub fn select(mask: &LaneMask<W>, t: WideLanes<W>, e: WideLanes<W>) -> WideLanes<W> {
+        let mut out = WideLanes::ZERO;
+        for (w, &m) in mask.iter().enumerate() {
+            out.a[w] = (t.a[w] & m) | (e.a[w] & !m);
+            out.b[w] = (t.b[w] & m) | (e.b[w] & !m);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-mask helpers.
+// ---------------------------------------------------------------------------
+
+/// The empty mask.
+#[inline]
+pub fn mask_none<const W: usize>() -> LaneMask<W> {
+    [0; W]
+}
+
+/// The full mask (all `64·W` lanes).
+#[inline]
+pub fn mask_all<const W: usize>() -> LaneMask<W> {
+    [!0; W]
+}
+
+/// The first `n` lanes set (`n ≤ 64·W`); the ragged-tail mask for a
+/// chunk carrying fewer stimulus lanes than the word holds.
+#[inline]
+pub fn mask_first<const W: usize>(n: usize) -> LaneMask<W> {
+    debug_assert!(n <= 64 * W);
+    let mut m = [0u64; W];
+    for (w, word) in m.iter_mut().enumerate() {
+        let lo = w * 64;
+        if n >= lo + 64 {
+            *word = !0;
+        } else if n > lo {
+            *word = (1u64 << (n - lo)) - 1;
+        }
+    }
+    m
+}
+
+/// A mask with only lane `lane` set.
+#[inline]
+pub fn mask_lane<const W: usize>(lane: u32) -> LaneMask<W> {
+    debug_assert!((lane as usize) < 64 * W);
+    let mut m = [0u64; W];
+    m[lane as usize / 64] = 1u64 << (lane % 64);
+    m
+}
+
+/// True when any lane is set.
+#[inline]
+pub fn mask_any<const W: usize>(m: &LaneMask<W>) -> bool {
+    m.iter().any(|&w| w != 0)
+}
+
+/// Number of set lanes.
+#[inline]
+pub fn mask_count<const W: usize>(m: &LaneMask<W>) -> u32 {
+    m.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Word-wise AND of two masks.
+#[inline]
+pub fn mask_and<const W: usize>(x: &LaneMask<W>, y: &LaneMask<W>) -> LaneMask<W> {
+    let mut m = [0u64; W];
+    for w in 0..W {
+        m[w] = x[w] & y[w];
+    }
+    m
+}
+
+/// Word-wise OR of two masks, accumulated in place.
+#[inline]
+pub fn mask_or_assign<const W: usize>(acc: &mut LaneMask<W>, m: &LaneMask<W>) {
+    for w in 0..W {
+        acc[w] |= m[w];
+    }
+}
+
+/// Calls `f(lane)` for every set lane, ascending.
+#[inline]
+pub fn for_each_lane<const W: usize>(m: &LaneMask<W>, mut f: impl FnMut(u32)) {
+    for (w, &word) in m.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let lane = (w * 64) as u32 + bits.trailing_zeros();
+            bits &= bits - 1;
+            f(lane);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter / gather / masked copies.
+// ---------------------------------------------------------------------------
+
+/// Lanes where `old` and `new` differ in any bit of the vector.
+#[inline]
+pub fn changed_mask<const W: usize>(old: &[WideLanes<W>], new: &[WideLanes<W>]) -> LaneMask<W> {
+    debug_assert_eq!(old.len(), new.len());
+    let mut m = [0u64; W];
+    for (o, n) in old.iter().zip(new) {
+        mask_or_assign(&mut m, &o.diff(*n));
+    }
+    m
+}
+
+/// Copies `src` into `dst` only in the lanes of `mask`.
+#[inline]
+pub fn write_masked<const W: usize>(
+    dst: &mut [WideLanes<W>],
+    src: &[WideLanes<W>],
+    mask: &LaneMask<W>,
+) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = WideLanes::select(mask, *s, *d);
+    }
+}
+
+/// Writes the bits of `v` into lane `lane` of `dst` (`dst.len()` must be
+/// `v.width()`).
+#[inline]
+pub fn scatter<const W: usize>(dst: &mut [WideLanes<W>], lane: u32, v: &Value) {
+    debug_assert_eq!(dst.len(), v.width() as usize);
+    debug_assert!((lane as usize) < 64 * W);
+    let (a, b) = v.to_planes();
+    let word = lane as usize / 64;
+    let bit = 1u64 << (lane % 64);
+    for (i, d) in dst.iter_mut().enumerate() {
+        d.a[word] = (d.a[word] & !bit) | (u64::from((a >> i) & 1 == 1) * bit);
+        d.b[word] = (d.b[word] & !bit) | (u64::from((b >> i) & 1 == 1) * bit);
+    }
+}
+
+/// Reads lane `lane` of `src` back as a scalar [`Value`] of width
+/// `src.len()`.
+#[inline]
+pub fn gather<const W: usize>(src: &[WideLanes<W>], lane: u32) -> Value {
+    debug_assert!((lane as usize) < 64 * W);
+    let word = lane as usize / 64;
+    let shift = lane % 64;
+    let mut a = 0u64;
+    let mut b = 0u64;
+    for (i, s) in src.iter().enumerate() {
+        a |= ((s.a[word] >> shift) & 1) << i;
+        b |= ((s.b[word] >> shift) & 1) << i;
+    }
+    Value::from_planes(src.len() as u8, a, b)
+}
+
+/// Replicates `v` into all `64·W` lanes of `dst`.
+#[inline]
+pub fn broadcast<const W: usize>(dst: &mut [WideLanes<W>], v: &Value) {
+    debug_assert_eq!(dst.len(), v.width() as usize);
+    let (a, b) = v.to_planes();
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = WideLanes {
+            a: [if (a >> i) & 1 == 1 { !0 } else { 0 }; W],
+            b: [if (b >> i) & 1 == 1 { !0 } else { 0 }; W],
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable kernels. Always compiled, always the semantic reference; the
+// dispatched entry points below fall back here whenever no intrinsic
+// implementation applies.
+// ---------------------------------------------------------------------------
+
+/// The portable `[u64; W]` implementations of the dispatched kernels.
+///
+/// Exposed so tests (and the `PARSIM_FORCE_PORTABLE` CI leg) can compare
+/// the intrinsic paths against these word-loop references directly.
+pub mod portable {
+    use super::{LaneMask, WideLanes};
+
+    /// `out = src.to_logic()` — the first fold step and the `Buf` kernel.
+    #[inline]
+    pub fn load_logic<const W: usize>(out: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        debug_assert_eq!(out.len(), src.len());
+        for (o, s) in out.iter_mut().zip(src) {
+            *o = s.to_logic();
+        }
+    }
+
+    /// `acc = acc AND src.to_logic()` (acc already a logic view).
+    #[inline]
+    pub fn fold_and<const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        debug_assert_eq!(acc.len(), src.len());
+        for (a, s) in acc.iter_mut().zip(src) {
+            let s = s.to_logic();
+            let zeros = join(a.k0(), s.k0(), |x, y| x | y);
+            let ones = join(a.k1(), s.k1(), |x, y| x & y);
+            *a = WideLanes::from_masks(zeros, ones);
+        }
+    }
+
+    /// `acc = acc OR src.to_logic()` (acc already a logic view).
+    #[inline]
+    pub fn fold_or<const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        debug_assert_eq!(acc.len(), src.len());
+        for (a, s) in acc.iter_mut().zip(src) {
+            let s = s.to_logic();
+            let zeros = join(a.k0(), s.k0(), |x, y| x & y);
+            let ones = join(a.k1(), s.k1(), |x, y| x | y);
+            *a = WideLanes::from_masks(zeros, ones);
+        }
+    }
+
+    /// `acc = acc XOR src.to_logic()` (acc already a logic view).
+    #[inline]
+    pub fn fold_xor<const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        debug_assert_eq!(acc.len(), src.len());
+        for (a, s) in acc.iter_mut().zip(src) {
+            let s = s.to_logic();
+            let mut zeros = [0u64; W];
+            let mut ones = [0u64; W];
+            for w in 0..W {
+                let known = !a.b[w] & !s.b[w];
+                ones[w] = (a.a[w] ^ s.a[w]) & known;
+                zeros[w] = known & !ones[w];
+            }
+            *a = WideLanes::from_masks(zeros, ones);
+        }
+    }
+
+    /// Four-state complement in place; mirrors [`Value::not`] per lane.
+    ///
+    /// [`Value::not`]: crate::Value::not
+    #[inline]
+    pub fn not_inplace<const W: usize>(v: &mut [WideLanes<W>]) {
+        for l in v.iter_mut() {
+            *l = WideLanes::from_masks(l.k1(), l.k0());
+        }
+    }
+
+    #[inline(always)]
+    fn join<const W: usize>(
+        x: LaneMask<W>,
+        y: LaneMask<W>,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> LaneMask<W> {
+        let mut m = [0u64; W];
+        for w in 0..W {
+            m[w] = f(x[w], y[w]);
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD detection.
+// ---------------------------------------------------------------------------
+
+/// The widest intrinsic tier the running CPU supports.
+///
+/// Ordered: every tier implies the ones below it, so dispatch tests use
+/// `>=`. [`SimdLevel::lane_width`] is the natural word width of the tier
+/// — the lane count the batch engine packs per chunk word by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable `u64` words only (also forced by `PARSIM_FORCE_PORTABLE`).
+    Scalar,
+    /// 128-bit `core::arch` path (`W = 2`).
+    Sse2,
+    /// 256-bit `core::arch` path (`W = 4`).
+    Avx2,
+    /// 512-bit `core::arch` path (`W = 8`).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// The stimulus-lane count of this tier's natural word.
+    pub fn lane_width(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 64,
+            SimdLevel::Sse2 => 128,
+            SimdLevel::Avx2 => 256,
+            SimdLevel::Avx512 => 512,
+        }
+    }
+
+    /// Short human/JSON-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "u64",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Detects (once, cached) the intrinsic tier to dispatch to.
+///
+/// Setting `PARSIM_FORCE_PORTABLE` to anything but `0`/empty pins
+/// [`SimdLevel::Scalar`], so the portable word loops serve every width —
+/// the CI leg for hosts without AVX uses this together with
+/// `PARSIM_FORCE_LANE_WIDTH=64`.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect_simd_level)
+}
+
+fn detect_simd_level() -> SimdLevel {
+    if std::env::var("PARSIM_FORCE_PORTABLE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+    {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return SimdLevel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if is_x86_feature_detected!("sse2") {
+            return SimdLevel::Sse2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The widest lane count one kernel word evaluates on this host:
+/// [`simd_level`]`().lane_width()`.
+pub fn native_lane_width() -> usize {
+    simd_level().lane_width()
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels: intrinsic when (W, detected tier) line up, portable
+// otherwise. `W` is a compile-time constant, so each monomorphization
+// keeps exactly one live branch plus the cached-level test.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn cast<const A: usize, const B: usize>(s: &[WideLanes<A>]) -> &[WideLanes<B>] {
+    assert_eq!(A, B);
+    // SAFETY: A == B, so WideLanes<A> and WideLanes<B> are the same type.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast(), s.len()) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn cast_mut<const A: usize, const B: usize>(s: &mut [WideLanes<A>]) -> &mut [WideLanes<B>] {
+    assert_eq!(A, B);
+    // SAFETY: A == B, so WideLanes<A> and WideLanes<B> are the same type.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast(), s.len()) }
+}
+
+macro_rules! dispatch_binary {
+    ($name:ident, $sse2:ident, $avx2:ident, $avx512:ident) => {
+        #[doc = concat!(
+            "Dispatched [`portable::", stringify!($name),
+            "`]: intrinsic path when the width matches the detected tier."
+        )]
+        #[inline]
+        pub fn $name<const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if W == 2 && simd_level() >= SimdLevel::Sse2 {
+                    // SAFETY: tier checked at runtime just above.
+                    return unsafe { simd::$sse2(cast_mut::<W, 2>(acc), cast::<W, 2>(src)) };
+                }
+                if W == 4 && simd_level() >= SimdLevel::Avx2 {
+                    // SAFETY: tier checked at runtime just above.
+                    return unsafe { simd::$avx2(cast_mut::<W, 4>(acc), cast::<W, 4>(src)) };
+                }
+                if W == 8 && simd_level() >= SimdLevel::Avx512 {
+                    // SAFETY: tier checked at runtime just above.
+                    return unsafe { simd::$avx512(cast_mut::<W, 8>(acc), cast::<W, 8>(src)) };
+                }
+            }
+            portable::$name(acc, src);
+        }
+    };
+}
+
+dispatch_binary!(load_logic, load_logic_sse2, load_logic_avx2, load_logic_avx512);
+dispatch_binary!(fold_and, fold_and_sse2, fold_and_avx2, fold_and_avx512);
+dispatch_binary!(fold_or, fold_or_sse2, fold_or_avx2, fold_or_avx512);
+dispatch_binary!(fold_xor, fold_xor_sse2, fold_xor_avx2, fold_xor_avx512);
+
+/// Dispatched [`portable::not_inplace`]: intrinsic path when the width
+/// matches the detected tier.
+#[inline]
+pub fn not_inplace<const W: usize>(v: &mut [WideLanes<W>]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if W == 2 && simd_level() >= SimdLevel::Sse2 {
+            // SAFETY: tier checked at runtime just above.
+            return unsafe { simd::not_inplace_sse2(cast_mut::<W, 2>(v)) };
+        }
+        if W == 4 && simd_level() >= SimdLevel::Avx2 {
+            // SAFETY: tier checked at runtime just above.
+            return unsafe { simd::not_inplace_avx2(cast_mut::<W, 4>(v)) };
+        }
+        if W == 8 && simd_level() >= SimdLevel::Avx512 {
+            // SAFETY: tier checked at runtime just above.
+            return unsafe { simd::not_inplace_avx512(cast_mut::<W, 8>(v)) };
+        }
+    }
+    portable::not_inplace(v);
+}
+
+// ---------------------------------------------------------------------------
+// Mux / sequential kernels (portable only: they interleave lane masks
+// with plane words, and run far less often than the fold kernels).
+// ---------------------------------------------------------------------------
+
+/// 2:1 mux; mirrors [`packed::mux`](crate::packed::mux) at width `W`.
+#[inline]
+pub fn mux<const W: usize>(
+    out: &mut [WideLanes<W>],
+    sel: WideLanes<W>,
+    a: &[WideLanes<W>],
+    b: &[WideLanes<W>],
+) {
+    debug_assert!(out.len() == a.len() && a.len() == b.len());
+    let sl = sel.to_logic();
+    let s1 = sl.k1();
+    let s0 = sl.k0();
+    let sx = sl.b;
+    // Lanes where the whole a and b vectors agree (bitwise, raw encoding).
+    let eqv = changed_mask(a, b);
+    for ((o, av), bv) in out.iter_mut().zip(a).zip(b) {
+        for w in 0..W {
+            let eq = !eqv[w];
+            o.a[w] = (s0[w] & av.a[w]) | (s1[w] & bv.a[w]) | (sx[w] & ((eq & av.a[w]) | !eq));
+            o.b[w] = (s0[w] & av.b[w]) | (s1[w] & bv.b[w]) | (sx[w] & ((eq & av.b[w]) | !eq));
+        }
+    }
+}
+
+/// Lanes where `(prev, now)` is a rising edge: previous clock a known 0
+/// and current clock a known 1.
+#[inline]
+pub fn rising_mask<const W: usize>(prev: WideLanes<W>, now: WideLanes<W>) -> LaneMask<W> {
+    mask_and(&prev.k0(), &now.k1())
+}
+
+/// D flip-flop step; mirrors [`packed::dff`](crate::packed::dff).
+#[inline]
+pub fn dff<const W: usize>(
+    q: &mut [WideLanes<W>],
+    last_clk: &mut WideLanes<W>,
+    clk: WideLanes<W>,
+    d: &[WideLanes<W>],
+) {
+    debug_assert_eq!(q.len(), d.len());
+    let edge = rising_mask(*last_clk, clk);
+    for (qv, dv) in q.iter_mut().zip(d) {
+        *qv = WideLanes::select(&edge, *dv, *qv);
+    }
+    *last_clk = clk;
+}
+
+/// D flip-flop with synchronous reset; mirrors
+/// [`packed::dffr`](crate::packed::dffr).
+#[inline]
+pub fn dffr<const W: usize>(
+    q: &mut [WideLanes<W>],
+    last_clk: &mut WideLanes<W>,
+    clk: WideLanes<W>,
+    d: &[WideLanes<W>],
+    rst: WideLanes<W>,
+) {
+    debug_assert_eq!(q.len(), d.len());
+    let rl = rst.to_logic();
+    let r1 = rl.k1();
+    let edge = mask_and(&rising_mask(*last_clk, clk), &rl.k0());
+    for (qv, dv) in q.iter_mut().zip(d) {
+        *qv = WideLanes::select(&edge, *dv, *qv);
+        for (w, &r) in r1.iter().enumerate() {
+            qv.a[w] &= !r;
+            qv.b[w] &= !r;
+        }
+    }
+    *last_clk = clk;
+}
+
+/// Transparent latch step; mirrors [`packed::latch`](crate::packed::latch).
+#[inline]
+pub fn latch<const W: usize>(q: &mut [WideLanes<W>], en: WideLanes<W>, d: &[WideLanes<W>]) {
+    debug_assert_eq!(q.len(), d.len());
+    let el = en.to_logic();
+    let e1 = el.k1();
+    let ex = el.b;
+    let eqv = changed_mask(q, d);
+    for (qv, dv) in q.iter_mut().zip(d) {
+        for w in 0..W {
+            let e0 = !(e1[w] | ex[w]);
+            let eq = !eqv[w];
+            qv.a[w] = (e1[w] & dv.a[w]) | (e0 & qv.a[w]) | (ex[w] & ((eq & qv.a[w]) | !eq));
+            qv.b[w] = (e1[w] & dv.b[w]) | (e0 & qv.b[w]) | (ex[w] & ((eq & qv.b[w]) | !eq));
+        }
+    }
+}
+
+/// Tri-state buffer; mirrors [`packed::tribuf`](crate::packed::tribuf).
+#[inline]
+pub fn tribuf<const W: usize>(out: &mut [WideLanes<W>], en: WideLanes<W>, d: &[WideLanes<W>]) {
+    debug_assert_eq!(out.len(), d.len());
+    let el = en.to_logic();
+    let e1 = el.k1();
+    let ex = el.b;
+    for (o, dv) in out.iter_mut().zip(d) {
+        for w in 0..W {
+            let e0 = !(e1[w] | ex[w]);
+            o.a[w] = (e1[w] & dv.a[w]) | ex[w];
+            o.b[w] = (e1[w] & dv.b[w]) | e0 | ex[w];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit core::arch implementations of the hot kernels, one tier per
+// supported width. The generic bodies are written once against a tiny
+// vector-ops trait; the `#[target_feature]` wrappers monomorphize them
+// inside a feature-enabled context so every helper inlines to raw SIMD.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::WideLanes;
+    use core::arch::x86_64::*;
+
+    /// Minimal bitwise vector-ops surface the kernels need. Every method
+    /// is `unsafe` because the intrinsics require their CPU feature; the
+    /// `#[target_feature]` wrapper functions below are the only callers.
+    trait V: Copy {
+        unsafe fn load(p: *const u64) -> Self;
+        unsafe fn store(self, p: *mut u64);
+        unsafe fn and(self, o: Self) -> Self;
+        unsafe fn or(self, o: Self) -> Self;
+        unsafe fn xor(self, o: Self) -> Self;
+        /// `!self & o` (the Intel `andnot` operand order).
+        unsafe fn andnot(self, o: Self) -> Self;
+        unsafe fn ones() -> Self;
+        #[inline(always)]
+        unsafe fn not(self) -> Self {
+            self.xor(Self::ones())
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Sse2V(__m128i);
+
+    impl V for Sse2V {
+        #[inline(always)]
+        unsafe fn load(p: *const u64) -> Self {
+            Sse2V(_mm_loadu_si128(p.cast()))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut u64) {
+            _mm_storeu_si128(p.cast(), self.0)
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Sse2V(_mm_and_si128(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn or(self, o: Self) -> Self {
+            Sse2V(_mm_or_si128(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Sse2V(_mm_xor_si128(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn andnot(self, o: Self) -> Self {
+            Sse2V(_mm_andnot_si128(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn ones() -> Self {
+            Sse2V(_mm_set1_epi64x(-1))
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Avx2V(__m256i);
+
+    impl V for Avx2V {
+        #[inline(always)]
+        unsafe fn load(p: *const u64) -> Self {
+            Avx2V(_mm256_loadu_si256(p.cast()))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut u64) {
+            _mm256_storeu_si256(p.cast(), self.0)
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Avx2V(_mm256_and_si256(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn or(self, o: Self) -> Self {
+            Avx2V(_mm256_or_si256(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Avx2V(_mm256_xor_si256(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn andnot(self, o: Self) -> Self {
+            Avx2V(_mm256_andnot_si256(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn ones() -> Self {
+            Avx2V(_mm256_set1_epi64x(-1))
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Avx512V(__m512i);
+
+    impl V for Avx512V {
+        #[inline(always)]
+        unsafe fn load(p: *const u64) -> Self {
+            Avx512V(_mm512_loadu_si512(p.cast()))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut u64) {
+            _mm512_storeu_si512(p.cast(), self.0)
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: Self) -> Self {
+            Avx512V(_mm512_and_si512(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn or(self, o: Self) -> Self {
+            Avx512V(_mm512_or_si512(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: Self) -> Self {
+            Avx512V(_mm512_xor_si512(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn andnot(self, o: Self) -> Self {
+            Avx512V(_mm512_andnot_si512(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn ones() -> Self {
+            Avx512V(_mm512_set1_epi64(-1))
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn load_logic_impl<T: V, const W: usize>(out: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        for (o, s) in out.iter_mut().zip(src) {
+            let sa = T::load(s.a.as_ptr());
+            let sb = T::load(s.b.as_ptr());
+            sa.or(sb).store(o.a.as_mut_ptr());
+            sb.store(o.b.as_mut_ptr());
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold_and_impl<T: V, const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        for (a, s) in acc.iter_mut().zip(src) {
+            let aa = T::load(a.a.as_ptr());
+            let ab = T::load(a.b.as_ptr());
+            let sa = T::load(s.a.as_ptr());
+            let sb = T::load(s.b.as_ptr());
+            let sla = sa.or(sb); // logic-view a of src
+            let zeros = aa.or(ab).not().or(sla.not());
+            let ones = ab.andnot(aa).and(sb.andnot(sla));
+            let unknown = zeros.or(ones).not();
+            ones.or(unknown).store(a.a.as_mut_ptr());
+            unknown.store(a.b.as_mut_ptr());
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold_or_impl<T: V, const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        for (a, s) in acc.iter_mut().zip(src) {
+            let aa = T::load(a.a.as_ptr());
+            let ab = T::load(a.b.as_ptr());
+            let sa = T::load(s.a.as_ptr());
+            let sb = T::load(s.b.as_ptr());
+            let sla = sa.or(sb);
+            let zeros = aa.or(ab).not().and(sla.not());
+            let ones = ab.andnot(aa).or(sb.andnot(sla));
+            let unknown = zeros.or(ones).not();
+            ones.or(unknown).store(a.a.as_mut_ptr());
+            unknown.store(a.b.as_mut_ptr());
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold_xor_impl<T: V, const W: usize>(acc: &mut [WideLanes<W>], src: &[WideLanes<W>]) {
+        for (a, s) in acc.iter_mut().zip(src) {
+            let aa = T::load(a.a.as_ptr());
+            let ab = T::load(a.b.as_ptr());
+            let sa = T::load(s.a.as_ptr());
+            let sb = T::load(s.b.as_ptr());
+            let sla = sa.or(sb);
+            let known = ab.or(sb).not();
+            let ones = aa.xor(sla).and(known);
+            let nk = known.not();
+            ones.or(nk).store(a.a.as_mut_ptr());
+            nk.store(a.b.as_mut_ptr());
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn not_inplace_impl<T: V, const W: usize>(v: &mut [WideLanes<W>]) {
+        for l in v.iter_mut() {
+            let la = T::load(l.a.as_ptr());
+            let lb = T::load(l.b.as_ptr());
+            // from_masks(k1, k0): new a = (!a & !b) | b, new b unchanged.
+            la.or(lb).not().or(lb).store(l.a.as_mut_ptr());
+        }
+    }
+
+    macro_rules! binary_tiers {
+        ($impl_fn:ident, $sse2:ident, $avx2:ident, $avx512:ident) => {
+            #[target_feature(enable = "sse2")]
+            pub(super) unsafe fn $sse2(acc: &mut [WideLanes<2>], src: &[WideLanes<2>]) {
+                $impl_fn::<Sse2V, 2>(acc, src)
+            }
+            #[target_feature(enable = "avx2")]
+            pub(super) unsafe fn $avx2(acc: &mut [WideLanes<4>], src: &[WideLanes<4>]) {
+                $impl_fn::<Avx2V, 4>(acc, src)
+            }
+            #[target_feature(enable = "avx512f")]
+            pub(super) unsafe fn $avx512(acc: &mut [WideLanes<8>], src: &[WideLanes<8>]) {
+                $impl_fn::<Avx512V, 8>(acc, src)
+            }
+        };
+    }
+
+    binary_tiers!(load_logic_impl, load_logic_sse2, load_logic_avx2, load_logic_avx512);
+    binary_tiers!(fold_and_impl, fold_and_sse2, fold_and_avx2, fold_and_avx512);
+    binary_tiers!(fold_or_impl, fold_or_sse2, fold_or_avx2, fold_or_avx512);
+    binary_tiers!(fold_xor_impl, fold_xor_sse2, fold_xor_avx2, fold_xor_avx512);
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn not_inplace_sse2(v: &mut [WideLanes<2>]) {
+        not_inplace_impl::<Sse2V, 2>(v)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn not_inplace_avx2(v: &mut [WideLanes<4>]) {
+        not_inplace_impl::<Avx2V, 4>(v)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn not_inplace_avx512(v: &mut [WideLanes<8>]) {
+        not_inplace_impl::<Avx512V, 8>(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, ElemState};
+    use crate::kind::ElementKind;
+    use crate::value::Bit;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const STATES: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+
+    fn rand_value(rng: &mut SmallRng, width: u8) -> Value {
+        let bits: Vec<Bit> = (0..width).map(|_| STATES[rng.gen_range(0..4)]).collect();
+        Value::from_bits(&bits)
+    }
+
+    /// Random stimulus in every lane; checks the dispatched kernel, the
+    /// portable kernel, and the scalar evaluator lane by lane.
+    fn check_gate_all_lanes<const W: usize>(kind: ElementKind, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = 5usize;
+        let mut xs = vec![WideLanes::<W>::ZERO; w];
+        let mut ys = vec![WideLanes::<W>::ZERO; w];
+        let mut scalar = Vec::new();
+        for lane in 0..(64 * W) as u32 {
+            let x = rand_value(&mut rng, w as u8);
+            let y = rand_value(&mut rng, w as u8);
+            scatter(&mut xs, lane, &x);
+            scatter(&mut ys, lane, &y);
+            scalar.push((x, y));
+        }
+        let run = |portable_only: bool| -> Vec<WideLanes<W>> {
+            let mut out = vec![WideLanes::<W>::ZERO; w];
+            if portable_only {
+                portable::load_logic(&mut out, &xs);
+            } else {
+                load_logic(&mut out, &xs);
+            }
+            match (&kind, portable_only) {
+                (ElementKind::And | ElementKind::Nand, true) => portable::fold_and(&mut out, &ys),
+                (ElementKind::And | ElementKind::Nand, false) => fold_and(&mut out, &ys),
+                (ElementKind::Or | ElementKind::Nor, true) => portable::fold_or(&mut out, &ys),
+                (ElementKind::Or | ElementKind::Nor, false) => fold_or(&mut out, &ys),
+                (_, true) => portable::fold_xor(&mut out, &ys),
+                (_, false) => fold_xor(&mut out, &ys),
+            }
+            if matches!(
+                kind,
+                ElementKind::Nand | ElementKind::Nor | ElementKind::Xnor
+            ) {
+                if portable_only {
+                    portable::not_inplace(&mut out);
+                } else {
+                    not_inplace(&mut out);
+                }
+            }
+            out
+        };
+        let dispatched = run(false);
+        let reference = run(true);
+        assert_eq!(
+            dispatched, reference,
+            "{kind:?} W={W}: dispatched != portable"
+        );
+        for (lane, (x, y)) in scalar.iter().enumerate() {
+            let expect = evaluate(&kind, &[*x, *y], &mut ElemState::None).get(0);
+            assert_eq!(
+                gather(&dispatched, lane as u32),
+                expect,
+                "{kind:?} W={W} lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn gates_match_scalar_at_every_width() {
+        for kind in [
+            ElementKind::And,
+            ElementKind::Nand,
+            ElementKind::Or,
+            ElementKind::Nor,
+            ElementKind::Xor,
+            ElementKind::Xnor,
+        ] {
+            check_gate_all_lanes::<1>(kind.clone(), 7);
+            check_gate_all_lanes::<2>(kind.clone(), 11);
+            check_gate_all_lanes::<4>(kind.clone(), 13);
+            check_gate_all_lanes::<8>(kind, 17);
+        }
+    }
+
+    fn check_seq_all_lanes<const W: usize>(seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = 3usize;
+        let lanes = 64 * W;
+        for kind in [
+            ElementKind::Dff { width: w as u8 },
+            ElementKind::DffR { width: w as u8 },
+            ElementKind::Latch { width: w as u8 },
+        ] {
+            let mut q = vec![WideLanes::<W>::X; w];
+            let mut last_clk = WideLanes::<W>::X;
+            let mut states: Vec<ElemState> =
+                (0..lanes).map(|_| ElemState::init(&kind)).collect();
+            for _step in 0..60 {
+                let mut clks = [WideLanes::<W>::ZERO; 1];
+                let mut rsts = [WideLanes::<W>::ZERO; 1];
+                let mut ds = vec![WideLanes::<W>::ZERO; w];
+                let mut scalar = Vec::new();
+                for lane in 0..lanes as u32 {
+                    let c = Value::from_bits(&[STATES[rng.gen_range(0..4)]]);
+                    let r = Value::from_bits(&[STATES[rng.gen_range(0..4)]]);
+                    let d = rand_value(&mut rng, w as u8);
+                    scatter(&mut clks, lane, &c);
+                    scatter(&mut rsts, lane, &r);
+                    scatter(&mut ds, lane, &d);
+                    scalar.push((c, d, r));
+                }
+                match kind {
+                    ElementKind::Dff { .. } => dff(&mut q, &mut last_clk, clks[0], &ds),
+                    ElementKind::DffR { .. } => {
+                        dffr(&mut q, &mut last_clk, clks[0], &ds, rsts[0])
+                    }
+                    _ => latch(&mut q, clks[0], &ds),
+                }
+                for (lane, (c, d, r)) in scalar.iter().enumerate() {
+                    let inputs: Vec<Value> = match kind {
+                        ElementKind::DffR { .. } => vec![*c, *d, *r],
+                        _ => vec![*c, *d],
+                    };
+                    let expect = evaluate(&kind, &inputs, &mut states[lane]).get(0);
+                    assert_eq!(
+                        gather(&q, lane as u32),
+                        expect,
+                        "{kind:?} W={W} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_kernels_match_scalar_at_every_width() {
+        check_seq_all_lanes::<1>(19);
+        check_seq_all_lanes::<2>(23);
+        check_seq_all_lanes::<4>(29);
+        check_seq_all_lanes::<8>(31);
+    }
+
+    fn check_mux_tribuf<const W: usize>(seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = 4usize;
+        let lanes = 64 * W;
+        for _ in 0..20 {
+            let mut sels = [WideLanes::<W>::ZERO; 1];
+            let mut avs = vec![WideLanes::<W>::ZERO; w];
+            let mut bvs = vec![WideLanes::<W>::ZERO; w];
+            let mut scalar = Vec::new();
+            for lane in 0..lanes as u32 {
+                let s = Value::from_bits(&[STATES[rng.gen_range(0..4)]]);
+                let a = rand_value(&mut rng, w as u8);
+                let b = if rng.gen_bool(0.4) {
+                    a
+                } else {
+                    rand_value(&mut rng, w as u8)
+                };
+                scatter(&mut sels, lane, &s);
+                scatter(&mut avs, lane, &a);
+                scatter(&mut bvs, lane, &b);
+                scalar.push((s, a, b));
+            }
+            let mut out = vec![WideLanes::<W>::ZERO; w];
+            mux(&mut out, sels[0], &avs, &bvs);
+            let mk = ElementKind::Mux { width: w as u8 };
+            for (lane, (s, a, b)) in scalar.iter().enumerate() {
+                let expect = evaluate(&mk, &[*s, *a, *b], &mut ElemState::None).get(0);
+                assert_eq!(gather(&out, lane as u32), expect, "mux W={W} lane {lane}");
+            }
+            let mut tout = vec![WideLanes::<W>::ZERO; w];
+            tribuf(&mut tout, sels[0], &avs);
+            let tk = ElementKind::TriBuf { width: w as u8 };
+            for (lane, (s, a, _)) in scalar.iter().enumerate() {
+                let expect = evaluate(&tk, &[*s, *a], &mut ElemState::None).get(0);
+                assert_eq!(
+                    gather(&tout, lane as u32),
+                    expect,
+                    "tribuf W={W} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_and_tribuf_match_scalar_at_every_width() {
+        check_mux_tribuf::<1>(37);
+        check_mux_tribuf::<2>(41);
+        check_mux_tribuf::<4>(43);
+        check_mux_tribuf::<8>(47);
+    }
+
+    fn check_scatter_gather<const W: usize>() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let mut arr = vec![WideLanes::<W>::X; 5];
+        let mut vals = Vec::new();
+        for lane in 0..(64 * W) as u32 {
+            let v = rand_value(&mut rng, 5);
+            scatter(&mut arr, lane, &v);
+            vals.push(v);
+        }
+        for (lane, v) in vals.iter().enumerate() {
+            assert_eq!(gather(&arr, lane as u32), *v, "W={W} lane {lane}");
+        }
+        let mut all = vec![WideLanes::<W>::ZERO; 5];
+        let v = rand_value(&mut rng, 5);
+        broadcast(&mut all, &v);
+        for lane in 0..(64 * W) as u32 {
+            assert_eq!(gather(&all, lane), v);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_round_trips_at_every_width() {
+        check_scatter_gather::<1>();
+        check_scatter_gather::<2>();
+        check_scatter_gather::<4>();
+        check_scatter_gather::<8>();
+    }
+
+    #[test]
+    fn wide_matches_packed_at_w1() {
+        // WideLanes<1> and packed::Lanes implement the same kernels; spot
+        // check them against each other on random operands.
+        use crate::packed;
+        let mut rng = SmallRng::seed_from_u64(59);
+        let w = 6usize;
+        let mut xs_w = vec![WideLanes::<1>::ZERO; w];
+        let mut ys_w = vec![WideLanes::<1>::ZERO; w];
+        let mut xs_p = vec![packed::Lanes::ZERO; w];
+        let mut ys_p = vec![packed::Lanes::ZERO; w];
+        for lane in 0..64u32 {
+            let x = rand_value(&mut rng, w as u8);
+            let y = rand_value(&mut rng, w as u8);
+            scatter(&mut xs_w, lane, &x);
+            scatter(&mut ys_w, lane, &y);
+            packed::scatter(&mut xs_p, lane, &x);
+            packed::scatter(&mut ys_p, lane, &y);
+        }
+        let mut out_w = vec![WideLanes::<1>::ZERO; w];
+        load_logic(&mut out_w, &xs_w);
+        fold_and(&mut out_w, &ys_w);
+        not_inplace(&mut out_w);
+        let mut out_p = vec![packed::Lanes::ZERO; w];
+        packed::load_logic(&mut out_p, &xs_p);
+        packed::fold_and(&mut out_p, &ys_p);
+        packed::not_inplace(&mut out_p);
+        for lane in 0..64u32 {
+            assert_eq!(gather(&out_w, lane), packed::gather(&out_p, lane));
+        }
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(mask_first::<2>(0), [0, 0]);
+        assert_eq!(mask_first::<2>(1), [1, 0]);
+        assert_eq!(mask_first::<2>(64), [!0, 0]);
+        assert_eq!(mask_first::<2>(65), [!0, 1]);
+        assert_eq!(mask_first::<2>(128), [!0, !0]);
+        assert_eq!(mask_first::<4>(63), [(1u64 << 63) - 1, 0, 0, 0]);
+        assert_eq!(mask_count(&mask_first::<8>(513 - 512)), 1);
+        assert_eq!(mask_lane::<2>(70), [0, 1 << 6]);
+        assert!(mask_any(&mask_lane::<4>(255)));
+        assert!(!mask_any(&mask_none::<4>()));
+        assert_eq!(mask_count(&mask_all::<8>()), 512);
+        let mut seen = Vec::new();
+        for_each_lane(&mask_lane::<2>(70), |l| seen.push(l));
+        for_each_lane(&mask_lane::<2>(3), |l| seen.push(l));
+        assert_eq!(seen, vec![70, 3]);
+    }
+
+    #[test]
+    fn changed_and_write_masked() {
+        let mut a = vec![WideLanes::<2>::ZERO; 2];
+        let mut b = vec![WideLanes::<2>::ZERO; 2];
+        let v = Value::from_bits(&[Bit::One, Bit::Zero]);
+        scatter(&mut a, 100, &v);
+        assert_eq!(changed_mask(&a, &b), mask_lane::<2>(100));
+        write_masked(&mut b, &a, &mask_lane::<2>(100));
+        assert_eq!(changed_mask(&a, &b), mask_none::<2>());
+        // Writes outside the mask must not leak.
+        let snapshot = b.clone();
+        let mut src = vec![WideLanes::<2>::ONE; 2];
+        scatter(&mut src, 100, &Value::from_bits(&[Bit::Zero, Bit::Zero]));
+        write_masked(&mut b, &src, &mask_lane::<2>(5));
+        assert_eq!(gather(&b, 100), gather(&snapshot, 100));
+        assert_eq!(gather(&b, 5), gather(&src, 5));
+    }
+
+    #[test]
+    fn simd_level_is_consistent() {
+        let level = simd_level();
+        assert_eq!(level.lane_width(), native_lane_width());
+        assert!(LANE_WIDTHS.contains(&level.lane_width()));
+        assert!(!level.name().is_empty());
+        // Cached: a second call returns the same tier.
+        assert_eq!(simd_level(), level);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-worker step handoff for statically scheduled BSP execution.
+//!
+//! The compiled batch kernel runs a two-phase step loop (apply pending
+//! node writes, then evaluate levels). With a [`SpinBarrier`] every
+//! worker waits for *every* other worker twice per step — even for
+//! workers whose outputs it never reads. The lowered instruction stream
+//! knows the communication pattern at compile time, so a worker only
+//! needs to order itself against its actual **producers** (workers whose
+//! node slots it reads) and **consumers** (workers that read its slots).
+//!
+//! [`StepHandoff`] is the per-edge primitive: each worker owns two
+//! monotonic phase counters — "I finished my apply of step `t`" and "I
+//! finished my eval of step `t`" — published with `Release` and awaited
+//! with `Acquire`. A phase counter stores `t + 1` once step `t`'s phase
+//! is done, so the all-zeros initial state means "nothing published" and
+//! waiters never need a sentinel.
+//!
+//! The protocol a worker `w` runs per step `t` (neighbor-sync mode):
+//!
+//! 1. wait `eval_done[c] ≥ t` for every consumer `c` (step `t-1`'s reads
+//!    of `w`'s slots have retired — overwriting them is now safe),
+//! 2. apply `w`'s pending writes for step `t`; publish `apply_done[w] = t+1`,
+//! 3. wait `apply_done[p] ≥ t+1` for every producer `p` (the slot values
+//!    `w`'s instructions read this step are final),
+//! 4. evaluate; publish `eval_done[w] = t+1`.
+//!
+//! Each wait targets a counter that its owner is guaranteed to advance
+//! (waits on step `t` only ever target phases of step `t` or `t-1`, and
+//! phases within a worker's loop advance in program order), so the wait
+//! graph is grounded and deadlock-free — unless a worker dies. For that
+//! case the handoff carries the same poison protocol as the barrier:
+//! a dying worker (panic handler, watchdog, fault-plan exit) poisons the
+//! handoff, every in-flight and future wait returns `false` immediately,
+//! and callers abandon the step loop.
+//!
+//! Built entirely on [`crate::sync`], so `--cfg parsim_model` runs the
+//! whole protocol under the deterministic interleaving explorer
+//! (`crates/queue/tests/model.rs`).
+//!
+//! [`SpinBarrier`]: crate::SpinBarrier
+
+use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Two published phase counters per worker plus a shared poison flag.
+///
+/// Counters are cache-padded: each is written by exactly one worker and
+/// spun on by a handful of neighbors, and padding keeps a publish from
+/// invalidating an unrelated worker's line.
+pub struct StepHandoff {
+    /// `apply_done[w] = t + 1` ⇔ worker `w` finished its apply phase of
+    /// step `t` (writes to its node slots for this step are complete).
+    apply_done: Vec<CachePadded<AtomicU64>>,
+    /// `eval_done[w] = t + 1` ⇔ worker `w` finished evaluating step `t`
+    /// (its reads of producer slots for this step have retired).
+    eval_done: Vec<CachePadded<AtomicU64>>,
+    poisoned: AtomicBool,
+}
+
+impl StepHandoff {
+    /// Creates a handoff for `workers` participants, all phases
+    /// unpublished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> StepHandoff {
+        assert!(workers > 0, "handoff needs at least one worker");
+        StepHandoff {
+            apply_done: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            eval_done: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// The number of participating workers.
+    pub fn workers(&self) -> usize {
+        self.apply_done.len()
+    }
+
+    /// Publishes "worker `w` finished its apply phase of step `step`".
+    ///
+    /// The `Release` store is the synchronization edge that makes `w`'s
+    /// node-slot writes (and any `Relaxed` dirty-mask marks) visible to a
+    /// consumer returning from [`StepHandoff::wait_apply`].
+    #[inline]
+    pub fn publish_apply(&self, w: usize, step: u64) {
+        self.apply_done[w].store(step + 1, Ordering::Release);
+    }
+
+    /// Blocks until worker `p` has published its apply phase of `step`.
+    ///
+    /// Returns `false` immediately if the handoff is (or becomes)
+    /// poisoned; the caller must abandon the step loop.
+    #[inline]
+    pub fn wait_apply(&self, p: usize, step: u64) -> bool {
+        self.wait(&self.apply_done[p], step)
+    }
+
+    /// Publishes "worker `w` finished evaluating step `step`" — its reads
+    /// of producer slots for this step have retired, so producers may
+    /// overwrite them for step `step + 1`.
+    #[inline]
+    pub fn publish_eval(&self, w: usize, step: u64) {
+        self.eval_done[w].store(step + 1, Ordering::Release);
+    }
+
+    /// Blocks until worker `c` has published its eval phase of `step`.
+    ///
+    /// Returns `false` immediately if the handoff is (or becomes)
+    /// poisoned.
+    #[inline]
+    pub fn wait_eval(&self, c: usize, step: u64) -> bool {
+        self.wait(&self.eval_done[c], step)
+    }
+
+    /// Marks the handoff unusable and releases every current and future
+    /// waiter immediately (same contract as `SpinBarrier::poison`).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// True once any participant has called [`StepHandoff::poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn wait(&self, counter: &AtomicU64, step: u64) -> bool {
+        let target = step + 1;
+        let mut spins = 0u32;
+        // Counters are monotonic, so `>=` tolerates the owner running
+        // arbitrarily far ahead of this waiter.
+        while counter.load(Ordering::Acquire) < target {
+            if self.is_poisoned() {
+                return false;
+            }
+            spins += 1;
+            if spins < 64 {
+                crate::sync::hint::spin_loop();
+            } else {
+                // Oversubscribed hosts: let the missing worker run.
+                crate::sync::thread::yield_now();
+            }
+        }
+        !self.is_poisoned()
+    }
+}
+
+#[cfg(all(test, not(parsim_model)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn published_phases_are_observed_in_order() {
+        let h = StepHandoff::new(2);
+        h.publish_apply(0, 0);
+        assert!(h.wait_apply(0, 0));
+        h.publish_eval(0, 0);
+        assert!(h.wait_eval(0, 0));
+        // Monotonic: a later publish satisfies earlier waits too.
+        h.publish_apply(1, 5);
+        assert!(h.wait_apply(1, 3));
+        assert!(h.wait_apply(1, 5));
+    }
+
+    #[test]
+    fn producer_consumer_chain_runs_many_steps() {
+        const STEPS: u64 = 10_000;
+        let h = Arc::new(StepHandoff::new(2));
+        let data = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Worker 0 produces (apply), worker 1 consumes (eval).
+        let producer = {
+            let h = Arc::clone(&h);
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                for t in 0..STEPS {
+                    if t > 0 && !h.wait_eval(1, t - 1) {
+                        return;
+                    }
+                    data.store(t + 1, std::sync::atomic::Ordering::Relaxed);
+                    h.publish_apply(0, t);
+                }
+            })
+        };
+        let consumer = {
+            let h = Arc::clone(&h);
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                for t in 0..STEPS {
+                    if !h.wait_apply(0, t) {
+                        return;
+                    }
+                    // The Relaxed payload write is ordered by the
+                    // Release/Acquire edge on apply_done[0].
+                    assert_eq!(data.load(std::sync::atomic::Ordering::Relaxed), t + 1);
+                    h.publish_eval(1, t);
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn poison_releases_stuck_waiters() {
+        let h = Arc::new(StepHandoff::new(2));
+        let waiter = {
+            let h = Arc::clone(&h);
+            // Worker 1 never publishes; the wait can only end by poison.
+            thread::spawn(move || h.wait_apply(1, 7))
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        h.poison();
+        assert!(!waiter.join().unwrap());
+        // Poison also defeats already-satisfied waits, so a caller that
+        // raced the poison cannot keep stepping on half-published state.
+        h.publish_apply(0, 0);
+        assert!(!h.wait_apply(0, 0));
+        assert!(h.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = StepHandoff::new(0);
+    }
+}

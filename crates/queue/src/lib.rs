@@ -14,6 +14,9 @@
 //! - [`grid()`]: the n×n mailbox grid with round-robin scatter senders,
 //! - [`barrier::SpinBarrier`]: the sense-reversing barrier the synchronous
 //!   algorithms need at phase boundaries,
+//! - [`handoff::StepHandoff`]: per-worker published phase counters that
+//!   replace the compiled batch kernel's global step barrier with
+//!   neighbor-only producer/consumer synchronization,
 //! - [`activation::ActivationState`]: the per-element at-most-once
 //!   scheduling state machine ("activate the elements only once"),
 //! - [`batch::IdBatch`]: a cache-line-sized batch of element ids so one
@@ -47,6 +50,7 @@ pub mod central;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod grid;
+pub mod handoff;
 pub mod pad;
 pub mod ring;
 pub mod spsc;
@@ -58,6 +62,7 @@ pub use batch::{IdBatch, BATCH_CAPACITY};
 pub use pad::CachePadded;
 pub use barrier::SpinBarrier;
 pub use central::CentralQueue;
+pub use handoff::StepHandoff;
 pub use grid::{grid, GridReceiver, GridSender};
 pub use ring::{ring, RingReceiver, RingSender};
 pub use spsc::{channel, Receiver, Sender};

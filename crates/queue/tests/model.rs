@@ -17,7 +17,8 @@
 use parsim_model_check::{Explorer, model, thread};
 use parsim_queue::sync::atomic::{AtomicUsize, Ordering};
 use parsim_queue::sync::Arc;
-use parsim_queue::{channel, ring, ActivationState, IdBatch, SpinBarrier, BATCH_CAPACITY};
+use parsim_queue::sync::UnsafeCell;
+use parsim_queue::{channel, ring, ActivationState, IdBatch, SpinBarrier, StepHandoff, BATCH_CAPACITY};
 
 /// Under the model the SPSC segment size is 2, so three items cross a
 /// segment boundary: the producer links a successor and the consumer
@@ -302,6 +303,108 @@ fn chaos_yields_are_schedule_points() {
         }
         t.join();
     });
+}
+
+/// A node slot shared between a producing and a consuming worker; plain
+/// (non-atomic) data, exactly like the wide value arena in the compiled
+/// batch kernel. Safe to share only because the handoff protocol orders
+/// every write against every read — the model's clock-checked cell
+/// reports a data race the instant any required edge is missing.
+struct Slot(UnsafeCell<u64>);
+
+// SAFETY: all accesses are funneled through the StepHandoff protocol
+// under test; the model checker verifies that claim on every schedule.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+/// The full two-worker BSP step protocol over a shared slot, two steps:
+/// worker 0 (producer) overwrites the slot in its apply phase, worker 1
+/// (consumer) reads it in its eval phase. Three hazards are all in play
+/// and must be closed by the handoff alone:
+///
+/// - RAW: the consumer's step-`t` read must see the producer's step-`t`
+///   write (`wait_apply` edge),
+/// - WAR: the producer's step-`t+1` overwrite must not race the
+///   consumer's step-`t` read (`wait_eval` edge),
+/// - plain-data race: the slot is a non-atomic cell, so *any* unordered
+///   access pair is an immediate counterexample.
+#[test]
+fn handoff_bsp_step_protocol_no_races() {
+    let outcome = Explorer::new().max_preemptions(2).check(|| {
+        const STEPS: u64 = 2;
+        let h = Arc::new(StepHandoff::new(2));
+        let slot = Arc::new(Slot(UnsafeCell::new(0)));
+        let (h2, s2) = (Arc::clone(&h), Arc::clone(&slot));
+        // Worker 0: producer.
+        let t = thread::spawn(move || {
+            for t in 0..STEPS {
+                if t > 0 && !h2.wait_eval(1, t - 1) {
+                    return;
+                }
+                s2.0.with_mut(|p| unsafe { *p = t + 1 });
+                h2.publish_apply(0, t);
+                // Reads nothing; its eval phase is empty.
+                h2.publish_eval(0, t);
+            }
+        });
+        // Worker 1: consumer (owns no slots, so its apply is empty).
+        for t in 0..STEPS {
+            h.publish_apply(1, t);
+            if !h.wait_apply(0, t) {
+                return;
+            }
+            let v = slot.0.with(|p| unsafe { *p });
+            assert_eq!(v, t + 1, "step {t}: stale or torn slot value");
+            h.publish_eval(1, t);
+        }
+        t.join();
+    });
+    outcome.assert_pass("handoff BSP step protocol");
+}
+
+/// The dirty-mask contract under neighbor sync: activity marks are
+/// `Relaxed` stores made during a producer's apply phase, and consumers
+/// `take` them with `Relaxed` loads during eval. That is only sound if
+/// the `publish_apply`/`wait_apply` Release/Acquire pair carries the
+/// marks — this exploration deletes every other ordering source on
+/// purpose.
+#[test]
+fn handoff_apply_edge_carries_relaxed_marks() {
+    let outcome = Explorer::new().max_preemptions(2).check(|| {
+        let h = Arc::new(StepHandoff::new(2));
+        let mark = Arc::new(AtomicUsize::new(0));
+        let (h2, m2) = (Arc::clone(&h), Arc::clone(&mark));
+        let t = thread::spawn(move || {
+            // Relaxed on purpose: the handoff must carry the edge.
+            m2.store(1, Ordering::Relaxed);
+            h2.publish_apply(0, 0);
+        });
+        if h.wait_apply(0, 0) {
+            assert_eq!(
+                mark.load(Ordering::Relaxed),
+                1,
+                "dirty mark lost across the apply handoff"
+            );
+        }
+        t.join();
+    });
+    outcome.assert_pass("handoff carries relaxed dirty marks");
+}
+
+/// Poisoning must release a waiter stuck on a phase that will never be
+/// published — in every interleaving, including poison-before-wait.
+#[test]
+fn handoff_poison_releases_model() {
+    let outcome = Explorer::new().check(|| {
+        let h = Arc::new(StepHandoff::new(2));
+        let h2 = Arc::clone(&h);
+        // Worker 1 never publishes anything; only poison can end this.
+        let t = thread::spawn(move || h2.wait_apply(1, 3));
+        h.poison();
+        assert!(!t.join(), "poisoned wait must report failure");
+        assert!(!h.wait_eval(0, 0));
+    });
+    outcome.assert_pass("handoff poison release");
 }
 
 // `model` is referenced by the chaos-gated test only; keep the import

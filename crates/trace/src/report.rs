@@ -178,6 +178,9 @@ pub struct RunReport {
     pub hottest: Vec<HotElement>,
     /// Checkpoint write/restore latency, when the run checkpointed.
     pub checkpoint: Option<CheckpointReport>,
+    /// SIMD lane-group width of a batch run (64/128/256/512), or 0 for
+    /// scalar engines. From engine metrics, via [`RunReport::with_lane_width`].
+    pub lane_width: u64,
 }
 
 impl RunReport {
@@ -278,6 +281,13 @@ impl RunReport {
         self
     }
 
+    /// Attaches the SIMD lane-group width (from engine metrics) so
+    /// `Display` and `to_json` report it. 0 means a scalar engine.
+    pub fn with_lane_width(mut self, lane_width: u64) -> RunReport {
+        self.lane_width = lane_width;
+        self
+    }
+
     /// Mean utilization over all workers.
     pub fn utilization(&self) -> f64 {
         if self.workers.is_empty() {
@@ -322,6 +332,7 @@ impl RunReport {
             "  \"barrier_imbalance_ns\": {},\n",
             self.barrier_imbalance_ns()
         ));
+        s.push_str(&format!("  \"lane_width\": {},\n", self.lane_width));
         s.push_str("  \"phase_totals_ns\": {");
         let mut first = true;
         for (kind, ns) in self.phase_totals() {
@@ -445,11 +456,16 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "run report: wall {:.3} ms, {} workers, {} events ({} dropped)",
+            "run report: wall {:.3} ms, {} workers, {} events ({} dropped){}",
             ms(self.wall_ns),
             self.workers.len(),
             self.total_events,
-            self.dropped
+            self.dropped,
+            if self.lane_width > 0 {
+                format!(", {}-bit lanes", self.lane_width)
+            } else {
+                String::new()
+            }
         )?;
         writeln!(f, "\nper-phase utilization:")?;
         writeln!(
