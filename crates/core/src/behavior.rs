@@ -48,6 +48,7 @@
 //! asserts on the tombstone value) instead of dereferencing freed memory.
 
 use std::mem::MaybeUninit;
+use std::ops::Deref;
 use std::ptr;
 
 use parsim_logic::Value;
@@ -69,15 +70,118 @@ pub struct Chunk {
     /// Global index of `slots[0]`.
     base: u64,
     next: AtomicPtr<Chunk>,
+    /// Whether the memory came from a worker arena (retire through the
+    /// arena) or the global allocator (free with `Box::from_raw`). Plain
+    /// field: written at allocation, read only by the exclusive writer's
+    /// GC and by `Drop`.
+    from_arena: bool,
 }
 
-impl Chunk {
-    fn alloc(base: u64) -> *mut Chunk {
+/// The chunk allocation policy for one writer: a worker's slab arena
+/// when the engine runs with one, the global allocator otherwise (and
+/// always under the model, where the slab layer does not exist).
+///
+/// Carried by the writer (`&mut`) through [`NodeState::push`] /
+/// [`NodeState::gc`] so chunk traffic is counted per thread without
+/// atomics.
+pub struct ChunkAlloc {
+    #[cfg(not(parsim_model))]
+    arena: Option<std::rc::Rc<parsim_queue::WorkerArena>>,
+    /// Chunks allocated through this handle.
+    pub allocs: u64,
+    /// Chunks retired/freed through this handle.
+    pub frees: u64,
+}
+
+impl ChunkAlloc {
+    /// Global-allocator policy (the `--no-arena` ablation and the model).
+    pub fn global() -> ChunkAlloc {
+        ChunkAlloc {
+            #[cfg(not(parsim_model))]
+            arena: None,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// Arena-backed policy: chunks are carved from `arena`'s slabs and
+    /// retired through the epoch quarantine.
+    #[cfg(not(parsim_model))]
+    pub fn arena(arena: std::rc::Rc<parsim_queue::WorkerArena>) -> ChunkAlloc {
+        ChunkAlloc {
+            arena: Some(arena),
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    fn alloc(&mut self, base: u64) -> *mut Chunk {
+        self.allocs += 1;
+        #[cfg(not(parsim_model))]
+        if let Some(arena) = &self.arena {
+            let p = arena.alloc(std::mem::size_of::<Chunk>()) as *mut Chunk;
+            // SAFETY: fresh, exclusively-owned, size-checked allocation.
+            unsafe {
+                ptr::write(
+                    p,
+                    Chunk {
+                        slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
+                        base,
+                        next: AtomicPtr::new(ptr::null_mut()),
+                        from_arena: true,
+                    },
+                );
+            }
+            return p;
+        }
         Box::into_raw(Box::new(Chunk {
             slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
             base,
             next: AtomicPtr::new(ptr::null_mut()),
+            from_arena: false,
         }))
+    }
+
+    /// # Safety
+    ///
+    /// `chunk` must be unlinked, allocated by this policy's backing
+    /// (arena blocks retire to their owning domain regardless of which
+    /// worker's handle frees them), and never freed twice.
+    unsafe fn free(&mut self, chunk: *mut Chunk) {
+        self.frees += 1;
+        // (u64, Value) is Copy: no per-slot drop needed either way.
+        #[cfg(not(parsim_model))]
+        if (*chunk).from_arena {
+            match &self.arena {
+                Some(arena) => arena.retire(chunk as *mut u8),
+                None => parsim_queue::arena::retire_remote(chunk as *mut u8),
+            }
+            return;
+        }
+        drop(Box::from_raw(chunk));
+    }
+}
+
+/// A node's consumption-cursor array: either node-owned (the default)
+/// or a view into a partition-contiguous SoA block the engine carved
+/// from the owning worker's arena (cache-line packing, first-touch
+/// placement).
+pub enum CursorSlots {
+    Owned(Box<[AtomicU64]>),
+    /// External slots; the engine guarantees the block outlives the node.
+    Ext { ptr: *const AtomicU64, len: usize },
+}
+
+impl Deref for CursorSlots {
+    type Target = [AtomicU64];
+
+    fn deref(&self) -> &[AtomicU64] {
+        match self {
+            CursorSlots::Owned(b) => b,
+            // SAFETY: `Ext` construction contract — `ptr..ptr+len` is an
+            // initialized AtomicU64 block outliving this node.
+            CursorSlots::Ext { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
     }
 }
 
@@ -89,13 +193,14 @@ pub struct NodeState {
     tail: UnsafeCell<*mut Chunk>,
     /// Published event count (release store by the writer).
     len: AtomicU64,
-    /// Behavior is known for every t <= valid_until. Monotone; written
-    /// only by the node's exclusive driver (see the module docs for why
-    /// the writer's own loads may be `Relaxed`).
-    pub valid_until: AtomicU64,
+    /// Inline validity horizon, used unless `valid_ext` is set.
+    valid_inline: AtomicU64,
+    /// Optional external `valid_until` slot in a partition-contiguous
+    /// SoA block (see [`NodeState::set_ext_slots`]).
+    valid_ext: *const AtomicU64,
     /// Per-fanout-entry consumption cursor (global event index), release
     /// stored by the consumer, acquire loaded by [`NodeState::gc`].
-    pub consumed: Box<[AtomicU64]>,
+    pub consumed: CursorSlots,
     /// Reclaimed-but-not-freed chunks (writer-owned). See module docs.
     #[cfg(parsim_model)]
     quarantine: UnsafeCell<Vec<*mut Chunk>>,
@@ -109,30 +214,62 @@ unsafe impl Sync for NodeState {}
 
 impl NodeState {
     /// A fresh single-chunk list with one consumption cursor per fan-out
-    /// entry.
-    pub fn new(fanouts: usize) -> NodeState {
-        let chunk = Chunk::alloc(0);
+    /// entry, allocated through `alloc`.
+    pub fn new(fanouts: usize, alloc: &mut ChunkAlloc) -> NodeState {
+        let chunk = alloc.alloc(0);
         NodeState {
             head: AtomicPtr::new(chunk),
             tail: UnsafeCell::new(chunk),
             len: AtomicU64::new(0),
-            valid_until: AtomicU64::new(0),
-            consumed: (0..fanouts).map(|_| AtomicU64::new(0)).collect(),
+            valid_inline: AtomicU64::new(0),
+            valid_ext: ptr::null(),
+            consumed: CursorSlots::Owned((0..fanouts).map(|_| AtomicU64::new(0)).collect()),
             #[cfg(parsim_model)]
             quarantine: UnsafeCell::new(Vec::new()),
         }
+    }
+
+    /// The node's validity horizon (`t <= valid_until` is known
+    /// behavior). Resolves to the external SoA slot when the engine
+    /// installed one, the inline atomic otherwise.
+    #[inline(always)]
+    pub fn valid_until(&self) -> &AtomicU64 {
+        if self.valid_ext.is_null() {
+            &self.valid_inline
+        } else {
+            // SAFETY: `set_ext_slots` contract — the slot outlives self.
+            unsafe { &*self.valid_ext }
+        }
+    }
+
+    /// Points this node's scheduling state (`valid_until` + consumption
+    /// cursors) at externally-owned slots, for partition-contiguous SoA
+    /// packing. Must be called before the node is shared.
+    ///
+    /// # Safety
+    ///
+    /// Both blocks must be zero-initialized `AtomicU64`s that outlive
+    /// this node; `consumed` must span at least as many slots as the
+    /// node's fan-out count.
+    pub unsafe fn set_ext_slots(&mut self, valid: *const AtomicU64, consumed: *const AtomicU64) {
+        debug_assert_eq!(self.valid_inline.load(Ordering::Relaxed), 0);
+        self.valid_ext = valid;
+        let len = self.consumed.len();
+        self.consumed = CursorSlots::Ext { ptr: consumed, len };
     }
 
     /// Appends one event. Caller must be the node's (exclusive) writer.
     ///
     /// # Safety
     ///
-    /// Only one thread may call this at a time (activation exclusivity).
-    pub unsafe fn push(&self, t: u64, v: Value) {
+    /// Only one thread may call this at a time (activation exclusivity),
+    /// and arena-backed nodes must always be pushed through a handle of
+    /// the same arena domain.
+    pub unsafe fn push(&self, t: u64, v: Value, alloc: &mut ChunkAlloc) {
         let len = self.len.load(Ordering::Relaxed);
         let mut tail = self.tail.with(|p| *p);
         if len - (*tail).base == CHUNK as u64 {
-            let new = Chunk::alloc(len);
+            let new = alloc.alloc(len);
             (*tail).next.store(new, Ordering::Release);
             self.tail.with_mut(|p| *p = new);
             tail = new;
@@ -156,8 +293,9 @@ impl NodeState {
     ///
     /// # Safety
     ///
-    /// Only one thread may call this at a time (activation exclusivity).
-    pub unsafe fn gc(&self) -> u64 {
+    /// Only one thread may call this at a time (activation exclusivity);
+    /// same arena-domain contract as [`NodeState::push`].
+    pub unsafe fn gc(&self, alloc: &mut ChunkAlloc) -> u64 {
         let min_consumed = self
             .consumed
             .iter()
@@ -172,15 +310,15 @@ impl NodeState {
                 break;
             }
             self.head.store(next, Ordering::Relaxed);
-            self.reclaim(head);
+            self.reclaim(head, alloc);
             freed += 1;
         }
         freed
     }
 
     #[cfg(not(parsim_model))]
-    unsafe fn reclaim(&self, chunk: *mut Chunk) {
-        drop(Box::from_raw(chunk));
+    unsafe fn reclaim(&self, chunk: *mut Chunk, alloc: &mut ChunkAlloc) {
+        alloc.free(chunk);
     }
 
     /// Model-mode reclamation: tombstone every slot (any consumer that
@@ -188,7 +326,7 @@ impl NodeState {
     /// by the explorer) and keep the allocation alive until `Drop` so
     /// even an undetected late read stays memory-safe.
     #[cfg(parsim_model)]
-    unsafe fn reclaim(&self, chunk: *mut Chunk) {
+    unsafe fn reclaim(&self, chunk: *mut Chunk, _alloc: &mut ChunkAlloc) {
         for slot in &(*chunk).slots {
             slot.with_mut(|p| {
                 (*p).write((u64::MAX, Value::x(1)));
@@ -205,10 +343,16 @@ impl Drop for NodeState {
         // list (same discipline as the queue crate's drop-drains).
         let mut chunk = self.head.load(Ordering::Acquire);
         while !chunk.is_null() {
-            // SAFETY: chunks were Box-allocated and unlinked exactly once.
+            // SAFETY: chunks were allocated and unlinked exactly once.
             let next = unsafe { (*chunk).next.load(Ordering::Acquire) };
-            // (u64, Value) is Copy: no per-slot drop needed.
-            drop(unsafe { Box::from_raw(chunk) });
+            // Arena-backed chunks are slab-owned: their memory is
+            // released wholesale when the arena domain drops (which the
+            // engine orders after the nodes), so only global-allocator
+            // chunks are freed here. (u64, Value) is Copy: no per-slot
+            // drop needed.
+            if unsafe { !(*chunk).from_arena } {
+                drop(unsafe { Box::from_raw(chunk) });
+            }
             chunk = next;
         }
         #[cfg(parsim_model)]
@@ -300,11 +444,12 @@ mod tests {
 
     #[test]
     fn push_peek_consume_single_thread() {
-        let node = NodeState::new(1);
+        let mut a = ChunkAlloc::global();
+        let node = NodeState::new(1, &mut a);
         // SAFETY: single-threaded test — trivially exclusive.
         unsafe {
             for t in 0..(CHUNK as u64 * 2 + 3) {
-                node.push(t, Value::bit(t % 2 == 1));
+                node.push(t, Value::bit(t % 2 == 1), &mut a);
             }
             let mut c = Cursor::new(&node, Value::x(1));
             for t in 0..(CHUNK as u64 * 2 + 3) {
@@ -318,21 +463,24 @@ mod tests {
 
     #[test]
     fn gc_frees_only_fully_consumed_chunks() {
-        let node = NodeState::new(1);
+        let mut a = ChunkAlloc::global();
+        let node = NodeState::new(1, &mut a);
         // SAFETY: single-threaded test — trivially exclusive.
         unsafe {
             let total = CHUNK as u64 * 3;
             for t in 0..total {
-                node.push(t, Value::bit(false));
+                node.push(t, Value::bit(false), &mut a);
             }
             // Nothing consumed: nothing freed.
-            assert_eq!(node.gc(), 0);
+            assert_eq!(node.gc(&mut a), 0);
             // Cursor strictly past the first chunk (>= requires > base+CHUNK).
             node.consumed[0].store(CHUNK as u64 + 1, Ordering::Release);
-            assert_eq!(node.gc(), 1);
+            assert_eq!(node.gc(&mut a), 1);
             // Everything consumed: tail chunk still never freed.
             node.consumed[0].store(total + 1, Ordering::Release);
-            assert_eq!(node.gc(), 1);
+            assert_eq!(node.gc(&mut a), 1);
+            assert_eq!(a.allocs, 3);
+            assert_eq!(a.frees, 2);
         }
     }
 }

@@ -70,6 +70,8 @@
 //! [`SimConfig::without_local_queue`] /
 //! [`SimConfig::with_partition`](crate::SimConfig).
 
+#[cfg(not(parsim_model))]
+use std::rc::Rc;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -77,15 +79,17 @@ use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, Bit, Delay, ElemState, ElementKind, Time, Value};
 use parsim_netlist::partition::cone_cluster;
 use parsim_netlist::{Netlist, NodeId};
+#[cfg(not(parsim_model))]
+use parsim_queue::{ArenaDomain, WorkerArena};
 use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
-use crate::behavior::{Cursor, NodeState};
+use crate::behavior::{ChunkAlloc, Cursor, NodeState};
 use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
-use crate::metrics::{LocalityMetrics, Metrics, ThreadMetrics};
+use crate::metrics::{ArenaCounters, LocalityMetrics, Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
 use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
@@ -248,9 +252,15 @@ struct Ctx<'a> {
     meta: Vec<ElemMeta>,
     runs: SharedSlice<ElemRun>,
     acts: Vec<ActivationState>,
+    /// Element index -> slot in `acts` (partition-grouped layout).
+    act_of: Vec<u32>,
     pending: AtomicI64,
     activations: AtomicU64,
     chunks_freed: AtomicU64,
+    /// Chunk-allocation totals flushed by each worker's `ChunkAlloc` at
+    /// thread end (plus the build-phase tallies, folded in post-join).
+    chunk_allocs: AtomicU64,
+    chunk_frees: AtomicU64,
     watched: Vec<bool>,
     /// Owner worker per element (empty when `use_local` is off).
     owner: Vec<u32>,
@@ -267,6 +277,19 @@ struct Ctx<'a> {
     capture: bool,
     lookahead: bool,
     gc: bool,
+    /// Declared last: the domain must outlive `nodes` (arena-backed
+    /// chunks and SoA blocks live in its spans) and drop-order is
+    /// declaration order.
+    #[cfg(not(parsim_model))]
+    domain: Option<ArenaDomain>,
+}
+
+impl Ctx<'_> {
+    /// The activation flag for element `e` (partition-grouped layout).
+    #[inline(always)]
+    fn act(&self, e: usize) -> &ActivationState {
+        &self.acts[self.act_of[e] as usize]
+    }
 }
 
 /// The asynchronous lock-free simulator.
@@ -357,11 +380,60 @@ impl ChaoticAsync {
             })
             .collect();
 
-        let nodes: Vec<NodeState> = netlist
+        // Owner assignment: the explicitly configured partition if any,
+        // else fan-out cone clustering. Unused (and empty) when the local
+        // queue is ablated — the grid scatter needs no owners. Computed
+        // before the nodes are built so the SoA scheduling-state blocks
+        // below can be grouped partition-contiguously.
+        let use_local = config.local_queue;
+        let owner: Vec<u32> = if use_local {
+            match &config.partition {
+                Some(p) => {
+                    assert_eq!(
+                        p.parts(),
+                        n_threads,
+                        "SimConfig::with_partition: part count must equal the thread count"
+                    );
+                    p.assignment().to_vec()
+                }
+                None => cone_cluster(netlist, n_threads).assignment().to_vec(),
+            }
+        } else {
+            Vec::new()
+        };
+
+        // The arena domain for this run: per-worker slab arenas plus the
+        // builder slot used by this (constructing) thread. `None` under
+        // `--no-arena` (and nonexistent under the model cfg, where every
+        // chunk comes from the global allocator).
+        #[cfg(not(parsim_model))]
+        let domain = if config.arena {
+            Some(ArenaDomain::new(n_threads))
+        } else {
+            None
+        };
+        #[cfg(not(parsim_model))]
+        let mut seed_alloc = match &domain {
+            Some(d) => ChunkAlloc::arena(Rc::new(d.builder())),
+            None => ChunkAlloc::global(),
+        };
+        #[cfg(parsim_model)]
+        let mut seed_alloc = ChunkAlloc::global();
+
+        #[allow(unused_mut)]
+        let mut nodes: Vec<NodeState> = netlist
             .nodes()
             .iter()
-            .map(|nd| NodeState::new(nd.fanout().len()))
+            .map(|nd| NodeState::new(nd.fanout().len(), &mut seed_alloc))
             .collect();
+        // Cache-line-packed SoA scheduling state: each node's
+        // `valid_until` and consumption cursors move into blocks carved
+        // partition-contiguously from the owning worker's arena. Must
+        // happen before any validity store below (the slots start at 0).
+        #[cfg(not(parsim_model))]
+        if let Some(d) = &domain {
+            install_soa_slots(&mut nodes, netlist, &owner, d);
+        }
 
         // ---- initialization (§4 step 1) -----------------------------------
         // Per-thread change buffers; index 0 doubles as the init buffer.
@@ -395,7 +467,7 @@ impl ChaoticAsync {
                             continue;
                         }
                         // SAFETY: pre-spawn exclusive access.
-                        unsafe { nodes[i].push(t.ticks(), v) };
+                        unsafe { nodes[i].push(t.ticks(), v, &mut seed_alloc) };
                         let is_initial_x =
                             t0.is_none() && t == Time::ZERO && v == Value::x(nd.width());
                         if !is_initial_x {
@@ -405,21 +477,21 @@ impl ChaoticAsync {
                             }
                         }
                     }
-                    nodes[i].valid_until.store(end, Ordering::Relaxed);
+                    nodes[i].valid_until().store(end, Ordering::Relaxed);
                 }
                 Some(_) => match t0 {
                     // Driven by logic: implicit X at time zero.
-                    None => unsafe { nodes[i].push(0, Value::x(nd.width())) },
+                    None => unsafe { nodes[i].push(0, Value::x(nd.width()), &mut seed_alloc) },
                     // Resumed: the cursor baselines carry the value at the
                     // previous cut; behavior is known through it.
-                    Some(t0) => nodes[i].valid_until.store(t0, Ordering::Relaxed),
+                    Some(t0) => nodes[i].valid_until().store(t0, Ordering::Relaxed),
                 },
                 None => {
                     // Floating: X forever, known for all time.
                     if t0.is_none() {
-                        unsafe { nodes[i].push(0, Value::x(nd.width())) };
+                        unsafe { nodes[i].push(0, Value::x(nd.width()), &mut seed_alloc) };
                     }
-                    nodes[i].valid_until.store(end, Ordering::Relaxed);
+                    nodes[i].valid_until().store(end, Ordering::Relaxed);
                 }
             }
         }
@@ -436,7 +508,7 @@ impl ChaoticAsync {
                 }
                 let i = ev.node as usize;
                 // SAFETY: pre-spawn exclusive access.
-                unsafe { nodes[i].push(ev.time, ev.value) };
+                unsafe { nodes[i].push(ev.time, ev.value, &mut seed_alloc) };
                 events_seed += 1;
                 if watched[i] {
                     init_changes.push((Time(ev.time), NodeId::from_index(i), ev.value));
@@ -498,28 +570,44 @@ impl ChaoticAsync {
             }
         }
 
-        let acts: Vec<ActivationState> = (0..netlist.num_elements())
-            .map(|_| ActivationState::new())
-            .collect();
+        // Build-phase chunk traffic folds into the run totals; the
+        // builder arena must drop before workers spawn so its slab
+        // counters are flushed (and its spans graveyarded) by the time
+        // the post-join `stats()` harvest runs.
+        let seed_chunk_allocs = seed_alloc.allocs;
+        let seed_chunk_frees = seed_alloc.frees;
+        drop(seed_alloc);
 
-        // Owner assignment: the explicitly configured partition if any,
-        // else fan-out cone clustering. Unused (and empty) when the local
-        // queue is ablated — the grid scatter needs no owners.
-        let use_local = config.local_queue;
-        let owner: Vec<u32> = if use_local {
-            match &config.partition {
-                Some(p) => {
-                    assert_eq!(
-                        p.parts(),
-                        n_threads,
-                        "SimConfig::with_partition: part count must equal the thread count"
-                    );
-                    p.assignment().to_vec()
-                }
-                None => cone_cluster(netlist, n_threads).assignment().to_vec(),
+        // Activation flags, grouped by owning worker with a cache line's
+        // worth of padding between partitions so one partition's CAS
+        // traffic does not false-share its neighbor's flags. `act_of`
+        // maps element index -> slot (the identity layout when the local
+        // queue — and with it the partition — is ablated).
+        let n_elems = netlist.num_elements();
+        let (acts, act_of): (Vec<ActivationState>, Vec<u32>) = if use_local {
+            const ACT_PAD: usize = 64;
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_threads];
+            for e in 0..n_elems {
+                groups[owner[e] as usize].push(e as u32);
             }
+            let mut acts =
+                Vec::with_capacity(n_elems + ACT_PAD * n_threads.saturating_sub(1));
+            let mut act_of = vec![0u32; n_elems];
+            for (w, group) in groups.iter().enumerate() {
+                if w > 0 {
+                    acts.extend((0..ACT_PAD).map(|_| ActivationState::new()));
+                }
+                for &e in group {
+                    act_of[e as usize] = acts.len() as u32;
+                    acts.push(ActivationState::new());
+                }
+            }
+            (acts, act_of)
         } else {
-            Vec::new()
+            (
+                (0..n_elems).map(|_| ActivationState::new()).collect(),
+                (0..n_elems as u32).collect(),
+            )
         };
 
         let ctx = Ctx {
@@ -528,9 +616,12 @@ impl ChaoticAsync {
             meta,
             runs,
             acts,
+            act_of,
             pending: AtomicI64::new(0),
             activations: AtomicU64::new(0),
             chunks_freed: AtomicU64::new(0),
+            chunk_allocs: AtomicU64::new(seed_chunk_allocs),
+            chunk_frees: AtomicU64::new(seed_chunk_frees),
             watched,
             owner,
             use_local,
@@ -539,6 +630,8 @@ impl ChaoticAsync {
             capture,
             lookahead: config.lookahead,
             gc: config.gc,
+            #[cfg(not(parsim_model))]
+            domain,
         };
 
         // Initial activation: every non-generator element (matches the
@@ -550,7 +643,7 @@ impl ChaoticAsync {
                 if e.kind().is_generator() {
                     continue;
                 }
-                assert!(ctx.acts[id.index()].try_activate());
+                assert!(ctx.act(id.index()).try_activate());
                 ctx.pending.fetch_add(1, Ordering::AcqRel);
                 if use_local {
                     // Seed each worker's local deque with its owned
@@ -615,6 +708,19 @@ impl ChaoticAsync {
                                 // the grid.
                                 tm.sched.local_hits += init.len() as u64;
                                 let mut sched = Sched::new(w, tx, init, ctx.use_local);
+                                // Created on this thread so slab spans
+                                // are first-touched by their owner; the
+                                // drop (even via unwind) graveyards the
+                                // spans and flushes slab counters.
+                                let mut mem = WorkerMem::new(ctx, w);
+                                #[cfg(not(parsim_model))]
+                                if let Some(a) = &mem.arena {
+                                    // SAFETY: sched and its senders live
+                                    // and die on this thread; ctx.domain
+                                    // outlives the thread scope (and so
+                                    // every segment retired into it).
+                                    unsafe { sched.tx.use_arena(a) };
+                                }
                                 let mut backoff = Backoff::new();
                                 let mut idle_since: Option<Instant> = None;
                                 let mut processed = 0u64;
@@ -654,8 +760,14 @@ impl ChaoticAsync {
                                                 tr.instant(EventKind::Steal, e as u32);
                                             }
                                             tr.begin(EventKind::ActivationReplay, e as u32);
-                                            ctx.acts[e].begin_run();
+                                            ctx.act(e).begin_run();
                                             ctx.activations.fetch_add(1, Ordering::Relaxed);
+                                            // Epoch-pinned while the run
+                                            // may traverse cross-worker
+                                            // chunks; unpinned before the
+                                            // idle branch so peers' grace
+                                            // periods keep advancing.
+                                            mem.pin();
                                             // SAFETY: activation machine grants
                                             // exclusive element access.
                                             unsafe {
@@ -665,11 +777,13 @@ impl ChaoticAsync {
                                                     &mut sched,
                                                     &mut changes,
                                                     &mut overflow,
+                                                    &mut mem.alloc,
                                                     &mut tm,
                                                     &mut tr,
                                                 )
                                             };
-                                            if ctx.acts[e].finish_run() {
+                                            mem.unpin();
+                                            if ctx.act(e).finish_run() {
                                                 sched.enqueue(ctx, e as u32, &mut tm, &mut tr);
                                             } else {
                                                 ctx.pending.fetch_sub(1, Ordering::AcqRel);
@@ -693,6 +807,10 @@ impl ChaoticAsync {
                                             if idle_since.is_none() {
                                                 idle_since = Some(Instant::now());
                                                 tr.instant(EventKind::Heartbeat, 0);
+                                                // Reclamation progress
+                                                // even when this worker
+                                                // stops allocating.
+                                                mem.maintain();
                                             }
                                             if backoff.snooze_traced(&mut tr) {
                                                 tm.sched.backoff_parks += 1;
@@ -707,6 +825,10 @@ impl ChaoticAsync {
                                 if let Some(t0) = idle_since.take() {
                                     tm.idle += t0.elapsed();
                                 }
+                                ctx.chunk_allocs
+                                    .fetch_add(mem.alloc.allocs, Ordering::Relaxed);
+                                ctx.chunk_frees
+                                    .fetch_add(mem.alloc.frees, Ordering::Relaxed);
                                 (changes, tm, tr, overflow)
                             }),
                         );
@@ -736,16 +858,20 @@ impl ChaoticAsync {
             });
         }
         if let Some(verdict) = containment.take_verdict() {
-            let idle = ctx.acts.iter().filter(|a| a.is_idle()).count();
+            // Iterate elements (not slots): the partition-grouped `acts`
+            // layout holds always-idle padding entries.
+            let idle = (0..netlist.num_elements())
+                .filter(|&e| ctx.act(e).is_idle())
+                .count();
             let diagnostic = Box::new(StallDiagnostic {
                 heartbeats: containment.heartbeat_snapshot(),
                 pending_activations: Some(ctx.pending.load(Ordering::Acquire)),
                 activations_idle: Some(idle),
-                activations_pending: Some(ctx.acts.len() - idle),
+                activations_pending: Some(netlist.num_elements() - idle),
                 min_valid_until: ctx
                     .nodes
                     .iter()
-                    .map(|n| n.valid_until.load(Ordering::Acquire))
+                    .map(|n| n.valid_until().load(Ordering::Acquire))
                     .min()
                     .map(Time),
                 sim_time: None,
@@ -781,6 +907,22 @@ impl ChaoticAsync {
             worker_tracers.push(wt);
             carry.extend(of);
         }
+        // Workers are joined, so every per-thread `ChunkAlloc` tally has
+        // been flushed into the ctx atomics and every `WorkerArena` has
+        // pushed its slab counters into the domain.
+        #[allow(unused_mut)]
+        let mut arena_counters = ArenaCounters {
+            enabled: false,
+            chunk_allocs: ctx.chunk_allocs.load(Ordering::Relaxed),
+            chunk_frees: ctx.chunk_frees.load(Ordering::Relaxed),
+            mailbox_recycled: 0,
+            slab: Default::default(),
+        };
+        #[cfg(not(parsim_model))]
+        if let Some(d) = &ctx.domain {
+            arena_counters.enabled = true;
+            arena_counters.slab = d.stats();
+        }
         let metrics = Metrics {
             events_processed,
             evaluations,
@@ -795,6 +937,7 @@ impl ChaoticAsync {
             checkpoint: Default::default(),
             lane_width: 0,
             locality,
+            arena: arena_counters,
             wall: start.elapsed(),
         };
         let snapshot = capture.then(|| {
@@ -851,6 +994,147 @@ impl ChaoticAsync {
     }
 }
 
+/// Per-worker hot-path memory handle: the chunk-allocation policy plus,
+/// in arena mode, the worker's slab arena (shared between the policy and
+/// the epoch pin/unpin calls). Everything degrades to a no-op when the
+/// arena is ablated or under the model cfg.
+struct WorkerMem {
+    alloc: ChunkAlloc,
+    #[cfg(not(parsim_model))]
+    arena: Option<Rc<WorkerArena>>,
+}
+
+impl WorkerMem {
+    fn new(ctx: &Ctx<'_>, w: usize) -> WorkerMem {
+        #[cfg(not(parsim_model))]
+        if let Some(d) = &ctx.domain {
+            let arena = Rc::new(d.worker(w));
+            return WorkerMem {
+                alloc: ChunkAlloc::arena(Rc::clone(&arena)),
+                arena: Some(arena),
+            };
+        }
+        #[cfg(parsim_model)]
+        let _ = (ctx, w);
+        WorkerMem {
+            alloc: ChunkAlloc::global(),
+            #[cfg(not(parsim_model))]
+            arena: None,
+        }
+    }
+
+    /// Pins this worker's epoch slot around one element run, so blocks
+    /// it may be traversing cannot leave quarantine underneath it.
+    #[inline]
+    fn pin(&self) {
+        #[cfg(not(parsim_model))]
+        if let Some(a) = &self.arena {
+            a.pin();
+        }
+    }
+
+    #[inline]
+    fn unpin(&self) {
+        #[cfg(not(parsim_model))]
+        if let Some(a) = &self.arena {
+            a.unpin();
+        }
+    }
+
+    /// Idle-loop housekeeping: drains this worker's return stack, helps
+    /// the epoch advance, and promotes grace-cleared blocks.
+    fn maintain(&self) {
+        #[cfg(not(parsim_model))]
+        if let Some(a) = &self.arena {
+            a.maintain();
+        }
+    }
+}
+
+/// Moves each node's `valid_until` and consumption-cursor atomics into
+/// cache-line-packed SoA blocks carved from its home worker's arena —
+/// all of a partition's `valid_until` words first (one contiguous run),
+/// then its cursor arrays. Driverless nodes (and all nodes when no
+/// partition exists) group under the builder slot. A node whose cursor
+/// array exceeds one arena block keeps its inline storage.
+#[cfg(not(parsim_model))]
+fn install_soa_slots(
+    nodes: &mut [NodeState],
+    netlist: &Netlist,
+    owner: &[u32],
+    domain: &ArenaDomain,
+) {
+    use parsim_queue::arena::MAX_CLASS;
+
+    const SLOT: usize = std::mem::size_of::<AtomicU64>();
+
+    let n_workers = domain.n_workers();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_workers + 1];
+    for (i, nd) in netlist.nodes().iter().enumerate() {
+        let home = match nd.driver() {
+            Some((drv, _)) if !owner.is_empty() => owner[drv.index()] as usize,
+            _ => n_workers,
+        };
+        groups[home].push(i);
+    }
+
+    /// Bump carver over zeroed MAX_CLASS blocks. The blocks are never
+    /// individually retired: their spans are released wholesale when the
+    /// domain drops (which the engine orders after the nodes).
+    struct Carver<'a> {
+        arena: &'a WorkerArena,
+        cur: *mut u8,
+        left: usize,
+    }
+    impl Carver<'_> {
+        fn take(&mut self, slots: usize) -> *const AtomicU64 {
+            let bytes = slots * SLOT;
+            debug_assert!(0 < bytes && bytes <= MAX_CLASS);
+            if bytes > self.left {
+                let block = self.arena.alloc(MAX_CLASS);
+                // SAFETY: a fresh, exclusively-owned MAX_CLASS-byte
+                // block; zeroed AtomicU64s start at 0 as
+                // `set_ext_slots` requires.
+                unsafe { std::ptr::write_bytes(block, 0, MAX_CLASS) };
+                self.cur = block;
+                self.left = MAX_CLASS;
+            }
+            let p = self.cur as *const AtomicU64;
+            // SAFETY: bounds-checked against `left` just above.
+            self.cur = unsafe { self.cur.add(bytes) };
+            self.left -= bytes;
+            p
+        }
+    }
+
+    for (w, group) in groups.iter().enumerate() {
+        let eligible: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&i| netlist.nodes()[i].fanout().len().max(1) * SLOT <= MAX_CLASS)
+            .collect();
+        if eligible.is_empty() {
+            continue;
+        }
+        // A transient arena handle for slot `w`: its spans outlive it
+        // (graveyarded into the domain on drop), only its free lists die.
+        let arena = domain.worker(w);
+        let mut carver = Carver {
+            arena: &arena,
+            cur: std::ptr::null_mut(),
+            left: 0,
+        };
+        let valids: Vec<*const AtomicU64> =
+            eligible.iter().map(|_| carver.take(1)).collect();
+        for (k, &i) in eligible.iter().enumerate() {
+            let cursors = carver.take(netlist.nodes()[i].fanout().len().max(1));
+            // SAFETY: zeroed AtomicU64 slots in domain-owned spans that
+            // outlive the nodes (`Ctx` declares `domain` last).
+            unsafe { nodes[i].set_ext_slots(valids[k], cursors) };
+        }
+    }
+}
+
 /// Executes one element activation: §4's "get as much of the new output
 /// behavior from the inputs as possible".
 ///
@@ -859,12 +1143,14 @@ impl ChaoticAsync {
 /// The caller must hold the element exclusively (activation machine), which
 /// makes `runs[e]`, the output nodes' writer sides, and `last_scheduled`
 /// state single-writer.
+#[allow(clippy::too_many_arguments)]
 unsafe fn run_element(
     ctx: &Ctx<'_>,
     e: usize,
     sched: &mut Sched,
     changes: &mut Vec<(Time, NodeId, Value)>,
     overflow: &mut Vec<PendingEvent>,
+    alloc: &mut ChunkAlloc,
     tm: &mut ThreadMetrics,
     tr: &mut WorkerTracer,
 ) {
@@ -882,7 +1168,7 @@ unsafe fn run_element(
     let min_valid = meta
         .inputs
         .iter()
-        .map(|&(node, _)| ctx.nodes[node as usize].valid_until.load(Ordering::Acquire))
+        .map(|&(node, _)| ctx.nodes[node as usize].valid_until().load(Ordering::Acquire))
         .min()
         .unwrap_or(ctx.end);
 
@@ -941,7 +1227,7 @@ unsafe fn run_element(
                     run.last_out[port] = v;
                     run.last_te[port] = te;
                     run.cut_val[port] = v;
-                    ctx.nodes[out_node].push(te, v);
+                    ctx.nodes[out_node].push(te, v, alloc);
                     tm.events += 1;
                     tr.instant(EventKind::EventInsert, out_node as u32);
                     if ctx.watched[out_node] {
@@ -963,7 +1249,7 @@ unsafe fn run_element(
                     });
                 }
             }
-            let vu = &ctx.nodes[out_node].valid_until;
+            let vu = ctx.nodes[out_node].valid_until();
             // Relaxed is sufficient: `valid_until` of an output node is
             // stored only by this element's run, and successive runs are
             // ordered by the activation machine's AcqRel RMW chain
@@ -981,7 +1267,7 @@ unsafe fn run_element(
                 woken[port] = true;
                 for &(consumer, _) in ctx.netlist.nodes()[out_node].fanout() {
                     let c = consumer.index();
-                    if ctx.acts[c].try_activate() {
+                    if ctx.act(c).try_activate() {
                         ctx.pending.fetch_add(1, Ordering::AcqRel);
                         sched.enqueue_eager(ctx, c as u32, tm, tr);
                     }
@@ -1005,7 +1291,7 @@ unsafe fn run_element(
                 let node = &ctx.nodes[node as usize];
                 let hold_end = match run.cursors[i].peek(node) {
                     Some((t, _)) => t.saturating_sub(1),
-                    None => node.valid_until.load(Ordering::Acquire),
+                    None => node.valid_until().load(Ordering::Acquire),
                 };
                 pin_end = pin_end.max(hold_end);
                 pinned = true;
@@ -1043,7 +1329,7 @@ unsafe fn run_element(
     // ---- extend output valid times (incremental clock values) --------------
     let out_valid = effective_valid.saturating_add(meta.delay).min(ctx.end);
     for &out in &meta.outputs {
-        let vu = &ctx.nodes[out as usize].valid_until;
+        let vu = ctx.nodes[out as usize].valid_until();
         // Relaxed load justified by writer exclusivity — same argument as
         // the `known_through` site above (and the same model test).
         if vu.load(Ordering::Relaxed) < out_valid {
@@ -1057,7 +1343,7 @@ unsafe fn run_element(
         for &out in &meta.outputs {
             for &(consumer, _) in ctx.netlist.nodes()[out as usize].fanout() {
                 let c = consumer.index();
-                if ctx.acts[c].try_activate() {
+                if ctx.act(c).try_activate() {
                     ctx.pending.fetch_add(1, Ordering::AcqRel);
                     sched.enqueue(ctx, c as u32, tm, tr);
                 }
@@ -1068,7 +1354,7 @@ unsafe fn run_element(
     // ---- asynchronous garbage collection ------------------------------------
     if ctx.gc {
         for &out in &meta.outputs {
-            let freed = ctx.nodes[out as usize].gc();
+            let freed = ctx.nodes[out as usize].gc(alloc);
             if freed > 0 {
                 ctx.chunks_freed.fetch_add(freed, Ordering::Relaxed);
             }

@@ -150,6 +150,14 @@ pub struct SimConfig {
     /// [`BatchSync`]). Defaults to [`BatchSync::Neighbor`]. Never changes
     /// waveforms.
     pub batch_sync: BatchSync,
+    /// Per-worker slab arenas with epoch-based reclamation for the
+    /// asynchronous engine's hot-path allocations (behavior chunks, SPSC
+    /// segments, SoA scheduling state). On by default; the
+    /// `PARSIM_NO_ARENA` environment variable flips the default off and
+    /// [`SimConfig::without_arena`] disables it per run (the ablation:
+    /// every chunk becomes one global-allocator call). Never changes
+    /// waveforms.
+    pub arena: bool,
 }
 
 impl SimConfig {
@@ -173,6 +181,7 @@ impl SimConfig {
             checkpoint: None,
             lane_width: None,
             batch_sync: BatchSync::default(),
+            arena: std::env::var_os("PARSIM_NO_ARENA").is_none(),
         }
     }
 
@@ -304,6 +313,15 @@ impl SimConfig {
         self
     }
 
+    /// Disables the asynchronous engine's per-worker slab arenas,
+    /// reverting every behavior-chunk allocation to the global allocator
+    /// (the `BENCH_5.json` ablation baseline).
+    #[must_use]
+    pub fn without_arena(mut self) -> SimConfig {
+        self.arena = false;
+        self
+    }
+
     /// Supplies an explicit element→processor partition for the
     /// asynchronous engine's locality-aware scheduler (ablation /
     /// experimentation knob; the default is a fan-out cone clustering
@@ -402,7 +420,8 @@ mod tests {
             .without_gc()
             .with_timing_wheel()
             .without_activity_gating()
-            .without_local_queue();
+            .without_local_queue()
+            .without_arena();
         assert_eq!(cfg.end_time, Time(5));
         assert_eq!(cfg.watch, vec![n0, n1]);
         assert_eq!(cfg.threads, 3);
@@ -411,6 +430,9 @@ mod tests {
         assert!(cfg.timing_wheel);
         assert!(!cfg.activity_gating);
         assert!(!cfg.local_queue);
+        assert!(!cfg.arena);
+        // The default honors PARSIM_NO_ARENA; unset in the test env.
+        assert!(SimConfig::new(Time(5)).arena);
         assert!(SimConfig::new(Time(5)).activity_gating);
         assert!(SimConfig::new(Time(5)).local_queue);
         assert!(SimConfig::new(Time(5)).partition.is_none());

@@ -468,6 +468,7 @@ pub(crate) fn run_batch_segment(
         checkpoint: Default::default(),
         lane_width: used_width,
         locality: Default::default(),
+        arena: Default::default(),
         wall: start.elapsed(),
     };
 

@@ -389,6 +389,7 @@ pub(crate) fn run_segment(
         checkpoint: Default::default(),
         lane_width: 0,
         locality: Default::default(),
+        arena: Default::default(),
         wall: start.elapsed(),
     };
     let snapshot = capture.then(|| {

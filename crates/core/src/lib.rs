@@ -79,7 +79,8 @@ pub use config::{BatchSync, CheckpointPolicy, SimConfig};
 pub use error::{SimError, StallDiagnostic};
 pub use fault::FaultPlan;
 pub use metrics::{
-    CheckpointCounters, EventsPerStepHistogram, LocalityMetrics, Metrics, ThreadMetrics,
+    ArenaCounters, CheckpointCounters, EventsPerStepHistogram, LocalityMetrics, Metrics,
+    ThreadMetrics,
 };
 pub use parsim_checkpoint::{
     CheckpointError, CheckpointStore, EngineSnapshot, StorageFault, StorageFaultPlan,

@@ -317,8 +317,71 @@ pub struct Metrics {
     /// engine, so benchmark JSON built from these metrics is
     /// self-describing about the vector width that produced it.
     pub lane_width: u64,
+    /// Arena-allocation counters (chunk traffic for every chaotic run;
+    /// slab/epoch counters when the arena is enabled).
+    pub arena: ArenaCounters,
     /// Wall-clock duration of the run (excluding netlist construction).
     pub wall: Duration,
+}
+
+/// Hot-path allocation counters, folded into [`Metrics`] by the engines.
+///
+/// `chunk_allocs`/`chunk_frees` count behavior-chunk traffic regardless
+/// of backing (with the arena ablated each alloc is one global-allocator
+/// call — the `BENCH_5.json` ablation baseline); the [`ArenaCounters::slab`]
+/// block is populated only when the arena ran, and its `slab_allocs` are
+/// then the *only* global-allocator calls on the chunk path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaCounters {
+    /// Whether the run used per-worker slab arenas.
+    pub enabled: bool,
+    /// Behavior-list chunks allocated (all workers plus the build phase).
+    pub chunk_allocs: u64,
+    /// Behavior-list chunks retired/freed.
+    pub chunk_frees: u64,
+    /// Synchronous-engine mailbox buffers served from the recycling pool
+    /// (the hit counter complementing [`Metrics::pool_misses`]).
+    pub mailbox_recycled: u64,
+    /// Slab/epoch counters aggregated across the run's arena domain.
+    pub slab: parsim_queue::ArenaStats,
+}
+
+impl ArenaCounters {
+    /// Merges another run segment's counters (additive; the quarantine
+    /// high-water inside `slab` merges as a maximum).
+    pub fn merge(&mut self, other: &ArenaCounters) {
+        self.enabled |= other.enabled;
+        self.chunk_allocs += other.chunk_allocs;
+        self.chunk_frees += other.chunk_frees;
+        self.mailbox_recycled += other.mailbox_recycled;
+        self.slab.merge(&other.slab);
+    }
+
+    /// True when no allocation activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == ArenaCounters::default()
+    }
+
+    /// Global-allocator calls on the chunk hot path: slab-span grows in
+    /// arena mode, one call per chunk otherwise.
+    pub fn global_allocs(&self) -> u64 {
+        if self.enabled {
+            self.slab.slab_allocs
+        } else {
+            self.chunk_allocs
+        }
+    }
+
+    /// Fraction of chunk allocations served by recycling a
+    /// previously-retired slab block (0.0 with the arena off).
+    pub fn recycle_ratio(&self) -> f64 {
+        let total = self.slab.recycled + self.slab.fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.slab.recycled as f64 / total as f64
+        }
+    }
 }
 
 /// Checkpoint overhead counters, folded into [`Metrics`] by the
@@ -373,6 +436,7 @@ impl Metrics {
         self.evals_skipped += other.evals_skipped;
         self.locality.merge(&other.locality);
         self.pool_misses += other.pool_misses;
+        self.arena.merge(&other.arena);
         self.checkpoint.merge(&other.checkpoint);
         self.lane_width = self.lane_width.max(other.lane_width);
         self.wall = self.wall.max(other.wall);
@@ -439,6 +503,20 @@ impl fmt::Display for Metrics {
         )?;
         if self.lane_width > 0 {
             write!(f, ", {}-bit lanes", self.lane_width)?;
+        }
+        if !self.arena.is_empty() {
+            if self.arena.enabled {
+                write!(
+                    f,
+                    ", arena: {} chunks ({:.0}% recycled, {} slab grows, quarantine peak {})",
+                    self.arena.chunk_allocs,
+                    self.arena.recycle_ratio() * 100.0,
+                    self.arena.slab.slab_allocs,
+                    self.arena.slab.quarantine_peak,
+                )?;
+            } else {
+                write!(f, ", arena off: {} chunk mallocs", self.arena.chunk_allocs)?;
+            }
         }
         if !self.checkpoint.is_empty() {
             write!(
@@ -536,6 +614,16 @@ mod tests {
             evals_skipped: 4,
             pool_misses: 6,
             locality: LocalityMetrics { local_hits: 3, ..Default::default() },
+            arena: ArenaCounters {
+                enabled: true,
+                chunk_allocs: 100,
+                chunk_frees: 40,
+                slab: parsim_queue::ArenaStats {
+                    quarantine_peak: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
             per_thread: vec![ThreadMetrics::default()],
             lane_width: 64,
             wall: Duration::from_millis(10),
@@ -549,6 +637,15 @@ mod tests {
             time_steps: 1,
             pool_misses: 1,
             locality: LocalityMetrics { grid_sends: 9, ..Default::default() },
+            arena: ArenaCounters {
+                chunk_allocs: 10,
+                mailbox_recycled: 3,
+                slab: parsim_queue::ArenaStats {
+                    quarantine_peak: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
             per_thread: vec![ThreadMetrics::default(), ThreadMetrics::default()],
             lane_width: 256,
             wall: Duration::from_millis(4),
@@ -564,6 +661,14 @@ mod tests {
         assert_eq!(a.locality.local_hits, 3);
         assert_eq!(a.locality.grid_sends, 9);
         assert_eq!(a.per_thread.len(), 3);
+        assert!(a.arena.enabled);
+        assert_eq!(a.arena.chunk_allocs, 110);
+        assert_eq!(a.arena.chunk_frees, 40);
+        assert_eq!(a.arena.mailbox_recycled, 3);
+        assert_eq!(
+            a.arena.slab.quarantine_peak, 5,
+            "quarantine high-water merges as a max"
+        );
         assert_eq!(a.events_per_step.steps(), 2);
         assert_eq!(a.events_per_step.max(), 700);
         assert_eq!(a.wall, Duration::from_millis(10), "wall is max, not sum");

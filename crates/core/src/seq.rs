@@ -355,6 +355,7 @@ impl EventDriven {
             pool_misses: 0,
             checkpoint: Default::default(),
             lane_width: 0,
+            arena: Default::default(),
             wall: start.elapsed(),
         };
         let snapshot = seg.capture.then(|| {

@@ -30,14 +30,14 @@ use std::time::Instant;
 use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
-use parsim_queue::SpinBarrier;
+use parsim_queue::{MailPool, SpinBarrier};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
 use crate::checkpoint::{SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
-use crate::metrics::{Metrics, ThreadMetrics};
+use crate::metrics::{ArenaCounters, Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
 use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
@@ -46,17 +46,20 @@ use crate::waveform::SimResult;
 const ENGINE: &str = "sync-event-driven";
 
 /// Per-worker results: recorded waveform changes, timing counters, the
-/// worker's count of update-buffer pool misses (fresh `Vec<Update>`
-/// allocations in the scheduling hot path — steady state recycles drained
-/// buffers through `free_mail`, so misses are bounded by the peak number
-/// of simultaneously live `(mailbox, time)` entries, not by the event
-/// count; asserted by `tests::update_buffers_are_recycled` and surfaced as
-/// [`Metrics::pool_misses`]), the worker's trace ring, and the events the
-/// worker computed beyond the segment cut (checkpoint capture mode).
+/// worker's update-buffer pool counts as `(misses, hits)` — misses are
+/// fresh `Vec<Update>` allocations in the scheduling hot path (steady
+/// state recycles drained buffers through the [`MailPool`], so misses
+/// are bounded by the peak number of simultaneously live
+/// `(mailbox, time)` entries, not by the event count; asserted by
+/// `tests::update_buffers_are_recycled` and surfaced as
+/// [`Metrics::pool_misses`]; hits become
+/// [`ArenaCounters::mailbox_recycled`](crate::metrics::ArenaCounters)) —
+/// the worker's trace ring, and the events the worker computed beyond
+/// the segment cut (checkpoint capture mode).
 type WorkerOutput = (
     Vec<(Time, NodeId, Value)>,
     ThreadMetrics,
-    u64,
+    (u64, u64),
     WorkerTracer,
     Vec<PendingEvent>,
 );
@@ -168,15 +171,16 @@ impl SyncEventDriven {
         // n x n mailboxes: slot i*n+j written by thread i, drained by j.
         let node_mail: SharedSlice<BTreeMap<u64, Vec<Update>>> =
             SharedSlice::from_fn(n * n, |_| BTreeMap::new());
-        // Recycled update buffers, one pool per mailbox slot. The drain
-        // side (phase A fill, reader thread) pushes emptied vectors; the
-        // insert side (phase B, writer thread) pops them for new time
-        // entries. The two sides run in barrier-separated phases, so each
-        // pool has one accessor at a time — the same discipline as the
-        // mailbox it shadows. Net effect: the scheduling hot path performs
-        // zero steady-state allocations (see `POOL_MISSES`).
-        let free_mail: SharedSlice<Vec<Vec<Update>>> =
-            SharedSlice::from_fn(n * n, |_| Vec::new());
+        // Recycled update buffers, one pool per mailbox slot
+        // ([`parsim_queue::MailPool`], the arena module's barrier-
+        // separated recycler). The drain side (phase A fill, reader
+        // thread) puts emptied vectors back; the insert side (phase B,
+        // writer thread) takes them for new time entries. The two sides
+        // run in barrier-separated phases, so each slot has one accessor
+        // at a time — the same discipline as the mailbox it shadows. Net
+        // effect: the scheduling hot path performs zero steady-state
+        // allocations.
+        let free_mail: MailPool<Update> = MailPool::new(n);
         let elem_mail: SharedSlice<Vec<u32>> = SharedSlice::from_fn(n * n, |_| Vec::new());
         // Per-thread phase work lists + steal cursors.
         let phase_nodes: SharedSlice<Vec<Update>> = SharedSlice::from_fn(n, |_| Vec::new());
@@ -283,6 +287,7 @@ impl SyncEventDriven {
                         let mut tm = ThreadMetrics::default();
                         let mut tr = tracer_ref.worker(me);
                         let mut pool_misses = 0u64;
+                        let mut pool_hits = 0u64;
                         let mut rr_elem = (me + 1) % n;
                         let mut rr_node = (me + 1) % n;
                         let mut inputs_buf: Vec<Value> = Vec::with_capacity(8);
@@ -311,11 +316,11 @@ impl SyncEventDriven {
                                         // capacity: recycle it for the
                                         // writer of this slot.
                                         work.append(&mut us);
-                                        // SAFETY: pool (i, me) is pushed
+                                        // SAFETY: pool slot (i, me) is put
                                         // only here (phase A, by `me`);
-                                        // the popping writer runs in
+                                        // the taking writer runs in
                                         // barrier-separated phase B.
-                                        unsafe { free_mail.get_mut(i * n + me) }.push(us);
+                                        unsafe { free_mail.put(i, me, us) };
                                     }
                                 }
                                 node_cursor[me].store(0, Ordering::Release);
@@ -493,19 +498,26 @@ impl SyncEventDriven {
                                             unsafe { node_mail.get_mut(me * n + rr_node) }
                                                 .entry(te)
                                                 .or_insert_with(|| {
-                                                    unsafe {
-                                                        free_mail
-                                                            .get_mut(me * n + rr_node)
+                                                    // SAFETY: slot
+                                                    // (me, rr_node) is
+                                                    // taken only by `me`
+                                                    // in this phase.
+                                                    match unsafe {
+                                                        free_mail.take(me, rr_node)
+                                                    } {
+                                                        Some(buf) => {
+                                                            pool_hits += 1;
+                                                            buf
+                                                        }
+                                                        None => {
+                                                            pool_misses += 1;
+                                                            tr.instant(
+                                                                EventKind::PoolMiss,
+                                                                rr_node as u32,
+                                                            );
+                                                            Vec::new()
+                                                        }
                                                     }
-                                                    .pop()
-                                                    .unwrap_or_else(|| {
-                                                        pool_misses += 1;
-                                                        tr.instant(
-                                                            EventKind::PoolMiss,
-                                                            rr_node as u32,
-                                                        );
-                                                        Vec::new()
-                                                    })
                                                 })
                                                 .push(Update {
                                                     node: out_node as u32,
@@ -565,7 +577,7 @@ impl SyncEventDriven {
                                 break 'run;
                             }
                         }
-                        (changes, tm, pool_misses, tr, overflow)
+                        (changes, tm, (pool_misses, pool_hits), tr, overflow)
                         }));
                         match body {
                             Ok(out) => Some(out),
@@ -618,10 +630,12 @@ impl SyncEventDriven {
         let mut per_thread = Vec::with_capacity(n);
         let mut evaluations = 0;
         let mut pool_misses = 0;
+        let mut pool_hits = 0;
         let mut worker_tracers = Vec::with_capacity(n);
-        for (c, tm, pm, wt, of) in outputs {
+        for (c, tm, (pm, ph), wt, of) in outputs {
             evaluations += tm.evaluations;
             pool_misses += pm;
+            pool_hits += ph;
             changes.extend(c);
             per_thread.push(tm);
             worker_tracers.push(wt);
@@ -641,6 +655,10 @@ impl SyncEventDriven {
             pool_misses,
             checkpoint: Default::default(),
             lane_width: 0,
+            arena: ArenaCounters {
+                mailbox_recycled: pool_hits,
+                ..Default::default()
+            },
             wall: start.elapsed(),
         };
         let snapshot = capture.then(|| {

@@ -1,0 +1,156 @@
+//! Arena memory architecture: oracle equivalence with the slab arenas on
+//! and off, allocator-accounting invariants, and slab-leak checks —
+//! including the `SimError` early-exit path, where every span must still
+//! return to the global allocator when the engine is torn down.
+//!
+//! `live_slab_blocks` is a process-global counter, so every test here
+//! serializes on one mutex: a leak assertion must not observe another
+//! test's transient spans.
+
+use std::sync::Mutex;
+
+use parsim_circuits::{inverter_array, random_circuit, RandomCircuitParams};
+use parsim_core::{
+    equivalence_report, ChaoticAsync, EventDriven, FaultPlan, SimConfig, SimError,
+};
+use parsim_logic::Time;
+use parsim_queue::arena::live_slab_blocks;
+use proptest::prelude::*;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn params_strategy() -> impl Strategy<Value = RandomCircuitParams> {
+    (
+        5usize..80,   // elements
+        1usize..6,    // inputs
+        0u64..4,      // seq fraction in quarters
+        1u64..4,      // max delay
+        any::<u64>(), // seed
+    )
+        .prop_map(|(elements, inputs, seqq, max_delay, seed)| RandomCircuitParams {
+            elements,
+            inputs,
+            seq_fraction: seqq as f64 * 0.25,
+            max_delay,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The arena is a pure allocation strategy: with it on or off, at any
+    /// thread count, the chaotic engine must reproduce the sequential
+    /// oracle's waveforms bit-identically.
+    #[test]
+    fn arena_ablation_matches_reference(
+        params in params_strategy(),
+        threads in 1usize..9,
+    ) {
+        let _g = serial();
+        let c = random_circuit(&params).unwrap();
+        let cfg = SimConfig::new(Time(150)).watch_all(c.watch.clone());
+        let seq = EventDriven::run(&c.netlist, &cfg).unwrap();
+
+        let mut on_cfg = cfg.clone().threads(threads);
+        on_cfg.arena = true; // robust against PARSIM_NO_ARENA in the env
+        let on = ChaoticAsync::run(&c.netlist, &on_cfg).unwrap();
+        let rep = equivalence_report(&seq, &on);
+        prop_assert!(rep.is_equivalent(), "seed {} arena x{threads}: {rep}", params.seed);
+        prop_assert!(on.metrics.arena.enabled);
+
+        let off = ChaoticAsync::run(
+            &c.netlist,
+            &cfg.clone().threads(threads).without_arena(),
+        ).unwrap();
+        let rep = equivalence_report(&seq, &off);
+        prop_assert!(rep.is_equivalent(), "seed {} no-arena x{threads}: {rep}", params.seed);
+        prop_assert!(!off.metrics.arena.enabled);
+        prop_assert_eq!(off.metrics.arena.slab.slab_allocs, 0);
+    }
+}
+
+/// Steady-state accounting: with the arena on, the only global-allocator
+/// calls on the chunk path are slab-span grows, and there are far fewer
+/// of them than the ablation's one-malloc-per-chunk.
+#[test]
+fn arena_cuts_global_allocator_calls() {
+    let _g = serial();
+    let arr = inverter_array(16, 16, 2).unwrap();
+    let cfg = SimConfig::new(Time(600)).threads(4);
+    let mut on_cfg = cfg.clone();
+    on_cfg.arena = true;
+    let on = ChaoticAsync::run(&arr.netlist, &on_cfg).unwrap();
+    let off = ChaoticAsync::run(&arr.netlist, &cfg.clone().without_arena()).unwrap();
+
+    let a = &on.metrics.arena;
+    assert!(a.enabled);
+    assert_eq!(a.global_allocs(), a.slab.slab_allocs);
+    assert!(
+        a.slab.recycled + a.slab.fresh >= a.chunk_allocs,
+        "every chunk comes out of the slab layer: {a:?}"
+    );
+
+    let b = &off.metrics.arena;
+    assert!(!b.enabled);
+    assert_eq!(b.global_allocs(), b.chunk_allocs);
+    assert!(
+        b.global_allocs() >= 10 * a.global_allocs().max(1),
+        "ablation {} vs arena {} global allocs",
+        b.global_allocs(),
+        a.global_allocs()
+    );
+}
+
+/// Every slab span allocated during a run is returned to the global
+/// allocator when the engine is dropped — across repeated runs and
+/// thread counts, the live-span counter always lands back where it was.
+#[test]
+fn clean_runs_leak_no_slab_spans() {
+    let _g = serial();
+    let arr = inverter_array(8, 8, 2).unwrap();
+    let before = live_slab_blocks();
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = SimConfig::new(Time(400)).threads(threads);
+        cfg.arena = true;
+        let r = ChaoticAsync::run(&arr.netlist, &cfg).unwrap();
+        assert!(r.metrics.arena.slab.slab_allocs > 0, "x{threads}: arena unused");
+    }
+    assert_eq!(
+        live_slab_blocks(),
+        before,
+        "slab spans leaked across clean runs"
+    );
+}
+
+/// The `SimError` early exit must tear the arena down just as completely:
+/// a worker panic mid-run unwinds through pinned epochs, live chunks, and
+/// in-flight ring segments, and still every span is freed.
+#[test]
+fn early_exit_leaks_no_slab_spans() {
+    let _g = serial();
+    let arr = inverter_array(8, 8, 1).unwrap();
+    let before = live_slab_blocks();
+    for threads in [2usize, 4] {
+        let victim = threads - 1;
+        let mut cfg = SimConfig::new(Time(1_000))
+            .threads(threads)
+            .with_fault(FaultPlan::panic_at(victim, 3));
+        cfg.arena = true;
+        let err = ChaoticAsync::run(&arr.netlist, &cfg)
+            .expect_err("injected panic must surface as an error");
+        assert!(
+            matches!(err, SimError::WorkerPanicked { worker, .. } if worker == victim),
+            "x{threads}: got {err}"
+        );
+    }
+    assert_eq!(
+        live_slab_blocks(),
+        before,
+        "slab spans leaked on the SimError path"
+    );
+}

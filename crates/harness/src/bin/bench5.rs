@@ -1,0 +1,521 @@
+//! `bench5` — arena memory architecture ablation (BENCH_5).
+//!
+//! Runs the asynchronous chaotic engine with the per-worker slab arenas
+//! on (the default) and off (`without_arena`, every behavior chunk and
+//! ring segment a direct global-allocator call) at 1/2/4/8 worker
+//! threads on the BENCH_3 circuits — the paper's 32×16 inverter array
+//! and the 16-bit gate-level multiplier. Every run is checked
+//! bit-identical against the sequential event-driven oracle; the
+//! headline number is the reduction in steady-state global-allocator
+//! calls ([`global_allocs`]: slab-span grows with the arena on, one
+//! `malloc` per chunk with it off). A second section sweeps the machine
+//! cost model's remote-memory penalty ([`CostModel::remote_mem_cost`])
+//! to show what non-uniform memory would cost a simulator that ignored
+//! allocation placement. Writes `BENCH_5.json` in the current directory
+//! (override with `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p parsim-harness --bin bench5 [-- --quick] [--out BENCH_5.json] [--threads N,N,..]
+//! ```
+//!
+//! `--quick` (or the `PARSIM_BENCH_QUICK` env var) shortens simulated
+//! time so CI can smoke-test the harness; `--threads` overrides the
+//! default 1,2,4,8 sweep.
+//!
+//! [`global_allocs`]: parsim_core::ArenaCounters::global_allocs
+//! [`CostModel::remote_mem_cost`]: parsim_machine::CostModel
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use parsim_core::{equivalence_report, ChaoticAsync, EventDriven, SimConfig, SimResult};
+use parsim_harness::{json, paper_gate_multiplier, paper_inverter_array};
+use parsim_logic::Time;
+use parsim_machine::{model_async, MachineConfig};
+use parsim_netlist::Netlist;
+
+/// Default worker-thread sweep (matches bench3).
+const DEFAULT_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Remote-memory penalties swept by the machine-model section, in
+/// inverter-event cost units on top of a fixed 1-unit local charge.
+const REMOTE_COSTS: [u64; 4] = [1, 25, 100, 400];
+
+/// One engine × thread-count × arena-mode measurement.
+struct RunRow {
+    threads: usize,
+    wall_secs: f64,
+    events: u64,
+    global_allocs: u64,
+    chunk_allocs: u64,
+    chunk_frees: u64,
+    slab_allocs: u64,
+    slab_bytes: u64,
+    recycled: u64,
+    fresh: u64,
+    reclaimed: u64,
+    quarantine_peak: u64,
+    recycle_ratio: f64,
+    oracle_match: bool,
+}
+
+impl RunRow {
+    fn from_result(threads: usize, wall_secs: f64, r: &SimResult, oracle: &SimResult) -> RunRow {
+        let a = &r.metrics.arena;
+        RunRow {
+            threads,
+            wall_secs,
+            events: r.metrics.events_processed,
+            global_allocs: a.global_allocs(),
+            chunk_allocs: a.chunk_allocs,
+            chunk_frees: a.chunk_frees,
+            slab_allocs: a.slab.slab_allocs,
+            slab_bytes: a.slab.slab_bytes,
+            recycled: a.slab.recycled,
+            fresh: a.slab.fresh,
+            reclaimed: a.slab.reclaimed,
+            quarantine_peak: a.slab.quarantine_peak,
+            recycle_ratio: a.recycle_ratio(),
+            oracle_match: equivalence_report(oracle, r).is_equivalent(),
+        }
+    }
+}
+
+/// One remote-memory-penalty point from the machine cost model.
+struct CostPoint {
+    remote_mem_cost: u64,
+    virtual_time: u64,
+    remote_fraction: f64,
+    slowdown: f64,
+}
+
+struct CircuitReport {
+    name: &'static str,
+    elements: usize,
+    end_time: u64,
+    /// Chaotic engine, per-worker slab arenas (the default).
+    arena_on: Vec<RunRow>,
+    /// Chaotic engine, `without_arena` global-allocator ablation.
+    arena_off: Vec<RunRow>,
+}
+
+/// Best-of-`reps` wall time per thread count; allocator counters come
+/// from the fastest repetition (chunk traffic is deterministic per run
+/// length, slab-span counts vary slightly with scheduling).
+fn sweep<F>(threads: &[usize], reps: usize, oracle: &SimResult, mut run: F) -> Vec<RunRow>
+where
+    F: FnMut(usize) -> SimResult,
+{
+    threads
+        .iter()
+        .map(|&t| {
+            let mut best: Option<RunRow> = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = run(t);
+                let wall = t0.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|b| wall < b.wall_secs) {
+                    best = Some(RunRow::from_result(t, wall, &r, oracle));
+                }
+            }
+            best.expect("reps >= 1")
+        })
+        .collect()
+}
+
+fn measure(
+    netlist: &Netlist,
+    name: &'static str,
+    watch: Vec<parsim_netlist::NodeId>,
+    end: u64,
+    threads: &[usize],
+    reps: usize,
+) -> CircuitReport {
+    let cfg = SimConfig::new(Time(end)).watch_all(watch);
+    let oracle = EventDriven::run(netlist, &cfg).expect("seq oracle run");
+    let arena_on = sweep(threads, reps, &oracle, |t| {
+        // Force the arena on even under PARSIM_NO_ARENA so the two legs
+        // always measure what their names claim.
+        let mut c = cfg.clone().threads(t);
+        c.arena = true;
+        ChaoticAsync::run(netlist, &c).expect("arena run")
+    });
+    let arena_off = sweep(threads, reps, &oracle, |t| {
+        ChaoticAsync::run(netlist, &cfg.clone().threads(t).without_arena())
+            .expect("ablation run")
+    });
+    CircuitReport {
+        name,
+        elements: netlist.num_elements(),
+        end_time: end,
+        arena_on,
+        arena_off,
+    }
+}
+
+/// Machine-model section: the same netlist under the DAC-machine cost
+/// executor, charging `local_mem_cost`/`remote_mem_cost` per committed
+/// event depending on whether the executing processor owns the target
+/// element's arena home. Slowdowns are relative to the uniform-memory
+/// point (remote == local == 1).
+fn cost_curve(netlist: &Netlist, end: Time, procs: usize) -> Vec<CostPoint> {
+    let base: Option<u64> = None;
+    let mut baseline = base;
+    REMOTE_COSTS
+        .iter()
+        .map(|&remote| {
+            let mut m = MachineConfig::multimax(procs);
+            m.cost.local_mem_cost = 1;
+            m.cost.remote_mem_cost = remote;
+            let r = model_async(netlist, end, &m);
+            let b = *baseline.get_or_insert(r.virtual_time);
+            CostPoint {
+                remote_mem_cost: remote,
+                virtual_time: r.virtual_time,
+                remote_fraction: r.remote_fraction(),
+                slowdown: if b == 0 {
+                    0.0
+                } else {
+                    r.virtual_time as f64 / b as f64
+                },
+            }
+        })
+        .collect()
+}
+
+fn json_f(v: f64) -> String {
+    json::num(v)
+}
+
+fn rows_json(out: &mut String, indent: &str, rows: &[RunRow]) {
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!("{indent}{{\n"));
+        out.push_str(&format!("{indent}  \"threads\": {},\n", r.threads));
+        out.push_str(&format!("{indent}  \"wall_secs\": {},\n", json_f(r.wall_secs)));
+        out.push_str(&format!("{indent}  \"events\": {},\n", r.events));
+        out.push_str(&format!("{indent}  \"global_allocs\": {},\n", r.global_allocs));
+        out.push_str(&format!("{indent}  \"chunk_allocs\": {},\n", r.chunk_allocs));
+        out.push_str(&format!("{indent}  \"chunk_frees\": {},\n", r.chunk_frees));
+        out.push_str(&format!("{indent}  \"slab_allocs\": {},\n", r.slab_allocs));
+        out.push_str(&format!("{indent}  \"slab_bytes\": {},\n", r.slab_bytes));
+        out.push_str(&format!("{indent}  \"recycled\": {},\n", r.recycled));
+        out.push_str(&format!("{indent}  \"fresh\": {},\n", r.fresh));
+        out.push_str(&format!("{indent}  \"reclaimed\": {},\n", r.reclaimed));
+        out.push_str(&format!(
+            "{indent}  \"quarantine_peak\": {},\n",
+            r.quarantine_peak
+        ));
+        out.push_str(&format!(
+            "{indent}  \"recycle_ratio\": {},\n",
+            json_f(r.recycle_ratio)
+        ));
+        out.push_str(&format!("{indent}  \"oracle_match\": {}\n", r.oracle_match));
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("{indent}}}{sep}\n"));
+    }
+}
+
+/// Global-allocator-call reduction of the arena leg over the ablation
+/// at sweep row `i` (0.0 when the arena leg recorded none — vacuous
+/// runs must fail the criterion, not divide by zero).
+fn alloc_reduction(rep: &CircuitReport, i: usize) -> f64 {
+    let on = rep.arena_on[i].global_allocs;
+    let off = rep.arena_off[i].global_allocs;
+    if on == 0 {
+        0.0
+    } else {
+        off as f64 / on as f64
+    }
+}
+
+fn render(
+    reports: &[CircuitReport],
+    curve: &[CostPoint],
+    curve_procs: usize,
+    threads: &[usize],
+    quick: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"arena-allocator-ablation\",\n");
+    out.push_str("  \"generated_by\": \"parsim-harness bench5\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(
+        "  \"accounting\": \"global_allocs = slab spans (arena on) vs per-chunk mallocs (arena off)\",\n",
+    );
+    out.push_str("  \"circuits\": [\n");
+    for (ci, rep) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", rep.name));
+        out.push_str(&format!("      \"elements\": {},\n", rep.elements));
+        out.push_str(&format!("      \"end_time\": {},\n", rep.end_time));
+        out.push_str("      \"arena_on\": [\n");
+        rows_json(&mut out, "        ", &rep.arena_on);
+        out.push_str("      ],\n");
+        out.push_str("      \"arena_off\": [\n");
+        rows_json(&mut out, "        ", &rep.arena_off);
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"alloc_reduction_per_row\": [{}]\n",
+            (0..rep.arena_on.len())
+                .map(|i| json_f(alloc_reduction(rep, i)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(if ci + 1 == reports.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"memory_cost_model\": {\n");
+    out.push_str(&format!("    \"procs\": {curve_procs},\n"));
+    out.push_str("    \"local_mem_cost\": 1,\n");
+    out.push_str("    \"circuit\": \"gate_multiplier\",\n");
+    out.push_str("    \"points\": [\n");
+    for (i, p) in curve.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"remote_mem_cost\": {}, \"virtual_time\": {}, \"remote_fraction\": {}, \"slowdown\": {}}}{}\n",
+            p.remote_mem_cost,
+            p.virtual_time,
+            json_f(p.remote_fraction),
+            json_f(p.slowdown),
+            if i + 1 == curve.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+
+    // Acceptance: the arena must cut steady-state global-allocator calls
+    // by >= 10x on the gate-level multiplier at the widest parallel sweep
+    // point (4 threads when present), and every parallel run — both legs
+    // — must reproduce the sequential oracle's waveforms bit-identically.
+    let gate = reports
+        .iter()
+        .find(|r| r.name == "gate_multiplier")
+        .expect("gate_multiplier report present");
+    let judged = threads
+        .iter()
+        .position(|&t| t == 4)
+        .unwrap_or(gate.arena_on.len() - 1);
+    let reduction = alloc_reduction(gate, judged);
+    let min_reduction = reports
+        .iter()
+        .flat_map(|r| (0..r.arena_on.len()).map(|i| alloc_reduction(r, i)))
+        .fold(f64::INFINITY, f64::min);
+    let all_match = reports
+        .iter()
+        .flat_map(|r| r.arena_on.iter().chain(&r.arena_off))
+        .all(|row| row.oracle_match);
+    let reduction_ok = reduction >= 10.0;
+    out.push_str("  \"acceptance\": {\n");
+    out.push_str(
+        "    \"criterion\": \"gate_multiplier arena cuts global-allocator calls >= 10x and all waveforms match the sequential oracle\",\n",
+    );
+    out.push_str(&format!(
+        "    \"alloc_reduction_judged\": {},\n",
+        json_f(reduction)
+    ));
+    out.push_str(&format!(
+        "    \"judged_at_threads\": {},\n",
+        gate.arena_on[judged].threads
+    ));
+    out.push_str(&format!(
+        "    \"min_alloc_reduction_all_rows\": {},\n",
+        json_f(min_reduction)
+    ));
+    out.push_str(&format!("    \"reduction_pass\": {reduction_ok},\n"));
+    out.push_str(&format!("    \"oracle_pass\": {all_match},\n"));
+    out.push_str(&format!("    \"pass\": {}\n", reduction_ok && all_match));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn print_table(rep: &CircuitReport) {
+    println!(
+        "{} ({} elements, end {}):",
+        rep.name, rep.elements, rep.end_time
+    );
+    println!(
+        "  {:>7}  {:>24}  {:>24}  {:>9}  {:>7}",
+        "threads", "arena-on (wall/allocs)", "arena-off (wall/allocs)", "reduction", "recycle"
+    );
+    for i in 0..rep.arena_on.len() {
+        let on = &rep.arena_on[i];
+        let off = &rep.arena_off[i];
+        println!(
+            "  {:>7}  {:>12.4}s {:>9}  {:>12.4}s {:>9}  {:>8.1}x  {:>6.1}%{}",
+            on.threads,
+            on.wall_secs,
+            on.global_allocs,
+            off.wall_secs,
+            off.global_allocs,
+            alloc_reduction(rep, i),
+            100.0 * on.recycle_ratio,
+            if on.oracle_match && off.oracle_match {
+                ""
+            } else {
+                "  ORACLE MISMATCH"
+            }
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = std::env::var_os("PARSIM_BENCH_QUICK").is_some();
+    let mut out_path = "BENCH_5.json".to_string();
+    let mut threads: Vec<usize> = DEFAULT_THREADS.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(list)) if !list.is_empty() => threads = list,
+                _ => {
+                    eprintln!("--threads requires a comma list (e.g. 1,2,4)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench5 [--quick] [--out PATH] [--threads 1,2,4,8]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (vectors, arr_end, reps) = if quick { (1, 60, 1) } else { (4, 200, 3) };
+
+    let arr = paper_inverter_array(2);
+    let gate = paper_gate_multiplier(vectors);
+    let gate_end = gate.schedule_end();
+    let reports = vec![
+        measure(
+            &arr.netlist,
+            "inverter_array",
+            arr.taps.clone(),
+            arr_end,
+            &threads,
+            reps,
+        ),
+        measure(
+            &gate.netlist,
+            "gate_multiplier",
+            gate.product.clone(),
+            gate_end.ticks(),
+            &threads,
+            reps,
+        ),
+    ];
+
+    let curve_procs = 8;
+    let curve_end = if quick { Time(gate_end.ticks().min(64)) } else { gate_end };
+    let curve = cost_curve(&gate.netlist, curve_end, curve_procs);
+
+    for rep in &reports {
+        print_table(rep);
+    }
+    println!("memory cost model (gate_multiplier, {curve_procs} procs, local=1):");
+    for p in &curve {
+        println!(
+            "  remote={:>4}: vt {:>12}, remote events {:>5.1}%, slowdown {:>5.2}x",
+            p.remote_mem_cost,
+            p.virtual_time,
+            100.0 * p.remote_fraction,
+            p.slowdown
+        );
+    }
+
+    let json = render(&reports, &curve, curve_procs, &threads, quick);
+    if let Err(e) = json::lint(&json) {
+        eprintln!("internal error: rendered bench JSON does not parse: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(threads: usize, global_allocs: u64) -> RunRow {
+        RunRow {
+            threads,
+            wall_secs: 0.5,
+            events: 100,
+            global_allocs,
+            chunk_allocs: 100,
+            chunk_frees: 90,
+            slab_allocs: global_allocs,
+            slab_bytes: 1 << 20,
+            recycled: 80,
+            fresh: 20,
+            reclaimed: 70,
+            quarantine_peak: 4,
+            recycle_ratio: 0.8,
+            oracle_match: true,
+        }
+    }
+
+    /// The rendered document must parse as JSON with no NaN/null, even
+    /// when the arena leg records zero allocator calls (vacuous run) —
+    /// that case reports reduction 0.0 and fails acceptance rather than
+    /// dividing by zero.
+    #[test]
+    fn vacuous_runs_fail_cleanly_without_nan() {
+        let rep = CircuitReport {
+            name: "gate_multiplier",
+            elements: 100,
+            end_time: 50,
+            arena_on: vec![row(1, 0), row(4, 0)],
+            arena_off: vec![row(1, 500), row(4, 500)],
+        };
+        assert_eq!(alloc_reduction(&rep, 0), 0.0);
+        let curve = vec![CostPoint {
+            remote_mem_cost: 1,
+            virtual_time: 0,
+            remote_fraction: f64::NAN,
+            slowdown: f64::NAN,
+        }];
+        let json = render(&[rep], &curve, 8, &[1, 4], true);
+        parsim_harness::json::lint(&json).expect("bench JSON must parse");
+        assert!(!json.contains("NaN"), "NaN leaked:\n{json}");
+        assert!(!json.contains("null"), "null leaked:\n{json}");
+        assert!(json.contains("\"pass\": false"));
+    }
+
+    #[test]
+    fn reduction_judges_off_over_on() {
+        let rep = CircuitReport {
+            name: "gate_multiplier",
+            elements: 100,
+            end_time: 50,
+            arena_on: vec![row(4, 10)],
+            arena_off: vec![row(4, 250)],
+        };
+        assert_eq!(alloc_reduction(&rep, 0), 25.0);
+    }
+}

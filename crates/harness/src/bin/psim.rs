@@ -60,6 +60,7 @@ struct Options {
     resume: bool,
     lanes: usize,
     force_lane_width: Option<usize>,
+    no_arena: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -79,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         resume: false,
         lanes: 0,
         force_lane_width: None,
+        no_arena: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -109,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--checkpoint-every must be an integer".to_string())?
             }
             "--resume" => opts.resume = true,
+            "--no-arena" => opts.no_arena = true,
             "--lanes" => {
                 opts.lanes = value("--lanes")?
                     .parse()
@@ -130,7 +133,7 @@ fn parse_args() -> Result<Options, String> {
                      [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
                      [--trace OUT.json [--report]] \
                      [--checkpoint-dir DIR --checkpoint-every N [--resume]] \
-                     [--lanes N [--force-lane-width 64|128|256|512]]"
+                     [--lanes N [--force-lane-width 64|128|256|512]] [--no-arena]"
                     .to_string())
             }
             other if !other.starts_with('-') && opts.input.is_empty() => {
@@ -216,6 +219,9 @@ fn run() -> Result<(), String> {
     }
     if let Some(w) = opts.force_lane_width {
         config = config.with_lane_width(w);
+    }
+    if opts.no_arena {
+        config = config.without_arena();
     }
     let kind = match opts.engine.as_str() {
         "seq" => EngineKind::Sequential,
@@ -349,6 +355,21 @@ fn run() -> Result<(), String> {
                     bytes: c.bytes,
                     write_ns: c.write_ns,
                     restore_ns: c.restore_ns,
+                });
+            }
+            let a = &result.metrics.arena;
+            if !a.is_empty() {
+                report = report.with_arena(parsim_trace::ArenaReport {
+                    enabled: a.enabled,
+                    chunk_allocs: a.chunk_allocs,
+                    chunk_frees: a.chunk_frees,
+                    mailbox_recycled: a.mailbox_recycled,
+                    slab_allocs: a.slab.slab_allocs,
+                    slab_bytes: a.slab.slab_bytes,
+                    recycled: a.slab.recycled,
+                    fresh: a.slab.fresh,
+                    reclaimed: a.slab.reclaimed,
+                    quarantine_peak: a.slab.quarantine_peak,
                 });
             }
             let report_path = format!("{}.report.json", trace_path.trim_end_matches(".json"));

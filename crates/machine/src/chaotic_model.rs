@@ -163,6 +163,16 @@ pub fn model_async(netlist: &Netlist, end: Time, machine: &MachineConfig) -> Mod
     let mut finish_max = 0u64;
     let mut deadlock_recoveries = 0u64;
 
+    // Arena memory homes: an element's output chunks live in the slab
+    // arena of its hash-scatter home processor (mirroring the engine's
+    // partition-contiguous allocation). A processor evaluating a foreign
+    // element writes its events into remote memory.
+    let home: Vec<usize> = (0..elems.len())
+        .map(|e| (((e as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % p as u64) as usize)
+        .collect();
+    let mut local_events = 0u64;
+    let mut remote_events = 0u64;
+
     loop {
         // Pick the execution with the globally earliest start time.
         let mut best: Option<(usize, u64)> = None;
@@ -310,6 +320,13 @@ pub fn model_async(netlist: &Netlist, end: Time, machine: &MachineConfig) -> Mod
                         }
                         total_events += 1;
                         cycles += cost.update_cost;
+                        if q == home[e] {
+                            local_events += 1;
+                            cycles += cost.local_mem_cost;
+                        } else {
+                            remote_events += 1;
+                            cycles += cost.remote_mem_cost;
+                        }
                         touched = true;
                     }
                 }
@@ -437,6 +454,8 @@ pub fn model_async(netlist: &Netlist, end: Time, machine: &MachineConfig) -> Mod
         virtual_time: finish_max,
         busy,
         events: total_events,
+        local_events,
+        remote_events,
         evaluations,
         activations,
         deadlock_recoveries,
@@ -511,6 +530,38 @@ mod tests {
         let s4 = model_async(&m.netlist, Time(192), &MachineConfig::multimax(4));
         let speedup = s4.speedup(&uni);
         assert!(speedup > 1.2, "pipelined speed-up {speedup:.2}");
+    }
+
+    #[test]
+    fn remote_memory_cost_slows_unpartitioned_runs() {
+        let arr = inverter_array(16, 16, 2).unwrap();
+        let base = MachineConfig::multimax(8);
+        let r = model_async(&arr.netlist, Time(150), &base);
+        // Uniprocessor: every write is local to the single arena. (Home
+        // attribution covers run-time pushes only; generator traces are
+        // pre-expanded at build time, so the sum is below `events`.)
+        let uni = model_async(&arr.netlist, Time(150), &MachineConfig::multimax(1));
+        assert_eq!(uni.remote_events, 0);
+        assert!(uni.local_events > 0);
+        assert!(uni.local_events <= uni.events);
+        // Multiprocessor with dynamic scheduling: most elements run away
+        // from their home arena at some point.
+        assert!(r.local_events + r.remote_events <= r.events);
+        assert!(r.remote_events > 0, "8 procs must produce remote writes");
+        // Charging remote writes stretches virtual time; the default
+        // (0-cost) report is unchanged, so existing figures hold.
+        let mut dear = base.clone();
+        dear.cost.remote_mem_cost = 50;
+        let slow = model_async(&arr.netlist, Time(150), &dear);
+        // (Counts can shift slightly: charged cycles move finish times,
+        // which feed back into the dynamic schedule.)
+        assert!(slow.remote_events > 0);
+        assert!(
+            slow.virtual_time > r.virtual_time,
+            "remote memory cost must show up in virtual time: {} vs {}",
+            slow.virtual_time,
+            r.virtual_time
+        );
     }
 
     #[test]

@@ -94,6 +94,8 @@ pub fn model_compiled(
         virtual_time: t,
         busy,
         events: 0,
+        local_events: 0,
+        remote_events: 0,
         evaluations,
         activations: evaluations,
         deadlock_recoveries: 0,

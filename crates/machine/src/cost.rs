@@ -30,6 +30,15 @@ pub struct CostModel {
     pub barrier_per_proc: u64,
     /// Extra cost per stolen work item.
     pub steal_cost: u64,
+    /// Cost of writing one event record into memory homed on the
+    /// evaluating processor (the owner's slab arena). Zero by default:
+    /// local writes ride the `update_cost` charge.
+    pub local_mem_cost: u64,
+    /// Cost of writing one event record into memory homed on *another*
+    /// processor (a chunk owned by a different partition's arena, or the
+    /// global heap). Sweeping this against `local_mem_cost` models the
+    /// locality benefit of partition-contiguous arena placement.
+    pub remote_mem_cost: u64,
     /// Cache-sharing slowdown factor for paired processors at full memory
     /// pressure: each member of a sharing pair runs `1 + penalty *
     /// pressure` times slower. At the default 0.6 a pair delivers only
@@ -54,6 +63,8 @@ impl Default for CostModel {
             barrier_base: 20,
             barrier_per_proc: 6,
             steal_cost: 3,
+            local_mem_cost: 0,
+            remote_mem_cost: 0,
             cache_share_penalty: 0.6,
             eval_noise: 0.5,
         }

@@ -9,8 +9,8 @@ use std::fmt;
 /// ```
 /// use parsim_machine::ModelReport;
 ///
-/// let uni = ModelReport { procs: 1, virtual_time: 1000, busy: vec![1000], events: 10, evaluations: 10, activations: 10, deadlock_recoveries: 0 };
-/// let par = ModelReport { procs: 4, virtual_time: 300, busy: vec![250; 4], events: 10, evaluations: 10, activations: 10, deadlock_recoveries: 0 };
+/// let uni = ModelReport { procs: 1, virtual_time: 1000, busy: vec![1000], events: 10, local_events: 0, remote_events: 0, evaluations: 10, activations: 10, deadlock_recoveries: 0 };
+/// let par = ModelReport { procs: 4, virtual_time: 300, busy: vec![250; 4], events: 10, local_events: 0, remote_events: 0, evaluations: 10, activations: 10, deadlock_recoveries: 0 };
 /// assert!((par.speedup(&uni) - 3.333).abs() < 0.01);
 /// assert!((par.utilization() - 0.833).abs() < 0.01);
 /// ```
@@ -24,6 +24,12 @@ pub struct ModelReport {
     pub busy: Vec<u64>,
     /// Node-change events processed.
     pub events: u64,
+    /// Events written into memory homed on the evaluating processor
+    /// (the driver's home arena). Only the chaotic model attributes
+    /// event homes; the barrier-synchronous models report zero.
+    pub local_events: u64,
+    /// Events written into memory homed on another processor.
+    pub remote_events: u64,
     /// Element evaluations performed.
     pub evaluations: u64,
     /// Element activations (schedulings).
@@ -62,6 +68,17 @@ impl ModelReport {
             self.events as f64 / self.evaluations as f64
         }
     }
+
+    /// Fraction of home-attributed events that landed in remote memory
+    /// (0.0 when the model doesn't attribute homes).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_events + self.remote_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_events as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for ModelReport {
@@ -90,6 +107,8 @@ mod tests {
             virtual_time: 0,
             busy: vec![0, 0],
             events: 0,
+            local_events: 0,
+            remote_events: 0,
             evaluations: 0,
             activations: 0,
             deadlock_recoveries: 0,
@@ -97,5 +116,6 @@ mod tests {
         assert_eq!(r.utilization(), 1.0);
         assert_eq!(r.speedup(&r), 1.0);
         assert_eq!(r.events_per_evaluation(), 0.0);
+        assert_eq!(r.remote_fraction(), 0.0);
     }
 }

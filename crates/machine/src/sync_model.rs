@@ -42,6 +42,8 @@ pub fn model_seq(netlist: &Netlist, end: Time, cost: &CostModel) -> ModelReport 
         virtual_time: t,
         busy: vec![t],
         events: trace.total_events,
+        local_events: 0,
+        remote_events: 0,
         evaluations: trace.total_evals,
         activations: trace.total_evals,
         deadlock_recoveries: 0,
@@ -145,6 +147,8 @@ pub fn model_sync(netlist: &Netlist, end: Time, machine: &MachineConfig) -> Mode
         virtual_time: t,
         busy,
         events: trace.total_events,
+        local_events: 0,
+        remote_events: 0,
         evaluations: trace.total_evals,
         activations: trace.total_evals,
         deadlock_recoveries: 0,

@@ -1,0 +1,930 @@
+//! Per-worker slab arenas with epoch-based reclamation.
+//!
+//! The chaotic engine's hot path allocates three kinds of objects:
+//! behavior-list `Chunk`s, SPSC ring `Segment`s, and mailbox buffers.
+//! Before this module each was a one-off global-allocator call — exactly
+//! the pattern PARSIR identifies as the difference between scaling and
+//! collapsing on multiprocessor hosts. Here every worker owns a slab
+//! arena with fixed size classes; objects are carved from worker-local
+//! slabs (so first-touch places them on the owning worker) and, once
+//! dead, return to the *owning* worker's arena through a per-worker MPSC
+//! return stack. Steady-state simulation therefore performs zero
+//! global-allocator calls: the only `alloc` traffic is the occasional
+//! slab-span grow, amortized over dozens of objects.
+//!
+//! # Reclamation protocol
+//!
+//! A freed object may still be *visible* to other workers: a behavior
+//! chunk unlinked by its writer's GC can still be referenced by a
+//! consumer cursor that has not yet republished its position, and an SPSC
+//! segment is freed by the consumer while the producer's tail pointer
+//! may still alias it for one more load. The PR 5 model checker's
+//! tombstone-quarantine discipline is the correctness spec: memory must
+//! not be *reused* until no other thread can still hold a reference.
+//!
+//! The arena enforces that with classic two-grace-period epoch-based
+//! reclamation ([`EpochDomain`]):
+//!
+//! - every worker **pins** its epoch slot (`global | ACTIVE`, `SeqCst`)
+//!   before touching cross-worker-visible objects and unpins after;
+//! - **retiring** an object stamps it with the current global epoch and
+//!   pushes it onto the owner's [`ReturnStack`];
+//! - the owner recycles a retired object only once the global epoch has
+//!   advanced by [`GRACE`] (two steps) past its stamp — and the epoch can
+//!   only advance when every pinned worker has observed the current one.
+//!
+//! The pin store and the advance scan are both `SeqCst` on purpose: pin
+//! is a store followed by a load of another location (the classic Dekker
+//! shape), so anything weaker lets an advancing thread miss a concurrent
+//! pin and advance twice past it — a premature reclaim. This exact bug is
+//! pinned as a red-green counterexample in
+//! `model-check/tests/prefix_counterexamples.rs`, and the protocol is
+//! exhaustively explored in `queue/tests/model.rs` and
+//! `core/tests/model_chaotic.rs`.
+//!
+//! # Layout
+//!
+//! Every block is `64-byte header | payload`, with the payload aligned to
+//! 64 bytes and sized by a fixed class table ([`SIZE_CLASSES`]). The
+//! header records the owning domain, owner worker, size class, and retire
+//! epoch. A dead block's payload doubles as the intrusive [`Retired`]
+//! link while it sits on a return stack. Slab spans are never freed
+//! piecemeal: when a worker exits, its spans move to the domain's
+//! graveyard and are released when the last handle drops, so outstanding
+//! objects (e.g. chunks still linked into node lists at engine teardown)
+//! never dangle.
+
+use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::ptr;
+
+/// Low bit of an epoch slot: set while the worker is pinned.
+pub const EPOCH_ACTIVE: u64 = 1;
+/// Epochs advance in steps of 2, keeping the ACTIVE bit free.
+pub const EPOCH_STEP: u64 = 2;
+/// A retired object is reclaimable once the global epoch has advanced
+/// two full steps past its retire stamp (two grace periods).
+pub const GRACE: u64 = 2 * EPOCH_STEP;
+
+/// Intrusive link written into a dead block's payload while it waits on
+/// a [`ReturnStack`].
+pub struct Retired {
+    next: AtomicPtr<Retired>,
+}
+
+impl Retired {
+    pub const fn new() -> Retired {
+        Retired {
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl Default for Retired {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-worker MPSC return stack: any thread pushes retired blocks, only
+/// the owning worker drains (a Treiber stack with single-consumer swap).
+pub struct ReturnStack {
+    head: CachePadded<AtomicPtr<Retired>>,
+}
+
+impl ReturnStack {
+    pub const fn new() -> ReturnStack {
+        ReturnStack {
+            head: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Pushes one retired block. Callable from any thread.
+    ///
+    /// # Safety
+    ///
+    /// `node` must point to a valid, exclusively-owned `Retired` that is
+    /// not on any stack; the stack takes logical ownership.
+    pub unsafe fn push(&self, node: *mut Retired) {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            (*node).next.store(head, Ordering::Relaxed);
+            // Release so the drain's Acquire swap sees the `next` write
+            // (successive CASes continue the release sequence).
+            match self
+                .head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Detaches the whole stack (owner side). Returns the head of a
+    /// `next`-linked chain, or null.
+    pub fn take_all(&self) -> *mut Retired {
+        self.head.swap(ptr::null_mut(), Ordering::Acquire)
+    }
+
+    /// Drains the stack, calling `f` on each node. Owner side only.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the single draining owner; each node is handed to
+    /// `f` exactly once and is no longer linked when `f` runs.
+    pub unsafe fn drain(&self, mut f: impl FnMut(*mut Retired)) {
+        let mut cur = self.take_all();
+        while !cur.is_null() {
+            // Relaxed is enough: the Acquire swap in `take_all`
+            // synchronized with every push's Release CAS.
+            let next = (*cur).next.load(Ordering::Relaxed);
+            f(cur);
+            cur = next;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl Default for ReturnStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Global + per-worker announced epochs (two-grace-period EBR).
+///
+/// Slot encoding: `0` = quiescent, `epoch | EPOCH_ACTIVE` = pinned at
+/// `epoch`. The global epoch is always even and advances by
+/// [`EPOCH_STEP`].
+pub struct EpochDomain {
+    global: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl EpochDomain {
+    pub fn new(slots: usize) -> EpochDomain {
+        EpochDomain {
+            global: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..slots)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current global epoch (`SeqCst`, so retire stamps are never
+    /// staler than one concurrent advance).
+    pub fn epoch(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Pins `w`'s slot at the current global epoch.
+    ///
+    /// The slot store must be `SeqCst`: it is a store followed by a load
+    /// of *another* location (`global`), and [`try_advance`] does the
+    /// mirror-image load of the slot after storing `global`. With
+    /// anything weaker both threads can miss each other (store buffering)
+    /// and the epoch advances twice past a pinned reader — the premature
+    /// reclaim pinned red in `prefix_counterexamples.rs`.
+    ///
+    /// [`try_advance`]: EpochDomain::try_advance
+    pub fn pin(&self, w: usize) {
+        let mut g = self.global.load(Ordering::Relaxed);
+        loop {
+            self.slots[w].store(g | EPOCH_ACTIVE, Ordering::SeqCst);
+            let now = self.global.load(Ordering::SeqCst);
+            if now == g {
+                return;
+            }
+            // The epoch advanced between the read and the pin; re-pin at
+            // the newer epoch so we never hold the domain back a step.
+            g = now;
+        }
+    }
+
+    /// Clears `w`'s pin.
+    pub fn unpin(&self, w: usize) {
+        self.slots[w].store(0, Ordering::Release);
+    }
+
+    /// Advances the global epoch by one step if every pinned worker has
+    /// observed the current one. Returns whether it advanced.
+    pub fn try_advance(&self) -> bool {
+        let g = self.global.load(Ordering::SeqCst);
+        for slot in self.slots.iter() {
+            let s = slot.load(Ordering::SeqCst);
+            if s & EPOCH_ACTIVE != 0 && s & !EPOCH_ACTIVE != g {
+                return false;
+            }
+        }
+        self.global
+            .compare_exchange(g, g + EPOCH_STEP, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether an object retired at `retire_epoch` is safe to reuse.
+    pub fn can_reclaim(&self, retire_epoch: u64) -> bool {
+        self.epoch() >= retire_epoch + GRACE
+    }
+}
+
+/// Aggregated arena counters, surfaced as `Metrics::arena`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slab spans obtained from the global allocator (the only
+    /// global-allocator calls the arena ever makes).
+    pub slab_allocs: u64,
+    /// Bytes in those spans.
+    pub slab_bytes: u64,
+    /// Allocations served from a free list (a previously-retired block).
+    pub recycled: u64,
+    /// Allocations carved fresh from a slab span.
+    pub fresh: u64,
+    /// Blocks retired by their owning worker.
+    pub retired_local: u64,
+    /// Blocks retired by a non-owner (crossed a return stack).
+    pub retired_remote: u64,
+    /// Retired blocks that cleared their grace period and re-entered a
+    /// free list.
+    pub reclaimed: u64,
+    /// High-water mark of retired-but-not-yet-reclaimable blocks
+    /// observed by any single owner (the quarantine depth).
+    pub quarantine_peak: u64,
+}
+
+impl ArenaStats {
+    pub fn merge(&mut self, o: &ArenaStats) {
+        self.slab_allocs += o.slab_allocs;
+        self.slab_bytes += o.slab_bytes;
+        self.recycled += o.recycled;
+        self.fresh += o.fresh;
+        self.retired_local += o.retired_local;
+        self.retired_remote += o.retired_remote;
+        self.reclaimed += o.reclaimed;
+        self.quarantine_peak = self.quarantine_peak.max(o.quarantine_peak);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        *self == ArenaStats::default()
+    }
+}
+
+/// Barrier-separated n×n buffer recycling pool (the PR 2 mailbox pool,
+/// subsumed into the arena module).
+///
+/// Slot `(a, b)` is written by worker `a` in one phase and read by
+/// worker `b` in another; the engine's barrier between phases is the
+/// synchronization, exactly like the mailbox slots themselves.
+/// One pool slot: a stack of recycled buffers behind a padded cell.
+type MailSlot<T> = CachePadded<std::cell::UnsafeCell<Vec<Vec<T>>>>;
+
+pub struct MailPool<T> {
+    n: usize,
+    slots: Box<[MailSlot<T>]>,
+}
+
+// SAFETY: each slot is accessed by one thread at a time under the
+// caller's barrier discipline (documented on `put`/`take`).
+unsafe impl<T: Send> Send for MailPool<T> {}
+unsafe impl<T: Send> Sync for MailPool<T> {}
+
+impl<T> MailPool<T> {
+    pub fn new(n: usize) -> MailPool<T> {
+        MailPool {
+            n,
+            slots: (0..n * n)
+                .map(|_| CachePadded::new(std::cell::UnsafeCell::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Returns a spent buffer to the `(from, to)` slot.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access slot `(from, to)` concurrently; the
+    /// caller's phase barrier provides the separation.
+    pub unsafe fn put(&self, from: usize, to: usize, buf: Vec<T>) {
+        (*self.slots[from * self.n + to].get()).push(buf);
+    }
+
+    /// Takes a recycled buffer from the `(from, to)` slot, if any.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`put`](MailPool::put).
+    pub unsafe fn take(&self, from: usize, to: usize) -> Option<Vec<T>> {
+        (*self.slots[from * self.n + to].get()).pop()
+    }
+}
+
+#[cfg(not(parsim_model))]
+pub use slab::{live_slab_blocks, retire_remote, ArenaDomain, WorkerArena, MAX_CLASS};
+
+#[cfg(not(parsim_model))]
+mod slab {
+    //! The slab layer proper. Real builds only: under `parsim_model` the
+    //! engines fall back to the global allocator and the protocol types
+    //! above are what the explorer checks.
+
+    use super::{EpochDomain, Retired, ReturnStack, GRACE};
+    use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+    use std::cell::{Cell, RefCell};
+    use std::ptr;
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Payload size classes. All multiples of 64 so block footprints
+    /// preserve 64-byte alignment across a span. 3072 fits a behavior
+    /// `Chunk` (~2.1 KB), 17408 a `Segment<IdBatch>` (~16 KB).
+    pub const SIZE_CLASSES: [usize; 16] = [
+        64, 128, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 17408, 24576, 32768,
+        65536,
+    ];
+
+    /// Largest payload the arena serves; bigger requests must use the
+    /// global allocator.
+    pub const MAX_CLASS: usize = SIZE_CLASSES[SIZE_CLASSES.len() - 1];
+
+    /// Header prefix of every block; payload starts at +64 so it keeps
+    /// cache-line alignment.
+    const HDR: usize = 64;
+
+    #[repr(C)]
+    struct BlockHdr {
+        domain: *const DomainShared,
+        owner: u32,
+        class: u32,
+        retire_epoch: u64,
+    }
+
+    /// Blocks carved per slab span, by class: big enough that slab grows
+    /// are two orders of magnitude rarer than object allocations.
+    fn blocks_per_span(class: usize) -> usize {
+        if class <= 1024 {
+            256
+        } else if class <= 4096 {
+            128
+        } else {
+            32
+        }
+    }
+
+    fn class_index(size: usize) -> usize {
+        SIZE_CLASSES
+            .iter()
+            .position(|&c| c >= size)
+            .unwrap_or_else(|| panic!("arena request of {size} bytes exceeds MAX_CLASS"))
+    }
+
+    /// Live slab spans across all domains in the process. A test probe:
+    /// engine teardown must return this to its starting value.
+    static LIVE_SLAB_BLOCKS: AtomicI64 = AtomicI64::new(0);
+
+    /// Current number of live slab spans (see the leak test in
+    /// `core/tests/arena.rs`).
+    pub fn live_slab_blocks() -> i64 {
+        LIVE_SLAB_BLOCKS.load(Ordering::SeqCst)
+    }
+
+    struct Span {
+        ptr: *mut u8,
+        layout: Layout,
+    }
+
+    // SAFETY: a Span is an inert allocation record; the memory it names
+    // is only touched under the arena's own disciplines.
+    unsafe impl Send for Span {}
+
+    impl Span {
+        fn free(self) {
+            // SAFETY: allocated with exactly this layout in `grow`.
+            unsafe { dealloc(self.ptr, self.layout) };
+            LIVE_SLAB_BLOCKS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    struct WorkerShared {
+        returns: ReturnStack,
+    }
+
+    pub(super) struct DomainShared {
+        epochs: EpochDomain,
+        workers: Box<[WorkerShared]>,
+        /// Spans of exited workers, released when the domain drops.
+        graveyard: Mutex<Vec<Span>>,
+        slab_allocs: AtomicU64,
+        slab_bytes: AtomicU64,
+        recycled: AtomicU64,
+        fresh: AtomicU64,
+        retired_local: AtomicU64,
+        retired_remote: AtomicU64,
+        reclaimed: AtomicU64,
+        quarantine_peak: AtomicU64,
+    }
+
+    impl Drop for DomainShared {
+        fn drop(&mut self) {
+            for span in self.graveyard.get_mut().unwrap().drain(..) {
+                span.free();
+            }
+        }
+    }
+
+    /// A shared handle to one arena domain (one per engine run). Worker
+    /// slot `n_workers` is the *builder* slot, used by the constructing
+    /// thread before workers spawn.
+    #[derive(Clone)]
+    pub struct ArenaDomain {
+        shared: Arc<DomainShared>,
+    }
+
+    impl ArenaDomain {
+        pub fn new(n_workers: usize) -> ArenaDomain {
+            let slots = n_workers + 1;
+            ArenaDomain {
+                shared: Arc::new(DomainShared {
+                    epochs: EpochDomain::new(slots),
+                    workers: (0..slots)
+                        .map(|_| WorkerShared {
+                            returns: ReturnStack::new(),
+                        })
+                        .collect::<Box<[_]>>(),
+                    graveyard: Mutex::new(Vec::new()),
+                    slab_allocs: AtomicU64::new(0),
+                    slab_bytes: AtomicU64::new(0),
+                    recycled: AtomicU64::new(0),
+                    fresh: AtomicU64::new(0),
+                    retired_local: AtomicU64::new(0),
+                    retired_remote: AtomicU64::new(0),
+                    reclaimed: AtomicU64::new(0),
+                    quarantine_peak: AtomicU64::new(0),
+                }),
+            }
+        }
+
+        /// Worker count, excluding the builder slot.
+        pub fn n_workers(&self) -> usize {
+            self.shared.workers.len() - 1
+        }
+
+        /// Builds worker `w`'s arena. Call this *on the worker's own
+        /// thread* so slab spans are first-touched by their owner.
+        pub fn worker(&self, w: usize) -> WorkerArena {
+            assert!(w < self.shared.workers.len(), "arena worker out of range");
+            WorkerArena {
+                w,
+                shared: Arc::clone(&self.shared),
+                free: (0..SIZE_CLASSES.len())
+                    .map(|_| RefCell::new(Vec::new()))
+                    .collect(),
+                pending: RefCell::new(Vec::new()),
+                bump: (0..SIZE_CLASSES.len())
+                    .map(|_| Cell::new((ptr::null_mut(), 0)))
+                    .collect(),
+                spans: RefCell::new(Vec::new()),
+                recycled: Cell::new(0),
+                fresh: Cell::new(0),
+                slab_allocs: Cell::new(0),
+                slab_bytes: Cell::new(0),
+                retired_local: Cell::new(0),
+                reclaimed: Cell::new(0),
+                quarantine_peak: Cell::new(0),
+            }
+        }
+
+        /// The build-phase arena (the extra slot after the workers).
+        pub fn builder(&self) -> WorkerArena {
+            self.worker(self.n_workers())
+        }
+
+        pub fn epochs(&self) -> &EpochDomain {
+            &self.shared.epochs
+        }
+
+        /// Aggregated counters. Worker-local tallies flush on
+        /// `WorkerArena` drop, so read this after workers are done.
+        pub fn stats(&self) -> super::ArenaStats {
+            let s = &self.shared;
+            super::ArenaStats {
+                slab_allocs: s.slab_allocs.load(Ordering::Relaxed),
+                slab_bytes: s.slab_bytes.load(Ordering::Relaxed),
+                recycled: s.recycled.load(Ordering::Relaxed),
+                fresh: s.fresh.load(Ordering::Relaxed),
+                retired_local: s.retired_local.load(Ordering::Relaxed),
+                retired_remote: s.retired_remote.load(Ordering::Relaxed),
+                reclaimed: s.reclaimed.load(Ordering::Relaxed),
+                quarantine_peak: s.quarantine_peak.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// One worker's slab arena: per-class free lists, an epoch-gated
+    /// pending (quarantine) list, and bump carving over owned spans.
+    ///
+    /// Not `Sync` (interior mutability is plain `Cell`/`RefCell`): one
+    /// worker thread owns it, typically behind an `Rc`. It is `Send` so
+    /// it can be constructed wherever convenient and moved in.
+    pub struct WorkerArena {
+        w: usize,
+        shared: Arc<DomainShared>,
+        free: Box<[RefCell<Vec<*mut u8>>]>,
+        /// Retired blocks awaiting their grace period: `(payload, epoch)`.
+        pending: RefCell<Vec<(*mut u8, u64)>>,
+        /// Per-class bump cursor into the newest span: `(next, left)`.
+        bump: Box<[Cell<(*mut u8, usize)>]>,
+        spans: RefCell<Vec<Span>>,
+        recycled: Cell<u64>,
+        fresh: Cell<u64>,
+        slab_allocs: Cell<u64>,
+        slab_bytes: Cell<u64>,
+        retired_local: Cell<u64>,
+        reclaimed: Cell<u64>,
+        quarantine_peak: Cell<u64>,
+    }
+
+    // SAFETY: raw pointers into spans the arena itself owns; moving the
+    // whole arena to another thread moves ownership of all of them.
+    unsafe impl Send for WorkerArena {}
+
+    impl WorkerArena {
+        pub fn worker_index(&self) -> usize {
+            self.w
+        }
+
+        pub fn domain(&self) -> ArenaDomain {
+            ArenaDomain {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+
+        /// Pins this worker's epoch slot (see [`EpochDomain::pin`]).
+        pub fn pin(&self) {
+            self.shared.epochs.pin(self.w);
+        }
+
+        pub fn unpin(&self) {
+            self.shared.epochs.unpin(self.w);
+        }
+
+        /// Allocates a payload of at least `size` bytes, 64-byte
+        /// aligned. Never calls the global allocator except to grow a
+        /// slab span.
+        pub fn alloc(&self, size: usize) -> *mut u8 {
+            let cls = class_index(size);
+            if let Some(p) = self.free[cls].borrow_mut().pop() {
+                self.recycled.set(self.recycled.get() + 1);
+                return p;
+            }
+            self.collect();
+            if let Some(p) = self.free[cls].borrow_mut().pop() {
+                self.recycled.set(self.recycled.get() + 1);
+                return p;
+            }
+            self.carve(cls)
+        }
+
+        /// Retires a block of *this domain* (any owner, any class) from
+        /// this worker's thread.
+        ///
+        /// # Safety
+        ///
+        /// `payload` must have come from `alloc` on an arena of the same
+        /// domain, must not be retired twice, and no new references to it
+        /// may be created after this call (existing holders are what the
+        /// grace period covers).
+        pub unsafe fn retire(&self, payload: *mut u8) {
+            let hdr = payload.sub(HDR) as *mut BlockHdr;
+            debug_assert_eq!(
+                (*hdr).domain,
+                Arc::as_ptr(&self.shared),
+                "block retired into a foreign domain"
+            );
+            let epoch = self.shared.epochs.epoch();
+            (*hdr).retire_epoch = epoch;
+            if (*hdr).owner as usize == self.w {
+                // Own block: no CAS needed, straight into quarantine.
+                self.pending.borrow_mut().push((payload, epoch));
+                self.retired_local.set(self.retired_local.get() + 1);
+            } else {
+                push_remote(&self.shared, hdr, payload);
+            }
+        }
+
+        /// Housekeeping entry point for idle workers: drains this
+        /// worker's return stack and promotes grace-period-cleared
+        /// blocks back to the free lists. `alloc` does this lazily on a
+        /// free-list miss; calling it from an idle loop bounds the
+        /// quarantine depth even when the worker stops allocating.
+        pub fn maintain(&self) {
+            self.collect();
+        }
+
+        /// Drains the return stack and promotes grace-period-cleared
+        /// blocks to the free lists.
+        fn collect(&self) {
+            let mut pending = self.pending.borrow_mut();
+            // SAFETY: this arena is the stack's unique owner/drainer.
+            unsafe {
+                self.shared.workers[self.w].returns.drain(|r| {
+                    let payload = r as *mut u8;
+                    let hdr = payload.sub(HDR) as *const BlockHdr;
+                    pending.push((payload, (*hdr).retire_epoch));
+                });
+            }
+            let depth = pending.len() as u64;
+            if depth > self.quarantine_peak.get() {
+                self.quarantine_peak.set(depth);
+            }
+            self.shared.epochs.try_advance();
+            let epoch = self.shared.epochs.epoch();
+            let mut cleared = 0u64;
+            pending.retain(|&(payload, e)| {
+                if epoch >= e + GRACE {
+                    // SAFETY: header written at carve time, intact for
+                    // the block's whole life.
+                    let cls = unsafe { (*(payload.sub(HDR) as *const BlockHdr)).class } as usize;
+                    self.free[cls].borrow_mut().push(payload);
+                    cleared += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.reclaimed.set(self.reclaimed.get() + cleared);
+        }
+
+        fn carve(&self, cls: usize) -> *mut u8 {
+            let footprint = HDR + SIZE_CLASSES[cls];
+            let (mut next, mut left) = self.bump[cls].get();
+            if left == 0 {
+                let n = blocks_per_span(SIZE_CLASSES[cls]);
+                let layout = Layout::from_size_align(footprint * n, HDR).unwrap();
+                // SAFETY: non-zero-sized, valid layout.
+                let span = unsafe { alloc(layout) };
+                if span.is_null() {
+                    handle_alloc_error(layout);
+                }
+                LIVE_SLAB_BLOCKS.fetch_add(1, Ordering::SeqCst);
+                self.slab_allocs.set(self.slab_allocs.get() + 1);
+                self.slab_bytes.set(self.slab_bytes.get() + layout.size() as u64);
+                self.spans.borrow_mut().push(Span { ptr: span, layout });
+                next = span;
+                left = n;
+            }
+            // SAFETY: `next` points at `left` unclaimed blocks.
+            unsafe {
+                ptr::write(
+                    next as *mut BlockHdr,
+                    BlockHdr {
+                        domain: Arc::as_ptr(&self.shared),
+                        owner: self.w as u32,
+                        class: cls as u32,
+                        retire_epoch: 0,
+                    },
+                );
+                self.bump[cls].set((next.add(footprint), left - 1));
+                self.fresh.set(self.fresh.get() + 1);
+                next.add(HDR)
+            }
+        }
+    }
+
+    impl Drop for WorkerArena {
+        fn drop(&mut self) {
+            let s = &self.shared;
+            s.recycled.fetch_add(self.recycled.get(), Ordering::Relaxed);
+            s.fresh.fetch_add(self.fresh.get(), Ordering::Relaxed);
+            s.slab_allocs
+                .fetch_add(self.slab_allocs.get(), Ordering::Relaxed);
+            s.slab_bytes
+                .fetch_add(self.slab_bytes.get(), Ordering::Relaxed);
+            s.retired_local
+                .fetch_add(self.retired_local.get(), Ordering::Relaxed);
+            s.reclaimed
+                .fetch_add(self.reclaimed.get(), Ordering::Relaxed);
+            s.quarantine_peak
+                .fetch_max(self.quarantine_peak.get(), Ordering::Relaxed);
+            // Spans outlive the worker: outstanding objects may still be
+            // linked into shared structures until the domain drops.
+            let mut graveyard = s.graveyard.lock().unwrap();
+            graveyard.append(&mut self.spans.borrow_mut());
+        }
+    }
+
+    fn push_remote(shared: &Arc<DomainShared>, hdr: *mut BlockHdr, payload: *mut u8) {
+        // SAFETY (caller: retire/retire_remote): the block is dead, so
+        // overlaying the intrusive link on its payload is exclusive.
+        unsafe {
+            let r = payload as *mut Retired;
+            ptr::write(r, Retired::new());
+            shared.workers[(*hdr).owner as usize].returns.push(r);
+        }
+        shared.retired_remote.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retires a block without a worker handle (e.g. an SPSC consumer
+    /// freeing a producer-owned segment).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`WorkerArena::retire`], plus: the owning domain
+    /// must still be alive (some handle to it outlives this call).
+    pub unsafe fn retire_remote(payload: *mut u8) {
+        let hdr = payload.sub(HDR) as *mut BlockHdr;
+        let domain = (*hdr).domain;
+        let epoch = (*domain).epochs.epoch();
+        (*hdr).retire_epoch = epoch;
+        let r = payload as *mut Retired;
+        ptr::write(r, Retired::new());
+        (*domain).workers[(*hdr).owner as usize].returns.push(r);
+        (*domain).retired_remote.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn alloc_is_aligned_and_zero_distance_from_class() {
+            let domain = ArenaDomain::new(1);
+            let a = domain.worker(0);
+            for &size in &[1usize, 64, 65, 2100, 16400] {
+                let p = a.alloc(size);
+                assert_eq!(p as usize % 64, 0, "payload must be 64-byte aligned");
+                // Writable across the whole requested size.
+                unsafe {
+                    ptr::write_bytes(p, 0xAB, size);
+                }
+            }
+        }
+
+        #[test]
+        fn recycle_waits_for_grace_then_reuses() {
+            let domain = ArenaDomain::new(1);
+            let a = domain.worker(0);
+            let p = a.alloc(128);
+            // SAFETY: freshly allocated, never shared.
+            unsafe { a.retire(p) };
+            // Immediately after retiring, the grace period blocks reuse:
+            // the next alloc must carve fresh.
+            let q = a.alloc(128);
+            assert_ne!(p, q, "retired block reused before its grace period");
+            // Advance two epochs (nothing is pinned) and the block comes
+            // back through the free list.
+            assert!(domain.epochs().try_advance());
+            assert!(domain.epochs().try_advance());
+            let r = a.alloc(128);
+            assert_eq!(p, r, "grace-cleared block should be recycled");
+            let stats = {
+                drop(a);
+                domain.stats()
+            };
+            assert_eq!(stats.retired_local, 1);
+            assert_eq!(stats.reclaimed, 1);
+            assert_eq!(stats.recycled, 1);
+        }
+
+        #[test]
+        fn pinned_reader_blocks_reclaim() {
+            let domain = ArenaDomain::new(2);
+            let a = domain.worker(0);
+            domain.epochs().pin(1);
+            let p = a.alloc(64);
+            unsafe { a.retire(p) };
+            // Worker 1 is pinned at the retire epoch: no amount of
+            // advancing from here can clear the grace period.
+            for _ in 0..4 {
+                domain.epochs().try_advance();
+            }
+            let q = a.alloc(64);
+            assert_ne!(p, q, "reclaimed under a pinned reader");
+            domain.epochs().unpin(1);
+            for _ in 0..2 {
+                assert!(domain.epochs().try_advance());
+            }
+            let r = a.alloc(64);
+            assert_eq!(p, r);
+        }
+
+        #[test]
+        fn cross_thread_retire_returns_to_owner() {
+            let domain = ArenaDomain::new(2);
+            let a0 = domain.worker(0);
+            let p = a0.alloc(256) as usize;
+            let d = domain.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let a1 = d.worker(1);
+                    // SAFETY: the block is dead from worker 0's view.
+                    unsafe { a1.retire(p as *mut u8) };
+                });
+            });
+            assert!(domain.epochs().try_advance());
+            assert!(domain.epochs().try_advance());
+            let q = a0.alloc(256);
+            assert_eq!(p, q as usize, "remote retire must reach the owner");
+            drop(a0);
+            let stats = domain.stats();
+            assert_eq!(stats.retired_remote, 1);
+            assert_eq!(stats.reclaimed, 1);
+        }
+
+        #[test]
+        fn spans_survive_worker_exit_and_free_on_domain_drop() {
+            let before = live_slab_blocks();
+            let domain = ArenaDomain::new(1);
+            let p;
+            {
+                let a = domain.worker(0);
+                p = a.alloc(1024);
+                assert!(live_slab_blocks() > before);
+            }
+            // Worker gone; its span is graveyarded, the payload still
+            // addressable until the domain drops.
+            unsafe {
+                ptr::write_bytes(p, 0x5A, 1024);
+            }
+            drop(domain);
+            assert_eq!(live_slab_blocks(), before, "slab span leaked");
+        }
+
+        #[test]
+        fn retire_remote_without_handle() {
+            let before = live_slab_blocks();
+            let domain = ArenaDomain::new(1);
+            let a = domain.worker(0);
+            let p = a.alloc(17000);
+            // SAFETY: dead block, domain alive via `domain`.
+            unsafe { retire_remote(p) };
+            assert!(domain.epochs().try_advance());
+            assert!(domain.epochs().try_advance());
+            assert_eq!(a.alloc(17000), p);
+            drop(a);
+            assert_eq!(domain.stats().retired_remote, 1);
+            drop(domain);
+            assert_eq!(live_slab_blocks(), before);
+        }
+    }
+}
+
+#[cfg(all(test, not(parsim_model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn return_stack_roundtrip() {
+        let stack = ReturnStack::new();
+        assert!(stack.is_empty());
+        let mut nodes: Vec<Box<Retired>> = (0..3).map(|_| Box::new(Retired::new())).collect();
+        let ptrs: Vec<*mut Retired> = nodes.iter_mut().map(|n| &mut **n as *mut Retired).collect();
+        // SAFETY: nodes are valid and pushed exactly once.
+        unsafe {
+            for &p in &ptrs {
+                stack.push(p);
+            }
+        }
+        let mut drained = Vec::new();
+        // SAFETY: single-threaded owner drain.
+        unsafe { stack.drain(|p| drained.push(p)) };
+        // LIFO order.
+        assert_eq!(drained, ptrs.iter().rev().copied().collect::<Vec<_>>());
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn epoch_advance_requires_current_pins() {
+        let e = EpochDomain::new(2);
+        assert_eq!(e.epoch(), 0);
+        // A worker pinned AT the current epoch does not block the next
+        // advance — only a lagging pin does.
+        e.pin(0);
+        assert!(e.try_advance());
+        assert_eq!(e.epoch(), EPOCH_STEP);
+        assert!(!e.try_advance(), "slot 0 still announces epoch 0");
+        e.unpin(0);
+        assert!(e.try_advance());
+        assert_eq!(e.epoch(), 2 * EPOCH_STEP);
+        assert!(!e.can_reclaim(EPOCH_STEP));
+        assert!(e.can_reclaim(0));
+    }
+
+    #[test]
+    fn mail_pool_recycles_per_slot() {
+        let pool: MailPool<u32> = MailPool::new(2);
+        // SAFETY: single-threaded — trivially phase-separated.
+        unsafe {
+            assert!(pool.take(0, 1).is_none());
+            pool.put(0, 1, vec![7, 8]);
+            assert_eq!(pool.take(0, 1), Some(vec![7, 8]));
+            assert!(pool.take(1, 0).is_none(), "slots are directional");
+        }
+    }
+}

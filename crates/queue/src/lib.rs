@@ -43,6 +43,7 @@
 //! §9 for the inventory-to-model-test mapping.
 
 pub mod activation;
+pub mod arena;
 pub mod backoff;
 pub mod barrier;
 pub mod batch;
@@ -57,6 +58,9 @@ pub mod spsc;
 pub mod sync;
 
 pub use activation::ActivationState;
+#[cfg(not(parsim_model))]
+pub use arena::{ArenaDomain, WorkerArena};
+pub use arena::{ArenaStats, EpochDomain, MailPool, ReturnStack};
 pub use backoff::Backoff;
 pub use batch::{IdBatch, BATCH_CAPACITY};
 pub use pad::CachePadded;

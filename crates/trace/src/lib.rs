@@ -21,7 +21,7 @@ pub mod chrome;
 pub mod json;
 pub mod report;
 
-pub use report::{CheckpointReport, RunReport};
+pub use report::{ArenaReport, CheckpointReport, RunReport};
 
 use std::time::Instant;
 

@@ -162,6 +162,34 @@ pub struct CheckpointReport {
     pub restore_ns: u64,
 }
 
+/// Arena-allocator activity for a run. Like [`CheckpointReport`], the
+/// trace stream does not carry this; the harness fills it in from the
+/// engine's metrics via [`RunReport::with_arena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaReport {
+    /// Whether the per-worker slab arena was active for the run.
+    pub enabled: bool,
+    /// Behavior chunks allocated (arena or global, depending on
+    /// `enabled`).
+    pub chunk_allocs: u64,
+    /// Behavior chunks freed/retired.
+    pub chunk_frees: u64,
+    /// Mailbox buffers reused from the recycling pool.
+    pub mailbox_recycled: u64,
+    /// Slab spans obtained from the global allocator.
+    pub slab_allocs: u64,
+    /// Bytes across those spans.
+    pub slab_bytes: u64,
+    /// Arena allocations served from a free list.
+    pub recycled: u64,
+    /// Arena allocations carved fresh from a span.
+    pub fresh: u64,
+    /// Blocks reclaimed after their grace period.
+    pub reclaimed: u64,
+    /// High-water mark of any worker's retire quarantine.
+    pub quarantine_peak: u64,
+}
+
 /// The analyzer output. See module docs.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -181,6 +209,8 @@ pub struct RunReport {
     /// SIMD lane-group width of a batch run (64/128/256/512), or 0 for
     /// scalar engines. From engine metrics, via [`RunReport::with_lane_width`].
     pub lane_width: u64,
+    /// Arena-allocator activity, when the engine reported any.
+    pub arena: Option<ArenaReport>,
 }
 
 impl RunReport {
@@ -285,6 +315,13 @@ impl RunReport {
     /// `Display` and `to_json` report it. 0 means a scalar engine.
     pub fn with_lane_width(mut self, lane_width: u64) -> RunReport {
         self.lane_width = lane_width;
+        self
+    }
+
+    /// Attaches arena-allocator activity (from engine metrics) so
+    /// `Display` and `to_json` include allocation/recycle counters.
+    pub fn with_arena(mut self, arena: ArenaReport) -> RunReport {
+        self.arena = Some(arena);
         self
     }
 
@@ -415,6 +452,24 @@ impl RunReport {
                 ",\n  \"checkpoint\": {{\"writes\": {}, \"bytes\": {}, \"write_ns\": {}, \
                  \"restore_ns\": {}}}",
                 c.writes, c.bytes, c.write_ns, c.restore_ns
+            ));
+        }
+        if let Some(a) = &self.arena {
+            s.push_str(&format!(
+                ",\n  \"arena\": {{\"enabled\": {}, \"chunk_allocs\": {}, \
+                 \"chunk_frees\": {}, \"mailbox_recycled\": {}, \"slab_allocs\": {}, \
+                 \"slab_bytes\": {}, \"recycled\": {}, \"fresh\": {}, \"reclaimed\": {}, \
+                 \"quarantine_peak\": {}}}",
+                a.enabled,
+                a.chunk_allocs,
+                a.chunk_frees,
+                a.mailbox_recycled,
+                a.slab_allocs,
+                a.slab_bytes,
+                a.recycled,
+                a.fresh,
+                a.reclaimed,
+                a.quarantine_peak
             ));
         }
         s.push_str("\n}\n");
@@ -578,6 +633,31 @@ impl fmt::Display for RunReport {
                 ms(c.restore_ns)
             )?;
         }
+        if let Some(a) = &self.arena {
+            if a.enabled {
+                writeln!(
+                    f,
+                    "\narena: {} chunk allocs / {} frees, {} slab spans ({} KiB), \
+                     {} recycled / {} fresh, {} reclaimed, quarantine peak {}, \
+                     {} mailboxes recycled",
+                    a.chunk_allocs,
+                    a.chunk_frees,
+                    a.slab_allocs,
+                    a.slab_bytes / 1024,
+                    a.recycled,
+                    a.fresh,
+                    a.reclaimed,
+                    a.quarantine_peak,
+                    a.mailbox_recycled
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "\narena: off ({} chunk mallocs, {} mailboxes recycled)",
+                    a.chunk_allocs, a.mailbox_recycled
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -664,6 +744,36 @@ mod tests {
         assert!(text.contains("per-phase utilization"));
         assert!(text.contains("barrier waits"));
         assert!(text.contains("hottest elements"));
+    }
+
+    #[test]
+    fn arena_block_renders_in_json_and_text() {
+        let r = RunReport::from_trace(&synthetic_trace()).with_arena(ArenaReport {
+            enabled: true,
+            chunk_allocs: 120,
+            chunk_frees: 80,
+            mailbox_recycled: 7,
+            slab_allocs: 3,
+            slab_bytes: 196_608,
+            recycled: 60,
+            fresh: 60,
+            reclaimed: 55,
+            quarantine_peak: 9,
+        });
+        let j = r.to_json();
+        lint(&j).expect("arena JSON must be well-formed");
+        assert!(j.contains("\"arena\": {\"enabled\": true, \"chunk_allocs\": 120"));
+        assert!(j.contains("\"quarantine_peak\": 9"));
+        let text = r.to_string();
+        assert!(text.contains("arena: 120 chunk allocs"));
+        // Disabled runs report the global-allocator chunk traffic.
+        let off = RunReport::from_trace(&synthetic_trace()).with_arena(ArenaReport {
+            enabled: false,
+            chunk_allocs: 44,
+            ..ArenaReport::default()
+        });
+        assert!(off.to_string().contains("arena: off (44 chunk mallocs"));
+        lint(&off.to_json()).unwrap();
     }
 
     #[test]
