@@ -1,0 +1,65 @@
+//! Cost of the always-on telemetry registry on the engine hot paths.
+//!
+//! Unlike tracing, telemetry has no feature gate — every run publishes
+//! into the sharded registry. The publish discipline (per-step delta
+//! adds for the step engines, micro-batched flushes for the chaotic
+//! engine, never per-event) is supposed to keep the cost invisible: the
+//! reference-circuit number must sit inside the noise band measured for
+//! this workload before telemetry existed (1.19–1.71 ms).
+//!
+//! - `chaotic_base` is that reference workload: sampling off, so the
+//!   only telemetry cost is the shard publishes themselves.
+//! - `chaotic_sampled` adds a 1 ms sampler riding the watchdog thread,
+//!   pinning the claim that in-run snapshotting is off-thread and does
+//!   not perturb workers.
+//! - `sync_base` covers the barrier engine's per-step publish cadence.
+//!
+//! ```text
+//! cargo bench -p parsim-bench --bench telemetry_overhead
+//! ```
+//!
+//! Setting `PARSIM_BENCH_QUICK` shrinks sample counts and measurement
+//! windows so CI can smoke-test the benchmark without paying for
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parsim_bench::{bench_array, quick};
+use parsim_core::{ChaoticAsync, SimConfig, SyncEventDriven};
+use parsim_logic::Time;
+
+fn settings() -> parsim_bench::criterion_config::Settings {
+    let mut q = quick();
+    if std::env::var_os("PARSIM_BENCH_QUICK").is_some() {
+        q.sample_size = 10; // criterion's floor
+        q.measurement_secs = 0.05;
+        q.warmup_millis = 10;
+    }
+    q
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let q = settings();
+    let arr = bench_array();
+    let netlist = &arr.netlist;
+    let cfg = SimConfig::new(Time(400)).threads(2);
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(q.sample_size)
+        .measurement_time(std::time::Duration::from_secs_f64(q.measurement_secs))
+        .warm_up_time(std::time::Duration::from_millis(q.warmup_millis));
+    g.bench_function("chaotic_base", |b| {
+        b.iter(|| ChaoticAsync::run(netlist, &cfg).unwrap())
+    });
+    g.bench_function("chaotic_sampled", |b| {
+        let sampled = cfg
+            .clone()
+            .sample_every(std::time::Duration::from_millis(1));
+        b.iter(|| ChaoticAsync::run(netlist, &sampled).unwrap())
+    });
+    g.bench_function("sync_base", |b| {
+        b.iter(|| SyncEventDriven::run(netlist, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

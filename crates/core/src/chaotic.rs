@@ -84,8 +84,10 @@ use parsim_queue::{ArenaDomain, WorkerArena};
 use parsim_queue::{grid, ActivationState, Backoff, GridSender, IdBatch};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
+use parsim_telemetry::{Counter, Gauge, Shard};
+
 use crate::behavior::{ChunkAlloc, Cursor, NodeState};
-use crate::checkpoint::{SegmentOut, SegmentSpec};
+use crate::checkpoint::{new_run_ctx, SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -106,6 +108,46 @@ type WorkerOutput = (
     WorkerTracer,
     Vec<PendingEvent>,
 );
+
+/// How many activations a worker runs between telemetry shard flushes.
+/// The chaotic hot loop has no step boundary to piggyback on, so counter
+/// publishes are micro-batched to keep them off the per-event path.
+const TELEMETRY_FLUSH_EVERY: u64 = 256;
+
+/// Per-worker cursors of already-published counter totals; a flush
+/// publishes only the delta since the previous one.
+#[derive(Default)]
+struct Published {
+    events: u64,
+    evals: u64,
+    acts: u64,
+    local_hits: u64,
+    grid_sends: u64,
+    grid_batches: u64,
+    steals: u64,
+    parks: u64,
+}
+
+/// Publishes the delta between a worker's running totals and its last
+/// flush. Single-writer relaxed adds; safe to call at any loop point.
+fn flush_shard(shard: &Shard, tm: &ThreadMetrics, acts: u64, p: &mut Published) {
+    shard.add(Counter::EventsProcessed, tm.events - p.events);
+    p.events = tm.events;
+    shard.add(Counter::Evaluations, tm.evaluations - p.evals);
+    p.evals = tm.evaluations;
+    shard.add(Counter::Activations, acts - p.acts);
+    p.acts = acts;
+    shard.add(Counter::LocalHits, tm.sched.local_hits - p.local_hits);
+    p.local_hits = tm.sched.local_hits;
+    shard.add(Counter::GridSends, tm.sched.grid_sends - p.grid_sends);
+    p.grid_sends = tm.sched.grid_sends;
+    shard.add(Counter::GridBatches, tm.sched.grid_batches - p.grid_batches);
+    p.grid_batches = tm.sched.grid_batches;
+    shard.add(Counter::Steals, tm.sched.steals - p.steals);
+    p.steals = tm.sched.steals;
+    shard.add(Counter::BackoffParks, tm.sched.backoff_parks - p.parks);
+    p.parks = tm.sched.backoff_parks;
+}
 
 /// Push-side bound of the local LIFO deque: fan-out pushes beyond this
 /// divert to the owner's grid column instead, so one worker cannot hoard
@@ -315,8 +357,11 @@ impl ChaoticAsync {
     /// [`SimConfig::stall_timeout`](crate::SimConfig) /
     /// [`SimConfig::deadline`](crate::SimConfig) cancelled the run.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
-        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
-        Ok(out.into_result(netlist, config))
+        let ctx = new_run_ctx(config);
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config, ctx.clone()))?;
+        let mut result = out.into_result(netlist, config);
+        result.telemetry = Some(ctx.finish());
+        Ok(result)
     }
 
     /// Runs one segment — the whole run when `seg` is
@@ -681,8 +726,13 @@ impl ChaoticAsync {
             &containment,
             config.deadline,
             config.stall_timeout,
+            seg.telemetry.sampler(),
             || {},
         );
+        let registry = &seg.telemetry.registry;
+        // Build-phase events (generator expansion) happened on this
+        // thread, before any worker existed: they belong to the driver.
+        registry.driver().add(Counter::EventsProcessed, events_seed);
         let ctx = &ctx;
         let tracer = Tracer::new(config.trace.as_ref());
         let tracer_ref = &tracer;
@@ -707,6 +757,10 @@ impl ChaoticAsync {
                                 // hits: they were placed without touching
                                 // the grid.
                                 tm.sched.local_hits += init.len() as u64;
+                                let shard = registry.worker(w);
+                                let mut published = Published::default();
+                                let mut my_acts = 0u64;
+                                let mut since_flush = 0u64;
                                 let mut sched = Sched::new(w, tx, init, ctx.use_local);
                                 // Created on this thread so slab spans
                                 // are first-touched by their owner; the
@@ -762,6 +816,7 @@ impl ChaoticAsync {
                                             tr.begin(EventKind::ActivationReplay, e as u32);
                                             ctx.act(e).begin_run();
                                             ctx.activations.fetch_add(1, Ordering::Relaxed);
+                                            my_acts += 1;
                                             // Epoch-pinned while the run
                                             // may traverse cross-worker
                                             // chunks; unpinned before the
@@ -799,6 +854,15 @@ impl ChaoticAsync {
                                                 sched.local.len() as u32,
                                             );
                                             tm.busy += busy.elapsed();
+                                            since_flush += 1;
+                                            if since_flush >= TELEMETRY_FLUSH_EVERY {
+                                                since_flush = 0;
+                                                flush_shard(&shard, &tm, my_acts, &mut published);
+                                                shard.set_gauge(
+                                                    Gauge::QueueDepth,
+                                                    sched.local.len() as u64,
+                                                );
+                                            }
                                         }
                                         None => {
                                             if ctx.pending.load(Ordering::Acquire) == 0 {
@@ -807,6 +871,12 @@ impl ChaoticAsync {
                                             if idle_since.is_none() {
                                                 idle_since = Some(Instant::now());
                                                 tr.instant(EventKind::Heartbeat, 0);
+                                                // Going idle is off the hot
+                                                // path: flush so a sampler
+                                                // snapshot taken during the
+                                                // lull sees current totals.
+                                                flush_shard(&shard, &tm, my_acts, &mut published);
+                                                shard.set_gauge(Gauge::QueueDepth, 0);
                                                 // Reclamation progress
                                                 // even when this worker
                                                 // stops allocating.
@@ -825,6 +895,9 @@ impl ChaoticAsync {
                                 if let Some(t0) = idle_since.take() {
                                     tm.idle += t0.elapsed();
                                 }
+                                flush_shard(&shard, &tm, my_acts, &mut published);
+                                shard.add(Counter::BusyNs, tm.busy.as_nanos() as u64);
+                                shard.add(Counter::IdleNs, tm.idle.as_nanos() as u64);
                                 ctx.chunk_allocs
                                     .fetch_add(mem.alloc.allocs, Ordering::Relaxed);
                                 ctx.chunk_frees
@@ -922,6 +995,16 @@ impl ChaoticAsync {
         if let Some(d) = &ctx.domain {
             arena_counters.enabled = true;
             arena_counters.slab = d.stats();
+        }
+        // Memory-subsystem totals are only harvestable post-join (worker
+        // tallies flush into the ctx atomics / arena domain on drop), so
+        // they publish once here, on the driver shard.
+        {
+            let d = registry.driver();
+            d.add(Counter::GcChunksFreed, ctx.chunks_freed.load(Ordering::Relaxed));
+            d.add(Counter::ArenaChunkAllocs, arena_counters.chunk_allocs);
+            d.add(Counter::ArenaChunkFrees, arena_counters.chunk_frees);
+            arena_counters.slab.publish(&d);
         }
         let metrics = Metrics {
             events_processed,

@@ -36,6 +36,7 @@ use std::time::Instant;
 use parsim_checkpoint::{ChangeRecord, CheckpointError, CheckpointStore, EngineSnapshot};
 use parsim_logic::{Time, Value};
 use parsim_netlist::{Netlist, NodeId};
+use parsim_telemetry::{Counter, Gauge, TelemetryCtx};
 use parsim_trace::Trace;
 
 use crate::chaotic::ChaoticAsync;
@@ -102,17 +103,37 @@ pub(crate) struct SegmentSpec<'a> {
     pub resume: Option<&'a EngineSnapshot>,
     pub cut: u64,
     pub capture: bool,
+    /// The run-scoped telemetry context. Owned by the caller (engine
+    /// `run` wrapper or the checkpoint driver) and shared across every
+    /// segment of the run, so registry counters stay cumulative; only
+    /// the owner calls [`TelemetryCtx::finish`], exactly once.
+    pub telemetry: TelemetryCtx,
+}
+
+/// Builds the run-scoped telemetry context: one registry shard per
+/// worker plus the driver shard, the sampler armed per
+/// `config.sample_every`, and the context published to the config's hub
+/// (if any) for mid-run observation.
+pub(crate) fn new_run_ctx(config: &SimConfig) -> TelemetryCtx {
+    let workers = config.threads.max(1);
+    let ctx = TelemetryCtx::for_run(workers, config.sample_every, config.sample_capacity);
+    ctx.registry.driver().set_gauge(Gauge::Workers, workers as u64);
+    if let Some(hub) = &config.telemetry_hub {
+        hub.install(ctx.clone());
+    }
+    ctx
 }
 
 impl SegmentSpec<'_> {
     /// The whole run in one segment: no warm start, no capture. Every
     /// plain `Engine::run` goes through this, making the segmented path
     /// the only code path.
-    pub fn whole(config: &SimConfig) -> SegmentSpec<'static> {
+    pub fn whole(config: &SimConfig, telemetry: TelemetryCtx) -> SegmentSpec<'static> {
         SegmentSpec {
             resume: None,
             cut: config.end_time.ticks(),
             capture: false,
+            telemetry,
         }
     }
 }
@@ -206,6 +227,8 @@ fn drive(
     let digest = netlist_digest(netlist);
     let mut store = CheckpointStore::open(&policy.dir, digest, policy.keep)?;
 
+    let ctx = new_run_ctx(config);
+
     let mut restore_ns = 0u64;
     let mut warm: Option<EngineSnapshot> = None;
     if try_resume {
@@ -251,6 +274,7 @@ fn drive(
             resume: warm.as_ref(),
             cut,
             capture,
+            telemetry: ctx.clone(),
         };
         let out = kind
             .run_segment(netlist, config, seg)
@@ -275,9 +299,15 @@ fn drive(
                 let stats = store
                     .save(&snap, &config.fault.storage)
                     .map_err(|e| stamp_last_checkpoint(SimError::Checkpoint(e), committed_step))?;
-                ckpt_write_ns += t.elapsed().as_nanos() as u64;
+                let write_ns = t.elapsed().as_nanos() as u64;
+                ckpt_write_ns += write_ns;
                 ckpt_writes += 1;
                 ckpt_bytes += stats.bytes;
+                let shard = ctx.registry.driver();
+                shard.inc(Counter::CheckpointWrites);
+                shard.add(Counter::CheckpointBytes, stats.bytes);
+                shard.add(Counter::CheckpointWriteNs, write_ns);
+                shard.set_gauge(Gauge::LastCheckpointTime, snap.time);
                 committed_step = Some(step);
                 snap.changes.clear();
                 warm = Some(snap);
@@ -299,6 +329,7 @@ fn drive(
     let mut result =
         SimResult::from_changes(netlist, config.end_time, &config.watch, changes, metrics);
     result.trace = trace;
+    result.telemetry = Some(ctx.finish());
     Ok(result)
 }
 

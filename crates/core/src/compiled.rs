@@ -82,6 +82,9 @@ pub struct BatchResult {
     pub lanes: Vec<SimResult>,
     /// Aggregate metrics for the whole packed run.
     pub metrics: Metrics,
+    /// Finished run telemetry (the batch has no single [`SimResult`] to
+    /// carry it, so it rides here).
+    pub telemetry: Option<parsim_telemetry::RunTelemetry>,
 }
 
 /// The parallel compiled-mode simulator.

@@ -1,6 +1,7 @@
 //! Simulation run configuration.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use parsim_logic::Time;
@@ -158,6 +159,19 @@ pub struct SimConfig {
     /// every chunk becomes one global-allocator call). Never changes
     /// waveforms.
     pub arena: bool,
+    /// In-run telemetry sampling period. `None` (the default) leaves the
+    /// always-on metrics registry running but takes no periodic samples;
+    /// `Some(p)` makes the watchdog/monitor thread snapshot the registry
+    /// every `p` into a bounded flight-recorder ring, returned as
+    /// [`SimResult::telemetry`](crate::SimResult) sample series. Never
+    /// changes waveforms.
+    pub sample_every: Option<Duration>,
+    /// Flight-recorder ring capacity, in samples (oldest dropped first).
+    pub sample_capacity: usize,
+    /// Shared slot the engine installs its live telemetry context into at
+    /// run start, so another thread can watch the registry mid-run (e.g.
+    /// `psim --live-stats`). `None` (the default) skips installation.
+    pub telemetry_hub: Option<Arc<parsim_telemetry::Hub>>,
 }
 
 impl SimConfig {
@@ -182,6 +196,9 @@ impl SimConfig {
             lane_width: None,
             batch_sync: BatchSync::default(),
             arena: std::env::var_os("PARSIM_NO_ARENA").is_none(),
+            sample_every: None,
+            sample_capacity: parsim_telemetry::DEFAULT_RING_CAPACITY,
+            telemetry_hub: None,
         }
     }
 
@@ -400,6 +417,31 @@ impl SimConfig {
     #[must_use]
     pub fn with_batch_sync(mut self, sync: BatchSync) -> SimConfig {
         self.batch_sync = sync;
+        self
+    }
+
+    /// Arms the in-run telemetry sampler: the monitor thread snapshots
+    /// the metrics registry every `period` into the flight-recorder ring
+    /// returned as [`SimResult::telemetry`](crate::SimResult) samples.
+    #[must_use]
+    pub fn sample_every(mut self, period: Duration) -> SimConfig {
+        self.sample_every = Some(period);
+        self
+    }
+
+    /// Bounds the flight-recorder ring at `samples` entries (oldest
+    /// dropped first; clamped to at least 2).
+    #[must_use]
+    pub fn with_sample_capacity(mut self, samples: usize) -> SimConfig {
+        self.sample_capacity = samples.max(2);
+        self
+    }
+
+    /// Installs the run's live telemetry context into `hub` at run start,
+    /// for mid-run observation from another thread.
+    #[must_use]
+    pub fn with_telemetry_hub(mut self, hub: Arc<parsim_telemetry::Hub>) -> SimConfig {
+        self.telemetry_hub = Some(hub);
         self
     }
 }

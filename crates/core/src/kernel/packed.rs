@@ -43,7 +43,9 @@ use parsim_netlist::compile::{CompiledProgram, Opcode};
 use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::{SpinBarrier, StepHandoff};
+use parsim_telemetry::{Counter, Gauge, TelemetryCtx};
 
+use crate::checkpoint::new_run_ctx;
 use crate::compiled::{BatchResult, LaneStimulus};
 use crate::config::{BatchSync, SimConfig};
 use crate::error::{SimError, StallDiagnostic};
@@ -120,6 +122,7 @@ struct BatchCtx<'a> {
     cut: u64,
     end: u64,
     capture: bool,
+    telemetry: &'a TelemetryCtx,
 }
 
 /// Runs the packed batch kernel over any number of stimulus lanes
@@ -392,6 +395,10 @@ pub(crate) fn run_batch_segment(
     }
     state_offset.push(state_len);
 
+    // The batch kernel owns its run-scoped telemetry context (the
+    // BatchResult is not a SimResult, so the finished telemetry rides the
+    // batch result instead).
+    let telemetry = new_run_ctx(config);
     let ctx = BatchCtx {
         netlist,
         config,
@@ -411,6 +418,7 @@ pub(crate) fn run_batch_segment(
         cut,
         end,
         capture,
+        telemetry: &telemetry,
     };
 
     // ---- chunk loop ------------------------------------------------------
@@ -452,6 +460,7 @@ pub(crate) fn run_batch_segment(
         lane_base += chunk_lanes;
     }
 
+    telemetry.registry.driver().gauge_max(Gauge::LaneWidth, used_width);
     let events_processed: u64 = per_thread.iter().map(|tm| tm.events).sum();
     let evaluations: u64 = per_thread.iter().map(|tm| tm.evaluations).sum();
     let metrics = Metrics {
@@ -482,6 +491,7 @@ pub(crate) fn run_batch_segment(
         BatchResult {
             lanes: lanes_out,
             metrics,
+            telemetry: Some(telemetry.finish()),
         },
         snapshots,
     ))
@@ -509,6 +519,7 @@ fn run_chunk<const W: usize>(
         cut,
         end,
         capture,
+        telemetry,
         ..
     } = *ctx;
     let threads = config.threads;
@@ -668,13 +679,20 @@ fn run_chunk<const W: usize>(
     let watchdog = {
         let b = Arc::clone(&barrier);
         let h = Arc::clone(&handoff);
-        Watchdog::spawn(&containment, config.deadline, config.stall_timeout, move || {
-            b.poison();
-            h.poison();
-        })
+        Watchdog::spawn(
+            &containment,
+            config.deadline,
+            config.stall_timeout,
+            telemetry.sampler(),
+            move || {
+                b.poison();
+                h.poison();
+            },
+        )
     };
     let barrier = &barrier;
     let handoff = &handoff;
+    let registry = &telemetry.registry;
     let stop = AtomicBool::new(false);
     let stop = &stop;
     let cur_step = AtomicU64::new(0);
@@ -692,6 +710,9 @@ fn run_chunk<const W: usize>(
                         let mut tm = ThreadMetrics::default();
                         let mut blocks_skipped = 0u64;
                         let mut evals_skipped = 0u64;
+                        let shard = registry.worker(p);
+                        let mut published_events = 0u64;
+                        let mut published_evals = 0u64;
                         // Pending writes: slot list plus a flat plane arena
                         // (widths are implied by the slots), reused across
                         // steps so the hot loop never allocates.
@@ -704,6 +725,13 @@ fn run_chunk<const W: usize>(
                             cont.beat(p);
                             if p == 0 {
                                 cur_step.store(t, Ordering::Relaxed);
+                                // Steps are shared across lane chunks; only
+                                // the first chunk counts them so multi-chunk
+                                // batches don't multiply the step count.
+                                if lane_base == 0 {
+                                    shard.inc(Counter::TimeSteps);
+                                    shard.set_gauge(Gauge::SimTime, t);
+                                }
                                 if cont.cancelled() {
                                     stop.store(true, Ordering::Release);
                                 }
@@ -896,6 +924,13 @@ fn run_chunk<const W: usize>(
                                 }
                             }
                             tm.busy += busy_start.elapsed();
+                            // Publish this step's deltas (never per event).
+                            shard.add(Counter::EventsProcessed, tm.events - published_events);
+                            published_events = tm.events;
+                            shard.add(Counter::Evaluations, tm.evaluations - published_evals);
+                            shard.add(Counter::Activations, tm.evaluations - published_evals);
+                            published_evals = tm.evaluations;
+                            shard.set_gauge(Gauge::QueueDepth, pend_slots.len() as u64);
                             match neighbors {
                                 None => {
                                     let wait_start = Instant::now();
@@ -908,6 +943,15 @@ fn run_chunk<const W: usize>(
                                 Some(_) => handoff.publish_eval(p, t),
                             }
                         }
+                        // Residual deltas (early breaks) plus end-computed
+                        // totals that are only known once the loop is done.
+                        shard.add(Counter::EventsProcessed, tm.events - published_events);
+                        shard.add(Counter::Evaluations, tm.evaluations - published_evals);
+                        shard.add(Counter::Activations, tm.evaluations - published_evals);
+                        shard.add(Counter::BlocksSkipped, blocks_skipped);
+                        shard.add(Counter::EvalsSkipped, evals_skipped);
+                        shard.add(Counter::BusyNs, tm.busy.as_nanos() as u64);
+                        shard.add(Counter::IdleNs, tm.idle.as_nanos() as u64);
                         (changes, tm, blocks_skipped, evals_skipped, pend_slots, pend_data)
                     }));
                     match body {

@@ -24,9 +24,10 @@ use parsim_netlist::compile::CompiledProgram;
 use parsim_netlist::partition::Partition;
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::SpinBarrier;
+use parsim_telemetry::{Counter, Gauge};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
-use crate::checkpoint::{SegmentOut, SegmentSpec};
+use crate::checkpoint::{new_run_ctx, SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
@@ -59,8 +60,17 @@ pub(crate) fn run(
     prog: &CompiledProgram,
     partition: &Partition,
 ) -> Result<SimResult, SimError> {
-    let out = run_segment(netlist, config, prog, partition, SegmentSpec::whole(config))?;
-    Ok(out.into_result(netlist, config))
+    let ctx = new_run_ctx(config);
+    let out = run_segment(
+        netlist,
+        config,
+        prog,
+        partition,
+        SegmentSpec::whole(config, ctx.clone()),
+    )?;
+    let mut result = out.into_result(netlist, config);
+    result.telemetry = Some(ctx.finish());
+    Ok(result)
 }
 
 /// Runs one segment of the scalar compiled-mode kernel.
@@ -157,10 +167,12 @@ pub(crate) fn run_segment(
             &containment,
             config.deadline,
             config.stall_timeout,
+            seg.telemetry.sampler(),
             move || b.poison(),
         )
     };
     let barrier = &barrier;
+    let registry = &seg.telemetry.registry;
     // Cooperative cancellation: thread 0 copies the cancel flag into
     // `stop` during the apply phase, and everyone samples `stop` after
     // the following barrier — so all threads break at the same step.
@@ -184,6 +196,9 @@ pub(crate) fn run_segment(
                         let mut changes: Vec<(Time, NodeId, Value)> = Vec::new();
                         let mut tr = tracer_ref.worker(p);
                         let mut tm = ThreadMetrics::default();
+                        let shard = registry.worker(p);
+                        let mut published_events = 0u64;
+                        let mut published_evals = 0u64;
                         let mut blocks_skipped = 0u64;
                         let mut evals_skipped = 0u64;
                         let mut pending: Vec<(u32, Value)> = Vec::new();
@@ -193,6 +208,8 @@ pub(crate) fn run_segment(
                             cont.beat(p);
                             if p == 0 {
                                 cur_step.store(t, Ordering::Relaxed);
+                                shard.inc(Counter::TimeSteps);
+                                shard.set_gauge(Gauge::SimTime, t);
                                 if cont.cancelled() {
                                     stop.store(true, Ordering::Release);
                                 }
@@ -300,6 +317,15 @@ pub(crate) fn run_segment(
                             }
                             tr.counter(EventKind::QueueDepth, pending.len() as u32);
                             tr.end(EventKind::PhaseEval);
+                            // One relaxed step-delta publish per worker per
+                            // step; activations mirror evaluations (every
+                            // evaluated instruction counts as activated).
+                            shard.add(Counter::EventsProcessed, tm.events - published_events);
+                            shard.add(Counter::Evaluations, tm.evaluations - published_evals);
+                            shard.add(Counter::Activations, tm.evaluations - published_evals);
+                            shard.set_gauge(Gauge::QueueDepth, pending.len() as u64);
+                            published_events = tm.events;
+                            published_evals = tm.evaluations;
                             tm.busy += busy_start.elapsed();
                             let wait_start = Instant::now();
                             barrier.wait_traced(&mut tr, 1);
@@ -308,6 +334,13 @@ pub(crate) fn run_segment(
                                 break 'run;
                             }
                         }
+                        shard.add(Counter::EventsProcessed, tm.events - published_events);
+                        shard.add(Counter::Evaluations, tm.evaluations - published_evals);
+                        shard.add(Counter::Activations, tm.evaluations - published_evals);
+                        shard.add(Counter::BlocksSkipped, blocks_skipped);
+                        shard.add(Counter::EvalsSkipped, evals_skipped);
+                        shard.add(Counter::BusyNs, tm.busy.as_nanos() as u64);
+                        shard.add(Counter::IdleNs, tm.idle.as_nanos() as u64);
                         (changes, tm, blocks_skipped, evals_skipped, tr, pending)
                     }));
                     match body {

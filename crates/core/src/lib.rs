@@ -85,7 +85,10 @@ pub use metrics::{
 pub use parsim_checkpoint::{
     CheckpointError, CheckpointStore, EngineSnapshot, StorageFault, StorageFaultPlan,
 };
-pub use parsim_trace::{CheckpointReport, RunReport, Trace, TraceConfig};
+pub use parsim_trace::{
+    CheckpointReport, RunReport, ThreadSummary, TimeSeriesPoint, TimeSeriesReport, Trace,
+    TraceConfig,
+};
 pub use seq::EventDriven;
 pub use sync::SyncEventDriven;
 pub use testbench::{TestBench, TestBenchError, TestRun};

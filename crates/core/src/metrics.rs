@@ -286,8 +286,14 @@ pub struct Metrics {
     pub activations: u64,
     /// Active time steps (event-driven engines) or total steps (compiled).
     pub time_steps: u64,
-    /// Distribution of events per active step (filled by the sequential
-    /// engine; parallel engines leave it empty).
+    /// Distribution of events per active step. Filled by the sequential
+    /// engine and (since the telemetry PR) by the synchronous engine,
+    /// whose leader records each step's global event delta. The compiled
+    /// and chaotic engines leave it empty — compiled mode evaluates
+    /// every element each step so the paper's §5 availability statistic
+    /// is meaningless there, and the chaotic engine has no global step
+    /// at all. Renderers must check [`EventsPerStepHistogram::steps`]
+    /// and skip the histogram instead of printing zeros.
     pub events_per_step: EventsPerStepHistogram,
     /// Per-thread timing.
     pub per_thread: Vec<ThreadMetrics>,
@@ -503,6 +509,17 @@ impl fmt::Display for Metrics {
         )?;
         if self.lane_width > 0 {
             write!(f, ", {}-bit lanes", self.lane_width)?;
+        }
+        // Engines that never record the histogram (compiled, chaotic)
+        // get no ev/step clause at all — zeros here would read as "every
+        // step was empty", which is not what absence means.
+        if self.events_per_step.steps() > 0 {
+            write!(
+                f,
+                ", ev/step p50 {} p95 {}",
+                self.events_per_step.p50(),
+                self.events_per_step.p95()
+            )?;
         }
         if !self.arena.is_empty() {
             if self.arena.enabled {

@@ -19,12 +19,14 @@ use std::time::Instant;
 use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
+use parsim_telemetry::{Counter, Gauge};
 use parsim_trace::{EventKind, Tracer};
 
-use crate::checkpoint::{SegmentOut, SegmentSpec};
+use crate::checkpoint::{new_run_ctx, SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::metrics::{EventsPerStepHistogram, Metrics};
+use crate::watchdog::{Containment, Watchdog};
 use crate::waveform::SimResult;
 use crate::wheel::TimingWheel;
 
@@ -87,8 +89,11 @@ impl EventDriven {
     /// [`SimConfig::deadline`](crate::SimConfig) is set and elapses; the
     /// deadline is polled inline every few thousand processed events.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
-        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
-        Ok(out.into_result(netlist, config))
+        let ctx = new_run_ctx(config);
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config, ctx.clone()))?;
+        let mut result = out.into_result(netlist, config);
+        result.telemetry = Some(ctx.finish());
+        Ok(result)
     }
 
     /// Runs one segment of the simulation — the whole run when `seg` is
@@ -236,6 +241,14 @@ impl EventDriven {
         // schedule inserts are instants within it.
         let tracer = Tracer::new(config.trace.as_ref());
         let mut tr = tracer.worker(0);
+        // Telemetry: worker shard 0, published once per time step (the
+        // sequential engine has no watchdog thread unless the sampler
+        // needs one — deadlines stay inline polls either way).
+        let shard = seg.telemetry.registry.worker(0);
+        let mut published_evals = 0u64;
+        let mut published_acts = 0u64;
+        let containment = Containment::new(1);
+        let mut monitor = Watchdog::spawn(&containment, None, None, seg.telemetry.sampler(), || {});
 
         while let Some((t, updates)) = schedule.take_next() {
             if let Some(d) = config.deadline {
@@ -243,6 +256,9 @@ impl EventDriven {
                 if work >= next_deadline_check {
                     next_deadline_check = work + DEADLINE_CHECK_EVERY;
                     if start.elapsed() > d {
+                        if let Some(w) = monitor.take() {
+                            w.finish();
+                        }
                         return Err(SimError::DeadlineExceeded {
                             engine: ENGINE,
                             deadline: d,
@@ -288,8 +304,13 @@ impl EventDriven {
             if step_events > 0 {
                 histogram.record(step_events);
                 time_steps += 1;
+                shard.inc(Counter::TimeSteps);
+                shard.record_step_events(step_events);
             }
             events_processed += step_events;
+            shard.add(Counter::EventsProcessed, step_events);
+            shard.set_gauge(Gauge::SimTime, t);
+            shard.set_gauge(Gauge::QueueDepth, activated.len() as u64);
             tr.counter(EventKind::QueueDepth, activated.len() as u32);
 
             // Phase 2: evaluate activated elements, schedule changed
@@ -338,7 +359,18 @@ impl EventDriven {
                     }
                 }
             }
+            // Step-delta publishes keep the shard current for mid-run
+            // sampling without touching the per-event path.
+            shard.add(Counter::Evaluations, evaluations - published_evals);
+            shard.add(Counter::Activations, activations - published_acts);
+            published_evals = evaluations;
+            published_acts = activations;
             tr.end(EventKind::TimeStep);
+        }
+        shard.add(Counter::Evaluations, evaluations - published_evals);
+        shard.add(Counter::Activations, activations - published_acts);
+        if let Some(w) = monitor.take() {
+            w.finish();
         }
 
         let metrics = Metrics {

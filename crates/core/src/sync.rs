@@ -31,13 +31,14 @@ use parsim_checkpoint::{EngineSnapshot, PendingEvent};
 use parsim_logic::{evaluate, expand_generator, transition_delay, ElemState, Time, Value};
 use parsim_netlist::{Netlist, NodeId};
 use parsim_queue::{MailPool, SpinBarrier};
+use parsim_telemetry::{Counter, Gauge};
 use parsim_trace::{EventKind, Tracer, WorkerTracer};
 
-use crate::checkpoint::{SegmentOut, SegmentSpec};
+use crate::checkpoint::{new_run_ctx, SegmentOut, SegmentSpec};
 use crate::config::SimConfig;
 use crate::error::{SimError, StallDiagnostic};
 use crate::fault::FaultAction;
-use crate::metrics::{ArenaCounters, Metrics, ThreadMetrics};
+use crate::metrics::{ArenaCounters, EventsPerStepHistogram, Metrics, ThreadMetrics};
 use crate::shared::SharedSlice;
 use crate::watchdog::{Containment, Watchdog, WatchdogVerdict};
 use crate::waveform::SimResult;
@@ -93,8 +94,11 @@ impl SyncEventDriven {
     /// [`SimError::DeadlineExceeded`] if the configured watchdog cancelled
     /// the run.
     pub fn run(netlist: &Netlist, config: &SimConfig) -> Result<SimResult, SimError> {
-        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config))?;
-        Ok(out.into_result(netlist, config))
+        let ctx = new_run_ctx(config);
+        let out = Self::run_segment(netlist, config, SegmentSpec::whole(config, ctx.clone()))?;
+        let mut result = out.into_result(netlist, config);
+        result.telemetry = Some(ctx.finish());
+        Ok(result)
     }
 
     /// Runs one segment — the whole run when `seg` is
@@ -256,6 +260,14 @@ impl SyncEventDriven {
         let steps_total = AtomicU64::new(0);
         let (next_time, done) = (&next_time, &done);
         let (events_total, steps_total) = (&events_total, &steps_total);
+        // Leader-side events-per-step accounting (satellite of the
+        // telemetry registry): the leader section between barriers 3 and 4
+        // is exclusive and barrier-ordered, so plain state behind an
+        // uncontended mutex is safe and cheap — one lock per time step.
+        let step_hist: std::sync::Mutex<(EventsPerStepHistogram, u64)> =
+            std::sync::Mutex::new((EventsPerStepHistogram::new(), 0));
+        let step_hist = &step_hist;
+        let registry = &seg.telemetry.registry;
         let barrier = Arc::new(SpinBarrier::new(n));
 
         // A panicking worker poisons the barrier so peers blocked at a
@@ -267,6 +279,7 @@ impl SyncEventDriven {
                 &containment,
                 config.deadline,
                 config.stall_timeout,
+                seg.telemetry.sampler(),
                 move || b.poison(),
             )
         };
@@ -286,6 +299,8 @@ impl SyncEventDriven {
                         let mut overflow: Vec<PendingEvent> = Vec::new();
                         let mut tm = ThreadMetrics::default();
                         let mut tr = tracer_ref.worker(me);
+                        let shard = registry.worker(me);
+                        let mut published_evals = 0u64;
                         let mut pool_misses = 0u64;
                         let mut pool_hits = 0u64;
                         let mut rr_elem = (me + 1) % n;
@@ -398,6 +413,7 @@ impl SyncEventDriven {
                             }
                             tr.end(EventKind::PhaseNodes);
                             events_total.fetch_add(my_events, Ordering::Relaxed);
+                            shard.add(Counter::EventsProcessed, my_events);
                             tm.events += my_events;
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
@@ -420,6 +436,7 @@ impl SyncEventDriven {
                                     work.append(mail);
                                 }
                                 elem_cursor[me].store(0, Ordering::Release);
+                                shard.set_gauge(Gauge::QueueDepth, work.len() as u64);
                                 tr.counter(EventKind::QueueDepth, work.len() as u32);
                             }
                             tm.busy += busy.elapsed();
@@ -545,12 +562,33 @@ impl SyncEventDriven {
                                 }
                             }
                             tr.end(EventKind::PhaseElems);
+                            // Per-step evaluation delta: one relaxed
+                            // publish per worker per step, never per event.
+                            shard.add(Counter::Evaluations, tm.evaluations - published_evals);
+                            shard.add(Counter::Activations, tm.evaluations - published_evals);
+                            published_evals = tm.evaluations;
                             tm.busy += busy.elapsed();
                             let wait = Instant::now();
                             let leader = barrier.wait_traced(&mut tr, 3);
                             // ---- reduce: find the next active time -------
                             if leader {
                                 steps_total.fetch_add(1, Ordering::Relaxed);
+                                {
+                                    // Leader-exclusive (barrier-ordered):
+                                    // record this step's global event count
+                                    // into the histogram and registry.
+                                    let now = events_total.load(Ordering::Relaxed);
+                                    let mut h =
+                                        step_hist.lock().unwrap_or_else(|e| e.into_inner());
+                                    let step_events = now - h.1;
+                                    h.1 = now;
+                                    if step_events > 0 {
+                                        h.0.record(step_events);
+                                        registry.driver().record_step_events(step_events);
+                                    }
+                                    registry.driver().inc(Counter::TimeSteps);
+                                    registry.driver().set_gauge(Gauge::SimTime, t);
+                                }
                                 let mut min_t = u64::MAX;
                                 for slot in 0..n * n {
                                     // SAFETY: all writers are at the
@@ -577,6 +615,12 @@ impl SyncEventDriven {
                                 break 'run;
                             }
                         }
+                        // End-of-segment publishes for values that only
+                        // exist as totals: wall-clock split, pool counters.
+                        shard.add(Counter::BusyNs, tm.busy.as_nanos() as u64);
+                        shard.add(Counter::IdleNs, tm.idle.as_nanos() as u64);
+                        shard.add(Counter::PoolMisses, pool_misses);
+                        shard.add(Counter::MailboxRecycled, pool_hits);
                         (changes, tm, (pool_misses, pool_hits), tr, overflow)
                         }));
                         match body {
@@ -646,7 +690,14 @@ impl SyncEventDriven {
             evaluations,
             activations: evaluations,
             time_steps: steps_total.load(Ordering::Relaxed),
-            events_per_step: Default::default(),
+            // Recorded by the step leader from the global per-step event
+            // deltas (the same numbers the sequential engine sees), so the
+            // paper's §5 availability histogram exists for parallel runs.
+            events_per_step: step_hist
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .0
+                .clone(),
             per_thread,
             gc_chunks_freed: 0,
             blocks_skipped: 0,

@@ -8,13 +8,18 @@
 //! synchronization primitive its peers could be blocked on — so the
 //! driver always joins every thread and returns a structured error.
 //!
-//! The [`Watchdog`] is an optional monitor thread, spawned only when the
-//! config sets a deadline or stall timeout. It samples the heartbeats: if
+//! The [`Watchdog`] is an optional monitor thread, spawned when the
+//! config sets a deadline or stall timeout — or arms the telemetry
+//! sampler, which rides the same thread. It samples the heartbeats: if
 //! the wall-time deadline passes, or no counter moves for the stall
 //! timeout, it cancels the run and records which trigger fired. The
 //! driver turns that verdict plus a post-join state snapshot into
 //! [`SimError::Stalled`](crate::SimError::Stalled) or
 //! [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
+//! On every wakeup the monitor also ticks the in-run telemetry
+//! [`Sampler`](parsim_telemetry::Sampler), which decides whether its
+//! period elapsed and snapshots the registry into the flight-recorder
+//! ring.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -141,14 +146,18 @@ pub(crate) struct Watchdog {
 impl Watchdog {
     /// Spawns a monitor if the config asks for one. `on_cancel` runs on
     /// the monitor thread right after the cancel flag is set — engines use
-    /// it to poison barriers so blocked peers wake.
+    /// it to poison barriers so blocked peers wake. A telemetry `sampler`
+    /// alone is enough to spawn the thread: the sampler ticks on every
+    /// wakeup, even after a cancel trigger fires, so the flight recorder
+    /// keeps covering the drain-and-join window.
     pub fn spawn(
         containment: &Arc<Containment>,
         deadline: Option<Duration>,
         stall_timeout: Option<Duration>,
+        mut sampler: Option<parsim_telemetry::Sampler>,
         on_cancel: impl Fn() + Send + 'static,
     ) -> Option<Watchdog> {
-        if deadline.is_none() && stall_timeout.is_none() {
+        if deadline.is_none() && stall_timeout.is_none() && sampler.is_none() {
             return None;
         }
         let done = Arc::new(AtomicBool::new(false));
@@ -156,28 +165,48 @@ impl Watchdog {
         let cont = Arc::clone(containment);
         let handle = std::thread::spawn(move || {
             let start = Instant::now();
-            // Sample often enough to honor short test timeouts without
-            // burning a core: a quarter of the tightest bound, clamped.
+            // Sample often enough to honor short test timeouts (and tight
+            // telemetry cadences) without burning a core: a quarter of the
+            // tightest bound, clamped.
             let tightest = stall_timeout
                 .into_iter()
                 .chain(deadline)
+                .chain(sampler.as_ref().map(|s| s.period()))
                 .min()
                 .unwrap_or(Duration::from_millis(100));
             let interval = (tightest / 4)
                 .clamp(Duration::from_millis(1), Duration::from_millis(25));
             let mut last_beats = cont.heartbeat_snapshot();
             let mut last_change = Instant::now();
+            let mut tripped = false;
             while !done2.load(Ordering::Acquire) {
                 std::thread::park_timeout(interval);
-                if done2.load(Ordering::Acquire) || cont.cancelled() {
+                if let Some(s) = sampler.as_mut() {
+                    s.tick();
+                }
+                if done2.load(Ordering::Acquire) {
                     return;
+                }
+                if tripped || cont.cancelled() {
+                    // Already cancelled (by us or a panicking worker):
+                    // nothing left to watch, but keep ticking the sampler
+                    // until the driver joins us.
+                    if sampler.is_none() {
+                        return;
+                    }
+                    tripped = true;
+                    continue;
                 }
                 if let Some(d) = deadline {
                     if start.elapsed() > d {
                         cont.record_verdict(WatchdogVerdict::Deadline { deadline: d });
                         cont.cancel_now();
                         on_cancel();
-                        return;
+                        if sampler.is_none() {
+                            return;
+                        }
+                        tripped = true;
+                        continue;
                     }
                 }
                 let beats = cont.heartbeat_snapshot();
@@ -192,7 +221,10 @@ impl Watchdog {
                         });
                         cont.cancel_now();
                         on_cancel();
-                        return;
+                        if sampler.is_none() {
+                            return;
+                        }
+                        tripped = true;
                     }
                 }
             }
@@ -236,6 +268,7 @@ mod tests {
             &c,
             None,
             Some(Duration::from_millis(30)),
+            None,
             || {},
         )
         .expect("stall timeout set");
@@ -265,6 +298,7 @@ mod tests {
             &c,
             Some(Duration::from_millis(30)),
             None,
+            None,
             move || cb.store(true, Ordering::Release),
         )
         .expect("deadline set");
@@ -285,6 +319,59 @@ mod tests {
     #[test]
     fn no_config_no_thread() {
         let c = Containment::new(1);
-        assert!(Watchdog::spawn(&c, None, None, || {}).is_none());
+        assert!(Watchdog::spawn(&c, None, None, None, || {}).is_none());
+    }
+
+    #[test]
+    fn sampler_alone_spawns_and_samples() {
+        use parsim_telemetry::{Registry, SampleRing, Sampler};
+        let c = Containment::new(1);
+        let reg = Arc::new(Registry::new(1));
+        let ring = Arc::new(SampleRing::new(64));
+        let sampler = Sampler::new(reg.clone(), ring.clone(), Duration::from_millis(1));
+        let w = Watchdog::spawn(&c, None, None, Some(sampler), || {})
+            .expect("sampler alone spawns the monitor");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ring.len() < 3 {
+            assert!(Instant::now() < deadline, "sampler never ticked");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        w.finish();
+        let samples = ring.drain();
+        assert!(samples.len() >= 3);
+        for pair in samples.windows(2) {
+            assert!(pair[0].t_ns <= pair[1].t_ns, "sample timestamps monotone");
+        }
+    }
+
+    #[test]
+    fn sampler_keeps_ticking_after_watchdog_trips() {
+        use parsim_telemetry::{Registry, SampleRing, Sampler};
+        let c = Containment::new(1);
+        let reg = Arc::new(Registry::new(1));
+        let ring = Arc::new(SampleRing::new(256));
+        let sampler = Sampler::new(reg, ring.clone(), Duration::from_millis(1));
+        let w = Watchdog::spawn(
+            &c,
+            Some(Duration::from_millis(10)),
+            None,
+            Some(sampler),
+            || {},
+        )
+        .expect("deadline set");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !c.cancelled() {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let after_trip = ring.len();
+        while ring.len() <= after_trip {
+            assert!(
+                Instant::now() < deadline,
+                "sampler stopped after the deadline tripped"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        w.finish();
     }
 }

@@ -98,6 +98,11 @@ pub struct SimResult {
     /// configured with [`SimConfig::with_trace`](crate::SimConfig) *and*
     /// the `trace` cargo feature is compiled in.
     pub trace: Option<parsim_trace::Trace>,
+    /// The run's telemetry: the final registry snapshot (always present
+    /// for engine-driven runs — the registry is compiled in and on) plus
+    /// the in-run sample series when
+    /// [`SimConfig::sample_every`](crate::SimConfig) was set.
+    pub telemetry: Option<parsim_telemetry::RunTelemetry>,
 }
 
 impl SimResult {
@@ -134,6 +139,7 @@ impl SimResult {
             waveforms,
             metrics,
             trace: None,
+            telemetry: None,
         }
     }
 

@@ -48,11 +48,17 @@ struct RunRow {
     grid_batches: u64,
     steals: u64,
     backoff_parks: u64,
+    /// Worker busy/idle nanoseconds from the run's telemetry registry
+    /// (oracle-tested equal to the `Metrics` per-thread sums).
+    busy_ns: u64,
+    idle_ns: u64,
 }
 
 impl RunRow {
     fn from_result(threads: usize, wall_secs: f64, r: &SimResult) -> RunRow {
         let l = &r.metrics.locality;
+        let finals = r.telemetry.as_ref().map(|t| &t.finals);
+        let counter = |c| finals.map_or(0, |f| f.counter(c));
         RunRow {
             threads,
             wall_secs,
@@ -64,6 +70,20 @@ impl RunRow {
             grid_batches: l.grid_batches,
             steals: l.steals,
             backoff_parks: l.backoff_parks,
+            busy_ns: counter(parsim_telemetry::Counter::BusyNs),
+            idle_ns: counter(parsim_telemetry::Counter::IdleNs),
+        }
+    }
+
+    /// Worker-time utilization, `busy / (busy + idle)`. A run too short
+    /// to accrue either (or a 1-thread sequential row) would make this
+    /// NaN (0/0); it reports 0.0, which `json_f` keeps serializable.
+    fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
         }
     }
 
@@ -165,8 +185,9 @@ fn measure(
     let sync = sweep(threads, reps, |t| {
         SyncEventDriven::run(netlist, &cfg.clone().threads(t)).expect("sync run")
     });
-    // One sequential run fills the events-per-step histogram (the
-    // parallel engines leave it empty).
+    // One sequential run fills the events-per-step histogram. The sync
+    // engine populates it too (leader-merged per step), but the sequential
+    // run is the oracle and has no barrier skew in its step boundaries.
     let seq = EventDriven::run(netlist, &cfg).expect("seq reference run");
     let h = &seq.metrics.events_per_step;
     CircuitReport {
@@ -205,6 +226,12 @@ fn rows_json(out: &mut String, indent: &str, rows: &[RunRow]) {
         out.push_str(&format!("{indent}  \"grid_batches\": {},\n", r.grid_batches));
         out.push_str(&format!("{indent}  \"steals\": {},\n", r.steals));
         out.push_str(&format!("{indent}  \"backoff_parks\": {},\n", r.backoff_parks));
+        out.push_str(&format!("{indent}  \"busy_ns\": {},\n", r.busy_ns));
+        out.push_str(&format!("{indent}  \"idle_ns\": {},\n", r.idle_ns));
+        out.push_str(&format!(
+            "{indent}  \"utilization\": {},\n",
+            json_f(r.utilization())
+        ));
         out.push_str(&format!(
             "{indent}  \"locality_ratio\": {},\n",
             json_f(r.locality_ratio())
@@ -439,7 +466,26 @@ mod tests {
             grid_batches: 1,
             steals: 0,
             backoff_parks: 0,
+            busy_ns: 0,
+            idle_ns: 0,
         }
+    }
+
+    /// Regression: the telemetry-derived `utilization` field divides two
+    /// counters that are both legitimately zero (sequential rows, runs
+    /// shorter than a publish flush); the 0/0 must surface as `0.000000`
+    /// through the NaN-safe `json` layer, never as `NaN`/`null`.
+    #[test]
+    fn zero_worker_time_utilization_stays_serializable() {
+        let r = row(1, 0.5);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(json_f(r.utilization()), "0.000000");
+        let busy = RunRow {
+            busy_ns: 750,
+            idle_ns: 250,
+            ..row(2, 0.5)
+        };
+        assert_eq!(json_f(busy.utilization()), "0.750000");
     }
 
     /// Regression: zero wall times used to turn `speedup` into NaN/Inf,

@@ -56,12 +56,19 @@ struct RunRow {
     reclaimed: u64,
     quarantine_peak: u64,
     recycle_ratio: f64,
+    /// Worker busy/idle nanoseconds from the run's telemetry registry —
+    /// shows whether the ablation's extra mallocs cost busy time or
+    /// just shift the busy/idle split.
+    busy_ns: u64,
+    idle_ns: u64,
     oracle_match: bool,
 }
 
 impl RunRow {
     fn from_result(threads: usize, wall_secs: f64, r: &SimResult, oracle: &SimResult) -> RunRow {
         let a = &r.metrics.arena;
+        let finals = r.telemetry.as_ref().map(|t| &t.finals);
+        let counter = |c| finals.map_or(0, |f| f.counter(c));
         RunRow {
             threads,
             wall_secs,
@@ -76,7 +83,20 @@ impl RunRow {
             reclaimed: a.slab.reclaimed,
             quarantine_peak: a.slab.quarantine_peak,
             recycle_ratio: a.recycle_ratio(),
+            busy_ns: counter(parsim_telemetry::Counter::BusyNs),
+            idle_ns: counter(parsim_telemetry::Counter::IdleNs),
             oracle_match: equivalence_report(oracle, r).is_equivalent(),
+        }
+    }
+
+    /// Worker-time utilization, `busy / (busy + idle)`; 0.0 when neither
+    /// accrued (0/0 would be NaN — `json_f` must never see one).
+    fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
         }
     }
 }
@@ -208,6 +228,12 @@ fn rows_json(out: &mut String, indent: &str, rows: &[RunRow]) {
         out.push_str(&format!(
             "{indent}  \"recycle_ratio\": {},\n",
             json_f(r.recycle_ratio)
+        ));
+        out.push_str(&format!("{indent}  \"busy_ns\": {},\n", r.busy_ns));
+        out.push_str(&format!("{indent}  \"idle_ns\": {},\n", r.idle_ns));
+        out.push_str(&format!(
+            "{indent}  \"utilization\": {},\n",
+            json_f(r.utilization())
         ));
         out.push_str(&format!("{indent}  \"oracle_match\": {}\n", r.oracle_match));
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -476,8 +502,27 @@ mod tests {
             reclaimed: 70,
             quarantine_peak: 4,
             recycle_ratio: 0.8,
+            busy_ns: 0,
+            idle_ns: 0,
             oracle_match: true,
         }
+    }
+
+    /// Regression: the telemetry-derived `utilization` field is 0/0 for
+    /// rows whose run never flushed busy/idle; it must render `0.000000`
+    /// through the NaN-safe `json` layer, never `NaN`/`null` (the
+    /// full-document assertion rides `vacuous_runs_fail_cleanly_without_nan`).
+    #[test]
+    fn zero_worker_time_utilization_stays_serializable() {
+        let r = row(1, 10);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(json_f(r.utilization()), "0.000000");
+        let busy = RunRow {
+            busy_ns: 300,
+            idle_ns: 100,
+            ..row(2, 10)
+        };
+        assert_eq!(json_f(busy.utilization()), "0.750000");
     }
 
     /// The rendered document must parse as JSON with no NaN/null, even

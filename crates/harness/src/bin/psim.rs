@@ -33,17 +33,34 @@
 //! portable scalar path); it also applies to plain batch runs driven
 //! through the library. The chosen width is reported in the metrics
 //! line and, with `--trace --report`, in the run report.
+//!
+//! Telemetry (always on, no feature flag): `--metrics-out OUT.prom`
+//! writes the final registry as Prometheus text-format 0.0.4 (self-
+//! linted) plus a sibling `OUT.series.json` time-series document whose
+//! final sample equals the run's metrics totals. `--sample-every MS`
+//! arms the in-run sampler (the watchdog thread snapshots the registry
+//! every MS milliseconds into a bounded ring). `--live-stats` prints a
+//! one-line stderr progress ticker (events/s, utilization, queue depth,
+//! arena occupancy, last checkpoint) while the run is in flight.
+//! `--report` no longer requires `--trace`: without a trace it prints
+//! the metrics-derived per-worker utilization report (busy/idle/parks),
+//! so scheduling imbalance is visible on every build.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use parsim_core::{
-    checkpoint, ChaoticAsync, CheckpointReport, CompiledMode, EngineKind, EventDriven, RunReport,
-    SimConfig, SyncEventDriven, TraceConfig,
+    checkpoint, ChaoticAsync, CheckpointReport, CompiledMode, EngineKind, EventDriven, Metrics,
+    RunReport, SimConfig, SyncEventDriven, ThreadSummary, TimeSeriesPoint, TimeSeriesReport,
+    TraceConfig,
 };
 use parsim_harness::Table;
 use parsim_logic::Time;
 use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
 use parsim_netlist::{Netlist, NetlistStats};
+use parsim_telemetry::{prometheus, series, Counter, Gauge, Hub, RunTelemetry};
 
 struct Options {
     input: String,
@@ -61,6 +78,9 @@ struct Options {
     lanes: usize,
     force_lane_width: Option<usize>,
     no_arena: bool,
+    metrics_out: Option<String>,
+    sample_every_ms: u64,
+    live_stats: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,6 +101,9 @@ fn parse_args() -> Result<Options, String> {
         lanes: 0,
         force_lane_width: None,
         no_arena: false,
+        metrics_out: None,
+        sample_every_ms: 0,
+        live_stats: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -112,6 +135,16 @@ fn parse_args() -> Result<Options, String> {
             }
             "--resume" => opts.resume = true,
             "--no-arena" => opts.no_arena = true,
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--sample-every" => {
+                opts.sample_every_ms = value("--sample-every")?
+                    .parse()
+                    .map_err(|_| "--sample-every must be an integer (milliseconds)".to_string())?;
+                if opts.sample_every_ms == 0 {
+                    return Err("--sample-every must be at least 1 ms".to_string());
+                }
+            }
+            "--live-stats" => opts.live_stats = true,
             "--lanes" => {
                 opts.lanes = value("--lanes")?
                     .parse()
@@ -131,9 +164,10 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
                      [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
-                     [--trace OUT.json [--report]] \
+                     [--trace OUT.json] [--report] \
                      [--checkpoint-dir DIR --checkpoint-every N [--resume]] \
-                     [--lanes N [--force-lane-width 64|128|256|512]] [--no-arena]"
+                     [--lanes N [--force-lane-width 64|128|256|512]] [--no-arena] \
+                     [--metrics-out OUT.prom] [--sample-every MS] [--live-stats]"
                     .to_string())
             }
             other if !other.starts_with('-') && opts.input.is_empty() => {
@@ -160,9 +194,6 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
-    if opts.report && opts.trace.is_none() {
-        return Err("--report requires --trace OUT.json".to_string());
-    }
     if opts.trace.is_some() && !parsim_trace::recording_compiled() {
         return Err(
             "--trace requires the `trace` cargo feature; rebuild with \
@@ -223,6 +254,15 @@ fn run() -> Result<(), String> {
     if opts.no_arena {
         config = config.without_arena();
     }
+    if opts.sample_every_ms > 0 {
+        config = config.sample_every(Duration::from_millis(opts.sample_every_ms));
+    }
+    // The hub is the live window into the running engine's registry; the
+    // engine installs its telemetry context there at run start.
+    let hub = (opts.live_stats || opts.metrics_out.is_some()).then(Hub::new);
+    if let Some(h) = &hub {
+        config = config.with_telemetry_hub(h.clone());
+    }
     let kind = match opts.engine.as_str() {
         "seq" => EngineKind::Sequential,
         "sync" => EngineKind::Synchronous,
@@ -242,8 +282,15 @@ fn run() -> Result<(), String> {
                 .to_string());
         }
         let stimuli = vec![parsim_core::LaneStimulus::base(); opts.lanes];
-        let batch =
-            CompiledMode::run_batch(&netlist, &config, &stimuli).map_err(|e| e.to_string())?;
+        let ticker = match (&hub, opts.live_stats) {
+            (Some(h), true) => Some(LiveTicker::start(h.clone())),
+            _ => None,
+        };
+        let batch = CompiledMode::run_batch(&netlist, &config, &stimuli);
+        if let Some(t) = ticker {
+            t.finish();
+        }
+        let batch = batch.map_err(|e| e.to_string())?;
         let mut t = Table::new(
             &format!(
                 "{} — compiled batch, {} lanes ({}-bit groups), end={}",
@@ -260,9 +307,17 @@ fn run() -> Result<(), String> {
         }
         t.note(&format!("{}", batch.metrics));
         print!("{t}");
+        if let Some(path) = &opts.metrics_out {
+            let h = hub.as_ref().expect("--metrics-out always sets the hub");
+            write_metrics(path, h, batch.telemetry.as_ref())?;
+        }
         return Ok(());
     }
 
+    let ticker = match (&hub, opts.live_stats) {
+        (Some(h), true) => Some(LiveTicker::start(h.clone())),
+        _ => None,
+    };
     let result = if let Some(dir) = &opts.checkpoint_dir {
         if opts.checkpoint_every == 0 {
             return Err("--checkpoint-dir requires --checkpoint-every N (ticks)".to_string());
@@ -284,8 +339,11 @@ fn run() -> Result<(), String> {
             EngineKind::Compiled => CompiledMode::run(&netlist, &config),
             EngineKind::Chaotic => ChaoticAsync::run(&netlist, &config),
         }
+    };
+    if let Some(t) = ticker {
+        t.finish();
     }
-    .map_err(|e| e.to_string())?;
+    let result = result.map_err(|e| e.to_string())?;
 
     let mut t = Table::new(
         &format!("{} — {} engine, end={}", opts.input, opts.engine, opts.end),
@@ -346,32 +404,12 @@ fn run() -> Result<(), String> {
         );
 
         if opts.report {
-            let mut report =
-                RunReport::from_trace(trace).with_lane_width(result.metrics.lane_width);
-            if opts.checkpoint_dir.is_some() {
-                let c = &result.metrics.checkpoint;
-                report = report.with_checkpoint(CheckpointReport {
-                    writes: c.writes,
-                    bytes: c.bytes,
-                    write_ns: c.write_ns,
-                    restore_ns: c.restore_ns,
-                });
-            }
-            let a = &result.metrics.arena;
-            if !a.is_empty() {
-                report = report.with_arena(parsim_trace::ArenaReport {
-                    enabled: a.enabled,
-                    chunk_allocs: a.chunk_allocs,
-                    chunk_frees: a.chunk_frees,
-                    mailbox_recycled: a.mailbox_recycled,
-                    slab_allocs: a.slab.slab_allocs,
-                    slab_bytes: a.slab.slab_bytes,
-                    recycled: a.slab.recycled,
-                    fresh: a.slab.fresh,
-                    reclaimed: a.slab.reclaimed,
-                    quarantine_peak: a.slab.quarantine_peak,
-                });
-            }
+            let report = attach_metrics(
+                RunReport::from_trace(trace),
+                &result.metrics,
+                result.telemetry.as_ref(),
+                opts.checkpoint_dir.is_some(),
+            );
             let report_path = format!("{}.report.json", trace_path.trim_end_matches(".json"));
             let report_json = report.to_json();
             parsim_trace::json::lint(&report_json)
@@ -382,5 +420,237 @@ fn run() -> Result<(), String> {
             println!("wrote {report_path}");
         }
     }
+
+    // `--report` without `--trace`: the metrics-derived utilization
+    // report. Coarser than the trace analyzer (no phase breakdown, no
+    // hottest elements) but available on every build — per-worker
+    // busy/idle imbalance and backoff parks come from engine metrics.
+    if opts.report && opts.trace.is_none() {
+        let report = attach_metrics(
+            RunReport::from_thread_summaries(
+                result.metrics.wall.as_nanos() as u64,
+                &thread_summaries(&result.metrics),
+            ),
+            &result.metrics,
+            result.telemetry.as_ref(),
+            opts.checkpoint_dir.is_some(),
+        );
+        println!("\n{report}");
+    }
+
+    if let Some(path) = &opts.metrics_out {
+        let h = hub.as_ref().expect("--metrics-out always sets the hub");
+        write_metrics(path, h, result.telemetry.as_ref())?;
+    }
     Ok(())
+}
+
+/// Per-worker scheduling/timing summaries from engine metrics, in the
+/// trace crate's cycle-free vocabulary.
+fn thread_summaries(m: &Metrics) -> Vec<ThreadSummary> {
+    if m.per_thread.is_empty() {
+        // Sequential engine: one implicit worker, busy for the whole run.
+        return vec![ThreadSummary {
+            busy_ns: m.wall.as_nanos() as u64,
+            evals: m.evaluations,
+            ..ThreadSummary::default()
+        }];
+    }
+    m.per_thread
+        .iter()
+        .map(|t| ThreadSummary {
+            busy_ns: t.busy.as_nanos() as u64,
+            idle_ns: t.idle.as_nanos() as u64,
+            evals: t.evaluations,
+            local_hits: t.sched.local_hits,
+            grid_sends: t.sched.grid_sends,
+            steals: t.sched.steals,
+            backoff_parks: t.sched.backoff_parks,
+        })
+        .collect()
+}
+
+/// Reduces the telemetry sample ring to the report's time-series shape.
+fn to_timeseries(run: &RunTelemetry) -> TimeSeriesReport {
+    TimeSeriesReport {
+        sample_every_ns: run.sampled_every_ns.unwrap_or(0),
+        points: run
+            .samples
+            .iter()
+            .map(|s| TimeSeriesPoint {
+                t_ns: s.t_ns,
+                events: s.snap.counter(Counter::EventsProcessed),
+                evaluations: s.snap.counter(Counter::Evaluations),
+                sim_time: s.snap.gauge(Gauge::SimTime),
+                queue_depth: s.snap.gauge(Gauge::QueueDepth),
+                busy_ns: s.snap.counter(Counter::BusyNs),
+                idle_ns: s.snap.counter(Counter::IdleNs),
+            })
+            .collect(),
+    }
+}
+
+/// Folds engine metrics (checkpoint/arena/lane-width/idle/parks) and the
+/// sampled time series into a report, trace-derived or metrics-only.
+fn attach_metrics(
+    mut report: RunReport,
+    m: &Metrics,
+    telemetry: Option<&RunTelemetry>,
+    with_ckpt: bool,
+) -> RunReport {
+    report = report
+        .with_lane_width(m.lane_width)
+        .with_thread_summaries(&thread_summaries(m));
+    if with_ckpt {
+        let c = &m.checkpoint;
+        report = report.with_checkpoint(CheckpointReport {
+            writes: c.writes,
+            bytes: c.bytes,
+            write_ns: c.write_ns,
+            restore_ns: c.restore_ns,
+        });
+    }
+    let a = &m.arena;
+    if !a.is_empty() {
+        report = report.with_arena(parsim_trace::ArenaReport {
+            enabled: a.enabled,
+            chunk_allocs: a.chunk_allocs,
+            chunk_frees: a.chunk_frees,
+            mailbox_recycled: a.mailbox_recycled,
+            slab_allocs: a.slab.slab_allocs,
+            slab_bytes: a.slab.slab_bytes,
+            recycled: a.slab.recycled,
+            fresh: a.slab.fresh,
+            reclaimed: a.slab.reclaimed,
+            quarantine_peak: a.slab.quarantine_peak,
+        });
+    }
+    if let Some(ts) = telemetry.map(to_timeseries) {
+        if !ts.points.is_empty() {
+            report = report.with_timeseries(ts);
+        }
+    }
+    report
+}
+
+/// Writes the final registry as Prometheus text-format 0.0.4 (self-
+/// linted before the write) plus the sibling time-series JSON document.
+fn write_metrics(
+    path: &str,
+    hub: &Arc<Hub>,
+    telemetry: Option<&RunTelemetry>,
+) -> Result<(), String> {
+    let ctx = hub
+        .get()
+        .ok_or("internal error: engine installed no telemetry context")?;
+    let prom = prometheus::render(&ctx.registry);
+    prometheus::lint(&prom)
+        .map_err(|e| format!("internal error: prometheus exposition failed format check: {e}"))?;
+    std::fs::write(path, &prom).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let owned;
+    let run = match telemetry {
+        Some(t) => t,
+        None => {
+            owned = ctx.finish();
+            &owned
+        }
+    };
+    let series_path = format!(
+        "{}.series.json",
+        path.trim_end_matches(".prom").trim_end_matches(".txt")
+    );
+    let doc = series::render_json(run);
+    parsim_trace::json::lint(&doc)
+        .map_err(|e| format!("internal error: series document is not valid JSON: {e}"))?;
+    std::fs::write(&series_path, &doc).map_err(|e| format!("cannot write {series_path}: {e}"))?;
+    println!("\nwrote {path} (prometheus) and {series_path} (time series)");
+    Ok(())
+}
+
+/// Background stderr ticker for `--live-stats`: polls the running
+/// engine's registry through the [`Hub`] at ~2 Hz and rewrites one
+/// status line with throughput, utilization, and occupancy.
+struct LiveTicker {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl LiveTicker {
+    fn start(hub: Arc<Hub>) -> LiveTicker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut prev: Option<(std::time::Instant, u64)> = None;
+            let mut printed = false;
+            let mut naps = 0u32;
+            while !flag.load(Ordering::Acquire) {
+                // Nap in 100 ms slices so shutdown is prompt, print at 2 Hz.
+                std::thread::sleep(Duration::from_millis(100));
+                naps += 1;
+                if !naps.is_multiple_of(5) {
+                    continue;
+                }
+                let Some(ctx) = hub.get() else { continue };
+                let snap = ctx.registry.snapshot();
+                let events = snap.counter(Counter::EventsProcessed);
+                let now = std::time::Instant::now();
+                let rate = match prev {
+                    Some((t0, e0)) => {
+                        let dt = now.duration_since(t0).as_secs_f64();
+                        if dt > 0.0 {
+                            events.saturating_sub(e0) as f64 / dt
+                        } else {
+                            0.0
+                        }
+                    }
+                    None => 0.0,
+                };
+                prev = Some((now, events));
+                let busy = snap.counter(Counter::BusyNs);
+                let idle = snap.counter(Counter::IdleNs);
+                let util = if busy + idle > 0 {
+                    format!("{:.0}%", 100.0 * busy as f64 / (busy + idle) as f64)
+                } else {
+                    // Engines publish busy/idle at coarse flush points;
+                    // early in a run there may be nothing yet.
+                    "--".to_string()
+                };
+                let mut line = format!(
+                    "[psim] t={} | {} ev/s | util {} | depth {} | arena {} blk",
+                    snap.gauge(Gauge::SimTime),
+                    fmt_rate(rate),
+                    util,
+                    snap.gauge(Gauge::QueueDepth),
+                    snap.gauge(Gauge::ArenaLiveBlocks),
+                );
+                if snap.counter(Counter::CheckpointWrites) > 0 {
+                    line.push_str(&format!(
+                        " | ckpt @t={}",
+                        snap.gauge(Gauge::LastCheckpointTime)
+                    ));
+                }
+                eprint!("\r{line:<78}");
+                printed = true;
+            }
+            if printed {
+                eprintln!();
+            }
+        });
+        LiveTicker { stop, handle }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.handle.join();
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
 }

@@ -274,6 +274,25 @@ impl ArenaStats {
     pub fn is_empty(&self) -> bool {
         *self == ArenaStats::default()
     }
+
+    /// Blocks currently handed out and not yet retired.
+    pub fn live_blocks(&self) -> u64 {
+        (self.recycled + self.fresh).saturating_sub(self.retired_local + self.retired_remote)
+    }
+
+    /// Publishes these totals into a telemetry shard (normally the
+    /// driver's — slab counters are only harvestable post-join, once per
+    /// run, so the adds land on slots no worker writes).
+    pub fn publish(&self, shard: &parsim_telemetry::Shard) {
+        use parsim_telemetry::{Counter, Gauge};
+        shard.add(Counter::ArenaSlabAllocs, self.slab_allocs);
+        shard.add(Counter::ArenaSlabBytes, self.slab_bytes);
+        shard.add(Counter::ArenaRecycled, self.recycled);
+        shard.add(Counter::ArenaFresh, self.fresh);
+        shard.add(Counter::ArenaReclaimed, self.reclaimed);
+        shard.set_gauge(Gauge::ArenaLiveBlocks, self.live_blocks());
+        shard.gauge_max(Gauge::ArenaQuarantinePeak, self.quarantine_peak);
+    }
 }
 
 /// Barrier-separated n×n buffer recycling pool (the PR 2 mailbox pool,

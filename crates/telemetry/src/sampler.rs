@@ -1,0 +1,183 @@
+//! The in-run sampler: a flight recorder of timestamped registry
+//! snapshots, driven by the watchdog monitor thread.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::registry::{Counter, Registry, Snapshot};
+
+/// Default bounded-ring capacity: at the default 250 ms cadence this holds
+/// the most recent ~17 minutes of run history in ~1 MiB.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One timestamped registry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Nanoseconds since the registry's run epoch.
+    pub t_ns: u64,
+    pub snap: Snapshot,
+}
+
+/// Bounded drop-oldest ring of [`Sample`]s. The monitor thread pushes;
+/// any thread may read (live consumers peek, the run driver drains once
+/// at the end).
+#[derive(Debug)]
+pub struct SampleRing {
+    capacity: usize,
+    inner: Mutex<VecDeque<Sample>>,
+}
+
+impl SampleRing {
+    pub fn new(capacity: usize) -> SampleRing {
+        let capacity = capacity.max(2);
+        SampleRing {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a sample, dropping the oldest when full.
+    pub fn push(&self, sample: Sample) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(sample);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent sample, if any (for live consumers).
+    pub fn latest(&self) -> Option<Sample> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .back()
+            .cloned()
+    }
+
+    /// Removes and returns every sample, oldest first.
+    pub fn drain(&self) -> Vec<Sample> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+}
+
+/// Periodic snapshot driver. Owned by the monitor (watchdog) thread,
+/// which calls [`Sampler::tick`] on every wakeup; the sampler decides
+/// whether the period has elapsed.
+#[derive(Debug)]
+pub struct Sampler {
+    registry: Arc<Registry>,
+    ring: Arc<SampleRing>,
+    every: Duration,
+    last: Option<Instant>,
+}
+
+impl Sampler {
+    pub fn new(registry: Arc<Registry>, ring: Arc<SampleRing>, every: Duration) -> Sampler {
+        Sampler {
+            registry,
+            ring,
+            every: every.max(Duration::from_micros(100)),
+            last: None,
+        }
+    }
+
+    /// The configured sampling period (lower-bounded at 100 µs).
+    pub fn period(&self) -> Duration {
+        self.every
+    }
+
+    /// Takes a sample if at least one period elapsed since the last one.
+    /// Returns true when a sample was recorded. The first call always
+    /// samples, anchoring the series near the start of the run. Every
+    /// call counts as one monitor wakeup (the monitor thread is this
+    /// sampler's single caller, and `MonitorWakeups` lives on the driver
+    /// shard in a slot nothing else writes).
+    pub fn tick(&mut self) -> bool {
+        self.registry.driver().inc(Counter::MonitorWakeups);
+        let now = Instant::now();
+        if let Some(last) = self.last {
+            if now.duration_since(last) < self.every {
+                return false;
+            }
+        }
+        self.last = Some(now);
+        self.ring.push(Sample {
+            t_ns: self.registry.uptime_ns(),
+            snap: self.registry.snapshot(),
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Counter;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let ring = SampleRing::new(3);
+        for i in 0..5u64 {
+            ring.push(Sample { t_ns: i, snap: Snapshot::default() });
+        }
+        assert_eq!(ring.len(), 3);
+        let drained = ring.drain();
+        let ts: Vec<u64> = drained.iter().map(|s| s.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest samples dropped first");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn latest_peeks_without_draining() {
+        let ring = SampleRing::new(4);
+        ring.push(Sample { t_ns: 1, snap: Snapshot::default() });
+        ring.push(Sample { t_ns: 2, snap: Snapshot::default() });
+        assert_eq!(ring.latest().map(|s| s.t_ns), Some(2));
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn sampler_first_tick_always_samples_then_respects_period() {
+        let reg = Arc::new(Registry::new(1));
+        let ring = Arc::new(SampleRing::new(8));
+        let mut s = Sampler::new(reg.clone(), ring.clone(), Duration::from_secs(3600));
+        reg.worker(0).add(Counter::EventsProcessed, 5);
+        assert!(s.tick(), "first tick samples immediately");
+        assert!(!s.tick(), "period has not elapsed");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(
+            ring.latest().unwrap().snap.counter(Counter::EventsProcessed),
+            5
+        );
+    }
+
+    #[test]
+    fn sampler_samples_again_after_period() {
+        let reg = Arc::new(Registry::new(1));
+        let ring = Arc::new(SampleRing::new(8));
+        let mut s = Sampler::new(reg, ring.clone(), Duration::from_micros(100));
+        assert!(s.tick());
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(s.tick());
+        assert_eq!(ring.len(), 2);
+        let drained = ring.drain();
+        assert!(drained[0].t_ns <= drained[1].t_ns, "timestamps monotone");
+    }
+}

@@ -21,7 +21,9 @@ pub mod chrome;
 pub mod json;
 pub mod report;
 
-pub use report::{ArenaReport, CheckpointReport, RunReport};
+pub use report::{
+    ArenaReport, CheckpointReport, RunReport, ThreadSummary, TimeSeriesPoint, TimeSeriesReport,
+};
 
 use std::time::Instant;
 

@@ -87,6 +87,13 @@ pub struct WorkerReport {
     pub dropped: u64,
     /// Time inside each [`PHASES`] span kind, in ns.
     pub phase_ns: [u64; PHASES.len()],
+    /// Busy time reported directly by engine metrics rather than derived
+    /// from trace spans — the path that works without the `trace` feature
+    /// (see [`RunReport::from_thread_summaries`]).
+    pub direct_busy_ns: u64,
+    /// Measured idle time (backoff spins, barrier-free waits) from engine
+    /// metrics; 0 when only trace spans are available.
+    pub idle_ns: u64,
     pub barrier_ns: u64,
     pub barrier_waits: u64,
     pub spans: u64,
@@ -103,7 +110,7 @@ pub struct WorkerReport {
 
 impl WorkerReport {
     pub fn busy_ns(&self) -> u64 {
-        self.phase_ns.iter().sum()
+        self.phase_ns.iter().sum::<u64>() + self.direct_busy_ns
     }
 
     /// Fraction of the run's wall span this worker spent in work spans.
@@ -190,6 +197,62 @@ pub struct ArenaReport {
     pub quarantine_peak: u64,
 }
 
+/// One worker's scheduling/timing totals as reported by engine metrics —
+/// the feature-free twin of the trace-derived counters. The harness
+/// builds these from `parsim-core`'s `ThreadMetrics` (which this crate
+/// cannot name without a dependency cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadSummary {
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+    pub evals: u64,
+    pub local_hits: u64,
+    pub grid_sends: u64,
+    pub steals: u64,
+    pub backoff_parks: u64,
+}
+
+/// One point of the in-run telemetry flight recorder, reduced to the
+/// fields the report renders. The harness converts `parsim-telemetry`'s
+/// samples into these (again: no dependency cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeSeriesPoint {
+    /// Nanoseconds since the run's registry epoch.
+    pub t_ns: u64,
+    pub events: u64,
+    pub evaluations: u64,
+    pub sim_time: u64,
+    pub queue_depth: u64,
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+}
+
+/// The sampled time-series section of a run report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeriesReport {
+    /// Sampling period, ns (0 when unknown).
+    pub sample_every_ns: u64,
+    /// Samples oldest-first; the last is the end-of-run total.
+    pub points: Vec<TimeSeriesPoint>,
+}
+
+impl TimeSeriesReport {
+    /// Event throughput between consecutive samples, in events/second.
+    pub fn rates(&self) -> Vec<f64> {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let dt = w[1].t_ns.saturating_sub(w[0].t_ns);
+                if dt == 0 {
+                    0.0
+                } else {
+                    (w[1].events.saturating_sub(w[0].events)) as f64 * 1e9 / dt as f64
+                }
+            })
+            .collect()
+    }
+}
+
 /// The analyzer output. See module docs.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -211,6 +274,9 @@ pub struct RunReport {
     pub lane_width: u64,
     /// Arena-allocator activity, when the engine reported any.
     pub arena: Option<ArenaReport>,
+    /// In-run telemetry samples, when sampling was on. From the
+    /// always-on metrics registry via [`RunReport::with_timeseries`].
+    pub timeseries: Option<TimeSeriesReport>,
 }
 
 impl RunReport {
@@ -302,6 +368,66 @@ impl RunReport {
         hottest.truncate(TOP_K);
         report.hottest = hottest;
         report
+    }
+
+    /// Builds a utilization-only report straight from engine metrics —
+    /// no trace required, so `psim` can show per-worker imbalance on
+    /// every parallel run, not just `--features trace` builds.
+    pub fn from_thread_summaries(wall_ns: u64, threads: &[ThreadSummary]) -> RunReport {
+        let mut report = RunReport { wall_ns, ..RunReport::default() };
+        for (i, t) in threads.iter().enumerate() {
+            report.workers.push(WorkerReport {
+                worker: i as u32,
+                direct_busy_ns: t.busy_ns,
+                idle_ns: t.idle_ns,
+                evals: t.evals,
+                local_hits: t.local_hits,
+                grid_sends: t.grid_sends,
+                steals: t.steals,
+                parks: t.backoff_parks,
+                ..WorkerReport::default()
+            });
+        }
+        report
+    }
+
+    /// Folds engine-metrics scheduling/idle totals into a trace-derived
+    /// report. Metrics are authoritative for idle time and backoff parks
+    /// (trace instants sample them only under the `trace` feature's
+    /// recording paths); trace-derived span timings stay untouched.
+    pub fn with_thread_summaries(mut self, threads: &[ThreadSummary]) -> RunReport {
+        for (i, t) in threads.iter().enumerate() {
+            match self.workers.iter_mut().find(|w| w.worker == i as u32) {
+                Some(w) => {
+                    w.idle_ns = t.idle_ns;
+                    w.parks = w.parks.max(t.backoff_parks);
+                    w.steals = w.steals.max(t.steals);
+                    w.local_hits = w.local_hits.max(t.local_hits);
+                    w.grid_sends = w.grid_sends.max(t.grid_sends);
+                }
+                None => {
+                    self.workers.push(WorkerReport {
+                        worker: i as u32,
+                        direct_busy_ns: t.busy_ns,
+                        idle_ns: t.idle_ns,
+                        evals: t.evals,
+                        local_hits: t.local_hits,
+                        grid_sends: t.grid_sends,
+                        steals: t.steals,
+                        parks: t.backoff_parks,
+                        ..WorkerReport::default()
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Attaches the in-run telemetry sample series so `Display` and
+    /// `to_json` include throughput-over-time.
+    pub fn with_timeseries(mut self, timeseries: TimeSeriesReport) -> RunReport {
+        self.timeseries = Some(timeseries);
+        self
     }
 
     /// Attaches checkpoint activity (from engine metrics) so `Display`
@@ -400,13 +526,15 @@ impl RunReport {
         for (i, w) in self.workers.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"worker\": {}, \"events\": {}, \"dropped\": {}, \"busy_ns\": {}, \
-                 \"barrier_ns\": {}, \"utilization\": {}, \"spans\": {}, \"inserts\": {}, \
+                 \"idle_ns\": {}, \"barrier_ns\": {}, \"utilization\": {}, \"spans\": {}, \
+                 \"inserts\": {}, \
                  \"evals\": {}, \"grid_sends\": {}, \"grid_recvs\": {}, \"local_hits\": {}, \
                  \"steals\": {}, \"parks\": {}, \"heartbeats\": {}, \"pool_misses\": {}}}{}\n",
                 w.worker,
                 w.events,
                 w.dropped,
                 w.busy_ns(),
+                w.idle_ns,
                 w.barrier_ns,
                 fmt_f64_prec(w.utilization(self.wall_ns), 4),
                 w.spans,
@@ -472,6 +600,28 @@ impl RunReport {
                 a.quarantine_peak
             ));
         }
+        if let Some(ts) = &self.timeseries {
+            s.push_str(&format!(
+                ",\n  \"timeseries\": {{\"sample_every_ns\": {}, \"points\": [\n",
+                ts.sample_every_ns
+            ));
+            for (i, p) in ts.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"t_ns\": {}, \"events\": {}, \"evaluations\": {}, \
+                     \"sim_time\": {}, \"queue_depth\": {}, \"busy_ns\": {}, \
+                     \"idle_ns\": {}}}{}\n",
+                    p.t_ns,
+                    p.events,
+                    p.evaluations,
+                    p.sim_time,
+                    p.queue_depth,
+                    p.busy_ns,
+                    p.idle_ns,
+                    if i + 1 == ts.points.len() { "" } else { "," }
+                ));
+            }
+            s.push_str("  ]}");
+        }
         s.push_str("\n}\n");
         s
     }
@@ -525,20 +675,23 @@ impl fmt::Display for RunReport {
         writeln!(f, "\nper-phase utilization:")?;
         writeln!(
             f,
-            "  {:<8} {:>7} {:>10} {:>11} {:>7} {:>8} {:>8}",
-            "worker", "util%", "busy(ms)", "barrier(ms)", "spans", "inserts", "evals"
+            "  {:<8} {:>7} {:>10} {:>10} {:>11} {:>7} {:>8} {:>8} {:>7}",
+            "worker", "util%", "busy(ms)", "idle(ms)", "barrier(ms)", "spans", "inserts",
+            "evals", "parks"
         )?;
         for w in &self.workers {
             writeln!(
                 f,
-                "  {:<8} {:>7.1} {:>10.3} {:>11.3} {:>7} {:>8} {:>8}",
+                "  {:<8} {:>7.1} {:>10.3} {:>10.3} {:>11.3} {:>7} {:>8} {:>8} {:>7}",
                 w.worker,
                 100.0 * w.utilization(self.wall_ns),
                 ms(w.busy_ns()),
+                ms(w.idle_ns),
                 ms(w.barrier_ns),
                 w.spans,
                 w.inserts,
-                w.evals
+                w.evals,
+                w.parks
             )?;
         }
         let totals = self.phase_totals();
@@ -656,6 +809,31 @@ impl fmt::Display for RunReport {
                     "\narena: off ({} chunk mallocs, {} mailboxes recycled)",
                     a.chunk_allocs, a.mailbox_recycled
                 )?;
+            }
+        }
+        if let Some(ts) = &self.timeseries {
+            if !ts.points.is_empty() {
+                writeln!(
+                    f,
+                    "\ntelemetry time series: {} samples every {:.1} ms",
+                    ts.points.len(),
+                    ms(ts.sample_every_ns)
+                )?;
+                let rates = ts.rates();
+                if !rates.is_empty() {
+                    write!(f, "  events/s:")?;
+                    for r in &rates {
+                        write!(f, " {:.0}", r)?;
+                    }
+                    writeln!(f)?;
+                }
+                if let Some(last) = ts.points.last() {
+                    writeln!(
+                        f,
+                        "  final: {} events, {} evaluations, sim time {}",
+                        last.events, last.evaluations, last.sim_time
+                    )?;
+                }
             }
         }
         Ok(())
