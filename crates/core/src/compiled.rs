@@ -211,8 +211,34 @@ impl CompiledMode {
         stimuli: &[LaneStimulus],
     ) -> Result<BatchResult, SimError> {
         let prog = CompiledProgram::compile(netlist);
-        let partition = prog.level_partition(config.threads);
-        kernel::packed::run_batch(netlist, config, &prog, &partition, stimuli)
+        CompiledMode::run_batch_with_program(netlist, config, &prog, stimuli)
+    }
+
+    /// [`CompiledMode::run_batch`] with a caller-supplied compiled
+    /// program — the compile-once/run-many entry point. Callers that
+    /// serve many batches of the same netlist (e.g. a multi-tenant
+    /// simulation service keyed by netlist digest) compile once, cache
+    /// the [`CompiledProgram`], and skip the lowering pass on every
+    /// subsequent batch.
+    ///
+    /// `program` must have been compiled from this exact `netlist`; the
+    /// pairing is the caller's contract (a digest cache keyed by
+    /// [`parsim_checkpoint::netlist_digest`] satisfies it).
+    ///
+    /// # Errors
+    ///
+    /// All of [`CompiledMode::run_batch`]'s errors, plus
+    /// [`SimError::InvalidConfig`] when `program` disagrees with
+    /// `netlist` on the element count (the cheap pairing sanity check).
+    pub fn run_batch_with_program(
+        netlist: &Netlist,
+        config: &SimConfig,
+        program: &CompiledProgram,
+        stimuli: &[LaneStimulus],
+    ) -> Result<BatchResult, SimError> {
+        check_program_pairing(netlist, program)?;
+        let partition = program.level_partition(config.threads);
+        kernel::packed::run_batch(netlist, config, program, &partition, stimuli)
     }
 
     /// Runs one checkpoint segment of the word-parallel batch kernel:
@@ -245,11 +271,26 @@ impl CompiledMode {
         cut: Time,
     ) -> Result<(BatchResult, Vec<EngineSnapshot>), SimError> {
         let prog = CompiledProgram::compile(netlist);
-        let partition = prog.level_partition(config.threads);
+        CompiledMode::run_batch_segment_with_program(netlist, config, &prog, stimuli, resume, cut)
+    }
+
+    /// [`CompiledMode::run_batch_segment`] with a caller-supplied compiled
+    /// program — see [`CompiledMode::run_batch_with_program`] for the
+    /// compile-once/run-many contract and the pairing check.
+    pub fn run_batch_segment_with_program(
+        netlist: &Netlist,
+        config: &SimConfig,
+        program: &CompiledProgram,
+        stimuli: &[LaneStimulus],
+        resume: Option<&[EngineSnapshot]>,
+        cut: Time,
+    ) -> Result<(BatchResult, Vec<EngineSnapshot>), SimError> {
+        check_program_pairing(netlist, program)?;
+        let partition = program.level_partition(config.threads);
         let (result, snaps) = kernel::packed::run_batch_segment(
             netlist,
             config,
-            &prog,
+            program,
             &partition,
             stimuli,
             resume,
@@ -258,6 +299,22 @@ impl CompiledMode {
         )?;
         Ok((result, snaps.expect("capture was requested")))
     }
+}
+
+/// The cheap sanity check that a cached [`CompiledProgram`] actually belongs
+/// to `netlist`. Element count is the only structural property both sides
+/// expose; a digest-keyed cache makes deeper mismatches unreachable.
+fn check_program_pairing(netlist: &Netlist, program: &CompiledProgram) -> Result<(), SimError> {
+    if program.num_elements() != netlist.num_elements() {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "compiled program was built from a different netlist: program has {} elements, netlist has {}",
+                program.num_elements(),
+                netlist.num_elements()
+            ),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -432,6 +489,37 @@ mod tests {
         assert_eq!(batch.lanes.len(), 3);
         for (i, lane) in batch.lanes.iter().enumerate() {
             assert_equivalent(&scalar, lane, &format!("batch lane {i}"));
+        }
+    }
+
+    #[test]
+    fn cached_program_reuse_matches_fresh_compile() {
+        let (n, watch) = clocked_chain(5);
+        let cfg = SimConfig::new(Time(40)).watch_all(watch).threads(2);
+        let prog = CompiledProgram::compile(&n);
+        let fresh = CompiledMode::run_batch(&n, &cfg, &[LaneStimulus::base()]).unwrap();
+        // Same program serves several batches.
+        for _ in 0..2 {
+            let reused =
+                CompiledMode::run_batch_with_program(&n, &cfg, &prog, &[LaneStimulus::base()])
+                    .unwrap();
+            assert_equivalent(&fresh.lanes[0], &reused.lanes[0], "program reuse");
+        }
+    }
+
+    #[test]
+    fn mismatched_program_is_invalid_config() {
+        let (n, _) = clocked_chain(3);
+        let (other, _) = clocked_chain(5);
+        let prog = CompiledProgram::compile(&other);
+        let cfg = SimConfig::new(Time(5));
+        let err = CompiledMode::run_batch_with_program(&n, &cfg, &prog, &[LaneStimulus::base()])
+            .unwrap_err();
+        match err {
+            SimError::InvalidConfig { reason } => {
+                assert!(reason.contains("different netlist"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
         }
     }
 

@@ -174,6 +174,61 @@ impl SimResult {
         ws
     }
 
+    /// A copy restricted to `watch`'s waveforms with changes truncated to
+    /// `end` — a tenant's private view of a shared batch lane. Nodes in
+    /// `watch` that were not watched in the original run are absent from
+    /// the copy (there is nothing recorded to restrict to). Metrics are
+    /// carried over unchanged; trace and telemetry are dropped (they
+    /// describe the whole run, not the restricted view).
+    pub fn restricted(&self, watch: &[NodeId], end: Time) -> SimResult {
+        let waveforms = watch
+            .iter()
+            .filter_map(|n| self.waveforms.get(n))
+            .map(|w| {
+                let mut out = Waveform::new(w.node, w.name.clone(), w.width);
+                out.changes
+                    .extend(w.changes.iter().take_while(|&&(t, _)| t <= end).copied());
+                (w.node, out)
+            })
+            .collect();
+        SimResult {
+            end_time: end.min(self.end_time),
+            waveforms,
+            metrics: self.metrics.clone(),
+            trace: None,
+            telemetry: None,
+        }
+    }
+
+    /// Appends a later checkpoint segment's changes onto this result —
+    /// the stitching step of segmented runs (`run_batch_segment` chains).
+    ///
+    /// `later` must be the immediately following segment of the same run:
+    /// every node watched here with changes in `later` must start strictly
+    /// after this result's last recorded change for that node (the segment
+    /// API guarantees it). Nodes watched only in `later` are added whole.
+    /// Metrics are merged; `end_time` advances to `later.end_time`.
+    pub fn append_segment(&mut self, later: &SimResult) {
+        for (node, w) in &later.waveforms {
+            match self.waveforms.get_mut(node) {
+                Some(existing) => {
+                    debug_assert!(
+                        existing.changes.last().map(|&(t, _)| t)
+                            < w.changes.first().map(|&(t, _)| t)
+                            || w.changes.is_empty(),
+                        "segments must be appended in time order"
+                    );
+                    existing.changes.extend(w.changes.iter().copied());
+                }
+                None => {
+                    self.waveforms.insert(*node, w.clone());
+                }
+            }
+        }
+        self.metrics.merge(&later.metrics);
+        self.end_time = self.end_time.max(later.end_time);
+    }
+
     /// Writes the watched waveforms to a VCD file.
     ///
     /// # Errors
@@ -318,6 +373,68 @@ mod tests {
         assert_eq!(r.bus_value_at(&bits, Time(2)), Some(0b0101));
         // X before the changes: unreadable.
         assert_eq!(r.bus_value_at(&bits, Time(0)), None);
+    }
+
+    #[test]
+    fn restricted_filters_nodes_and_truncates_time() {
+        let (n, a, c) = tiny_netlist();
+        let changes = vec![
+            (Time(5), a, Value::bit(true)),
+            (Time(15), a, Value::bit(false)),
+            (Time(5), c, Value::from_u64(9, 4)),
+        ];
+        let r = SimResult::from_changes(&n, Time(20), &[a, c], changes, Metrics::default());
+        let view = r.restricted(&[a], Time(10));
+        assert_eq!(view.end_time, Time(10));
+        assert!(view.waveform(c).is_none());
+        let w = view.waveform(a).unwrap();
+        assert_eq!(w.num_changes(), 1);
+        assert_eq!(w.changes()[0], (Time(5), Value::bit(true)));
+        // The original is untouched.
+        assert_eq!(r.waveform(a).unwrap().num_changes(), 2);
+    }
+
+    #[test]
+    fn restricted_skips_unwatched_nodes() {
+        let (n, a, c) = tiny_netlist();
+        let r = SimResult::from_changes(&n, Time(20), &[a], vec![], Metrics::default());
+        let view = r.restricted(&[a, c], Time(20));
+        assert!(view.waveform(a).is_some());
+        assert!(view.waveform(c).is_none());
+    }
+
+    #[test]
+    fn append_segment_stitches_changes_and_metrics() {
+        let (n, a, c) = tiny_netlist();
+        let head_metrics = Metrics { evaluations: 3, ..Metrics::default() };
+        let mut head = SimResult::from_changes(
+            &n,
+            Time(10),
+            &[a],
+            vec![(Time(5), a, Value::bit(true))],
+            head_metrics,
+        );
+        let tail_metrics = Metrics { evaluations: 4, ..Metrics::default() };
+        let tail = SimResult::from_changes(
+            &n,
+            Time(20),
+            &[a, c],
+            vec![
+                (Time(12), a, Value::bit(false)),
+                (Time(14), c, Value::from_u64(7, 4)),
+            ],
+            tail_metrics,
+        );
+        head.append_segment(&tail);
+        assert_eq!(head.end_time, Time(20));
+        assert_eq!(head.metrics.evaluations, 7);
+        let wa = head.waveform(a).unwrap();
+        assert_eq!(
+            wa.changes(),
+            &[(Time(5), Value::bit(true)), (Time(12), Value::bit(false))]
+        );
+        // A node watched only in the tail is adopted whole.
+        assert_eq!(head.waveform(c).unwrap().num_changes(), 1);
     }
 
     #[test]

@@ -397,17 +397,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--threads" => match args.next().map(|v| {
-                v.split(',')
-                    .map(|s| s.trim().parse::<usize>())
-                    .collect::<Result<Vec<_>, _>>()
-            }) {
-                Some(Ok(list)) if !list.is_empty() && list[0] == 1 => threads = list,
-                _ => {
+            "--threads" => {
+                let Some(list) = args.next() else {
                     eprintln!("--threads requires a comma list starting with 1 (e.g. 1,2,4)");
                     return ExitCode::FAILURE;
+                };
+                match parsim_harness::parse_threads_list(&list, true) {
+                    Ok(list) => threads = list,
+                    Err(e) => {
+                        eprintln!("--threads: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: bench3 [--quick] [--out PATH] [--threads 1,2,4,8]");

@@ -409,17 +409,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--threads" => match args.next().map(|v| {
-                v.split(',')
-                    .map(|s| s.trim().parse::<usize>())
-                    .collect::<Result<Vec<_>, _>>()
-            }) {
-                Some(Ok(list)) if !list.is_empty() => threads = list,
-                _ => {
+            "--threads" => {
+                let Some(list) = args.next() else {
                     eprintln!("--threads requires a comma list (e.g. 1,2,4)");
                     return ExitCode::FAILURE;
+                };
+                match parsim_harness::parse_threads_list(&list, false) {
+                    Ok(list) => threads = list,
+                    Err(e) => {
+                        eprintln!("--threads: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: bench5 [--quick] [--out PATH] [--threads 1,2,4,8]");

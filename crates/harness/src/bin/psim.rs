@@ -62,6 +62,20 @@ use parsim_netlist::bench_fmt::{from_bench, BenchOptions, C17};
 use parsim_netlist::{Netlist, NetlistStats};
 use parsim_telemetry::{prometheus, series, Counter, Gauge, Hub, RunTelemetry};
 
+const USAGE: &str = "usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
+[--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
+[--trace OUT.json] [--report] \
+[--checkpoint-dir DIR --checkpoint-every N [--resume]] \
+[--lanes N [--force-lane-width 64|128|256|512]] [--no-arena] \
+[--metrics-out OUT.prom] [--sample-every MS] [--live-stats]";
+
+/// What the command line asked for: a run, or just the usage text
+/// (`--help` is a success, not an error).
+enum Cli {
+    Run(Box<Options>),
+    Help,
+}
+
 struct Options {
     input: String,
     engine: String,
@@ -83,7 +97,7 @@ struct Options {
     live_stats: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
         input: String::new(),
@@ -120,7 +134,10 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "--threads must be an integer".to_string())?
+                    .map_err(|_| "--threads must be an integer".to_string())?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
             }
             "--watch" => opts.watch.push(value("--watch")?),
             "--vcd" => opts.vcd = Some(value("--vcd")?),
@@ -148,7 +165,10 @@ fn parse_args() -> Result<Options, String> {
             "--lanes" => {
                 opts.lanes = value("--lanes")?
                     .parse()
-                    .map_err(|_| "--lanes must be an integer".to_string())?
+                    .map_err(|_| "--lanes must be an integer".to_string())?;
+                if opts.lanes == 0 {
+                    return Err("--lanes must be at least 1".to_string());
+                }
             }
             "--force-lane-width" => {
                 let w: usize = value("--force-lane-width")?
@@ -161,15 +181,7 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.force_lane_width = Some(w);
             }
-            "--help" | "-h" => {
-                return Err("usage: psim CIRCUIT.net|@c17 [--engine seq|sync|compiled|async] \
-                     [--end N] [--threads N] [--watch NODE]... [--vcd FILE] [--stats] \
-                     [--trace OUT.json] [--report] \
-                     [--checkpoint-dir DIR --checkpoint-every N [--resume]] \
-                     [--lanes N [--force-lane-width 64|128|256|512]] [--no-arena] \
-                     [--metrics-out OUT.prom] [--sample-every MS] [--live-stats]"
-                    .to_string())
-            }
+            "--help" | "-h" => return Ok(Cli::Help),
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_string()
             }
@@ -179,11 +191,24 @@ fn parse_args() -> Result<Options, String> {
     if opts.input.is_empty() {
         return Err("missing input netlist (try --help)".to_string());
     }
-    Ok(opts)
+    Ok(Cli::Run(Box::new(opts)))
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let opts = match parse_args() {
+        Ok(Cli::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Cli::Run(opts)) => opts,
+        // Bad flags are usage errors: name the offense, show the usage
+        // line, exit nonzero.
+        Err(msg) => {
+            eprintln!("psim: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("psim: {msg}");
@@ -192,8 +217,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
+fn run(opts: &Options) -> Result<(), String> {
     if opts.trace.is_some() && !parsim_trace::recording_compiled() {
         return Err(
             "--trace requires the `trace` cargo feature; rebuild with \
@@ -370,8 +394,8 @@ fn run() -> Result<(), String> {
         );
     }
 
-    if let Some(path) = opts.vcd {
-        std::fs::write(&path, result.to_vcd())
+    if let Some(path) = &opts.vcd {
+        std::fs::write(path, result.to_vcd())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("\nwrote {path}");
     }

@@ -1,0 +1,67 @@
+//! Shared command-line parsing helpers for the harness binaries.
+
+/// Parses a `--threads` comma list (`"1,2,4"`) into worker counts.
+///
+/// Every token must be a positive integer — zero workers cannot run a
+/// sweep leg and would otherwise surface as an engine panic deep in the
+/// run. With `require_one_first`, the list must start with `1` (speedup
+/// sweeps normalize against the single-worker leg). Errors name the
+/// offending token so a typo in a long list is findable.
+pub fn parse_threads_list(s: &str, require_one_first: bool) -> Result<Vec<usize>, String> {
+    let mut threads = Vec::new();
+    for token in s.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(format!("empty entry in threads list `{s}`"));
+        }
+        let n: usize = token
+            .parse()
+            .map_err(|_| format!("`{token}` is not a thread count (in `{s}`)"))?;
+        if n == 0 {
+            return Err(format!("thread count must be at least 1, got `{token}` (in `{s}`)"));
+        }
+        threads.push(n);
+    }
+    if require_one_first && threads.first() != Some(&1) {
+        return Err(format!(
+            "threads list must start with 1 (the speedup baseline), got `{s}`"
+        ));
+    }
+    Ok(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_threads_list;
+
+    #[test]
+    fn well_formed_lists_parse() {
+        assert_eq!(parse_threads_list("1,2,4,8", true), Ok(vec![1, 2, 4, 8]));
+        assert_eq!(parse_threads_list(" 1 , 2 ", true), Ok(vec![1, 2]));
+        assert_eq!(parse_threads_list("4,2", false), Ok(vec![4, 2]));
+        assert_eq!(parse_threads_list("1", true), Ok(vec![1]));
+    }
+
+    #[test]
+    fn malformed_lists_name_the_offender() {
+        let err = parse_threads_list("1,two,4", false).unwrap_err();
+        assert!(err.contains("`two`"), "{err}");
+        let err = parse_threads_list("1,,4", false).unwrap_err();
+        assert!(err.contains("empty entry"), "{err}");
+        let err = parse_threads_list("", false).unwrap_err();
+        assert!(err.contains("empty entry"), "{err}");
+    }
+
+    #[test]
+    fn zero_workers_are_rejected() {
+        let err = parse_threads_list("1,0,4", false).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("`0`"), "{err}");
+    }
+
+    #[test]
+    fn baseline_requirement_is_optional() {
+        assert!(parse_threads_list("2,4", true).unwrap_err().contains("start with 1"));
+        assert_eq!(parse_threads_list("2,4", false), Ok(vec![2, 4]));
+    }
+}

@@ -1,0 +1,118 @@
+//! `psim` flag-handling contract: bad flags are usage errors (named
+//! offense + usage line + nonzero exit), never panics or silent ignores;
+//! `--help` is a success.
+
+use std::process::{Command, Output};
+
+fn psim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_psim"))
+        .args(args)
+        .output()
+        .expect("spawn psim")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Nonzero exit, the named offense and the usage line on stderr, and no
+/// panic backtrace.
+fn assert_usage_error(out: &Output, expect: &str) {
+    let err = stderr(out);
+    assert!(!out.status.success(), "must exit nonzero; stderr: {err}");
+    assert!(err.contains(expect), "stderr must name the offense ({expect:?}): {err}");
+    assert!(err.contains("usage: psim"), "stderr must carry the usage line: {err}");
+    assert!(!err.contains("panicked"), "usage errors must not panic: {err}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&psim(&["@c17", "--frobnicate"]), "unknown argument `--frobnicate`");
+}
+
+#[test]
+fn missing_value_is_a_usage_error() {
+    assert_usage_error(&psim(&["@c17", "--end"]), "--end requires a value");
+    assert_usage_error(&psim(&["@c17", "--threads"]), "--threads requires a value");
+    assert_usage_error(&psim(&["@c17", "--watch"]), "--watch requires a value");
+}
+
+#[test]
+fn non_numeric_value_is_a_usage_error() {
+    assert_usage_error(&psim(&["@c17", "--end", "soon"]), "--end must be an integer");
+    assert_usage_error(&psim(&["@c17", "--threads", "many"]), "--threads must be an integer");
+    assert_usage_error(&psim(&["@c17", "--lanes", "wide"]), "--lanes must be an integer");
+    assert_usage_error(
+        &psim(&["@c17", "--sample-every", "fast"]),
+        "--sample-every must be an integer",
+    );
+}
+
+#[test]
+fn zero_threads_is_a_usage_error_not_a_panic() {
+    // Regression: `--threads 0` used to reach SimConfig::threads and trip
+    // its `threads > 0` assertion — a panic, not a usage error.
+    assert_usage_error(&psim(&["@c17", "--threads", "0"]), "--threads must be at least 1");
+}
+
+#[test]
+fn zero_lanes_is_a_usage_error_not_silently_ignored() {
+    // Regression: `--lanes 0` used to collide with the "flag absent"
+    // sentinel and silently run a plain (non-batch) simulation.
+    assert_usage_error(
+        &psim(&["@c17", "--engine", "compiled", "--lanes", "0"]),
+        "--lanes must be at least 1",
+    );
+}
+
+#[test]
+fn out_of_range_lane_width_is_a_usage_error() {
+    assert_usage_error(
+        &psim(&["@c17", "--engine", "compiled", "--lanes", "2", "--force-lane-width", "100"]),
+        "--force-lane-width must be one of 64, 128, 256, 512",
+    );
+}
+
+#[test]
+fn missing_input_is_a_usage_error() {
+    assert_usage_error(&psim(&[]), "missing input netlist");
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    // Regression: `--help` used to route through the error path (usage on
+    // stderr, exit 1).
+    for flag in ["--help", "-h"] {
+        let out = psim(&[flag]);
+        assert!(out.status.success(), "{flag} is a success, not an error");
+        assert!(stdout(&out).contains("usage: psim"), "{flag} prints usage on stdout");
+    }
+}
+
+#[test]
+fn good_invocations_still_run() {
+    let out = psim(&["@c17", "--end", "50"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("c17"), "prints the result table");
+
+    let out = psim(&["@c17", "--engine", "compiled", "--lanes", "2", "--end", "50"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("compiled batch, 2 lanes"), "batch mode banner");
+}
+
+#[test]
+fn runtime_errors_exit_nonzero_without_usage_noise() {
+    // Semantic errors (bad engine name, unreadable file) are not flag
+    //-syntax errors: they report cleanly but skip the usage dump.
+    let out = psim(&["@c17", "--engine", "warp"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown engine `warp`"));
+
+    let out = psim(&["/no/such/circuit.net"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read /no/such/circuit.net"));
+}

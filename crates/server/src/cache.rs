@@ -1,0 +1,163 @@
+//! The compiled-program cache: compile once per netlist digest, reuse for
+//! every batch pass that digest sees, evict least-recently-used beyond the
+//! capacity bound.
+//!
+//! The key is [`parsim_checkpoint::netlist_digest`]'s FNV-1a structural
+//! digest, the same one the checkpoint store uses to refuse restoring a
+//! snapshot against the wrong circuit. Two netlists with equal digests are
+//! structurally identical (same nodes in the same order, same elements),
+//! so a program compiled from one drives a batch over the other — that is
+//! precisely what lets different tenants' submissions share one lowering.
+
+use std::sync::{Arc, Mutex};
+
+use parsim_netlist::compile::CompiledProgram;
+use parsim_netlist::Netlist;
+
+/// LRU-bounded digest → [`CompiledProgram`] map. Internally locked; safe
+/// to share between transport threads and the scheduler.
+#[derive(Debug)]
+pub struct ProgramCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    /// `(digest, program)` in LRU order: front is coldest, back hottest.
+    entries: Vec<(u64, Arc<CompiledProgram>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// What [`ProgramCache::get_or_compile`] did to serve the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    Hit,
+    Miss,
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` compiled programs (at least 1).
+    pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The program for `digest`, compiling `netlist` on a miss. Returns
+    /// the program and whether it was a hit or a miss-with-compile.
+    pub fn get_or_compile(
+        &self,
+        digest: u64,
+        netlist: &Netlist,
+    ) -> (Arc<CompiledProgram>, CacheLookup) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {
+            let entry = inner.entries.remove(pos);
+            let prog = entry.1.clone();
+            inner.entries.push(entry); // move to hottest
+            inner.hits += 1;
+            return (prog, CacheLookup::Hit);
+        }
+        // Compile under the lock: a second submitter of the same digest
+        // should wait for the one compile, not duplicate it. Service
+        // submission rates make the held-lock compile acceptable.
+        let prog = Arc::new(CompiledProgram::compile(netlist));
+        inner.misses += 1;
+        if inner.entries.len() == inner.capacity {
+            inner.entries.remove(0);
+            inner.evictions += 1;
+        }
+        inner.entries.push((digest, prog.clone()));
+        (prog, CacheLookup::Miss)
+    }
+
+    /// Resident program count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses, evictions)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.hits, inner.misses, inner.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsim_checkpoint::netlist_digest;
+    use parsim_logic::{Delay, ElementKind};
+    use parsim_netlist::Builder;
+
+    fn chain(len: usize) -> Netlist {
+        let mut b = Builder::new();
+        let clk = b.node("clk", 1);
+        b.element(
+            "osc",
+            ElementKind::Clock { half_period: 5, offset: 5 },
+            Delay(1),
+            &[],
+            &[clk],
+        )
+        .unwrap();
+        let mut prev = clk;
+        for i in 0..len {
+            let n = b.node(&format!("n{i}"), 1);
+            b.element(&format!("inv{i}"), ElementKind::Not, Delay(1), &[prev], &[n])
+                .unwrap();
+            prev = n;
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_program() {
+        let cache = ProgramCache::new(4);
+        let n = chain(3);
+        let d = netlist_digest(&n);
+        let (p1, l1) = cache.get_or_compile(d, &n);
+        let (p2, l2) = cache.get_or_compile(d, &n);
+        assert_eq!(l1, CacheLookup::Miss);
+        assert_eq!(l2, CacheLookup::Hit);
+        assert!(Arc::ptr_eq(&p1, &p2), "hit must share the compiled program");
+        assert_eq!(cache.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_coldest_beyond_capacity() {
+        let cache = ProgramCache::new(2);
+        let (a, b, c) = (chain(1), chain(2), chain(3));
+        let (da, db, dc) = (netlist_digest(&a), netlist_digest(&b), netlist_digest(&c));
+        cache.get_or_compile(da, &a);
+        cache.get_or_compile(db, &b);
+        cache.get_or_compile(da, &a); // touch a: b becomes coldest
+        cache.get_or_compile(dc, &c); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get_or_compile(da, &a).1, CacheLookup::Hit);
+        assert_eq!(cache.get_or_compile(db, &b).1, CacheLookup::Miss, "b was evicted");
+        let (_, _, evictions) = cache.stats();
+        assert_eq!(evictions, 2, "c evicted b, then re-adding b evicted c or a");
+    }
+
+    #[test]
+    fn structurally_identical_netlists_share_a_digest() {
+        // Two independently built but identical netlists — the situation
+        // two tenants submitting "the same" circuit produce.
+        assert_eq!(netlist_digest(&chain(4)), netlist_digest(&chain(4)));
+        assert_ne!(netlist_digest(&chain(4)), netlist_digest(&chain(5)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Multi-tenant lane-packed simulation serving.
+//!
+//! The paper's word-parallel compiled mode evaluates **one** instruction
+//! stream for many independent stimulus sets at once. This crate turns
+//! that substrate into a service: tenants submit jobs, a scheduler bins
+//! pending jobs by their netlist's FNV-1a structural digest
+//! ([`parsim_checkpoint::netlist_digest`]), and each dispatch drains one
+//! bin into a single [`CompiledMode::run_batch`] pass — up to
+//! [`ServerConfig::max_lanes_per_batch`] tenants served by one
+//! instruction-stream execution, each getting back waveforms
+//! bit-identical to a standalone run of their stimulus.
+//!
+//! The compile-once/run-many economics ride a [`ProgramCache`]: the first
+//! job of a digest pays the lowering pass, every later batch of that
+//! digest reuses the cached [`CompiledProgram`] through
+//! [`CompiledMode::run_batch_with_program`]. Per-tenant quotas bound
+//! queue occupancy, wall-clock deadlines ride the engine's watchdog and
+//! [`SimError`] containment (expiry while the job is the *server's*
+//! responsibility synthesizes [`SimError::DeadlineExceeded`] with
+//! `engine: "server"`), and cancellation/deadline eviction takes effect
+//! at checkpoint-segment cuts when [`ServerConfig::segment_ticks`] is
+//! set.
+//!
+//! Transports stack from the inside out: [`InProcTransport`] calls the
+//! [`Server`] directly (hermetic tests), and [`HttpServer`] serves the
+//! same [`Request`]/[`Response`] vocabulary over a hand-rolled HTTP/1.1
+//! listener (`psim-server` in `parsim-harness` is the bin).
+//!
+//! Service-level observability lives in
+//! [`parsim_telemetry::ServerRegistry`] under `parsim_server_*` metric
+//! names: job lifecycle counts, cache hits/misses/evictions, batch
+//! passes, and lane occupancy.
+//!
+//! [`CompiledMode::run_batch`]: parsim_core::CompiledMode::run_batch
+//! [`CompiledMode::run_batch_with_program`]: parsim_core::CompiledMode::run_batch_with_program
+//! [`CompiledProgram`]: parsim_netlist::compile::CompiledProgram
+//! [`SimError`]: parsim_core::SimError
+//! [`SimError::DeadlineExceeded`]: parsim_core::SimError::DeadlineExceeded
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod scheduler;
+pub mod transport;
+
+pub use cache::{CacheLookup, ProgramCache};
+pub use http::HttpServer;
+pub use job::{JobArtifact, JobId, JobOutcome, JobSpec, JobStatus, SubmitError};
+pub use scheduler::{Server, ServerConfig};
+pub use transport::{InProcTransport, Request, Response, Transport};

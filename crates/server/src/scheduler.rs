@@ -1,0 +1,688 @@
+//! The digest-binned scheduler: pending jobs queue per structural netlist
+//! digest, and each dispatch drains one bin into a single word-parallel
+//! [`CompiledMode::run_batch`] pass — one instruction-stream execution
+//! serving up to `max_lanes_per_batch` tenants.
+//!
+//! Dispatch order is oldest-job-first across bins (job ids are monotonic),
+//! so a hot digest cannot starve a cold one: the bin holding the oldest
+//! queued job always dispatches next, and everything else waiting on the
+//! same digest rides along in its lanes.
+//!
+//! Deadlines and cancellation piggyback on the checkpoint-segment API:
+//! when `segment_ticks > 0` a pass runs as a chain of
+//! [`CompiledMode::run_batch_segment_with_program`] calls, and between
+//! cuts the scheduler evicts lanes whose tenant cancelled or whose
+//! wall-clock budget expired (synthesizing
+//! [`SimError::DeadlineExceeded`] with `engine: "server"`). With
+//! `segment_ticks == 0` a pass is one uninterruptible kernel run and those
+//! checks happen only at dispatch and completion.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use parsim_checkpoint::{netlist_digest, EngineSnapshot};
+use parsim_core::{CompiledMode, LaneStimulus, SimConfig, SimError, SimResult, StallDiagnostic};
+use parsim_logic::Time;
+use parsim_telemetry::{ServerCounter, ServerGauge, ServerRegistry};
+
+use crate::cache::{CacheLookup, ProgramCache};
+use crate::job::{JobArtifact, JobId, JobOutcome, JobSpec, JobStatus, SubmitError};
+
+/// Server-wide policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine worker threads per batch pass.
+    pub threads: usize,
+    /// Most jobs packed into one pass (the service-level lane bound; the
+    /// kernel chunks beyond its SIMD word width internally, so this caps
+    /// latency coupling, not correctness).
+    pub max_lanes_per_batch: usize,
+    /// Checkpoint-segment length in simulated ticks. `0` runs each pass
+    /// as a single uninterruptible kernel execution; otherwise cancel and
+    /// deadline eviction take effect at each cut.
+    pub segment_ticks: u64,
+    /// Compiled programs kept by the LRU cache.
+    pub cache_capacity: usize,
+    /// Most queued-or-running jobs one tenant may hold.
+    pub tenant_quota: usize,
+    /// Forced SIMD lane width (64/128/256/512), `None` = native.
+    pub lane_width: Option<usize>,
+    /// Start with dispatch paused (tests use this to pack a bin before
+    /// the first pass). [`Server::resume`] unblocks.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 2,
+            max_lanes_per_batch: 64,
+            segment_ticks: 0,
+            cache_capacity: 8,
+            tenant_quota: 4,
+            lane_width: None,
+            start_paused: false,
+        }
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    digest: u64,
+    status: JobStatus,
+    cancel_requested: bool,
+    expires_at: Option<Instant>,
+    outcome: Option<JobOutcome>,
+}
+
+#[derive(Default)]
+struct State {
+    next_id: u64,
+    jobs: HashMap<JobId, Job>,
+    /// Digest bins in first-seen order; ids within a bin are FIFO.
+    bins: Vec<(u64, VecDeque<JobId>)>,
+    active_per_tenant: HashMap<String, usize>,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServerConfig,
+    cache: ProgramCache,
+    metrics: ServerRegistry,
+    state: Mutex<State>,
+    /// Wakes the scheduler thread (submit / resume / shutdown).
+    sched_cv: Condvar,
+    /// Wakes result waiters on any terminal transition.
+    done_cv: Condvar,
+}
+
+/// The multi-tenant simulation server. Dropping it shuts the scheduler
+/// down (the in-flight pass, if any, completes first).
+pub struct Server {
+    inner: Arc<Inner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server (and its scheduler thread) with `config`.
+    pub fn start(config: ServerConfig) -> Server {
+        let inner = Arc::new(Inner {
+            cache: ProgramCache::new(config.cache_capacity),
+            metrics: ServerRegistry::new(),
+            state: Mutex::new(State {
+                paused: config.start_paused,
+                ..State::default()
+            }),
+            sched_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            config,
+        });
+        let worker_inner = inner.clone();
+        let worker = std::thread::Builder::new()
+            .name("parsim-server-sched".into())
+            .spawn(move || scheduler_loop(&worker_inner))
+            .expect("spawn scheduler thread");
+        Server { inner, worker: Some(worker) }
+    }
+
+    /// Accepts a job into its digest bin. Fails fast on quota.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let digest = netlist_digest(&spec.netlist);
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let active = st.active_per_tenant.get(&spec.tenant).copied().unwrap_or(0);
+        if active >= self.inner.config.tenant_quota {
+            self.inner.metrics.inc(ServerCounter::QuotaRejections);
+            return Err(SubmitError::QuotaExceeded {
+                tenant: spec.tenant.clone(),
+                limit: self.inner.config.tenant_quota,
+            });
+        }
+        let id = JobId(st.next_id);
+        st.next_id += 1;
+        let expires_at = spec.deadline.map(|d| Instant::now() + d);
+        *st.active_per_tenant.entry(spec.tenant.clone()).or_insert(0) += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                spec,
+                digest,
+                status: JobStatus::Queued,
+                cancel_requested: false,
+                expires_at,
+                outcome: None,
+            },
+        );
+        match st.bins.iter_mut().find(|(d, _)| *d == digest) {
+            Some((_, bin)) => bin.push_back(id),
+            None => st.bins.push((digest, VecDeque::from([id]))),
+        }
+        self.inner.metrics.inc(ServerCounter::JobsSubmitted);
+        self.publish_queue_gauges(&st);
+        self.inner.sched_cv.notify_one();
+        Ok(id)
+    }
+
+    /// The job's current status (`None` for unknown ids). Lazily expires
+    /// a queued job whose deadline has passed, so a paused or saturated
+    /// server still reports expiry.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.lock();
+        self.expire_if_due(&mut st, id);
+        st.jobs.get(&id).map(|j| j.status)
+    }
+
+    /// Requests cancellation. Queued jobs cancel immediately; running
+    /// jobs are evicted at the next segment cut (or on pass completion
+    /// when segmenting is off). Returns `false` if the job is unknown or
+    /// already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.lock();
+        let Some(job) = st.jobs.get_mut(&id) else { return false };
+        match job.status {
+            JobStatus::Queued => {
+                job.cancel_requested = true;
+                self.finish(&mut st, id, JobStatus::Cancelled, None);
+                true
+            }
+            JobStatus::Running => {
+                job.cancel_requested = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal status, up to `timeout`.
+    /// Returns the terminal status, or `None` on timeout / unknown id.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            self.expire_if_due(&mut st, id);
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(j) if j.status.is_terminal() => return Some(j.status),
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .done_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// A terminal job's outcome: the artifact or the error. `None` while
+    /// the job is still pending, or for cancelled/unknown jobs.
+    pub fn outcome(&self, id: JobId) -> Option<JobOutcome> {
+        self.lock().jobs.get(&id).and_then(|j| j.outcome.clone())
+    }
+
+    /// Pauses dispatch (in-flight passes complete).
+    pub fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Resumes dispatch.
+    pub fn resume(&self) {
+        self.lock().paused = false;
+        self.inner.sched_cv.notify_one();
+    }
+
+    /// The service-level metrics registry.
+    pub fn metrics(&self) -> &ServerRegistry {
+        &self.inner.metrics
+    }
+
+    /// Prometheus text exposition of the service metrics.
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics.render()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn expire_if_due(&self, st: &mut State, id: JobId) {
+        let due = st.jobs.get(&id).is_some_and(|j| {
+            j.status == JobStatus::Queued
+                && j.expires_at.is_some_and(|at| Instant::now() >= at)
+        });
+        if due {
+            self.inner.metrics.inc(ServerCounter::DeadlineExpirations);
+            let err = deadline_error(st.jobs[&id].spec.deadline.unwrap_or_default());
+            self.finish(st, id, JobStatus::Failed, Some(JobOutcome::Failed(err)));
+        }
+    }
+
+    fn finish(&self, st: &mut State, id: JobId, status: JobStatus, outcome: Option<JobOutcome>) {
+        finish_job(&self.inner, st, id, status, outcome);
+        self.publish_queue_gauges(st);
+    }
+
+    fn publish_queue_gauges(&self, st: &State) {
+        publish_queue_gauges(&self.inner, st);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut st = self.lock();
+            st.shutdown = true;
+        }
+        self.inner.sched_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.lock();
+        f.debug_struct("Server")
+            .field("jobs", &st.jobs.len())
+            .field("bins", &st.bins.len())
+            .field("paused", &st.paused)
+            .finish()
+    }
+}
+
+/// The synthesized error for a job whose wall-clock budget ran out while
+/// it was the *server's* responsibility (queued or between segments) —
+/// same variant the engine watchdog uses, so tenants handle one shape.
+fn deadline_error(budget: Duration) -> SimError {
+    SimError::DeadlineExceeded {
+        engine: "server",
+        deadline: budget,
+        diagnostic: Box::new(StallDiagnostic::default()),
+    }
+}
+
+fn finish_job(
+    inner: &Inner,
+    st: &mut State,
+    id: JobId,
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+) {
+    let Some(job) = st.jobs.get_mut(&id) else { return };
+    debug_assert!(!job.status.is_terminal(), "finishing an already-terminal job");
+    job.status = status;
+    job.outcome = outcome;
+    let counter = match status {
+        JobStatus::Done => ServerCounter::JobsCompleted,
+        JobStatus::Failed => ServerCounter::JobsFailed,
+        JobStatus::Cancelled => ServerCounter::JobsCancelled,
+        JobStatus::Queued | JobStatus::Running => unreachable!("terminal statuses only"),
+    };
+    inner.metrics.inc(counter);
+    let tenant = job.spec.tenant.clone();
+    let digest = job.digest;
+    if let Some(active) = st.active_per_tenant.get_mut(&tenant) {
+        *active = active.saturating_sub(1);
+    }
+    // Drop the id from its bin if it was still queued there.
+    if let Some((_, bin)) = st.bins.iter_mut().find(|(d, _)| *d == digest) {
+        bin.retain(|&qid| qid != id);
+    }
+    inner.done_cv.notify_all();
+}
+
+fn publish_queue_gauges(inner: &Inner, st: &State) {
+    let queued: usize = st.bins.iter().map(|(_, b)| b.len()).sum();
+    let running = st
+        .jobs
+        .values()
+        .filter(|j| j.status == JobStatus::Running)
+        .count();
+    inner.metrics.set_gauge(ServerGauge::QueueDepth, queued as u64);
+    inner.metrics.set_gauge(ServerGauge::JobsRunning, running as u64);
+    inner
+        .metrics
+        .set_gauge(ServerGauge::CachedPrograms, inner.cache.len() as u64);
+}
+
+/// One dispatched batch: the shared digest and the member jobs with
+/// cloned specs (the state lock is not held while the kernel runs).
+struct Batch {
+    digest: u64,
+    members: Vec<(JobId, JobSpec)>,
+}
+
+fn scheduler_loop(inner: &Arc<Inner>) {
+    // Local mirror of the cache's lifetime eviction count, so the
+    // single scheduler thread can publish deltas as counter increments.
+    let mut seen_evictions = 0u64;
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if !st.paused {
+                    if let Some(batch) = pick_batch(inner, &mut st) {
+                        break batch;
+                    }
+                }
+                st = inner
+                    .sched_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_pass(inner, batch, &mut seen_evictions);
+    }
+}
+
+/// Picks the bin holding the oldest queued job and drains up to
+/// `max_lanes_per_batch` of its members, marking them running. Expired
+/// queued jobs encountered on the way are failed in place.
+fn pick_batch(inner: &Inner, st: &mut State) -> Option<Batch> {
+    // Fail everything already past its deadline first, so expired work
+    // never occupies a lane.
+    let expired: Vec<JobId> = st
+        .jobs
+        .iter()
+        .filter(|(_, j)| {
+            j.status == JobStatus::Queued
+                && j.expires_at.is_some_and(|at| Instant::now() >= at)
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    for id in expired {
+        inner.metrics.inc(ServerCounter::DeadlineExpirations);
+        let err = deadline_error(st.jobs[&id].spec.deadline.unwrap_or_default());
+        finish_job(inner, st, id, JobStatus::Failed, Some(JobOutcome::Failed(err)));
+    }
+
+    // Oldest queued job wins; its whole bin rides along.
+    let digest = st
+        .bins
+        .iter()
+        .filter_map(|(d, bin)| bin.front().map(|&head| (head, *d)))
+        .min()
+        .map(|(_, d)| d)?;
+    let bin = &mut st
+        .bins
+        .iter_mut()
+        .find(|(d, _)| *d == digest)
+        .expect("bin exists")
+        .1;
+    let mut members = Vec::new();
+    while members.len() < inner.config.max_lanes_per_batch {
+        let Some(id) = bin.pop_front() else { break };
+        members.push(id);
+    }
+    let members: Vec<(JobId, JobSpec)> = members
+        .into_iter()
+        .map(|id| {
+            let job = st.jobs.get_mut(&id).expect("queued job exists");
+            job.status = JobStatus::Running;
+            (id, job.spec.clone())
+        })
+        .collect();
+    publish_queue_gauges(inner, st);
+    if members.is_empty() {
+        None
+    } else {
+        Some(Batch { digest, members })
+    }
+}
+
+/// Builds the pass-wide engine config: union watch set, furthest end
+/// time, and (when every member carries a budget) an engine deadline of
+/// the largest remaining budget — generous enough that no member is
+/// killed early by a *peer's* tighter budget, which the segment cuts
+/// enforce instead.
+fn pass_config(inner: &Inner, members: &[(JobId, JobSpec)]) -> (SimConfig, Time) {
+    let end = members.iter().map(|(_, s)| s.end).max().unwrap_or(Time::ZERO);
+    let watch: BTreeSet<_> = members
+        .iter()
+        .flat_map(|(_, s)| s.watch.iter().copied())
+        .collect();
+    let mut cfg = SimConfig::new(end)
+        .watch_all(watch)
+        .threads(inner.config.threads.max(1));
+    if let Some(w) = inner.config.lane_width {
+        cfg = cfg.with_lane_width(w);
+    }
+    let budgets: Vec<Option<Duration>> = members.iter().map(|(_, s)| s.deadline).collect();
+    if budgets.iter().all(|b| b.is_some()) {
+        if let Some(widest) = budgets.into_iter().flatten().max() {
+            cfg = cfg.with_deadline(widest.max(Duration::from_millis(1)));
+        }
+    }
+    (cfg, end)
+}
+
+fn run_pass(inner: &Inner, batch: Batch, seen_evictions: &mut u64) {
+    let netlist = batch.members[0].1.netlist.clone();
+    let (program, lookup) = inner.cache.get_or_compile(batch.digest, &netlist);
+    inner.metrics.inc(match lookup {
+        CacheLookup::Hit => ServerCounter::CacheHits,
+        CacheLookup::Miss => ServerCounter::CacheMisses,
+    });
+    let (_, _, evictions) = inner.cache.stats();
+    if evictions > *seen_evictions {
+        inner
+            .metrics
+            .add(ServerCounter::CacheEvictions, evictions - *seen_evictions);
+        *seen_evictions = evictions;
+    }
+
+    let (cfg, end) = pass_config(inner, &batch.members);
+    let lanes = batch.members.len();
+    inner.metrics.inc(ServerCounter::BatchPasses);
+    inner.metrics.add(ServerCounter::LanesPacked, lanes as u64);
+    inner
+        .metrics
+        .set_gauge(ServerGauge::LastBatchLanes, lanes as u64);
+
+    let cache_hit = lookup == CacheLookup::Hit;
+    let seg = inner.config.segment_ticks;
+    if seg == 0 || seg >= end.ticks() || end == Time::ZERO {
+        run_single_pass(inner, &batch, &netlist, &cfg, &program, cache_hit);
+    } else {
+        run_segmented_pass(inner, &batch, &netlist, &cfg, &program, end, seg, cache_hit);
+    }
+    let st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+    publish_queue_gauges(inner, &st);
+}
+
+/// Delivers one member's artifact (or cancellation, if requested while
+/// the pass ran).
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    inner: &Inner,
+    st: &mut State,
+    id: JobId,
+    spec: &JobSpec,
+    lane: usize,
+    lanes_in_batch: usize,
+    cache_hit: bool,
+    result: &SimResult,
+    telemetry: &Option<Arc<parsim_telemetry::RunTelemetry>>,
+) {
+    if st.jobs.get(&id).is_some_and(|j| j.cancel_requested) {
+        finish_job(inner, st, id, JobStatus::Cancelled, None);
+        return;
+    }
+    let artifact = Box::new(JobArtifact {
+        result: result.restricted(&spec.watch, spec.end),
+        lane,
+        lanes_in_batch,
+        cache_hit,
+        telemetry: telemetry.clone(),
+    });
+    finish_job(inner, st, id, JobStatus::Done, Some(JobOutcome::Done(artifact)));
+}
+
+fn fail_members(inner: &Inner, members: &[(JobId, JobSpec)], err: &SimError) {
+    let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+    for (id, _) in members {
+        finish_job(
+            inner,
+            &mut st,
+            *id,
+            JobStatus::Failed,
+            Some(JobOutcome::Failed(err.clone())),
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_single_pass(
+    inner: &Inner,
+    batch: &Batch,
+    netlist: &parsim_netlist::Netlist,
+    cfg: &SimConfig,
+    program: &parsim_netlist::compile::CompiledProgram,
+    cache_hit: bool,
+) {
+    let stimuli: Vec<LaneStimulus> =
+        batch.members.iter().map(|(_, s)| s.stimulus.clone()).collect();
+    inner.metrics.inc(ServerCounter::Segments);
+    match CompiledMode::run_batch_with_program(netlist, cfg, program, &stimuli) {
+        Ok(result) => {
+            let telemetry = result.telemetry.map(Arc::new);
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (lane, ((id, spec), lane_result)) in
+                batch.members.iter().zip(&result.lanes).enumerate()
+            {
+                deliver(
+                    inner,
+                    &mut st,
+                    *id,
+                    spec,
+                    lane,
+                    batch.members.len(),
+                    cache_hit,
+                    lane_result,
+                    &telemetry,
+                );
+            }
+        }
+        Err(err) => fail_members(inner, &batch.members, &err),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_segmented_pass(
+    inner: &Inner,
+    batch: &Batch,
+    netlist: &parsim_netlist::Netlist,
+    cfg: &SimConfig,
+    program: &parsim_netlist::compile::CompiledProgram,
+    end: Time,
+    segment_ticks: u64,
+    cache_hit: bool,
+) {
+    // Live members, their accumulated per-lane results, and the resume
+    // snapshots — all three stay index-parallel across segments.
+    let mut live: Vec<(JobId, JobSpec)> = batch.members.clone();
+    let mut acc: Vec<Option<SimResult>> = vec![None; live.len()];
+    let mut snaps: Option<Vec<EngineSnapshot>> = None;
+    let mut from = 0u64;
+    let lanes_in_batch = batch.members.len();
+
+    while !live.is_empty() {
+        let cut = Time(from.saturating_add(segment_ticks).min(end.ticks()));
+        let stimuli: Vec<LaneStimulus> = live.iter().map(|(_, s)| s.stimulus.clone()).collect();
+        inner.metrics.inc(ServerCounter::Segments);
+        let (result, new_snaps) = match CompiledMode::run_batch_segment_with_program(
+            netlist,
+            cfg,
+            program,
+            &stimuli,
+            snaps.as_deref(),
+            cut,
+        ) {
+            Ok(out) => out,
+            Err(err) => {
+                fail_members(inner, &live, &err);
+                return;
+            }
+        };
+        for (slot, lane_result) in acc.iter_mut().zip(&result.lanes) {
+            match slot {
+                Some(whole) => whole.append_segment(lane_result),
+                None => *slot = Some(lane_result.clone()),
+            }
+        }
+        from = cut.ticks();
+        let finished = from >= end.ticks();
+        let telemetry = result.telemetry.map(Arc::new);
+
+        // Between cuts: deliver members whose own end was reached, evict
+        // cancelled/expired ones, and carry the rest into the next
+        // segment with their snapshots.
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut keep_idx: Vec<usize> = Vec::with_capacity(live.len());
+        for (i, (id, spec)) in live.iter().enumerate() {
+            let cancelled = st.jobs.get(id).is_some_and(|j| j.cancel_requested);
+            let expired = st
+                .jobs
+                .get(id)
+                .and_then(|j| j.expires_at)
+                .is_some_and(|at| Instant::now() >= at);
+            let done = finished || spec.end.ticks() <= from;
+            if cancelled {
+                finish_job(inner, &mut st, *id, JobStatus::Cancelled, None);
+            } else if done {
+                let result = acc[i].take().expect("at least one segment accumulated");
+                deliver(
+                    inner,
+                    &mut st,
+                    *id,
+                    spec,
+                    i,
+                    lanes_in_batch,
+                    cache_hit,
+                    &result,
+                    &telemetry,
+                );
+            } else if expired {
+                inner.metrics.inc(ServerCounter::DeadlineExpirations);
+                let err = deadline_error(spec.deadline.unwrap_or_default());
+                finish_job(
+                    inner,
+                    &mut st,
+                    *id,
+                    JobStatus::Failed,
+                    Some(JobOutcome::Failed(err)),
+                );
+            } else {
+                keep_idx.push(i);
+            }
+        }
+        drop(st);
+        if keep_idx.len() < live.len() {
+            live = keep_idx.iter().map(|&i| live[i].clone()).collect();
+            let mut old_acc = std::mem::take(&mut acc);
+            acc = keep_idx.iter().map(|&i| old_acc[i].take()).collect();
+            snaps = Some(
+                new_snaps
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep_idx.contains(i))
+                    .map(|(_, s)| s)
+                    .collect(),
+            );
+        } else {
+            snaps = Some(new_snaps);
+        }
+    }
+}

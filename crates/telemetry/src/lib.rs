@@ -36,10 +36,12 @@ pub mod prometheus;
 pub mod registry;
 pub mod sampler;
 pub mod series;
+pub mod server;
 
 pub use registry::{Counter, Gauge, HistSnapshot, Registry, Shard, Snapshot, HIST_BOUNDS};
 pub use sampler::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 pub use series::RunTelemetry;
+pub use server::{ServerCounter, ServerGauge, ServerRegistry};
 
 use std::fmt;
 use std::sync::{Arc, Mutex};

@@ -7,7 +7,7 @@
 //! events-per-step histogram is exposed aggregated (cumulative `le`
 //! buckets ending in `+Inf`, plus `_sum` and `_count`).
 
-use crate::registry::{Counter, Gauge, Registry, HIST_BOUNDS};
+use crate::registry::{Counter, Gauge, HistSnapshot, Registry, HIST_BOUNDS};
 
 /// Renders the registry as Prometheus text-format 0.0.4.
 pub fn render(reg: &Registry) -> String {
@@ -41,15 +41,28 @@ pub fn render(reg: &Registry) -> String {
     out.push_str(&format!(
         "# HELP {name} Node-change events per active time step\n# TYPE {name} histogram\n"
     ));
+    render_histogram(&mut out, name, &hist);
+    out
+}
+
+/// Emits one histogram's `_bucket`/`_sum`/`_count` samples.
+///
+/// The `+Inf` bucket and `_count` are derived from the bucket sum rather
+/// than the snapshot's `count` field: shards store the bucket slot before
+/// the count, so a snapshot taken mid-record can carry `count` one behind
+/// (or ahead of) the buckets — emitting the stored count verbatim would
+/// intermittently violate the `+Inf == _count >= last bucket` invariant
+/// the lint enforces. Bucket-derived totals are consistent by construction.
+pub(crate) fn render_histogram(out: &mut String, name: &str, hist: &HistSnapshot) {
     let mut cum = 0u64;
     for (i, bound) in HIST_BOUNDS.iter().enumerate() {
-        cum += hist.buckets[i];
+        cum += hist.buckets.get(i).copied().unwrap_or(0);
         out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
     }
-    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+    let total = cum + hist.buckets.get(HIST_BOUNDS.len()).copied().unwrap_or(0);
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {total}\n"));
     out.push_str(&format!("{name}_sum {}\n", hist.sum));
-    out.push_str(&format!("{name}_count {}\n", hist.count));
-    out
+    out.push_str(&format!("{name}_count {total}\n"));
 }
 
 /// Validates Prometheus text-format 0.0.4 structure without any metrics
@@ -322,6 +335,45 @@ mod tests {
         assert!(text.contains("parsim_events_per_step_bucket{le=\"2\"} 3"));
         assert!(text.contains("parsim_events_per_step_bucket{le=\"5\"} 3"));
         lint(&text).unwrap();
+    }
+
+    /// Regression: shards store the histogram bucket slot before the
+    /// count, so an in-flight `record_step_events` can be snapshotted
+    /// with the bucket incremented but the count not (or vice versa).
+    /// The exposition must stay lint-clean either way.
+    #[test]
+    fn torn_histogram_snapshot_renders_lint_clean() {
+        for torn_count in [0u64, 1, 2, 7] {
+            let hist = HistSnapshot {
+                buckets: {
+                    let mut b = vec![0u64; HIST_BOUNDS.len() + 1];
+                    b[0] = 2; // two steps landed in <=1 ...
+                    b[HIST_BOUNDS.len()] = 1; // ... one overflowed
+                    b
+                },
+                count: torn_count, // disagrees with the buckets
+                sum: 1003,
+                max: 1001,
+            };
+            let mut text = String::from("# TYPE parsim_events_per_step histogram\n");
+            render_histogram(&mut text, "parsim_events_per_step", &hist);
+            lint(&text).unwrap_or_else(|e| {
+                panic!("torn snapshot (count={torn_count}) must lint clean: {e}\n{text}")
+            });
+            // +Inf and _count both come from the bucket sum, never the
+            // torn count field.
+            assert!(text.contains("parsim_events_per_step_bucket{le=\"+Inf\"} 3"));
+            assert!(text.contains("parsim_events_per_step_count 3"));
+        }
+    }
+
+    #[test]
+    fn empty_registry_renders_lint_clean() {
+        let reg = Registry::new(3);
+        let text = render(&reg);
+        lint(&text).expect("pre-publish snapshot must lint clean");
+        assert!(text.contains("parsim_events_per_step_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("parsim_events_per_step_count 0"));
     }
 
     #[test]
